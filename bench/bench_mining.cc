@@ -1,0 +1,125 @@
+// E11 — image information mining ([3, 4]): patch cutting, feature
+// extraction, k-means concept clustering and kNN classification. Shapes:
+// feature extraction scales with pixels; clustering cost grows with k;
+// annotation concept agreement with the rule-based reference labels stays
+// high (the "semantic gap" is closed for the synthetic sensor).
+
+#include <benchmark/benchmark.h>
+
+#include "eo/scene.h"
+#include "mining/annotation.h"
+#include "mining/features.h"
+#include "mining/kmeans.h"
+#include "mining/knn.h"
+
+namespace {
+
+using teleios::eo::GenerateScene;
+using teleios::eo::Scene;
+using teleios::eo::SceneSpec;
+using teleios::mining::AnnotatePatches;
+using teleios::mining::CutPatches;
+using teleios::mining::Patch;
+
+Scene BenchScene(int size) {
+  SceneSpec spec;
+  spec.width = size;
+  spec.height = size;
+  spec.seed = 42;
+  return *GenerateScene(spec);
+}
+
+void BM_CutPatches(benchmark::State& state) {
+  Scene scene = BenchScene(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto patches = CutPatches(scene, 8);
+    benchmark::DoNotOptimize(patches->size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_CutPatches)->Arg(128)->Arg(256);
+
+void BM_KMeansSweepK(benchmark::State& state) {
+  Scene scene = BenchScene(128);
+  auto patches = *CutPatches(scene, 8);
+  teleios::mining::NormalizeFeatures(&patches);
+  std::vector<std::vector<double>> data;
+  for (const Patch& p : patches) data.push_back(p.features);
+  for (auto _ : state) {
+    auto km = teleios::mining::KMeans(data, static_cast<int>(state.range(0)),
+                                      50, 7);
+    benchmark::DoNotOptimize(km->inertia);
+    state.counters["inertia"] = km->inertia;
+    state.counters["iterations"] = km->iterations;
+  }
+}
+BENCHMARK(BM_KMeansSweepK)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_AnnotateScene(benchmark::State& state) {
+  Scene scene = BenchScene(128);
+  auto patches = *CutPatches(scene, 8);
+  for (auto _ : state) {
+    auto annotations = AnnotatePatches(patches, 8, 7);
+    benchmark::DoNotOptimize(annotations->size());
+  }
+}
+BENCHMARK(BM_AnnotateScene)->Unit(benchmark::kMillisecond);
+
+/// Agreement of the k-means concepts with direct rule labels per patch —
+/// the "who wins" number: clustering recovers the rule labels for most
+/// patches without seeing them.
+void BM_ConceptAgreement(benchmark::State& state) {
+  Scene scene = BenchScene(128);
+  auto patches = *CutPatches(scene, 8);
+  for (auto _ : state) {
+    auto annotations = *AnnotatePatches(patches, 10, 7);
+    size_t agree = 0;
+    for (size_t i = 0; i < annotations.size(); ++i) {
+      std::string direct = teleios::mining::ConceptForCentroid(
+          patches[i].features);
+      if (direct == annotations[i].concept_iri) ++agree;
+    }
+    state.counters["agreement"] =
+        static_cast<double>(agree) / static_cast<double>(annotations.size());
+    benchmark::DoNotOptimize(agree);
+  }
+}
+BENCHMARK(BM_ConceptAgreement)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+/// kNN classification: training on one scene, scoring on another (the
+/// second classifier of the KDD pipeline).
+void BM_KnnPredict(benchmark::State& state) {
+  Scene train_scene = BenchScene(128);
+  auto train = *CutPatches(train_scene, 8);
+  std::vector<std::vector<double>> samples;
+  std::vector<std::string> labels;
+  for (const Patch& p : train) {
+    samples.push_back(p.features);
+    labels.push_back(teleios::mining::ConceptForCentroid(p.features));
+  }
+  teleios::mining::KnnClassifier knn;
+  (void)knn.Fit(samples, labels);
+  SceneSpec other;
+  other.width = other.height = 128;
+  other.seed = 43;
+  Scene test_scene = *GenerateScene(other);
+  auto test = *CutPatches(test_scene, 8);
+  for (auto _ : state) {
+    size_t correct = 0;
+    for (const Patch& p : test) {
+      auto predicted = knn.Predict(p.features, static_cast<int>(state.range(0)));
+      if (*predicted == teleios::mining::ConceptForCentroid(p.features)) {
+        ++correct;
+      }
+    }
+    state.counters["accuracy"] =
+        static_cast<double>(correct) / static_cast<double>(test.size());
+    benchmark::DoNotOptimize(correct);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(test.size()));
+}
+BENCHMARK(BM_KnnPredict)->Arg(1)->Arg(5)->Arg(15);
+
+}  // namespace

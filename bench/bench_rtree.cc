@@ -1,0 +1,98 @@
+// E9b — spatial index microbenchmarks: STR bulk load vs incremental
+// insertion, and query cost vs brute-force scan across index sizes. The
+// crossover (scan wins for tiny stores, index wins beyond a few hundred
+// entries) is the design justification recorded in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "geo/rtree.h"
+
+namespace {
+
+using teleios::geo::Envelope;
+using teleios::geo::RTree;
+
+std::vector<RTree::Entry> RandomBoxes(int64_t n, uint64_t seed) {
+  std::vector<RTree::Entry> entries;
+  uint64_t state = seed ? seed : 1;
+  auto uniform = [&]() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return static_cast<double>((state * 0x2545f4914f6cdd1dull) >> 11) /
+           9007199254740992.0;
+  };
+  entries.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double x = uniform() * 1000;
+    double y = uniform() * 1000;
+    entries.push_back({{x, y, x + uniform() * 4, y + uniform() * 4}, i});
+  }
+  return entries;
+}
+
+void BM_BulkLoadStr(benchmark::State& state) {
+  auto entries = RandomBoxes(state.range(0), 3);
+  for (auto _ : state) {
+    RTree tree;
+    tree.BulkLoad(entries);
+    benchmark::DoNotOptimize(tree.height());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BulkLoadStr)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_IncrementalInsert(benchmark::State& state) {
+  auto entries = RandomBoxes(state.range(0), 3);
+  for (auto _ : state) {
+    RTree tree;
+    for (const auto& e : entries) tree.Insert(e.box, e.id);
+    benchmark::DoNotOptimize(tree.height());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IncrementalInsert)->Arg(1000)->Arg(10000);
+
+void BM_QueryIndexed(benchmark::State& state) {
+  auto entries = RandomBoxes(state.range(0), 3);
+  RTree tree;
+  tree.BulkLoad(entries);
+  Envelope query{500, 500, 520, 520};
+  for (auto _ : state) {
+    auto hits = tree.Query(query);
+    benchmark::DoNotOptimize(hits.size());
+  }
+}
+BENCHMARK(BM_QueryIndexed)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_QueryBruteForce(benchmark::State& state) {
+  auto entries = RandomBoxes(state.range(0), 3);
+  Envelope query{500, 500, 520, 520};
+  for (auto _ : state) {
+    std::vector<int64_t> hits;
+    for (const auto& e : entries) {
+      if (e.box.Intersects(query)) hits.push_back(e.id);
+    }
+    benchmark::DoNotOptimize(hits.size());
+  }
+}
+BENCHMARK(BM_QueryBruteForce)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// Query cost as a function of selectivity at fixed size.
+void BM_QuerySelectivity(benchmark::State& state) {
+  auto entries = RandomBoxes(50000, 3);
+  RTree tree;
+  tree.BulkLoad(entries);
+  double half = static_cast<double>(state.range(0));
+  Envelope query{500 - half, 500 - half, 500 + half, 500 + half};
+  for (auto _ : state) {
+    auto hits = tree.Query(query);
+    benchmark::DoNotOptimize(hits.size());
+    state.counters["hits"] = static_cast<double>(hits.size());
+  }
+}
+BENCHMARK(BM_QuerySelectivity)->Arg(5)->Arg(50)->Arg(250)->Arg(500);
+
+}  // namespace

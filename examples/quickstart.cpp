@@ -1,0 +1,78 @@
+// Quickstart: the TELEIOS Virtual Earth Observatory in ~80 lines.
+//
+// 1. Generate a synthetic MSG/SEVIRI scene and store it as a .ter file.
+// 2. Attach the file directory as a Data Vault (metadata only, no load).
+// 3. Query the archive catalog with SQL before any payload is ingested.
+// 4. Touch the raster: lazy ingestion into a SciQL array.
+// 5. Run a SciQL query over the image content (fire classification).
+// 6. Publish product metadata as stRDF and query it with stSPARQL.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "eo/product.h"
+#include "eo/scene.h"
+#include "relational/sql_engine.h"
+#include "sciql/sciql_engine.h"
+#include "strabon/strabon.h"
+#include "vault/vault.h"
+
+namespace fs = std::filesystem;
+using namespace teleios;
+
+int main() {
+  // --- 1. a synthetic Level-1 product in the archive ---------------------
+  std::string dir = (fs::temp_directory_path() / "teleios_quickstart").string();
+  fs::create_directories(dir);
+  eo::SceneSpec spec;
+  spec.width = 128;
+  spec.height = 128;
+  spec.name = "MSG2_20070825";
+  auto scene = eo::GenerateScene(spec);
+  if (!scene.ok()) {
+    std::fprintf(stderr, "scene: %s\n", scene.status().ToString().c_str());
+    return 1;
+  }
+  (void)vault::WriteTer(scene->ToTerRaster(), dir + "/MSG2_20070825.ter");
+
+  // --- 2. attach the archive as a data vault -----------------------------
+  storage::Catalog catalog;
+  vault::DataVault vault(&catalog);
+  auto attached = vault.Attach(dir);
+  std::printf("attached %zu file(s); rasters ingested so far: %zu\n",
+              *attached, vault.stats().rasters_ingested);
+
+  // --- 3. metadata is queryable before any pixel is loaded ---------------
+  relational::SqlEngine sql(&catalog);
+  auto rasters = sql.Execute(
+      "SELECT name, width, height, bands FROM vault_rasters");
+  std::printf("%s", rasters->ToString().c_str());
+
+  // --- 4 + 5. lazy ingest + SciQL over image content ---------------------
+  sciql::SciQlEngine sciql(&catalog);
+  auto array = vault.GetRasterArray("MSG2_20070825");
+  (void)sciql.RegisterArray(*array);
+  std::printf("after first touch, rasters ingested: %zu\n",
+              vault.stats().rasters_ingested);
+  auto fires = sciql.Execute(
+      "SELECT count(*) AS fire_pixels FROM MSG2_20070825 "
+      "WHERE IR039 - IR108 > 10 and IR039 > 308 and LANDMASK > 0.5");
+  std::printf("%s", fires->ToString().c_str());
+
+  // --- 6. stRDF metadata + stSPARQL --------------------------------------
+  strabon::Strabon strabon;
+  auto header = vault.GetRasterHeader("MSG2_20070825");
+  (void)eo::RegisterProductTriples(
+      eo::MetadataFromHeader(*header, eo::ProductLevel::kL1), &strabon);
+  auto products = strabon.Query(
+      "SELECT ?id ?time WHERE { ?p a noa:Product ; noa:hasProductId ?id ; "
+      "noa:hasAcquisitionTime ?time . }");
+  std::printf("%s", products->ToString().c_str());
+
+  auto covering = strabon.Ask(
+      "ASK { ?p a noa:Product ; noa:hasGeometry ?g . "
+      "FILTER(strdf:contains(?g, \"POINT (22.0 37.5)\"^^strdf:WKT)) }");
+  std::printf("a product covers 22.0E 37.5N: %s\n",
+              *covering ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#ifndef TELEIOS_ARRAY_ARRAY_H_
+#define TELEIOS_ARRAY_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace teleios::array {
+
+/// A named, bounded array dimension over the integer range
+/// [start, start + size), SciQL-style.
+struct Dimension {
+  std::string name;
+  int64_t start = 0;
+  int64_t size = 0;
+};
+
+/// A SciQL multi-dimensional array: named bounded dimensions plus one or
+/// more cell attributes, each stored as a dense column in row-major order
+/// (last dimension fastest). This is the in-DBMS image representation of
+/// the TELEIOS database tier.
+class Array {
+ public:
+  /// Creates an array with every attribute cell set to its default value.
+  static Result<std::shared_ptr<Array>> Create(
+      std::string name, std::vector<Dimension> dims,
+      std::vector<storage::Field> attributes,
+      const std::vector<Value>& defaults = {});
+
+  const std::string& name() const { return name_; }
+  const std::vector<Dimension>& dims() const { return dims_; }
+  size_t num_dims() const { return dims_.size(); }
+  size_t num_attributes() const { return attrs_.size(); }
+  const storage::Field& attribute(size_t i) const { return attr_fields_[i]; }
+
+  /// Index of the named attribute, or -1.
+  int AttributeIndex(const std::string& name) const;
+  /// Index of the named dimension, or -1.
+  int DimensionIndex(const std::string& name) const;
+
+  /// Total number of cells.
+  size_t num_cells() const { return num_cells_; }
+
+  /// Row-major linear index for `coords` (dimension order); OutOfRange if
+  /// any coordinate is outside its dimension.
+  Result<size_t> LinearIndex(const std::vector<int64_t>& coords) const;
+
+  /// Inverse of LinearIndex.
+  std::vector<int64_t> CoordsOf(size_t linear) const;
+
+  /// Cell accessors.
+  Value Get(const std::vector<int64_t>& coords, size_t attr) const;
+  Value GetLinear(size_t linear, size_t attr) const {
+    return attrs_[attr].Get(linear);
+  }
+  Status Set(const std::vector<int64_t>& coords, size_t attr, const Value& v);
+  Status SetLinear(size_t linear, size_t attr, const Value& v);
+
+  /// Direct mutable double storage of a kFloat64 attribute — the fast path
+  /// used by image processing kernels. TypeError for other types.
+  Result<double*> MutableDoubles(size_t attr);
+  Result<const double*> Doubles(size_t attr) const;
+
+  /// Materializes the array as a table: one column per dimension followed
+  /// by one per attribute, one row per cell (row-major order). This is how
+  /// SciQL SELECTs lower onto the relational engine.
+  storage::Table ToTable() const;
+
+  size_t MemoryUsage() const;
+
+ private:
+  Array() = default;
+
+  std::string name_;
+  std::vector<Dimension> dims_;
+  std::vector<storage::Field> attr_fields_;
+  std::vector<storage::Column> attrs_;
+  std::vector<size_t> strides_;
+  size_t num_cells_ = 0;
+};
+
+using ArrayPtr = std::shared_ptr<Array>;
+
+}  // namespace teleios::array
+
+#endif  // TELEIOS_ARRAY_ARRAY_H_

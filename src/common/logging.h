@@ -1,0 +1,44 @@
+#ifndef TELEIOS_COMMON_LOGGING_H_
+#define TELEIOS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace teleios {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimum level that is emitted; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace teleios
+
+#define TELEIOS_LOG(level)                                      \
+  ::teleios::internal::LogMessage(::teleios::LogLevel::k##level, \
+                                  __FILE__, __LINE__)
+
+#endif  // TELEIOS_COMMON_LOGGING_H_

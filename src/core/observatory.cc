@@ -1,0 +1,64 @@
+#include "core/observatory.h"
+
+#include "eo/ontology.h"
+
+namespace teleios::core {
+
+VirtualEarthObservatory::VirtualEarthObservatory() {
+  vault_ = std::make_unique<vault::DataVault>(&catalog_);
+  sciql_ = std::make_unique<sciql::SciQlEngine>(&catalog_);
+  sql_ = std::make_unique<relational::SqlEngine>(&catalog_);
+  chain_ = std::make_unique<noa::ProcessingChain>(vault_.get(), sciql_.get(),
+                                                  &strabon_, &catalog_);
+  // The domain ontology is part of the observatory's knowledge base.
+  (void)strabon_.LoadTurtle(eo::OntologyTurtle());
+}
+
+Result<size_t> VirtualEarthObservatory::AttachArchive(
+    const std::string& directory) {
+  return vault_->Attach(directory);
+}
+
+Status VirtualEarthObservatory::RegisterRaster(const std::string& name) {
+  if (sciql_->HasArray(name)) return Status::OK();
+  TELEIOS_ASSIGN_OR_RETURN(array::ArrayPtr array,
+                           vault_->GetRasterArray(name));
+  return sciql_->RegisterArray(std::move(array));
+}
+
+Result<storage::Table> VirtualEarthObservatory::Sql(
+    const std::string& statement) {
+  return sql_->Execute(statement);
+}
+
+Result<storage::Table> VirtualEarthObservatory::SciQl(
+    const std::string& statement) {
+  return sciql_->Execute(statement);
+}
+
+Result<storage::Table> VirtualEarthObservatory::StSparql(
+    const std::string& query) {
+  return strabon_.Query(query);
+}
+
+Result<size_t> VirtualEarthObservatory::StSparqlUpdate(
+    const std::string& update) {
+  return strabon_.Update(update);
+}
+
+Result<size_t> VirtualEarthObservatory::LoadLinkedData(
+    const std::string& turtle) {
+  return strabon_.LoadTurtle(turtle);
+}
+
+Result<noa::ChainResult> VirtualEarthObservatory::RunFireChain(
+    const std::string& raster_name, const noa::ChainConfig& config) {
+  return chain_->Run(raster_name, config);
+}
+
+Result<noa::RefinementReport> VirtualEarthObservatory::Refine(
+    const std::string& product_id) {
+  return noa::RefineHotspots(&strabon_, product_id);
+}
+
+}  // namespace teleios::core

@@ -1,0 +1,90 @@
+#ifndef TELEIOS_CORE_OBSERVATORY_H_
+#define TELEIOS_CORE_OBSERVATORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "noa/chain.h"
+#include "noa/mapping.h"
+#include "noa/refinement.h"
+#include "sciql/sciql_engine.h"
+#include "relational/sql_engine.h"
+#include "storage/catalog.h"
+#include "strabon/strabon.h"
+#include "vault/vault.h"
+
+namespace teleios::core {
+
+/// The TELEIOS Virtual Earth Observatory facade: wires the four
+/// architecture tiers of the paper's Figure 2 into one object —
+/// the data vault (ingestion tier), the SQL/SciQL/stSPARQL engines over
+/// the shared catalog and Strabon store (database tier), the NOA
+/// processing chain and refinement (service tier), and the rapid mapper
+/// (application tier).
+///
+/// All engines share state: rasters attached through the vault are
+/// SciQL-queryable after RegisterRaster, products and hotspots created
+/// by RunFireChain are visible to SQL (table "products") and stSPARQL,
+/// and linked data loaded with LoadLinkedData joins against them.
+class VirtualEarthObservatory {
+ public:
+  VirtualEarthObservatory();
+
+  // --- ingestion tier -----------------------------------------------------
+
+  /// Attaches a directory of .ter/.vec products (metadata-only harvest).
+  Result<size_t> AttachArchive(const std::string& directory);
+
+  /// Makes an attached raster queryable through SciQL (lazy ingestion on
+  /// first call).
+  Status RegisterRaster(const std::string& name);
+
+  // --- database tier --------------------------------------------------------
+
+  /// SQL over catalog/metadata tables.
+  Result<storage::Table> Sql(const std::string& statement);
+  /// SciQL over registered arrays (and catalog tables).
+  Result<storage::Table> SciQl(const std::string& statement);
+  /// stSPARQL SELECT/ASK over the semantic store.
+  Result<storage::Table> StSparql(const std::string& query);
+  /// stSPARQL update.
+  Result<size_t> StSparqlUpdate(const std::string& update);
+  /// Loads Turtle (ontologies, annotations, linked open data).
+  Result<size_t> LoadLinkedData(const std::string& turtle);
+
+  // --- service tier ---------------------------------------------------------
+
+  /// Runs the NOA fire-monitoring chain on an attached raster.
+  Result<noa::ChainResult> RunFireChain(const std::string& raster_name,
+                                        const noa::ChainConfig& config);
+
+  /// Refines a chain product against the loaded coastline layer.
+  Result<noa::RefinementReport> Refine(const std::string& product_id);
+
+  // --- application tier -------------------------------------------------------
+
+  /// A mapper over this observatory's semantic store; add layers with
+  /// stSPARQL queries and render.
+  noa::RapidMapper MakeMapper() { return noa::RapidMapper(&strabon_); }
+
+  // --- direct access to the underlying engines -------------------------------
+
+  storage::Catalog& catalog() { return catalog_; }
+  vault::DataVault& vault() { return *vault_; }
+  sciql::SciQlEngine& sciql() { return *sciql_; }
+  strabon::Strabon& strabon() { return strabon_; }
+
+ private:
+  storage::Catalog catalog_;
+  strabon::Strabon strabon_;
+  std::unique_ptr<vault::DataVault> vault_;
+  std::unique_ptr<sciql::SciQlEngine> sciql_;
+  std::unique_ptr<relational::SqlEngine> sql_;
+  std::unique_ptr<noa::ProcessingChain> chain_;
+};
+
+}  // namespace teleios::core
+
+#endif  // TELEIOS_CORE_OBSERVATORY_H_

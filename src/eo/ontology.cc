@@ -1,0 +1,167 @@
+#include "eo/ontology.h"
+
+#include <map>
+#include <set>
+
+#include "rdf/term.h"
+
+namespace teleios::eo {
+
+using rdf::Term;
+using rdf::TermId;
+using rdf::Triple;
+using rdf::TriplePattern;
+
+std::string OntologyTurtle() {
+  return R"(@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> .
+
+# --- landcover class hierarchy -------------------------------------------
+noa:Region a owl:Class .
+noa:WaterBody a owl:Class ; rdfs:subClassOf noa:Region .
+noa:Sea a owl:Class ; rdfs:subClassOf noa:WaterBody .
+noa:Lake a owl:Class ; rdfs:subClassOf noa:WaterBody .
+noa:LandArea a owl:Class ; rdfs:subClassOf noa:Region .
+noa:Forest a owl:Class ; rdfs:subClassOf noa:LandArea .
+noa:Agricultural a owl:Class ; rdfs:subClassOf noa:LandArea .
+noa:Urban a owl:Class ; rdfs:subClassOf noa:LandArea .
+noa:BareSoil a owl:Class ; rdfs:subClassOf noa:LandArea .
+noa:Coast a owl:Class ; rdfs:subClassOf noa:Region .
+noa:Cloud a owl:Class ; rdfs:subClassOf noa:Region .
+
+# --- environmental monitoring events -------------------------------------
+noa:Event a owl:Class .
+noa:Fire a owl:Class ; rdfs:subClassOf noa:Event .
+noa:Hotspot a owl:Class ; rdfs:subClassOf noa:Fire .
+noa:Flood a owl:Class ; rdfs:subClassOf noa:Event .
+noa:BurnedArea a owl:Class ; rdfs:subClassOf noa:Region .
+
+# --- products and annotations ---------------------------------------------
+noa:Product a owl:Class .
+noa:Patch a owl:Class .
+noa:hasGeometry a rdf:Property .
+noa:hasConcept a rdf:Property .
+noa:detectedAt a rdf:Property .
+noa:hasConfidence a rdf:Property .
+noa:derivedFromProduct a rdf:Property .
+noa:hasAcquisitionTime a rdf:Property .
+noa:producedBySatellite a rdf:Property .
+noa:producedBySensor a rdf:Property .
+noa:hasProcessingLevel a rdf:Property .
+noa:wasDerivedFrom a rdf:Property .
+noa:refinedGeometry a rdf:Property ; rdfs:subPropertyOf noa:hasGeometry .
+)";
+}
+
+size_t MaterializeRdfsClosure(rdf::TripleStore* store) {
+  const std::string kSubClass =
+      "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+  const std::string kSubProp =
+      "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+  TermId sub_class = store->dict().Intern(Term::Iri(kSubClass));
+  TermId sub_prop = store->dict().Intern(Term::Iri(kSubProp));
+  TermId rdf_type = store->dict().Intern(Term::Iri(rdf::kRdfType));
+
+  size_t added = 0;
+  // Fixpoint iteration: the ontology is tiny, so a simple loop is fine.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::set<std::pair<TermId, TermId>> sub_class_pairs;
+    TriplePattern sc_pat;
+    sc_pat.p = sub_class;
+    for (const Triple& t : store->Match(sc_pat)) {
+      sub_class_pairs.insert({t.s, t.o});
+    }
+    std::set<std::pair<TermId, TermId>> sub_prop_pairs;
+    TriplePattern sp_pat;
+    sp_pat.p = sub_prop;
+    for (const Triple& t : store->Match(sp_pat)) {
+      sub_prop_pairs.insert({t.s, t.o});
+    }
+    auto have = [&](TermId s, TermId p, TermId o) {
+      TriplePattern pat;
+      pat.s = s;
+      pat.p = p;
+      pat.o = o;
+      return !store->Match(pat).empty();
+    };
+    // subClassOf transitivity.
+    for (const auto& [a, b] : sub_class_pairs) {
+      for (const auto& [c, d] : sub_class_pairs) {
+        if (b == c && a != d && !have(a, sub_class, d)) {
+          store->AddEncoded({a, sub_class, d});
+          ++added;
+          changed = true;
+        }
+      }
+    }
+    // subPropertyOf transitivity.
+    for (const auto& [a, b] : sub_prop_pairs) {
+      for (const auto& [c, d] : sub_prop_pairs) {
+        if (b == c && a != d && !have(a, sub_prop, d)) {
+          store->AddEncoded({a, sub_prop, d});
+          ++added;
+          changed = true;
+        }
+      }
+    }
+    // Type inheritance.
+    for (const auto& [sub, super] : sub_class_pairs) {
+      TriplePattern pat;
+      pat.p = rdf_type;
+      pat.o = sub;
+      for (const Triple& t : store->Match(pat)) {
+        if (!have(t.s, rdf_type, super)) {
+          store->AddEncoded({t.s, rdf_type, super});
+          ++added;
+          changed = true;
+        }
+      }
+    }
+    // Property inheritance: x p y, p subPropertyOf q => x q y.
+    for (const auto& [p, q] : sub_prop_pairs) {
+      TriplePattern pat;
+      pat.p = p;
+      for (const Triple& t : store->Match(pat)) {
+        if (!have(t.s, q, t.o)) {
+          store->AddEncoded({t.s, q, t.o});
+          ++added;
+          changed = true;
+        }
+      }
+    }
+  }
+  return added;
+}
+
+std::vector<std::string> SuperClassesOf(const rdf::TripleStore& store,
+                                        const std::string& class_iri) {
+  std::vector<std::string> out;
+  TermId id = store.dict().Lookup(Term::Iri(class_iri));
+  if (id == rdf::kNoTerm) return out;
+  TermId sub_class = store.dict().Lookup(
+      Term::Iri("http://www.w3.org/2000/01/rdf-schema#subClassOf"));
+  if (sub_class == rdf::kNoTerm) return out;
+  // BFS over subClassOf.
+  std::set<TermId> seen;
+  std::vector<TermId> frontier = {id};
+  while (!frontier.empty()) {
+    TermId cur = frontier.back();
+    frontier.pop_back();
+    TriplePattern pat;
+    pat.s = cur;
+    pat.p = sub_class;
+    for (const Triple& t : store.Match(pat)) {
+      if (seen.insert(t.o).second) {
+        out.push_back(store.dict().At(t.o).lexical);
+        frontier.push_back(t.o);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace teleios::eo

@@ -1,0 +1,33 @@
+#ifndef TELEIOS_EO_ONTOLOGY_H_
+#define TELEIOS_EO_ONTOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/triple_store.h"
+
+namespace teleios::eo {
+
+/// Returns the TELEIOS landcover / fire-monitoring domain ontology as
+/// Turtle: a class hierarchy (Region > {WaterBody > {Sea, Lake},
+/// LandArea > {Forest, Agricultural, Urban, BareSoil}}, Event > {Fire >
+/// Hotspot, Flood}, BurnedArea) plus the properties the NOA application
+/// uses (hasGeometry, hasConcept, detectedAt, hasConfidence, ...). These
+/// are the concepts that annotate standard products to close the
+/// "semantic gap" (paper §1).
+std::string OntologyTurtle();
+
+/// Materializes the RDFS closure the TELEIOS knowledge layer relies on:
+/// transitive rdfs:subClassOf / rdfs:subPropertyOf, type inheritance
+/// (x rdf:type C, C sub D => x rdf:type D), and property inheritance.
+/// Returns the number of inferred triples added.
+size_t MaterializeRdfsClosure(rdf::TripleStore* store);
+
+/// All (direct and inferred) superclasses of a class IRI.
+std::vector<std::string> SuperClassesOf(const rdf::TripleStore& store,
+                                        const std::string& class_iri);
+
+}  // namespace teleios::eo
+
+#endif  // TELEIOS_EO_ONTOLOGY_H_

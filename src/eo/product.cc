@@ -1,0 +1,94 @@
+#include "eo/product.h"
+
+#include "strabon/temporal.h"
+
+namespace teleios::eo {
+
+using rdf::Term;
+using storage::ColumnType;
+using storage::Schema;
+using storage::Table;
+
+const char* ProductLevelName(ProductLevel level) {
+  switch (level) {
+    case ProductLevel::kL0:
+      return "L0";
+    case ProductLevel::kL1:
+      return "L1";
+    case ProductLevel::kL2:
+      return "L2";
+  }
+  return "?";
+}
+
+ProductMetadata MetadataFromHeader(const vault::TerHeader& header,
+                                   ProductLevel level) {
+  ProductMetadata meta;
+  meta.id = header.name;
+  meta.satellite = header.satellite;
+  meta.sensor = header.sensor;
+  meta.level = level;
+  meta.acquisition_time = header.acquisition_time;
+  meta.footprint_wkt = header.FootprintWkt();
+  meta.file_path = header.path;
+  return meta;
+}
+
+Status RegisterProductRow(const ProductMetadata& meta,
+                          storage::Catalog* catalog) {
+  if (!catalog->HasTable("products")) {
+    auto table = std::make_shared<Table>(Schema({
+        {"id", ColumnType::kString},
+        {"satellite", ColumnType::kString},
+        {"sensor", ColumnType::kString},
+        {"level", ColumnType::kString},
+        {"acq_time", ColumnType::kInt64},
+        {"footprint", ColumnType::kString},
+        {"path", ColumnType::kString},
+        {"derived_from", ColumnType::kString},
+    }));
+    TELEIOS_RETURN_IF_ERROR(catalog->CreateTable("products", table));
+  }
+  TELEIOS_ASSIGN_OR_RETURN(storage::TablePtr table,
+                           catalog->GetTable("products"));
+  return table->AppendRow({
+      Value(meta.id),
+      Value(meta.satellite),
+      Value(meta.sensor),
+      Value(std::string(ProductLevelName(meta.level))),
+      Value(meta.acquisition_time),
+      Value(meta.footprint_wkt),
+      Value(meta.file_path),
+      Value(meta.derived_from),
+  });
+}
+
+Status RegisterProductTriples(const ProductMetadata& meta,
+                              strabon::Strabon* strabon) {
+  std::string ns(kNoaNs);
+  Term product = Term::Iri(ns + "product/" + meta.id);
+  strabon->Add(product, Term::Iri(rdf::kRdfType), Term::Iri(ns + "Product"));
+  strabon->Add(product, Term::Iri(ns + "hasProductId"),
+               Term::Literal(meta.id));
+  strabon->Add(product, Term::Iri(ns + "producedBySatellite"),
+               Term::Literal(meta.satellite));
+  strabon->Add(product, Term::Iri(ns + "producedBySensor"),
+               Term::Literal(meta.sensor));
+  strabon->Add(product, Term::Iri(ns + "hasProcessingLevel"),
+               Term::Literal(ProductLevelName(meta.level)));
+  strabon->Add(
+      product, Term::Iri(ns + "hasAcquisitionTime"),
+      Term::Literal(strabon::FormatDateTime(meta.acquisition_time),
+                    rdf::kXsdDateTime));
+  strabon->Add(product, Term::Iri(ns + "hasGeometry"),
+               Term::WktLiteral(meta.footprint_wkt));
+  strabon->Add(product, Term::Iri(ns + "hasFilePath"),
+               Term::Literal(meta.file_path));
+  if (!meta.derived_from.empty()) {
+    strabon->Add(product, Term::Iri(ns + "wasDerivedFrom"),
+                 Term::Iri(ns + "product/" + meta.derived_from));
+  }
+  return Status::OK();
+}
+
+}  // namespace teleios::eo

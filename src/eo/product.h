@@ -1,0 +1,55 @@
+#ifndef TELEIOS_EO_PRODUCT_H_
+#define TELEIOS_EO_PRODUCT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "strabon/strabon.h"
+#include "vault/formats.h"
+
+namespace teleios::eo {
+
+/// EO processing levels (EO jargon, per the paper: raw data is Level 0;
+/// processing derives Level 1, 2, ... standard products).
+enum class ProductLevel { kL0 = 0, kL1 = 1, kL2 = 2 };
+
+const char* ProductLevelName(ProductLevel level);
+
+/// Catalog metadata of one standard product.
+struct ProductMetadata {
+  std::string id;         // catalog identifier, e.g. "MSG2-20070825-1000-L1"
+  std::string satellite;
+  std::string sensor;
+  ProductLevel level = ProductLevel::kL0;
+  int64_t acquisition_time = 0;
+  std::string footprint_wkt;  // geographic coverage
+  std::string file_path;      // payload location (vault)
+  std::string derived_from;   // parent product id ("" for L0)
+};
+
+/// Vocabulary IRIs of the TELEIOS/NOA product ontology.
+inline constexpr const char* kNoaNs =
+    "http://teleios.di.uoa.gr/ontologies/noaOntology.owl#";
+
+/// Builds metadata from a raster header.
+ProductMetadata MetadataFromHeader(const vault::TerHeader& header,
+                                   ProductLevel level);
+
+/// The relational side of the catalog: creates (if missing) and appends
+/// to table "products"(id, satellite, sensor, level, acq_time, footprint,
+/// path, derived_from).
+Status RegisterProductRow(const ProductMetadata& meta,
+                          storage::Catalog* catalog);
+
+/// The semantic side: asserts the product's stRDF description into
+/// Strabon (type, satellite, sensor, level, acquisition time as
+/// xsd:dateTime, footprint as strdf:WKT, wasDerivedFrom).
+Status RegisterProductTriples(const ProductMetadata& meta,
+                              strabon::Strabon* strabon);
+
+}  // namespace teleios::eo
+
+#endif  // TELEIOS_EO_PRODUCT_H_

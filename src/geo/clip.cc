@@ -1,0 +1,531 @@
+#include "geo/clip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "geo/predicates.h"
+
+namespace teleios::geo {
+
+namespace {
+
+constexpr double kAlphaEps = 1e-9;
+
+/// Greiner–Hormann vertex node; lists are circular and doubly linked.
+struct Node {
+  Point p;
+  Node* next = nullptr;
+  Node* prev = nullptr;
+  bool intersect = false;
+  bool entry = false;
+  Node* neighbour = nullptr;
+  double alpha = 0.0;
+  bool processed = false;
+};
+
+/// Owns all nodes; pointers stay valid (deque storage).
+class NodePool {
+ public:
+  Node* New(const Point& p) {
+    nodes_.push_back(Node{});
+    nodes_.back().p = p;
+    return &nodes_.back();
+  }
+
+ private:
+  std::deque<Node> nodes_;
+};
+
+Node* BuildList(const Ring& ring, NodePool* pool) {
+  Node* first = nullptr;
+  Node* prev = nullptr;
+  for (const Point& p : ring) {
+    Node* n = pool->New(p);
+    if (!first) {
+      first = n;
+    } else {
+      prev->next = n;
+      n->prev = prev;
+    }
+    prev = n;
+  }
+  prev->next = first;
+  first->prev = prev;
+  return first;
+}
+
+/// Parametric segment intersection; true for a proper interior-interior
+/// crossing, setting alphas in (0,1). Sets `degenerate` when an endpoint
+/// lies (nearly) on the other segment or the segments are collinear.
+bool EdgeIntersection(const Point& p1, const Point& p2, const Point& q1,
+                      const Point& q2, double* alpha_p, double* alpha_q,
+                      bool* degenerate) {
+  double rx = p2.x - p1.x;
+  double ry = p2.y - p1.y;
+  double sx = q2.x - q1.x;
+  double sy = q2.y - q1.y;
+  double denom = rx * sy - ry * sx;
+  double qpx = q1.x - p1.x;
+  double qpy = q1.y - p1.y;
+  if (std::fabs(denom) < 1e-18) {
+    // Parallel; collinear overlap is degenerate.
+    if (std::fabs(qpx * ry - qpy * rx) < 1e-12) {
+      // Check any actual overlap via projections.
+      double len2 = rx * rx + ry * ry;
+      if (len2 > 0) {
+        double t0 = (qpx * rx + qpy * ry) / len2;
+        double t1 = ((q2.x - p1.x) * rx + (q2.y - p1.y) * ry) / len2;
+        if (std::max(std::min(t0, t1), 0.0) <=
+            std::min(std::max(t0, t1), 1.0) + kAlphaEps) {
+          *degenerate = true;
+        }
+      }
+    }
+    return false;
+  }
+  double t = (qpx * sy - qpy * sx) / denom;
+  double u = (qpx * ry - qpy * rx) / denom;
+  if (t < -kAlphaEps || t > 1 + kAlphaEps || u < -kAlphaEps ||
+      u > 1 + kAlphaEps) {
+    return false;  // outside both segments
+  }
+  if (t < kAlphaEps || t > 1 - kAlphaEps || u < kAlphaEps ||
+      u > 1 - kAlphaEps) {
+    *degenerate = true;  // endpoint touch
+    return false;
+  }
+  *alpha_p = t;
+  *alpha_q = u;
+  return true;
+}
+
+/// Inserts intersection node `n` between `from` and the next original
+/// vertex, ordered by alpha.
+void InsertSorted(Node* from, Node* n) {
+  Node* a = from;
+  Node* b = from->next;
+  while (b->intersect && b->alpha < n->alpha) {
+    a = b;
+    b = b->next;
+  }
+  n->next = b;
+  n->prev = a;
+  a->next = n;
+  b->prev = n;
+}
+
+/// Strict point-in-ring (boundary is avoided by perturbation).
+bool InsideRing(const Point& p, const Ring& ring) {
+  bool inside = false;
+  size_t n = ring.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = ring[i];
+    const Point& b = ring[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      double x = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+struct ClipOutcome {
+  bool degenerate = false;
+  bool no_intersections = false;
+  std::vector<Ring> rings;
+};
+
+/// One Greiner–Hormann pass over two simple CCW rings.
+ClipOutcome ClipRings(const Ring& subject, const Ring& clip,
+                      bool invert_subject_entries, bool invert_clip_entries) {
+  ClipOutcome out;
+  NodePool pool;
+  Node* s_first = BuildList(subject, &pool);
+  Node* c_first = BuildList(clip, &pool);
+
+  // Phase 1: find and insert intersections.
+  size_t count = 0;
+  for (Node* s = s_first;;) {
+    Node* s_end = s->next;
+    while (s_end->intersect) s_end = s_end->next;
+    for (Node* c = c_first;;) {
+      Node* c_end = c->next;
+      while (c_end->intersect) c_end = c_end->next;
+      double ta, tb;
+      bool degenerate = false;
+      if (EdgeIntersection(s->p, s_end->p, c->p, c_end->p, &ta, &tb,
+                           &degenerate)) {
+        Point ip{s->p.x + ta * (s_end->p.x - s->p.x),
+                 s->p.y + ta * (s_end->p.y - s->p.y)};
+        Node* ns = pool.New(ip);
+        Node* nc = pool.New(ip);
+        ns->intersect = nc->intersect = true;
+        ns->alpha = ta;
+        nc->alpha = tb;
+        ns->neighbour = nc;
+        nc->neighbour = ns;
+        InsertSorted(s, ns);
+        InsertSorted(c, nc);
+        ++count;
+      } else if (degenerate) {
+        out.degenerate = true;
+        return out;
+      }
+      c = c_end;
+      if (c == c_first) break;
+    }
+    s = s_end;
+    if (s == s_first) break;
+  }
+  if (count == 0) {
+    out.no_intersections = true;
+    return out;
+  }
+
+  // Phase 2: entry/exit flags.
+  bool entry = !InsideRing(s_first->p, clip);
+  if (invert_subject_entries) entry = !entry;
+  for (Node* s = s_first;;) {
+    if (s->intersect) {
+      s->entry = entry;
+      entry = !entry;
+    }
+    s = s->next;
+    if (s == s_first) break;
+  }
+  entry = !InsideRing(c_first->p, subject);
+  if (invert_clip_entries) entry = !entry;
+  for (Node* c = c_first;;) {
+    if (c->intersect) {
+      c->entry = entry;
+      entry = !entry;
+    }
+    c = c->next;
+    if (c == c_first) break;
+  }
+
+  // Phase 3: trace result rings.
+  while (true) {
+    Node* start = nullptr;
+    for (Node* s = s_first;;) {
+      if (s->intersect && !s->processed) {
+        start = s;
+        break;
+      }
+      s = s->next;
+      if (s == s_first) break;
+    }
+    if (!start) break;
+    Ring ring;
+    Node* current = start;
+    ring.push_back(current->p);
+    size_t guard = 0;
+    const size_t kGuardMax = 4 * (subject.size() + clip.size() + count + 4);
+    do {
+      current->processed = true;
+      if (current->neighbour) current->neighbour->processed = true;
+      if (current->entry) {
+        do {
+          current = current->next;
+          ring.push_back(current->p);
+        } while (!current->intersect);
+      } else {
+        do {
+          current = current->prev;
+          ring.push_back(current->p);
+        } while (!current->intersect);
+      }
+      current = current->neighbour;
+      if (++guard > kGuardMax) {
+        out.degenerate = true;  // tracing failed; force a perturbed retry
+        return out;
+      }
+    } while (current != start && !current->processed);
+    // Drop the duplicated closing vertex.
+    if (ring.size() > 1 && std::fabs(ring.front().x - ring.back().x) < 1e-12 &&
+        std::fabs(ring.front().y - ring.back().y) < 1e-12) {
+      ring.pop_back();
+    }
+    if (ring.size() >= 3) out.rings.push_back(std::move(ring));
+  }
+  return out;
+}
+
+Ring PerturbRing(const Ring& ring, double magnitude, unsigned seed) {
+  Ring out = ring;
+  // Deterministic pseudo-random jitter (xorshift).
+  uint32_t state = 0x9e3779b9u + seed;
+  auto next = [&]() {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return static_cast<double>(state) / 4294967296.0 - 0.5;
+  };
+  for (Point& p : out) {
+    p.x += magnitude * next();
+    p.y += magnitude * next();
+  }
+  return out;
+}
+
+Ring MakeCcw(Ring ring) {
+  if (SignedRingArea(ring) < 0) std::reverse(ring.begin(), ring.end());
+  return ring;
+}
+
+/// Boolean op on two simple rings; handles the no-intersection cases.
+Result<std::vector<Polygon>> RingBoolean(const Ring& subject_in,
+                                         const Ring& clip_in, BooleanOp op) {
+  Ring subject = MakeCcw(subject_in);
+  Ring clip = MakeCcw(clip_in);
+
+  bool invert_subject = false;
+  bool invert_clip = false;
+  switch (op) {
+    case BooleanOp::kIntersection:
+      break;
+    case BooleanOp::kUnion:
+      invert_subject = invert_clip = true;
+      break;
+    case BooleanOp::kDifference:
+      invert_subject = true;  // A - B
+      break;
+  }
+
+  double scale = 0.0;
+  for (const Point& p : subject) {
+    scale = std::max({scale, std::fabs(p.x), std::fabs(p.y)});
+  }
+  for (const Point& p : clip) {
+    scale = std::max({scale, std::fabs(p.x), std::fabs(p.y)});
+  }
+  if (scale == 0) scale = 1.0;
+
+  ClipOutcome outcome;
+  Ring used_clip = clip;
+  for (unsigned attempt = 0; attempt < 6; ++attempt) {
+    outcome = ClipRings(subject, used_clip, invert_subject, invert_clip);
+    if (!outcome.degenerate) break;
+    double mag = scale * 1e-9 * std::pow(10.0, attempt);
+    used_clip = PerturbRing(clip, mag, attempt + 1);
+  }
+  if (outcome.degenerate) {
+    return Status::Internal("polygon clipping failed to resolve degeneracy");
+  }
+
+  std::vector<Polygon> result;
+  if (outcome.no_intersections) {
+    bool s_in_c = InsideRing(subject[0], clip);
+    bool c_in_s = InsideRing(clip[0], subject);
+    switch (op) {
+      case BooleanOp::kIntersection:
+        if (s_in_c) result.push_back({subject, {}});
+        else if (c_in_s) result.push_back({clip, {}});
+        break;
+      case BooleanOp::kUnion:
+        if (s_in_c) {
+          result.push_back({clip, {}});
+        } else if (c_in_s) {
+          result.push_back({subject, {}});
+        } else {
+          result.push_back({subject, {}});
+          result.push_back({clip, {}});
+        }
+        break;
+      case BooleanOp::kDifference:
+        if (s_in_c) {
+          // A entirely inside B: empty.
+        } else if (c_in_s) {
+          Ring hole = clip;
+          std::reverse(hole.begin(), hole.end());  // holes are CW
+          result.push_back({subject, {hole}});
+        } else {
+          result.push_back({subject, {}});
+        }
+        break;
+    }
+    return result;
+  }
+
+  // Classify traced rings. For simple-polygon inputs: intersection and
+  // difference results are disjoint simple pieces (all shells — the hole
+  // case arises only on the no-intersection path above); a union is one
+  // connected region, so its largest ring is the shell and the rest are
+  // enclosed holes. GH traces union/difference clockwise, so orientation
+  // is normalized here rather than used for classification.
+  std::vector<Polygon> shells;
+  if (op == BooleanOp::kUnion) {
+    size_t shell_idx = 0;
+    double best = -1;
+    for (size_t i = 0; i < outcome.rings.size(); ++i) {
+      double a = std::fabs(SignedRingArea(outcome.rings[i]));
+      if (a > best) {
+        best = a;
+        shell_idx = i;
+      }
+    }
+    Polygon poly;
+    poly.outer = MakeCcw(std::move(outcome.rings[shell_idx]));
+    for (size_t i = 0; i < outcome.rings.size(); ++i) {
+      if (i == shell_idx) continue;
+      Ring h = MakeCcw(std::move(outcome.rings[i]));
+      std::reverse(h.begin(), h.end());  // holes are CW
+      poly.holes.push_back(std::move(h));
+    }
+    shells.push_back(std::move(poly));
+  } else {
+    for (Ring& r : outcome.rings) {
+      shells.push_back({MakeCcw(std::move(r)), {}});
+    }
+  }
+  return shells;
+}
+
+/// Collects outer rings of a polygonal geometry.
+Result<std::vector<Polygon>> PolysOf(const Geometry& g) {
+  if (g.polygons().empty()) {
+    return Status::InvalidArgument(
+        "polygon boolean op requires polygonal inputs");
+  }
+  return g.polygons();
+}
+
+/// Re-attaches subject holes to the result parts that contain them, by
+/// differencing each result part with each hole ring.
+Result<std::vector<Polygon>> SubtractHoles(std::vector<Polygon> parts,
+                                           const std::vector<Ring>& holes) {
+  for (const Ring& hole : holes) {
+    std::vector<Polygon> next;
+    for (Polygon& part : parts) {
+      Ring hole_ccw = hole;
+      if (SignedRingArea(hole_ccw) < 0) {
+        std::reverse(hole_ccw.begin(), hole_ccw.end());
+      }
+      TELEIOS_ASSIGN_OR_RETURN(
+          std::vector<Polygon> pieces,
+          RingBoolean(part.outer, hole_ccw, BooleanOp::kDifference));
+      // Preserve the part's existing holes.
+      for (Polygon& piece : pieces) {
+        for (const Ring& h : part.holes) {
+          piece.holes.push_back(h);
+        }
+        next.push_back(std::move(piece));
+      }
+    }
+    parts = std::move(next);
+  }
+  return parts;
+}
+
+}  // namespace
+
+Result<Geometry> PolygonBoolean(const Geometry& subject, const Geometry& clip,
+                                BooleanOp op) {
+  TELEIOS_ASSIGN_OR_RETURN(std::vector<Polygon> subs, PolysOf(subject));
+  TELEIOS_ASSIGN_OR_RETURN(std::vector<Polygon> clips, PolysOf(clip));
+
+  std::vector<Polygon> result;
+  switch (op) {
+    case BooleanOp::kIntersection: {
+      for (const Polygon& a : subs) {
+        for (const Polygon& b : clips) {
+          TELEIOS_ASSIGN_OR_RETURN(
+              std::vector<Polygon> parts,
+              RingBoolean(a.outer, b.outer, BooleanOp::kIntersection));
+          TELEIOS_ASSIGN_OR_RETURN(parts, SubtractHoles(std::move(parts),
+                                                        a.holes));
+          TELEIOS_ASSIGN_OR_RETURN(parts, SubtractHoles(std::move(parts),
+                                                        b.holes));
+          for (Polygon& p : parts) result.push_back(std::move(p));
+        }
+      }
+      break;
+    }
+    case BooleanOp::kUnion: {
+      // Iteratively union all outer rings; disjoint parts accumulate.
+      std::vector<Polygon> acc;
+      for (const Polygon& a : subs) acc.push_back(a);
+      for (const Polygon& b : clips) acc.push_back(b);
+      // Pairwise merge until stable.
+      bool merged = true;
+      while (merged && acc.size() > 1) {
+        merged = false;
+        for (size_t i = 0; i < acc.size() && !merged; ++i) {
+          for (size_t j = i + 1; j < acc.size() && !merged; ++j) {
+            Geometry gi = Geometry::MakePolygon(acc[i]);
+            Geometry gj = Geometry::MakePolygon(acc[j]);
+            if (!Intersects(gi, gj)) continue;
+            TELEIOS_ASSIGN_OR_RETURN(
+                std::vector<Polygon> parts,
+                RingBoolean(acc[i].outer, acc[j].outer, BooleanOp::kUnion));
+            if (parts.size() == 1) {
+              std::vector<Ring> holes = acc[i].holes;
+              for (const Ring& h : acc[j].holes) holes.push_back(h);
+              parts[0].holes.insert(parts[0].holes.end(), holes.begin(),
+                                    holes.end());
+              acc.erase(acc.begin() + static_cast<long>(j));
+              acc[i] = std::move(parts[0]);
+              merged = true;
+            }
+          }
+        }
+      }
+      result = std::move(acc);
+      break;
+    }
+    case BooleanOp::kDifference: {
+      result = subs;
+      for (const Polygon& b : clips) {
+        std::vector<Polygon> next;
+        for (Polygon& a : result) {
+          TELEIOS_ASSIGN_OR_RETURN(
+              std::vector<Polygon> parts,
+              RingBoolean(a.outer, b.outer, BooleanOp::kDifference));
+          TELEIOS_ASSIGN_OR_RETURN(parts,
+                                   SubtractHoles(std::move(parts), a.holes));
+          for (Polygon& p : parts) next.push_back(std::move(p));
+          // A minus a holed B keeps what lies inside B's holes:
+          // A - B = (A - outer(B)) u (A n hole_i(B)).
+          for (const Ring& hole : b.holes) {
+            Ring hole_ccw = hole;
+            if (SignedRingArea(hole_ccw) < 0) {
+              std::reverse(hole_ccw.begin(), hole_ccw.end());
+            }
+            TELEIOS_ASSIGN_OR_RETURN(
+                std::vector<Polygon> kept,
+                RingBoolean(a.outer, hole_ccw, BooleanOp::kIntersection));
+            TELEIOS_ASSIGN_OR_RETURN(
+                kept, SubtractHoles(std::move(kept), a.holes));
+            for (Polygon& p : kept) next.push_back(std::move(p));
+          }
+        }
+        result = std::move(next);
+      }
+      break;
+    }
+  }
+  // Drop slivers produced by perturbation.
+  std::vector<Polygon> cleaned;
+  for (Polygon& p : result) {
+    if (std::fabs(SignedRingArea(p.outer)) > 1e-12) {
+      cleaned.push_back(std::move(p));
+    }
+  }
+  return Geometry::MakeMultiPolygon(std::move(cleaned));
+}
+
+Result<Geometry> Intersection(const Geometry& a, const Geometry& b) {
+  return PolygonBoolean(a, b, BooleanOp::kIntersection);
+}
+
+Result<Geometry> Union(const Geometry& a, const Geometry& b) {
+  return PolygonBoolean(a, b, BooleanOp::kUnion);
+}
+
+Result<Geometry> Difference(const Geometry& a, const Geometry& b) {
+  return PolygonBoolean(a, b, BooleanOp::kDifference);
+}
+
+}  // namespace teleios::geo

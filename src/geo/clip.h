@@ -1,0 +1,31 @@
+#ifndef TELEIOS_GEO_CLIP_H_
+#define TELEIOS_GEO_CLIP_H_
+
+#include "common/status.h"
+#include "geo/geometry.h"
+
+namespace teleios::geo {
+
+enum class BooleanOp { kIntersection, kUnion, kDifference };
+
+/// Polygon boolean operations via Greiner–Hormann clipping.
+///
+/// Operates on the outer rings of (multi)polygon inputs; degenerate
+/// configurations (shared vertices, edge overlap) are handled by
+/// deterministic micro-perturbation of the clip polygon. Holes of the
+/// subject are re-attached to result parts that fully contain them; holes
+/// of the clip participate only in kDifference via the containment fast
+/// path (A fully inside B). Result may be empty, a polygon or a
+/// multipolygon.
+Result<Geometry> PolygonBoolean(const Geometry& subject, const Geometry& clip,
+                                BooleanOp op);
+
+/// Convenience wrappers.
+Result<Geometry> Intersection(const Geometry& a, const Geometry& b);
+Result<Geometry> Union(const Geometry& a, const Geometry& b);
+/// a minus b.
+Result<Geometry> Difference(const Geometry& a, const Geometry& b);
+
+}  // namespace teleios::geo
+
+#endif  // TELEIOS_GEO_CLIP_H_

@@ -1,0 +1,50 @@
+#ifndef TELEIOS_GEO_CRS_H_
+#define TELEIOS_GEO_CRS_H_
+
+#include "common/status.h"
+#include "geo/geometry.h"
+
+namespace teleios::geo {
+
+/// Mean Earth radius in meters (spherical model).
+constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// WGS84 lon/lat (degrees) -> Web Mercator (EPSG:3857) meters.
+Point Wgs84ToWebMercator(const Point& lonlat);
+/// Web Mercator meters -> WGS84 lon/lat degrees.
+Point WebMercatorToWgs84(const Point& xy);
+
+/// Great-circle (haversine) distance in meters between two lon/lat
+/// points in degrees.
+double HaversineMeters(const Point& a, const Point& b);
+
+/// Approximate geodesic distance in meters between two lon/lat
+/// geometries: Euclidean distance in degrees scaled by the local metric
+/// (cos-latitude corrected). Adequate for the regional extents of the
+/// fire-monitoring application.
+double GeodesicDistanceMeters(const Geometry& a, const Geometry& b);
+
+/// Affine geo-referencing transform mapping pixel (col, row) to world
+/// coordinates — the standard 6-parameter GDAL-style geotransform:
+///   x = origin_x + col * pixel_w + row * rot_x
+///   y = origin_y + col * rot_y   + row * pixel_h   (pixel_h < 0 for
+///                                                   north-up images)
+struct GeoTransform {
+  double origin_x = 0;
+  double origin_y = 0;
+  double pixel_w = 1;
+  double pixel_h = -1;
+  double rot_x = 0;
+  double rot_y = 0;
+
+  Point PixelToWorld(double col, double row) const;
+  /// Inverse mapping; InvalidArgument if the transform is singular.
+  Result<Point> WorldToPixel(const Point& world) const;
+};
+
+/// Applies `transform` to every vertex of `g`.
+Geometry TransformGeometry(const Geometry& g, const GeoTransform& transform);
+
+}  // namespace teleios::geo
+
+#endif  // TELEIOS_GEO_CRS_H_

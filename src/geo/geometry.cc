@@ -1,0 +1,261 @@
+#include "geo/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/wkt.h"
+
+namespace teleios::geo {
+
+Envelope Envelope::Empty() {
+  Envelope e;
+  e.min_x = e.min_y = std::numeric_limits<double>::infinity();
+  e.max_x = e.max_y = -std::numeric_limits<double>::infinity();
+  return e;
+}
+
+void Envelope::Expand(const Point& p) {
+  min_x = std::min(min_x, p.x);
+  min_y = std::min(min_y, p.y);
+  max_x = std::max(max_x, p.x);
+  max_y = std::max(max_y, p.y);
+}
+
+void Envelope::Expand(const Envelope& e) {
+  if (e.IsEmpty()) return;
+  min_x = std::min(min_x, e.min_x);
+  min_y = std::min(min_y, e.min_y);
+  max_x = std::max(max_x, e.max_x);
+  max_y = std::max(max_y, e.max_y);
+}
+
+bool Envelope::Intersects(const Envelope& other) const {
+  return !(other.min_x > max_x || other.max_x < min_x ||
+           other.min_y > max_y || other.max_y < min_y);
+}
+
+bool Envelope::Contains(const Point& p) const {
+  return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+}
+
+bool Envelope::Contains(const Envelope& other) const {
+  return other.min_x >= min_x && other.max_x <= max_x &&
+         other.min_y >= min_y && other.max_y <= max_y;
+}
+
+const char* GeometryKindName(GeometryKind k) {
+  switch (k) {
+    case GeometryKind::kEmpty:
+      return "EMPTY";
+    case GeometryKind::kPoint:
+      return "POINT";
+    case GeometryKind::kLineString:
+      return "LINESTRING";
+    case GeometryKind::kPolygon:
+      return "POLYGON";
+    case GeometryKind::kMultiPoint:
+      return "MULTIPOINT";
+    case GeometryKind::kMultiLineString:
+      return "MULTILINESTRING";
+    case GeometryKind::kMultiPolygon:
+      return "MULTIPOLYGON";
+  }
+  return "?";
+}
+
+Geometry Geometry::MakePoint(double x, double y) {
+  Geometry g;
+  g.kind_ = GeometryKind::kPoint;
+  g.points_.push_back({x, y});
+  return g;
+}
+
+Geometry Geometry::MakeMultiPoint(std::vector<Point> pts) {
+  Geometry g;
+  g.kind_ = pts.empty() ? GeometryKind::kEmpty : GeometryKind::kMultiPoint;
+  g.points_ = std::move(pts);
+  return g;
+}
+
+Geometry Geometry::MakeLineString(std::vector<Point> pts) {
+  Geometry g;
+  g.kind_ = GeometryKind::kLineString;
+  g.lines_.push_back({std::move(pts)});
+  return g;
+}
+
+Geometry Geometry::MakeMultiLineString(std::vector<LineString> lines) {
+  Geometry g;
+  g.kind_ =
+      lines.empty() ? GeometryKind::kEmpty : GeometryKind::kMultiLineString;
+  g.lines_ = std::move(lines);
+  return g;
+}
+
+Geometry Geometry::MakePolygon(Polygon poly) {
+  Geometry g;
+  g.kind_ = GeometryKind::kPolygon;
+  NormalizeOrientation(&poly);
+  g.polygons_.push_back(std::move(poly));
+  return g;
+}
+
+Geometry Geometry::MakeMultiPolygon(std::vector<Polygon> polys) {
+  Geometry g;
+  if (polys.empty()) return g;
+  if (polys.size() == 1) return MakePolygon(std::move(polys[0]));
+  g.kind_ = GeometryKind::kMultiPolygon;
+  for (Polygon& p : polys) {
+    NormalizeOrientation(&p);
+    g.polygons_.push_back(std::move(p));
+  }
+  return g;
+}
+
+Geometry Geometry::MakeBox(double min_x, double min_y, double max_x,
+                           double max_y) {
+  Polygon p;
+  p.outer = {{min_x, min_y}, {max_x, min_y}, {max_x, max_y}, {min_x, max_y}};
+  return MakePolygon(std::move(p));
+}
+
+bool Geometry::IsEmpty() const {
+  return kind_ == GeometryKind::kEmpty ||
+         (points_.empty() && lines_.empty() && polygons_.empty());
+}
+
+Envelope Geometry::GetEnvelope() const {
+  Envelope e = Envelope::Empty();
+  for (const Point& p : points_) e.Expand(p);
+  for (const LineString& l : lines_) {
+    for (const Point& p : l.points) e.Expand(p);
+  }
+  for (const Polygon& poly : polygons_) {
+    for (const Point& p : poly.outer) e.Expand(p);
+  }
+  return e;
+}
+
+double SignedRingArea(const Ring& ring) {
+  double area = 0;
+  size_t n = ring.size();
+  if (n < 3) return 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % n];
+    area += a.x * b.y - b.x * a.y;
+  }
+  return area / 2.0;
+}
+
+void NormalizeOrientation(Polygon* poly) {
+  if (SignedRingArea(poly->outer) < 0) {
+    std::reverse(poly->outer.begin(), poly->outer.end());
+  }
+  for (Ring& hole : poly->holes) {
+    if (SignedRingArea(hole) > 0) {
+      std::reverse(hole.begin(), hole.end());
+    }
+  }
+}
+
+double Geometry::Area() const {
+  double area = 0;
+  for (const Polygon& poly : polygons_) {
+    area += std::fabs(SignedRingArea(poly.outer));
+    for (const Ring& hole : poly.holes) {
+      area -= std::fabs(SignedRingArea(hole));
+    }
+  }
+  return area;
+}
+
+namespace {
+double RingLength(const Ring& ring, bool closed) {
+  double len = 0;
+  size_t n = ring.size();
+  if (n < 2) return 0;
+  size_t last = closed ? n : n - 1;
+  for (size_t i = 0; i < last; ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % n];
+    len += std::hypot(b.x - a.x, b.y - a.y);
+  }
+  return len;
+}
+}  // namespace
+
+double Geometry::Length() const {
+  double len = 0;
+  for (const LineString& l : lines_) len += RingLength(l.points, false);
+  for (const Polygon& poly : polygons_) {
+    len += RingLength(poly.outer, true);
+    for (const Ring& hole : poly.holes) len += RingLength(hole, true);
+  }
+  return len;
+}
+
+Point Geometry::Centroid() const {
+  if (!polygons_.empty()) {
+    // Area-weighted centroid over outer rings.
+    double cx = 0, cy = 0, total = 0;
+    for (const Polygon& poly : polygons_) {
+      const Ring& r = poly.outer;
+      size_t n = r.size();
+      double a = 0, x = 0, y = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const Point& p = r[i];
+        const Point& q = r[(i + 1) % n];
+        double cross = p.x * q.y - q.x * p.y;
+        a += cross;
+        x += (p.x + q.x) * cross;
+        y += (p.y + q.y) * cross;
+      }
+      if (a != 0) {
+        cx += x / 6.0;
+        cy += y / 6.0;
+        total += a / 2.0;
+      }
+    }
+    if (total != 0) return {cx / total, cy / total};
+  }
+  // Vertex average fallback.
+  double sx = 0, sy = 0;
+  size_t count = 0;
+  auto add = [&](const Point& p) {
+    sx += p.x;
+    sy += p.y;
+    ++count;
+  };
+  for (const Point& p : points_) add(p);
+  for (const LineString& l : lines_) {
+    for (const Point& p : l.points) add(p);
+  }
+  for (const Polygon& poly : polygons_) {
+    for (const Point& p : poly.outer) add(p);
+  }
+  if (count == 0) return {0, 0};
+  return {sx / static_cast<double>(count), sy / static_cast<double>(count)};
+}
+
+size_t Geometry::NumGeometries() const {
+  switch (kind_) {
+    case GeometryKind::kEmpty:
+      return 0;
+    case GeometryKind::kPoint:
+    case GeometryKind::kMultiPoint:
+      return points_.size();
+    case GeometryKind::kLineString:
+    case GeometryKind::kMultiLineString:
+      return lines_.size();
+    case GeometryKind::kPolygon:
+    case GeometryKind::kMultiPolygon:
+      return polygons_.size();
+  }
+  return 0;
+}
+
+std::string Geometry::ToString() const { return WriteWkt(*this); }
+
+}  // namespace teleios::geo

@@ -1,0 +1,120 @@
+#ifndef TELEIOS_GEO_GEOMETRY_H_
+#define TELEIOS_GEO_GEOMETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace teleios::geo {
+
+struct Point {
+  double x = 0;
+  double y = 0;
+};
+
+inline bool operator==(const Point& a, const Point& b) {
+  return a.x == b.x && a.y == b.y;
+}
+
+/// Axis-aligned bounding box.
+struct Envelope {
+  double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+
+  static Envelope Of(const Point& p) { return {p.x, p.y, p.x, p.y}; }
+  static Envelope Empty();
+
+  bool IsEmpty() const { return min_x > max_x; }
+  void Expand(const Point& p);
+  void Expand(const Envelope& e);
+  bool Intersects(const Envelope& other) const;
+  bool Contains(const Point& p) const;
+  bool Contains(const Envelope& other) const;
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+  double Area() const { return IsEmpty() ? 0 : Width() * Height(); }
+  Point Center() const { return {(min_x + max_x) / 2, (min_y + max_y) / 2}; }
+};
+
+/// A ring is a closed sequence of vertices; the closing vertex is NOT
+/// duplicated in storage.
+using Ring = std::vector<Point>;
+
+struct LineString {
+  std::vector<Point> points;
+};
+
+struct Polygon {
+  Ring outer;
+  std::vector<Ring> holes;
+};
+
+enum class GeometryKind {
+  kEmpty,
+  kPoint,
+  kLineString,
+  kPolygon,
+  kMultiPoint,
+  kMultiLineString,
+  kMultiPolygon,
+};
+
+const char* GeometryKindName(GeometryKind k);
+
+/// An OGC simple-features geometry (the value space of stRDF WKT
+/// literals). Multi variants reuse the same payload vectors.
+class Geometry {
+ public:
+  Geometry() : kind_(GeometryKind::kEmpty) {}
+
+  static Geometry MakePoint(double x, double y);
+  static Geometry MakeMultiPoint(std::vector<Point> pts);
+  static Geometry MakeLineString(std::vector<Point> pts);
+  static Geometry MakeMultiLineString(std::vector<LineString> lines);
+  static Geometry MakePolygon(Polygon poly);
+  static Geometry MakeMultiPolygon(std::vector<Polygon> polys);
+  /// Convenience: axis-aligned rectangle polygon.
+  static Geometry MakeBox(double min_x, double min_y, double max_x,
+                          double max_y);
+
+  GeometryKind kind() const { return kind_; }
+  bool IsEmpty() const;
+
+  const std::vector<Point>& points() const { return points_; }
+  const std::vector<LineString>& lines() const { return lines_; }
+  const std::vector<Polygon>& polygons() const { return polygons_; }
+
+  /// The single point of a kPoint geometry.
+  const Point& AsPoint() const { return points_[0]; }
+
+  Envelope GetEnvelope() const;
+
+  /// Total area (polygons only; holes subtracted).
+  double Area() const;
+  /// Total length of linework (perimeter for polygons).
+  double Length() const;
+  /// Area-weighted centroid (vertex average for points/lines).
+  Point Centroid() const;
+
+  /// Number of component geometries (1 for simple kinds).
+  size_t NumGeometries() const;
+
+  std::string ToString() const;  // WKT (same as wkt.h WriteWkt)
+
+ private:
+  friend class GeometryBuilder;
+  GeometryKind kind_;
+  std::vector<Point> points_;
+  std::vector<LineString> lines_;
+  std::vector<Polygon> polygons_;
+};
+
+/// Signed area of a ring (positive = counter-clockwise).
+double SignedRingArea(const Ring& ring);
+
+/// Ensures outer rings are CCW and holes CW (OGC orientation).
+void NormalizeOrientation(Polygon* poly);
+
+}  // namespace teleios::geo
+
+#endif  // TELEIOS_GEO_GEOMETRY_H_

@@ -1,0 +1,156 @@
+#include "geo/polygonize.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "geo/predicates.h"
+
+namespace teleios::geo {
+
+namespace {
+
+/// Integer grid vertex.
+struct V {
+  int x;
+  int y;
+  bool operator<(const V& o) const {
+    return x < o.x || (x == o.x && y < o.y);
+  }
+  bool operator==(const V& o) const { return x == o.x && y == o.y; }
+};
+
+struct Edge {
+  V from;
+  V to;
+  bool used = false;
+};
+
+/// Direction index: 0=+x, 1=+y, 2=-x, 3=-y.
+int DirOf(const V& from, const V& to) {
+  if (to.x > from.x) return 0;
+  if (to.y > from.y) return 1;
+  if (to.x < from.x) return 2;
+  return 3;
+}
+
+void CollapseCollinear(Ring* ring) {
+  if (ring->size() < 4) return;
+  Ring out;
+  size_t n = ring->size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& prev = (*ring)[(i + n - 1) % n];
+    const Point& cur = (*ring)[i];
+    const Point& next = (*ring)[(i + 1) % n];
+    double cross = (cur.x - prev.x) * (next.y - cur.y) -
+                   (cur.y - prev.y) * (next.x - cur.x);
+    if (cross != 0) out.push_back(cur);
+  }
+  if (out.size() >= 3) *ring = std::move(out);
+}
+
+}  // namespace
+
+std::vector<Polygon> PolygonizeMask(const std::vector<uint8_t>& mask,
+                                    int width, int height) {
+  auto at = [&](int c, int r) -> bool {
+    if (c < 0 || r < 0 || c >= width || r >= height) return false;
+    return mask[static_cast<size_t>(r) * width + c] != 0;
+  };
+
+  // Collect directed boundary edges with the interior on the left (in
+  // pixel space with y growing down).
+  std::vector<Edge> edges;
+  for (int r = 0; r < height; ++r) {
+    for (int c = 0; c < width; ++c) {
+      if (!at(c, r)) continue;
+      if (!at(c, r - 1)) edges.push_back({{c, r}, {c + 1, r}});
+      if (!at(c + 1, r)) edges.push_back({{c + 1, r}, {c + 1, r + 1}});
+      if (!at(c, r + 1)) edges.push_back({{c + 1, r + 1}, {c, r + 1}});
+      if (!at(c - 1, r)) edges.push_back({{c, r + 1}, {c, r}});
+    }
+  }
+  // Index edges by start vertex.
+  std::multimap<V, size_t> by_start;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    by_start.emplace(edges[i].from, i);
+  }
+
+  std::vector<Ring> rings;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].used) continue;
+    Ring ring;
+    size_t cur = i;
+    while (!edges[cur].used) {
+      edges[cur].used = true;
+      ring.push_back({static_cast<double>(edges[cur].from.x),
+                      static_cast<double>(edges[cur].from.y)});
+      V next_v = edges[cur].to;
+      int in_dir = DirOf(edges[cur].from, edges[cur].to);
+      // Candidates out of next_v; prefer right turn, then straight, then
+      // left (keeps diagonally-touching regions separate).
+      auto [lo, hi] = by_start.equal_range(next_v);
+      size_t best = SIZE_MAX;
+      int best_pref = 4;
+      for (auto it = lo; it != hi; ++it) {
+        if (edges[it->second].used) continue;
+        int out_dir = DirOf(edges[it->second].from, edges[it->second].to);
+        // Prefer the turn that follows the same cell's boundary
+        // ((in+1) mod 4 with these edge orientations), which keeps
+        // diagonally-touching regions as separate rings.
+        int pref;
+        if (out_dir == (in_dir + 1) % 4) pref = 0;
+        else if (out_dir == in_dir) pref = 1;            // straight
+        else if (out_dir == (in_dir + 3) % 4) pref = 2;  // other turn
+        else pref = 3;                                   // u-turn
+        if (pref < best_pref) {
+          best_pref = pref;
+          best = it->second;
+        }
+      }
+      if (best == SIZE_MAX) break;  // ring closed
+      cur = best;
+    }
+    CollapseCollinear(&ring);
+    if (ring.size() >= 3) rings.push_back(std::move(ring));
+  }
+
+  // Outer rings (positive shoelace) vs holes; attach each hole to the
+  // smallest containing outer ring.
+  std::vector<Polygon> polys;
+  std::vector<Ring> holes;
+  for (Ring& r : rings) {
+    if (SignedRingArea(r) > 0) {
+      polys.push_back({std::move(r), {}});
+    } else {
+      holes.push_back(std::move(r));
+    }
+  }
+  for (Ring& h : holes) {
+    Point probe = h[0];
+    // A hole vertex lies on its own boundary; probe just inside using the
+    // ring centroid of the hole's bounding box midpoint fallback.
+    double cx = 0, cy = 0;
+    for (const Point& p : h) {
+      cx += p.x;
+      cy += p.y;
+    }
+    probe = {cx / static_cast<double>(h.size()),
+             cy / static_cast<double>(h.size())};
+    Polygon* best = nullptr;
+    double best_area = 0;
+    for (Polygon& poly : polys) {
+      if (PointInRing(probe, poly.outer)) {
+        double area = SignedRingArea(poly.outer);
+        if (best == nullptr || area < best_area) {
+          best = &poly;
+          best_area = area;
+        }
+      }
+    }
+    if (best != nullptr) best->holes.push_back(std::move(h));
+  }
+  return polys;
+}
+
+}  // namespace teleios::geo

@@ -1,0 +1,24 @@
+#ifndef TELEIOS_GEO_POLYGONIZE_H_
+#define TELEIOS_GEO_POLYGONIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace teleios::geo {
+
+/// Traces the region boundaries of a binary mask (row-major, width x
+/// height, nonzero = inside) into rectilinear polygons in pixel space
+/// (cell (c, r) spans [c, c+1] x [r, r+1]).
+///
+/// Regions are 4-connected; diagonally touching cells become separate
+/// polygons. Outer rings come out CCW (positive shoelace), holes CW, and
+/// collinear vertices are collapsed. This is the polygonization step of
+/// the NOA hotspot chain and the coastline extractor.
+std::vector<Polygon> PolygonizeMask(const std::vector<uint8_t>& mask,
+                                    int width, int height);
+
+}  // namespace teleios::geo
+
+#endif  // TELEIOS_GEO_POLYGONIZE_H_

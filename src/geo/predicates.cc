@@ -1,0 +1,327 @@
+#include "geo/predicates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace teleios::geo {
+
+namespace {
+constexpr double kEps = 1e-12;
+
+/// All boundary segments of a geometry as point pairs.
+void CollectSegments(const Geometry& g,
+                     std::vector<std::pair<Point, Point>>* segs) {
+  for (const LineString& l : g.lines()) {
+    for (size_t i = 0; i + 1 < l.points.size(); ++i) {
+      segs->emplace_back(l.points[i], l.points[i + 1]);
+    }
+  }
+  auto add_ring = [&](const Ring& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      segs->emplace_back(r[i], r[(i + 1) % r.size()]);
+    }
+  };
+  for (const Polygon& p : g.polygons()) {
+    add_ring(p.outer);
+    for (const Ring& h : p.holes) add_ring(h);
+  }
+}
+
+void CollectVertices(const Geometry& g, std::vector<Point>* pts) {
+  for (const Point& p : g.points()) pts->push_back(p);
+  for (const LineString& l : g.lines()) {
+    for (const Point& p : l.points) pts->push_back(p);
+  }
+  for (const Polygon& poly : g.polygons()) {
+    for (const Point& p : poly.outer) pts->push_back(p);
+    for (const Ring& h : poly.holes) {
+      for (const Point& p : h) pts->push_back(p);
+    }
+  }
+}
+
+bool AnyPointInPolygons(const Geometry& pts_geom, const Geometry& poly_geom) {
+  std::vector<Point> pts;
+  CollectVertices(pts_geom, &pts);
+  for (const Point& p : pts) {
+    for (const Polygon& poly : poly_geom.polygons()) {
+      if (PointInPolygon(p, poly)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2) {
+  double d1 = Cross(b1, b2, a1);
+  double d2 = Cross(b1, b2, a2);
+  double d3 = Cross(a1, a2, b1);
+  double d4 = Cross(a1, a2, b2);
+  if (((d1 > kEps && d2 < -kEps) || (d1 < -kEps && d2 > kEps)) &&
+      ((d3 > kEps && d4 < -kEps) || (d3 < -kEps && d4 > kEps))) {
+    return true;
+  }
+  auto on_segment = [](const Point& p, const Point& q, const Point& r) {
+    return std::fabs(Cross(p, q, r)) <= kEps &&
+           r.x >= std::min(p.x, q.x) - kEps &&
+           r.x <= std::max(p.x, q.x) + kEps &&
+           r.y >= std::min(p.y, q.y) - kEps &&
+           r.y <= std::max(p.y, q.y) + kEps;
+  };
+  return on_segment(b1, b2, a1) || on_segment(b1, b2, a2) ||
+         on_segment(a1, a2, b1) || on_segment(a1, a2, b2);
+}
+
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  double dx = b.x - a.x;
+  double dy = b.y - a.y;
+  double len2 = dx * dx + dy * dy;
+  if (len2 <= kEps) return std::hypot(p.x - a.x, p.y - a.y);
+  double t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return std::hypot(p.x - (a.x + t * dx), p.y - (a.y + t * dy));
+}
+
+double SegmentSegmentDistance(const Point& a1, const Point& a2,
+                              const Point& b1, const Point& b2) {
+  if (SegmentsIntersect(a1, a2, b1, b2)) return 0.0;
+  return std::min(std::min(PointSegmentDistance(a1, b1, b2),
+                           PointSegmentDistance(a2, b1, b2)),
+                  std::min(PointSegmentDistance(b1, a1, a2),
+                           PointSegmentDistance(b2, a1, a2)));
+}
+
+bool PointInRing(const Point& p, const Ring& ring) {
+  size_t n = ring.size();
+  if (n < 3) return false;
+  // Boundary counts as inside.
+  for (size_t i = 0; i < n; ++i) {
+    if (PointSegmentDistance(p, ring[i], ring[(i + 1) % n]) <= 1e-9) {
+      return true;
+    }
+  }
+  bool inside = false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = ring[i];
+    const Point& b = ring[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      double x = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool PointInPolygon(const Point& p, const Polygon& poly) {
+  if (!PointInRing(p, poly.outer)) return false;
+  for (const Ring& hole : poly.holes) {
+    // Strictly inside a hole => outside; points on the hole boundary are
+    // on the polygon boundary and count as inside.
+    bool in_hole = PointInRing(p, hole);
+    if (in_hole) {
+      bool on_edge = false;
+      size_t n = hole.size();
+      for (size_t i = 0; i < n; ++i) {
+        if (PointSegmentDistance(p, hole[i], hole[(i + 1) % n]) <= 1e-9) {
+          on_edge = true;
+          break;
+        }
+      }
+      if (!on_edge) return false;
+    }
+  }
+  return true;
+}
+
+bool Intersects(const Geometry& a, const Geometry& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return false;
+  if (!a.GetEnvelope().Intersects(b.GetEnvelope())) return false;
+
+  // Point vs anything.
+  for (const Point& p : a.points()) {
+    for (const Point& q : b.points()) {
+      if (std::fabs(p.x - q.x) <= 1e-9 && std::fabs(p.y - q.y) <= 1e-9) {
+        return true;
+      }
+    }
+    std::vector<std::pair<Point, Point>> segs;
+    CollectSegments(b, &segs);
+    for (const auto& [s1, s2] : segs) {
+      if (PointSegmentDistance(p, s1, s2) <= 1e-9) return true;
+    }
+    for (const Polygon& poly : b.polygons()) {
+      if (PointInPolygon(p, poly)) return true;
+    }
+  }
+  for (const Point& q : b.points()) {
+    std::vector<std::pair<Point, Point>> segs;
+    CollectSegments(a, &segs);
+    for (const auto& [s1, s2] : segs) {
+      if (PointSegmentDistance(q, s1, s2) <= 1e-9) return true;
+    }
+    for (const Polygon& poly : a.polygons()) {
+      if (PointInPolygon(q, poly)) return true;
+    }
+  }
+
+  // Boundary/boundary.
+  std::vector<std::pair<Point, Point>> sa, sb;
+  CollectSegments(a, &sa);
+  CollectSegments(b, &sb);
+  for (const auto& [p1, p2] : sa) {
+    for (const auto& [q1, q2] : sb) {
+      if (SegmentsIntersect(p1, p2, q1, q2)) return true;
+    }
+  }
+
+  // Containment without boundary contact.
+  if (!a.polygons().empty() && AnyPointInPolygons(b, a)) return true;
+  if (!b.polygons().empty() && AnyPointInPolygons(a, b)) return true;
+  return false;
+}
+
+bool Disjoint(const Geometry& a, const Geometry& b) {
+  return !Intersects(a, b);
+}
+
+bool Contains(const Geometry& a, const Geometry& b) {
+  if (a.polygons().empty() || b.IsEmpty()) return false;
+  // Every vertex of b inside a.
+  std::vector<Point> pts;
+  CollectVertices(b, &pts);
+  for (const Point& p : pts) {
+    bool inside = false;
+    for (const Polygon& poly : a.polygons()) {
+      if (PointInPolygon(p, poly)) {
+        inside = true;
+        break;
+      }
+    }
+    if (!inside) return false;
+  }
+  // No boundary of b may properly cross a's boundary. Touching is fine;
+  // we test crossing by checking segment midpoints stay inside.
+  std::vector<std::pair<Point, Point>> sa, sb;
+  CollectSegments(a, &sa);
+  CollectSegments(b, &sb);
+  for (const auto& [q1, q2] : sb) {
+    for (const auto& [p1, p2] : sa) {
+      if (SegmentsIntersect(p1, p2, q1, q2)) {
+        Point mid{(q1.x + q2.x) / 2, (q1.y + q2.y) / 2};
+        bool mid_in = false;
+        for (const Polygon& poly : a.polygons()) {
+          if (PointInPolygon(mid, poly)) {
+            mid_in = true;
+            break;
+          }
+        }
+        if (!mid_in) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Within(const Geometry& a, const Geometry& b) { return Contains(b, a); }
+
+double Distance(const Geometry& a, const Geometry& b) {
+  if (a.IsEmpty() || b.IsEmpty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (Intersects(a, b)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<Point> pa, pb;
+  CollectVertices(a, &pa);
+  CollectVertices(b, &pb);
+  std::vector<std::pair<Point, Point>> sa, sb;
+  CollectSegments(a, &sa);
+  CollectSegments(b, &sb);
+  for (const Point& p : pa) {
+    for (const Point& q : pb) {
+      best = std::min(best, std::hypot(p.x - q.x, p.y - q.y));
+    }
+    for (const auto& [q1, q2] : sb) {
+      best = std::min(best, PointSegmentDistance(p, q1, q2));
+    }
+  }
+  for (const Point& q : pb) {
+    for (const auto& [p1, p2] : sa) {
+      best = std::min(best, PointSegmentDistance(q, p1, p2));
+    }
+  }
+  for (const auto& [p1, p2] : sa) {
+    for (const auto& [q1, q2] : sb) {
+      best = std::min(best, SegmentSegmentDistance(p1, p2, q1, q2));
+    }
+  }
+  return best;
+}
+
+Geometry ConvexHull(const Geometry& g) {
+  std::vector<Point> pts;
+  CollectVertices(g, &pts);
+  if (pts.size() < 3) return Geometry::MakeMultiPoint(std::move(pts));
+  std::sort(pts.begin(), pts.end(), [](const Point& a, const Point& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  if (pts.size() < 3) return Geometry::MakeMultiPoint(std::move(pts));
+  std::vector<Point> hull(2 * pts.size());
+  size_t k = 0;
+  for (const Point& p : pts) {  // lower hull
+    while (k >= 2 && Cross(hull[k - 2], hull[k - 1], p) <= 0) --k;
+    hull[k++] = p;
+  }
+  size_t lower = k + 1;
+  for (size_t i = pts.size() - 1; i-- > 0;) {  // upper hull
+    const Point& p = pts[i];
+    while (k >= lower && Cross(hull[k - 2], hull[k - 1], p) <= 0) --k;
+    hull[k++] = p;
+  }
+  hull.resize(k - 1);  // last point == first point
+  Polygon poly;
+  poly.outer = std::move(hull);
+  return Geometry::MakePolygon(std::move(poly));
+}
+
+Geometry Buffer(const Geometry& g, double distance, int segments) {
+  if (g.IsEmpty() || distance <= 0) return g;
+  auto circle_points = [&](const Point& c, std::vector<Point>* out) {
+    for (int i = 0; i < segments; ++i) {
+      double t = 2.0 * M_PI * static_cast<double>(i) /
+                 static_cast<double>(segments);
+      out->push_back({c.x + distance * std::cos(t),
+                      c.y + distance * std::sin(t)});
+    }
+  };
+  // Exact circle for a single point.
+  if (g.kind() == GeometryKind::kPoint) {
+    std::vector<Point> ring;
+    circle_points(g.AsPoint(), &ring);
+    Polygon poly;
+    poly.outer = std::move(ring);
+    return Geometry::MakePolygon(std::move(poly));
+  }
+  // Otherwise: hull of circles around vertices and sampled edge points —
+  // a convex outer approximation (documented in the header).
+  std::vector<Point> cloud;
+  std::vector<Point> vertices;
+  CollectVertices(g, &vertices);
+  for (const Point& v : vertices) circle_points(v, &cloud);
+  std::vector<std::pair<Point, Point>> segs;
+  CollectSegments(g, &segs);
+  for (const auto& [a, b] : segs) {
+    Point mid{(a.x + b.x) / 2, (a.y + b.y) / 2};
+    circle_points(mid, &cloud);
+  }
+  return ConvexHull(Geometry::MakeMultiPoint(std::move(cloud)));
+}
+
+}  // namespace teleios::geo

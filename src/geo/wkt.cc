@@ -1,0 +1,313 @@
+#include "geo/wkt.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace teleios::geo {
+
+namespace {
+
+/// Minimal recursive-descent WKT reader.
+class WktReader {
+ public:
+  explicit WktReader(const std::string& text) : text_(text) {}
+
+  Result<Geometry> Read() {
+    TELEIOS_ASSIGN_OR_RETURN(std::string tag, ReadWord());
+    std::string kind = StrLower(tag);
+    SkipSpace();
+    bool empty = TryWord("EMPTY");
+    if (kind == "geometrycollection") {
+      if (empty) return Geometry();
+      return Status::ParseError(
+          "non-empty GEOMETRYCOLLECTION is not supported");
+    }
+    if (kind == "point") {
+      if (empty) return Geometry();
+      TELEIOS_ASSIGN_OR_RETURN(Point p, ReadPointParens());
+      return Geometry::MakePoint(p.x, p.y);
+    }
+    if (kind == "linestring") {
+      if (empty) return Geometry();
+      TELEIOS_ASSIGN_OR_RETURN(std::vector<Point> pts, ReadPointList());
+      return Geometry::MakeLineString(std::move(pts));
+    }
+    if (kind == "polygon") {
+      if (empty) return Geometry();
+      TELEIOS_ASSIGN_OR_RETURN(Polygon poly, ReadPolygonBody());
+      return Geometry::MakePolygon(std::move(poly));
+    }
+    if (kind == "multipoint") {
+      if (empty) return Geometry();
+      TELEIOS_RETURN_IF_ERROR(Expect('('));
+      std::vector<Point> pts;
+      do {
+        SkipSpace();
+        if (Peek() == '(') {
+          TELEIOS_ASSIGN_OR_RETURN(Point p, ReadPointParens());
+          pts.push_back(p);
+        } else {
+          TELEIOS_ASSIGN_OR_RETURN(Point p, ReadCoord());
+          pts.push_back(p);
+        }
+      } while (TryChar(','));
+      TELEIOS_RETURN_IF_ERROR(Expect(')'));
+      return Geometry::MakeMultiPoint(std::move(pts));
+    }
+    if (kind == "multilinestring") {
+      if (empty) return Geometry();
+      TELEIOS_RETURN_IF_ERROR(Expect('('));
+      std::vector<LineString> lines;
+      do {
+        TELEIOS_ASSIGN_OR_RETURN(std::vector<Point> pts, ReadPointList());
+        lines.push_back({std::move(pts)});
+      } while (TryChar(','));
+      TELEIOS_RETURN_IF_ERROR(Expect(')'));
+      return Geometry::MakeMultiLineString(std::move(lines));
+    }
+    if (kind == "multipolygon") {
+      if (empty) return Geometry();
+      TELEIOS_RETURN_IF_ERROR(Expect('('));
+      std::vector<Polygon> polys;
+      do {
+        TELEIOS_ASSIGN_OR_RETURN(Polygon poly, ReadPolygonBody());
+        polys.push_back(std::move(poly));
+      } while (TryChar(','));
+      TELEIOS_RETURN_IF_ERROR(Expect(')'));
+      return Geometry::MakeMultiPolygon(std::move(polys));
+    }
+    return Status::ParseError("unknown WKT tag '" + tag + "'");
+  }
+
+  Status CheckDone() {
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing WKT input at offset " +
+                                std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool TryChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!TryChar(c)) {
+      return Status::ParseError(std::string("expected '") + c +
+                                "' in WKT at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ReadWord() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("expected WKT keyword at offset " +
+                                std::to_string(pos_));
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  bool TryWord(const std::string& word) {
+    SkipSpace();
+    size_t save = pos_;
+    auto w = ReadWord();
+    if (w.ok() && StrEqualsIgnoreCase(*w, word)) return true;
+    pos_ = save;
+    return false;
+  }
+
+  Result<Point> ReadCoord() {
+    SkipSpace();
+    Point p;
+    TELEIOS_ASSIGN_OR_RETURN(p.x, ReadNumber());
+    TELEIOS_ASSIGN_OR_RETURN(p.y, ReadNumber());
+    return p;
+  }
+
+  Result<double> ReadNumber() {
+    SkipSpace();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin) {
+      return Status::ParseError("expected number in WKT at offset " +
+                                std::to_string(pos_));
+    }
+    pos_ += static_cast<size_t>(end - begin);
+    return v;
+  }
+
+  Result<Point> ReadPointParens() {
+    TELEIOS_RETURN_IF_ERROR(Expect('('));
+    TELEIOS_ASSIGN_OR_RETURN(Point p, ReadCoord());
+    TELEIOS_RETURN_IF_ERROR(Expect(')'));
+    return p;
+  }
+
+  Result<std::vector<Point>> ReadPointList() {
+    TELEIOS_RETURN_IF_ERROR(Expect('('));
+    std::vector<Point> pts;
+    do {
+      TELEIOS_ASSIGN_OR_RETURN(Point p, ReadCoord());
+      pts.push_back(p);
+    } while (TryChar(','));
+    TELEIOS_RETURN_IF_ERROR(Expect(')'));
+    return pts;
+  }
+
+  /// Ring list: drops the duplicated closing vertex.
+  Result<Ring> ReadRing() {
+    TELEIOS_ASSIGN_OR_RETURN(Ring ring, ReadPointList());
+    if (ring.size() >= 2 && ring.front() == ring.back()) {
+      ring.pop_back();
+    }
+    if (ring.size() < 3) {
+      return Status::ParseError("polygon ring needs >= 3 distinct points");
+    }
+    return ring;
+  }
+
+  Result<Polygon> ReadPolygonBody() {
+    TELEIOS_RETURN_IF_ERROR(Expect('('));
+    Polygon poly;
+    TELEIOS_ASSIGN_OR_RETURN(poly.outer, ReadRing());
+    while (TryChar(',')) {
+      TELEIOS_ASSIGN_OR_RETURN(Ring hole, ReadRing());
+      poly.holes.push_back(std::move(hole));
+    }
+    TELEIOS_RETURN_IF_ERROR(Expect(')'));
+    return poly;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void WriteCoord(std::ostringstream& os, const Point& p) {
+  os << StrFormat("%.9g %.9g", p.x, p.y);
+}
+
+void WriteRing(std::ostringstream& os, const Ring& ring) {
+  os << "(";
+  for (size_t i = 0; i < ring.size(); ++i) {
+    if (i) os << ", ";
+    WriteCoord(os, ring[i]);
+  }
+  if (!ring.empty()) {
+    os << ", ";
+    WriteCoord(os, ring[0]);  // close the ring
+  }
+  os << ")";
+}
+
+void WritePolygonBody(std::ostringstream& os, const Polygon& poly) {
+  os << "(";
+  WriteRing(os, poly.outer);
+  for (const Ring& hole : poly.holes) {
+    os << ", ";
+    WriteRing(os, hole);
+  }
+  os << ")";
+}
+
+}  // namespace
+
+Result<Geometry> ParseWkt(const std::string& wkt) {
+  WktReader reader(wkt);
+  TELEIOS_ASSIGN_OR_RETURN(Geometry g, reader.Read());
+  TELEIOS_RETURN_IF_ERROR(reader.CheckDone());
+  return g;
+}
+
+std::string WriteWkt(const Geometry& geometry) {
+  std::ostringstream os;
+  switch (geometry.kind()) {
+    case GeometryKind::kEmpty:
+      return "GEOMETRYCOLLECTION EMPTY";
+    case GeometryKind::kPoint:
+      os << "POINT (";
+      WriteCoord(os, geometry.points()[0]);
+      os << ")";
+      return os.str();
+    case GeometryKind::kMultiPoint: {
+      os << "MULTIPOINT (";
+      for (size_t i = 0; i < geometry.points().size(); ++i) {
+        if (i) os << ", ";
+        os << "(";
+        WriteCoord(os, geometry.points()[i]);
+        os << ")";
+      }
+      os << ")";
+      return os.str();
+    }
+    case GeometryKind::kLineString: {
+      os << "LINESTRING (";
+      const auto& pts = geometry.lines()[0].points;
+      for (size_t i = 0; i < pts.size(); ++i) {
+        if (i) os << ", ";
+        WriteCoord(os, pts[i]);
+      }
+      os << ")";
+      return os.str();
+    }
+    case GeometryKind::kMultiLineString: {
+      os << "MULTILINESTRING (";
+      for (size_t l = 0; l < geometry.lines().size(); ++l) {
+        if (l) os << ", ";
+        os << "(";
+        const auto& pts = geometry.lines()[l].points;
+        for (size_t i = 0; i < pts.size(); ++i) {
+          if (i) os << ", ";
+          WriteCoord(os, pts[i]);
+        }
+        os << ")";
+      }
+      os << ")";
+      return os.str();
+    }
+    case GeometryKind::kPolygon:
+      os << "POLYGON ";
+      WritePolygonBody(os, geometry.polygons()[0]);
+      return os.str();
+    case GeometryKind::kMultiPolygon: {
+      os << "MULTIPOLYGON (";
+      for (size_t i = 0; i < geometry.polygons().size(); ++i) {
+        if (i) os << ", ";
+        WritePolygonBody(os, geometry.polygons()[i]);
+      }
+      os << ")";
+      return os.str();
+    }
+  }
+  return "GEOMETRYCOLLECTION EMPTY";
+}
+
+}  // namespace teleios::geo

@@ -1,0 +1,21 @@
+#ifndef TELEIOS_GEO_WKT_H_
+#define TELEIOS_GEO_WKT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "geo/geometry.h"
+
+namespace teleios::geo {
+
+/// Parses an OGC Well-Known Text geometry. Supported: POINT, LINESTRING,
+/// POLYGON (with holes), MULTIPOINT, MULTILINESTRING, MULTIPOLYGON, and
+/// the EMPTY variants. Closing vertices of rings are dropped on input.
+Result<Geometry> ParseWkt(const std::string& wkt);
+
+/// Serializes a geometry to WKT (rings re-closed on output).
+std::string WriteWkt(const Geometry& geometry);
+
+}  // namespace teleios::geo
+
+#endif  // TELEIOS_GEO_WKT_H_

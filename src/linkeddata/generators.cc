@@ -1,0 +1,210 @@
+#include "linkeddata/generators.h"
+
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+#include "geo/clip.h"
+#include "geo/wkt.h"
+
+namespace teleios::linkeddata {
+
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 1) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+  }
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Deterministic Greek-ish place names.
+std::string PlaceName(Rng* rng) {
+  static const char* kStems[] = {"Kala",  "Mega",  "Paleo", "Neo",
+                                 "Argo",  "Trip",  "Spar",  "Koro",
+                                 "Pylo",  "Olym",  "Mess",  "Arka"};
+  static const char* kSuffixes[] = {"mata", "polis", "chora", "kastro",
+                                    "nisi", "li",    "tani",  "thia"};
+  return std::string(kStems[rng->Next() % 12]) + kSuffixes[rng->Next() % 8];
+}
+
+/// Picks `count` distinct land pixels, keeping a margin from the border.
+std::vector<geo::Point> LandPoints(const eo::Scene& scene, int count,
+                                   Rng* rng) {
+  std::vector<geo::Point> pts;
+  int attempts = 0;
+  while (static_cast<int>(pts.size()) < count && attempts < 20000) {
+    ++attempts;
+    int c = 2 + static_cast<int>(rng->Uniform() * (scene.spec.width - 4));
+    int r = 2 + static_cast<int>(rng->Uniform() * (scene.spec.height - 4));
+    if (!scene.landmask[static_cast<size_t>(r) * scene.spec.width + c]) {
+      continue;
+    }
+    pts.push_back(scene.PixelCenter(c, r));
+  }
+  return pts;
+}
+
+std::string Prologue() {
+  return "@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .\n"
+         "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+         "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+         "@prefix strdf: <http://strdf.di.uoa.gr/ontology#> .\n"
+         "@prefix geonames: <http://www.geonames.org/ontology#> .\n"
+         "@prefix dbo: <http://dbpedia.org/ontology/> .\n"
+         "@prefix dbr: <http://dbpedia.org/resource/> .\n"
+         "@prefix lgd: <http://linkedgeodata.org/ontology/> .\n"
+         "@prefix noa: "
+         "<http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> .\n\n";
+}
+
+std::string WktLiteral(const geo::Geometry& g) {
+  return "\"" + geo::WriteWkt(g) + "\"^^strdf:WKT";
+}
+
+}  // namespace
+
+Result<std::string> GenerateTowns(const eo::Scene& scene, int count,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::ostringstream os;
+  os << Prologue();
+  std::vector<geo::Point> pts = LandPoints(scene, count, &rng);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    std::string name = PlaceName(&rng);
+    os << "<http://sws.geonames.org/t" << i << "/> a geonames:Feature ;\n"
+       << "    geonames:name \"" << name << "\" ;\n"
+       << "    geonames:featureCode \"P.PPL\" ;\n"
+       << "    geonames:population "
+       << 500 + static_cast<int64_t>(rng.Uniform() * 120000) << " ;\n"
+       << "    strdf:hasGeometry "
+       << WktLiteral(geo::Geometry::MakePoint(pts[i].x, pts[i].y)) << " .\n";
+  }
+  return os.str();
+}
+
+Result<std::string> GenerateArchaeologicalSites(const eo::Scene& scene,
+                                                int count, uint64_t seed) {
+  Rng rng(seed * 1337 + 5);
+  std::ostringstream os;
+  os << Prologue();
+  static const char* kSites[] = {"Temple", "Theatre", "Agora",  "Acropolis",
+                                 "Stadium", "Tholos",  "Palace", "Sanctuary"};
+  std::vector<geo::Point> pts = LandPoints(scene, count, &rng);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    std::string name = std::string(kSites[rng.Next() % 8]) + "_of_" +
+                       PlaceName(&rng);
+    os << "dbr:" << name << "_" << i << " a dbo:ArchaeologicalSite ;\n"
+       << "    rdfs:label \"" << name << "\" ;\n"
+       << "    strdf:hasGeometry "
+       << WktLiteral(geo::Geometry::MakePoint(pts[i].x, pts[i].y)) << " .\n";
+  }
+  return os.str();
+}
+
+Result<std::string> GenerateRoads(const eo::Scene& scene, int count,
+                                  uint64_t seed) {
+  Rng rng(seed * 77 + 13);
+  std::ostringstream os;
+  os << Prologue();
+  std::vector<geo::Point> nodes = LandPoints(scene, count + 1, &rng);
+  static const char* kTypes[] = {"motorway", "primary", "secondary",
+                                 "tertiary"};
+  for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+    // Slightly bent two-segment polyline between consecutive points.
+    geo::Point a = nodes[i];
+    geo::Point b = nodes[i + 1];
+    geo::Point mid{(a.x + b.x) / 2 + (rng.Uniform() - 0.5) * 0.05,
+                   (a.y + b.y) / 2 + (rng.Uniform() - 0.5) * 0.05};
+    geo::Geometry road = geo::Geometry::MakeLineString({a, mid, b});
+    os << "<http://linkedgeodata.org/triplify/way" << i
+       << "> a lgd:HighwayThing ;\n"
+       << "    lgd:highway \"" << kTypes[rng.Next() % 4] << "\" ;\n"
+       << "    strdf:hasGeometry " << WktLiteral(road) << " .\n";
+  }
+  return os.str();
+}
+
+Result<std::string> GenerateCoastline(const eo::Scene& scene) {
+  std::ostringstream os;
+  os << Prologue();
+  geo::Geometry land = eo::LandPolygons(scene, 4);
+  if (land.IsEmpty()) {
+    return Status::Internal("scene has no land to polygonize");
+  }
+  // Sea = scene bounding box minus land.
+  geo::Point tl = scene.transform.PixelToWorld(0, 0);
+  geo::Point br =
+      scene.transform.PixelToWorld(scene.spec.width, scene.spec.height);
+  geo::Geometry box = geo::Geometry::MakeBox(
+      std::min(tl.x, br.x), std::min(tl.y, br.y), std::max(tl.x, br.x),
+      std::max(tl.y, br.y));
+  TELEIOS_ASSIGN_OR_RETURN(geo::Geometry sea, geo::Difference(box, land));
+  os << "noa:landmass a noa:LandArea ;\n"
+     << "    rdfs:label \"Peloponnese landmass (synthetic)\" ;\n"
+     << "    noa:hasGeometry " << WktLiteral(land) << " .\n";
+  os << "noa:sea a noa:Sea ;\n"
+     << "    rdfs:label \"Sea (synthetic)\" ;\n"
+     << "    noa:hasGeometry " << WktLiteral(sea) << " .\n";
+  return os.str();
+}
+
+Result<std::string> GenerateLandCover(const eo::Scene& scene,
+                                      int grid_step) {
+  if (grid_step <= 0) return Status::InvalidArgument("bad grid step");
+  std::ostringstream os;
+  os << Prologue();
+  int w = scene.spec.width;
+  int h = scene.spec.height;
+  int id = 0;
+  for (int r = 0; r + grid_step <= h; r += grid_step) {
+    for (int c = 0; c + grid_step <= w; c += grid_step) {
+      double land = 0, ndvi = 0;
+      int n = 0;
+      for (int rr = r; rr < r + grid_step; ++rr) {
+        for (int cc = c; cc < c + grid_step; ++cc) {
+          size_t i = static_cast<size_t>(rr) * w + cc;
+          land += scene.landmask[i];
+          double denom = scene.nir016[i] + scene.vis006[i];
+          ndvi += denom > 1e-9
+                      ? (scene.nir016[i] - scene.vis006[i]) / denom
+                      : 0.0;
+          ++n;
+        }
+      }
+      land /= n;
+      ndvi /= n;
+      std::string cls;
+      if (land < 0.5) {
+        cls = "WaterBody";
+      } else if (ndvi > 0.35) {
+        cls = "Forest";
+      } else if (ndvi > 0.15) {
+        cls = "Agricultural";
+      } else {
+        cls = "BareSoil";
+      }
+      geo::Point a = scene.transform.PixelToWorld(c, r);
+      geo::Point b = scene.transform.PixelToWorld(c + grid_step,
+                                                  r + grid_step);
+      geo::Geometry cell = geo::Geometry::MakeBox(
+          std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+          std::max(a.y, b.y));
+      os << "noa:lc" << id++ << " a noa:" << cls << " ;\n"
+         << "    noa:hasGeometry " << WktLiteral(cell) << " .\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace teleios::linkeddata

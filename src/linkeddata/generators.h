@@ -1,0 +1,45 @@
+#ifndef TELEIOS_LINKEDDATA_GENERATORS_H_
+#define TELEIOS_LINKEDDATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "eo/scene.h"
+
+namespace teleios::linkeddata {
+
+/// Synthetic stand-ins for the auxiliary linked open data sources the
+/// paper enriches products with (GeoNames, LinkedGeoData, DBpedia,
+/// OpenStreetMap). All generators are deterministic for a given scene and
+/// emit Turtle in the same world coordinates as the scene, so spatial
+/// joins against product annotations work out of the box.
+
+/// GeoNames-like populated places on land: `geonames:name`,
+/// `geonames:population`, point geometry. `count` towns.
+Result<std::string> GenerateTowns(const eo::Scene& scene, int count,
+                                  uint64_t seed);
+
+/// DBpedia-like archaeological sites on land (the §1 headline query needs
+/// sites near fires): rdf:type dbpedia-owl ArchaeologicalSite, label,
+/// point geometry.
+Result<std::string> GenerateArchaeologicalSites(const eo::Scene& scene,
+                                                int count, uint64_t seed);
+
+/// LinkedGeoData/OSM-like road network: polylines between towns (`count`
+/// roads), lgd:highway types.
+Result<std::string> GenerateRoads(const eo::Scene& scene, int count,
+                                  uint64_t seed);
+
+/// Coastline / landmass polygons extracted from the scene landmask,
+/// published as noa:Coast + noa:Sea regions with strdf:WKT geometry. The
+/// sea geometry is the scene bounding box minus land.
+Result<std::string> GenerateCoastline(const eo::Scene& scene);
+
+/// CORINE-style landcover polygons: coarse NDVI/landmask classes
+/// (Forest / Agricultural / BareSoil / WaterBody) with geometry.
+Result<std::string> GenerateLandCover(const eo::Scene& scene, int grid_step);
+
+}  // namespace teleios::linkeddata
+
+#endif  // TELEIOS_LINKEDDATA_GENERATORS_H_

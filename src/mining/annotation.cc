@@ -1,0 +1,87 @@
+#include "mining/annotation.h"
+
+#include "common/strings.h"
+#include "eo/product.h"
+#include "geo/wkt.h"
+
+namespace teleios::mining {
+
+using rdf::Term;
+
+std::string ConceptForCentroid(const std::vector<double>& f) {
+  // Indices per FeatureNames():
+  // 0 vis_mean, 2 nir_mean, 4 t39_mean, 6 t108_mean, 8 ndvi_mean,
+  // 9 t_diff, 10 land_frac, 11 cloud_frac.
+  std::string ns(eo::kNoaNs);
+  if (f[11] > 0.5) return ns + "Cloud";
+  if (f[10] < 0.5) return ns + "Sea";
+  if (f[9] > 10.0) return ns + "Hotspot";
+  if (f[8] > 0.35) return ns + "Forest";
+  if (f[8] > 0.15) return ns + "Agricultural";
+  if (f[0] > 0.25) return ns + "Urban";
+  return ns + "BareSoil";
+}
+
+Result<std::vector<Annotation>> AnnotatePatches(
+    const std::vector<Patch>& patches, int k, uint64_t seed) {
+  if (patches.empty()) return Status::InvalidArgument("no patches");
+  // Normalize a copy for clustering; keep raw features for labelling.
+  std::vector<Patch> normalized = patches;
+  FeatureScaling scaling = NormalizeFeatures(&normalized);
+  std::vector<std::vector<double>> data;
+  data.reserve(normalized.size());
+  for (const Patch& p : normalized) data.push_back(p.features);
+  TELEIOS_ASSIGN_OR_RETURN(KMeansResult km, KMeans(data, k, 60, seed));
+
+  // Un-normalize centroids to raw feature space for rule-based labels.
+  std::vector<std::string> cluster_concepts(km.centroids.size());
+  for (size_t c = 0; c < km.centroids.size(); ++c) {
+    std::vector<double> raw(km.centroids[c].size());
+    for (size_t d = 0; d < raw.size(); ++d) {
+      raw[d] = km.centroids[c][d] * scaling.stddev[d] + scaling.mean[d];
+    }
+    cluster_concepts[c] = ConceptForCentroid(raw);
+  }
+
+  std::vector<Annotation> annotations;
+  annotations.reserve(patches.size());
+  for (size_t i = 0; i < patches.size(); ++i) {
+    Annotation a;
+    a.patch = patches[i];
+    int c = km.assignments[i];
+    a.concept_iri = cluster_concepts[static_cast<size_t>(c)];
+    // Confidence: inverse distance to the centroid, squashed to (0, 1].
+    double d2 = SquaredDistance(data[i],
+                                km.centroids[static_cast<size_t>(c)]);
+    a.confidence = 1.0 / (1.0 + d2);
+    annotations.push_back(std::move(a));
+  }
+  return annotations;
+}
+
+Result<size_t> PublishAnnotations(const std::vector<Annotation>& annotations,
+                                  const std::string& product_id,
+                                  strabon::Strabon* strabon) {
+  std::string ns(eo::kNoaNs);
+  Term product = Term::Iri(ns + "product/" + product_id);
+  size_t added = 0;
+  for (size_t i = 0; i < annotations.size(); ++i) {
+    const Annotation& a = annotations[i];
+    Term patch = Term::Iri(ns + "patch/" + product_id + "/" +
+                           std::to_string(a.patch.row) + "_" +
+                           std::to_string(a.patch.col));
+    strabon->Add(patch, Term::Iri(rdf::kRdfType), Term::Iri(ns + "Patch"));
+    strabon->Add(patch, Term::Iri(ns + "hasConcept"),
+                 Term::Iri(a.concept_iri));
+    strabon->Add(patch, Term::Iri(ns + "hasGeometry"),
+                 Term::WktLiteral(geo::WriteWkt(
+                     geo::Geometry::MakePolygon(a.patch.footprint))));
+    strabon->Add(patch, Term::Iri(ns + "hasConfidence"),
+                 Term::DoubleLiteral(a.confidence));
+    strabon->Add(patch, Term::Iri(ns + "derivedFromProduct"), product);
+    added += 5;
+  }
+  return added;
+}
+
+}  // namespace teleios::mining

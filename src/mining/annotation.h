@@ -1,0 +1,50 @@
+#ifndef TELEIOS_MINING_ANNOTATION_H_
+#define TELEIOS_MINING_ANNOTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mining/features.h"
+#include "mining/kmeans.h"
+#include "strabon/strabon.h"
+
+namespace teleios::mining {
+
+/// A patch annotated with a domain-ontology concept — the knowledge
+/// discovery output that closes the semantic gap (paper §1-2): patches of
+/// standard products get concepts like Sea, Forest, Hotspot attached and
+/// published as stRDF.
+struct Annotation {
+  Patch patch;
+  std::string concept_iri;  // noa: concept class
+  double confidence = 1.0;
+};
+
+/// Maps a k-means cluster centroid (in *raw, unnormalized* feature space,
+/// see FeatureNames()) to a landcover/event concept using the band
+/// signatures of the synthetic SEVIRI sensor:
+///   cloud_frac > .5 -> Cloud; land_frac < .5 -> Sea; t_diff large ->
+///   Hotspot; high NDVI -> Forest; mid NDVI -> Agricultural; else
+///   BareSoil.
+std::string ConceptForCentroid(const std::vector<double>& raw_centroid);
+
+/// Clusters patches (k-means on normalized features), labels each cluster
+/// with ConceptForCentroid (centroids un-normalized first), and returns
+/// per-patch annotations. `k` clusters, deterministic under `seed`.
+Result<std::vector<Annotation>> AnnotatePatches(
+    const std::vector<Patch>& patches, int k, uint64_t seed = 7);
+
+/// Publishes annotations into Strabon as stRDF:
+///   <patchUri> rdf:type noa:Patch ; noa:hasConcept <concept> ;
+///              noa:hasGeometry "..."^^strdf:WKT ;
+///              noa:hasConfidence "..."^^xsd:double ;
+///              noa:derivedFromProduct <productUri> .
+/// Returns the number of triples added.
+Result<size_t> PublishAnnotations(const std::vector<Annotation>& annotations,
+                                  const std::string& product_id,
+                                  strabon::Strabon* strabon);
+
+}  // namespace teleios::mining
+
+#endif  // TELEIOS_MINING_ANNOTATION_H_

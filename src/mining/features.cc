@@ -1,0 +1,127 @@
+#include "mining/features.h"
+
+#include <cmath>
+
+namespace teleios::mining {
+
+std::vector<std::string> FeatureNames() {
+  return {"vis_mean",   "vis_std",   "nir_mean",  "nir_std",
+          "t39_mean",   "t39_std",   "t108_mean", "t108_std",
+          "ndvi_mean",  "t_diff",    "land_frac", "cloud_frac",
+          "contrast"};
+}
+
+Result<std::vector<Patch>> CutPatches(const eo::Scene& scene, int size) {
+  if (size <= 0 || size > scene.spec.width || size > scene.spec.height) {
+    return Status::InvalidArgument("bad patch size");
+  }
+  std::vector<Patch> patches;
+  int w = scene.spec.width;
+  int h = scene.spec.height;
+  for (int row = 0; row + size <= h; row += size) {
+    for (int col = 0; col + size <= w; col += size) {
+      Patch patch;
+      patch.col = col;
+      patch.row = row;
+      patch.size = size;
+      double n = static_cast<double>(size) * size;
+      double vis = 0, vis2 = 0, nir = 0, nir2 = 0;
+      double t39 = 0, t39_2 = 0, t108 = 0, t108_2 = 0;
+      double ndvi = 0, land = 0, cloud = 0, contrast = 0;
+      int contrast_count = 0;
+      for (int r = row; r < row + size; ++r) {
+        for (int c = col; c < col + size; ++c) {
+          size_t i = static_cast<size_t>(r) * w + c;
+          double v = scene.vis006[i];
+          double ni = scene.nir016[i];
+          double a = scene.tir039[i];
+          double b = scene.tir108[i];
+          vis += v;
+          vis2 += v * v;
+          nir += ni;
+          nir2 += ni * ni;
+          t39 += a;
+          t39_2 += a * a;
+          t108 += b;
+          t108_2 += b * b;
+          double denom = ni + v;
+          ndvi += denom > 1e-9 ? (ni - v) / denom : 0.0;
+          land += scene.landmask[i];
+          cloud += scene.cloudmask[i];
+          // Horizontal texture contrast on the 10.8um band.
+          if (c + 1 < col + size) {
+            contrast += std::fabs(b - scene.tir108[i + 1]);
+            ++contrast_count;
+          }
+        }
+      }
+      auto stddev = [n](double sum, double sq) {
+        double mean = sum / n;
+        double var = sq / n - mean * mean;
+        return var > 0 ? std::sqrt(var) : 0.0;
+      };
+      patch.features = {
+          vis / n,
+          stddev(vis, vis2),
+          nir / n,
+          stddev(nir, nir2),
+          t39 / n,
+          stddev(t39, t39_2),
+          t108 / n,
+          stddev(t108, t108_2),
+          ndvi / n,
+          (t39 - t108) / n,
+          land / n,
+          cloud / n,
+          contrast_count > 0 ? contrast / contrast_count : 0.0,
+      };
+      geo::Point tl = scene.transform.PixelToWorld(col, row);
+      geo::Point tr = scene.transform.PixelToWorld(col + size, row);
+      geo::Point br = scene.transform.PixelToWorld(col + size, row + size);
+      geo::Point bl = scene.transform.PixelToWorld(col, row + size);
+      patch.footprint.outer = {tl, tr, br, bl};
+      patches.push_back(std::move(patch));
+    }
+  }
+  return patches;
+}
+
+FeatureScaling NormalizeFeatures(std::vector<Patch>* patches) {
+  FeatureScaling scaling;
+  if (patches->empty()) return scaling;
+  size_t dims = (*patches)[0].features.size();
+  scaling.mean.assign(dims, 0.0);
+  scaling.stddev.assign(dims, 0.0);
+  double n = static_cast<double>(patches->size());
+  for (const Patch& p : *patches) {
+    for (size_t d = 0; d < dims; ++d) scaling.mean[d] += p.features[d];
+  }
+  for (size_t d = 0; d < dims; ++d) scaling.mean[d] /= n;
+  for (const Patch& p : *patches) {
+    for (size_t d = 0; d < dims; ++d) {
+      double diff = p.features[d] - scaling.mean[d];
+      scaling.stddev[d] += diff * diff;
+    }
+  }
+  for (size_t d = 0; d < dims; ++d) {
+    scaling.stddev[d] = std::sqrt(scaling.stddev[d] / n);
+    if (scaling.stddev[d] < 1e-12) scaling.stddev[d] = 1.0;
+  }
+  for (Patch& p : *patches) {
+    for (size_t d = 0; d < dims; ++d) {
+      p.features[d] = (p.features[d] - scaling.mean[d]) / scaling.stddev[d];
+    }
+  }
+  return scaling;
+}
+
+std::vector<double> ApplyScaling(const std::vector<double>& features,
+                                 const FeatureScaling& scaling) {
+  std::vector<double> out(features.size());
+  for (size_t d = 0; d < features.size(); ++d) {
+    out[d] = (features[d] - scaling.mean[d]) / scaling.stddev[d];
+  }
+  return out;
+}
+
+}  // namespace teleios::mining

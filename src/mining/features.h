@@ -1,0 +1,49 @@
+#ifndef TELEIOS_MINING_FEATURES_H_
+#define TELEIOS_MINING_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eo/scene.h"
+#include "geo/geometry.h"
+
+namespace teleios::mining {
+
+/// A square image patch with its compact feature-vector representation —
+/// the content-extraction unit of the TELEIOS ingestion tier (paper §3:
+/// "create a set of patches by cutting images into square patches ...
+/// compressed into a compact multi-element feature vector").
+struct Patch {
+  int col = 0;  // top-left pixel
+  int row = 0;
+  int size = 0;
+  std::vector<double> features;
+  /// Footprint in world coordinates.
+  geo::Polygon footprint;
+};
+
+/// Names of the extracted features, aligned with Patch::features.
+std::vector<std::string> FeatureNames();
+
+/// Cuts `scene` into size x size patches (stride = size) and computes per
+/// patch: mean/std of each band, NDVI mean, the 3.9-10.8um difference,
+/// land fraction, cloud fraction, and a texture contrast measure.
+Result<std::vector<Patch>> CutPatches(const eo::Scene& scene, int size);
+
+/// z-score normalization (in place) across a patch set, returning the
+/// per-feature (mean, std) so new samples can be projected consistently.
+struct FeatureScaling {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+};
+
+FeatureScaling NormalizeFeatures(std::vector<Patch>* patches);
+
+/// Applies an existing scaling to one feature vector.
+std::vector<double> ApplyScaling(const std::vector<double>& features,
+                                 const FeatureScaling& scaling);
+
+}  // namespace teleios::mining
+
+#endif  // TELEIOS_MINING_FEATURES_H_

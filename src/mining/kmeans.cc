@@ -1,0 +1,122 @@
+#include "mining/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+namespace teleios::mining {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 1) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+  }
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& data,
+                            int k, int max_iterations, uint64_t seed) {
+  if (data.empty()) return Status::InvalidArgument("empty data");
+  if (k <= 0 || static_cast<size_t>(k) > data.size()) {
+    return Status::InvalidArgument("bad k");
+  }
+  size_t n = data.size();
+  size_t dims = data[0].size();
+  for (const auto& row : data) {
+    if (row.size() != dims) {
+      return Status::InvalidArgument("ragged data");
+    }
+  }
+  Rng rng(seed);
+  KMeansResult result;
+
+  // k-means++ seeding.
+  result.centroids.push_back(data[rng.Next() % n]);
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  while (result.centroids.size() < static_cast<size_t>(k)) {
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      dist2[i] = std::min(dist2[i],
+                          SquaredDistance(data[i], result.centroids.back()));
+      total += dist2[i];
+    }
+    double target = rng.Uniform() * total;
+    size_t chosen = n - 1;
+    double acc = 0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += dist2[i];
+      if (acc >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centroids.push_back(data[chosen]);
+  }
+
+  result.assignments.assign(n, -1);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    bool changed = false;
+    // Assign.
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = SquaredDistance(data[i], result.centroids[0]);
+      for (int c = 1; c < k; ++c) {
+        double d = SquaredDistance(data[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<int> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      int c = result.assignments[i];
+      ++counts[c];
+      for (size_t d = 0; d < dims; ++d) sums[c][d] += data[i][d];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep old centroid for empty cluster
+      for (size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] = sums[c][d] / counts[c];
+      }
+    }
+  }
+  result.inertia = 0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia +=
+        SquaredDistance(data[i], result.centroids[result.assignments[i]]);
+  }
+  return result;
+}
+
+}  // namespace teleios::mining

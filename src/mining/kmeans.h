@@ -1,0 +1,30 @@
+#ifndef TELEIOS_MINING_KMEANS_H_
+#define TELEIOS_MINING_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace teleios::mining {
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  // k x dims
+  std::vector<int> assignments;                // per sample
+  double inertia = 0;  // sum of squared distances to assigned centroid
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding, deterministic under `seed`.
+/// `data` is n x dims (all rows equal length).
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& data,
+                            int k, int max_iterations = 50,
+                            uint64_t seed = 7);
+
+/// Squared Euclidean distance.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+}  // namespace teleios::mining
+
+#endif  // TELEIOS_MINING_KMEANS_H_

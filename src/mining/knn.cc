@@ -1,0 +1,68 @@
+#include "mining/knn.h"
+
+#include <algorithm>
+#include <map>
+
+#include "mining/kmeans.h"
+
+namespace teleios::mining {
+
+Status KnnClassifier::Fit(std::vector<std::vector<double>> samples,
+                          std::vector<std::string> labels) {
+  if (samples.size() != labels.size()) {
+    return Status::InvalidArgument("samples/labels size mismatch");
+  }
+  if (samples.empty()) return Status::InvalidArgument("empty training set");
+  size_t dims = samples[0].size();
+  for (const auto& s : samples) {
+    if (s.size() != dims) return Status::InvalidArgument("ragged samples");
+  }
+  samples_ = std::move(samples);
+  labels_ = std::move(labels);
+  return Status::OK();
+}
+
+Result<std::string> KnnClassifier::Predict(const std::vector<double>& sample,
+                                           int k) const {
+  if (samples_.empty()) return Status::InvalidArgument("classifier not fit");
+  if (sample.size() != samples_[0].size()) {
+    return Status::InvalidArgument("feature dimension mismatch");
+  }
+  k = std::max(1, std::min<int>(k, static_cast<int>(samples_.size())));
+  std::vector<std::pair<double, size_t>> dists;
+  dists.reserve(samples_.size());
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    dists.emplace_back(SquaredDistance(sample, samples_[i]), i);
+  }
+  std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+  std::map<std::string, int> votes;
+  for (int i = 0; i < k; ++i) votes[labels_[dists[i].second]] += 1;
+  int best_count = -1;
+  std::string best;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {
+      best_count = count;
+      best = label;
+    }
+  }
+  // Tie break: nearest neighbour wins.
+  const std::string& nearest = labels_[dists[0].second];
+  if (votes[nearest] == best_count) return nearest;
+  return best;
+}
+
+Result<double> KnnClassifier::Score(
+    const std::vector<std::vector<double>>& samples,
+    const std::vector<std::string>& labels, int k) const {
+  if (samples.size() != labels.size() || samples.empty()) {
+    return Status::InvalidArgument("bad evaluation set");
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    TELEIOS_ASSIGN_OR_RETURN(std::string predicted, Predict(samples[i], k));
+    if (predicted == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+}  // namespace teleios::mining

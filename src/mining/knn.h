@@ -1,0 +1,38 @@
+#ifndef TELEIOS_MINING_KNN_H_
+#define TELEIOS_MINING_KNN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace teleios::mining {
+
+/// k-nearest-neighbours classifier over feature vectors, used as the
+/// second image-information-mining classifier (majority vote, ties broken
+/// by nearest neighbour's label).
+class KnnClassifier {
+ public:
+  /// Stores the training set; `labels` parallel to `samples`.
+  Status Fit(std::vector<std::vector<double>> samples,
+             std::vector<std::string> labels);
+
+  /// Majority label among the k nearest training samples.
+  Result<std::string> Predict(const std::vector<double>& sample,
+                              int k = 5) const;
+
+  /// Fraction of `samples` predicted as `labels` (leave-nothing-out).
+  Result<double> Score(const std::vector<std::vector<double>>& samples,
+                       const std::vector<std::string>& labels,
+                       int k = 5) const;
+
+  size_t size() const { return samples_.size(); }
+
+ private:
+  std::vector<std::vector<double>> samples_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace teleios::mining
+
+#endif  // TELEIOS_MINING_KNN_H_

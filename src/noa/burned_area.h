@@ -1,0 +1,39 @@
+#ifndef TELEIOS_NOA_BURNED_AREA_H_
+#define TELEIOS_NOA_BURNED_AREA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/geometry.h"
+#include "strabon/strabon.h"
+
+namespace teleios::noa {
+
+/// A burned-area product: the union of all (refined) hotspot footprints
+/// detected within a time window — the post-event damage-assessment
+/// product NOA delivers alongside real-time hotspots (noa:BurnedArea in
+/// the domain ontology; "burned area" in paper Figures 1-2).
+struct BurnedAreaProduct {
+  std::string id;
+  geo::Geometry geometry;       // dissolved union of hotspot footprints
+  size_t hotspots_merged = 0;
+  int64_t window_start = 0;
+  int64_t window_end = 0;
+  double area = 0;              // square degrees
+};
+
+/// Builds the burned-area product for [window_start, window_end]: selects
+/// hotspots via a temporal stSPARQL query (strdf:during on the valid
+/// time), dissolves their geometries with polygon union, and publishes
+/// the result as a noa:BurnedArea with geometry, period and provenance
+/// (one noa:derivedFromProduct link per contributing product).
+Result<BurnedAreaProduct> MapBurnedArea(strabon::Strabon* strabon,
+                                        const std::string& product_id_suffix,
+                                        int64_t window_start,
+                                        int64_t window_end);
+
+}  // namespace teleios::noa
+
+#endif  // TELEIOS_NOA_BURNED_AREA_H_

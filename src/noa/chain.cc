@@ -1,0 +1,160 @@
+#include "noa/chain.h"
+
+#include <chrono>
+
+#include "common/strings.h"
+#include "geo/wkt.h"
+#include "strabon/temporal.h"
+
+namespace teleios::noa {
+
+using rdf::Term;
+
+namespace {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMillis() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+std::string ProcessingChain::ClassificationSciQl(
+    const std::string& raster_name, const ChainConfig& config) {
+  std::string slab;
+  if (config.has_crop) {
+    slab = StrFormat("[%d:%d, %d:%d]", config.crop_y0, config.crop_y1,
+                     config.crop_x0, config.crop_x1);
+  }
+  std::string predicate;
+  switch (config.classifier.kind) {
+    case ClassifierKind::kThreshold:
+      predicate = StrFormat("IR039 > %.3f", config.classifier.threshold_kelvin);
+      break;
+    case ClassifierKind::kContextual:
+      predicate = StrFormat(
+          "IR039 - IR108 > %.3f and IR039 > %.3f and CLOUDMASK < 0.5 "
+          "and LANDMASK > 0.5",
+          config.classifier.diff_kelvin, config.classifier.min_t39);
+      break;
+  }
+  return "SELECT y, x FROM \"" + raster_name + "\"" + slab + " WHERE " +
+         predicate;
+}
+
+Result<ChainResult> ProcessingChain::Run(const std::string& raster_name,
+                                         const ChainConfig& config) {
+  ChainResult result;
+  Stopwatch watch;
+
+  // (a) Ingestion: lazy vault ingestion into a SciQL array.
+  TELEIOS_ASSIGN_OR_RETURN(array::ArrayPtr array,
+                           vault_->GetRasterArray(raster_name));
+  if (!sciql_->HasArray(raster_name)) {
+    TELEIOS_RETURN_IF_ERROR(sciql_->RegisterArray(array));
+  }
+  TELEIOS_ASSIGN_OR_RETURN(vault::TerHeader header,
+                           vault_->GetRasterHeader(raster_name));
+  TELEIOS_ASSIGN_OR_RETURN(vault::TerRaster raster,
+                           vault::ReadTer(header.path));
+  TELEIOS_ASSIGN_OR_RETURN(eo::Scene scene, eo::SceneFromRaster(raster));
+  result.timings.push_back({"ingestion", watch.ElapsedMillis()});
+  watch.Reset();
+
+  // (b)+(d) Cropping + classification, expressed as one SciQL SELECT
+  // (slab = crop, WHERE = per-pixel classifier).
+  std::string classify = ClassificationSciQl(raster_name, config);
+  result.sciql.push_back(classify);
+  TELEIOS_ASSIGN_OR_RETURN(storage::Table fire_cells,
+                           sciql_->Execute(classify));
+  result.timings.push_back({"crop+classify (SciQL)", watch.ElapsedMillis()});
+  watch.Reset();
+
+  // Build the fire mask from the (y, x) result rows.
+  std::vector<uint8_t> mask(scene.PixelCount(), 0);
+  {
+    auto ycol = fire_cells.ColumnByName("y");
+    auto xcol = fire_cells.ColumnByName("x");
+    if (!ycol.ok() || !xcol.ok()) {
+      return Status::Internal("SciQL classification lost dimensions");
+    }
+    for (size_t r = 0; r < fire_cells.num_rows(); ++r) {
+      int64_t y = (*ycol)->GetInt64(r);
+      int64_t x = (*xcol)->GetInt64(r);
+      if (y >= 0 && x >= 0 && y < scene.spec.height && x < scene.spec.width) {
+        mask[static_cast<size_t>(y) * scene.spec.width + x] = 1;
+      }
+    }
+  }
+
+  // (c)+(e) Georeferencing + hotspot polygon products.
+  TELEIOS_ASSIGN_OR_RETURN(
+      result.hotspots, ExtractHotspots(scene, mask, config.min_pixels));
+  result.timings.push_back({"georeference+polygonize", watch.ElapsedMillis()});
+  watch.Reset();
+
+  // Register the derived L2 product in both catalogs.
+  result.product_id = raster_name + "-hotspots-" +
+                      ClassifierKindName(config.classifier.kind);
+  eo::ProductMetadata meta;
+  meta.id = result.product_id;
+  meta.satellite = header.satellite;
+  meta.sensor = header.sensor;
+  meta.level = eo::ProductLevel::kL2;
+  meta.acquisition_time = header.acquisition_time;
+  meta.footprint_wkt = header.FootprintWkt();
+  meta.derived_from = raster_name;
+  if (!config.output_dir.empty()) {
+    vault::VecFile vec = HotspotsToVec(result.hotspots, result.product_id);
+    result.vec_path = config.output_dir + "/" + result.product_id + ".vec";
+    TELEIOS_RETURN_IF_ERROR(vault::WriteVec(vec, result.vec_path));
+    meta.file_path = result.vec_path;
+  }
+  TELEIOS_RETURN_IF_ERROR(eo::RegisterProductRow(meta, catalog_));
+  TELEIOS_RETURN_IF_ERROR(eo::RegisterProductTriples(meta, strabon_));
+  TELEIOS_RETURN_IF_ERROR(
+      PublishHotspots(result.hotspots, result.product_id, strabon_)
+          .status());
+  result.timings.push_back({"catalog+shapefile", watch.ElapsedMillis()});
+  return result;
+}
+
+Result<size_t> PublishHotspots(const std::vector<Hotspot>& hotspots,
+                               const std::string& product_id,
+                               strabon::Strabon* strabon) {
+  std::string ns(eo::kNoaNs);
+  Term product = Term::Iri(ns + "product/" + product_id);
+  size_t added = 0;
+  for (const Hotspot& hotspot : hotspots) {
+    Term subject = Term::Iri(ns + "hotspot/" + product_id + "/" +
+                             std::to_string(hotspot.id));
+    strabon->Add(subject, Term::Iri(rdf::kRdfType),
+                 Term::Iri(ns + "Hotspot"));
+    strabon->Add(subject, Term::Iri(ns + "hasGeometry"),
+                 Term::WktLiteral(geo::WriteWkt(hotspot.geometry)));
+    strabon->Add(subject, Term::Iri(ns + "hasConfidence"),
+                 Term::DoubleLiteral(hotspot.confidence));
+    strabon->Add(
+        subject, Term::Iri(ns + "detectedAt"),
+        Term::Literal(strabon::FormatDateTime(hotspot.detected_at),
+                      rdf::kXsdDateTime));
+    // stRDF valid time: the MSG/SEVIRI acquisition repeat cycle (15
+    // minutes) around the detection instant, as a strdf:period literal.
+    strabon->Add(subject, Term::Iri(ns + "hasValidTime"),
+                 strabon::PeriodLiteral(hotspot.detected_at - 450,
+                                        hotspot.detected_at + 450));
+    strabon->Add(subject, Term::Iri(ns + "derivedFromProduct"), product);
+    added += 6;
+  }
+  return added;
+}
+
+}  // namespace teleios::noa

@@ -1,0 +1,83 @@
+#ifndef TELEIOS_NOA_CHAIN_H_
+#define TELEIOS_NOA_CHAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eo/product.h"
+#include "eo/scene.h"
+#include "noa/classification.h"
+#include "noa/hotspot.h"
+#include "sciql/sciql_engine.h"
+#include "storage/catalog.h"
+#include "strabon/strabon.h"
+#include "vault/vault.h"
+
+namespace teleios::noa {
+
+/// Configuration of one execution of the NOA fire-monitoring processing
+/// chain (demo scenario 1): ingestion -> cropping -> georeferencing ->
+/// classification -> hotspot shapefile generation.
+struct ChainConfig {
+  ClassifierConfig classifier;
+  /// Optional pixel-space crop [x0, x1) x [y0, y1); disabled when empty.
+  bool has_crop = false;
+  int crop_x0 = 0, crop_y0 = 0, crop_x1 = 0, crop_y1 = 0;
+  int min_pixels = 1;
+  /// Directory where the .vec hotspot product is written ("" = skip).
+  std::string output_dir;
+};
+
+struct StepTiming {
+  std::string step;
+  double millis = 0;
+};
+
+struct ChainResult {
+  std::string product_id;           // the generated L2 product
+  std::vector<Hotspot> hotspots;
+  std::vector<StepTiming> timings;
+  std::string vec_path;             // "" when output_dir was empty
+  std::vector<std::string> sciql;   // the SciQL statements executed
+};
+
+/// The NOA processing chain, wired into the TELEIOS tiers: the vault
+/// ingests (lazily), SciQL expresses cropping + classification
+/// declaratively, hotspot extraction polygonizes + georeferences, and
+/// the product plus its hotspots are registered in both the relational
+/// catalog and Strabon.
+class ProcessingChain {
+ public:
+  ProcessingChain(vault::DataVault* vault, sciql::SciQlEngine* sciql,
+                  strabon::Strabon* strabon, storage::Catalog* catalog)
+      : vault_(vault), sciql_(sciql), strabon_(strabon), catalog_(catalog) {}
+
+  /// Runs the chain on an attached raster. The classification is
+  /// evaluated through real SciQL (SELECT with slab + cell expression)
+  /// against the ingested array.
+  Result<ChainResult> Run(const std::string& raster_name,
+                          const ChainConfig& config);
+
+  /// The SciQL classification statement for a config (exposed so demos
+  /// can show "how SciQL queries implement the NOA chain", paper §4).
+  static std::string ClassificationSciQl(const std::string& raster_name,
+                                         const ChainConfig& config);
+
+ private:
+  vault::DataVault* vault_;
+  sciql::SciQlEngine* sciql_;
+  strabon::Strabon* strabon_;
+  storage::Catalog* catalog_;
+};
+
+/// Publishes hotspot descriptions as stRDF into Strabon (type,
+/// geometry, confidence, detection time, provenance). Returns triples
+/// added.
+Result<size_t> PublishHotspots(const std::vector<Hotspot>& hotspots,
+                               const std::string& product_id,
+                               strabon::Strabon* strabon);
+
+}  // namespace teleios::noa
+
+#endif  // TELEIOS_NOA_CHAIN_H_

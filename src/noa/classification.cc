@@ -1,0 +1,69 @@
+#include "noa/classification.h"
+
+#include <cmath>
+
+namespace teleios::noa {
+
+const char* ClassifierKindName(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kThreshold:
+      return "threshold";
+    case ClassifierKind::kContextual:
+      return "contextual";
+  }
+  return "?";
+}
+
+Result<std::vector<uint8_t>> ClassifyFirePixels(
+    const eo::Scene& scene, const ClassifierConfig& config) {
+  size_t n = scene.PixelCount();
+  if (scene.tir039.size() != n || scene.tir108.size() != n) {
+    return Status::InvalidArgument("scene bands not initialized");
+  }
+  std::vector<uint8_t> mask(n, 0);
+  switch (config.kind) {
+    case ClassifierKind::kThreshold:
+      for (size_t i = 0; i < n; ++i) {
+        mask[i] = scene.tir039[i] > config.threshold_kelvin ? 1 : 0;
+      }
+      break;
+    case ClassifierKind::kContextual:
+      for (size_t i = 0; i < n; ++i) {
+        double diff = scene.tir039[i] - scene.tir108[i];
+        bool fire = diff > config.diff_kelvin &&
+                    scene.tir039[i] > config.min_t39 &&
+                    !scene.cloudmask[i] && scene.landmask[i];
+        mask[i] = fire ? 1 : 0;
+      }
+      break;
+  }
+  return mask;
+}
+
+PixelScore ScoreMask(const eo::Scene& scene,
+                     const std::vector<uint8_t>& mask) {
+  PixelScore score;
+  int w = scene.spec.width;
+  int h = scene.spec.height;
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      size_t i = static_cast<size_t>(r) * w + c;
+      bool truly_fire = false;
+      for (const eo::FireEvent& fire : scene.fires) {
+        double dx = (c + 0.5) - fire.center_col;
+        double dy = (r + 0.5) - fire.center_row;
+        if (std::hypot(dx, dy) <= 1.2 * fire.radius) {
+          truly_fire = true;
+          break;
+        }
+      }
+      bool predicted = mask[i] != 0;
+      if (predicted && truly_fire) ++score.true_positive;
+      else if (predicted && !truly_fire) ++score.false_positive;
+      else if (!predicted && truly_fire) ++score.false_negative;
+    }
+  }
+  return score;
+}
+
+}  // namespace teleios::noa

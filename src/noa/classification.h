@@ -1,0 +1,68 @@
+#ifndef TELEIOS_NOA_CLASSIFICATION_H_
+#define TELEIOS_NOA_CLASSIFICATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eo/scene.h"
+
+namespace teleios::noa {
+
+/// The two interchangeable classification submodules of the NOA chain
+/// (demo scenario 1 compares chains with different classifiers).
+enum class ClassifierKind {
+  /// Fixed brightness-temperature threshold on the 3.9um band.
+  kThreshold,
+  /// Contextual test on the 3.9-10.8um difference with cloud/sea
+  /// rejection — higher thematic accuracy, slightly more expensive.
+  kContextual,
+};
+
+const char* ClassifierKindName(ClassifierKind kind);
+
+struct ClassifierConfig {
+  ClassifierKind kind = ClassifierKind::kThreshold;
+  double threshold_kelvin = 318.0;  // kThreshold: T3.9 above this = fire
+  double diff_kelvin = 10.0;        // kContextual: T3.9 - T10.8 above this
+  double min_t39 = 308.0;           // kContextual: absolute floor
+};
+
+/// Per-pixel fire/no-fire classification; returns a row-major 0/1 mask.
+/// The threshold classifier knows nothing about clouds or water — that is
+/// exactly why its products need the semantic refinement step.
+Result<std::vector<uint8_t>> ClassifyFirePixels(const eo::Scene& scene,
+                                                const ClassifierConfig& config);
+
+/// Pixel-level confusion against the scene's ground-truth fires.
+struct PixelScore {
+  int64_t true_positive = 0;
+  int64_t false_positive = 0;
+  int64_t false_negative = 0;
+
+  double Precision() const {
+    int64_t denom = true_positive + false_positive;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positive) / denom;
+  }
+  double Recall() const {
+    int64_t denom = true_positive + false_negative;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positive) / denom;
+  }
+  double F1() const {
+    double p = Precision();
+    double r = Recall();
+    return p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+  }
+};
+
+/// Scores a fire mask against ground truth (a pixel is truly burning when
+/// it lies within 1.2 radii of a seeded fire center).
+PixelScore ScoreMask(const eo::Scene& scene,
+                     const std::vector<uint8_t>& mask);
+
+}  // namespace teleios::noa
+
+#endif  // TELEIOS_NOA_CLASSIFICATION_H_

@@ -1,0 +1,56 @@
+#ifndef TELEIOS_NOA_MAPPING_H_
+#define TELEIOS_NOA_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/geometry.h"
+#include "strabon/strabon.h"
+
+namespace teleios::noa {
+
+/// One thematic layer of a fire map.
+struct MapLayer {
+  std::string name;
+  std::string color;  // SVG fill/stroke
+  char glyph = '*';   // ASCII rendering symbol
+  std::vector<geo::Geometry> geometries;
+  std::vector<std::string> labels;  // parallel to geometries ("" = none)
+};
+
+/// Automatic generation of fire maps enriched with linked open data
+/// (demo scenario 2b). Layers are populated with stSPARQL queries
+/// against Strabon, then rendered to SVG and ASCII — replacing what used
+/// to be "a time-consuming manual process" (paper §4).
+class RapidMapper {
+ public:
+  explicit RapidMapper(strabon::Strabon* strabon) : strabon_(strabon) {}
+
+  /// Adds a layer whose geometries come from `query`, which must SELECT
+  /// the geometry variable first (and optionally a label second).
+  Status AddQueryLayer(const std::string& name, const std::string& color,
+                       char glyph, const std::string& query);
+
+  /// Adds a pre-built layer.
+  void AddLayer(MapLayer layer);
+
+  const std::vector<MapLayer>& layers() const { return layers_; }
+
+  /// Map extent covering all layers (with a margin).
+  geo::Envelope Extent() const;
+
+  /// SVG document of all layers plus a legend.
+  std::string RenderSvg(int width = 800, int height = 700) const;
+
+  /// Terminal rendering (rows x cols character grid).
+  std::string RenderAscii(int cols = 72, int rows = 36) const;
+
+ private:
+  strabon::Strabon* strabon_;
+  std::vector<MapLayer> layers_;
+};
+
+}  // namespace teleios::noa
+
+#endif  // TELEIOS_NOA_MAPPING_H_

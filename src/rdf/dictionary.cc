@@ -1,0 +1,28 @@
+#include "rdf/dictionary.h"
+
+namespace teleios::rdf {
+
+TermId TermDictionary::Intern(const Term& term) {
+  std::string key = term.ToNTriples();
+  int32_t before = keys_.size();
+  int32_t code = keys_.Intern(key);
+  if (code == before) {
+    terms_.push_back(term);  // newly interned
+  }
+  return code;
+}
+
+TermId TermDictionary::Lookup(const Term& term) const {
+  return keys_.Lookup(term.ToNTriples());
+}
+
+size_t TermDictionary::MemoryUsage() const {
+  size_t bytes = keys_.MemoryUsage();
+  for (const Term& t : terms_) {
+    bytes += t.lexical.capacity() + t.datatype.capacity() + t.lang.capacity() +
+             sizeof(Term);
+  }
+  return bytes;
+}
+
+}  // namespace teleios::rdf

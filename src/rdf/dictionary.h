@@ -1,0 +1,41 @@
+#ifndef TELEIOS_RDF_DICTIONARY_H_
+#define TELEIOS_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/term.h"
+#include "storage/dictionary.h"
+
+namespace teleios::rdf {
+
+/// Dense id of an interned term.
+using TermId = int32_t;
+inline constexpr TermId kNoTerm = -1;
+
+/// Term dictionary: maps RDF terms to dense ids, keyed by the canonical
+/// N-Triples rendering (the column-store dictionary idiom — Strabon's
+/// MonetDB backend stores triples as integer columns over this mapping).
+class TermDictionary {
+ public:
+  /// Interns `term`, returning its id.
+  TermId Intern(const Term& term);
+
+  /// Id of `term` or kNoTerm.
+  TermId Lookup(const Term& term) const;
+
+  /// Term for a valid id.
+  const Term& At(TermId id) const { return terms_[static_cast<size_t>(id)]; }
+
+  int32_t size() const { return static_cast<int32_t>(terms_.size()); }
+
+  size_t MemoryUsage() const;
+
+ private:
+  storage::Dictionary keys_;
+  std::vector<Term> terms_;
+};
+
+}  // namespace teleios::rdf
+
+#endif  // TELEIOS_RDF_DICTIONARY_H_

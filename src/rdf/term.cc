@@ -1,0 +1,93 @@
+#include "rdf/term.h"
+
+#include "common/strings.h"
+
+namespace teleios::rdf {
+
+Term Term::Iri(std::string iri) {
+  Term t;
+  t.kind = TermKind::kIri;
+  t.lexical = std::move(iri);
+  return t;
+}
+
+Term Term::Blank(std::string label) {
+  Term t;
+  t.kind = TermKind::kBlank;
+  t.lexical = std::move(label);
+  return t;
+}
+
+Term Term::Literal(std::string value, std::string datatype,
+                   std::string lang) {
+  Term t;
+  t.kind = TermKind::kLiteral;
+  t.lexical = std::move(value);
+  t.datatype = std::move(datatype);
+  t.lang = std::move(lang);
+  return t;
+}
+
+Term Term::IntegerLiteral(int64_t v) {
+  return Literal(std::to_string(v), kXsdInteger);
+}
+
+Term Term::DoubleLiteral(double v) {
+  return Literal(StrFormat("%.10g", v), kXsdDouble);
+}
+
+Term Term::BooleanLiteral(bool v) {
+  return Literal(v ? "true" : "false", kXsdBoolean);
+}
+
+Term Term::WktLiteral(std::string wkt) {
+  return Literal(std::move(wkt), kStrdfWkt);
+}
+
+std::string EscapeNTriplesString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string Term::ToNTriples() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + lexical + ">";
+    case TermKind::kBlank:
+      return "_:" + lexical;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeNTriplesString(lexical) + "\"";
+      if (!lang.empty()) {
+        out += "@" + lang;
+      } else if (!datatype.empty()) {
+        out += "^^<" + datatype + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+}  // namespace teleios::rdf

@@ -1,0 +1,144 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+
+namespace teleios::rdf {
+
+namespace {
+
+/// Deduplication set key.
+struct TripleLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+
+}  // namespace
+
+void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
+  AddEncoded({dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)});
+}
+
+void TripleStore::AddEncoded(Triple t) {
+  // Duplicate check via the SPO index when valid, else linear for small
+  // stores / rebuild later. To keep Add O(log n) amortized we accept
+  // duplicates here and deduplicate on index build.
+  triples_.push_back(t);
+  indexes_valid_ = false;
+}
+
+void TripleStore::EnsureIndexes() const {
+  if (indexes_valid_) return;
+  // Deduplicate (stable first occurrence).
+  {
+    std::vector<Triple> sorted = triples_;
+    std::sort(sorted.begin(), sorted.end(), TripleLess());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    const_cast<TripleStore*>(this)->triples_ = std::move(sorted);
+  }
+  size_t n = triples_.size();
+  spo_.resize(n);
+  pos_.resize(n);
+  osp_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    spo_[i] = pos_[i] = osp_[i] = static_cast<uint32_t>(i);
+  }
+  // triples_ already sorted SPO.
+  std::sort(pos_.begin(), pos_.end(), [&](uint32_t a, uint32_t b) {
+    const Triple& x = triples_[a];
+    const Triple& y = triples_[b];
+    if (x.p != y.p) return x.p < y.p;
+    if (x.o != y.o) return x.o < y.o;
+    return x.s < y.s;
+  });
+  std::sort(osp_.begin(), osp_.end(), [&](uint32_t a, uint32_t b) {
+    const Triple& x = triples_[a];
+    const Triple& y = triples_[b];
+    if (x.o != y.o) return x.o < y.o;
+    if (x.s != y.s) return x.s < y.s;
+    return x.p < y.p;
+  });
+  indexes_valid_ = true;
+}
+
+std::vector<Triple> TripleStore::Match(const TriplePattern& pat) const {
+  EnsureIndexes();
+  std::vector<Triple> out;
+  auto matches = [&](const Triple& t) {
+    return (!pat.s || *pat.s == t.s) && (!pat.p || *pat.p == t.p) &&
+           (!pat.o || *pat.o == t.o);
+  };
+  if (pat.s) {
+    // triples_ sorted SPO; binary search S range.
+    auto lo = std::lower_bound(
+        triples_.begin(), triples_.end(), *pat.s,
+        [](const Triple& t, TermId s) { return t.s < s; });
+    for (auto it = lo; it != triples_.end() && it->s == *pat.s; ++it) {
+      if (matches(*it)) out.push_back(*it);
+    }
+    return out;
+  }
+  if (pat.p) {
+    auto lo = std::lower_bound(
+        pos_.begin(), pos_.end(), *pat.p,
+        [&](uint32_t idx, TermId p) { return triples_[idx].p < p; });
+    for (auto it = lo; it != pos_.end() && triples_[*it].p == *pat.p; ++it) {
+      if (matches(triples_[*it])) out.push_back(triples_[*it]);
+    }
+    return out;
+  }
+  if (pat.o) {
+    auto lo = std::lower_bound(
+        osp_.begin(), osp_.end(), *pat.o,
+        [&](uint32_t idx, TermId o) { return triples_[idx].o < o; });
+    for (auto it = lo; it != osp_.end() && triples_[*it].o == *pat.o; ++it) {
+      if (matches(triples_[*it])) out.push_back(triples_[*it]);
+    }
+    return out;
+  }
+  return triples_;  // full scan (already deduplicated)
+}
+
+std::vector<Triple> TripleStore::Match(const std::optional<Term>& s,
+                                       const std::optional<Term>& p,
+                                       const std::optional<Term>& o) const {
+  TriplePattern pat;
+  if (s) {
+    TermId id = dict_.Lookup(*s);
+    if (id == kNoTerm) return {};
+    pat.s = id;
+  }
+  if (p) {
+    TermId id = dict_.Lookup(*p);
+    if (id == kNoTerm) return {};
+    pat.p = id;
+  }
+  if (o) {
+    TermId id = dict_.Lookup(*o);
+    if (id == kNoTerm) return {};
+    pat.o = id;
+  }
+  return Match(pat);
+}
+
+size_t TripleStore::Remove(const TriplePattern& pat) {
+  auto matches = [&](const Triple& t) {
+    return (!pat.s || *pat.s == t.s) && (!pat.p || *pat.p == t.p) &&
+           (!pat.o || *pat.o == t.o);
+  };
+  size_t before = triples_.size();
+  triples_.erase(std::remove_if(triples_.begin(), triples_.end(), matches),
+                 triples_.end());
+  indexes_valid_ = false;
+  return before - triples_.size();
+}
+
+size_t TripleStore::MemoryUsage() const {
+  return dict_.MemoryUsage() + triples_.capacity() * sizeof(Triple) +
+         (spo_.capacity() + pos_.capacity() + osp_.capacity()) *
+             sizeof(uint32_t);
+}
+
+}  // namespace teleios::rdf

@@ -1,0 +1,25 @@
+#ifndef TELEIOS_RDF_TURTLE_H_
+#define TELEIOS_RDF_TURTLE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "rdf/triple_store.h"
+
+namespace teleios::rdf {
+
+/// Parses Turtle text into `store`. Supported subset: @prefix / PREFIX,
+/// IRIs, prefixed names, `a`, blank nodes (_:label), literals with
+/// escapes, @lang, ^^datatype, numeric and boolean shorthand, `;` and `,`
+/// continuation, `#` comments. Returns the number of triples added.
+Result<size_t> ParseTurtle(const std::string& text, TripleStore* store);
+
+/// Serializes the whole store as Turtle, grouping by subject and using
+/// `prefixes` (name -> IRI prefix) to shorten IRIs.
+std::string WriteTurtle(const TripleStore& store,
+                        const std::map<std::string, std::string>& prefixes);
+
+}  // namespace teleios::rdf
+
+#endif  // TELEIOS_RDF_TURTLE_H_

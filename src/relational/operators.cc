@@ -1,0 +1,669 @@
+#include "relational/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace teleios::relational {
+
+using storage::Column;
+using storage::ColumnType;
+using storage::Field;
+using storage::Schema;
+using storage::SelectionVector;
+using storage::Table;
+
+namespace {
+
+/// One vectorizable conjunct. Shapes:
+///   kColConst:  col CMP constant            (numeric or bool column)
+///   kColCol:    colA CMP colB               (numeric columns)
+///   kDiffConst: (colA - colB) CMP constant  (numeric columns)
+///   kStrEq:     col = 'literal' / col <> 'literal' (dictionary code test)
+///   kBoolCol:   bare bool column reference
+struct VecPred {
+  enum class Kind { kColConst, kColCol, kDiffConst, kStrEq, kBoolCol };
+  Kind kind;
+  BinaryOp cmp = BinaryOp::kEq;
+  int col_a = -1;
+  int col_b = -1;
+  double constant = 0;
+  int32_t code = storage::Dictionary::kInvalidCode;  // kStrEq
+  bool negate = false;                               // kStrEq: <>
+};
+
+bool IsNumericColumn(const Table& table, int col) {
+  ColumnType t = table.column(static_cast<size_t>(col)).type();
+  return t == ColumnType::kInt64 || t == ColumnType::kFloat64 ||
+         t == ColumnType::kBool;
+}
+
+double NumericAt(const Column& col, size_t row) {
+  switch (col.type()) {
+    case ColumnType::kInt64:
+      return static_cast<double>(col.GetInt64(row));
+    case ColumnType::kFloat64:
+      return col.GetFloat64(row);
+    case ColumnType::kBool:
+      return col.GetBool(row) ? 1.0 : 0.0;
+    case ColumnType::kString:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+bool CompareDoubles(BinaryOp cmp, double a, double b) {
+  switch (cmp) {
+    case BinaryOp::kEq:
+      return a == b;
+    case BinaryOp::kNe:
+      return a != b;
+    case BinaryOp::kLt:
+      return a < b;
+    case BinaryOp::kLe:
+      return a <= b;
+    case BinaryOp::kGt:
+      return a > b;
+    case BinaryOp::kGe:
+      return a >= b;
+    default:
+      return false;
+  }
+}
+
+bool IsComparison(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kNe || op == BinaryOp::kLt ||
+         op == BinaryOp::kLe || op == BinaryOp::kGt || op == BinaryOp::kGe;
+}
+
+int ResolveColumn(const Table& table, const ExprPtr& e) {
+  if (e->kind != ExprKind::kColumnRef) return -1;
+  int idx = table.schema().FieldIndex(e->column);
+  if (idx < 0) {
+    size_t dot = e->column.find('.');
+    if (dot != std::string::npos) {
+      idx = table.schema().FieldIndex(e->column.substr(dot + 1));
+    }
+  }
+  return idx;
+}
+
+bool NumericLiteral(const ExprPtr& e, double* out) {
+  if (e->kind != ExprKind::kLiteral) return false;
+  auto d = e->literal.ToDouble();
+  if (!d.ok()) return false;
+  *out = *d;
+  return true;
+}
+
+/// Tries to compile one conjunct; false if the shape is unsupported.
+bool CompileConjunct(const Table& table, const ExprPtr& e, VecPred* out) {
+  // Bare bool column.
+  if (e->kind == ExprKind::kColumnRef) {
+    int col = ResolveColumn(table, e);
+    if (col < 0 ||
+        table.column(static_cast<size_t>(col)).type() != ColumnType::kBool) {
+      return false;
+    }
+    out->kind = VecPred::Kind::kBoolCol;
+    out->col_a = col;
+    return true;
+  }
+  if (e->kind != ExprKind::kBinary || !IsComparison(e->binary_op)) {
+    return false;
+  }
+  const ExprPtr& lhs = e->children[0];
+  const ExprPtr& rhs = e->children[1];
+  // String equality: col = 'x' (either side).
+  auto try_str = [&](const ExprPtr& col_e, const ExprPtr& lit_e) {
+    if (e->binary_op != BinaryOp::kEq && e->binary_op != BinaryOp::kNe) {
+      return false;
+    }
+    int col = ResolveColumn(table, col_e);
+    if (col < 0 || table.column(static_cast<size_t>(col)).type() !=
+                       ColumnType::kString) {
+      return false;
+    }
+    if (lit_e->kind != ExprKind::kLiteral ||
+        lit_e->literal.type() != ValueType::kString) {
+      return false;
+    }
+    out->kind = VecPred::Kind::kStrEq;
+    out->col_a = col;
+    out->code = table.column(static_cast<size_t>(col))
+                    .dict()
+                    .Lookup(lit_e->literal.AsString());
+    out->negate = e->binary_op == BinaryOp::kNe;
+    return true;
+  };
+  if (try_str(lhs, rhs) || try_str(rhs, lhs)) return true;
+
+  double constant = 0;
+  // col CMP const / const CMP col.
+  int col = ResolveColumn(table, lhs);
+  if (col >= 0 && IsNumericColumn(table, col) &&
+      NumericLiteral(rhs, &constant)) {
+    out->kind = VecPred::Kind::kColConst;
+    out->cmp = e->binary_op;
+    out->col_a = col;
+    out->constant = constant;
+    return true;
+  }
+  col = ResolveColumn(table, rhs);
+  if (col >= 0 && IsNumericColumn(table, col) &&
+      NumericLiteral(lhs, &constant)) {
+    // Mirror the comparison: const CMP col == col CMP' const.
+    BinaryOp mirrored = e->binary_op;
+    switch (e->binary_op) {
+      case BinaryOp::kLt:
+        mirrored = BinaryOp::kGt;
+        break;
+      case BinaryOp::kLe:
+        mirrored = BinaryOp::kGe;
+        break;
+      case BinaryOp::kGt:
+        mirrored = BinaryOp::kLt;
+        break;
+      case BinaryOp::kGe:
+        mirrored = BinaryOp::kLe;
+        break;
+      default:
+        break;
+    }
+    out->kind = VecPred::Kind::kColConst;
+    out->cmp = mirrored;
+    out->col_a = col;
+    out->constant = constant;
+    return true;
+  }
+  // colA CMP colB.
+  int col_a = ResolveColumn(table, lhs);
+  int col_b = ResolveColumn(table, rhs);
+  if (col_a >= 0 && col_b >= 0 && IsNumericColumn(table, col_a) &&
+      IsNumericColumn(table, col_b)) {
+    out->kind = VecPred::Kind::kColCol;
+    out->cmp = e->binary_op;
+    out->col_a = col_a;
+    out->col_b = col_b;
+    return true;
+  }
+  // (colA - colB) CMP const.
+  if (lhs->kind == ExprKind::kBinary && lhs->binary_op == BinaryOp::kSub &&
+      NumericLiteral(rhs, &constant)) {
+    int a = ResolveColumn(table, lhs->children[0]);
+    int b = ResolveColumn(table, lhs->children[1]);
+    if (a >= 0 && b >= 0 && IsNumericColumn(table, a) &&
+        IsNumericColumn(table, b)) {
+      out->kind = VecPred::Kind::kDiffConst;
+      out->cmp = e->binary_op;
+      out->col_a = a;
+      out->col_b = b;
+      out->constant = constant;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SplitAnd(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+    SplitAnd(e->children[0], out);
+    SplitAnd(e->children[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+bool CompilePredicate(const Table& table, const ExprPtr& predicate,
+                      std::vector<VecPred>* preds) {
+  std::vector<ExprPtr> conjuncts;
+  SplitAnd(predicate, &conjuncts);
+  for (const ExprPtr& c : conjuncts) {
+    VecPred pred;
+    if (!CompileConjunct(table, c, &pred)) return false;
+    preds->push_back(pred);
+  }
+  return true;
+}
+
+/// Applies one compiled conjunct on the raw vectors.
+void ApplyVecPred(const Table& table, const VecPred& pred,
+                  SelectionVector* sel) {
+  const Column& a = table.column(static_cast<size_t>(pred.col_a));
+  SelectionVector out;
+  out.reserve(sel->size());
+  switch (pred.kind) {
+    case VecPred::Kind::kColConst: {
+      // Specialize the hot types to avoid per-row dispatch.
+      if (a.type() == ColumnType::kFloat64) {
+        const double* data = a.doubles().data();
+        for (uint32_t r : *sel) {
+          if (!a.IsNull(r) && CompareDoubles(pred.cmp, data[r], pred.constant)) {
+            out.push_back(r);
+          }
+        }
+      } else if (a.type() == ColumnType::kInt64) {
+        const int64_t* data = a.ints().data();
+        for (uint32_t r : *sel) {
+          if (!a.IsNull(r) &&
+              CompareDoubles(pred.cmp, static_cast<double>(data[r]),
+                             pred.constant)) {
+            out.push_back(r);
+          }
+        }
+      } else {
+        for (uint32_t r : *sel) {
+          if (!a.IsNull(r) &&
+              CompareDoubles(pred.cmp, NumericAt(a, r), pred.constant)) {
+            out.push_back(r);
+          }
+        }
+      }
+      break;
+    }
+    case VecPred::Kind::kColCol: {
+      const Column& b = table.column(static_cast<size_t>(pred.col_b));
+      for (uint32_t r : *sel) {
+        if (!a.IsNull(r) && !b.IsNull(r) &&
+            CompareDoubles(pred.cmp, NumericAt(a, r), NumericAt(b, r))) {
+          out.push_back(r);
+        }
+      }
+      break;
+    }
+    case VecPred::Kind::kDiffConst: {
+      const Column& b = table.column(static_cast<size_t>(pred.col_b));
+      if (a.type() == ColumnType::kFloat64 &&
+          b.type() == ColumnType::kFloat64) {
+        const double* da = a.doubles().data();
+        const double* db = b.doubles().data();
+        for (uint32_t r : *sel) {
+          if (!a.IsNull(r) && !b.IsNull(r) &&
+              CompareDoubles(pred.cmp, da[r] - db[r], pred.constant)) {
+            out.push_back(r);
+          }
+        }
+      } else {
+        for (uint32_t r : *sel) {
+          if (!a.IsNull(r) && !b.IsNull(r) &&
+              CompareDoubles(pred.cmp, NumericAt(a, r) - NumericAt(b, r),
+                             pred.constant)) {
+            out.push_back(r);
+          }
+        }
+      }
+      break;
+    }
+    case VecPred::Kind::kStrEq: {
+      const auto& codes = a.codes();
+      for (uint32_t r : *sel) {
+        if (a.IsNull(r)) continue;
+        bool eq = codes[r] == pred.code;
+        if (eq != pred.negate) out.push_back(r);
+      }
+      break;
+    }
+    case VecPred::Kind::kBoolCol: {
+      for (uint32_t r : *sel) {
+        if (!a.IsNull(r) && a.GetBool(r)) out.push_back(r);
+      }
+      break;
+    }
+  }
+  *sel = std::move(out);
+}
+
+}  // namespace
+
+bool IsVectorizablePredicate(const Table& table, const ExprPtr& predicate) {
+  std::vector<VecPred> preds;
+  return CompilePredicate(table, predicate, &preds);
+}
+
+Result<SelectionVector> FilterIndicesInterpreted(const Table& table,
+                                                 const ExprPtr& predicate) {
+  TELEIOS_ASSIGN_OR_RETURN(BoundExpr bound,
+                           BoundExpr::Bind(predicate, table));
+  SelectionVector sel;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    TELEIOS_ASSIGN_OR_RETURN(Value v, bound.Eval(table, r));
+    if (v.Truthy()) sel.push_back(static_cast<uint32_t>(r));
+  }
+  return sel;
+}
+
+Result<SelectionVector> FilterIndices(const Table& table,
+                                      const ExprPtr& predicate) {
+  std::vector<VecPred> preds;
+  if (CompilePredicate(table, predicate, &preds)) {
+    SelectionVector sel(table.num_rows());
+    for (size_t i = 0; i < sel.size(); ++i) {
+      sel[i] = static_cast<uint32_t>(i);
+    }
+    for (const VecPred& pred : preds) {
+      ApplyVecPred(table, pred, &sel);
+      if (sel.empty()) break;
+    }
+    return sel;
+  }
+  return FilterIndicesInterpreted(table, predicate);
+}
+
+Result<Table> Filter(const Table& table, const ExprPtr& predicate) {
+  TELEIOS_ASSIGN_OR_RETURN(SelectionVector sel,
+                           FilterIndices(table, predicate));
+  return table.Take(sel);
+}
+
+namespace {
+
+ColumnType InferColumnType(const std::vector<Value>& values) {
+  for (const Value& v : values) {
+    if (v.is_null()) continue;
+    auto ct = storage::ColumnTypeForValue(v.type());
+    if (ct.ok()) return *ct;
+  }
+  return ColumnType::kFloat64;
+}
+
+/// Hash key for grouping / joins: the row's key values rendered with type
+/// tags so 1 (int) and "1" never collide.
+std::string MakeKey(const Table& table, size_t row,
+                    const std::vector<int>& cols) {
+  std::string key;
+  for (int c : cols) {
+    Value v = table.Get(row, c);
+    key += static_cast<char>('0' + static_cast<int>(v.type()));
+    key += v.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<Table> ProjectCompute(const Table& table,
+                             const std::vector<ProjectItem>& items) {
+  std::vector<BoundExpr> bound;
+  bound.reserve(items.size());
+  for (const ProjectItem& item : items) {
+    TELEIOS_ASSIGN_OR_RETURN(BoundExpr b, BoundExpr::Bind(item.expr, table));
+    bound.push_back(std::move(b));
+  }
+  std::vector<std::vector<Value>> results(items.size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      TELEIOS_ASSIGN_OR_RETURN(Value v, bound[i].Eval(table, r));
+      results[i].push_back(std::move(v));
+    }
+  }
+  std::vector<Field> fields;
+  for (size_t i = 0; i < items.size(); ++i) {
+    fields.push_back({items[i].alias, InferColumnType(results[i])});
+  }
+  Table out{Schema(std::move(fields))};
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      TELEIOS_RETURN_IF_ERROR(out.column(i).Append(results[i][r]));
+    }
+  }
+  return out;
+}
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::vector<std::string>& left_keys,
+                       const std::vector<std::string>& right_keys,
+                       JoinType type) {
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    return Status::InvalidArgument("join key arity mismatch");
+  }
+  std::vector<int> lcols, rcols;
+  for (const std::string& k : left_keys) {
+    int i = left.schema().FieldIndex(k);
+    if (i < 0) return Status::NotFound("join key '" + k + "' not in left");
+    lcols.push_back(i);
+  }
+  for (const std::string& k : right_keys) {
+    int i = right.schema().FieldIndex(k);
+    if (i < 0) return Status::NotFound("join key '" + k + "' not in right");
+    rcols.push_back(i);
+  }
+
+  // Build on the right side.
+  std::unordered_map<std::string, std::vector<uint32_t>> build;
+  build.reserve(right.num_rows());
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    bool has_null = false;
+    for (int c : rcols) {
+      if (right.column(c).IsNull(r)) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) continue;  // SQL: NULL keys never match
+    build[MakeKey(right, r, rcols)].push_back(static_cast<uint32_t>(r));
+  }
+
+  // Output schema: all left columns, then right columns with clash rename.
+  std::vector<Field> fields;
+  for (const Field& f : left.schema().fields()) fields.push_back(f);
+  for (const Field& f : right.schema().fields()) {
+    std::string name = f.name;
+    bool clash = left.schema().FieldIndex(name) >= 0;
+    fields.push_back({clash ? "r_" + name : name, f.type});
+  }
+  Table out{Schema(std::move(fields))};
+
+  size_t nl = left.num_columns();
+  size_t nr = right.num_columns();
+  for (size_t r = 0; r < left.num_rows(); ++r) {
+    bool has_null = false;
+    for (int c : lcols) {
+      if (left.column(c).IsNull(r)) {
+        has_null = true;
+        break;
+      }
+    }
+    const std::vector<uint32_t>* matches = nullptr;
+    if (!has_null) {
+      auto it = build.find(MakeKey(left, r, lcols));
+      if (it != build.end()) matches = &it->second;
+    }
+    if (matches) {
+      for (uint32_t rr : *matches) {
+        for (size_t c = 0; c < nl; ++c) {
+          TELEIOS_RETURN_IF_ERROR(out.column(c).Append(left.Get(r, c)));
+        }
+        for (size_t c = 0; c < nr; ++c) {
+          TELEIOS_RETURN_IF_ERROR(
+              out.column(nl + c).Append(right.Get(rr, c)));
+        }
+      }
+    } else if (type == JoinType::kLeftOuter) {
+      for (size_t c = 0; c < nl; ++c) {
+        TELEIOS_RETURN_IF_ERROR(out.column(c).Append(left.Get(r, c)));
+      }
+      for (size_t c = 0; c < nr; ++c) out.column(nl + c).AppendNull();
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  bool sum_is_int = true;
+  int64_t isum = 0;
+  Value min, max;
+  bool seen = false;
+
+  void Update(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    auto d = v.ToDouble();
+    if (d.ok()) {
+      sum += *d;
+      if (v.type() == ValueType::kInt64) {
+        isum += v.AsInt64();
+      } else {
+        sum_is_int = false;
+      }
+    }
+    if (!seen || v.Compare(min) < 0) min = v;
+    if (!seen || v.Compare(max) > 0) max = v;
+    seen = true;
+  }
+
+  Result<Value> Finish(const std::string& fn) const {
+    if (fn == "count") return Value(count);
+    if (!seen) return Value();  // empty group -> NULL (except count)
+    if (fn == "sum") return sum_is_int ? Value(isum) : Value(sum);
+    if (fn == "avg") return Value(sum / static_cast<double>(count));
+    if (fn == "min") return min;
+    if (fn == "max") return max;
+    return Status::NotFound("unknown aggregate '" + fn + "'");
+  }
+};
+
+}  // namespace
+
+Result<Table> GroupAggregate(const Table& table,
+                             const std::vector<std::string>& group_columns,
+                             const std::vector<AggregateItem>& aggregates) {
+  std::vector<int> gcols;
+  for (const std::string& g : group_columns) {
+    int i = table.schema().FieldIndex(g);
+    if (i < 0) return Status::NotFound("group column '" + g + "' not found");
+    gcols.push_back(i);
+  }
+  std::vector<BoundExpr> bound_args;
+  std::vector<bool> has_arg;
+  for (const AggregateItem& a : aggregates) {
+    if (a.argument) {
+      TELEIOS_ASSIGN_OR_RETURN(BoundExpr b,
+                               BoundExpr::Bind(a.argument, table));
+      bound_args.push_back(std::move(b));
+      has_arg.push_back(true);
+    } else {
+      bound_args.emplace_back();
+      has_arg.push_back(false);
+    }
+  }
+
+  struct Group {
+    uint32_t first_row;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<std::string, Group> groups;
+  std::vector<std::string> group_order;
+
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::string key =
+        gcols.empty() ? std::string() : MakeKey(table, r, gcols);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      Group g;
+      g.first_row = static_cast<uint32_t>(r);
+      g.states.resize(aggregates.size());
+      it = groups.emplace(key, std::move(g)).first;
+      group_order.push_back(key);
+    }
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      Value v;
+      if (has_arg[a]) {
+        TELEIOS_ASSIGN_OR_RETURN(v, bound_args[a].Eval(table, r));
+      } else {
+        v = Value(int64_t{1});  // count(*)
+      }
+      it->second.states[a].Update(v);
+    }
+  }
+
+  // Global aggregate over an empty input still yields one row.
+  if (gcols.empty() && groups.empty()) {
+    Group g;
+    g.first_row = 0;
+    g.states.resize(aggregates.size());
+    groups.emplace("", std::move(g));
+    group_order.push_back("");
+  }
+
+  // Compute results first to infer output types.
+  std::vector<std::vector<Value>> agg_values(aggregates.size());
+  for (const std::string& key : group_order) {
+    const Group& g = groups.at(key);
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      TELEIOS_ASSIGN_OR_RETURN(Value v,
+                               g.states[a].Finish(aggregates[a].function));
+      agg_values[a].push_back(std::move(v));
+    }
+  }
+
+  std::vector<Field> fields;
+  for (int c : gcols) fields.push_back(table.schema().field(c));
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    ColumnType t = aggregates[a].function == "count"
+                       ? ColumnType::kInt64
+                       : InferColumnType(agg_values[a]);
+    fields.push_back({aggregates[a].alias, t});
+  }
+  Table out{Schema(std::move(fields))};
+  size_t gi = 0;
+  for (const std::string& key : group_order) {
+    const Group& g = groups.at(key);
+    size_t c = 0;
+    for (int gc : gcols) {
+      TELEIOS_RETURN_IF_ERROR(
+          out.column(c++).Append(table.Get(g.first_row, gc)));
+    }
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      TELEIOS_RETURN_IF_ERROR(out.column(c++).Append(agg_values[a][gi]));
+    }
+    ++gi;
+  }
+  return out;
+}
+
+Result<Table> Sort(const Table& table, const std::vector<SortKey>& keys) {
+  std::vector<int> cols;
+  for (const SortKey& k : keys) {
+    int i = table.schema().FieldIndex(k.column);
+    if (i < 0) return Status::NotFound("sort column '" + k.column + "' not found");
+    cols.push_back(i);
+  }
+  SelectionVector sel(table.num_rows());
+  for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint32_t>(i);
+  std::stable_sort(sel.begin(), sel.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      int c = table.Get(a, cols[k]).Compare(table.Get(b, cols[k]));
+      if (c != 0) return keys[k].descending ? c > 0 : c < 0;
+    }
+    return false;
+  });
+  return table.Take(sel);
+}
+
+Table Limit(const Table& table, size_t limit, size_t offset) {
+  SelectionVector sel;
+  for (size_t r = offset; r < table.num_rows() && sel.size() < limit; ++r) {
+    sel.push_back(static_cast<uint32_t>(r));
+  }
+  return table.Take(sel);
+}
+
+Table Distinct(const Table& table) {
+  std::vector<int> cols(table.num_columns());
+  for (size_t i = 0; i < cols.size(); ++i) cols[i] = static_cast<int>(i);
+  std::unordered_map<std::string, bool> seen;
+  SelectionVector sel;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::string key = MakeKey(table, r, cols);
+    if (seen.emplace(std::move(key), true).second) {
+      sel.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return table.Take(sel);
+}
+
+}  // namespace teleios::relational

@@ -1,0 +1,145 @@
+#include "relational/sql_engine.h"
+
+#include "relational/evaluator.h"
+#include "relational/sql_planner.h"
+
+namespace teleios::relational {
+
+using storage::Column;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+
+namespace {
+
+/// Evaluates a constant expression (no column refs allowed).
+Result<Value> EvalConstant(const ExprPtr& expr) {
+  return Evaluate(expr, [](const std::string& name) -> Result<Value> {
+    return Status::InvalidArgument("column reference '" + name +
+                                   "' in constant context");
+  });
+}
+
+Table AffectedRows(int64_t n) {
+  Table t{Schema({{"affected", storage::ColumnType::kInt64}})};
+  t.column(0).AppendInt64(n);
+  return t;
+}
+
+}  // namespace
+
+Result<Table> SqlEngine::Execute(const std::string& sql) {
+  TELEIOS_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  return ExecuteStatement(stmt);
+}
+
+Result<std::string> SqlEngine::Explain(const std::string& sql) {
+  TELEIOS_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  const auto* select = std::get_if<SelectStatement>(&stmt);
+  if (select == nullptr) {
+    return Status::InvalidArgument("EXPLAIN supports SELECT only");
+  }
+  return ExplainSelect(*select, *catalog_);
+}
+
+Result<Table> SqlEngine::ExecuteStatement(const Statement& stmt) {
+  if (const auto* select = std::get_if<SelectStatement>(&stmt)) {
+    return ExecuteSelect(*select, *catalog_);
+  }
+  if (const auto* create = std::get_if<CreateTableStatement>(&stmt)) {
+    auto table = std::make_shared<Table>(Schema(create->fields));
+    TELEIOS_RETURN_IF_ERROR(catalog_->CreateTable(create->name, table));
+    return AffectedRows(0);
+  }
+  if (const auto* drop = std::get_if<DropTableStatement>(&stmt)) {
+    TELEIOS_RETURN_IF_ERROR(catalog_->DropTable(drop->name));
+    return AffectedRows(0);
+  }
+  if (const auto* insert = std::get_if<InsertStatement>(&stmt)) {
+    TELEIOS_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(insert->table));
+    // Map provided column order to schema order.
+    std::vector<int> slots;
+    if (insert->columns.empty()) {
+      for (size_t i = 0; i < table->num_columns(); ++i) {
+        slots.push_back(static_cast<int>(i));
+      }
+    } else {
+      for (const std::string& c : insert->columns) {
+        int idx = table->schema().FieldIndex(c);
+        if (idx < 0) return Status::NotFound("no column '" + c + "'");
+        slots.push_back(idx);
+      }
+    }
+    for (const auto& row_exprs : insert->rows) {
+      if (row_exprs.size() != slots.size()) {
+        return Status::InvalidArgument("INSERT arity mismatch");
+      }
+      std::vector<Value> row(table->num_columns());  // defaults to NULL
+      for (size_t i = 0; i < slots.size(); ++i) {
+        TELEIOS_ASSIGN_OR_RETURN(row[slots[i]], EvalConstant(row_exprs[i]));
+      }
+      TELEIOS_RETURN_IF_ERROR(table->AppendRow(row));
+    }
+    return AffectedRows(static_cast<int64_t>(insert->rows.size()));
+  }
+  if (const auto* del = std::get_if<DeleteStatement>(&stmt)) {
+    TELEIOS_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(del->table));
+    storage::SelectionVector keep;
+    if (del->where) {
+      TELEIOS_ASSIGN_OR_RETURN(BoundExpr bound,
+                               BoundExpr::Bind(del->where, *table));
+      for (size_t r = 0; r < table->num_rows(); ++r) {
+        TELEIOS_ASSIGN_OR_RETURN(Value v, bound.Eval(*table, r));
+        if (!v.Truthy()) keep.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    int64_t removed = static_cast<int64_t>(table->num_rows() - keep.size());
+    *table = table->Take(keep);
+    return AffectedRows(removed);
+  }
+  if (const auto* update = std::get_if<UpdateStatement>(&stmt)) {
+    TELEIOS_ASSIGN_OR_RETURN(TablePtr table,
+                             catalog_->GetTable(update->table));
+    std::vector<int> slots;
+    std::vector<BoundExpr> exprs;
+    for (const auto& [col, expr] : update->assignments) {
+      int idx = table->schema().FieldIndex(col);
+      if (idx < 0) return Status::NotFound("no column '" + col + "'");
+      slots.push_back(idx);
+      TELEIOS_ASSIGN_OR_RETURN(BoundExpr b, BoundExpr::Bind(expr, *table));
+      exprs.push_back(std::move(b));
+    }
+    BoundExpr where;
+    bool has_where = update->where != nullptr;
+    if (has_where) {
+      TELEIOS_ASSIGN_OR_RETURN(where, BoundExpr::Bind(update->where, *table));
+    }
+    // Rebuild the table row by row (columns are append-only).
+    Table rebuilt{table->schema()};
+    int64_t changed = 0;
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      bool hit = true;
+      if (has_where) {
+        TELEIOS_ASSIGN_OR_RETURN(Value v, where.Eval(*table, r));
+        hit = v.Truthy();
+      }
+      std::vector<Value> row(table->num_columns());
+      for (size_t c = 0; c < table->num_columns(); ++c) {
+        row[c] = table->Get(r, c);
+      }
+      if (hit) {
+        ++changed;
+        for (size_t i = 0; i < slots.size(); ++i) {
+          TELEIOS_ASSIGN_OR_RETURN(row[slots[i]], exprs[i].Eval(*table, r));
+        }
+      }
+      TELEIOS_RETURN_IF_ERROR(rebuilt.AppendRow(row));
+    }
+    *table = std::move(rebuilt);
+    return AffectedRows(changed);
+  }
+  return Status::Internal("unhandled statement variant");
+}
+
+}  // namespace teleios::relational

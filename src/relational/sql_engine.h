@@ -1,0 +1,37 @@
+#ifndef TELEIOS_RELATIONAL_SQL_ENGINE_H_
+#define TELEIOS_RELATIONAL_SQL_ENGINE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/sql_parser.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace teleios::relational {
+
+/// The SQL entry point of the database tier: parses, plans and executes
+/// statements against a Catalog. SELECT returns a result table; DDL/DML
+/// return an empty table (with an "affected" row count for DML).
+class SqlEngine {
+ public:
+  /// `catalog` must outlive the engine.
+  explicit SqlEngine(storage::Catalog* catalog) : catalog_(catalog) {}
+
+  /// Parses and executes one statement.
+  Result<storage::Table> Execute(const std::string& sql);
+
+  /// Returns the optimizer's plan steps for a SELECT.
+  Result<std::string> Explain(const std::string& sql);
+
+  storage::Catalog* catalog() { return catalog_; }
+
+ private:
+  Result<storage::Table> ExecuteStatement(const Statement& stmt);
+
+  storage::Catalog* catalog_;
+};
+
+}  // namespace teleios::relational
+
+#endif  // TELEIOS_RELATIONAL_SQL_ENGINE_H_

@@ -1,0 +1,201 @@
+#include "relational/sql_lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace teleios::relational {
+
+Result<std::vector<Token>> LexSql(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = input.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.' &&
+          !(i + 1 < n && input[i + 1] == '.')) {  // leave ".." ranges alone
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t save = i;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          is_float = true;
+          while (i < n &&
+                 std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        } else {
+          i = save;  // not an exponent
+        }
+      }
+      std::string text = input.substr(start, i - start);
+      if (is_float) {
+        TELEIOS_ASSIGN_OR_RETURN(tok.float_value, ParseDouble(text));
+        tok.type = TokenType::kFloat;
+      } else {
+        TELEIOS_ASSIGN_OR_RETURN(tok.int_value, ParseInt64(text));
+        tok.type = TokenType::kInteger;
+      }
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == quote) {
+          if (i + 1 < n && input[i + 1] == quote) {  // doubled quote escape
+            text += quote;
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i++];
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string at offset %zu", tok.position));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char symbols first.
+    static const char* kTwoChar[] = {"<=", ">=", "<>", "!=", "||", ".."};
+    bool matched = false;
+    for (const char* sym : kTwoChar) {
+      if (i + 1 < n && input[i] == sym[0] && input[i + 1] == sym[1]) {
+        tok.type = TokenType::kSymbol;
+        tok.text = sym;
+        i += 2;
+        tokens.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingles = "()[]{},;.+-*/%=<>:?";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at offset %zu", c, i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+const Token& TokenCursor::Peek(size_t ahead) const {
+  size_t idx = pos_ + ahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+  return tokens_[idx];
+}
+
+Token TokenCursor::Next() {
+  Token t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool TokenCursor::AcceptKeyword(const std::string& kw) {
+  if (PeekKeyword(kw)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenCursor::AcceptSymbol(const std::string& sym) {
+  if (PeekSymbol(sym)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status TokenCursor::ExpectKeyword(const std::string& kw) {
+  if (!AcceptKeyword(kw)) {
+    return MakeError("expected keyword '" + kw + "'");
+  }
+  return Status::OK();
+}
+
+Status TokenCursor::ExpectSymbol(const std::string& sym) {
+  if (!AcceptSymbol(sym)) {
+    return MakeError("expected '" + sym + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> TokenCursor::ExpectIdentifier() {
+  if (Peek().type != TokenType::kIdentifier) {
+    return MakeError("expected identifier");
+  }
+  return Next().text;
+}
+
+bool TokenCursor::PeekKeyword(const std::string& kw) const {
+  const Token& t = Peek();
+  return t.type == TokenType::kIdentifier && StrEqualsIgnoreCase(t.text, kw);
+}
+
+bool TokenCursor::PeekSymbol(const std::string& sym) const {
+  const Token& t = Peek();
+  return t.type == TokenType::kSymbol && t.text == sym;
+}
+
+Status TokenCursor::MakeError(const std::string& message) const {
+  const Token& t = Peek();
+  std::string got = t.type == TokenType::kEnd ? "<end>" : t.text;
+  return Status::ParseError(message + " but got '" + got + "' at offset " +
+                            std::to_string(t.position));
+}
+
+}  // namespace teleios::relational

@@ -1,0 +1,70 @@
+#ifndef TELEIOS_RELATIONAL_SQL_LEXER_H_
+#define TELEIOS_RELATIONAL_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace teleios::relational {
+
+enum class TokenType {
+  kIdentifier,  // unquoted word (case preserved; keywords matched later)
+  kInteger,
+  kFloat,
+  kString,   // 'quoted'
+  kSymbol,   // punctuation / operator, in `text`
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   // identifier/symbol text or string contents
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;  // byte offset, for error messages
+};
+
+/// Tokenizes an SQL/SciQL statement. Symbols recognised: multi-char
+/// (<= >= <> != ||) and single-char ( ) [ ] { } , ; . + - * / % = < > : ?.
+/// Comments: `-- to end of line`.
+Result<std::vector<Token>> LexSql(const std::string& input);
+
+/// Cursor over a token stream with keyword-aware helpers.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  Token Next();
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  /// True + advance if the current token is the keyword `kw`
+  /// (case-insensitive identifier match).
+  bool AcceptKeyword(const std::string& kw);
+  /// True + advance if the current token is symbol `sym`.
+  bool AcceptSymbol(const std::string& sym);
+
+  /// Errors unless the current token is keyword `kw`; advances.
+  Status ExpectKeyword(const std::string& kw);
+  /// Errors unless the current token is symbol `sym`; advances.
+  Status ExpectSymbol(const std::string& sym);
+  /// Errors unless the current token is an identifier; returns its text.
+  Result<std::string> ExpectIdentifier();
+
+  /// True if the current token is keyword `kw` (no advance).
+  bool PeekKeyword(const std::string& kw) const;
+  bool PeekSymbol(const std::string& sym) const;
+
+  Status MakeError(const std::string& message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace teleios::relational
+
+#endif  // TELEIOS_RELATIONAL_SQL_LEXER_H_

@@ -1,0 +1,477 @@
+#include "relational/sql_parser.h"
+
+#include "common/strings.h"
+
+namespace teleios::relational {
+
+namespace {
+
+/// True if an identifier is a reserved word that terminates expressions.
+bool IsReserved(const std::string& word) {
+  static const char* kWords[] = {
+      "select", "from",  "where",  "group", "by",     "having", "order",
+      "limit",  "offset", "join",  "inner", "left",   "outer",  "on",
+      "and",    "or",    "not",    "as",    "values", "insert", "into",
+      "create", "table", "drop",   "distinct", "like", "is",    "null",
+      "in",     "between", "asc",  "desc",  "delete", "update", "set",
+      "union",  "true",  "false",  "array", "dimension", "default"};
+  for (const char* w : kWords) {
+    if (StrEqualsIgnoreCase(word, w)) return true;
+  }
+  return false;
+}
+
+Result<ExprPtr> ParseOr(TokenCursor* cur);
+
+Result<ExprPtr> ParsePrimary(TokenCursor* cur) {
+  const Token& t = cur->Peek();
+  switch (t.type) {
+    case TokenType::kInteger: {
+      Token tok = cur->Next();
+      return Expr::Literal(Value(tok.int_value));
+    }
+    case TokenType::kFloat: {
+      Token tok = cur->Next();
+      return Expr::Literal(Value(tok.float_value));
+    }
+    case TokenType::kString: {
+      Token tok = cur->Next();
+      return Expr::Literal(Value(tok.text));
+    }
+    case TokenType::kSymbol:
+      if (cur->AcceptSymbol("(")) {
+        TELEIOS_ASSIGN_OR_RETURN(ExprPtr e, ParseOr(cur));
+        TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol(")"));
+        return e;
+      }
+      if (cur->AcceptSymbol("[")) {
+        // SciQL dimension reference [x] — treated as a plain column ref.
+        TELEIOS_ASSIGN_OR_RETURN(std::string name, cur->ExpectIdentifier());
+        TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol("]"));
+        return Expr::ColumnRef(name);
+      }
+      return cur->MakeError("expected expression");
+    case TokenType::kIdentifier: {
+      if (cur->AcceptKeyword("null")) return Expr::Literal(Value());
+      if (cur->AcceptKeyword("true")) return Expr::Literal(Value(true));
+      if (cur->AcceptKeyword("false")) return Expr::Literal(Value(false));
+      if (cur->PeekKeyword("count") && cur->Peek(1).type == TokenType::kSymbol &&
+          cur->Peek(1).text == "(" && cur->Peek(2).type == TokenType::kSymbol &&
+          cur->Peek(2).text == "*") {
+        cur->Next();  // count
+        cur->Next();  // (
+        cur->Next();  // *
+        TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol(")"));
+        return Expr::Function("count", {});
+      }
+      Token tok = cur->Next();
+      std::string name = tok.text;
+      if (cur->PeekSymbol("(")) {
+        cur->Next();
+        std::vector<ExprPtr> args;
+        if (!cur->PeekSymbol(")")) {
+          do {
+            TELEIOS_ASSIGN_OR_RETURN(ExprPtr a, ParseOr(cur));
+            args.push_back(std::move(a));
+          } while (cur->AcceptSymbol(","));
+        }
+        TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol(")"));
+        return Expr::Function(name, std::move(args));
+      }
+      // Qualified column: table.column
+      if (cur->PeekSymbol(".") && cur->Peek(1).type == TokenType::kIdentifier) {
+        cur->Next();
+        Token col = cur->Next();
+        return Expr::ColumnRef(name + "." + col.text);
+      }
+      return Expr::ColumnRef(name);
+    }
+    case TokenType::kEnd:
+      return cur->MakeError("unexpected end of input in expression");
+  }
+  return cur->MakeError("expected expression");
+}
+
+Result<ExprPtr> ParseUnary(TokenCursor* cur) {
+  if (cur->AcceptSymbol("-")) {
+    TELEIOS_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary(cur));
+    return Expr::Unary(UnaryOp::kNeg, std::move(e));
+  }
+  if (cur->AcceptSymbol("+")) return ParseUnary(cur);
+  if (cur->AcceptKeyword("not")) {
+    TELEIOS_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary(cur));
+    return Expr::Unary(UnaryOp::kNot, std::move(e));
+  }
+  return ParsePrimary(cur);
+}
+
+Result<ExprPtr> ParseMul(TokenCursor* cur) {
+  TELEIOS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary(cur));
+  while (true) {
+    BinaryOp op;
+    if (cur->PeekSymbol("*")) op = BinaryOp::kMul;
+    else if (cur->PeekSymbol("/")) op = BinaryOp::kDiv;
+    else if (cur->PeekSymbol("%")) op = BinaryOp::kMod;
+    else break;
+    cur->Next();
+    TELEIOS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary(cur));
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ParseAdd(TokenCursor* cur) {
+  TELEIOS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMul(cur));
+  while (true) {
+    BinaryOp op;
+    if (cur->PeekSymbol("+")) op = BinaryOp::kAdd;
+    else if (cur->PeekSymbol("-")) op = BinaryOp::kSub;
+    else if (cur->PeekSymbol("||")) op = BinaryOp::kAdd;  // string concat
+    else break;
+    cur->Next();
+    TELEIOS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMul(cur));
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ParseComparison(TokenCursor* cur) {
+  TELEIOS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdd(cur));
+  // IS [NOT] NULL
+  if (cur->PeekKeyword("is")) {
+    cur->Next();
+    bool negated = cur->AcceptKeyword("not");
+    TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("null"));
+    ExprPtr test = Expr::Function("isnull", {std::move(lhs)});
+    return negated ? Expr::Unary(UnaryOp::kNot, std::move(test)) : test;
+  }
+  bool negated = false;
+  if (cur->PeekKeyword("not") &&
+      (StrEqualsIgnoreCase(cur->Peek(1).text, "like") ||
+       StrEqualsIgnoreCase(cur->Peek(1).text, "in") ||
+       StrEqualsIgnoreCase(cur->Peek(1).text, "between"))) {
+    cur->Next();
+    negated = true;
+  }
+  if (cur->AcceptKeyword("like")) {
+    TELEIOS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd(cur));
+    ExprPtr e = Expr::Binary(BinaryOp::kLike, std::move(lhs), std::move(rhs));
+    return negated ? Expr::Unary(UnaryOp::kNot, std::move(e)) : e;
+  }
+  if (cur->AcceptKeyword("between")) {
+    TELEIOS_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdd(cur));
+    TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("and"));
+    TELEIOS_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdd(cur));
+    ExprPtr e = Expr::Binary(
+        BinaryOp::kAnd, Expr::Binary(BinaryOp::kGe, lhs, std::move(lo)),
+        Expr::Binary(BinaryOp::kLe, lhs, std::move(hi)));
+    return negated ? Expr::Unary(UnaryOp::kNot, std::move(e)) : e;
+  }
+  if (cur->AcceptKeyword("in")) {
+    TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol("("));
+    ExprPtr any;
+    do {
+      TELEIOS_ASSIGN_OR_RETURN(ExprPtr item, ParseOr(cur));
+      ExprPtr eq = Expr::Binary(BinaryOp::kEq, lhs, std::move(item));
+      any = any ? Expr::Binary(BinaryOp::kOr, std::move(any), std::move(eq))
+                : std::move(eq);
+    } while (cur->AcceptSymbol(","));
+    TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol(")"));
+    return negated ? Expr::Unary(UnaryOp::kNot, std::move(any)) : any;
+  }
+  BinaryOp op;
+  if (cur->PeekSymbol("=")) op = BinaryOp::kEq;
+  else if (cur->PeekSymbol("<>") || cur->PeekSymbol("!=")) op = BinaryOp::kNe;
+  else if (cur->PeekSymbol("<=")) op = BinaryOp::kLe;
+  else if (cur->PeekSymbol(">=")) op = BinaryOp::kGe;
+  else if (cur->PeekSymbol("<")) op = BinaryOp::kLt;
+  else if (cur->PeekSymbol(">")) op = BinaryOp::kGt;
+  else return lhs;
+  cur->Next();
+  TELEIOS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd(cur));
+  return Expr::Binary(op, std::move(lhs), std::move(rhs));
+}
+
+Result<ExprPtr> ParseAnd(TokenCursor* cur) {
+  TELEIOS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison(cur));
+  while (cur->AcceptKeyword("and")) {
+    TELEIOS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison(cur));
+    lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ParseOr(TokenCursor* cur) {
+  TELEIOS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd(cur));
+  while (cur->AcceptKeyword("or")) {
+    TELEIOS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd(cur));
+    lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<SelectItem> ParseSelectItem(TokenCursor* cur) {
+  SelectItem item;
+  if (cur->AcceptSymbol("*")) {
+    item.is_star = true;
+    return item;
+  }
+  TELEIOS_ASSIGN_OR_RETURN(item.expr, ParseExpression(cur));
+  if (cur->AcceptKeyword("as")) {
+    TELEIOS_ASSIGN_OR_RETURN(item.alias, cur->ExpectIdentifier());
+  } else if (cur->Peek().type == TokenType::kIdentifier &&
+             !IsReserved(cur->Peek().text)) {
+    item.alias = cur->Next().text;
+  }
+  if (item.alias.empty()) {
+    item.alias = item.expr->kind == ExprKind::kColumnRef
+                     ? item.expr->column
+                     : item.expr->ToString();
+  }
+  return item;
+}
+
+Result<int64_t> ParseSignedInteger(TokenCursor* cur) {
+  bool neg = cur->AcceptSymbol("-");
+  if (cur->Peek().type != TokenType::kInteger) {
+    return cur->MakeError("expected integer");
+  }
+  int64_t v = cur->Next().int_value;
+  return neg ? -v : v;
+}
+
+Result<TableRef> ParseTableRef(TokenCursor* cur) {
+  TableRef ref;
+  // Quoted names allow characters outside identifier syntax (EO product
+  // names like "MSG2-SEVIRI-scene").
+  if (cur->Peek().type == TokenType::kString) {
+    ref.name = cur->Next().text;
+  } else {
+    TELEIOS_ASSIGN_OR_RETURN(ref.name, cur->ExpectIdentifier());
+  }
+  if (cur->AcceptSymbol("[")) {
+    do {
+      TELEIOS_ASSIGN_OR_RETURN(int64_t start, ParseSignedInteger(cur));
+      TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol(":"));
+      TELEIOS_ASSIGN_OR_RETURN(int64_t end, ParseSignedInteger(cur));
+      ref.slab.emplace_back(start, end);
+    } while (cur->AcceptSymbol(","));
+    TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol("]"));
+  }
+  if (cur->AcceptKeyword("as")) {
+    TELEIOS_ASSIGN_OR_RETURN(ref.alias, cur->ExpectIdentifier());
+  } else if (cur->Peek().type == TokenType::kIdentifier &&
+             !IsReserved(cur->Peek().text)) {
+    ref.alias = cur->Next().text;
+  }
+  return ref;
+}
+
+Result<SelectStatement> ParseSelect(TokenCursor* cur) {
+  SelectStatement stmt;
+  TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("select"));
+  stmt.distinct = cur->AcceptKeyword("distinct");
+  do {
+    TELEIOS_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem(cur));
+    stmt.items.push_back(std::move(item));
+  } while (cur->AcceptSymbol(","));
+  TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("from"));
+  TELEIOS_ASSIGN_OR_RETURN(stmt.from, ParseTableRef(cur));
+  while (true) {
+    JoinType type = JoinType::kInner;
+    if (cur->PeekKeyword("join") || cur->PeekKeyword("inner")) {
+      cur->AcceptKeyword("inner");
+      TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("join"));
+    } else if (cur->PeekKeyword("left")) {
+      cur->Next();
+      cur->AcceptKeyword("outer");
+      TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("join"));
+      type = JoinType::kLeftOuter;
+    } else {
+      break;
+    }
+    JoinClause join;
+    join.type = type;
+    TELEIOS_ASSIGN_OR_RETURN(join.table, ParseTableRef(cur));
+    TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("on"));
+    TELEIOS_ASSIGN_OR_RETURN(join.condition, ParseExpression(cur));
+    stmt.joins.push_back(std::move(join));
+  }
+  if (cur->AcceptKeyword("where")) {
+    TELEIOS_ASSIGN_OR_RETURN(stmt.where, ParseExpression(cur));
+  }
+  if (cur->AcceptKeyword("group")) {
+    TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("by"));
+    do {
+      TELEIOS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression(cur));
+      stmt.group_by.push_back(std::move(e));
+    } while (cur->AcceptSymbol(","));
+  }
+  if (cur->AcceptKeyword("having")) {
+    TELEIOS_ASSIGN_OR_RETURN(stmt.having, ParseExpression(cur));
+  }
+  if (cur->AcceptKeyword("order")) {
+    TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("by"));
+    do {
+      OrderItem item;
+      TELEIOS_ASSIGN_OR_RETURN(item.column, cur->ExpectIdentifier());
+      if (cur->AcceptKeyword("desc")) item.descending = true;
+      else cur->AcceptKeyword("asc");
+      stmt.order_by.push_back(std::move(item));
+    } while (cur->AcceptSymbol(","));
+  }
+  if (cur->AcceptKeyword("limit")) {
+    if (cur->Peek().type != TokenType::kInteger) {
+      return cur->MakeError("expected integer after LIMIT");
+    }
+    stmt.limit = cur->Next().int_value;
+  }
+  if (cur->AcceptKeyword("offset")) {
+    if (cur->Peek().type != TokenType::kInteger) {
+      return cur->MakeError("expected integer after OFFSET");
+    }
+    stmt.offset = cur->Next().int_value;
+  }
+  return stmt;
+}
+
+Result<CreateTableStatement> ParseCreateTable(TokenCursor* cur) {
+  CreateTableStatement stmt;
+  TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("create"));
+  TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("table"));
+  TELEIOS_ASSIGN_OR_RETURN(stmt.name, cur->ExpectIdentifier());
+  TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol("("));
+  do {
+    storage::Field f;
+    TELEIOS_ASSIGN_OR_RETURN(f.name, cur->ExpectIdentifier());
+    TELEIOS_ASSIGN_OR_RETURN(f.type, ParseTypeName(cur));
+    stmt.fields.push_back(std::move(f));
+  } while (cur->AcceptSymbol(","));
+  TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol(")"));
+  return stmt;
+}
+
+Result<InsertStatement> ParseInsert(TokenCursor* cur) {
+  InsertStatement stmt;
+  TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("insert"));
+  TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("into"));
+  TELEIOS_ASSIGN_OR_RETURN(stmt.table, cur->ExpectIdentifier());
+  if (cur->AcceptSymbol("(")) {
+    do {
+      TELEIOS_ASSIGN_OR_RETURN(std::string col, cur->ExpectIdentifier());
+      stmt.columns.push_back(std::move(col));
+    } while (cur->AcceptSymbol(","));
+    TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol(")"));
+  }
+  TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("values"));
+  do {
+    TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol("("));
+    std::vector<ExprPtr> row;
+    do {
+      TELEIOS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression(cur));
+      row.push_back(std::move(e));
+    } while (cur->AcceptSymbol(","));
+    TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol(")"));
+    stmt.rows.push_back(std::move(row));
+  } while (cur->AcceptSymbol(","));
+  return stmt;
+}
+
+Result<DeleteStatement> ParseDelete(TokenCursor* cur) {
+  DeleteStatement stmt;
+  TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("delete"));
+  TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("from"));
+  TELEIOS_ASSIGN_OR_RETURN(stmt.table, cur->ExpectIdentifier());
+  if (cur->AcceptKeyword("where")) {
+    TELEIOS_ASSIGN_OR_RETURN(stmt.where, ParseExpression(cur));
+  }
+  return stmt;
+}
+
+Result<UpdateStatement> ParseUpdate(TokenCursor* cur) {
+  UpdateStatement stmt;
+  TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("update"));
+  TELEIOS_ASSIGN_OR_RETURN(stmt.table, cur->ExpectIdentifier());
+  TELEIOS_RETURN_IF_ERROR(cur->ExpectKeyword("set"));
+  do {
+    TELEIOS_ASSIGN_OR_RETURN(std::string col, cur->ExpectIdentifier());
+    TELEIOS_RETURN_IF_ERROR(cur->ExpectSymbol("="));
+    TELEIOS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression(cur));
+    stmt.assignments.emplace_back(std::move(col), std::move(e));
+  } while (cur->AcceptSymbol(","));
+  if (cur->AcceptKeyword("where")) {
+    TELEIOS_ASSIGN_OR_RETURN(stmt.where, ParseExpression(cur));
+  }
+  return stmt;
+}
+
+}  // namespace
+
+Result<ExprPtr> ParseExpression(TokenCursor* cursor) {
+  return ParseOr(cursor);
+}
+
+Result<SelectStatement> ParseSelectStatement(TokenCursor* cursor) {
+  return ParseSelect(cursor);
+}
+
+Result<storage::ColumnType> ParseTypeName(TokenCursor* cursor) {
+  TELEIOS_ASSIGN_OR_RETURN(std::string type_name,
+                           cursor->ExpectIdentifier());
+  std::string t = StrLower(type_name);
+  if (t == "int" || t == "integer" || t == "bigint" || t == "smallint") {
+    return storage::ColumnType::kInt64;
+  }
+  if (t == "double" || t == "float" || t == "real" || t == "decimal") {
+    return storage::ColumnType::kFloat64;
+  }
+  if (t == "varchar" || t == "text" || t == "string" || t == "char") {
+    // Optional length: VARCHAR(32)
+    if (cursor->AcceptSymbol("(")) {
+      cursor->Next();  // length
+      TELEIOS_RETURN_IF_ERROR(cursor->ExpectSymbol(")"));
+    }
+    return storage::ColumnType::kString;
+  }
+  if (t == "bool" || t == "boolean") {
+    return storage::ColumnType::kBool;
+  }
+  return Status::ParseError("unknown type name '" + type_name + "'");
+}
+
+Result<Statement> ParseSql(const std::string& sql) {
+  TELEIOS_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(sql));
+  TokenCursor cur(std::move(tokens));
+  Statement result;
+  if (cur.PeekKeyword("select")) {
+    TELEIOS_ASSIGN_OR_RETURN(SelectStatement s, ParseSelect(&cur));
+    result = std::move(s);
+  } else if (cur.PeekKeyword("create")) {
+    TELEIOS_ASSIGN_OR_RETURN(CreateTableStatement s, ParseCreateTable(&cur));
+    result = std::move(s);
+  } else if (cur.PeekKeyword("insert")) {
+    TELEIOS_ASSIGN_OR_RETURN(InsertStatement s, ParseInsert(&cur));
+    result = std::move(s);
+  } else if (cur.PeekKeyword("drop")) {
+    cur.Next();
+    TELEIOS_RETURN_IF_ERROR(cur.ExpectKeyword("table"));
+    DropTableStatement s;
+    TELEIOS_ASSIGN_OR_RETURN(s.name, cur.ExpectIdentifier());
+    result = std::move(s);
+  } else if (cur.PeekKeyword("delete")) {
+    TELEIOS_ASSIGN_OR_RETURN(DeleteStatement s, ParseDelete(&cur));
+    result = std::move(s);
+  } else if (cur.PeekKeyword("update")) {
+    TELEIOS_ASSIGN_OR_RETURN(UpdateStatement s, ParseUpdate(&cur));
+    result = std::move(s);
+  } else {
+    return cur.MakeError("expected a statement");
+  }
+  cur.AcceptSymbol(";");
+  if (!cur.AtEnd()) {
+    return cur.MakeError("unexpected trailing input");
+  }
+  return result;
+}
+
+}  // namespace teleios::relational

@@ -1,0 +1,101 @@
+#ifndef TELEIOS_RELATIONAL_SQL_PARSER_H_
+#define TELEIOS_RELATIONAL_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/expression.h"
+#include "relational/operators.h"
+#include "relational/sql_lexer.h"
+#include "storage/table.h"
+
+namespace teleios::relational {
+
+/// One item of a SELECT list.
+struct SelectItem {
+  bool is_star = false;
+  ExprPtr expr;       // null when is_star
+  std::string alias;  // empty => derived from the expression
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;  // empty if none
+  /// SciQL slab ranges `name[a:b, c:d]` (start, end-exclusive per dim);
+  /// empty for plain SQL table references.
+  std::vector<std::pair<int64_t, int64_t>> slab;
+};
+
+struct JoinClause {
+  TableRef table;
+  ExprPtr condition;  // ON expression (equality conjunction expected)
+  JoinType type = JoinType::kInner;
+};
+
+struct OrderItem {
+  std::string column;  // output column name or alias
+  bool descending = false;
+};
+
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;  // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // may be null
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = none
+  int64_t offset = 0;
+};
+
+struct CreateTableStatement {
+  std::string name;
+  std::vector<storage::Field> fields;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;          // empty => schema order
+  std::vector<std::vector<ExprPtr>> rows;    // constant expressions
+};
+
+struct DropTableStatement {
+  std::string name;
+};
+
+struct DeleteStatement {
+  std::string table;
+  ExprPtr where;  // may be null (delete all)
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+};
+
+using Statement =
+    std::variant<SelectStatement, CreateTableStatement, InsertStatement,
+                 DropTableStatement, DeleteStatement, UpdateStatement>;
+
+/// Parses one SQL statement (trailing ';' optional).
+Result<Statement> ParseSql(const std::string& sql);
+
+/// Parses an expression at the cursor (exported for the SciQL parser).
+Result<ExprPtr> ParseExpression(TokenCursor* cursor);
+
+/// Parses a full SELECT statement at the cursor (exported for the SciQL
+/// parser, which lowers array SELECTs onto the relational planner).
+Result<SelectStatement> ParseSelectStatement(TokenCursor* cursor);
+
+/// Parses a type name (INT/BIGINT/DOUBLE/FLOAT/VARCHAR/TEXT/BOOL...).
+Result<storage::ColumnType> ParseTypeName(TokenCursor* cursor);
+
+}  // namespace teleios::relational
+
+#endif  // TELEIOS_RELATIONAL_SQL_PARSER_H_

@@ -1,0 +1,393 @@
+#include "relational/sql_planner.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace teleios::relational {
+
+using storage::Table;
+
+namespace {
+
+/// Splits a conjunction into its AND-ed factors.
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind == ExprKind::kBinary && expr->binary_op == BinaryOp::kAnd) {
+    SplitConjuncts(expr->children[0], out);
+    SplitConjuncts(expr->children[1], out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+ExprPtr AndTogether(const std::vector<ExprPtr>& exprs) {
+  ExprPtr acc;
+  for (const ExprPtr& e : exprs) {
+    acc = acc ? Expr::Binary(BinaryOp::kAnd, acc, e) : e;
+  }
+  return acc;
+}
+
+/// Strips a "qualifier." prefix.
+std::string BareName(const std::string& name) {
+  size_t dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+/// Qualifier part of a column ref, or "".
+std::string Qualifier(const std::string& name) {
+  size_t dot = name.find('.');
+  return dot == std::string::npos ? std::string() : name.substr(0, dot);
+}
+
+/// True if every column referenced by `expr` exists in `schema` and any
+/// qualifier matches `names` (table name or alias).
+bool ResolvableAgainst(const ExprPtr& expr, const storage::Schema& schema,
+                       const std::vector<std::string>& names) {
+  std::vector<std::string> cols;
+  CollectColumnRefs(expr, &cols);
+  for (const std::string& c : cols) {
+    std::string q = Qualifier(c);
+    if (!q.empty() &&
+        std::find(names.begin(), names.end(), q) == names.end()) {
+      return false;
+    }
+    if (schema.FieldIndex(BareName(c)) < 0 && schema.FieldIndex(c) < 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct JoinKeys {
+  std::vector<std::string> left;
+  std::vector<std::string> right;
+  std::vector<ExprPtr> residue;  // non-equality conditions
+};
+
+/// Decomposes an ON condition into equality key pairs between the two
+/// sides plus residue.
+JoinKeys DecomposeJoinCondition(const ExprPtr& cond,
+                                const storage::Schema& left_schema,
+                                const storage::Schema& right_schema) {
+  JoinKeys keys;
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(cond, &conjuncts);
+  for (const ExprPtr& c : conjuncts) {
+    if (c->kind == ExprKind::kBinary && c->binary_op == BinaryOp::kEq &&
+        c->children[0]->kind == ExprKind::kColumnRef &&
+        c->children[1]->kind == ExprKind::kColumnRef) {
+      std::string a = BareName(c->children[0]->column);
+      std::string b = BareName(c->children[1]->column);
+      if (left_schema.FieldIndex(a) >= 0 && right_schema.FieldIndex(b) >= 0) {
+        keys.left.push_back(a);
+        keys.right.push_back(b);
+        continue;
+      }
+      if (left_schema.FieldIndex(b) >= 0 && right_schema.FieldIndex(a) >= 0) {
+        keys.left.push_back(b);
+        keys.right.push_back(a);
+        continue;
+      }
+    }
+    keys.residue.push_back(c);
+  }
+  return keys;
+}
+
+/// Rewrites every occurrence of subtree `target` (matched structurally via
+/// ToString) with a column reference to `alias`.
+ExprPtr RewriteSubtree(const ExprPtr& expr, const std::string& target_str,
+                       const std::string& alias) {
+  if (expr->ToString() == target_str) return Expr::ColumnRef(alias);
+  if (expr->children.empty()) return expr;
+  auto copy = std::make_shared<Expr>(*expr);
+  for (ExprPtr& c : copy->children) {
+    c = RewriteSubtree(c, target_str, alias);
+  }
+  return copy;
+}
+
+struct PlanTrace {
+  std::vector<std::string> steps;
+  void Add(std::string s) { steps.push_back(std::move(s)); }
+};
+
+Result<Table> RunSelect(const SelectStatement& stmt,
+                        const storage::Catalog& catalog, PlanTrace* trace) {
+  // --- FROM + pushdown + joins -------------------------------------------
+  TELEIOS_ASSIGN_OR_RETURN(storage::TablePtr base_ptr,
+                           catalog.GetTable(stmt.from.name));
+  std::vector<ExprPtr> conjuncts;
+  if (stmt.where) SplitConjuncts(stmt.where, &conjuncts);
+
+  auto push_down = [&](const Table& table,
+                       const std::vector<std::string>& names)
+      -> Result<Table> {
+    std::vector<ExprPtr> pushed;
+    std::vector<ExprPtr> rest;
+    for (const ExprPtr& c : conjuncts) {
+      if (ResolvableAgainst(c, table.schema(), names)) {
+        pushed.push_back(c);
+      } else {
+        rest.push_back(c);
+      }
+    }
+    conjuncts = std::move(rest);
+    if (pushed.empty()) return table;
+    trace->Add("  pushdown filter: " + AndTogether(pushed)->ToString());
+    return Filter(table, AndTogether(pushed));
+  };
+
+  Table current = *base_ptr;
+  trace->Add("scan " + stmt.from.name);
+  if (!stmt.joins.empty()) {
+    std::vector<std::string> left_names = {stmt.from.name};
+    if (!stmt.from.alias.empty()) left_names.push_back(stmt.from.alias);
+    TELEIOS_ASSIGN_OR_RETURN(current, push_down(current, left_names));
+    for (const JoinClause& join : stmt.joins) {
+      TELEIOS_ASSIGN_OR_RETURN(storage::TablePtr right_ptr,
+                               catalog.GetTable(join.table.name));
+      Table right = *right_ptr;
+      std::vector<std::string> right_names = {join.table.name};
+      if (!join.table.alias.empty()) right_names.push_back(join.table.alias);
+      // Push single-side conjuncts below the join (inner joins only; for
+      // left outer joins pushing into the right side is still sound, but
+      // pushing a left-side filter is too — both are row-preserving here).
+      {
+        std::vector<ExprPtr> pushed;
+        std::vector<ExprPtr> rest;
+        for (const ExprPtr& c : conjuncts) {
+          if (ResolvableAgainst(c, right.schema(), right_names)) {
+            pushed.push_back(c);
+          } else {
+            rest.push_back(c);
+          }
+        }
+        if (join.type == JoinType::kInner && !pushed.empty()) {
+          conjuncts = std::move(rest);
+          trace->Add("  pushdown filter (right): " +
+                     AndTogether(pushed)->ToString());
+          TELEIOS_ASSIGN_OR_RETURN(right, Filter(right, AndTogether(pushed)));
+        }
+      }
+      JoinKeys keys = DecomposeJoinCondition(join.condition, current.schema(),
+                                             right.schema());
+      if (keys.left.empty()) {
+        return Status::Unimplemented(
+            "join requires at least one equality condition between the two "
+            "tables: " +
+            join.condition->ToString());
+      }
+      trace->Add("hash join on " + keys.left[0] + " = " + keys.right[0] +
+                 (join.type == JoinType::kLeftOuter ? " (left outer)" : ""));
+      TELEIOS_ASSIGN_OR_RETURN(
+          current, HashJoin(current, right, keys.left, keys.right, join.type));
+      if (!keys.residue.empty()) {
+        TELEIOS_ASSIGN_OR_RETURN(current,
+                                 Filter(current, AndTogether(keys.residue)));
+      }
+      left_names.insert(left_names.end(), right_names.begin(),
+                        right_names.end());
+    }
+  }
+  if (!conjuncts.empty()) {
+    ExprPtr where = AndTogether(conjuncts);
+    trace->Add("filter " + where->ToString() +
+               (IsVectorizablePredicate(current, where) ? " [vectorized]"
+                                                        : " [interpreted]"));
+    TELEIOS_ASSIGN_OR_RETURN(current, Filter(current, where));
+  }
+
+  // --- aggregation or plain projection -----------------------------------
+  bool has_aggregate =
+      !stmt.group_by.empty() ||
+      std::any_of(stmt.items.begin(), stmt.items.end(),
+                  [](const SelectItem& it) {
+                    return !it.is_star && ContainsAggregate(it.expr);
+                  });
+
+  Table output;
+  if (has_aggregate) {
+    // Materialize non-trivial group expressions as columns.
+    std::vector<std::string> group_names;
+    {
+      std::vector<ProjectItem> pre;
+      for (size_t c = 0; c < current.num_columns(); ++c) {
+        const std::string& name = current.schema().field(c).name;
+        pre.push_back({Expr::ColumnRef(name), name});
+      }
+      int gi = 0;
+      for (const ExprPtr& g : stmt.group_by) {
+        if (g->kind == ExprKind::kColumnRef) {
+          group_names.push_back(BareName(g->column));
+        } else {
+          std::string name = "_g" + std::to_string(gi++);
+          pre.push_back({g, name});
+          group_names.push_back(name);
+        }
+      }
+      if (gi > 0) {
+        TELEIOS_ASSIGN_OR_RETURN(current, ProjectCompute(current, pre));
+      }
+    }
+    // Select items: group columns or aggregate calls.
+    std::vector<AggregateItem> aggs;
+    struct OutputItem {
+      bool from_group;
+      std::string name;   // group column or aggregate alias
+      std::string alias;  // output name
+    };
+    std::vector<OutputItem> outputs;
+    for (const SelectItem& item : stmt.items) {
+      if (item.is_star) {
+        return Status::InvalidArgument("SELECT * with GROUP BY");
+      }
+      if (ContainsAggregate(item.expr)) {
+        if (item.expr->kind != ExprKind::kFunction ||
+            !IsAggregateFunction(item.expr->function)) {
+          return Status::Unimplemented(
+              "aggregate must be a direct function call: " +
+              item.expr->ToString());
+        }
+        AggregateItem agg;
+        agg.function = item.expr->function;
+        agg.argument =
+            item.expr->children.empty() ? nullptr : item.expr->children[0];
+        agg.alias = item.alias;
+        aggs.push_back(agg);
+        outputs.push_back({false, item.alias, item.alias});
+      } else {
+        // Must match a group expression.
+        std::string bare = item.expr->kind == ExprKind::kColumnRef
+                               ? BareName(item.expr->column)
+                               : item.expr->ToString();
+        auto it = std::find(group_names.begin(), group_names.end(), bare);
+        if (it == group_names.end()) {
+          // Try structural match against the original group expressions.
+          bool found = false;
+          for (size_t g = 0; g < stmt.group_by.size(); ++g) {
+            if (stmt.group_by[g]->ToString() == item.expr->ToString()) {
+              bare = group_names[g];
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            return Status::InvalidArgument(
+                "non-aggregate select item not in GROUP BY: " +
+                item.expr->ToString());
+          }
+        }
+        outputs.push_back({true, bare, item.alias});
+      }
+    }
+    // HAVING may reference aggregates; materialize them too.
+    ExprPtr having = stmt.having;
+    if (having) {
+      std::vector<ExprPtr> agg_calls;
+      std::function<void(const ExprPtr&)> collect = [&](const ExprPtr& e) {
+        if (e->kind == ExprKind::kFunction && IsAggregateFunction(e->function)) {
+          agg_calls.push_back(e);
+          return;
+        }
+        for (const ExprPtr& c : e->children) collect(c);
+      };
+      collect(having);
+      for (const ExprPtr& call : agg_calls) {
+        std::string call_str = call->ToString();
+        // Reuse an existing aggregate when the select list already has it.
+        std::string alias;
+        for (size_t i = 0; i < stmt.items.size(); ++i) {
+          if (!stmt.items[i].is_star &&
+              stmt.items[i].expr->ToString() == call_str) {
+            alias = stmt.items[i].alias;
+            break;
+          }
+        }
+        if (alias.empty()) {
+          alias = "_h" + std::to_string(aggs.size());
+          AggregateItem agg;
+          agg.function = call->function;
+          agg.argument = call->children.empty() ? nullptr : call->children[0];
+          agg.alias = alias;
+          aggs.push_back(agg);
+        }
+        having = RewriteSubtree(having, call_str, alias);
+      }
+    }
+    trace->Add("group aggregate (" + std::to_string(group_names.size()) +
+               " keys, " + std::to_string(aggs.size()) + " aggregates)");
+    TELEIOS_ASSIGN_OR_RETURN(Table agg_out,
+                             GroupAggregate(current, group_names, aggs));
+    if (having) {
+      trace->Add("having " + having->ToString());
+      TELEIOS_ASSIGN_OR_RETURN(agg_out, Filter(agg_out, having));
+    }
+    // Final projection to requested output order / names.
+    std::vector<ProjectItem> proj;
+    for (const OutputItem& o : outputs) {
+      proj.push_back({Expr::ColumnRef(o.name), o.alias});
+    }
+    TELEIOS_ASSIGN_OR_RETURN(output, ProjectCompute(agg_out, proj));
+  } else {
+    bool star_only = stmt.items.size() == 1 && stmt.items[0].is_star;
+    if (star_only) {
+      output = current;
+    } else {
+      std::vector<ProjectItem> proj;
+      for (const SelectItem& item : stmt.items) {
+        if (item.is_star) {
+          for (size_t c = 0; c < current.num_columns(); ++c) {
+            const std::string& name = current.schema().field(c).name;
+            proj.push_back({Expr::ColumnRef(name), name});
+          }
+        } else {
+          proj.push_back({item.expr, item.alias});
+        }
+      }
+      trace->Add("project " + std::to_string(proj.size()) + " columns");
+      TELEIOS_ASSIGN_OR_RETURN(output, ProjectCompute(current, proj));
+    }
+  }
+
+  if (stmt.distinct) {
+    trace->Add("distinct");
+    output = Distinct(output);
+  }
+  if (!stmt.order_by.empty()) {
+    std::vector<SortKey> keys;
+    for (const OrderItem& o : stmt.order_by) {
+      keys.push_back({o.column, o.descending});
+    }
+    trace->Add("sort");
+    TELEIOS_ASSIGN_OR_RETURN(output, Sort(output, keys));
+  }
+  if (stmt.limit >= 0 || stmt.offset > 0) {
+    size_t limit = stmt.limit >= 0 ? static_cast<size_t>(stmt.limit)
+                                   : output.num_rows();
+    trace->Add("limit " + std::to_string(limit));
+    output = Limit(output, limit, static_cast<size_t>(stmt.offset));
+  }
+  return output;
+}
+
+}  // namespace
+
+Result<Table> ExecuteSelect(const SelectStatement& stmt,
+                            const storage::Catalog& catalog) {
+  PlanTrace trace;
+  return RunSelect(stmt, catalog, &trace);
+}
+
+Result<std::string> ExplainSelect(const SelectStatement& stmt,
+                                  const storage::Catalog& catalog) {
+  PlanTrace trace;
+  TELEIOS_ASSIGN_OR_RETURN(Table out, RunSelect(stmt, catalog, &trace));
+  (void)out;
+  std::ostringstream os;
+  for (const std::string& s : trace.steps) os << s << "\n";
+  return os.str();
+}
+
+}  // namespace teleios::relational

@@ -1,0 +1,168 @@
+#include "sciql/sciql_engine.h"
+
+#include "array/array_ops.h"
+#include "relational/evaluator.h"
+#include "relational/sql_planner.h"
+
+namespace teleios::sciql {
+
+using array::Array;
+using array::ArrayPtr;
+using array::Range;
+using relational::BoundExpr;
+using relational::SelectStatement;
+using storage::Table;
+
+namespace {
+
+Table AffectedRows(int64_t n) {
+  Table t{storage::Schema({{"affected", storage::ColumnType::kInt64}})};
+  t.column(0).AppendInt64(n);
+  return t;
+}
+
+}  // namespace
+
+Status SciQlEngine::RegisterArray(ArrayPtr array) {
+  if (arrays_.count(array->name())) {
+    return Status::AlreadyExists("array '" + array->name() +
+                                 "' already exists");
+  }
+  arrays_[array->name()] = std::move(array);
+  return Status::OK();
+}
+
+Result<ArrayPtr> SciQlEngine::GetArray(const std::string& name) const {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) {
+    return Status::NotFound("array '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+std::vector<std::string> SciQlEngine::ArrayNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : arrays_) names.push_back(name);
+  return names;
+}
+
+Status SciQlEngine::DropArray(const std::string& name) {
+  if (!arrays_.erase(name)) {
+    return Status::NotFound("array '" + name + "' does not exist");
+  }
+  return Status::OK();
+}
+
+Result<Table> SciQlEngine::Execute(const std::string& statement) {
+  TELEIOS_ASSIGN_OR_RETURN(SciQlStatement stmt, ParseSciQl(statement));
+  if (const auto* create = std::get_if<CreateArrayStatement>(&stmt)) {
+    TELEIOS_ASSIGN_OR_RETURN(
+        ArrayPtr arr, Array::Create(create->name, create->dims,
+                                    create->attributes, create->defaults));
+    TELEIOS_RETURN_IF_ERROR(RegisterArray(std::move(arr)));
+    return AffectedRows(0);
+  }
+  if (const auto* drop = std::get_if<DropArrayStatement>(&stmt)) {
+    TELEIOS_RETURN_IF_ERROR(DropArray(drop->name));
+    return AffectedRows(0);
+  }
+  if (const auto* update = std::get_if<UpdateArrayStatement>(&stmt)) {
+    return ExecuteUpdate(*update);
+  }
+  return ExecuteSelect(std::get<SelectStatement>(stmt));
+}
+
+Result<Table> SciQlEngine::ExecuteSelect(const SelectStatement& stmt) {
+  // Build a scratch catalog: referenced arrays become dims+attrs tables
+  // (with slabs applied first); plain tables pass through from the
+  // relational catalog.
+  storage::Catalog scratch;
+  auto add_source = [&](const relational::TableRef& ref) -> Status {
+    if (scratch.HasTable(ref.name)) return Status::OK();
+    auto it = arrays_.find(ref.name);
+    if (it != arrays_.end()) {
+      ArrayPtr arr = it->second;
+      if (!ref.slab.empty()) {
+        std::vector<Range> slab;
+        for (const auto& [start, end] : ref.slab) slab.push_back({start, end});
+        TELEIOS_ASSIGN_OR_RETURN(arr, array::Slice(*arr, slab));
+      }
+      return scratch.CreateTable(ref.name,
+                                 std::make_shared<Table>(arr->ToTable()));
+    }
+    if (!ref.slab.empty()) {
+      return Status::InvalidArgument("slab on non-array '" + ref.name + "'");
+    }
+    if (tables_ != nullptr) {
+      auto table = tables_->GetTable(ref.name);
+      if (table.ok()) return scratch.CreateTable(ref.name, *table);
+    }
+    return Status::NotFound("no array or table named '" + ref.name + "'");
+  };
+  TELEIOS_RETURN_IF_ERROR(add_source(stmt.from));
+  for (const auto& join : stmt.joins) {
+    TELEIOS_RETURN_IF_ERROR(add_source(join.table));
+  }
+  return relational::ExecuteSelect(stmt, scratch);
+}
+
+Result<Table> SciQlEngine::ExecuteUpdate(const UpdateArrayStatement& stmt) {
+  TELEIOS_ASSIGN_OR_RETURN(ArrayPtr arr, GetArray(stmt.name));
+  if (!stmt.slab.empty() && stmt.slab.size() != arr->num_dims()) {
+    return Status::InvalidArgument("slab arity mismatch");
+  }
+  // Resolve assignment targets.
+  std::vector<int> targets;
+  for (const auto& [col, _] : stmt.assignments) {
+    int a = arr->AttributeIndex(col);
+    if (a < 0) {
+      return Status::NotFound("array '" + stmt.name +
+                              "' has no attribute '" + col + "'");
+    }
+    targets.push_back(a);
+  }
+  // Cell resolver: dims + attributes by name.
+  std::vector<int64_t> coords(arr->num_dims());
+  auto resolver = [&](const std::string& name) -> Result<Value> {
+    int d = arr->DimensionIndex(name);
+    if (d >= 0) return Value(coords[d]);
+    int a = arr->AttributeIndex(name);
+    if (a >= 0) {
+      auto idx = arr->LinearIndex(coords);
+      if (!idx.ok()) return idx.status();
+      return arr->GetLinear(*idx, static_cast<size_t>(a));
+    }
+    return Status::NotFound("unknown cell reference '" + name + "'");
+  };
+  int64_t changed = 0;
+  for (size_t i = 0; i < arr->num_cells(); ++i) {
+    coords = arr->CoordsOf(i);
+    bool in_slab = true;
+    for (size_t d = 0; d < stmt.slab.size(); ++d) {
+      if (coords[d] < stmt.slab[d].first || coords[d] >= stmt.slab[d].second) {
+        in_slab = false;
+        break;
+      }
+    }
+    if (!in_slab) continue;
+    if (stmt.where) {
+      TELEIOS_ASSIGN_OR_RETURN(Value cond,
+                               relational::Evaluate(stmt.where, resolver));
+      if (!cond.Truthy()) continue;
+    }
+    // Evaluate all right-hand sides before writing (simultaneous update).
+    std::vector<Value> results;
+    for (const auto& [_, expr] : stmt.assignments) {
+      TELEIOS_ASSIGN_OR_RETURN(Value v, relational::Evaluate(expr, resolver));
+      results.push_back(std::move(v));
+    }
+    for (size_t t = 0; t < targets.size(); ++t) {
+      TELEIOS_RETURN_IF_ERROR(
+          arr->SetLinear(i, static_cast<size_t>(targets[t]), results[t]));
+    }
+    ++changed;
+  }
+  return AffectedRows(changed);
+}
+
+}  // namespace teleios::sciql

@@ -1,0 +1,54 @@
+#ifndef TELEIOS_SCIQL_SCIQL_ENGINE_H_
+#define TELEIOS_SCIQL_SCIQL_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/array.h"
+#include "common/status.h"
+#include "sciql/sciql_parser.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace teleios::sciql {
+
+/// The SciQL execution engine: maintains the array catalog and evaluates
+/// SciQL statements. SELECT statements are lowered onto the relational
+/// planner by materializing (a slab of) the array as a dims+attrs table,
+/// so arrays and tables can be mixed in one query (join an array against
+/// a metadata table, SciQL's headline symbiosis claim).
+class SciQlEngine {
+ public:
+  /// `tables` is the relational catalog joined against in SELECTs; may be
+  /// nullptr for an arrays-only engine. Must outlive the engine.
+  explicit SciQlEngine(storage::Catalog* tables = nullptr)
+      : tables_(tables) {}
+
+  /// Registers an externally built array (e.g. from the data vault).
+  Status RegisterArray(array::ArrayPtr array);
+
+  Result<array::ArrayPtr> GetArray(const std::string& name) const;
+  bool HasArray(const std::string& name) const {
+    return arrays_.count(name) > 0;
+  }
+  std::vector<std::string> ArrayNames() const;
+  Status DropArray(const std::string& name);
+
+  /// Parses and executes one SciQL statement. SELECT returns the result
+  /// table; DDL/updates return a one-cell "affected" table.
+  Result<storage::Table> Execute(const std::string& statement);
+
+ private:
+  Result<storage::Table> ExecuteSelect(
+      const relational::SelectStatement& stmt);
+  Result<storage::Table> ExecuteUpdate(const UpdateArrayStatement& stmt);
+
+  storage::Catalog* tables_;
+  std::map<std::string, array::ArrayPtr> arrays_;
+};
+
+}  // namespace teleios::sciql
+
+#endif  // TELEIOS_SCIQL_SCIQL_ENGINE_H_

@@ -1,0 +1,47 @@
+#ifndef TELEIOS_SCIQL_SCIQL_PARSER_H_
+#define TELEIOS_SCIQL_SCIQL_PARSER_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "array/array.h"
+#include "common/status.h"
+#include "relational/sql_parser.h"
+
+namespace teleios::sciql {
+
+/// CREATE ARRAY img (y INT DIMENSION [0:512], x INT DIMENSION [0:512],
+///                   v DOUBLE DEFAULT 0.0)
+struct CreateArrayStatement {
+  std::string name;
+  std::vector<array::Dimension> dims;
+  std::vector<storage::Field> attributes;
+  std::vector<Value> defaults;
+};
+
+/// UPDATE img[0:100, 0:100] SET v = v * 2.0 WHERE v > 10 — cell-wise
+/// in-place update over an optional slab.
+struct UpdateArrayStatement {
+  std::string name;
+  std::vector<std::pair<int64_t, int64_t>> slab;  // empty = whole array
+  std::vector<std::pair<std::string, relational::ExprPtr>> assignments;
+  relational::ExprPtr where;  // may be null
+};
+
+struct DropArrayStatement {
+  std::string name;
+};
+
+/// SELECT over an array reuses the relational SELECT AST; the FROM ref may
+/// carry a slab.
+using SciQlStatement =
+    std::variant<CreateArrayStatement, UpdateArrayStatement,
+                 DropArrayStatement, relational::SelectStatement>;
+
+/// Parses one SciQL statement.
+Result<SciQlStatement> ParseSciQl(const std::string& text);
+
+}  // namespace teleios::sciql
+
+#endif  // TELEIOS_SCIQL_SCIQL_PARSER_H_

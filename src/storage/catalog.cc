@@ -1,0 +1,35 @@
+#include "storage/catalog.h"
+
+namespace teleios::storage {
+
+Status Catalog::CreateTable(const std::string& name, TablePtr table) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (!tables_.erase(name)) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace teleios::storage

@@ -1,0 +1,42 @@
+#ifndef TELEIOS_STORAGE_CATALOG_H_
+#define TELEIOS_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace teleios::storage {
+
+/// Named-table registry: the database-tier catalog that both the SQL
+/// engine and the data vault register tables into.
+class Catalog {
+ public:
+  /// Registers `table` under `name`; AlreadyExists if taken.
+  Status CreateTable(const std::string& name, TablePtr table);
+
+  /// Drops a table; NotFound if absent.
+  Status DropTable(const std::string& name);
+
+  /// Looks a table up; NotFound if absent.
+  Result<TablePtr> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Sorted table names.
+  std::vector<std::string> TableNames() const;
+
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace teleios::storage
+
+#endif  // TELEIOS_STORAGE_CATALOG_H_

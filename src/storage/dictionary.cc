@@ -1,0 +1,26 @@
+#include "storage/dictionary.h"
+
+namespace teleios::storage {
+
+int32_t Dictionary::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(std::string_view(strings_.back()), code);
+  return code;
+}
+
+int32_t Dictionary::Lookup(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kInvalidCode : it->second;
+}
+
+size_t Dictionary::MemoryUsage() const {
+  size_t bytes = strings_.size() * sizeof(std::string);
+  for (const auto& s : strings_) bytes += s.capacity();
+  bytes += index_.size() * (sizeof(std::string_view) + sizeof(int32_t) + 16);
+  return bytes;
+}
+
+}  // namespace teleios::storage

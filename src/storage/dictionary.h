@@ -1,0 +1,43 @@
+#ifndef TELEIOS_STORAGE_DICTIONARY_H_
+#define TELEIOS_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace teleios::storage {
+
+/// Order-preserving insertion dictionary mapping strings to dense int32
+/// codes, MonetDB-style. Used for dictionary-encoded string columns and
+/// as the RDF term dictionary backend.
+///
+/// Interned strings live in a deque, so references returned by At() stay
+/// valid for the dictionary's lifetime.
+class Dictionary {
+ public:
+  static constexpr int32_t kInvalidCode = -1;
+
+  /// Returns the code of `s`, interning it if unseen.
+  int32_t Intern(std::string_view s);
+
+  /// Returns the code of `s` or kInvalidCode if not interned.
+  int32_t Lookup(std::string_view s) const;
+
+  /// Returns the string for `code`; requires a valid code.
+  const std::string& At(int32_t code) const { return strings_[code]; }
+
+  int32_t size() const { return static_cast<int32_t>(strings_.size()); }
+
+  /// Approximate heap bytes used (strings + hash index).
+  size_t MemoryUsage() const;
+
+ private:
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, int32_t> index_;
+};
+
+}  // namespace teleios::storage
+
+#endif  // TELEIOS_STORAGE_DICTIONARY_H_

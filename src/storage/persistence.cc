@@ -1,0 +1,327 @@
+#include "storage/persistence.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace teleios::storage {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'E', 'L', 'T'};
+
+void WriteU32(std::ostream& os, uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteU64(std::ostream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteString(std::ostream& os, const std::string& s) {
+  WriteU32(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadU32(std::istream& is, uint32_t* v) {
+  return static_cast<bool>(
+      is.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+bool ReadU64(std::istream& is, uint64_t* v) {
+  return static_cast<bool>(
+      is.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+bool ReadString(std::istream& is, std::string* s) {
+  uint32_t n = 0;
+  if (!ReadU32(is, &n)) return false;
+  s->resize(n);
+  return static_cast<bool>(is.read(s->data(), n));
+}
+
+std::string CsvEscape(const std::string& s) {
+  bool needs = s.find_first_of(",\"\n") != std::string::npos;
+  if (!needs) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Status WriteTable(const Table& table, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open '" + path + "' for writing");
+  os.write(kMagic, 4);
+  WriteU32(os, static_cast<uint32_t>(table.num_columns()));
+  WriteU64(os, table.num_rows());
+  for (const Field& f : table.schema().fields()) {
+    WriteString(os, f.name);
+    WriteU32(os, static_cast<uint32_t>(f.type));
+  }
+  size_t rows = table.num_rows();
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    for (size_t r = 0; r < rows; ++r) {
+      uint8_t valid = col.IsNull(r) ? 0 : 1;
+      os.write(reinterpret_cast<const char*>(&valid), 1);
+    }
+    switch (col.type()) {
+      case ColumnType::kBool:
+        for (size_t r = 0; r < rows; ++r) {
+          uint8_t b = (!col.IsNull(r) && col.GetBool(r)) ? 1 : 0;
+          os.write(reinterpret_cast<const char*>(&b), 1);
+        }
+        break;
+      case ColumnType::kInt64:
+        for (size_t r = 0; r < rows; ++r) {
+          int64_t v = col.IsNull(r) ? 0 : col.GetInt64(r);
+          os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+        }
+        break;
+      case ColumnType::kFloat64:
+        for (size_t r = 0; r < rows; ++r) {
+          double v = col.IsNull(r) ? 0.0 : col.GetFloat64(r);
+          os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+        }
+        break;
+      case ColumnType::kString: {
+        const Dictionary& dict = col.dict();
+        WriteU32(os, static_cast<uint32_t>(dict.size()));
+        for (int32_t i = 0; i < dict.size(); ++i) WriteString(os, dict.At(i));
+        for (size_t r = 0; r < rows; ++r) {
+          int32_t code = col.IsNull(r) ? -1 : col.GetStringCode(r);
+          os.write(reinterpret_cast<const char*>(&code), sizeof(code));
+        }
+        break;
+      }
+    }
+  }
+  if (!os) return Status::IoError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+Result<Table> ReadTable(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open '" + path + "' for reading");
+  char magic[4];
+  if (!is.read(magic, 4) || std::string(magic, 4) != std::string(kMagic, 4)) {
+    return Status::ParseError("'" + path + "' is not a TELT file");
+  }
+  uint32_t ncols = 0;
+  uint64_t nrows = 0;
+  if (!ReadU32(is, &ncols) || !ReadU64(is, &nrows)) {
+    return Status::ParseError("truncated TELT header");
+  }
+  std::vector<Field> fields;
+  for (uint32_t c = 0; c < ncols; ++c) {
+    Field f;
+    uint32_t t = 0;
+    if (!ReadString(is, &f.name) || !ReadU32(is, &t)) {
+      return Status::ParseError("truncated TELT schema");
+    }
+    f.type = static_cast<ColumnType>(t);
+    fields.push_back(std::move(f));
+  }
+  Table table{Schema(std::move(fields))};
+  for (uint32_t c = 0; c < ncols; ++c) {
+    Column& col = table.column(c);
+    col.Reserve(nrows);
+    std::vector<uint8_t> valid(nrows);
+    if (nrows > 0 &&
+        !is.read(reinterpret_cast<char*>(valid.data()),
+                 static_cast<std::streamsize>(nrows))) {
+      return Status::ParseError("truncated TELT validity");
+    }
+    switch (col.type()) {
+      case ColumnType::kBool:
+        for (uint64_t r = 0; r < nrows; ++r) {
+          uint8_t b = 0;
+          if (!is.read(reinterpret_cast<char*>(&b), 1)) {
+            return Status::ParseError("truncated TELT payload");
+          }
+          if (valid[r]) col.AppendBool(b != 0);
+          else col.AppendNull();
+        }
+        break;
+      case ColumnType::kInt64:
+        for (uint64_t r = 0; r < nrows; ++r) {
+          int64_t v = 0;
+          if (!is.read(reinterpret_cast<char*>(&v), sizeof(v))) {
+            return Status::ParseError("truncated TELT payload");
+          }
+          if (valid[r]) col.AppendInt64(v);
+          else col.AppendNull();
+        }
+        break;
+      case ColumnType::kFloat64:
+        for (uint64_t r = 0; r < nrows; ++r) {
+          double v = 0;
+          if (!is.read(reinterpret_cast<char*>(&v), sizeof(v))) {
+            return Status::ParseError("truncated TELT payload");
+          }
+          if (valid[r]) col.AppendFloat64(v);
+          else col.AppendNull();
+        }
+        break;
+      case ColumnType::kString: {
+        uint32_t dict_size = 0;
+        if (!ReadU32(is, &dict_size)) {
+          return Status::ParseError("truncated TELT dictionary");
+        }
+        std::vector<std::string> dict(dict_size);
+        for (uint32_t i = 0; i < dict_size; ++i) {
+          if (!ReadString(is, &dict[i])) {
+            return Status::ParseError("truncated TELT dictionary entry");
+          }
+        }
+        for (uint64_t r = 0; r < nrows; ++r) {
+          int32_t code = 0;
+          if (!is.read(reinterpret_cast<char*>(&code), sizeof(code))) {
+            return Status::ParseError("truncated TELT codes");
+          }
+          if (valid[r] && code >= 0 && code < static_cast<int32_t>(dict_size)) {
+            col.AppendString(dict[code]);
+          } else {
+            col.AppendNull();
+          }
+        }
+        break;
+      }
+    }
+  }
+  return table;
+}
+
+namespace {
+
+/// Splits one CSV record honoring quotes; returns false on a dangling
+/// quote.
+bool SplitCsvRecord(const std::string& line, std::vector<std::string>* out) {
+  out->clear();
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      out->push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (quoted) return false;
+  out->push_back(std::move(cur));
+  return true;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IoError("cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::ParseError("empty CSV file '" + path + "'");
+  }
+  std::vector<std::string> header;
+  if (!SplitCsvRecord(line, &header) || header.empty()) {
+    return Status::ParseError("bad CSV header in '" + path + "'");
+  }
+  std::vector<std::vector<std::string>> records;
+  size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> record;
+    if (!SplitCsvRecord(line, &record)) {
+      return Status::ParseError("unterminated quote at " + path + ":" +
+                                std::to_string(lineno));
+    }
+    if (record.size() != header.size()) {
+      return Status::ParseError("column count mismatch at " + path + ":" +
+                                std::to_string(lineno));
+    }
+    records.push_back(std::move(record));
+  }
+  // Infer per-column types.
+  std::vector<Field> fields;
+  for (size_t c = 0; c < header.size(); ++c) {
+    bool all_int = true;
+    bool all_double = true;
+    bool any_value = false;
+    for (const auto& record : records) {
+      const std::string& cell = record[c];
+      if (cell.empty()) continue;
+      any_value = true;
+      if (all_int && !ParseInt64(cell).ok()) all_int = false;
+      if (all_double && !ParseDouble(cell).ok()) all_double = false;
+    }
+    ColumnType type = ColumnType::kString;
+    if (any_value && all_int) type = ColumnType::kInt64;
+    else if (any_value && all_double) type = ColumnType::kFloat64;
+    fields.push_back({header[c], type});
+  }
+  Table table{Schema(std::move(fields))};
+  for (const auto& record : records) {
+    std::vector<Value> row;
+    for (size_t c = 0; c < record.size(); ++c) {
+      const std::string& cell = record[c];
+      if (cell.empty()) {
+        row.emplace_back();
+      } else {
+        switch (table.schema().field(c).type) {
+          case ColumnType::kInt64:
+            row.emplace_back(*ParseInt64(cell));
+            break;
+          case ColumnType::kFloat64:
+            row.emplace_back(*ParseDouble(cell));
+            break;
+          default:
+            row.emplace_back(cell);
+        }
+      }
+    }
+    TELEIOS_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::IoError("cannot open '" + path + "' for writing");
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c) os << ",";
+    os << CsvEscape(table.schema().field(c).name);
+  }
+  os << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) os << ",";
+      Value v = table.Get(r, c);
+      if (!v.is_null()) os << CsvEscape(v.ToString());
+    }
+    os << "\n";
+  }
+  if (!os) return Status::IoError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace teleios::storage

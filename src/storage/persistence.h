@@ -1,0 +1,30 @@
+#ifndef TELEIOS_STORAGE_PERSISTENCE_H_
+#define TELEIOS_STORAGE_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace teleios::storage {
+
+/// Writes `table` to `path` in the TELEIOS binary table format ("TELT").
+/// The format stores the schema, row count, validity bytes and typed
+/// payloads; string columns are written dictionary + codes.
+Status WriteTable(const Table& table, const std::string& path);
+
+/// Reads a table previously written with WriteTable.
+Result<Table> ReadTable(const std::string& path);
+
+/// Writes `table` as CSV with a header row (for interop / debugging).
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV with a header row into a table. Column types are inferred
+/// from the data (BIGINT if every non-empty cell parses as an integer,
+/// then DOUBLE, else VARCHAR); empty cells become NULL. Quoted fields
+/// with doubled-quote escapes are supported (the WriteCsv dialect).
+Result<Table> ReadCsv(const std::string& path);
+
+}  // namespace teleios::storage
+
+#endif  // TELEIOS_STORAGE_PERSISTENCE_H_

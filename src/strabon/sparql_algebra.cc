@@ -1,0 +1,77 @@
+#include "strabon/sparql_algebra.h"
+
+#include "common/strings.h"
+
+namespace teleios::strabon {
+
+bool IsAggregateCall(const SparqlExprPtr& expr) {
+  if (!expr || expr->kind != SparqlExprKind::kCall) return false;
+  std::string name = StrLower(expr->function);
+  return name == "count" || name == "sum" || name == "avg" ||
+         name == "min" || name == "max";
+}
+
+PatternNode PatternNode::Var(std::string name) {
+  PatternNode n;
+  n.is_var = true;
+  n.var = std::move(name);
+  return n;
+}
+
+PatternNode PatternNode::Ground(rdf::Term term) {
+  PatternNode n;
+  n.is_var = false;
+  n.term = std::move(term);
+  return n;
+}
+
+SparqlExprPtr SparqlExpr::Var(std::string name) {
+  auto e = std::make_shared<SparqlExpr>();
+  e->kind = SparqlExprKind::kVar;
+  e->var = std::move(name);
+  return e;
+}
+
+SparqlExprPtr SparqlExpr::Constant(rdf::Term term) {
+  auto e = std::make_shared<SparqlExpr>();
+  e->kind = SparqlExprKind::kTerm;
+  e->term = std::move(term);
+  return e;
+}
+
+SparqlExprPtr SparqlExpr::Not(SparqlExprPtr inner) {
+  auto e = std::make_shared<SparqlExpr>();
+  e->kind = SparqlExprKind::kUnary;
+  e->negate = true;
+  e->args.push_back(std::move(inner));
+  return e;
+}
+
+SparqlExprPtr SparqlExpr::Neg(SparqlExprPtr inner) {
+  auto e = std::make_shared<SparqlExpr>();
+  e->kind = SparqlExprKind::kUnary;
+  e->negate = false;
+  e->args.push_back(std::move(inner));
+  return e;
+}
+
+SparqlExprPtr SparqlExpr::Binary(SparqlBinaryOp op, SparqlExprPtr lhs,
+                                 SparqlExprPtr rhs) {
+  auto e = std::make_shared<SparqlExpr>();
+  e->kind = SparqlExprKind::kBinary;
+  e->op = op;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+SparqlExprPtr SparqlExpr::Call(std::string function,
+                               std::vector<SparqlExprPtr> args) {
+  auto e = std::make_shared<SparqlExpr>();
+  e->kind = SparqlExprKind::kCall;
+  e->function = std::move(function);
+  e->args = std::move(args);
+  return e;
+}
+
+}  // namespace teleios::strabon

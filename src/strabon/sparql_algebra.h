@@ -1,0 +1,139 @@
+#ifndef TELEIOS_STRABON_SPARQL_ALGEBRA_H_
+#define TELEIOS_STRABON_SPARQL_ALGEBRA_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+#include "storage/table.h"
+
+namespace teleios::strabon {
+
+/// A position in a triple pattern: variable or ground term.
+struct PatternNode {
+  bool is_var = false;
+  std::string var;  // without '?'
+  rdf::Term term;
+
+  static PatternNode Var(std::string name);
+  static PatternNode Ground(rdf::Term term);
+};
+
+struct TriplePatternAst {
+  PatternNode s, p, o;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions (FILTER / BIND / SELECT expressions)
+
+enum class SparqlExprKind { kVar, kTerm, kUnary, kBinary, kCall };
+
+enum class SparqlBinaryOp {
+  kOr,
+  kAnd,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+struct SparqlExpr;
+using SparqlExprPtr = std::shared_ptr<const SparqlExpr>;
+
+struct SparqlExpr {
+  SparqlExprKind kind;
+  std::string var;                     // kVar
+  rdf::Term term;                      // kTerm
+  bool negate = false;                 // kUnary: '!'; else unary minus
+  SparqlBinaryOp op = SparqlBinaryOp::kAnd;  // kBinary
+  std::string function;                // kCall: full IRI or builtin name
+  std::vector<SparqlExprPtr> args;
+
+  static SparqlExprPtr Var(std::string name);
+  static SparqlExprPtr Constant(rdf::Term term);
+  static SparqlExprPtr Not(SparqlExprPtr inner);
+  static SparqlExprPtr Neg(SparqlExprPtr inner);
+  static SparqlExprPtr Binary(SparqlBinaryOp op, SparqlExprPtr lhs,
+                              SparqlExprPtr rhs);
+  static SparqlExprPtr Call(std::string function,
+                            std::vector<SparqlExprPtr> args);
+};
+
+// ---------------------------------------------------------------------------
+// Group graph patterns
+
+struct GroupPattern;
+
+struct UnionPattern {
+  std::shared_ptr<GroupPattern> left;
+  std::shared_ptr<GroupPattern> right;
+};
+
+struct BindClause {
+  SparqlExprPtr expr;
+  std::string var;
+};
+
+/// A { ... } group: basic graph pattern + filters + optionals + unions +
+/// binds, evaluated in order (triples, unions, optionals, binds, filters).
+struct GroupPattern {
+  std::vector<TriplePatternAst> triples;
+  std::vector<SparqlExprPtr> filters;
+  std::vector<GroupPattern> optionals;
+  std::vector<UnionPattern> unions;
+  std::vector<BindClause> binds;
+};
+
+struct SparqlOrderKey {
+  SparqlExprPtr expr;
+  bool descending = false;
+};
+
+/// A computed projection `(expr AS ?name)`; aggregates (count/sum/avg/
+/// min/max) are kCall nodes with those bare function names.
+struct SparqlProjection {
+  SparqlExprPtr expr;
+  std::string name;
+};
+
+/// SELECT or ASK query.
+struct SparqlQuery {
+  bool is_ask = false;
+  bool distinct = false;
+  std::vector<std::string> variables;  // plain ?var projections; empty + no
+                                       // computed = *
+  std::vector<SparqlProjection> computed;  // (expr AS ?v) projections
+  std::vector<std::string> group_by;       // GROUP BY variables
+  GroupPattern where;
+  std::vector<SparqlOrderKey> order_by;
+  int64_t limit = -1;
+  int64_t offset = 0;
+};
+
+/// True when `expr` is an aggregate function call (count/sum/avg/min/max
+/// by bare name).
+bool IsAggregateCall(const SparqlExprPtr& expr);
+
+/// stSPARQL update forms.
+struct SparqlUpdate {
+  enum class Kind { kInsertData, kDeleteData, kModify, kDeleteWhere };
+  Kind kind = Kind::kInsertData;
+  std::vector<TriplePatternAst> delete_templates;
+  std::vector<TriplePatternAst> insert_templates;
+  GroupPattern where;  // kModify / kDeleteWhere
+};
+
+using SparqlStatement = std::variant<SparqlQuery, SparqlUpdate>;
+
+}  // namespace teleios::strabon
+
+#endif  // TELEIOS_STRABON_SPARQL_ALGEBRA_H_

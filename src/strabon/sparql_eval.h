@@ -1,0 +1,77 @@
+#ifndef TELEIOS_STRABON_SPARQL_EVAL_H_
+#define TELEIOS_STRABON_SPARQL_EVAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/triple_store.h"
+#include "storage/table.h"
+#include "strabon/spatial_functions.h"
+#include "strabon/sparql_algebra.h"
+
+namespace teleios::strabon {
+
+/// A set of SPARQL solutions: named variables, rows of term ids
+/// (rdf::kNoTerm = unbound).
+struct SolutionSet {
+  std::vector<std::string> vars;
+  std::vector<std::vector<rdf::TermId>> rows;
+
+  int VarIndex(const std::string& name) const;
+  /// Adds a variable column (unbound in existing rows); returns its index.
+  int AddVar(const std::string& name);
+
+  /// Pretty table: one VARCHAR column per variable, IRIs/literals printed
+  /// without angle brackets or quotes.
+  storage::Table ToTable(const rdf::TermDictionary& dict) const;
+};
+
+/// Per-variable candidate restriction (from the spatial index): a pattern
+/// binding a restricted variable only keeps rows whose binding is in the
+/// set.
+using CandidateSets =
+    std::unordered_map<std::string, std::unordered_set<rdf::TermId>>;
+
+/// Evaluates group graph patterns against a triple store.
+class SparqlEvaluator {
+ public:
+  /// `store` and `geometry_cache` must outlive the evaluator;
+  /// `candidates` may be null.
+  SparqlEvaluator(const rdf::TripleStore* store, GeometryCache* geometry_cache,
+                  const CandidateSets* candidates = nullptr)
+      : store_(store), cache_(geometry_cache), candidates_(candidates) {}
+
+  Result<SolutionSet> EvalGroup(const GroupPattern& group);
+
+  /// Evaluates an expression for row `row` of `solutions`. Unbound
+  /// variables and type mismatches produce an error Status (which FILTER
+  /// treats as false, per SPARQL semantics).
+  Result<rdf::Term> EvalExpr(const SparqlExprPtr& expr,
+                             const SolutionSet& solutions, size_t row);
+
+  /// SPARQL effective boolean value of a term.
+  static Result<bool> EffectiveBooleanValue(const rdf::Term& term);
+
+  /// Total order over terms for ORDER BY / comparisons: numeric literals
+  /// by value, dateTimes chronologically, strings lexically, IRIs/blanks
+  /// by lexical form. Returns <0, 0, >0.
+  static int CompareTerms(const rdf::Term& a, const rdf::Term& b);
+
+ private:
+  Result<SolutionSet> EvalBasicGraphPattern(
+      const std::vector<TriplePatternAst>& triples);
+  Result<SolutionSet> Join(const SolutionSet& left, const SolutionSet& right,
+                           bool left_outer);
+  Status ApplyFilter(const SparqlExprPtr& filter, SolutionSet* solutions);
+
+  const rdf::TripleStore* store_;
+  GeometryCache* cache_;
+  const CandidateSets* candidates_;
+};
+
+}  // namespace teleios::strabon
+
+#endif  // TELEIOS_STRABON_SPARQL_EVAL_H_

@@ -1,0 +1,287 @@
+#include "strabon/sparql_lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace teleios::strabon {
+
+Result<std::vector<SparqlToken>> LexSparql(const std::string& input) {
+  std::vector<SparqlToken> tokens;
+  size_t i = 0;
+  size_t n = input.size();
+  auto is_pn_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.';
+  };
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    SparqlToken tok;
+    tok.position = i;
+    if (c == '?' || c == '$') {
+      ++i;
+      std::string name;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        name += input[i++];
+      }
+      if (name.empty()) {
+        return Status::ParseError("empty variable name at offset " +
+                                  std::to_string(tok.position));
+      }
+      tok.type = SparqlTokenType::kVariable;
+      tok.text = std::move(name);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '<') {
+      // IRIREF only if no spaces before '>' — '<' alone is an operator.
+      size_t j = i + 1;
+      std::string iri;
+      bool ok = false;
+      while (j < n) {
+        if (input[j] == '>') {
+          ok = true;
+          break;
+        }
+        if (std::isspace(static_cast<unsigned char>(input[j]))) break;
+        iri += input[j++];
+      }
+      if (ok) {
+        tok.type = SparqlTokenType::kIriRef;
+        tok.text = std::move(iri);
+        i = j + 1;
+        tokens.push_back(std::move(tok));
+        continue;
+      }
+      // fall through as symbol '<' / '<='
+    }
+    if (c == '_' && i + 1 < n && input[i + 1] == ':') {
+      i += 2;
+      std::string label;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        label += input[i++];
+      }
+      tok.type = SparqlTokenType::kBlank;
+      tok.text = std::move(label);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\\' && i + 1 < n) {
+          char e = input[i + 1];
+          i += 2;
+          switch (e) {
+            case 'n':
+              text += '\n';
+              break;
+            case 't':
+              text += '\t';
+              break;
+            case 'r':
+              text += '\r';
+              break;
+            default:
+              text += e;
+          }
+          continue;
+        }
+        if (input[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(tok.position));
+      }
+      tok.type = SparqlTokenType::kString;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      std::string text = input.substr(start, i - start);
+      if (is_double) {
+        TELEIOS_ASSIGN_OR_RETURN(tok.double_value, ParseDouble(text));
+        tok.type = SparqlTokenType::kDouble;
+      } else {
+        TELEIOS_ASSIGN_OR_RETURN(tok.int_value, ParseInt64(text));
+        tok.type = SparqlTokenType::kInteger;
+      }
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      // Bare word: keyword, or PNAME if a ':' follows the word.
+      size_t j = i;
+      std::string word;
+      while (j < n && is_pn_char(input[j])) word += input[j++];
+      if (j < n && input[j] == ':') {
+        // prefixed name prefix:local
+        std::string pname = word + ":";
+        ++j;
+        while (j < n && is_pn_char(input[j])) pname += input[j++];
+        // PN_LOCAL may not end with '.'
+        while (!pname.empty() && pname.back() == '.') {
+          pname.pop_back();
+          --j;
+        }
+        tok.type = SparqlTokenType::kPname;
+        tok.text = std::move(pname);
+        i = j;
+        tokens.push_back(std::move(tok));
+        continue;
+      }
+      // keyword (strip trailing dots that belong to punctuation)
+      while (!word.empty() && word.back() == '.') {
+        word.pop_back();
+        --j;
+      }
+      tok.type = SparqlTokenType::kKeyword;
+      tok.text = std::move(word);
+      i = j;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == ':') {
+      // :local (empty prefix)
+      size_t j = i + 1;
+      std::string pname = ":";
+      while (j < n && is_pn_char(input[j])) pname += input[j++];
+      while (pname.size() > 1 && pname.back() == '.') {
+        pname.pop_back();
+        --j;
+      }
+      tok.type = SparqlTokenType::kPname;
+      tok.text = std::move(pname);
+      i = j;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    static const char* kTwoChar[] = {"^^", "!=", "<=", ">=", "&&", "||"};
+    bool matched = false;
+    for (const char* sym : kTwoChar) {
+      if (i + 1 < n && input[i] == sym[0] && input[i + 1] == sym[1]) {
+        tok.type = SparqlTokenType::kSymbol;
+        tok.text = sym;
+        i += 2;
+        tokens.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingles = "{}().;,=<>!+-*/@";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.type = SparqlTokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError(StrFormat(
+        "unexpected character '%c' at offset %zu in SPARQL", c, i));
+  }
+  SparqlToken end;
+  end.type = SparqlTokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+const SparqlToken& SparqlCursor::Peek(size_t ahead) const {
+  size_t idx = pos_ + ahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+  return tokens_[idx];
+}
+
+SparqlToken SparqlCursor::Next() {
+  SparqlToken t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool SparqlCursor::PeekKeyword(const std::string& kw) const {
+  const SparqlToken& t = Peek();
+  return t.type == SparqlTokenType::kKeyword &&
+         StrEqualsIgnoreCase(t.text, kw);
+}
+
+bool SparqlCursor::AcceptKeyword(const std::string& kw) {
+  if (PeekKeyword(kw)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status SparqlCursor::ExpectKeyword(const std::string& kw) {
+  if (!AcceptKeyword(kw)) return MakeError("expected '" + kw + "'");
+  return Status::OK();
+}
+
+bool SparqlCursor::PeekSymbol(const std::string& sym) const {
+  const SparqlToken& t = Peek();
+  return t.type == SparqlTokenType::kSymbol && t.text == sym;
+}
+
+bool SparqlCursor::AcceptSymbol(const std::string& sym) {
+  if (PeekSymbol(sym)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status SparqlCursor::ExpectSymbol(const std::string& sym) {
+  if (!AcceptSymbol(sym)) return MakeError("expected '" + sym + "'");
+  return Status::OK();
+}
+
+Status SparqlCursor::MakeError(const std::string& message) const {
+  const SparqlToken& t = Peek();
+  std::string got = t.type == SparqlTokenType::kEnd ? "<end>" : t.text;
+  return Status::ParseError(message + " but got '" + got +
+                            "' at offset " + std::to_string(t.position));
+}
+
+}  // namespace teleios::strabon

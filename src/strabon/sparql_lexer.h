@@ -1,0 +1,62 @@
+#ifndef TELEIOS_STRABON_SPARQL_LEXER_H_
+#define TELEIOS_STRABON_SPARQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace teleios::strabon {
+
+enum class SparqlTokenType {
+  kKeyword,    // bare word (SELECT, WHERE, FILTER, OPTIONAL, a, true...)
+  kVariable,   // ?x or $x (text excludes the sigil)
+  kIriRef,     // <...> (text is the IRI)
+  kPname,      // prefix:local or prefix: or :local (text as written)
+  kString,     // quoted literal body (unescaped)
+  kInteger,
+  kDouble,
+  kSymbol,     // punctuation: { } ( ) . ; , ^^ @ = != < <= > >= && || ! + - * /
+  kBlank,      // _:label
+  kEnd,
+};
+
+struct SparqlToken {
+  SparqlTokenType type;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t position = 0;
+};
+
+/// Tokenizes a SPARQL / stSPARQL query string. Comments: `# to eol`.
+Result<std::vector<SparqlToken>> LexSparql(const std::string& input);
+
+/// Cursor with SPARQL-keyword helpers (case-insensitive keywords).
+class SparqlCursor {
+ public:
+  explicit SparqlCursor(std::vector<SparqlToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const SparqlToken& Peek(size_t ahead = 0) const;
+  SparqlToken Next();
+  bool AtEnd() const { return Peek().type == SparqlTokenType::kEnd; }
+
+  bool PeekKeyword(const std::string& kw) const;
+  bool AcceptKeyword(const std::string& kw);
+  Status ExpectKeyword(const std::string& kw);
+  bool PeekSymbol(const std::string& sym) const;
+  bool AcceptSymbol(const std::string& sym);
+  Status ExpectSymbol(const std::string& sym);
+
+  Status MakeError(const std::string& message) const;
+
+ private:
+  std::vector<SparqlToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace teleios::strabon
+
+#endif  // TELEIOS_STRABON_SPARQL_LEXER_H_

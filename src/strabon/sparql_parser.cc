@@ -1,0 +1,551 @@
+#include "strabon/sparql_parser.h"
+
+#include "common/strings.h"
+#include "strabon/sparql_lexer.h"
+
+namespace teleios::strabon {
+
+using rdf::Term;
+
+const std::map<std::string, std::string>& DefaultPrefixes() {
+  static const std::map<std::string, std::string>* kPrefixes =
+      new std::map<std::string, std::string>{
+          {"rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#"},
+          {"rdfs", "http://www.w3.org/2000/01/rdf-schema#"},
+          {"xsd", "http://www.w3.org/2001/XMLSchema#"},
+          {"owl", "http://www.w3.org/2002/07/owl#"},
+          {"strdf", "http://strdf.di.uoa.gr/ontology#"},
+          {"teleios", "http://teleios.di.uoa.gr/ontologies/noaOntology.owl#"},
+          {"noa", "http://teleios.di.uoa.gr/ontologies/noaOntology.owl#"},
+          {"geonames", "http://www.geonames.org/ontology#"},
+          {"dbpedia", "http://dbpedia.org/resource/"},
+          {"lgd", "http://linkedgeodata.org/ontology/"},
+      };
+  return *kPrefixes;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(SparqlCursor cursor)
+      : cur_(std::move(cursor)), prefixes_(DefaultPrefixes()) {}
+
+  Result<SparqlStatement> Parse() {
+    TELEIOS_RETURN_IF_ERROR(ParsePrologue());
+    if (cur_.PeekKeyword("select") || cur_.PeekKeyword("ask")) {
+      TELEIOS_ASSIGN_OR_RETURN(SparqlQuery q, ParseQuery());
+      if (!cur_.AtEnd()) return cur_.MakeError("trailing input");
+      return SparqlStatement(std::move(q));
+    }
+    TELEIOS_ASSIGN_OR_RETURN(SparqlUpdate u, ParseUpdate());
+    cur_.AcceptSymbol(";");
+    if (!cur_.AtEnd()) return cur_.MakeError("trailing input");
+    return SparqlStatement(std::move(u));
+  }
+
+ private:
+  Status ParsePrologue() {
+    while (cur_.AcceptKeyword("prefix")) {
+      const SparqlToken& t = cur_.Peek();
+      if (t.type != SparqlTokenType::kPname) {
+        return cur_.MakeError("expected prefix name");
+      }
+      std::string pname = cur_.Next().text;  // "pfx:" or "pfx:junk"
+      size_t colon = pname.find(':');
+      std::string name = pname.substr(0, colon);
+      if (cur_.Peek().type != SparqlTokenType::kIriRef) {
+        return cur_.MakeError("expected IRI after PREFIX");
+      }
+      prefixes_[name] = cur_.Next().text;
+    }
+    return Status::OK();
+  }
+
+  Result<Term> ResolvePname(const std::string& pname, size_t position) {
+    size_t colon = pname.find(':');
+    std::string prefix = pname.substr(0, colon);
+    std::string local = pname.substr(colon + 1);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Status::ParseError("unknown prefix '" + prefix +
+                                ":' at offset " + std::to_string(position));
+    }
+    return Term::Iri(it->second + local);
+  }
+
+  /// Parses a graph term or variable in a triple pattern position.
+  Result<PatternNode> ParsePatternNode() {
+    const SparqlToken& t = cur_.Peek();
+    switch (t.type) {
+      case SparqlTokenType::kVariable:
+        return PatternNode::Var(cur_.Next().text);
+      case SparqlTokenType::kIriRef:
+        return PatternNode::Ground(Term::Iri(cur_.Next().text));
+      case SparqlTokenType::kPname: {
+        SparqlToken tok = cur_.Next();
+        TELEIOS_ASSIGN_OR_RETURN(Term term,
+                                 ResolvePname(tok.text, tok.position));
+        return PatternNode::Ground(std::move(term));
+      }
+      case SparqlTokenType::kBlank:
+        return PatternNode::Ground(Term::Blank(cur_.Next().text));
+      case SparqlTokenType::kString: {
+        TELEIOS_ASSIGN_OR_RETURN(Term term, ParseLiteralTerm());
+        return PatternNode::Ground(std::move(term));
+      }
+      case SparqlTokenType::kInteger: {
+        SparqlToken tok = cur_.Next();
+        return PatternNode::Ground(Term::IntegerLiteral(tok.int_value));
+      }
+      case SparqlTokenType::kDouble: {
+        SparqlToken tok = cur_.Next();
+        return PatternNode::Ground(Term::DoubleLiteral(tok.double_value));
+      }
+      case SparqlTokenType::kKeyword: {
+        if (cur_.AcceptKeyword("a")) {
+          return PatternNode::Ground(Term::Iri(rdf::kRdfType));
+        }
+        if (cur_.AcceptKeyword("true")) {
+          return PatternNode::Ground(Term::BooleanLiteral(true));
+        }
+        if (cur_.AcceptKeyword("false")) {
+          return PatternNode::Ground(Term::BooleanLiteral(false));
+        }
+        return cur_.MakeError("unexpected keyword in triple pattern");
+      }
+      case SparqlTokenType::kSymbol:
+        if (t.text == "-" || t.text == "+") {
+          bool neg = t.text == "-";
+          cur_.Next();
+          const SparqlToken& num = cur_.Peek();
+          if (num.type == SparqlTokenType::kInteger) {
+            int64_t value = cur_.Next().int_value;
+            return PatternNode::Ground(
+                Term::IntegerLiteral(neg ? -value : value));
+          }
+          if (num.type == SparqlTokenType::kDouble) {
+            double value = cur_.Next().double_value;
+            return PatternNode::Ground(
+                Term::DoubleLiteral(neg ? -value : value));
+          }
+        }
+        return cur_.MakeError("expected term or variable");
+      case SparqlTokenType::kEnd:
+        return cur_.MakeError("unexpected end of query");
+    }
+    return cur_.MakeError("expected term or variable");
+  }
+
+  /// String literal with optional @lang / ^^datatype.
+  Result<Term> ParseLiteralTerm() {
+    std::string value = cur_.Next().text;
+    if (cur_.AcceptSymbol("@")) {
+      if (cur_.Peek().type != SparqlTokenType::kKeyword) {
+        return cur_.MakeError("expected language tag");
+      }
+      return Term::Literal(std::move(value), "", cur_.Next().text);
+    }
+    if (cur_.AcceptSymbol("^^")) {
+      const SparqlToken& dt = cur_.Peek();
+      if (dt.type == SparqlTokenType::kIriRef) {
+        return Term::Literal(std::move(value), cur_.Next().text);
+      }
+      if (dt.type == SparqlTokenType::kPname) {
+        SparqlToken tok = cur_.Next();
+        TELEIOS_ASSIGN_OR_RETURN(Term type,
+                                 ResolvePname(tok.text, tok.position));
+        return Term::Literal(std::move(value), type.lexical);
+      }
+      return cur_.MakeError("expected datatype IRI");
+    }
+    return Term::Literal(std::move(value));
+  }
+
+  /// subject predicate-object list '.'
+  Status ParseTriplesBlock(std::vector<TriplePatternAst>* out) {
+    TELEIOS_ASSIGN_OR_RETURN(PatternNode subject, ParsePatternNode());
+    do {
+      TELEIOS_ASSIGN_OR_RETURN(PatternNode predicate, ParsePatternNode());
+      do {
+        TELEIOS_ASSIGN_OR_RETURN(PatternNode object, ParsePatternNode());
+        out->push_back({subject, predicate, object});
+      } while (cur_.AcceptSymbol(","));
+    } while (cur_.AcceptSymbol(";") && !cur_.PeekSymbol(".") &&
+             !cur_.PeekSymbol("}"));
+    cur_.AcceptSymbol(".");
+    return Status::OK();
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  Result<SparqlExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<SparqlExprPtr> ParseOr() {
+    TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr lhs, ParseAnd());
+    while (cur_.AcceptSymbol("||")) {
+      TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr rhs, ParseAnd());
+      lhs = SparqlExpr::Binary(SparqlBinaryOp::kOr, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<SparqlExprPtr> ParseAnd() {
+    TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr lhs, ParseCmp());
+    while (cur_.AcceptSymbol("&&")) {
+      TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr rhs, ParseCmp());
+      lhs = SparqlExpr::Binary(SparqlBinaryOp::kAnd, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<SparqlExprPtr> ParseCmp() {
+    TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr lhs, ParseAdd());
+    SparqlBinaryOp op;
+    if (cur_.PeekSymbol("=")) op = SparqlBinaryOp::kEq;
+    else if (cur_.PeekSymbol("!=")) op = SparqlBinaryOp::kNe;
+    else if (cur_.PeekSymbol("<=")) op = SparqlBinaryOp::kLe;
+    else if (cur_.PeekSymbol(">=")) op = SparqlBinaryOp::kGe;
+    else if (cur_.PeekSymbol("<")) op = SparqlBinaryOp::kLt;
+    else if (cur_.PeekSymbol(">")) op = SparqlBinaryOp::kGt;
+    else return lhs;
+    cur_.Next();
+    TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr rhs, ParseAdd());
+    return SparqlExpr::Binary(op, lhs, rhs);
+  }
+
+  Result<SparqlExprPtr> ParseAdd() {
+    TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr lhs, ParseMul());
+    while (true) {
+      SparqlBinaryOp op;
+      if (cur_.PeekSymbol("+")) op = SparqlBinaryOp::kAdd;
+      else if (cur_.PeekSymbol("-")) op = SparqlBinaryOp::kSub;
+      else break;
+      cur_.Next();
+      TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr rhs, ParseMul());
+      lhs = SparqlExpr::Binary(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<SparqlExprPtr> ParseMul() {
+    TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr lhs, ParseUnary());
+    while (true) {
+      SparqlBinaryOp op;
+      if (cur_.PeekSymbol("*")) op = SparqlBinaryOp::kMul;
+      else if (cur_.PeekSymbol("/")) op = SparqlBinaryOp::kDiv;
+      else break;
+      cur_.Next();
+      TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr rhs, ParseUnary());
+      lhs = SparqlExpr::Binary(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<SparqlExprPtr> ParseUnary() {
+    if (cur_.AcceptSymbol("!")) {
+      TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr inner, ParseUnary());
+      return SparqlExpr::Not(inner);
+    }
+    if (cur_.AcceptSymbol("-")) {
+      TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr inner, ParseUnary());
+      return SparqlExpr::Neg(inner);
+    }
+    cur_.AcceptSymbol("+");
+    return ParsePrimary();
+  }
+
+  Result<SparqlExprPtr> ParsePrimary() {
+    const SparqlToken& t = cur_.Peek();
+    switch (t.type) {
+      case SparqlTokenType::kSymbol:
+        if (cur_.AcceptSymbol("(")) {
+          TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr e, ParseExpr());
+          TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol(")"));
+          return e;
+        }
+        return cur_.MakeError("expected expression");
+      case SparqlTokenType::kVariable:
+        return SparqlExpr::Var(cur_.Next().text);
+      case SparqlTokenType::kString: {
+        TELEIOS_ASSIGN_OR_RETURN(Term term, ParseLiteralTerm());
+        return SparqlExpr::Constant(std::move(term));
+      }
+      case SparqlTokenType::kInteger: {
+        SparqlToken tok = cur_.Next();
+        return SparqlExpr::Constant(Term::IntegerLiteral(tok.int_value));
+      }
+      case SparqlTokenType::kDouble: {
+        SparqlToken tok = cur_.Next();
+        return SparqlExpr::Constant(Term::DoubleLiteral(tok.double_value));
+      }
+      case SparqlTokenType::kIriRef: {
+        std::string iri = cur_.Next().text;
+        if (cur_.PeekSymbol("(")) return ParseCallArgs(iri);
+        return SparqlExpr::Constant(Term::Iri(std::move(iri)));
+      }
+      case SparqlTokenType::kPname: {
+        SparqlToken tok = cur_.Next();
+        TELEIOS_ASSIGN_OR_RETURN(Term term,
+                                 ResolvePname(tok.text, tok.position));
+        if (cur_.PeekSymbol("(")) return ParseCallArgs(term.lexical);
+        return SparqlExpr::Constant(std::move(term));
+      }
+      case SparqlTokenType::kKeyword: {
+        SparqlToken tok = cur_.Next();
+        std::string name = StrLower(tok.text);
+        if (name == "true") return SparqlExpr::Constant(Term::BooleanLiteral(true));
+        if (name == "false") {
+          return SparqlExpr::Constant(Term::BooleanLiteral(false));
+        }
+        if (cur_.PeekSymbol("(")) return ParseCallArgs(name);
+        return cur_.MakeError("unexpected keyword '" + tok.text +
+                              "' in expression");
+      }
+      case SparqlTokenType::kBlank:
+        return SparqlExpr::Constant(Term::Blank(cur_.Next().text));
+      case SparqlTokenType::kEnd:
+        return cur_.MakeError("unexpected end of expression");
+    }
+    return cur_.MakeError("expected expression");
+  }
+
+  Result<SparqlExprPtr> ParseCallArgs(const std::string& function) {
+    TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol("("));
+    std::vector<SparqlExprPtr> args;
+    if (cur_.AcceptSymbol("*")) {
+      // COUNT(*) — zero-argument aggregate.
+      TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol(")"));
+      return SparqlExpr::Call(function, {});
+    }
+    if (!cur_.PeekSymbol(")")) {
+      do {
+        TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr a, ParseExpr());
+        args.push_back(std::move(a));
+      } while (cur_.AcceptSymbol(","));
+    }
+    TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol(")"));
+    return SparqlExpr::Call(function, std::move(args));
+  }
+
+  // --- group graph pattern -------------------------------------------------
+
+  Result<GroupPattern> ParseGroup() {
+    TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol("{"));
+    GroupPattern group;
+    while (!cur_.PeekSymbol("}")) {
+      if (cur_.AcceptKeyword("filter")) {
+        TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr e, ParsePrimaryOrParen());
+        group.filters.push_back(std::move(e));
+        continue;
+      }
+      if (cur_.AcceptKeyword("optional")) {
+        TELEIOS_ASSIGN_OR_RETURN(GroupPattern opt, ParseGroup());
+        group.optionals.push_back(std::move(opt));
+        cur_.AcceptSymbol(".");
+        continue;
+      }
+      if (cur_.AcceptKeyword("bind")) {
+        TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol("("));
+        TELEIOS_ASSIGN_OR_RETURN(SparqlExprPtr e, ParseExpr());
+        TELEIOS_RETURN_IF_ERROR(cur_.ExpectKeyword("as"));
+        if (cur_.Peek().type != SparqlTokenType::kVariable) {
+          return cur_.MakeError("expected variable after AS");
+        }
+        std::string var = cur_.Next().text;
+        TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol(")"));
+        group.binds.push_back({std::move(e), std::move(var)});
+        cur_.AcceptSymbol(".");
+        continue;
+      }
+      if (cur_.PeekSymbol("{")) {
+        // Nested group, possibly a UNION chain.
+        TELEIOS_ASSIGN_OR_RETURN(GroupPattern first, ParseGroup());
+        if (cur_.PeekKeyword("union")) {
+          auto left = std::make_shared<GroupPattern>(std::move(first));
+          while (cur_.AcceptKeyword("union")) {
+            TELEIOS_ASSIGN_OR_RETURN(GroupPattern rhs, ParseGroup());
+            UnionPattern u;
+            u.left = left;
+            u.right = std::make_shared<GroupPattern>(std::move(rhs));
+            // Chain: (A U B) U C — wrap the existing union into a group.
+            if (cur_.PeekKeyword("union")) {
+              auto wrapper = std::make_shared<GroupPattern>();
+              wrapper->unions.push_back(u);
+              left = wrapper;
+            } else {
+              group.unions.push_back(std::move(u));
+            }
+          }
+        } else {
+          // Merge plain nested group.
+          for (auto& t : first.triples) group.triples.push_back(std::move(t));
+          for (auto& f : first.filters) group.filters.push_back(std::move(f));
+          for (auto& o : first.optionals) {
+            group.optionals.push_back(std::move(o));
+          }
+          for (auto& u : first.unions) group.unions.push_back(std::move(u));
+          for (auto& b : first.binds) group.binds.push_back(std::move(b));
+        }
+        cur_.AcceptSymbol(".");
+        continue;
+      }
+      TELEIOS_RETURN_IF_ERROR(ParseTriplesBlock(&group.triples));
+    }
+    TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol("}"));
+    return group;
+  }
+
+  /// FILTER argument: either a parenthesized expression or a bare
+  /// function call.
+  Result<SparqlExprPtr> ParsePrimaryOrParen() { return ParsePrimary(); }
+
+  Result<SparqlQuery> ParseQuery() {
+    SparqlQuery q;
+    if (cur_.AcceptKeyword("ask")) {
+      q.is_ask = true;
+      TELEIOS_ASSIGN_OR_RETURN(q.where, ParseGroup());
+      return q;
+    }
+    TELEIOS_RETURN_IF_ERROR(cur_.ExpectKeyword("select"));
+    q.distinct = cur_.AcceptKeyword("distinct");
+    if (cur_.AcceptSymbol("*")) {
+      // all variables
+    } else {
+      while (true) {
+        if (cur_.Peek().type == SparqlTokenType::kVariable) {
+          q.variables.push_back(cur_.Next().text);
+          continue;
+        }
+        if (cur_.PeekSymbol("(")) {
+          // (expr AS ?name) — aggregates and computed projections.
+          cur_.Next();
+          SparqlProjection projection;
+          TELEIOS_ASSIGN_OR_RETURN(projection.expr, ParseExpr());
+          TELEIOS_RETURN_IF_ERROR(cur_.ExpectKeyword("as"));
+          if (cur_.Peek().type != SparqlTokenType::kVariable) {
+            return cur_.MakeError("expected variable after AS");
+          }
+          projection.name = cur_.Next().text;
+          TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol(")"));
+          q.computed.push_back(std::move(projection));
+          continue;
+        }
+        break;
+      }
+      if (q.variables.empty() && q.computed.empty()) {
+        return cur_.MakeError("expected projection variables or *");
+      }
+    }
+    cur_.AcceptKeyword("where");
+    TELEIOS_ASSIGN_OR_RETURN(q.where, ParseGroup());
+    if (cur_.AcceptKeyword("group")) {
+      TELEIOS_RETURN_IF_ERROR(cur_.ExpectKeyword("by"));
+      while (cur_.Peek().type == SparqlTokenType::kVariable) {
+        q.group_by.push_back(cur_.Next().text);
+      }
+      if (q.group_by.empty()) {
+        return cur_.MakeError("expected variables after GROUP BY");
+      }
+    }
+    if (cur_.AcceptKeyword("order")) {
+      TELEIOS_RETURN_IF_ERROR(cur_.ExpectKeyword("by"));
+      while (true) {
+        SparqlOrderKey key;
+        if (cur_.AcceptKeyword("desc")) {
+          key.descending = true;
+          TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol("("));
+          TELEIOS_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+          TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol(")"));
+        } else if (cur_.AcceptKeyword("asc")) {
+          TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol("("));
+          TELEIOS_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+          TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol(")"));
+        } else if (cur_.Peek().type == SparqlTokenType::kVariable) {
+          key.expr = SparqlExpr::Var(cur_.Next().text);
+        } else {
+          break;
+        }
+        q.order_by.push_back(std::move(key));
+        if (cur_.Peek().type != SparqlTokenType::kVariable &&
+            !cur_.PeekKeyword("asc") && !cur_.PeekKeyword("desc")) {
+          break;
+        }
+      }
+    }
+    if (cur_.AcceptKeyword("limit")) {
+      if (cur_.Peek().type != SparqlTokenType::kInteger) {
+        return cur_.MakeError("expected integer after LIMIT");
+      }
+      q.limit = cur_.Next().int_value;
+    }
+    if (cur_.AcceptKeyword("offset")) {
+      if (cur_.Peek().type != SparqlTokenType::kInteger) {
+        return cur_.MakeError("expected integer after OFFSET");
+      }
+      q.offset = cur_.Next().int_value;
+    }
+    return q;
+  }
+
+  Result<std::vector<TriplePatternAst>> ParseTemplate() {
+    TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol("{"));
+    std::vector<TriplePatternAst> triples;
+    while (!cur_.PeekSymbol("}")) {
+      TELEIOS_RETURN_IF_ERROR(ParseTriplesBlock(&triples));
+    }
+    TELEIOS_RETURN_IF_ERROR(cur_.ExpectSymbol("}"));
+    return triples;
+  }
+
+  Result<SparqlUpdate> ParseUpdate() {
+    SparqlUpdate u;
+    if (cur_.AcceptKeyword("insert")) {
+      if (cur_.AcceptKeyword("data")) {
+        u.kind = SparqlUpdate::Kind::kInsertData;
+        TELEIOS_ASSIGN_OR_RETURN(u.insert_templates, ParseTemplate());
+        return u;
+      }
+      u.kind = SparqlUpdate::Kind::kModify;
+      TELEIOS_ASSIGN_OR_RETURN(u.insert_templates, ParseTemplate());
+      TELEIOS_RETURN_IF_ERROR(cur_.ExpectKeyword("where"));
+      TELEIOS_ASSIGN_OR_RETURN(u.where, ParseGroup());
+      return u;
+    }
+    if (cur_.AcceptKeyword("delete")) {
+      if (cur_.AcceptKeyword("data")) {
+        u.kind = SparqlUpdate::Kind::kDeleteData;
+        TELEIOS_ASSIGN_OR_RETURN(u.delete_templates, ParseTemplate());
+        return u;
+      }
+      if (cur_.AcceptKeyword("where")) {
+        u.kind = SparqlUpdate::Kind::kDeleteWhere;
+        TELEIOS_ASSIGN_OR_RETURN(u.where, ParseGroup());
+        u.delete_templates = u.where.triples;
+        return u;
+      }
+      u.kind = SparqlUpdate::Kind::kModify;
+      TELEIOS_ASSIGN_OR_RETURN(u.delete_templates, ParseTemplate());
+      if (cur_.AcceptKeyword("insert")) {
+        TELEIOS_ASSIGN_OR_RETURN(u.insert_templates, ParseTemplate());
+      }
+      TELEIOS_RETURN_IF_ERROR(cur_.ExpectKeyword("where"));
+      TELEIOS_ASSIGN_OR_RETURN(u.where, ParseGroup());
+      return u;
+    }
+    return cur_.MakeError("expected SELECT, ASK, INSERT or DELETE");
+  }
+
+  SparqlCursor cur_;
+  std::map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<SparqlStatement> ParseSparql(const std::string& query) {
+  TELEIOS_ASSIGN_OR_RETURN(std::vector<SparqlToken> tokens, LexSparql(query));
+  Parser parser{SparqlCursor(std::move(tokens))};
+  return parser.Parse();
+}
+
+}  // namespace teleios::strabon

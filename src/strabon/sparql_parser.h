@@ -1,0 +1,24 @@
+#ifndef TELEIOS_STRABON_SPARQL_PARSER_H_
+#define TELEIOS_STRABON_SPARQL_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "strabon/sparql_algebra.h"
+
+namespace teleios::strabon {
+
+/// Prefixes preloaded into every query (rdf, rdfs, xsd, strdf, plus the
+/// TELEIOS application vocabularies); PREFIX declarations override them.
+const std::map<std::string, std::string>& DefaultPrefixes();
+
+/// Parses a SPARQL 1.1 subset with the stSPARQL extensions:
+/// SELECT/ASK with BGPs, FILTER (incl. strdf: spatial/temporal function
+/// calls), OPTIONAL, UNION, BIND, ORDER BY, LIMIT/OFFSET, DISTINCT;
+/// updates INSERT DATA / DELETE DATA / DELETE-INSERT-WHERE / DELETE WHERE.
+Result<SparqlStatement> ParseSparql(const std::string& query);
+
+}  // namespace teleios::strabon
+
+#endif  // TELEIOS_STRABON_SPARQL_PARSER_H_

@@ -1,0 +1,183 @@
+#include "strabon/temporal.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace teleios::strabon {
+
+using rdf::Term;
+
+namespace {
+
+constexpr const char* kStrdfNs = "http://strdf.di.uoa.gr/ontology#";
+
+std::string TemporalLocal(const std::string& iri) {
+  if (!StrStartsWith(iri, kStrdfNs)) return "";
+  return StrLower(iri.substr(std::string(kStrdfNs).size()));
+}
+
+bool IsLeap(int64_t y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+const int kDaysInMonth[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+/// Days since 1970-01-01 (proleptic Gregorian; valid for project-era
+/// dates).
+int64_t DaysFromCivil(int64_t y, int m, int d) {
+  int64_t days = 0;
+  if (y >= 1970) {
+    for (int64_t yy = 1970; yy < y; ++yy) days += IsLeap(yy) ? 366 : 365;
+  } else {
+    for (int64_t yy = y; yy < 1970; ++yy) days -= IsLeap(yy) ? 366 : 365;
+  }
+  for (int mm = 1; mm < m; ++mm) {
+    days += kDaysInMonth[mm - 1];
+    if (mm == 2 && IsLeap(y)) days += 1;
+  }
+  return days + d - 1;
+}
+
+}  // namespace
+
+Result<int64_t> ParseDateTime(const std::string& raw) {
+  std::string text(StrTrim(raw));
+  // Accept "YYYY-MM-DD" and "YYYY-MM-DDTHH:MM:SS[Z]".
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  int n = std::sscanf(text.c_str(), "%d-%d-%dT%d:%d:%d", &y, &mo, &d, &h,
+                      &mi, &s);
+  if (n < 3) {
+    return Status::ParseError("invalid dateTime '" + text + "'");
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h < 0 || h > 23 || mi < 0 ||
+      mi > 59 || s < 0 || s > 60) {
+    return Status::ParseError("out-of-range dateTime '" + text + "'");
+  }
+  return DaysFromCivil(y, mo, d) * 86400 + h * 3600 + mi * 60 + s;
+}
+
+std::string FormatDateTime(int64_t seconds) {
+  int64_t days = seconds / 86400;
+  int64_t rem = seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  int64_t y = 1970;
+  while (true) {
+    int64_t in_year = IsLeap(y) ? 366 : 365;
+    if (days >= in_year) {
+      days -= in_year;
+      ++y;
+    } else if (days < 0) {
+      --y;
+      days += IsLeap(y) ? 366 : 365;
+    } else {
+      break;
+    }
+  }
+  int mo = 1;
+  while (true) {
+    int dim = kDaysInMonth[mo - 1] + ((mo == 2 && IsLeap(y)) ? 1 : 0);
+    if (days >= dim) {
+      days -= dim;
+      ++mo;
+    } else {
+      break;
+    }
+  }
+  return StrFormat("%04lld-%02d-%02lldT%02lld:%02lld:%02lld",
+                   static_cast<long long>(y), mo,
+                   static_cast<long long>(days + 1),
+                   static_cast<long long>(rem / 3600),
+                   static_cast<long long>((rem % 3600) / 60),
+                   static_cast<long long>(rem % 60));
+}
+
+Result<Period> ParsePeriod(const std::string& raw) {
+  std::string text(StrTrim(raw));
+  if (text.size() < 2 || text.front() != '[' ||
+      (text.back() != ']' && text.back() != ')')) {
+    return Status::ParseError("invalid period literal '" + text + "'");
+  }
+  std::string body = text.substr(1, text.size() - 2);
+  std::vector<std::string> parts = StrSplit(body, ',');
+  if (parts.size() != 2) {
+    return Status::ParseError("period needs two endpoints: '" + text + "'");
+  }
+  Period p;
+  TELEIOS_ASSIGN_OR_RETURN(p.start, ParseDateTime(parts[0]));
+  TELEIOS_ASSIGN_OR_RETURN(p.end, ParseDateTime(parts[1]));
+  if (p.end < p.start) {
+    return Status::InvalidArgument("period ends before it starts: '" + text +
+                                   "'");
+  }
+  return p;
+}
+
+rdf::Term PeriodLiteral(int64_t start, int64_t end) {
+  return Term::Literal(
+      "[" + FormatDateTime(start) + ", " + FormatDateTime(end) + "]",
+      rdf::kStrdfPeriod);
+}
+
+bool IsTemporalFunction(const std::string& iri) {
+  std::string local = TemporalLocal(iri);
+  return local == "during" || local == "periodcontains" ||
+         local == "before" || local == "after" || local == "overlaps" ||
+         local == "meets" || local == "starts" || local == "finishes" ||
+         local == "periodequals" || local == "periodintersects";
+}
+
+namespace {
+
+Result<Period> ToPeriod(const Term& t) {
+  if (!t.IsLiteral()) {
+    return Status::TypeError("expected temporal literal, got " +
+                             t.ToNTriples());
+  }
+  if (t.datatype == rdf::kStrdfPeriod) return ParsePeriod(t.lexical);
+  // dateTime (or plain) as an instantaneous period.
+  TELEIOS_ASSIGN_OR_RETURN(int64_t at, ParseDateTime(t.lexical));
+  return Period{at, at};
+}
+
+}  // namespace
+
+Result<Term> EvalTemporalFunction(const std::string& iri,
+                                  const std::vector<Term>& args) {
+  std::string local = TemporalLocal(iri);
+  if (args.size() != 2) {
+    return Status::InvalidArgument("strdf:" + local + " expects 2 arguments");
+  }
+  TELEIOS_ASSIGN_OR_RETURN(Period a, ToPeriod(args[0]));
+  TELEIOS_ASSIGN_OR_RETURN(Period b, ToPeriod(args[1]));
+  bool result;
+  if (local == "during") {
+    result = a.start >= b.start && a.end <= b.end;
+  } else if (local == "periodcontains") {
+    result = b.start >= a.start && b.end <= a.end;
+  } else if (local == "before") {
+    result = a.end < b.start;
+  } else if (local == "after") {
+    result = a.start > b.end;
+  } else if (local == "overlaps") {
+    result = a.start <= b.end && b.start <= a.end;
+  } else if (local == "meets") {
+    result = a.end == b.start;
+  } else if (local == "starts") {
+    result = a.start == b.start && a.end <= b.end;
+  } else if (local == "finishes") {
+    result = a.end == b.end && a.start >= b.start;
+  } else if (local == "periodequals") {
+    result = a.start == b.start && a.end == b.end;
+  } else if (local == "periodintersects") {
+    result = a.start <= b.end && b.start <= a.end;
+  } else {
+    return Status::NotFound("unknown temporal function strdf:" + local);
+  }
+  return Term::BooleanLiteral(result);
+}
+
+}  // namespace teleios::strabon

@@ -1,0 +1,46 @@
+#ifndef TELEIOS_STRABON_TEMPORAL_H_
+#define TELEIOS_STRABON_TEMPORAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace teleios::strabon {
+
+/// A closed time interval [start, end] in seconds since epoch — the value
+/// space of strdf:period literals ("[2007-08-25T00:00:00,
+/// 2007-08-26T00:00:00]").
+struct Period {
+  int64_t start = 0;
+  int64_t end = 0;
+};
+
+/// Parses an ISO-8601 datetime ("2007-08-25T14:30:00", date-only allowed)
+/// to seconds since the Unix epoch (UTC, proleptic Gregorian).
+Result<int64_t> ParseDateTime(const std::string& text);
+
+/// Renders seconds since epoch as ISO-8601.
+std::string FormatDateTime(int64_t seconds);
+
+/// Parses a strdf:period literal body "[start, end]".
+Result<Period> ParsePeriod(const std::string& text);
+
+/// Builds a strdf:period literal term.
+rdf::Term PeriodLiteral(int64_t start, int64_t end);
+
+/// True if `iri` is an stSPARQL temporal (Allen) function.
+bool IsTemporalFunction(const std::string& iri);
+
+/// Evaluates strdf temporal functions: during, contains (period),
+/// before, after, overlaps, meets, starts, finishes, equals,
+/// periodIntersects. Arguments are strdf:period literals (or
+/// xsd:dateTime, treated as instantaneous periods).
+Result<rdf::Term> EvalTemporalFunction(const std::string& iri,
+                                       const std::vector<rdf::Term>& args);
+
+}  // namespace teleios::strabon
+
+#endif  // TELEIOS_STRABON_TEMPORAL_H_

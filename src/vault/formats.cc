@@ -1,0 +1,277 @@
+#include "vault/formats.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+#include "geo/wkt.h"
+
+namespace teleios::vault {
+
+namespace {
+
+constexpr char kTerMagic[4] = {'T', 'E', 'R', '1'};
+
+void WriteU32(std::ostream& os, uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteI64(std::ostream& os, int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteF64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteStr(std::ostream& os, const std::string& s) {
+  WriteU32(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+bool ReadU32(std::istream& is, uint32_t* v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+bool ReadI64(std::istream& is, int64_t* v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+bool ReadF64(std::istream& is, double* v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+bool ReadStr(std::istream& is, std::string* s) {
+  uint32_t n = 0;
+  if (!ReadU32(is, &n) || n > (1u << 20)) return false;
+  s->resize(n);
+  return static_cast<bool>(is.read(s->data(), n));
+}
+
+std::string Footprint(const geo::GeoTransform& t, int32_t w, int32_t h) {
+  geo::Point a = t.PixelToWorld(0, 0);
+  geo::Point b = t.PixelToWorld(w, 0);
+  geo::Point c = t.PixelToWorld(w, h);
+  geo::Point d = t.PixelToWorld(0, h);
+  geo::Envelope e = geo::Envelope::Empty();
+  e.Expand(a);
+  e.Expand(b);
+  e.Expand(c);
+  e.Expand(d);
+  return geo::WriteWkt(
+      geo::Geometry::MakeBox(e.min_x, e.min_y, e.max_x, e.max_y));
+}
+
+Status ReadHeaderInto(std::istream& is, const std::string& path,
+                      TerHeader* h) {
+  char magic[4];
+  if (!is.read(magic, 4) ||
+      std::string(magic, 4) != std::string(kTerMagic, 4)) {
+    return Status::ParseError("'" + path + "' is not a TER file");
+  }
+  uint32_t w = 0, hh = 0, nbands = 0;
+  if (!ReadStr(is, &h->name) || !ReadStr(is, &h->satellite) ||
+      !ReadStr(is, &h->sensor) || !ReadU32(is, &w) || !ReadU32(is, &hh) ||
+      !ReadU32(is, &nbands) || !ReadI64(is, &h->acquisition_time)) {
+    return Status::ParseError("truncated TER header in '" + path + "'");
+  }
+  h->width = static_cast<int32_t>(w);
+  h->height = static_cast<int32_t>(hh);
+  double gt[6];
+  for (double& g : gt) {
+    if (!ReadF64(is, &g)) {
+      return Status::ParseError("truncated TER geotransform");
+    }
+  }
+  // GDAL geotransform order on disk: origin_x, pixel_w, rot_x, origin_y,
+  // rot_y, pixel_h (see WriteTer).
+  h->transform.origin_x = gt[0];
+  h->transform.pixel_w = gt[1];
+  h->transform.rot_x = gt[2];
+  h->transform.origin_y = gt[3];
+  h->transform.rot_y = gt[4];
+  h->transform.pixel_h = gt[5];
+  h->band_names.resize(nbands);
+  for (std::string& b : h->band_names) {
+    if (!ReadStr(is, &b)) return Status::ParseError("truncated TER bands");
+  }
+  h->path = path;
+  return Status::OK();
+}
+
+}  // namespace
+
+int TerRaster::BandIndex(const std::string& band) const {
+  for (size_t i = 0; i < band_names.size(); ++i) {
+    if (band_names[i] == band) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string TerRaster::FootprintWkt() const {
+  return Footprint(transform, width, height);
+}
+
+std::string TerHeader::FootprintWkt() const {
+  return Footprint(transform, width, height);
+}
+
+Status WriteTer(const TerRaster& raster, const std::string& path) {
+  if (raster.bands.size() != raster.band_names.size()) {
+    return Status::InvalidArgument("band name/payload arity mismatch");
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open '" + path + "' for writing");
+  os.write(kTerMagic, 4);
+  WriteStr(os, raster.name);
+  WriteStr(os, raster.satellite);
+  WriteStr(os, raster.sensor);
+  WriteU32(os, static_cast<uint32_t>(raster.width));
+  WriteU32(os, static_cast<uint32_t>(raster.height));
+  WriteU32(os, static_cast<uint32_t>(raster.bands.size()));
+  WriteI64(os, raster.acquisition_time);
+  const geo::GeoTransform& t = raster.transform;
+  for (double g : {t.origin_x, t.pixel_w, t.rot_x, t.origin_y, t.rot_y,
+                   t.pixel_h}) {
+    WriteF64(os, g);
+  }
+  for (const std::string& b : raster.band_names) WriteStr(os, b);
+  size_t pixels = raster.PixelCount();
+  for (const auto& band : raster.bands) {
+    if (band.size() != pixels) {
+      return Status::InvalidArgument("band payload size mismatch");
+    }
+    os.write(reinterpret_cast<const char*>(band.data()),
+             static_cast<std::streamsize>(pixels * sizeof(double)));
+  }
+  if (!os) return Status::IoError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+Result<TerHeader> ReadTerHeader(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open '" + path + "'");
+  TerHeader h;
+  TELEIOS_RETURN_IF_ERROR(ReadHeaderInto(is, path, &h));
+  return h;
+}
+
+Result<TerRaster> ReadTer(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open '" + path + "'");
+  TerHeader h;
+  TELEIOS_RETURN_IF_ERROR(ReadHeaderInto(is, path, &h));
+  TerRaster r;
+  r.name = h.name;
+  r.satellite = h.satellite;
+  r.sensor = h.sensor;
+  r.width = h.width;
+  r.height = h.height;
+  r.acquisition_time = h.acquisition_time;
+  r.transform = h.transform;
+  r.band_names = h.band_names;
+  size_t pixels = r.PixelCount();
+  r.bands.resize(r.band_names.size());
+  for (auto& band : r.bands) {
+    band.resize(pixels);
+    if (!is.read(reinterpret_cast<char*>(band.data()),
+                 static_cast<std::streamsize>(pixels * sizeof(double)))) {
+      return Status::ParseError("truncated TER payload in '" + path + "'");
+    }
+  }
+  return r;
+}
+
+namespace {
+
+std::string EscapeAttr(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '|' || c == ';' || c == '=' || c == '\\' || c == '\n') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// Splits on `sep` honoring backslash escapes, KEEPING the escapes (so
+/// nested splits stay correct); call Unescape on the final fields.
+std::vector<std::string> SplitEscaped(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      cur += s[i];
+      cur += s[i + 1];
+      ++i;
+      continue;
+    }
+    if (s[i] == sep) {
+      parts.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur += s[i];
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      out += s[++i];
+      continue;
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Status WriteVec(const VecFile& file, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::IoError("cannot open '" + path + "' for writing");
+  os << "#VEC1 " << EscapeAttr(file.name) << "\n";
+  for (const VecFeature& f : file.features) {
+    os << f.id << "|";
+    bool first = true;
+    for (const auto& [k, v] : f.attributes) {
+      if (!first) os << ";";
+      first = false;
+      os << EscapeAttr(k) << "=" << EscapeAttr(v);
+    }
+    os << "|" << geo::WriteWkt(f.geometry) << "\n";
+  }
+  if (!os) return Status::IoError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+Result<VecFile> ReadVec(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IoError("cannot open '" + path + "'");
+  VecFile file;
+  std::string line;
+  if (!std::getline(is, line) || !StrStartsWith(line, "#VEC1")) {
+    return Status::ParseError("'" + path + "' is not a VEC file");
+  }
+  if (line.size() > 6) file.name = line.substr(6);
+  size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> cols = SplitEscaped(line, '|');
+    if (cols.size() != 3) {
+      return Status::ParseError(
+          StrFormat("bad VEC record at %s:%zu", path.c_str(), lineno));
+    }
+    VecFeature f;
+    TELEIOS_ASSIGN_OR_RETURN(f.id, ParseInt64(Unescape(cols[0])));
+    if (!cols[1].empty()) {
+      for (const std::string& pair : SplitEscaped(cols[1], ';')) {
+        std::vector<std::string> kv = SplitEscaped(pair, '=');
+        if (kv.size() == 2) f.attributes[Unescape(kv[0])] = Unescape(kv[1]);
+      }
+    }
+    TELEIOS_ASSIGN_OR_RETURN(f.geometry, geo::ParseWkt(Unescape(cols[2])));
+    file.features.push_back(std::move(f));
+  }
+  return file;
+}
+
+}  // namespace teleios::vault

@@ -1,0 +1,78 @@
+#ifndef TELEIOS_VAULT_FORMATS_H_
+#define TELEIOS_VAULT_FORMATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/crs.h"
+#include "geo/geometry.h"
+
+namespace teleios::vault {
+
+/// In-memory form of a `.ter` raster product file — the TELEIOS stand-in
+/// for the mission-specific external formats (HDF/netCDF/GeoTIFF) a real
+/// data vault understands. Multi-band float64 payload, band-major.
+struct TerRaster {
+  std::string name;          // product name
+  std::string satellite;     // e.g. "Meteosat-9"
+  std::string sensor;        // e.g. "SEVIRI"
+  int32_t width = 0;
+  int32_t height = 0;
+  int64_t acquisition_time = 0;  // seconds since epoch (UTC)
+  geo::GeoTransform transform;   // pixel -> lon/lat
+  std::vector<std::string> band_names;
+  std::vector<std::vector<double>> bands;  // band_names.size() x (w*h)
+
+  size_t PixelCount() const {
+    return static_cast<size_t>(width) * static_cast<size_t>(height);
+  }
+  /// Index of a band by name, or -1.
+  int BandIndex(const std::string& name) const;
+  /// Bounding box in world coordinates as WKT POLYGON.
+  std::string FootprintWkt() const;
+};
+
+/// Header-only view of a .ter file: everything except the pixel payload.
+/// This is what the vault harvests at attach time, *without* ingesting.
+struct TerHeader {
+  std::string name;
+  std::string satellite;
+  std::string sensor;
+  int32_t width = 0;
+  int32_t height = 0;
+  int64_t acquisition_time = 0;
+  geo::GeoTransform transform;
+  std::vector<std::string> band_names;
+  std::string path;  // where the payload lives
+
+  std::string FootprintWkt() const;
+};
+
+Status WriteTer(const TerRaster& raster, const std::string& path);
+/// Reads header + payload.
+Result<TerRaster> ReadTer(const std::string& path);
+/// Reads only the header (cheap; payload stays on disk).
+Result<TerHeader> ReadTerHeader(const std::string& path);
+
+/// One feature of a `.vec` vector product file — the stand-in for ESRI
+/// shapefiles produced by the NOA chain.
+struct VecFeature {
+  int64_t id = 0;
+  std::map<std::string, std::string> attributes;
+  geo::Geometry geometry;
+};
+
+struct VecFile {
+  std::string name;
+  std::vector<VecFeature> features;
+};
+
+Status WriteVec(const VecFile& file, const std::string& path);
+Result<VecFile> ReadVec(const std::string& path);
+
+}  // namespace teleios::vault
+
+#endif  // TELEIOS_VAULT_FORMATS_H_

@@ -1,0 +1,234 @@
+#include "vault/vault.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/strings.h"
+#include "storage/persistence.h"
+
+namespace teleios::vault {
+
+namespace fs = std::filesystem;
+
+using array::Array;
+using array::ArrayPtr;
+using array::Dimension;
+using storage::ColumnType;
+using storage::Schema;
+using storage::Table;
+
+Status DataVault::EnsureCatalogTables() {
+  if (!catalog_->HasTable("vault_rasters")) {
+    auto rasters = std::make_shared<Table>(Schema({
+        {"name", ColumnType::kString},
+        {"satellite", ColumnType::kString},
+        {"sensor", ColumnType::kString},
+        {"width", ColumnType::kInt64},
+        {"height", ColumnType::kInt64},
+        {"bands", ColumnType::kInt64},
+        {"acq_time", ColumnType::kInt64},
+        {"footprint", ColumnType::kString},
+        {"path", ColumnType::kString},
+    }));
+    TELEIOS_RETURN_IF_ERROR(catalog_->CreateTable("vault_rasters", rasters));
+  }
+  if (!catalog_->HasTable("vault_vectors")) {
+    auto vectors = std::make_shared<Table>(Schema({
+        {"name", ColumnType::kString},
+        {"features", ColumnType::kInt64},
+        {"path", ColumnType::kString},
+    }));
+    TELEIOS_RETURN_IF_ERROR(catalog_->CreateTable("vault_vectors", vectors));
+  }
+  return Status::OK();
+}
+
+Status DataVault::AttachFile(const std::string& path) {
+  TELEIOS_RETURN_IF_ERROR(EnsureCatalogTables());
+  if (StrEndsWith(path, ".ter")) {
+    TELEIOS_ASSIGN_OR_RETURN(TerHeader header, ReadTerHeader(path));
+    if (rasters_.count(header.name)) {
+      return Status::AlreadyExists("raster '" + header.name +
+                                   "' already attached");
+    }
+    TELEIOS_ASSIGN_OR_RETURN(storage::TablePtr table,
+                             catalog_->GetTable("vault_rasters"));
+    TELEIOS_RETURN_IF_ERROR(table->AppendRow({
+        Value(header.name),
+        Value(header.satellite),
+        Value(header.sensor),
+        Value(static_cast<int64_t>(header.width)),
+        Value(static_cast<int64_t>(header.height)),
+        Value(static_cast<int64_t>(header.band_names.size())),
+        Value(header.acquisition_time),
+        Value(header.FootprintWkt()),
+        Value(path),
+    }));
+    rasters_[header.name] = std::move(header);
+    ++stats_.files_attached;
+    return Status::OK();
+  }
+  if (StrEndsWith(path, ".csv")) {
+    // Tabular auxiliary data (e.g. ground-station observations): the
+    // vault materializes it as a catalog table named after the file.
+    std::string name = fs::path(path).stem().string();
+    if (catalog_->HasTable(name)) {
+      return Status::AlreadyExists("table '" + name + "' already attached");
+    }
+    TELEIOS_ASSIGN_OR_RETURN(storage::Table table,
+                             storage::ReadCsv(path));
+    TELEIOS_RETURN_IF_ERROR(catalog_->CreateTable(
+        name, std::make_shared<storage::Table>(std::move(table))));
+    ++stats_.files_attached;
+    return Status::OK();
+  }
+  if (StrEndsWith(path, ".vec")) {
+    // Vector metadata needs a cheap scan for the feature count.
+    TELEIOS_ASSIGN_OR_RETURN(VecFile file, ReadVec(path));
+    std::string name = file.name.empty()
+                           ? fs::path(path).stem().string()
+                           : file.name;
+    if (vectors_.count(name)) {
+      return Status::AlreadyExists("vector '" + name + "' already attached");
+    }
+    TELEIOS_ASSIGN_OR_RETURN(storage::TablePtr table,
+                             catalog_->GetTable("vault_vectors"));
+    TELEIOS_RETURN_IF_ERROR(table->AppendRow({
+        Value(name),
+        Value(static_cast<int64_t>(file.features.size())),
+        Value(path),
+    }));
+    vectors_[name] = path;
+    ++stats_.files_attached;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown vault file format: '" + path + "'");
+}
+
+Result<size_t> DataVault::Attach(const std::string& directory) {
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return Status::NotFound("'" + directory + "' is not a directory");
+  }
+  size_t attached = 0;
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string path = entry.path().string();
+    if (StrEndsWith(path, ".ter") || StrEndsWith(path, ".vec") ||
+        StrEndsWith(path, ".csv")) {
+      paths.push_back(std::move(path));
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    Status st = AttachFile(path);
+    if (st.ok()) {
+      ++attached;
+    } else if (st.code() != StatusCode::kAlreadyExists) {
+      return st;
+    }
+  }
+  return attached;
+}
+
+std::vector<std::string> DataVault::RasterNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : rasters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> DataVault::VectorNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : vectors_) names.push_back(name);
+  return names;
+}
+
+Result<TerHeader> DataVault::GetRasterHeader(const std::string& name) const {
+  auto it = rasters_.find(name);
+  if (it == rasters_.end()) {
+    return Status::NotFound("raster '" + name + "' not attached");
+  }
+  return it->second;
+}
+
+Result<ArrayPtr> DataVault::GetRasterArray(const std::string& name) {
+  auto cached = cache_.find(name);
+  if (cached != cache_.end()) {
+    ++stats_.cache_hits;
+    return cached->second;
+  }
+  auto it = rasters_.find(name);
+  if (it == rasters_.end()) {
+    return Status::NotFound("raster '" + name + "' not attached");
+  }
+  TELEIOS_ASSIGN_OR_RETURN(TerRaster raster, ReadTer(it->second.path));
+  std::vector<storage::Field> attrs;
+  for (const std::string& band : raster.band_names) {
+    attrs.push_back({band, ColumnType::kFloat64});
+  }
+  TELEIOS_ASSIGN_OR_RETURN(
+      ArrayPtr array,
+      Array::Create(name,
+                    {{"y", 0, raster.height}, {"x", 0, raster.width}},
+                    attrs));
+  for (size_t b = 0; b < raster.bands.size(); ++b) {
+    TELEIOS_ASSIGN_OR_RETURN(double* dst, array->MutableDoubles(b));
+    std::copy(raster.bands[b].begin(), raster.bands[b].end(), dst);
+    stats_.bytes_ingested += raster.bands[b].size() * sizeof(double);
+  }
+  ++stats_.rasters_ingested;
+  cache_[name] = array;
+  return array;
+}
+
+Result<ArrayPtr> DataVault::GetBandArray(const std::string& name,
+                                         const std::string& band) {
+  std::string key = name + "#" + band;
+  auto cached = cache_.find(key);
+  if (cached != cache_.end()) {
+    ++stats_.cache_hits;
+    return cached->second;
+  }
+  auto it = rasters_.find(name);
+  if (it == rasters_.end()) {
+    return Status::NotFound("raster '" + name + "' not attached");
+  }
+  TELEIOS_ASSIGN_OR_RETURN(TerRaster raster, ReadTer(it->second.path));
+  int b = raster.BandIndex(band);
+  if (b < 0) {
+    return Status::NotFound("raster '" + name + "' has no band '" + band +
+                            "'");
+  }
+  TELEIOS_ASSIGN_OR_RETURN(
+      ArrayPtr array,
+      Array::Create(key, {{"y", 0, raster.height}, {"x", 0, raster.width}},
+                    {{"v", ColumnType::kFloat64}}));
+  TELEIOS_ASSIGN_OR_RETURN(double* dst, array->MutableDoubles(0));
+  std::copy(raster.bands[static_cast<size_t>(b)].begin(),
+            raster.bands[static_cast<size_t>(b)].end(), dst);
+  stats_.bytes_ingested +=
+      raster.bands[static_cast<size_t>(b)].size() * sizeof(double);
+  ++stats_.rasters_ingested;
+  cache_[key] = array;
+  return array;
+}
+
+Result<VecFile> DataVault::GetVector(const std::string& name) const {
+  auto it = vectors_.find(name);
+  if (it == vectors_.end()) {
+    return Status::NotFound("vector '" + name + "' not attached");
+  }
+  return ReadVec(it->second);
+}
+
+Status DataVault::IngestAll() {
+  for (const auto& [name, _] : rasters_) {
+    TELEIOS_RETURN_IF_ERROR(GetRasterArray(name).status());
+  }
+  return Status::OK();
+}
+
+void DataVault::EvictCache() { cache_.clear(); }
+
+}  // namespace teleios::vault

@@ -1,0 +1,82 @@
+#ifndef TELEIOS_VAULT_VAULT_H_
+#define TELEIOS_VAULT_VAULT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/array.h"
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "vault/formats.h"
+
+namespace teleios::vault {
+
+/// Ingestion statistics exposed for the E8 benchmark (lazy vs eager).
+struct VaultStats {
+  size_t files_attached = 0;
+  size_t rasters_ingested = 0;   // payloads actually read
+  size_t cache_hits = 0;
+  size_t bytes_ingested = 0;
+};
+
+/// The TELEIOS Data Vault: makes the DBMS aware of external file formats
+/// (symbiosis of the database and the scientific file repository, per
+/// Ivanova/Kersten/Manegold). Attach() harvests metadata only — queries
+/// over the catalog work immediately; raster payloads are ingested into
+/// arrays lazily on first touch and cached.
+class DataVault {
+ public:
+  /// `catalog` receives the metadata tables ("vault_rasters",
+  /// "vault_vectors"); must outlive the vault.
+  explicit DataVault(storage::Catalog* catalog) : catalog_(catalog) {}
+
+  /// Scans `directory` for *.ter and *.vec files, harvesting headers into
+  /// the catalog. Returns the number of files attached.
+  Result<size_t> Attach(const std::string& directory);
+
+  /// Registers a single file (used by tests and incremental ingestion).
+  Status AttachFile(const std::string& path);
+
+  /// Names of attached rasters / vectors.
+  std::vector<std::string> RasterNames() const;
+  std::vector<std::string> VectorNames() const;
+
+  /// Header metadata of an attached raster.
+  Result<TerHeader> GetRasterHeader(const std::string& name) const;
+
+  /// Lazily ingests the named raster as a SciQL array with dimensions
+  /// (y, x) and one DOUBLE attribute per band. Cached: repeated calls
+  /// return the same array.
+  Result<array::ArrayPtr> GetRasterArray(const std::string& name);
+
+  /// Lazily ingests a single band as a one-attribute array "v".
+  Result<array::ArrayPtr> GetBandArray(const std::string& name,
+                                       const std::string& band);
+
+  /// Reads an attached vector file (not cached; they are small).
+  Result<VecFile> GetVector(const std::string& name) const;
+
+  /// Eagerly ingests every attached raster (the non-vault baseline in
+  /// benchmark E8).
+  Status IngestAll();
+
+  /// Drops cached payloads (metadata stays attached).
+  void EvictCache();
+
+  const VaultStats& stats() const { return stats_; }
+
+ private:
+  Status EnsureCatalogTables();
+
+  storage::Catalog* catalog_;
+  std::map<std::string, TerHeader> rasters_;
+  std::map<std::string, std::string> vectors_;  // name -> path
+  std::map<std::string, array::ArrayPtr> cache_;
+  VaultStats stats_;
+};
+
+}  // namespace teleios::vault
+
+#endif  // TELEIOS_VAULT_VAULT_H_

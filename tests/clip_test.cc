@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/clip.h"
+#include "geo/polygonize.h"
+#include "geo/predicates.h"
+#include "geo/wkt.h"
+
+namespace teleios::geo {
+namespace {
+
+Geometry Tri(double scale) {
+  Polygon p;
+  p.outer = {{0, 0}, {20 * scale, 0}, {10 * scale, 18 * scale}};
+  return Geometry::MakePolygon(p);
+}
+
+TEST(ClipTest, OverlappingSquares) {
+  Geometry a = Geometry::MakeBox(0, 0, 10, 10);
+  Geometry b = Geometry::MakeBox(5, 5, 15, 15);
+  auto inter = Intersection(a, b);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_NEAR(inter->Area(), 25.0, 1e-6);
+  auto uni = Union(a, b);
+  ASSERT_TRUE(uni.ok());
+  EXPECT_NEAR(uni->Area(), 175.0, 1e-6);
+  auto diff = Difference(a, b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_NEAR(diff->Area(), 75.0, 1e-6);
+  // Inclusion-exclusion: |A| + |B| = |A u B| + |A n B|.
+  EXPECT_NEAR(a.Area() + b.Area(), uni->Area() + inter->Area(), 1e-6);
+}
+
+TEST(ClipTest, DisjointInputs) {
+  Geometry a = Geometry::MakeBox(0, 0, 1, 1);
+  Geometry b = Geometry::MakeBox(5, 5, 6, 6);
+  auto inter = Intersection(a, b);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_TRUE(inter->IsEmpty());
+  auto uni = Union(a, b);
+  ASSERT_TRUE(uni.ok());
+  EXPECT_EQ(uni->polygons().size(), 2u);
+  EXPECT_NEAR(uni->Area(), 2.0, 1e-9);
+  auto diff = Difference(a, b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_NEAR(diff->Area(), 1.0, 1e-9);
+}
+
+TEST(ClipTest, ContainedInputs) {
+  Geometry big = Geometry::MakeBox(0, 0, 10, 10);
+  Geometry small = Geometry::MakeBox(3, 3, 5, 5);
+  auto inter = Intersection(big, small);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_NEAR(inter->Area(), 4.0, 1e-9);
+  auto uni = Union(big, small);
+  ASSERT_TRUE(uni.ok());
+  EXPECT_NEAR(uni->Area(), 100.0, 1e-9);
+  // Hole is punched when the clip is strictly inside the subject.
+  auto diff = Difference(big, small);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_NEAR(diff->Area(), 96.0, 1e-9);
+  ASSERT_EQ(diff->polygons().size(), 1u);
+  EXPECT_EQ(diff->polygons()[0].holes.size(), 1u);
+  // Reverse difference is empty.
+  auto reverse = Difference(small, big);
+  ASSERT_TRUE(reverse.ok());
+  EXPECT_TRUE(reverse->IsEmpty());
+}
+
+TEST(ClipTest, TriangleClippedByBand) {
+  Geometry tri = Tri(1.0);
+  Geometry band = Geometry::MakeBox(-5, 5, 25, 9);
+  auto inter = Intersection(tri, band);
+  ASSERT_TRUE(inter.ok());
+  // Trapezoid between y=5 and y=9: widths 20*(1-y/18).
+  double w5 = 20.0 * (1 - 5.0 / 18.0);
+  double w9 = 20.0 * (1 - 9.0 / 18.0);
+  EXPECT_NEAR(inter->Area(), (w5 + w9) / 2 * 4, 1e-6);
+}
+
+TEST(ClipTest, SharedEdgeDegenerateHandled) {
+  // Squares sharing a full edge: classic Greiner-Hormann degeneracy,
+  // resolved by perturbation.
+  Geometry a = Geometry::MakeBox(0, 0, 10, 10);
+  Geometry b = Geometry::MakeBox(10, 0, 20, 10);
+  auto uni = Union(a, b);
+  ASSERT_TRUE(uni.ok());
+  EXPECT_NEAR(uni->Area(), 200.0, 0.01);
+  auto inter = Intersection(a, b);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_NEAR(inter->Area(), 0.0, 0.01);
+}
+
+TEST(ClipTest, SharedCornerDegenerateHandled) {
+  Geometry a = Geometry::MakeBox(0, 0, 10, 10);
+  Geometry b = Geometry::MakeBox(10, 10, 20, 20);
+  auto diff = Difference(a, b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_NEAR(diff->Area(), 100.0, 0.01);
+}
+
+TEST(ClipTest, DifferenceSplitsIntoParts) {
+  // A horizontal bar cuts the square into top and bottom halves.
+  Geometry square = Geometry::MakeBox(0, 0, 10, 10);
+  Geometry bar = Geometry::MakeBox(-1, 4, 11, 6);
+  auto diff = Difference(square, bar);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->polygons().size(), 2u);
+  EXPECT_NEAR(diff->Area(), 80.0, 1e-6);
+}
+
+TEST(ClipTest, MultiPolygonClip) {
+  Geometry two = Geometry::MakeMultiPolygon(
+      {{{{0, 0}, {4, 0}, {4, 4}, {0, 4}}, {}},
+       {{{10, 0}, {14, 0}, {14, 4}, {10, 4}}, {}}});
+  Geometry band = Geometry::MakeBox(2, -1, 12, 5);
+  auto inter = Intersection(two, band);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_NEAR(inter->Area(), 2 * 4 + 2 * 4, 1e-6);
+  auto diff = Difference(two, band);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_NEAR(diff->Area(), 2 * 4 + 2 * 4, 1e-6);
+}
+
+TEST(ClipTest, SubjectHolePreservedInDifference) {
+  Polygon donut;
+  donut.outer = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  donut.holes.push_back({{4, 4}, {6, 4}, {6, 6}, {4, 6}});
+  Geometry subject = Geometry::MakePolygon(donut);  // area 96
+  Geometry clip = Geometry::MakeBox(8, -1, 12, 11);
+  auto diff = Difference(subject, clip);
+  ASSERT_TRUE(diff.ok());
+  // Removes the 2x10 right strip (hole untouched): 96 - 20 = 76.
+  EXPECT_NEAR(diff->Area(), 76.0, 1e-6);
+}
+
+TEST(ClipTest, RejectsNonPolygonInputs) {
+  Geometry point = Geometry::MakePoint(1, 1);
+  Geometry box = Geometry::MakeBox(0, 0, 1, 1);
+  EXPECT_FALSE(Intersection(point, box).ok());
+  EXPECT_FALSE(Union(box, point).ok());
+}
+
+/// Property sweep: inclusion-exclusion and containment invariants hold
+/// for a grid of offset box pairs.
+class BooleanSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BooleanSweep, InclusionExclusionHolds) {
+  double offset = GetParam();
+  Geometry a = Geometry::MakeBox(0, 0, 10, 10);
+  Geometry b = Geometry::MakeBox(offset, offset / 2, offset + 8, offset / 2 + 8);
+  auto inter = Intersection(a, b);
+  auto uni = Union(a, b);
+  auto diff = Difference(a, b);
+  ASSERT_TRUE(inter.ok());
+  ASSERT_TRUE(uni.ok());
+  ASSERT_TRUE(diff.ok());
+  EXPECT_NEAR(a.Area() + b.Area(), uni->Area() + inter->Area(), 0.02);
+  EXPECT_NEAR(diff->Area(), a.Area() - inter->Area(), 0.02);
+  // The difference never intersects the clip interior (sample check).
+  if (!diff->IsEmpty() && !inter->IsEmpty()) {
+    Point c = inter->Centroid();
+    for (const Polygon& p : diff->polygons()) {
+      // Centroid of the intersection should not be strictly inside any
+      // difference part (it belongs to A n B).
+      bool inside =
+          PointInPolygon(c, p) &&
+          Distance(Geometry::MakePoint(c.x, c.y),
+                   Geometry::MakePolygon(p)) == 0.0;
+      if (inside) {
+        // Allowed only on a shared boundary: distance to boundary ~ 0.
+        double d = 1e9;
+        const Ring& ring = p.outer;
+        for (size_t i = 0; i < ring.size(); ++i) {
+          d = std::min(d, PointSegmentDistance(
+                              c, ring[i], ring[(i + 1) % ring.size()]));
+        }
+        EXPECT_LT(d, 0.05);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, BooleanSweep,
+                         ::testing::Values(1.0, 3.0, 5.0, 7.5, 9.0, 11.0));
+
+TEST(ClipTest, DifferenceWithHoledClipKeepsHoleContent) {
+  Geometry subject = Geometry::MakeBox(0, 0, 10, 10);  // area 100
+  Polygon donut;
+  donut.outer = {{2, 2}, {8, 2}, {8, 8}, {2, 8}};
+  donut.holes.push_back({{4, 4}, {6, 4}, {6, 6}, {4, 6}});
+  Geometry clip = Geometry::MakePolygon(donut);  // area 32
+  auto diff = Difference(subject, clip);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  // 100 - 36 (outer) + 4 (hole content kept) = 68.
+  EXPECT_NEAR(diff->Area(), 68.0, 1e-6);
+}
+
+/// Cross-module ground-truth property: polygonize two random binary
+/// masks, run the Greiner-Hormann boolean ops on the resulting
+/// (multi)polygons, and compare the areas against direct cell counting.
+/// Exercises polygonization, hole attachment, multipolygon boolean ops
+/// and the degeneracy perturbation (rectilinear inputs share edges
+/// constantly) in one invariant.
+class MaskBooleanSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaskBooleanSweep, AreasMatchCellCounts) {
+  const int w = 12, h = 10;
+  uint64_t state = GetParam();
+  auto next = [&]() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  };
+  // Blobby masks: seed a few rectangles to get connected regions with
+  // occasional holes.
+  auto make_mask = [&]() {
+    std::vector<uint8_t> mask(static_cast<size_t>(w) * h, 0);
+    for (int blob = 0; blob < 3; ++blob) {
+      int x0 = static_cast<int>(next() % (w - 3));
+      int y0 = static_cast<int>(next() % (h - 3));
+      int bw = 2 + static_cast<int>(next() % 5);
+      int bh = 2 + static_cast<int>(next() % 4);
+      for (int y = y0; y < std::min(y0 + bh, h); ++y) {
+        for (int x = x0; x < std::min(x0 + bw, w); ++x) {
+          mask[static_cast<size_t>(y) * w + x] = 1;
+        }
+      }
+    }
+    // Punch a hole sometimes.
+    if (next() % 2 == 0) {
+      int x = 1 + static_cast<int>(next() % (w - 2));
+      int y = 1 + static_cast<int>(next() % (h - 2));
+      mask[static_cast<size_t>(y) * w + x] = 0;
+    }
+    return mask;
+  };
+  std::vector<uint8_t> ma = make_mask();
+  std::vector<uint8_t> mb = make_mask();
+  Geometry ga = Geometry::MakeMultiPolygon(PolygonizeMask(ma, w, h));
+  Geometry gb = Geometry::MakeMultiPolygon(PolygonizeMask(mb, w, h));
+  if (ga.IsEmpty() || gb.IsEmpty()) return;
+
+  double cells_a = 0, cells_b = 0, cells_and = 0, cells_diff = 0;
+  for (size_t i = 0; i < ma.size(); ++i) {
+    cells_a += ma[i];
+    cells_b += mb[i];
+    cells_and += ma[i] && mb[i];
+    cells_diff += ma[i] && !mb[i];
+  }
+  EXPECT_NEAR(ga.Area(), cells_a, 1e-6);
+  EXPECT_NEAR(gb.Area(), cells_b, 1e-6);
+
+  auto inter = Intersection(ga, gb);
+  ASSERT_TRUE(inter.ok()) << inter.status().ToString();
+  EXPECT_NEAR(inter->Area(), cells_and, 0.02 * ma.size() / 100.0 + 0.01);
+  auto diff = Difference(ga, gb);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_NEAR(diff->Area(), cells_diff, 0.02 * ma.size() / 100.0 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskBooleanSweep,
+                         ::testing::Values(11u, 23u, 47u, 91u, 137u, 251u,
+                                           509u, 1021u));
+
+/// Rotated (non-axis-aligned) polygon sweep.
+class RotatedSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RotatedSweep, RotatedSquareIntersection) {
+  double angle = GetParam();
+  // Square of side 10 centered at (5,5), rotated by `angle`.
+  Polygon rot;
+  for (int k = 0; k < 4; ++k) {
+    double t = angle + k * M_PI / 2;
+    rot.outer.push_back(
+        {5 + 7.0710678 * std::cos(t + M_PI / 4),
+         5 + 7.0710678 * std::sin(t + M_PI / 4)});
+  }
+  Geometry rotated = Geometry::MakePolygon(rot);
+  Geometry fixed = Geometry::MakeBox(0, 0, 10, 10);
+  auto inter = Intersection(fixed, rotated);
+  ASSERT_TRUE(inter.ok());
+  // Intersection is at most either input and at least 40% of the square.
+  EXPECT_LE(inter->Area(), 100.0 + 0.1);
+  EXPECT_GT(inter->Area(), 40.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, RotatedSweep,
+                         ::testing::Values(0.1, 0.35, 0.6, 1.1, 1.4));
+
+}  // namespace
+}  // namespace teleios::geo

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/value.h"
+
+namespace teleios {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("table 'x'");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "table 'x'");
+  EXPECT_EQ(st.ToString(), "NotFound: table 'x'");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::ParseError("bad"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> HelperReturnsEarly(bool fail) {
+  TELEIOS_ASSIGN_OR_RETURN(int v, fail ? Result<int>(Status::Internal("x"))
+                                       : Result<int>(7));
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*HelperReturnsEarly(false), 8);
+  EXPECT_FALSE(HelperReturnsEarly(true).ok());
+}
+
+TEST(StringsTest, Split) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringsTest, SplitEmpty) {
+  auto parts = StrSplit("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(StrJoin({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(StrTrim("  hello \t\n"), "hello");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(StrLower("SeLeCt"), "select");
+  EXPECT_TRUE(StrEqualsIgnoreCase("WHERE", "where"));
+  EXPECT_FALSE(StrEqualsIgnoreCase("WHERE", "wher"));
+  EXPECT_TRUE(StrStartsWith("teleios.ter", "teleios"));
+  EXPECT_TRUE(StrEndsWith("teleios.ter", ".ter"));
+  EXPECT_FALSE(StrEndsWith("x", ".ter"));
+}
+
+TEST(StringsTest, ParseNumbers) {
+  EXPECT_EQ(*ParseInt64("-42"), -42);
+  EXPECT_FALSE(ParseInt64("4x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5e2"), 350.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value(int64_t{3}).AsInt64(), 3);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsFloat64(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(*Value(int64_t{4}).ToDouble(), 4.0);
+  EXPECT_EQ(*Value(4.9).ToInt64(), 4);
+  EXPECT_FALSE(Value("x").ToDouble().ok());
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value().Truthy());
+  EXPECT_FALSE(Value(int64_t{0}).Truthy());
+  EXPECT_TRUE(Value(int64_t{-1}).Truthy());
+  EXPECT_FALSE(Value("").Truthy());
+  EXPECT_TRUE(Value("x").Truthy());
+}
+
+TEST(ValueTest, CompareNumericAcrossTypes) {
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(1.5)), 0);
+  EXPECT_GT(Value(2.5).Compare(Value(int64_t{2})), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value().Compare(Value(int64_t{0})), 0);
+  EXPECT_EQ(Value().Compare(Value()), 0);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Value("apple").Compare(Value("banana")), 0);
+  EXPECT_EQ(Value("a").Compare(Value("a")), 0);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(int64_t{12}).ToString(), "12");
+  EXPECT_EQ(Value("s").ToString(), "s");
+}
+
+TEST(LoggingTest, LevelGate) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  TELEIOS_LOG(Info) << "suppressed";
+  SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace teleios

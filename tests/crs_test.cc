@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/crs.h"
+#include "geo/wkt.h"
+
+namespace teleios::geo {
+namespace {
+
+TEST(WebMercatorTest, OriginMapsToOrigin) {
+  Point m = Wgs84ToWebMercator({0, 0});
+  EXPECT_NEAR(m.x, 0.0, 1e-6);
+  EXPECT_NEAR(m.y, 0.0, 1e-6);
+}
+
+TEST(WebMercatorTest, RoundTrip) {
+  for (double lon : {-170.0, -21.0, 0.0, 22.5, 179.0}) {
+    for (double lat : {-80.0, -37.0, 0.0, 38.0, 80.0}) {
+      Point m = Wgs84ToWebMercator({lon, lat});
+      Point back = WebMercatorToWgs84(m);
+      EXPECT_NEAR(back.x, lon, 1e-9);
+      EXPECT_NEAR(back.y, lat, 1e-9);
+    }
+  }
+}
+
+TEST(WebMercatorTest, ClampsPolarLatitudes) {
+  Point m = Wgs84ToWebMercator({0, 89.9});
+  EXPECT_LT(std::fabs(m.y), 20037509.0);
+}
+
+TEST(HaversineTest, KnownDistances) {
+  // Athens (23.73, 37.98) to Sparta (22.43, 37.07): ~150 km.
+  double d = HaversineMeters({23.73, 37.98}, {22.43, 37.07});
+  EXPECT_NEAR(d, 151000, 5000);
+  // One degree of latitude ~ 111.2 km.
+  EXPECT_NEAR(HaversineMeters({0, 0}, {0, 1}), 111195, 200);
+  EXPECT_NEAR(HaversineMeters({10, 50}, {10, 50}), 0.0, 1e-6);
+}
+
+TEST(HaversineTest, SymmetricAndPositive) {
+  Point a{21.5, 37.0};
+  Point b{23.0, 38.2};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+  EXPECT_GT(HaversineMeters(a, b), 0.0);
+}
+
+TEST(GeodesicDistanceTest, ApproximatesHaversineForPoints) {
+  Geometry a = Geometry::MakePoint(22.0, 37.0);
+  Geometry b = Geometry::MakePoint(22.5, 37.4);
+  double approx = GeodesicDistanceMeters(a, b);
+  double exact = HaversineMeters({22.0, 37.0}, {22.5, 37.4});
+  EXPECT_NEAR(approx, exact, exact * 0.1);  // within 10%
+}
+
+TEST(GeodesicDistanceTest, ZeroWhenIntersecting) {
+  Geometry box = Geometry::MakeBox(22, 37, 23, 38);
+  Geometry point = Geometry::MakePoint(22.5, 37.5);
+  EXPECT_DOUBLE_EQ(GeodesicDistanceMeters(box, point), 0.0);
+}
+
+TEST(GeoTransformTest, NorthUpMapping) {
+  // 0.01 degree pixels anchored at (21.0, 38.5), north-up.
+  GeoTransform t{21.0, 38.5, 0.01, -0.01, 0, 0};
+  Point w = t.PixelToWorld(0, 0);
+  EXPECT_DOUBLE_EQ(w.x, 21.0);
+  EXPECT_DOUBLE_EQ(w.y, 38.5);
+  Point w2 = t.PixelToWorld(100, 50);
+  EXPECT_DOUBLE_EQ(w2.x, 22.0);
+  EXPECT_DOUBLE_EQ(w2.y, 38.0);
+}
+
+TEST(GeoTransformTest, InverseRoundTrip) {
+  GeoTransform t{21.0, 38.5, 0.02, -0.015, 0.001, -0.002};
+  for (double col : {0.0, 10.5, 99.0}) {
+    for (double row : {0.0, 7.25, 50.0}) {
+      Point w = t.PixelToWorld(col, row);
+      auto back = t.WorldToPixel(w);
+      ASSERT_TRUE(back.ok());
+      EXPECT_NEAR(back->x, col, 1e-9);
+      EXPECT_NEAR(back->y, row, 1e-9);
+    }
+  }
+}
+
+TEST(GeoTransformTest, SingularTransformRejected) {
+  GeoTransform t{0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(t.WorldToPixel({1, 1}).ok());
+}
+
+TEST(TransformGeometryTest, AllKinds) {
+  GeoTransform t{100, 200, 2, -2, 0, 0};
+  Geometry p = TransformGeometry(Geometry::MakePoint(1, 1), t);
+  EXPECT_DOUBLE_EQ(p.AsPoint().x, 102);
+  EXPECT_DOUBLE_EQ(p.AsPoint().y, 198);
+
+  Geometry line = TransformGeometry(
+      Geometry::MakeLineString({{0, 0}, {1, 0}}), t);
+  EXPECT_DOUBLE_EQ(line.lines()[0].points[1].x, 102);
+
+  Geometry box = TransformGeometry(Geometry::MakeBox(0, 0, 2, 2), t);
+  EXPECT_DOUBLE_EQ(box.Area(), 4 * 4.0);  // scaled by |2 * -2|
+
+  Polygon holed;
+  holed.outer = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  holed.holes.push_back({{2, 2}, {4, 2}, {4, 4}, {2, 4}});
+  Geometry hp = TransformGeometry(Geometry::MakePolygon(holed), t);
+  ASSERT_EQ(hp.polygons()[0].holes.size(), 1u);
+  EXPECT_DOUBLE_EQ(hp.Area(), 96 * 4.0);
+}
+
+}  // namespace
+}  // namespace teleios::geo

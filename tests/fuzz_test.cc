@@ -1,0 +1,138 @@
+// Parser robustness: every front end (SQL, SciQL, SPARQL, WKT, Turtle,
+// VEC) must reject arbitrary garbage and mutated valid inputs with a
+// clean error Status — never crash, hang, or accept nonsense silently.
+// Deterministic pseudo-random fuzzing (seeded xorshift), so failures
+// reproduce.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "geo/wkt.h"
+#include "rdf/turtle.h"
+#include "relational/sql_parser.h"
+#include "sciql/sciql_parser.h"
+#include "strabon/sparql_parser.h"
+
+namespace teleios {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 1) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Random printable-ish garbage (includes quotes, braces, unicode-ish
+/// bytes).
+std::string Garbage(Rng* rng, size_t length) {
+  static const char kAlphabet[] =
+      "abcXYZ0189 \t\n(){}[]<>\"'`?$#@:;,.*/+-=%^&|\\~_";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out += kAlphabet[rng->Next() % (sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+/// Mutates a valid input: deletes, duplicates or swaps random bytes.
+std::string Mutate(const std::string& input, Rng* rng, int edits) {
+  std::string out = input;
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    size_t pos = rng->Next() % out.size();
+    switch (rng->Next() % 3) {
+      case 0:
+        out.erase(pos, 1);
+        break;
+      case 1:
+        out.insert(pos, 1, out[pos]);
+        break;
+      default:
+        out[pos] = static_cast<char>('!' + rng->Next() % 90);
+    }
+  }
+  return out;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, SqlParserNeverCrashes) {
+  Rng rng(GetParam());
+  const std::string valid =
+      "SELECT station, avg(temp) AS t FROM obs WHERE temp > 300 AND "
+      "station LIKE 'a%' GROUP BY station ORDER BY t DESC LIMIT 5";
+  for (int i = 0; i < 200; ++i) {
+    (void)relational::ParseSql(Garbage(&rng, 1 + rng.Next() % 80));
+    (void)relational::ParseSql(Mutate(valid, &rng, 1 + rng.Next() % 6));
+  }
+  // A pristine statement still parses (the fuzz loop must not poison
+  // global state).
+  EXPECT_TRUE(relational::ParseSql(valid).ok());
+}
+
+TEST_P(FuzzSweep, SciQlParserNeverCrashes) {
+  Rng rng(GetParam() * 31 + 7);
+  const std::string valid =
+      "UPDATE img[0:10, 20:30] SET v = v * 2 + y WHERE v > 5 and x < 9";
+  for (int i = 0; i < 200; ++i) {
+    (void)sciql::ParseSciQl(Garbage(&rng, 1 + rng.Next() % 80));
+    (void)sciql::ParseSciQl(Mutate(valid, &rng, 1 + rng.Next() % 6));
+  }
+  EXPECT_TRUE(sciql::ParseSciQl(valid).ok());
+}
+
+TEST_P(FuzzSweep, SparqlParserNeverCrashes) {
+  Rng rng(GetParam() * 97 + 3);
+  const std::string valid =
+      "SELECT ?h (count(*) AS ?n) WHERE { ?h a noa:Hotspot ; "
+      "noa:hasGeometry ?g . FILTER(strdf:intersects(?g, \"POINT (1 "
+      "2)\"^^strdf:WKT)) } GROUP BY ?h ORDER BY DESC(?n) LIMIT 3";
+  for (int i = 0; i < 200; ++i) {
+    (void)strabon::ParseSparql(Garbage(&rng, 1 + rng.Next() % 100));
+    (void)strabon::ParseSparql(Mutate(valid, &rng, 1 + rng.Next() % 6));
+  }
+  EXPECT_TRUE(strabon::ParseSparql(valid).ok());
+}
+
+TEST_P(FuzzSweep, WktParserNeverCrashes) {
+  Rng rng(GetParam() * 13 + 11);
+  const std::string valid =
+      "MULTIPOLYGON (((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 1 2, 2 2, 2 1, 1 "
+      "1)), ((9 9, 10 9, 10 10, 9 10, 9 9)))";
+  for (int i = 0; i < 300; ++i) {
+    (void)geo::ParseWkt(Garbage(&rng, 1 + rng.Next() % 60));
+    (void)geo::ParseWkt(Mutate(valid, &rng, 1 + rng.Next() % 5));
+  }
+  EXPECT_TRUE(geo::ParseWkt(valid).ok());
+}
+
+TEST_P(FuzzSweep, TurtleParserNeverCrashes) {
+  Rng rng(GetParam() * 131 + 17);
+  const std::string valid =
+      "@prefix ex: <http://e/> . ex:a a ex:T ; ex:p \"x\\\"y\"@en , 4.5 ; "
+      "ex:q <http://z/> .";
+  for (int i = 0; i < 200; ++i) {
+    rdf::TripleStore store;
+    (void)rdf::ParseTurtle(Garbage(&rng, 1 + rng.Next() % 90), &store);
+    rdf::TripleStore store2;
+    (void)rdf::ParseTurtle(Mutate(valid, &rng, 1 + rng.Next() % 6),
+                           &store2);
+  }
+  rdf::TripleStore store;
+  EXPECT_TRUE(rdf::ParseTurtle(valid, &store).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace teleios

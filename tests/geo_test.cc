@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/geometry.h"
+#include "geo/predicates.h"
+#include "geo/wkt.h"
+
+namespace teleios::geo {
+namespace {
+
+TEST(EnvelopeTest, ExpandAndIntersect) {
+  Envelope e = Envelope::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  e.Expand(Point{1, 2});
+  e.Expand(Point{3, -1});
+  EXPECT_FALSE(e.IsEmpty());
+  EXPECT_DOUBLE_EQ(e.Width(), 2.0);
+  EXPECT_DOUBLE_EQ(e.Height(), 3.0);
+  EXPECT_TRUE(e.Contains(Point{2, 0}));
+  EXPECT_FALSE(e.Contains(Point{0, 0}));
+  Envelope other{2.5, -2, 5, 0};
+  EXPECT_TRUE(e.Intersects(other));
+  Envelope far{10, 10, 11, 11};
+  EXPECT_FALSE(e.Intersects(far));
+}
+
+TEST(GeometryTest, MakersAndKinds) {
+  EXPECT_EQ(Geometry::MakePoint(1, 2).kind(), GeometryKind::kPoint);
+  EXPECT_EQ(Geometry::MakeLineString({{0, 0}, {1, 1}}).kind(),
+            GeometryKind::kLineString);
+  EXPECT_EQ(Geometry::MakeBox(0, 0, 1, 1).kind(), GeometryKind::kPolygon);
+  EXPECT_TRUE(Geometry().IsEmpty());
+  EXPECT_EQ(Geometry::MakeMultiPoint({}).kind(), GeometryKind::kEmpty);
+}
+
+TEST(GeometryTest, AreaAndPerimeter) {
+  Geometry box = Geometry::MakeBox(0, 0, 4, 3);
+  EXPECT_DOUBLE_EQ(box.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(box.Length(), 14.0);
+}
+
+TEST(GeometryTest, HoleSubtractsArea) {
+  Polygon p;
+  p.outer = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  p.holes.push_back({{2, 2}, {4, 2}, {4, 4}, {2, 4}});
+  Geometry g = Geometry::MakePolygon(p);
+  EXPECT_DOUBLE_EQ(g.Area(), 96.0);
+}
+
+TEST(GeometryTest, OrientationNormalized) {
+  Polygon p;
+  p.outer = {{0, 0}, {0, 10}, {10, 10}, {10, 0}};  // clockwise input
+  Geometry g = Geometry::MakePolygon(p);
+  EXPECT_GT(SignedRingArea(g.polygons()[0].outer), 0.0);  // now CCW
+}
+
+TEST(GeometryTest, CentroidOfBox) {
+  Geometry box = Geometry::MakeBox(0, 0, 4, 2);
+  Point c = box.Centroid();
+  EXPECT_NEAR(c.x, 2.0, 1e-9);
+  EXPECT_NEAR(c.y, 1.0, 1e-9);
+}
+
+TEST(WktTest, PointRoundTrip) {
+  auto g = ParseWkt("POINT (21.5 37.25)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->AsPoint().x, 21.5);
+  auto again = ParseWkt(WriteWkt(*g));
+  ASSERT_TRUE(again.ok());
+  EXPECT_DOUBLE_EQ(again->AsPoint().y, 37.25);
+}
+
+TEST(WktTest, PolygonWithHoleRoundTrip) {
+  std::string wkt =
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 2 4, 4 4, 4 2, 2 2))";
+  auto g = ParseWkt(wkt);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ASSERT_EQ(g->polygons().size(), 1u);
+  EXPECT_EQ(g->polygons()[0].holes.size(), 1u);
+  auto again = ParseWkt(WriteWkt(*g));
+  ASSERT_TRUE(again.ok());
+  EXPECT_DOUBLE_EQ(again->Area(), 96.0);
+}
+
+TEST(WktTest, MultiGeometries) {
+  auto mp = ParseWkt("MULTIPOINT ((1 1), (2 2))");
+  ASSERT_TRUE(mp.ok());
+  EXPECT_EQ(mp->points().size(), 2u);
+  auto ml = ParseWkt("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 4))");
+  ASSERT_TRUE(ml.ok());
+  EXPECT_EQ(ml->lines().size(), 2u);
+  auto mpoly = ParseWkt(
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 "
+      "5)))");
+  ASSERT_TRUE(mpoly.ok());
+  EXPECT_EQ(mpoly->polygons().size(), 2u);
+  EXPECT_DOUBLE_EQ(mpoly->Area(), 2.0);
+}
+
+TEST(WktTest, EmptyAndErrors) {
+  auto empty = ParseWkt("POLYGON EMPTY");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->IsEmpty());
+  auto gc = ParseWkt("GEOMETRYCOLLECTION EMPTY");
+  ASSERT_TRUE(gc.ok());
+  EXPECT_TRUE(gc->IsEmpty());
+  EXPECT_FALSE(ParseWkt("POINT (1)").ok());
+  EXPECT_FALSE(ParseWkt("BLOB (1 2)").ok());
+  EXPECT_FALSE(ParseWkt("POINT (1 2) junk").ok());
+  EXPECT_FALSE(ParseWkt("POLYGON ((0 0, 1 1))").ok());  // degenerate ring
+}
+
+TEST(WktTest, ScientificNotationCoordinates) {
+  auto g = ParseWkt("POINT (2.15e1 -3.7e-1)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->AsPoint().x, 21.5, 1e-12);
+  EXPECT_NEAR(g->AsPoint().y, -0.37, 1e-12);
+}
+
+TEST(PredicatesTest, SegmentsIntersect) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  // Touching endpoint counts.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+  // Collinear overlap counts.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+}
+
+TEST(PredicatesTest, PointInRing) {
+  Ring square = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  EXPECT_TRUE(PointInRing({5, 5}, square));
+  EXPECT_FALSE(PointInRing({-1, 5}, square));
+  EXPECT_TRUE(PointInRing({0, 5}, square));   // boundary inclusive
+  EXPECT_TRUE(PointInRing({10, 10}, square));  // corner inclusive
+}
+
+TEST(PredicatesTest, PointInPolygonWithHole) {
+  Polygon p;
+  p.outer = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  p.holes.push_back({{4, 4}, {6, 4}, {6, 6}, {4, 6}});
+  EXPECT_TRUE(PointInPolygon({2, 2}, p));
+  EXPECT_FALSE(PointInPolygon({5, 5}, p));  // inside the hole
+  EXPECT_TRUE(PointInPolygon({4, 5}, p));   // on the hole boundary
+}
+
+TEST(PredicatesTest, IntersectsKindMatrix) {
+  Geometry box = Geometry::MakeBox(0, 0, 10, 10);
+  EXPECT_TRUE(Intersects(Geometry::MakePoint(5, 5), box));
+  EXPECT_FALSE(Intersects(Geometry::MakePoint(15, 5), box));
+  Geometry crossing = Geometry::MakeLineString({{-5, 5}, {15, 5}});
+  EXPECT_TRUE(Intersects(crossing, box));
+  Geometry inside_line = Geometry::MakeLineString({{1, 1}, {2, 2}});
+  EXPECT_TRUE(Intersects(inside_line, box));  // containment, no crossing
+  Geometry outside_line = Geometry::MakeLineString({{20, 20}, {30, 30}});
+  EXPECT_FALSE(Intersects(outside_line, box));
+  Geometry other_box = Geometry::MakeBox(5, 5, 15, 15);
+  EXPECT_TRUE(Intersects(box, other_box));
+  EXPECT_TRUE(Disjoint(box, Geometry::MakeBox(20, 20, 30, 30)));
+}
+
+TEST(PredicatesTest, ContainsAndWithin) {
+  Geometry big = Geometry::MakeBox(0, 0, 10, 10);
+  Geometry small = Geometry::MakeBox(2, 2, 4, 4);
+  EXPECT_TRUE(Contains(big, small));
+  EXPECT_FALSE(Contains(small, big));
+  EXPECT_TRUE(Within(small, big));
+  EXPECT_TRUE(Contains(big, Geometry::MakePoint(5, 5)));
+  Geometry overlapping = Geometry::MakeBox(5, 5, 15, 15);
+  EXPECT_FALSE(Contains(big, overlapping));
+}
+
+TEST(PredicatesTest, DistancePositiveAndZero) {
+  Geometry a = Geometry::MakeBox(0, 0, 1, 1);
+  Geometry b = Geometry::MakeBox(4, 0, 5, 1);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(Distance(a, Geometry::MakeBox(0.5, 0.5, 2, 2)), 0.0);
+  EXPECT_DOUBLE_EQ(
+      Distance(Geometry::MakePoint(0, 0), Geometry::MakePoint(3, 4)), 5.0);
+  // Point to segment distance beats vertex distance.
+  Geometry seg = Geometry::MakeLineString({{-10, 2}, {10, 2}});
+  EXPECT_DOUBLE_EQ(Distance(Geometry::MakePoint(0, 0), seg), 2.0);
+}
+
+TEST(PredicatesTest, ConvexHull) {
+  Geometry pts = Geometry::MakeMultiPoint(
+      {{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 1}});
+  Geometry hull = ConvexHull(pts);
+  ASSERT_EQ(hull.kind(), GeometryKind::kPolygon);
+  EXPECT_DOUBLE_EQ(hull.Area(), 16.0);
+  EXPECT_EQ(hull.polygons()[0].outer.size(), 4u);  // interior pts dropped
+}
+
+TEST(PredicatesTest, BufferPointIsCircle) {
+  Geometry circle = Buffer(Geometry::MakePoint(0, 0), 2.0, 64);
+  ASSERT_EQ(circle.kind(), GeometryKind::kPolygon);
+  EXPECT_NEAR(circle.Area(), M_PI * 4.0, 0.05);
+  EXPECT_TRUE(Contains(circle, Geometry::MakePoint(1.9, 0)));
+  EXPECT_FALSE(Contains(circle, Geometry::MakePoint(2.1, 0)));
+}
+
+TEST(PredicatesTest, BufferCoversOriginal) {
+  Geometry box = Geometry::MakeBox(0, 0, 2, 2);
+  Geometry buffered = Buffer(box, 1.0, 32);
+  EXPECT_TRUE(Contains(buffered, box));
+  EXPECT_GT(buffered.Area(), box.Area());
+}
+
+TEST(PredicatesTest, BufferCoversMultiPolygon) {
+  Geometry two = Geometry::MakeMultiPolygon(
+      {{{{0, 0}, {1, 0}, {1, 1}, {0, 1}}, {}},
+       {{{5, 5}, {6, 5}, {6, 6}, {5, 6}}, {}}});
+  Geometry buffered = Buffer(two, 0.5, 16);
+  EXPECT_TRUE(Contains(buffered, two));
+  Geometry zero = Buffer(two, 0.0);
+  EXPECT_DOUBLE_EQ(zero.Area(), two.Area());  // non-positive = identity
+}
+
+TEST(PredicatesTest, LineDistanceToPolygonBoundary) {
+  // A line ending just outside a polygon: distance is to the boundary.
+  Geometry box = Geometry::MakeBox(0, 0, 10, 10);
+  Geometry line = Geometry::MakeLineString({{12, 5}, {20, 5}});
+  EXPECT_DOUBLE_EQ(Distance(box, line), 2.0);
+  // Line fully inside has distance 0 (containment).
+  Geometry inside = Geometry::MakeLineString({{2, 2}, {3, 3}});
+  EXPECT_DOUBLE_EQ(Distance(box, inside), 0.0);
+}
+
+/// Distance symmetry / triangle-ish property sweep over point layouts.
+class DistanceSweep
+    : public ::testing::TestWithParam<std::pair<Point, Point>> {};
+
+TEST_P(DistanceSweep, SymmetricAndNonNegative) {
+  auto [p, q] = GetParam();
+  Geometry a = Geometry::MakePoint(p.x, p.y);
+  Geometry b = Geometry::MakePoint(q.x, q.y);
+  double ab = Distance(a, b);
+  double ba = Distance(b, a);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_DOUBLE_EQ(ab, std::hypot(p.x - q.x, p.y - q.y));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, DistanceSweep,
+    ::testing::Values(std::make_pair(Point{0, 0}, Point{0, 0}),
+                      std::make_pair(Point{1, 2}, Point{-3, 5}),
+                      std::make_pair(Point{-1, -1}, Point{1, 1}),
+                      std::make_pair(Point{100, 0}, Point{0, 100})));
+
+}  // namespace
+}  // namespace teleios::geo

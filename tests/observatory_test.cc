@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/observatory.h"
+#include "eo/scene.h"
+#include "linkeddata/generators.h"
+
+namespace teleios::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ObservatoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("observatory_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    eo::SceneSpec spec;
+    spec.width = 96;
+    spec.height = 96;
+    spec.num_fires = 4;
+    spec.name = "msg";
+    scene_ = *eo::GenerateScene(spec);
+    ASSERT_TRUE(vault::WriteTer(scene_.ToTerRaster(),
+                                (dir_ / "msg.ter").string())
+                    .ok());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  eo::Scene scene_;
+  VirtualEarthObservatory veo_;
+};
+
+TEST_F(ObservatoryTest, OntologyPreloaded) {
+  auto classes = veo_.StSparql(
+      "SELECT ?c WHERE { ?c a <http://www.w3.org/2002/07/owl#Class> }");
+  ASSERT_TRUE(classes.ok());
+  EXPECT_GT(classes->num_rows(), 10u);
+}
+
+TEST_F(ObservatoryTest, AttachAndQueryMetadata) {
+  auto n = veo_.AttachArchive(dir_.string());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+  auto meta = veo_.Sql("SELECT name FROM vault_rasters");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->num_rows(), 1u);
+}
+
+TEST_F(ObservatoryTest, SciQlAfterRegister) {
+  ASSERT_TRUE(veo_.AttachArchive(dir_.string()).ok());
+  ASSERT_TRUE(veo_.RegisterRaster("msg").ok());
+  ASSERT_TRUE(veo_.RegisterRaster("msg").ok());  // idempotent
+  auto r = veo_.SciQl("SELECT count(*) AS n FROM msg WHERE LANDMASK > 0.5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->Get(0, 0).AsInt64(), 0);
+}
+
+TEST_F(ObservatoryTest, FullScenarioThroughFacade) {
+  ASSERT_TRUE(veo_.AttachArchive(dir_.string()).ok());
+  ASSERT_TRUE(
+      veo_.LoadLinkedData(*linkeddata::GenerateCoastline(scene_)).ok());
+  noa::ChainConfig config;
+  config.classifier.kind = noa::ClassifierKind::kThreshold;
+  config.classifier.threshold_kelvin = 315.0;
+  auto result = veo_.RunFireChain("msg", config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto report = veo_.Refine(result->product_id);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->hotspots_examined, result->hotspots.size());
+  // Products visible to SQL and stSPARQL.
+  auto sql_products = veo_.Sql("SELECT id FROM products");
+  ASSERT_TRUE(sql_products.ok());
+  EXPECT_EQ(sql_products->num_rows(), 1u);
+  auto rdf_products =
+      veo_.StSparql("SELECT ?p WHERE { ?p a noa:Product }");
+  ASSERT_TRUE(rdf_products.ok());
+  EXPECT_EQ(rdf_products->num_rows(), 1u);
+  // A map over the same store renders.
+  auto mapper = veo_.MakeMapper();
+  ASSERT_TRUE(mapper
+                  .AddQueryLayer("hotspots", "#dd2200", '#',
+                                 "SELECT ?g WHERE { ?h a noa:Hotspot ; "
+                                 "noa:hasGeometry ?g }")
+                  .ok());
+  EXPECT_NE(mapper.RenderSvg().find("<svg"), std::string::npos);
+}
+
+TEST_F(ObservatoryTest, UpdateThroughFacade) {
+  auto n = veo_.StSparqlUpdate(
+      "INSERT DATA { <http://x/a> a noa:Hotspot }");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+  auto hot = veo_.StSparql("SELECT ?h WHERE { ?h a noa:Hotspot }");
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot->num_rows(), 1u);
+}
+
+TEST_F(ObservatoryTest, ErrorsSurface) {
+  EXPECT_FALSE(veo_.RegisterRaster("missing").ok());
+  EXPECT_FALSE(veo_.Sql("SELECT * FROM nope").ok());
+  EXPECT_FALSE(veo_.Refine("no-such-product").ok());
+}
+
+}  // namespace
+}  // namespace teleios::core

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "geo/polygonize.h"
+#include "geo/predicates.h"
+
+namespace teleios::geo {
+namespace {
+
+std::vector<uint8_t> Mask(std::initializer_list<std::string> rows) {
+  std::vector<uint8_t> mask;
+  for (const std::string& row : rows) {
+    for (char c : row) mask.push_back(c == '#' ? 1 : 0);
+  }
+  return mask;
+}
+
+double TotalArea(const std::vector<Polygon>& polys) {
+  double area = 0;
+  for (const Polygon& p : polys) {
+    area += SignedRingArea(p.outer);
+    for (const Ring& h : p.holes) area += SignedRingArea(h);  // negative
+  }
+  return area;
+}
+
+TEST(PolygonizeTest, SingleCell) {
+  auto polys = PolygonizeMask(Mask({"#"}), 1, 1);
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_EQ(polys[0].outer.size(), 4u);
+  EXPECT_DOUBLE_EQ(TotalArea(polys), 1.0);
+}
+
+TEST(PolygonizeTest, EmptyMask) {
+  auto polys = PolygonizeMask(Mask({"..", ".."}), 2, 2);
+  EXPECT_TRUE(polys.empty());
+}
+
+TEST(PolygonizeTest, FullRectangleCollapsesVertices) {
+  auto polys = PolygonizeMask(Mask({"###", "###"}), 3, 2);
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_EQ(polys[0].outer.size(), 4u);  // collinear points collapsed
+  EXPECT_DOUBLE_EQ(TotalArea(polys), 6.0);
+}
+
+TEST(PolygonizeTest, LShape) {
+  auto polys = PolygonizeMask(Mask({"#.", "##"}), 2, 2);
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_EQ(polys[0].outer.size(), 6u);
+  EXPECT_DOUBLE_EQ(TotalArea(polys), 3.0);
+}
+
+TEST(PolygonizeTest, TwoSeparateRegions) {
+  auto polys = PolygonizeMask(Mask({"#.#"}), 3, 1);
+  EXPECT_EQ(polys.size(), 2u);
+  EXPECT_DOUBLE_EQ(TotalArea(polys), 2.0);
+}
+
+TEST(PolygonizeTest, DiagonalTouchSplits) {
+  // 4-connectivity: diagonal neighbours are separate polygons.
+  auto polys = PolygonizeMask(Mask({"#.", ".#"}), 2, 2);
+  EXPECT_EQ(polys.size(), 2u);
+  EXPECT_DOUBLE_EQ(TotalArea(polys), 2.0);
+}
+
+TEST(PolygonizeTest, RingWithHole) {
+  auto polys = PolygonizeMask(Mask({"###", "#.#", "###"}), 3, 3);
+  ASSERT_EQ(polys.size(), 1u);
+  ASSERT_EQ(polys[0].holes.size(), 1u);
+  EXPECT_DOUBLE_EQ(TotalArea(polys), 8.0);
+  // The hole center is not inside the polygon.
+  EXPECT_FALSE(PointInPolygon({1.5, 1.5}, polys[0]));
+  EXPECT_TRUE(PointInPolygon({0.5, 0.5}, polys[0]));
+}
+
+TEST(PolygonizeTest, HoleWithIslandInside) {
+  auto polys = PolygonizeMask(
+      Mask({"#####", "#...#", "#.#.#", "#...#", "#####"}), 5, 5);
+  // Outer ring 5x5 with a 3x3 hole, plus a 1x1 island polygon inside.
+  ASSERT_EQ(polys.size(), 2u);
+  EXPECT_DOUBLE_EQ(TotalArea(polys), 25 - 9 + 1);
+}
+
+TEST(PolygonizeTest, OrientationConvention) {
+  auto polys = PolygonizeMask(Mask({"##", "##"}), 2, 2);
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_GT(SignedRingArea(polys[0].outer), 0.0);  // shells positive
+  auto holed = PolygonizeMask(Mask({"###", "#.#", "###"}), 3, 3);
+  ASSERT_EQ(holed.size(), 1u);
+  ASSERT_EQ(holed[0].holes.size(), 1u);
+  EXPECT_LT(SignedRingArea(holed[0].holes[0]), 0.0);  // holes negative
+}
+
+/// Property: polygonized area always equals the number of set cells.
+class AreaSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AreaSweep, AreaEqualsCellCount) {
+  uint64_t seed = GetParam();
+  int w = 17, h = 13;
+  std::vector<uint8_t> mask(static_cast<size_t>(w) * h);
+  uint64_t state = seed;
+  int set = 0;
+  for (auto& cell : mask) {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    cell = (state * 0x2545f4914f6cdd1dull >> 62) == 0 ? 1 : 0;  // ~25%
+    set += cell;
+  }
+  auto polys = PolygonizeMask(mask, w, h);
+  EXPECT_NEAR(TotalArea(polys), static_cast<double>(set), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AreaSweep,
+                         ::testing::Values(1u, 7u, 42u, 123u, 999u, 31337u));
+
+}  // namespace
+}  // namespace teleios::geo

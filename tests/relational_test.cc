@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include "relational/evaluator.h"
+#include "relational/expression.h"
+#include "relational/operators.h"
+
+namespace teleios::relational {
+namespace {
+
+using storage::ColumnType;
+using storage::Schema;
+using storage::Table;
+
+Table Sensors() {
+  Table t{Schema({{"id", ColumnType::kInt64},
+                  {"band", ColumnType::kString},
+                  {"temp", ColumnType::kFloat64}})};
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value("IR039"), Value(320.0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{2}), Value("IR108"), Value(295.5)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{3}), Value("IR039"), Value(305.0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{4}), Value("VIS006"), Value()}).ok());
+  return t;
+}
+
+TEST(ExpressionTest, BuildAndPrint) {
+  ExprPtr e = Expr::Binary(BinaryOp::kGt, Expr::ColumnRef("temp"),
+                           Expr::Literal(Value(300.0)));
+  EXPECT_EQ(e->ToString(), "(temp > 300)");
+  EXPECT_FALSE(ContainsAggregate(e));
+  std::vector<std::string> cols;
+  CollectColumnRefs(e, &cols);
+  ASSERT_EQ(cols.size(), 1u);
+  EXPECT_EQ(cols[0], "temp");
+}
+
+TEST(ExpressionTest, AggregateDetection) {
+  ExprPtr agg = Expr::Function("sum", {Expr::ColumnRef("temp")});
+  EXPECT_TRUE(ContainsAggregate(agg));
+  EXPECT_TRUE(IsAggregateFunction("count"));
+  EXPECT_FALSE(IsAggregateFunction("sqrt"));
+}
+
+TEST(EvaluatorTest, Arithmetic) {
+  auto lit = [](double d) { return Expr::Literal(Value(d)); };
+  ExprPtr e = Expr::Binary(BinaryOp::kAdd, lit(2),
+                           Expr::Binary(BinaryOp::kMul, lit(3), lit(4)));
+  auto v = Evaluate(e, [](const std::string&) -> Result<Value> {
+    return Status::NotFound("none");
+  });
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsFloat64(), 14.0);
+}
+
+TEST(EvaluatorTest, IntegerDivisionStaysInt) {
+  ExprPtr e = Expr::Binary(BinaryOp::kDiv, Expr::Literal(Value(int64_t{7})),
+                           Expr::Literal(Value(int64_t{2})));
+  auto v = Evaluate(e, [](const std::string&) -> Result<Value> {
+    return Value();
+  });
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->type(), ValueType::kInt64);
+  EXPECT_EQ(v->AsInt64(), 3);
+}
+
+TEST(EvaluatorTest, DivisionByZeroErrors) {
+  ExprPtr e = Expr::Binary(BinaryOp::kDiv, Expr::Literal(Value(int64_t{1})),
+                           Expr::Literal(Value(int64_t{0})));
+  EXPECT_FALSE(Evaluate(e, [](const std::string&) -> Result<Value> {
+                 return Value();
+               }).ok());
+}
+
+TEST(EvaluatorTest, NullPropagatesThroughComparison) {
+  ExprPtr e = Expr::Binary(BinaryOp::kLt, Expr::Literal(Value()),
+                           Expr::Literal(Value(int64_t{1})));
+  auto v = Evaluate(e, [](const std::string&) -> Result<Value> {
+    return Value();
+  });
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(EvaluatorTest, LikeMatching) {
+  EXPECT_TRUE(LikeMatch("IR039", "IR%"));
+  EXPECT_TRUE(LikeMatch("IR039", "IR_39"));
+  EXPECT_FALSE(LikeMatch("VIS006", "IR%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("abc", "%c"));
+  EXPECT_FALSE(LikeMatch("abc", "%d"));
+  EXPECT_TRUE(LikeMatch("a%b", "a%b"));  // % in text matched by literal path
+}
+
+TEST(EvaluatorTest, ScalarFunctions) {
+  auto eval = [](ExprPtr e) {
+    return Evaluate(e, [](const std::string&) -> Result<Value> {
+      return Value();
+    });
+  };
+  EXPECT_DOUBLE_EQ(
+      eval(Expr::Function("sqrt", {Expr::Literal(Value(9.0))}))->AsFloat64(),
+      3.0);
+  EXPECT_EQ(
+      eval(Expr::Function("floor", {Expr::Literal(Value(2.9))}))->AsInt64(),
+      2);
+  EXPECT_EQ(eval(Expr::Function("upper", {Expr::Literal(Value("abc"))}))
+                ->AsString(),
+            "ABC");
+  EXPECT_EQ(eval(Expr::Function("coalesce",
+                                {Expr::Literal(Value()),
+                                 Expr::Literal(Value(int64_t{5}))}))
+                ->AsInt64(),
+            5);
+  EXPECT_EQ(eval(Expr::Function(
+                     "if", {Expr::Literal(Value(false)),
+                            Expr::Literal(Value(int64_t{1})),
+                            Expr::Literal(Value(int64_t{2}))}))
+                ->AsInt64(),
+            2);
+  EXPECT_EQ(eval(Expr::Function("substr", {Expr::Literal(Value("teleios")),
+                                           Expr::Literal(Value(int64_t{2})),
+                                           Expr::Literal(Value(int64_t{3}))}))
+                ->AsString(),
+            "ele");
+}
+
+TEST(BoundExprTest, BindsColumnsOnce) {
+  Table t = Sensors();
+  ExprPtr e = Expr::Binary(BinaryOp::kGt, Expr::ColumnRef("temp"),
+                           Expr::Literal(Value(300.0)));
+  auto bound = BoundExpr::Bind(e, t);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound->Eval(t, 0)->Truthy());
+  EXPECT_FALSE(bound->Eval(t, 1)->Truthy());
+  EXPECT_FALSE(BoundExpr::Bind(Expr::ColumnRef("nope"), t).ok());
+}
+
+TEST(BoundExprTest, QualifiedNameFallback) {
+  Table t = Sensors();
+  auto bound = BoundExpr::Bind(Expr::ColumnRef("s.temp"), t);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(bound->Eval(t, 0)->AsFloat64(), 320.0);
+}
+
+TEST(OperatorsTest, FilterKeepsMatchingRows) {
+  Table t = Sensors();
+  ExprPtr pred = Expr::Binary(
+      BinaryOp::kAnd,
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnRef("band"),
+                   Expr::Literal(Value("IR039"))),
+      Expr::Binary(BinaryOp::kGt, Expr::ColumnRef("temp"),
+                   Expr::Literal(Value(310.0))));
+  auto out = Filter(t, pred);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->Get(0, 0), Value(int64_t{1}));
+}
+
+TEST(OperatorsTest, FilterNullIsFalse) {
+  Table t = Sensors();
+  ExprPtr pred = Expr::Binary(BinaryOp::kGt, Expr::ColumnRef("temp"),
+                              Expr::Literal(Value(0.0)));
+  auto out = Filter(t, pred);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 3u);  // the NULL temp row is dropped
+}
+
+TEST(OperatorsTest, ProjectComputeInfersTypes) {
+  Table t = Sensors();
+  auto out = ProjectCompute(
+      t, {{Expr::Binary(BinaryOp::kMul, Expr::ColumnRef("id"),
+                        Expr::Literal(Value(int64_t{10}))),
+           "id10"},
+          {Expr::ColumnRef("band"), "b"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().field(0).type, ColumnType::kInt64);
+  EXPECT_EQ(out->schema().field(1).type, ColumnType::kString);
+  EXPECT_EQ(out->Get(2, 0), Value(int64_t{30}));
+}
+
+Table Bands() {
+  Table t{Schema({{"band", ColumnType::kString},
+                  {"wavelength", ColumnType::kFloat64}})};
+  EXPECT_TRUE(t.AppendRow({Value("IR039"), Value(3.9)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("IR108"), Value(10.8)}).ok());
+  return t;
+}
+
+TEST(OperatorsTest, HashJoinInner) {
+  auto out = HashJoin(Sensors(), Bands(), {"band"}, {"band"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 3u);  // VIS006 has no match
+  // Clashing column renamed.
+  EXPECT_GE(out->schema().FieldIndex("r_band"), 0);
+}
+
+TEST(OperatorsTest, HashJoinLeftOuter) {
+  auto out = HashJoin(Sensors(), Bands(), {"band"}, {"band"},
+                      JoinType::kLeftOuter);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 4u);
+  // The VIS006 row has NULL wavelength.
+  int wl = out->schema().FieldIndex("wavelength");
+  ASSERT_GE(wl, 0);
+  bool found_null = false;
+  for (size_t r = 0; r < out->num_rows(); ++r) {
+    if (out->Get(r, static_cast<size_t>(wl)).is_null()) found_null = true;
+  }
+  EXPECT_TRUE(found_null);
+}
+
+TEST(OperatorsTest, HashJoinNullKeysNeverMatch) {
+  Table left{Schema({{"k", ColumnType::kInt64}})};
+  ASSERT_TRUE(left.AppendRow({Value()}).ok());
+  Table right{Schema({{"k", ColumnType::kInt64}})};
+  ASSERT_TRUE(right.AppendRow({Value()}).ok());
+  auto out = HashJoin(left, right, {"k"}, {"k"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 0u);
+}
+
+TEST(OperatorsTest, GroupAggregate) {
+  auto out = GroupAggregate(
+      Sensors(), {"band"},
+      {{"count", nullptr, "n"},
+       {"avg", Expr::ColumnRef("temp"), "avg_temp"},
+       {"max", Expr::ColumnRef("temp"), "max_temp"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 3u);
+  // Row order follows first appearance: IR039 first.
+  EXPECT_EQ(out->Get(0, 0), Value("IR039"));
+  EXPECT_EQ(out->Get(0, 1), Value(int64_t{2}));
+  EXPECT_DOUBLE_EQ(out->Get(0, 2).AsFloat64(), 312.5);
+  EXPECT_DOUBLE_EQ(out->Get(0, 3).AsFloat64(), 320.0);
+  // VIS006 group: count(*)=1 but avg over NULL = NULL.
+  EXPECT_EQ(out->Get(2, 1), Value(int64_t{1}));
+  EXPECT_TRUE(out->Get(2, 2).is_null());
+}
+
+TEST(OperatorsTest, GlobalAggregateOnEmptyInput) {
+  Table t{Schema({{"x", ColumnType::kInt64}})};
+  auto out = GroupAggregate(t, {}, {{"count", nullptr, "n"}});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->Get(0, 0), Value(int64_t{0}));
+}
+
+TEST(OperatorsTest, SumStaysIntegerForIntInput) {
+  Table t{Schema({{"x", ColumnType::kInt64}})};
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{2})}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{3})}).ok());
+  auto out = GroupAggregate(t, {}, {{"sum", Expr::ColumnRef("x"), "s"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->Get(0, 0), Value(int64_t{5}));
+}
+
+TEST(OperatorsTest, SortMultiKey) {
+  auto out = Sort(Sensors(), {{"band", false}, {"temp", true}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->Get(0, 1), Value("IR039"));
+  EXPECT_DOUBLE_EQ(out->Get(0, 2).AsFloat64(), 320.0);  // desc within band
+  EXPECT_DOUBLE_EQ(out->Get(1, 2).AsFloat64(), 305.0);
+}
+
+TEST(OperatorsTest, SortIsStable) {
+  Table t{Schema({{"k", ColumnType::kInt64}, {"seq", ColumnType::kInt64}})};
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(i % 3), Value(i)}).ok());
+  }
+  auto out = Sort(t, {{"k", false}});
+  ASSERT_TRUE(out.ok());
+  // Within equal keys, original order (seq ascending) is preserved.
+  int64_t prev_key = -1, prev_seq = -1;
+  for (size_t r = 0; r < out->num_rows(); ++r) {
+    int64_t k = out->Get(r, 0).AsInt64();
+    int64_t seq = out->Get(r, 1).AsInt64();
+    if (k == prev_key) EXPECT_GT(seq, prev_seq);
+    prev_key = k;
+    prev_seq = seq;
+  }
+}
+
+TEST(OperatorsTest, SortNullsFirst) {
+  auto out = Sort(Sensors(), {{"temp", false}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->Get(0, 2).is_null());
+}
+
+TEST(OperatorsTest, LimitOffset) {
+  Table t = Sensors();
+  Table window = Limit(t, 2, 1);
+  ASSERT_EQ(window.num_rows(), 2u);
+  EXPECT_EQ(window.Get(0, 0), Value(int64_t{2}));
+}
+
+TEST(OperatorsTest, Distinct) {
+  Table t{Schema({{"x", ColumnType::kInt64}})};
+  for (int64_t v : {1, 2, 1, 3, 2}) {
+    ASSERT_TRUE(t.AppendRow({Value(v)}).ok());
+  }
+  Table d = Distinct(t);
+  ASSERT_EQ(d.num_rows(), 3u);
+  EXPECT_EQ(d.Get(0, 0), Value(int64_t{1}));
+  EXPECT_EQ(d.Get(2, 0), Value(int64_t{3}));
+}
+
+TEST(VectorizedFilterTest, RecognizesSimpleShapes) {
+  Table t = Sensors();
+  auto col_const = Expr::Binary(BinaryOp::kGt, Expr::ColumnRef("temp"),
+                                Expr::Literal(Value(300.0)));
+  EXPECT_TRUE(IsVectorizablePredicate(t, col_const));
+  auto str_eq = Expr::Binary(BinaryOp::kEq, Expr::ColumnRef("band"),
+                             Expr::Literal(Value("IR039")));
+  EXPECT_TRUE(IsVectorizablePredicate(t, str_eq));
+  auto conj = Expr::Binary(BinaryOp::kAnd, col_const, str_eq);
+  EXPECT_TRUE(IsVectorizablePredicate(t, conj));
+  auto diff = Expr::Binary(
+      BinaryOp::kGt,
+      Expr::Binary(BinaryOp::kSub, Expr::ColumnRef("temp"),
+                   Expr::ColumnRef("id")),
+      Expr::Literal(Value(100.0)));
+  EXPECT_TRUE(IsVectorizablePredicate(t, diff));
+  // LIKE and function calls are not vectorizable -> interpreter fallback.
+  auto like = Expr::Binary(BinaryOp::kLike, Expr::ColumnRef("band"),
+                           Expr::Literal(Value("IR%")));
+  EXPECT_FALSE(IsVectorizablePredicate(t, like));
+  auto fn = Expr::Function("sqrt", {Expr::ColumnRef("temp")});
+  EXPECT_FALSE(IsVectorizablePredicate(t, fn));
+}
+
+TEST(VectorizedFilterTest, MatchesInterpreterOnAllShapes) {
+  Table t = Sensors();
+  std::vector<ExprPtr> predicates = {
+      Expr::Binary(BinaryOp::kGt, Expr::ColumnRef("temp"),
+                   Expr::Literal(Value(300.0))),
+      Expr::Binary(BinaryOp::kLe, Expr::Literal(Value(300.0)),
+                   Expr::ColumnRef("temp")),  // mirrored constant side
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnRef("band"),
+                   Expr::Literal(Value("IR039"))),
+      Expr::Binary(BinaryOp::kNe, Expr::ColumnRef("band"),
+                   Expr::Literal(Value("IR039"))),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnRef("band"),
+                   Expr::Literal(Value("NOT_IN_DICT"))),
+      Expr::Binary(BinaryOp::kLt, Expr::ColumnRef("id"),
+                   Expr::ColumnRef("temp")),
+      Expr::Binary(
+          BinaryOp::kGt,
+          Expr::Binary(BinaryOp::kSub, Expr::ColumnRef("temp"),
+                       Expr::ColumnRef("id")),
+          Expr::Literal(Value(300.0))),
+  };
+  // Conjunction of the first two as well.
+  predicates.push_back(Expr::Binary(BinaryOp::kAnd, predicates[0],
+                                    predicates[2]));
+  for (const ExprPtr& p : predicates) {
+    auto fast = FilterIndices(t, p);
+    auto slow = FilterIndicesInterpreted(t, p);
+    ASSERT_TRUE(fast.ok()) << p->ToString();
+    ASSERT_TRUE(slow.ok()) << p->ToString();
+    EXPECT_EQ(*fast, *slow) << p->ToString();
+  }
+}
+
+/// Property sweep: filter + take round trip preserves values for varying
+/// table sizes.
+class FilterSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterSweep, ThresholdCountsMatchBruteForce) {
+  int n = GetParam();
+  Table t{Schema({{"v", ColumnType::kInt64}})};
+  int expected = 0;
+  for (int i = 0; i < n; ++i) {
+    int64_t v = (i * 37) % 101;
+    if (v > 50) ++expected;
+    ASSERT_TRUE(t.AppendRow({Value(v)}).ok());
+  }
+  auto out = Filter(t, Expr::Binary(BinaryOp::kGt, Expr::ColumnRef("v"),
+                                    Expr::Literal(Value(int64_t{50}))));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), static_cast<size_t>(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FilterSweep,
+                         ::testing::Values(0, 1, 10, 257, 4096));
+
+}  // namespace
+}  // namespace teleios::relational

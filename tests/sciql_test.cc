@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "sciql/sciql_engine.h"
+#include "sciql/sciql_parser.h"
+
+namespace teleios::sciql {
+namespace {
+
+using storage::Table;
+
+TEST(SciQlParserTest, CreateArray) {
+  auto stmt = ParseSciQl(
+      "CREATE ARRAY img (y INT DIMENSION [0:64], x INT DIMENSION [0:128], "
+      "v DOUBLE DEFAULT 0.0, m INT)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& c = std::get<CreateArrayStatement>(*stmt);
+  EXPECT_EQ(c.name, "img");
+  ASSERT_EQ(c.dims.size(), 2u);
+  EXPECT_EQ(c.dims[1].size, 128);
+  ASSERT_EQ(c.attributes.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.defaults[0].AsFloat64(), 0.0);
+  EXPECT_TRUE(c.defaults[1].is_null());
+}
+
+TEST(SciQlParserTest, RejectsNonIntegerDimension) {
+  EXPECT_FALSE(
+      ParseSciQl("CREATE ARRAY a (x DOUBLE DIMENSION [0:4], v DOUBLE)").ok());
+  EXPECT_FALSE(
+      ParseSciQl("CREATE ARRAY a (x INT DIMENSION [4:4], v DOUBLE)").ok());
+}
+
+TEST(SciQlParserTest, UpdateWithSlab) {
+  auto stmt = ParseSciQl("UPDATE img[0:10, 20:30] SET v = v * 2 WHERE v > 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& u = std::get<UpdateArrayStatement>(*stmt);
+  ASSERT_EQ(u.slab.size(), 2u);
+  EXPECT_EQ(u.slab[1].first, 20);
+  ASSERT_EQ(u.assignments.size(), 1u);
+  EXPECT_NE(u.where, nullptr);
+}
+
+class SciQlEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<SciQlEngine>(&tables_);
+    Exec("CREATE ARRAY img (y INT DIMENSION [0:4], x INT DIMENSION [0:4], "
+         "v DOUBLE DEFAULT 0.0)");
+    // Paint a ramp: v = y*10 + x.
+    Exec("UPDATE img SET v = y * 10 + x");
+  }
+
+  Table Exec(const std::string& stmt) {
+    auto r = engine_->Execute(stmt);
+    EXPECT_TRUE(r.ok()) << stmt << " -> " << r.status().ToString();
+    return r.ok() ? *r : Table();
+  }
+
+  storage::Catalog tables_;
+  std::unique_ptr<SciQlEngine> engine_;
+};
+
+TEST_F(SciQlEngineTest, CreateRegistersArray) {
+  EXPECT_TRUE(engine_->HasArray("img"));
+  auto arr = engine_->GetArray("img");
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ((*arr)->num_cells(), 16u);
+}
+
+TEST_F(SciQlEngineTest, CellwiseUpdateSeesDims) {
+  auto arr = engine_->GetArray("img");
+  EXPECT_DOUBLE_EQ((*arr)->Get({2, 3}, 0).AsFloat64(), 23.0);
+}
+
+TEST_F(SciQlEngineTest, SelectOverCells) {
+  Table t = Exec("SELECT y, x, v FROM img WHERE v > 25 ORDER BY v DESC");
+  ASSERT_GT(t.num_rows(), 0u);
+  EXPECT_DOUBLE_EQ(t.Get(0, 2).AsFloat64(), 33.0);
+}
+
+TEST_F(SciQlEngineTest, SlabSelect) {
+  Table t = Exec("SELECT v FROM img[1:3, 1:3]");
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST_F(SciQlEngineTest, StructuralTilingViaGroupBy) {
+  // SciQL structural grouping: 2x2 tiles via integer division on dims.
+  Table t = Exec(
+      "SELECT y / 2 AS ty, x / 2 AS tx, max(v) AS m FROM img "
+      "GROUP BY y / 2, x / 2 ORDER BY ty, tx");
+  ASSERT_EQ(t.num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(t.Get(0, 2).AsFloat64(), 11.0);
+  EXPECT_DOUBLE_EQ(t.Get(3, 2).AsFloat64(), 33.0);
+}
+
+TEST_F(SciQlEngineTest, UpdateSlabOnly) {
+  Exec("UPDATE img[0:1, 0:4] SET v = -1");
+  auto arr = engine_->GetArray("img");
+  EXPECT_DOUBLE_EQ((*arr)->Get({0, 2}, 0).AsFloat64(), -1.0);
+  EXPECT_DOUBLE_EQ((*arr)->Get({1, 2}, 0).AsFloat64(), 12.0);
+}
+
+TEST_F(SciQlEngineTest, UpdateWhere) {
+  Table affected = Exec("UPDATE img SET v = 0 WHERE v > 30");
+  EXPECT_EQ(affected.Get(0, 0), Value(int64_t{3}));  // 31, 32, 33
+}
+
+TEST_F(SciQlEngineTest, SimultaneousAssignmentSemantics) {
+  Exec("CREATE ARRAY two (x INT DIMENSION [0:2], a DOUBLE DEFAULT 1.0, "
+       "b DOUBLE DEFAULT 2.0)");
+  // a and b must swap using the OLD values of each other.
+  Exec("UPDATE two SET a = b, b = a");
+  auto arr = engine_->GetArray("two");
+  EXPECT_DOUBLE_EQ((*arr)->Get({0}, 0).AsFloat64(), 2.0);
+  EXPECT_DOUBLE_EQ((*arr)->Get({0}, 1).AsFloat64(), 1.0);
+}
+
+TEST_F(SciQlEngineTest, JoinArrayWithRelationalTable) {
+  // The SciQL symbiosis claim: arrays and tables mixed in one query.
+  {
+    auto table = std::make_shared<Table>(storage::Schema(
+        {{"y", storage::ColumnType::kInt64},
+         {"label", storage::ColumnType::kString}}));
+    ASSERT_TRUE(
+        table->AppendRow({Value(int64_t{0}), Value("north")}).ok());
+    ASSERT_TRUE(
+        table->AppendRow({Value(int64_t{3}), Value("south")}).ok());
+    ASSERT_TRUE(tables_.CreateTable("rows", table).ok());
+  }
+  Table t = Exec(
+      "SELECT label, max(v) AS m FROM img JOIN rows ON img.y = rows.y "
+      "GROUP BY label ORDER BY label");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.Get(0, 0), Value("north"));
+  EXPECT_DOUBLE_EQ(t.Get(0, 1).AsFloat64(), 3.0);
+  EXPECT_DOUBLE_EQ(t.Get(1, 1).AsFloat64(), 33.0);
+}
+
+TEST_F(SciQlEngineTest, DropArray) {
+  Exec("DROP ARRAY img");
+  EXPECT_FALSE(engine_->HasArray("img"));
+  EXPECT_FALSE(engine_->Execute("SELECT v FROM img").ok());
+}
+
+TEST_F(SciQlEngineTest, ErrorsSurface) {
+  EXPECT_FALSE(engine_->Execute("SELECT v FROM missing").ok());
+  EXPECT_FALSE(engine_->Execute("UPDATE img SET nope = 1").ok());
+  EXPECT_FALSE(
+      engine_->Execute("CREATE ARRAY img (x INT DIMENSION [0:2], v DOUBLE)")
+          .ok());  // duplicate name
+}
+
+/// Image-processing flavored sweep: thresholding via SciQL counts match a
+/// direct scan for several thresholds.
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, SciQlCountMatchesDirect) {
+  storage::Catalog tables;
+  SciQlEngine engine(&tables);
+  ASSERT_TRUE(engine
+                  .Execute("CREATE ARRAY a (y INT DIMENSION [0:8], x INT "
+                           "DIMENSION [0:8], v DOUBLE DEFAULT 0.0)")
+                  .ok());
+  ASSERT_TRUE(engine.Execute("UPDATE a SET v = (y * 8 + x) % 13").ok());
+  double threshold = GetParam();
+  auto out = engine.Execute("SELECT count(*) AS n FROM a WHERE v > " +
+                            std::to_string(threshold));
+  ASSERT_TRUE(out.ok());
+  auto arr = engine.GetArray("a");
+  int64_t expected = 0;
+  for (size_t i = 0; i < (*arr)->num_cells(); ++i) {
+    if ((*arr)->GetLinear(i, 0).AsFloat64() > threshold) ++expected;
+  }
+  EXPECT_EQ(out->Get(0, 0), Value(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(-1.0, 0.0, 5.5, 12.0, 99.0));
+
+}  // namespace
+}  // namespace teleios::sciql

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/dictionary.h"
+#include "storage/persistence.h"
+#include "storage/table.h"
+
+namespace teleios::storage {
+namespace {
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  int32_t a = dict.Intern("forest");
+  int32_t b = dict.Intern("sea");
+  EXPECT_EQ(dict.Intern("forest"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.size(), 2);
+  EXPECT_EQ(dict.At(a), "forest");
+}
+
+TEST(DictionaryTest, LookupMissing) {
+  Dictionary dict;
+  dict.Intern("x");
+  EXPECT_EQ(dict.Lookup("y"), Dictionary::kInvalidCode);
+  EXPECT_EQ(dict.Lookup("x"), 0);
+}
+
+TEST(DictionaryTest, ManyStringsStayStable) {
+  Dictionary dict;
+  std::vector<int32_t> codes;
+  for (int i = 0; i < 5000; ++i) {
+    codes.push_back(dict.Intern("value_" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(dict.At(codes[i]), "value_" + std::to_string(i));
+    EXPECT_EQ(dict.Lookup("value_" + std::to_string(i)), codes[i]);
+  }
+  EXPECT_GT(dict.MemoryUsage(), 0u);
+}
+
+TEST(ColumnTest, AppendAndGetTyped) {
+  Column col(ColumnType::kInt64);
+  col.AppendInt64(10);
+  col.AppendNull();
+  col.AppendInt64(-3);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.GetInt64(0), 10);
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.Get(2), Value(int64_t{-3}));
+  EXPECT_TRUE(col.Get(1).is_null());
+}
+
+TEST(ColumnTest, AppendValueCoercesNumerics) {
+  Column col(ColumnType::kFloat64);
+  ASSERT_TRUE(col.Append(Value(int64_t{3})).ok());
+  EXPECT_DOUBLE_EQ(col.GetFloat64(0), 3.0);
+  EXPECT_FALSE(col.Append(Value("no")).ok());
+}
+
+TEST(ColumnTest, StringsAreDictionaryEncoded) {
+  Column col(ColumnType::kString);
+  col.AppendString("fire");
+  col.AppendString("water");
+  col.AppendString("fire");
+  EXPECT_EQ(col.GetStringCode(0), col.GetStringCode(2));
+  EXPECT_NE(col.GetStringCode(0), col.GetStringCode(1));
+  EXPECT_EQ(col.dict().size(), 2);
+  EXPECT_EQ(col.GetString(2), "fire");
+}
+
+TEST(ColumnTest, SetOverwrites) {
+  Column col(ColumnType::kInt64);
+  col.AppendInt64(1);
+  ASSERT_TRUE(col.Set(0, Value(int64_t{9})).ok());
+  EXPECT_EQ(col.GetInt64(0), 9);
+  ASSERT_TRUE(col.Set(0, Value()).ok());
+  EXPECT_TRUE(col.IsNull(0));
+  EXPECT_FALSE(col.Set(5, Value(int64_t{1})).ok());
+}
+
+TEST(ColumnTest, TakeSelectsRows) {
+  Column col(ColumnType::kString);
+  col.AppendString("a");
+  col.AppendNull();
+  col.AppendString("c");
+  Column taken = col.Take({2, 0});
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken.GetString(0), "c");
+  EXPECT_EQ(taken.GetString(1), "a");
+}
+
+Table MakePeople() {
+  Table t{Schema({{"name", ColumnType::kString},
+                  {"age", ColumnType::kInt64}})};
+  EXPECT_TRUE(t.AppendRow({Value("ada"), Value(int64_t{36})}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("bob"), Value(int64_t{25})}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("cy"), Value()}).ok());
+  return t;
+}
+
+TEST(TableTest, SchemaAndRows) {
+  Table t = MakePeople();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.schema().FieldIndex("age"), 1);
+  EXPECT_EQ(t.schema().FieldIndex("nope"), -1);
+  EXPECT_EQ(t.Get(0, 0), Value("ada"));
+  EXPECT_TRUE(t.Get(2, 1).is_null());
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t = MakePeople();
+  EXPECT_FALSE(t.AppendRow({Value("x")}).ok());
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t = MakePeople();
+  ASSERT_TRUE(t.ColumnByName("name").ok());
+  EXPECT_FALSE(t.ColumnByName("zzz").ok());
+}
+
+TEST(TableTest, Project) {
+  Table t = MakePeople();
+  auto projected = t.Project({"age"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->num_columns(), 1u);
+  EXPECT_EQ(projected->Get(1, 0), Value(int64_t{25}));
+  EXPECT_FALSE(t.Project({"missing"}).ok());
+}
+
+TEST(TableTest, TakeAndAppendTable) {
+  Table t = MakePeople();
+  Table taken = t.Take({1});
+  ASSERT_EQ(taken.num_rows(), 1u);
+  ASSERT_TRUE(taken.AppendTable(t).ok());
+  EXPECT_EQ(taken.num_rows(), 4u);
+  EXPECT_EQ(taken.Get(0, 0), Value("bob"));
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = MakePeople();
+  std::string s = t.ToString(2);
+  EXPECT_NE(s.find("ada"), std::string::npos);
+  EXPECT_NE(s.find("3 rows total"), std::string::npos);
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog catalog;
+  auto t = std::make_shared<Table>(MakePeople());
+  ASSERT_TRUE(catalog.CreateTable("people", t).ok());
+  EXPECT_TRUE(catalog.HasTable("people"));
+  EXPECT_FALSE(catalog.CreateTable("people", t).ok());  // duplicate
+  ASSERT_TRUE(catalog.GetTable("people").ok());
+  EXPECT_FALSE(catalog.GetTable("nope").ok());
+  EXPECT_EQ(catalog.TableNames().size(), 1u);
+  ASSERT_TRUE(catalog.DropTable("people").ok());
+  EXPECT_FALSE(catalog.DropTable("people").ok());
+}
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("telt_test_" + std::to_string(::getpid()) + ".telt");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(PersistenceTest, RoundTripAllTypes) {
+  Table t{Schema({{"b", ColumnType::kBool},
+                  {"i", ColumnType::kInt64},
+                  {"f", ColumnType::kFloat64},
+                  {"s", ColumnType::kString}})};
+  ASSERT_TRUE(t.AppendRow({Value(true), Value(int64_t{-7}), Value(1.25),
+                           Value("hello, | world")})
+                  .ok());
+  ASSERT_TRUE(t.AppendRow({Value(), Value(), Value(), Value()}).ok());
+  ASSERT_TRUE(WriteTable(t, path_.string()).ok());
+  auto loaded = ReadTable(path_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(loaded->Get(0, 0), Value(true));
+  EXPECT_EQ(loaded->Get(0, 1), Value(int64_t{-7}));
+  EXPECT_EQ(loaded->Get(0, 3), Value("hello, | world"));
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_TRUE(loaded->Get(1, c).is_null());
+  }
+}
+
+TEST_F(PersistenceTest, RejectsGarbage) {
+  {
+    std::ofstream os(path_);
+    os << "not a telt file";
+  }
+  EXPECT_FALSE(ReadTable(path_.string()).ok());
+}
+
+TEST_F(PersistenceTest, CsvExport) {
+  Table t{Schema({{"s", ColumnType::kString}, {"n", ColumnType::kInt64}})};
+  ASSERT_TRUE(t.AppendRow({Value("a,b"), Value(int64_t{1})}).ok());
+  ASSERT_TRUE(WriteCsv(t, path_.string()).ok());
+  std::ifstream is(path_);
+  std::string header, row;
+  std::getline(is, header);
+  std::getline(is, row);
+  EXPECT_EQ(header, "s,n");
+  EXPECT_EQ(row, "\"a,b\",1");
+}
+
+TEST_F(PersistenceTest, CsvRoundTripInfersTypes) {
+  Table t{Schema({{"name", ColumnType::kString},
+                  {"count", ColumnType::kInt64},
+                  {"score", ColumnType::kFloat64}})};
+  ASSERT_TRUE(
+      t.AppendRow({Value("alpha, \"quoted\""), Value(int64_t{3}),
+                   Value(1.5)})
+          .ok());
+  ASSERT_TRUE(t.AppendRow({Value(), Value(int64_t{-2}), Value()}).ok());
+  ASSERT_TRUE(WriteCsv(t, path_.string()).ok());
+  auto loaded = ReadCsv(path_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(loaded->schema().field(0).type, ColumnType::kString);
+  EXPECT_EQ(loaded->schema().field(1).type, ColumnType::kInt64);
+  EXPECT_EQ(loaded->schema().field(2).type, ColumnType::kFloat64);
+  EXPECT_EQ(loaded->Get(0, 0), Value("alpha, \"quoted\""));
+  EXPECT_EQ(loaded->Get(1, 1), Value(int64_t{-2}));
+  EXPECT_TRUE(loaded->Get(1, 0).is_null());
+  EXPECT_TRUE(loaded->Get(1, 2).is_null());
+}
+
+TEST_F(PersistenceTest, CsvErrors) {
+  {
+    std::ofstream os(path_);
+    os << "a,b\n1,2,3\n";  // arity mismatch
+  }
+  EXPECT_FALSE(ReadCsv(path_.string()).ok());
+  {
+    std::ofstream os(path_);
+    os << "a,b\n\"dangling,2\n";
+  }
+  EXPECT_FALSE(ReadCsv(path_.string()).ok());
+  EXPECT_FALSE(ReadCsv((path_.string() + ".missing")).ok());
+}
+
+TEST(MemoryUsageTest, GrowsWithData) {
+  Table t{Schema({{"x", ColumnType::kInt64}})};
+  size_t empty = t.MemoryUsage();
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(int64_t{i})}).ok());
+  }
+  EXPECT_GT(t.MemoryUsage(), empty + 10000 * sizeof(int64_t) / 2);
+}
+
+}  // namespace
+}  // namespace teleios::storage

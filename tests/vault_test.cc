@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "eo/scene.h"
+#include "vault/formats.h"
+#include "vault/vault.h"
+
+namespace teleios::vault {
+namespace {
+
+namespace fs = std::filesystem;
+
+class VaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vault_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  TerRaster MakeRaster(const std::string& name, int w = 8, int h = 6) {
+    TerRaster r;
+    r.name = name;
+    r.satellite = "Meteosat-9";
+    r.sensor = "SEVIRI";
+    r.width = w;
+    r.height = h;
+    r.acquisition_time = 1187997600;
+    r.transform = {21.0, 38.5, 0.01, -0.01, 0, 0};
+    r.band_names = {"IR039", "IR108"};
+    r.bands.resize(2);
+    for (auto& band : r.bands) {
+      band.resize(static_cast<size_t>(w) * h);
+      for (size_t i = 0; i < band.size(); ++i) {
+        band[i] = 290.0 + static_cast<double>(i % 17);
+      }
+    }
+    return r;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(VaultTest, TerRoundTrip) {
+  TerRaster r = MakeRaster("msg1");
+  std::string path = (dir_ / "msg1.ter").string();
+  ASSERT_TRUE(WriteTer(r, path).ok());
+  auto loaded = ReadTer(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, "msg1");
+  EXPECT_EQ(loaded->width, 8);
+  EXPECT_EQ(loaded->band_names.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->bands[0][5], r.bands[0][5]);
+  // Full geotransform round trip (a field-order bug here once broke all
+  // product footprints).
+  EXPECT_DOUBLE_EQ(loaded->transform.origin_x, 21.0);
+  EXPECT_DOUBLE_EQ(loaded->transform.origin_y, 38.5);
+  EXPECT_DOUBLE_EQ(loaded->transform.pixel_w, 0.01);
+  EXPECT_DOUBLE_EQ(loaded->transform.pixel_h, -0.01);
+  EXPECT_DOUBLE_EQ(loaded->transform.rot_x, 0.0);
+  EXPECT_DOUBLE_EQ(loaded->transform.rot_y, 0.0);
+}
+
+TEST_F(VaultTest, TerHeaderOnlyReadsNoPayload) {
+  TerRaster r = MakeRaster("msg2", 64, 64);
+  std::string path = (dir_ / "msg2.ter").string();
+  ASSERT_TRUE(WriteTer(r, path).ok());
+  auto header = ReadTerHeader(path);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->name, "msg2");
+  EXPECT_EQ(header->width, 64);
+  EXPECT_EQ(header->band_names.size(), 2u);
+  EXPECT_EQ(header->path, path);
+  EXPECT_NE(header->FootprintWkt().find("POLYGON"), std::string::npos);
+}
+
+TEST_F(VaultTest, TerRejectsGarbage) {
+  std::string path = (dir_ / "junk.ter").string();
+  {
+    std::ofstream os(path);
+    os << "garbage";
+  }
+  EXPECT_FALSE(ReadTer(path).ok());
+  EXPECT_FALSE(ReadTerHeader(path).ok());
+}
+
+TEST_F(VaultTest, VecRoundTripWithEscapes) {
+  VecFile file;
+  file.name = "hotspots";
+  VecFeature f;
+  f.id = 7;
+  f.attributes["label"] = "fire; near |pipe| a=b";
+  f.attributes["conf"] = "0.93";
+  f.geometry = geo::Geometry::MakeBox(21, 37, 22, 38);
+  file.features.push_back(f);
+  std::string path = (dir_ / "h.vec").string();
+  ASSERT_TRUE(WriteVec(file, path).ok());
+  auto loaded = ReadVec(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, "hotspots");
+  ASSERT_EQ(loaded->features.size(), 1u);
+  EXPECT_EQ(loaded->features[0].id, 7);
+  EXPECT_EQ(loaded->features[0].attributes.at("label"),
+            "fire; near |pipe| a=b");
+  EXPECT_DOUBLE_EQ(loaded->features[0].geometry.Area(), 1.0);
+}
+
+TEST_F(VaultTest, AttachHarvestsMetadataWithoutIngest) {
+  ASSERT_TRUE(WriteTer(MakeRaster("a"), (dir_ / "a.ter").string()).ok());
+  ASSERT_TRUE(WriteTer(MakeRaster("b"), (dir_ / "b.ter").string()).ok());
+  storage::Catalog catalog;
+  DataVault vault(&catalog);
+  auto attached = vault.Attach(dir_.string());
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  EXPECT_EQ(*attached, 2u);
+  EXPECT_EQ(vault.stats().rasters_ingested, 0u);  // lazy!
+  // Metadata is queryable immediately.
+  auto table = catalog.GetTable("vault_rasters");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ(vault.RasterNames().size(), 2u);
+}
+
+TEST_F(VaultTest, LazyIngestOnFirstTouchThenCached) {
+  ASSERT_TRUE(WriteTer(MakeRaster("a"), (dir_ / "a.ter").string()).ok());
+  storage::Catalog catalog;
+  DataVault vault(&catalog);
+  ASSERT_TRUE(vault.Attach(dir_.string()).ok());
+  auto arr = vault.GetRasterArray("a");
+  ASSERT_TRUE(arr.ok()) << arr.status().ToString();
+  EXPECT_EQ(vault.stats().rasters_ingested, 1u);
+  EXPECT_EQ(vault.stats().cache_hits, 0u);
+  EXPECT_EQ((*arr)->num_cells(), 48u);
+  EXPECT_EQ((*arr)->num_attributes(), 2u);
+  // Second touch is a cache hit, not a re-ingest.
+  auto again = vault.GetRasterArray("a");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(vault.stats().rasters_ingested, 1u);
+  EXPECT_EQ(vault.stats().cache_hits, 1u);
+  EXPECT_EQ(arr->get(), again->get());
+}
+
+TEST_F(VaultTest, BandArrayIngestsSingleBand) {
+  ASSERT_TRUE(WriteTer(MakeRaster("a"), (dir_ / "a.ter").string()).ok());
+  storage::Catalog catalog;
+  DataVault vault(&catalog);
+  ASSERT_TRUE(vault.Attach(dir_.string()).ok());
+  auto band = vault.GetBandArray("a", "IR108");
+  ASSERT_TRUE(band.ok());
+  EXPECT_EQ((*band)->num_attributes(), 1u);
+  EXPECT_FALSE(vault.GetBandArray("a", "NOPE").ok());
+}
+
+TEST_F(VaultTest, EvictionForcesReingest) {
+  ASSERT_TRUE(WriteTer(MakeRaster("a"), (dir_ / "a.ter").string()).ok());
+  storage::Catalog catalog;
+  DataVault vault(&catalog);
+  ASSERT_TRUE(vault.Attach(dir_.string()).ok());
+  ASSERT_TRUE(vault.GetRasterArray("a").ok());
+  vault.EvictCache();
+  ASSERT_TRUE(vault.GetRasterArray("a").ok());
+  EXPECT_EQ(vault.stats().rasters_ingested, 2u);
+}
+
+TEST_F(VaultTest, IngestAllIsEager) {
+  ASSERT_TRUE(WriteTer(MakeRaster("a"), (dir_ / "a.ter").string()).ok());
+  ASSERT_TRUE(WriteTer(MakeRaster("b"), (dir_ / "b.ter").string()).ok());
+  storage::Catalog catalog;
+  DataVault vault(&catalog);
+  ASSERT_TRUE(vault.Attach(dir_.string()).ok());
+  ASSERT_TRUE(vault.IngestAll().ok());
+  EXPECT_EQ(vault.stats().rasters_ingested, 2u);
+}
+
+TEST_F(VaultTest, AttachVectors) {
+  VecFile file;
+  file.name = "coast";
+  VecFeature f;
+  f.id = 1;
+  f.geometry = geo::Geometry::MakeBox(0, 0, 1, 1);
+  file.features.push_back(f);
+  ASSERT_TRUE(WriteVec(file, (dir_ / "coast.vec").string()).ok());
+  storage::Catalog catalog;
+  DataVault vault(&catalog);
+  ASSERT_TRUE(vault.Attach(dir_.string()).ok());
+  EXPECT_EQ(vault.VectorNames().size(), 1u);
+  auto loaded = vault.GetVector("coast");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->features.size(), 1u);
+  auto table = catalog.GetTable("vault_vectors");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 1u);
+}
+
+TEST_F(VaultTest, AttachCsvBecomesCatalogTable) {
+  {
+    std::ofstream os(dir_ / "stations.csv");
+    os << "station,lat,lon,elevation\n";
+    os << "Kalamata,37.07,22.03,6\n";
+    os << "Tripoli,37.53,22.40,652\n";
+  }
+  storage::Catalog catalog;
+  DataVault vault(&catalog);
+  auto attached = vault.Attach(dir_.string());
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  EXPECT_EQ(*attached, 1u);
+  auto table = catalog.GetTable("stations");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ((*table)->schema().field(0).type,
+            storage::ColumnType::kString);
+  EXPECT_EQ((*table)->schema().field(3).type,
+            storage::ColumnType::kInt64);
+  // Duplicate attach reports AlreadyExists (skipped by Attach).
+  EXPECT_EQ(vault.AttachFile((dir_ / "stations.csv").string()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(VaultTest, ErrorsSurface) {
+  storage::Catalog catalog;
+  DataVault vault(&catalog);
+  EXPECT_FALSE(vault.Attach((dir_ / "nope").string()).ok());
+  EXPECT_FALSE(vault.GetRasterArray("missing").ok());
+  EXPECT_FALSE(vault.GetVector("missing").ok());
+  EXPECT_FALSE(vault.AttachFile((dir_ / "x.txt").string()).ok());
+}
+
+TEST_F(VaultTest, SceneRasterIntegration) {
+  eo::SceneSpec spec;
+  spec.width = 32;
+  spec.height = 32;
+  auto scene = eo::GenerateScene(spec);
+  ASSERT_TRUE(scene.ok());
+  ASSERT_TRUE(
+      WriteTer(scene->ToTerRaster(), (dir_ / "scene.ter").string()).ok());
+  storage::Catalog catalog;
+  DataVault vault(&catalog);
+  ASSERT_TRUE(vault.Attach(dir_.string()).ok());
+  auto arr = vault.GetRasterArray("MSG2-SEVIRI-scene");
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ((*arr)->num_attributes(), 6u);  // 4 bands + 2 masks
+}
+
+}  // namespace
+}  // namespace teleios::vault
