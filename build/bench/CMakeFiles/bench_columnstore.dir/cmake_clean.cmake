@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_columnstore.dir/bench_columnstore.cc.o"
+  "CMakeFiles/bench_columnstore.dir/bench_columnstore.cc.o.d"
+  "bench_columnstore"
+  "bench_columnstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_columnstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_pipeline.dir/bench_e2e_pipeline.cc.o"
+  "CMakeFiles/bench_e2e_pipeline.dir/bench_e2e_pipeline.cc.o.d"
+  "bench_e2e_pipeline"
+  "bench_e2e_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noa_chain.dir/bench_noa_chain.cc.o"
+  "CMakeFiles/bench_noa_chain.dir/bench_noa_chain.cc.o.d"
+  "bench_noa_chain"
+  "bench_noa_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noa_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

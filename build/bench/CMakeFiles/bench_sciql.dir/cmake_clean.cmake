@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sciql.dir/bench_sciql.cc.o"
+  "CMakeFiles/bench_sciql.dir/bench_sciql.cc.o.d"
+  "bench_sciql"
+  "bench_sciql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sciql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_strabon.dir/bench_strabon.cc.o"
+  "CMakeFiles/bench_strabon.dir/bench_strabon.cc.o.d"
+  "bench_strabon"
+  "bench_strabon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_strabon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

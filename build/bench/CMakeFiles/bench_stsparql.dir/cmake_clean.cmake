@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stsparql.dir/bench_stsparql.cc.o"
+  "CMakeFiles/bench_stsparql.dir/bench_stsparql.cc.o.d"
+  "bench_stsparql"
+  "bench_stsparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stsparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vault.dir/bench_vault.cc.o"
+  "CMakeFiles/bench_vault.dir/bench_vault.cc.o.d"
+  "bench_vault"
+  "bench_vault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archaeology_search.dir/archaeology_search.cpp.o"
+  "CMakeFiles/archaeology_search.dir/archaeology_search.cpp.o.d"
+  "archaeology_search"
+  "archaeology_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archaeology_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

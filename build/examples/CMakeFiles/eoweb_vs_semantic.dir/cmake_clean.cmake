@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eoweb_vs_semantic.dir/eoweb_vs_semantic.cpp.o"
+  "CMakeFiles/eoweb_vs_semantic.dir/eoweb_vs_semantic.cpp.o.d"
+  "eoweb_vs_semantic"
+  "eoweb_vs_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eoweb_vs_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

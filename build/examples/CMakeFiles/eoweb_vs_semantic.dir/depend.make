@@ -1,0 +1,2 @@
+# Empty dependencies file for eoweb_vs_semantic.
+# This may be replaced when dependencies are built.

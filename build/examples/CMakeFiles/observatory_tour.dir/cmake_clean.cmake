@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observatory_tour.dir/observatory_tour.cpp.o"
+  "CMakeFiles/observatory_tour.dir/observatory_tour.cpp.o.d"
+  "observatory_tour"
+  "observatory_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observatory_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_mapping.dir/rapid_mapping.cpp.o"
+  "CMakeFiles/rapid_mapping.dir/rapid_mapping.cpp.o.d"
+  "rapid_mapping"
+  "rapid_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

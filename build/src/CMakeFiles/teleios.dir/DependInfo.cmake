@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/array.cc" "src/CMakeFiles/teleios.dir/array/array.cc.o" "gcc" "src/CMakeFiles/teleios.dir/array/array.cc.o.d"
+  "/root/repo/src/array/array_ops.cc" "src/CMakeFiles/teleios.dir/array/array_ops.cc.o" "gcc" "src/CMakeFiles/teleios.dir/array/array_ops.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/teleios.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/teleios.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/teleios.dir/common/status.cc.o" "gcc" "src/CMakeFiles/teleios.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/teleios.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/teleios.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/teleios.dir/common/value.cc.o" "gcc" "src/CMakeFiles/teleios.dir/common/value.cc.o.d"
+  "/root/repo/src/core/observatory.cc" "src/CMakeFiles/teleios.dir/core/observatory.cc.o" "gcc" "src/CMakeFiles/teleios.dir/core/observatory.cc.o.d"
+  "/root/repo/src/eo/ontology.cc" "src/CMakeFiles/teleios.dir/eo/ontology.cc.o" "gcc" "src/CMakeFiles/teleios.dir/eo/ontology.cc.o.d"
+  "/root/repo/src/eo/product.cc" "src/CMakeFiles/teleios.dir/eo/product.cc.o" "gcc" "src/CMakeFiles/teleios.dir/eo/product.cc.o.d"
+  "/root/repo/src/eo/scene.cc" "src/CMakeFiles/teleios.dir/eo/scene.cc.o" "gcc" "src/CMakeFiles/teleios.dir/eo/scene.cc.o.d"
+  "/root/repo/src/geo/clip.cc" "src/CMakeFiles/teleios.dir/geo/clip.cc.o" "gcc" "src/CMakeFiles/teleios.dir/geo/clip.cc.o.d"
+  "/root/repo/src/geo/crs.cc" "src/CMakeFiles/teleios.dir/geo/crs.cc.o" "gcc" "src/CMakeFiles/teleios.dir/geo/crs.cc.o.d"
+  "/root/repo/src/geo/geometry.cc" "src/CMakeFiles/teleios.dir/geo/geometry.cc.o" "gcc" "src/CMakeFiles/teleios.dir/geo/geometry.cc.o.d"
+  "/root/repo/src/geo/polygonize.cc" "src/CMakeFiles/teleios.dir/geo/polygonize.cc.o" "gcc" "src/CMakeFiles/teleios.dir/geo/polygonize.cc.o.d"
+  "/root/repo/src/geo/predicates.cc" "src/CMakeFiles/teleios.dir/geo/predicates.cc.o" "gcc" "src/CMakeFiles/teleios.dir/geo/predicates.cc.o.d"
+  "/root/repo/src/geo/rtree.cc" "src/CMakeFiles/teleios.dir/geo/rtree.cc.o" "gcc" "src/CMakeFiles/teleios.dir/geo/rtree.cc.o.d"
+  "/root/repo/src/geo/wkt.cc" "src/CMakeFiles/teleios.dir/geo/wkt.cc.o" "gcc" "src/CMakeFiles/teleios.dir/geo/wkt.cc.o.d"
+  "/root/repo/src/linkeddata/generators.cc" "src/CMakeFiles/teleios.dir/linkeddata/generators.cc.o" "gcc" "src/CMakeFiles/teleios.dir/linkeddata/generators.cc.o.d"
+  "/root/repo/src/mining/annotation.cc" "src/CMakeFiles/teleios.dir/mining/annotation.cc.o" "gcc" "src/CMakeFiles/teleios.dir/mining/annotation.cc.o.d"
+  "/root/repo/src/mining/annotation_service.cc" "src/CMakeFiles/teleios.dir/mining/annotation_service.cc.o" "gcc" "src/CMakeFiles/teleios.dir/mining/annotation_service.cc.o.d"
+  "/root/repo/src/mining/features.cc" "src/CMakeFiles/teleios.dir/mining/features.cc.o" "gcc" "src/CMakeFiles/teleios.dir/mining/features.cc.o.d"
+  "/root/repo/src/mining/kmeans.cc" "src/CMakeFiles/teleios.dir/mining/kmeans.cc.o" "gcc" "src/CMakeFiles/teleios.dir/mining/kmeans.cc.o.d"
+  "/root/repo/src/mining/knn.cc" "src/CMakeFiles/teleios.dir/mining/knn.cc.o" "gcc" "src/CMakeFiles/teleios.dir/mining/knn.cc.o.d"
+  "/root/repo/src/noa/burned_area.cc" "src/CMakeFiles/teleios.dir/noa/burned_area.cc.o" "gcc" "src/CMakeFiles/teleios.dir/noa/burned_area.cc.o.d"
+  "/root/repo/src/noa/chain.cc" "src/CMakeFiles/teleios.dir/noa/chain.cc.o" "gcc" "src/CMakeFiles/teleios.dir/noa/chain.cc.o.d"
+  "/root/repo/src/noa/classification.cc" "src/CMakeFiles/teleios.dir/noa/classification.cc.o" "gcc" "src/CMakeFiles/teleios.dir/noa/classification.cc.o.d"
+  "/root/repo/src/noa/hotspot.cc" "src/CMakeFiles/teleios.dir/noa/hotspot.cc.o" "gcc" "src/CMakeFiles/teleios.dir/noa/hotspot.cc.o.d"
+  "/root/repo/src/noa/mapping.cc" "src/CMakeFiles/teleios.dir/noa/mapping.cc.o" "gcc" "src/CMakeFiles/teleios.dir/noa/mapping.cc.o.d"
+  "/root/repo/src/noa/refinement.cc" "src/CMakeFiles/teleios.dir/noa/refinement.cc.o" "gcc" "src/CMakeFiles/teleios.dir/noa/refinement.cc.o.d"
+  "/root/repo/src/rdf/dictionary.cc" "src/CMakeFiles/teleios.dir/rdf/dictionary.cc.o" "gcc" "src/CMakeFiles/teleios.dir/rdf/dictionary.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/CMakeFiles/teleios.dir/rdf/term.cc.o" "gcc" "src/CMakeFiles/teleios.dir/rdf/term.cc.o.d"
+  "/root/repo/src/rdf/triple_store.cc" "src/CMakeFiles/teleios.dir/rdf/triple_store.cc.o" "gcc" "src/CMakeFiles/teleios.dir/rdf/triple_store.cc.o.d"
+  "/root/repo/src/rdf/turtle.cc" "src/CMakeFiles/teleios.dir/rdf/turtle.cc.o" "gcc" "src/CMakeFiles/teleios.dir/rdf/turtle.cc.o.d"
+  "/root/repo/src/relational/evaluator.cc" "src/CMakeFiles/teleios.dir/relational/evaluator.cc.o" "gcc" "src/CMakeFiles/teleios.dir/relational/evaluator.cc.o.d"
+  "/root/repo/src/relational/expression.cc" "src/CMakeFiles/teleios.dir/relational/expression.cc.o" "gcc" "src/CMakeFiles/teleios.dir/relational/expression.cc.o.d"
+  "/root/repo/src/relational/operators.cc" "src/CMakeFiles/teleios.dir/relational/operators.cc.o" "gcc" "src/CMakeFiles/teleios.dir/relational/operators.cc.o.d"
+  "/root/repo/src/relational/sql_engine.cc" "src/CMakeFiles/teleios.dir/relational/sql_engine.cc.o" "gcc" "src/CMakeFiles/teleios.dir/relational/sql_engine.cc.o.d"
+  "/root/repo/src/relational/sql_lexer.cc" "src/CMakeFiles/teleios.dir/relational/sql_lexer.cc.o" "gcc" "src/CMakeFiles/teleios.dir/relational/sql_lexer.cc.o.d"
+  "/root/repo/src/relational/sql_parser.cc" "src/CMakeFiles/teleios.dir/relational/sql_parser.cc.o" "gcc" "src/CMakeFiles/teleios.dir/relational/sql_parser.cc.o.d"
+  "/root/repo/src/relational/sql_planner.cc" "src/CMakeFiles/teleios.dir/relational/sql_planner.cc.o" "gcc" "src/CMakeFiles/teleios.dir/relational/sql_planner.cc.o.d"
+  "/root/repo/src/sciql/sciql_engine.cc" "src/CMakeFiles/teleios.dir/sciql/sciql_engine.cc.o" "gcc" "src/CMakeFiles/teleios.dir/sciql/sciql_engine.cc.o.d"
+  "/root/repo/src/sciql/sciql_parser.cc" "src/CMakeFiles/teleios.dir/sciql/sciql_parser.cc.o" "gcc" "src/CMakeFiles/teleios.dir/sciql/sciql_parser.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/teleios.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/teleios.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/teleios.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/teleios.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/dictionary.cc" "src/CMakeFiles/teleios.dir/storage/dictionary.cc.o" "gcc" "src/CMakeFiles/teleios.dir/storage/dictionary.cc.o.d"
+  "/root/repo/src/storage/persistence.cc" "src/CMakeFiles/teleios.dir/storage/persistence.cc.o" "gcc" "src/CMakeFiles/teleios.dir/storage/persistence.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/teleios.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/teleios.dir/storage/table.cc.o.d"
+  "/root/repo/src/strabon/sparql_algebra.cc" "src/CMakeFiles/teleios.dir/strabon/sparql_algebra.cc.o" "gcc" "src/CMakeFiles/teleios.dir/strabon/sparql_algebra.cc.o.d"
+  "/root/repo/src/strabon/sparql_eval.cc" "src/CMakeFiles/teleios.dir/strabon/sparql_eval.cc.o" "gcc" "src/CMakeFiles/teleios.dir/strabon/sparql_eval.cc.o.d"
+  "/root/repo/src/strabon/sparql_lexer.cc" "src/CMakeFiles/teleios.dir/strabon/sparql_lexer.cc.o" "gcc" "src/CMakeFiles/teleios.dir/strabon/sparql_lexer.cc.o.d"
+  "/root/repo/src/strabon/sparql_parser.cc" "src/CMakeFiles/teleios.dir/strabon/sparql_parser.cc.o" "gcc" "src/CMakeFiles/teleios.dir/strabon/sparql_parser.cc.o.d"
+  "/root/repo/src/strabon/spatial_functions.cc" "src/CMakeFiles/teleios.dir/strabon/spatial_functions.cc.o" "gcc" "src/CMakeFiles/teleios.dir/strabon/spatial_functions.cc.o.d"
+  "/root/repo/src/strabon/strabon.cc" "src/CMakeFiles/teleios.dir/strabon/strabon.cc.o" "gcc" "src/CMakeFiles/teleios.dir/strabon/strabon.cc.o.d"
+  "/root/repo/src/strabon/temporal.cc" "src/CMakeFiles/teleios.dir/strabon/temporal.cc.o" "gcc" "src/CMakeFiles/teleios.dir/strabon/temporal.cc.o.d"
+  "/root/repo/src/vault/formats.cc" "src/CMakeFiles/teleios.dir/vault/formats.cc.o" "gcc" "src/CMakeFiles/teleios.dir/vault/formats.cc.o.d"
+  "/root/repo/src/vault/vault.cc" "src/CMakeFiles/teleios.dir/vault/vault.cc.o" "gcc" "src/CMakeFiles/teleios.dir/vault/vault.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

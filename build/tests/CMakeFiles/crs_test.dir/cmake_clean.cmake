@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crs_test.dir/crs_test.cc.o"
+  "CMakeFiles/crs_test.dir/crs_test.cc.o.d"
+  "crs_test"
+  "crs_test.pdb"
+  "crs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eo_test.dir/eo_test.cc.o"
+  "CMakeFiles/eo_test.dir/eo_test.cc.o.d"
+  "eo_test"
+  "eo_test.pdb"
+  "eo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

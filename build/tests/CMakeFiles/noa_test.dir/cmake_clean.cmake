@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noa_test.dir/noa_test.cc.o"
+  "CMakeFiles/noa_test.dir/noa_test.cc.o.d"
+  "noa_test"
+  "noa_test.pdb"
+  "noa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

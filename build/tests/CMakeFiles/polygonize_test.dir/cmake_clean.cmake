@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polygonize_test.dir/polygonize_test.cc.o"
+  "CMakeFiles/polygonize_test.dir/polygonize_test.cc.o.d"
+  "polygonize_test"
+  "polygonize_test.pdb"
+  "polygonize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polygonize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciql_test.dir/sciql_test.cc.o"
+  "CMakeFiles/sciql_test.dir/sciql_test.cc.o.d"
+  "sciql_test"
+  "sciql_test.pdb"
+  "sciql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

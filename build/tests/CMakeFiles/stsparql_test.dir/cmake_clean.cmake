@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stsparql_test.dir/stsparql_test.cc.o"
+  "CMakeFiles/stsparql_test.dir/stsparql_test.cc.o.d"
+  "stsparql_test"
+  "stsparql_test.pdb"
+  "stsparql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stsparql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vault_test.dir/vault_test.cc.o"
+  "CMakeFiles/vault_test.dir/vault_test.cc.o.d"
+  "vault_test"
+  "vault_test.pdb"
+  "vault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/observatory_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/array_test[1]_include.cmake")
+include("/root/repo/build/tests/sciql_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/clip_test[1]_include.cmake")
+include("/root/repo/build/tests/rtree_test[1]_include.cmake")
+include("/root/repo/build/tests/crs_test[1]_include.cmake")
+include("/root/repo/build/tests/polygonize_test[1]_include.cmake")
+include("/root/repo/build/tests/rdf_test[1]_include.cmake")
+include("/root/repo/build/tests/sparql_test[1]_include.cmake")
+include("/root/repo/build/tests/stsparql_test[1]_include.cmake")
+include("/root/repo/build/tests/vault_test[1]_include.cmake")
+include("/root/repo/build/tests/eo_test[1]_include.cmake")
+include("/root/repo/build/tests/mining_test[1]_include.cmake")
+include("/root/repo/build/tests/noa_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
