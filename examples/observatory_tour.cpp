@@ -100,5 +100,15 @@ int main() {
   auto products = veo.Sql(
       "SELECT id, level FROM products ORDER BY id");
   std::printf("%s", products->ToString().c_str());
+
+  // Query profiling: PROFILE returns the span tree instead of the rows.
+  std::printf("\n-- PROFILE SELECT (span tree) --\n");
+  auto profile = veo.Sql("PROFILE SELECT id, level FROM products ORDER BY id");
+  std::printf("%s", profile->ToString().c_str());
+
+  // Everything above left a metrics trail; this is what an operator
+  // would scrape from a /metrics endpoint.
+  std::printf("\n-- process metrics (Prometheus text exposition) --\n");
+  std::printf("%s", veo.MetricsText().c_str());
   return 0;
 }

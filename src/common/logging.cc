@@ -1,11 +1,23 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
 
 namespace teleios {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("TELEIOS_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (env != nullptr) (void)ParseLogLevel(env, &level);
+  return level;
+}
+
+std::atomic<LogLevel> g_level{InitialLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,8 +34,26 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  std::string lower = StrLower(StrTrim(name));
+  if (lower == "debug" || lower == "0") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace internal {
 
@@ -33,7 +63,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) >= static_cast<int>(g_level)) {
+  if (static_cast<int>(level_) >= static_cast<int>(GetLogLevel())) {
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
   }
 }

@@ -8,9 +8,15 @@ namespace teleios {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Minimum level that is emitted; defaults to kInfo.
+/// Minimum level that is emitted. Defaults to kInfo, overridable at
+/// startup with the TELEIOS_LOG_LEVEL environment variable (a name
+/// accepted by ParseLogLevel). Both accessors are thread-safe.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug" / "info" / "warning" (or "warn") / "error" (any case)
+/// or a numeric level 0-3; false on anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
 
 namespace internal {
 

@@ -1,8 +1,72 @@
 #include "core/observatory.h"
 
+#include <cctype>
+
+#include "common/strings.h"
 #include "eo/ontology.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace teleios::core {
+
+namespace {
+
+/// Strips a leading case-insensitive PROFILE keyword; true if it was
+/// present (and `statement` now holds the rest).
+bool StripProfilePrefix(std::string* statement) {
+  std::string_view trimmed = StrTrim(*statement);
+  size_t end = 0;
+  while (end < trimmed.size() &&
+         !std::isspace(static_cast<unsigned char>(trimmed[end]))) {
+    ++end;
+  }
+  if (StrLower(trimmed.substr(0, end)) != "profile") return false;
+  *statement = std::string(StrTrim(trimmed.substr(end)));
+  return true;
+}
+
+void FlattenSpans(const obs::SpanNode& node, int64_t depth,
+                  storage::Table* out) {
+  std::string detail;
+  for (const auto& [k, v] : node.attrs) {
+    detail += (detail.empty() ? "" : " ") + k + "=" + v;
+  }
+  out->column(0).AppendString(node.name);
+  out->column(1).AppendInt64(depth);
+  out->column(2).AppendFloat64(node.millis);
+  out->column(3).AppendString(detail);
+  for (const obs::SpanNode& child : node.children) {
+    FlattenSpans(child, depth + 1, out);
+  }
+}
+
+/// The span tree as a table, pre-order, one row per span.
+storage::Table SpanTreeTable(const obs::SpanNode& root) {
+  storage::Table table{storage::Schema({{"span", storage::ColumnType::kString},
+                                        {"depth", storage::ColumnType::kInt64},
+                                        {"millis",
+                                         storage::ColumnType::kFloat64},
+                                        {"detail",
+                                         storage::ColumnType::kString}})};
+  FlattenSpans(root, 0, &table);
+  return table;
+}
+
+/// Runs `execute(statement)` under a fresh trace named `trace_name` and
+/// returns the finished span tree as a table (errors pass through).
+template <typename Fn>
+Result<storage::Table> ProfileStatement(const char* trace_name,
+                                        const std::string& statement,
+                                        Fn&& execute) {
+  obs::ScopedTrace trace(trace_name);
+  Result<storage::Table> result = execute(statement);
+  obs::SpanNode root = trace.Finish();
+  if (!result.ok()) return result.status();
+  root.attrs.emplace_back("rows", std::to_string(result->num_rows()));
+  return SpanTreeTable(root);
+}
+
+}  // namespace
 
 VirtualEarthObservatory::VirtualEarthObservatory() {
   vault_ = std::make_unique<vault::DataVault>(&catalog_);
@@ -28,16 +92,33 @@ Status VirtualEarthObservatory::RegisterRaster(const std::string& name) {
 
 Result<storage::Table> VirtualEarthObservatory::Sql(
     const std::string& statement) {
+  std::string body = statement;
+  if (StripProfilePrefix(&body)) {
+    return ProfileStatement(
+        "sql", body, [&](const std::string& s) { return sql_->Execute(s); });
+  }
   return sql_->Execute(statement);
 }
 
 Result<storage::Table> VirtualEarthObservatory::SciQl(
     const std::string& statement) {
+  std::string body = statement;
+  if (StripProfilePrefix(&body)) {
+    return ProfileStatement("sciql", body, [&](const std::string& s) {
+      return sciql_->Execute(s);
+    });
+  }
   return sciql_->Execute(statement);
 }
 
 Result<storage::Table> VirtualEarthObservatory::StSparql(
     const std::string& query) {
+  std::string body = query;
+  if (StripProfilePrefix(&body)) {
+    return ProfileStatement("stsparql", body, [&](const std::string& s) {
+      return strabon_.Query(s);
+    });
+  }
   return strabon_.Query(query);
 }
 
@@ -54,6 +135,14 @@ Result<size_t> VirtualEarthObservatory::LoadLinkedData(
 Result<noa::ChainResult> VirtualEarthObservatory::RunFireChain(
     const std::string& raster_name, const noa::ChainConfig& config) {
   return chain_->Run(raster_name, config);
+}
+
+std::string VirtualEarthObservatory::MetricsText() const {
+  return obs::MetricsRegistry::Global().TextExposition();
+}
+
+std::string VirtualEarthObservatory::MetricsJson() const {
+  return obs::MetricsRegistry::Global().JsonExposition();
 }
 
 Result<noa::RefinementReport> VirtualEarthObservatory::Refine(

@@ -42,6 +42,12 @@ class VirtualEarthObservatory {
   Status RegisterRaster(const std::string& name);
 
   // --- database tier --------------------------------------------------------
+  //
+  // Each query entry point also understands a leading PROFILE keyword
+  // (mirroring EXPLAIN): `PROFILE <statement>` executes the statement
+  // under a trace and returns the span tree as a table with columns
+  // (span, depth, millis, detail) instead of the result rows; the root
+  // span carries the result cardinality as a rows= detail.
 
   /// SQL over catalog/metadata tables.
   Result<storage::Table> Sql(const std::string& statement);
@@ -62,6 +68,14 @@ class VirtualEarthObservatory {
 
   /// Refines a chain product against the loaded coastline layer.
   Result<noa::RefinementReport> Refine(const std::string& product_id);
+
+  // --- observability --------------------------------------------------------
+
+  /// Prometheus-style text exposition of all process-wide metrics
+  /// (counters, gauges, latency summaries) recorded by the tiers.
+  std::string MetricsText() const;
+  /// The same metrics as one JSON object.
+  std::string MetricsJson() const;
 
   // --- application tier -------------------------------------------------------
 

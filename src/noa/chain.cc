@@ -1,9 +1,8 @@
 #include "noa/chain.h"
 
-#include <chrono>
-
 #include "common/strings.h"
 #include "geo/wkt.h"
+#include "obs/metrics.h"
 #include "strabon/temporal.h"
 
 namespace teleios::noa {
@@ -12,18 +11,11 @@ using rdf::Term;
 
 namespace {
 
-class Stopwatch {
- public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  double ElapsedMillis() const {
-    auto now = std::chrono::steady_clock::now();
-    return std::chrono::duration<double, std::milli>(now - start_).count();
-  }
-  void Reset() { start_ = std::chrono::steady_clock::now(); }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+/// Latency histogram for one chain stage, labelled by stage name.
+obs::Histogram* StageHistogram(const std::string& stage) {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      obs::WithLabel("teleios_noa_stage_millis", "stage", stage));
+}
 
 }  // namespace
 
@@ -52,35 +44,63 @@ std::string ProcessingChain::ClassificationSciQl(
 
 Result<ChainResult> ProcessingChain::Run(const std::string& raster_name,
                                          const ChainConfig& config) {
+  obs::Count("teleios_noa_chain_runs_total");
+  obs::ScopedTrace trace("noa.chain");
+  Result<ChainResult> result = RunStages(raster_name, config);
+  if (!result.ok()) {
+    obs::Count(obs::WithLabel("teleios_noa_chain_errors_total", "code",
+                              StatusCodeName(result.status().code())));
+    return result;
+  }
+  result->trace = trace.Finish();
+  obs::Observe("teleios_noa_chain_millis", result->trace.millis);
+  for (const obs::SpanNode& stage : result->trace.children) {
+    result->timings.push_back({stage.name, stage.millis});
+  }
+  return result;
+}
+
+Result<ChainResult> ProcessingChain::RunStages(const std::string& raster_name,
+                                               const ChainConfig& config) {
   ChainResult result;
-  Stopwatch watch;
 
   // (a) Ingestion: lazy vault ingestion into a SciQL array.
-  TELEIOS_ASSIGN_OR_RETURN(array::ArrayPtr array,
-                           vault_->GetRasterArray(raster_name));
-  if (!sciql_->HasArray(raster_name)) {
-    TELEIOS_RETURN_IF_ERROR(sciql_->RegisterArray(array));
+  array::ArrayPtr array;
+  vault::TerHeader header;
+  eo::Scene scene;
+  {
+    obs::TraceSpan stage("ingestion", StageHistogram("ingestion"));
+    stage.SetAttr("raster", raster_name);
+    TELEIOS_ASSIGN_OR_RETURN(array, vault_->GetRasterArray(raster_name));
+    if (!sciql_->HasArray(raster_name)) {
+      TELEIOS_RETURN_IF_ERROR(sciql_->RegisterArray(array));
+    }
+    TELEIOS_ASSIGN_OR_RETURN(header, vault_->GetRasterHeader(raster_name));
+    vault::TerRaster raster;
+    TELEIOS_ASSIGN_OR_RETURN(raster, vault::ReadTer(header.path));
+    TELEIOS_ASSIGN_OR_RETURN(scene, eo::SceneFromRaster(raster));
   }
-  TELEIOS_ASSIGN_OR_RETURN(vault::TerHeader header,
-                           vault_->GetRasterHeader(raster_name));
-  TELEIOS_ASSIGN_OR_RETURN(vault::TerRaster raster,
-                           vault::ReadTer(header.path));
-  TELEIOS_ASSIGN_OR_RETURN(eo::Scene scene, eo::SceneFromRaster(raster));
-  result.timings.push_back({"ingestion", watch.ElapsedMillis()});
-  watch.Reset();
 
   // (b)+(d) Cropping + classification, expressed as one SciQL SELECT
   // (slab = crop, WHERE = per-pixel classifier).
-  std::string classify = ClassificationSciQl(raster_name, config);
-  result.sciql.push_back(classify);
-  TELEIOS_ASSIGN_OR_RETURN(storage::Table fire_cells,
-                           sciql_->Execute(classify));
-  result.timings.push_back({"crop+classify (SciQL)", watch.ElapsedMillis()});
-  watch.Reset();
-
-  // Build the fire mask from the (y, x) result rows.
-  std::vector<uint8_t> mask(scene.PixelCount(), 0);
+  storage::Table fire_cells;
   {
+    obs::TraceSpan stage("crop+classify (SciQL)",
+                         StageHistogram("classification"));
+    std::string classify = ClassificationSciQl(raster_name, config);
+    result.sciql.push_back(classify);
+    TELEIOS_ASSIGN_OR_RETURN(fire_cells, sciql_->Execute(classify));
+    stage.SetAttr("fire_pixels", std::to_string(fire_cells.num_rows()));
+    obs::Count("teleios_noa_pixels_classified_total", scene.PixelCount());
+    obs::Count("teleios_noa_fire_pixels_total", fire_cells.num_rows());
+  }
+
+  // (c)+(e) Georeferencing + hotspot polygon products.
+  {
+    obs::TraceSpan stage("georeference+polygonize",
+                         StageHistogram("hotspot_extraction"));
+    // Build the fire mask from the (y, x) result rows.
+    std::vector<uint8_t> mask(scene.PixelCount(), 0);
     auto ycol = fire_cells.ColumnByName("y");
     auto xcol = fire_cells.ColumnByName("x");
     if (!ycol.ok() || !xcol.ok()) {
@@ -93,15 +113,15 @@ Result<ChainResult> ProcessingChain::Run(const std::string& raster_name,
         mask[static_cast<size_t>(y) * scene.spec.width + x] = 1;
       }
     }
+    TELEIOS_ASSIGN_OR_RETURN(
+        result.hotspots, ExtractHotspots(scene, mask, config.min_pixels));
+    stage.SetAttr("hotspots", std::to_string(result.hotspots.size()));
+    obs::Count("teleios_noa_hotspots_extracted_total",
+               result.hotspots.size());
   }
 
-  // (c)+(e) Georeferencing + hotspot polygon products.
-  TELEIOS_ASSIGN_OR_RETURN(
-      result.hotspots, ExtractHotspots(scene, mask, config.min_pixels));
-  result.timings.push_back({"georeference+polygonize", watch.ElapsedMillis()});
-  watch.Reset();
-
   // Register the derived L2 product in both catalogs.
+  obs::TraceSpan stage("catalog+shapefile", StageHistogram("publication"));
   result.product_id = raster_name + "-hotspots-" +
                       ClassifierKindName(config.classifier.kind);
   eo::ProductMetadata meta;
@@ -123,7 +143,6 @@ Result<ChainResult> ProcessingChain::Run(const std::string& raster_name,
   TELEIOS_RETURN_IF_ERROR(
       PublishHotspots(result.hotspots, result.product_id, strabon_)
           .status());
-  result.timings.push_back({"catalog+shapefile", watch.ElapsedMillis()});
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "eo/scene.h"
 #include "noa/classification.h"
 #include "noa/hotspot.h"
+#include "obs/trace.h"
 #include "sciql/sciql_engine.h"
 #include "storage/catalog.h"
 #include "strabon/strabon.h"
@@ -37,7 +38,13 @@ struct StepTiming {
 struct ChainResult {
   std::string product_id;           // the generated L2 product
   std::vector<Hotspot> hotspots;
+  /// Per-stage wall clock, derived from `trace` (one entry per
+  /// top-level stage span, in execution order).
   std::vector<StepTiming> timings;
+  /// The full "noa.chain" trace tree for this run, including the spans
+  /// recorded by the tiers the chain calls into (vault ingestion, SciQL
+  /// statement execution, ...).
+  obs::SpanNode trace;
   std::string vec_path;             // "" when output_dir was empty
   std::vector<std::string> sciql;   // the SciQL statements executed
 };
@@ -65,6 +72,11 @@ class ProcessingChain {
                                          const ChainConfig& config);
 
  private:
+  /// The chain body; Run wraps it in the "noa.chain" trace and derives
+  /// `timings` + `trace` from the finished tree.
+  Result<ChainResult> RunStages(const std::string& raster_name,
+                                const ChainConfig& config);
+
   vault::DataVault* vault_;
   sciql::SciQlEngine* sciql_;
   strabon::Strabon* strabon_;

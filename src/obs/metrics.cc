@@ -1,0 +1,224 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace teleios::obs {
+
+namespace {
+
+/// Renders a double without trailing-zero noise ("12", "0.125").
+std::string NumberToString(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// Escapes a metric name for use as a JSON object key.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Metric name without the trailing {label=...} part.
+std::string BaseName(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// Labels part of a series name including braces, or "".
+std::string Labels(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? std::string() : name.substr(brace);
+}
+
+/// `series("x{a="b"}", "_sum", "")` -> `x_sum{a="b"}`;
+/// `series("x", "", "quantile=\"0.5\"")` -> `x{quantile="0.5"}`.
+std::string Series(const std::string& name, const std::string& suffix,
+                   const std::string& extra_label) {
+  std::string labels = Labels(name);
+  if (!extra_label.empty()) {
+    labels = labels.empty()
+                 ? "{" + extra_label + "}"
+                 : labels.substr(0, labels.size() - 1) + "," + extra_label +
+                       "}";
+  }
+  return BaseName(name) + suffix + labels;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  // 1-2-5 per decade, 0.001ms (1us) .. 10000ms (10s).
+  std::vector<double> bounds;
+  for (double decade = 0.001; decade < 10000.5; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+  }
+  return bounds;
+}
+
+void Histogram::Observe(double v) {
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(n);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+      double lo = i == 0 ? 0 : bounds_[i - 1];
+      double hi = bounds_[i];
+      double into = (rank - static_cast<double>(cumulative)) /
+                    static_cast<double>(in_bucket);
+      return lo + (hi - lo) * into;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  std::string last_base;
+  for (const auto& [name, counter] : counters_) {
+    std::string base = BaseName(name);
+    if (base != last_base) {
+      os << "# TYPE " << base << " counter\n";
+      last_base = base;
+    }
+    os << name << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    os << "# TYPE " << BaseName(name) << " gauge\n";
+    os << name << " " << NumberToString(gauge->value()) << "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, hist] : histograms_) {
+    std::string base = BaseName(name);
+    if (base != last_base) {
+      os << "# TYPE " << base << " summary\n";
+      last_base = base;
+    }
+    for (double q : {0.5, 0.95, 0.99}) {
+      os << Series(name, "", "quantile=\"" + NumberToString(q) + "\"") << " "
+         << NumberToString(hist->Quantile(q)) << "\n";
+    }
+    os << Series(name, "_sum", "") << " " << NumberToString(hist->sum())
+       << "\n";
+    os << Series(name, "_count", "") << " " << hist->count() << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::JsonExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    os << (first ? "" : ", ") << "\"" << JsonEscape(name)
+       << "\": " << counter->value();
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    os << (first ? "" : ", ") << "\"" << JsonEscape(name)
+       << "\": " << NumberToString(gauge->value());
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    os << (first ? "" : ", ") << "\"" << JsonEscape(name) << "\": {\"count\": "
+       << hist->count() << ", \"sum\": " << NumberToString(hist->sum())
+       << ", \"p50\": " << NumberToString(hist->Quantile(0.5))
+       << ", \"p95\": " << NumberToString(hist->Quantile(0.95))
+       << ", \"p99\": " << NumberToString(hist->Quantile(0.99)) << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->Reset();
+  for (auto& [_, g] : gauges_) g->Reset();
+  for (auto& [_, h] : histograms_) h->Reset();
+}
+
+std::string WithLabel(const std::string& name, const std::string& key,
+                      const std::string& value) {
+  return name + "{" + key + "=\"" + value + "\"}";
+}
+
+void Count(const std::string& name, uint64_t n) {
+  MetricsRegistry::Global().GetCounter(name)->Inc(n);
+}
+
+void SetGauge(const std::string& name, double v) {
+  MetricsRegistry::Global().GetGauge(name)->Set(v);
+}
+
+void Observe(const std::string& name, double v) {
+  MetricsRegistry::Global().GetHistogram(name)->Observe(v);
+}
+
+}  // namespace teleios::obs

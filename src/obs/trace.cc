@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+namespace teleios::obs {
+
+struct ScopedTrace::Context {
+  SpanNode root;
+  /// Stack of open spans, root first. Invariant: spans only ever get
+  /// appended to the children of the innermost open span, so the parent
+  /// vectors the outer pointers live in never reallocate while they are
+  /// on the stack.
+  std::vector<SpanNode*> open;
+};
+
+namespace {
+
+thread_local std::vector<ScopedTrace::Context*> t_active;
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+const std::string& SpanNode::Attr(const std::string& key) const {
+  static const std::string kEmpty;
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return v;
+  }
+  return kEmpty;
+}
+
+const SpanNode* SpanNode::Find(const std::string& target) const {
+  if (name == target) return this;
+  for (const SpanNode& child : children) {
+    if (const SpanNode* hit = child.Find(target)) return hit;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void RenderInto(const SpanNode& node, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  *os << node.name << " " << node.millis << "ms";
+  for (const auto& [k, v] : node.attrs) *os << " " << k << "=" << v;
+  *os << "\n";
+  for (const SpanNode& child : node.children) {
+    RenderInto(child, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string SpanNode::Render() const {
+  std::ostringstream os;
+  RenderInto(*this, 0, &os);
+  return os.str();
+}
+
+ScopedTrace::ScopedTrace(std::string name)
+    : ctx_(new Context()), start_(std::chrono::steady_clock::now()) {
+  ctx_->root.name = std::move(name);
+  ctx_->open.push_back(&ctx_->root);
+  t_active.push_back(ctx_);
+}
+
+SpanNode ScopedTrace::Finish() {
+  if (ctx_ == nullptr) return finished_;
+  ctx_->root.millis = MillisSince(start_);
+  finished_ = std::move(ctx_->root);
+  // Pop this trace (it is the innermost by scoping discipline).
+  if (!t_active.empty() && t_active.back() == ctx_) t_active.pop_back();
+  delete ctx_;
+  ctx_ = nullptr;
+  // A finished inner trace becomes a span of the enclosing trace.
+  if (!t_active.empty()) {
+    t_active.back()->open.back()->children.push_back(finished_);
+  }
+  return finished_;
+}
+
+ScopedTrace::~ScopedTrace() { Finish(); }
+
+TraceSpan::TraceSpan(std::string name, Histogram* histogram)
+    : node_(nullptr),
+      histogram_(histogram),
+      start_(std::chrono::steady_clock::now()) {
+  if (t_active.empty()) return;
+  ScopedTrace::Context* ctx = t_active.back();
+  SpanNode* parent = ctx->open.back();
+  parent->children.push_back(SpanNode{std::move(name), 0, {}, {}});
+  node_ = &parent->children.back();
+  ctx->open.push_back(node_);
+}
+
+TraceSpan::~TraceSpan() {
+  double elapsed = MillisSince(start_);
+  if (histogram_ != nullptr) histogram_->Observe(elapsed);
+  if (node_ == nullptr) return;
+  // Close the span only if its trace is still active: when a trace is
+  // finished with open spans (a lifetime bug in the caller), node_ points
+  // into a tree that has already been moved out, and touching it would be
+  // a use-after-free.
+  for (auto it = t_active.rbegin(); it != t_active.rend(); ++it) {
+    if ((*it)->open.back() == node_) {
+      node_->millis = elapsed;
+      (*it)->open.pop_back();
+      return;
+    }
+  }
+}
+
+void TraceSpan::SetAttr(const std::string& key, std::string value) {
+  if (node_ == nullptr) return;
+  // Same lifetime guard as the destructor.
+  for (ScopedTrace::Context* ctx : t_active) {
+    if (ctx->open.back() == node_) {
+      node_->attrs.emplace_back(key, std::move(value));
+      return;
+    }
+  }
+}
+
+double TraceSpan::ElapsedMillis() const { return MillisSince(start_); }
+
+bool TraceActive() { return !t_active.empty(); }
+
+}  // namespace teleios::obs

@@ -1,0 +1,85 @@
+#ifndef TELEIOS_OBS_TRACE_H_
+#define TELEIOS_OBS_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace teleios::obs {
+
+/// One timed span in a per-request trace tree (value semantics so trees
+/// can be stored in results and copied across trace boundaries).
+struct SpanNode {
+  std::string name;
+  double millis = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<SpanNode> children;
+
+  /// First attribute value under `key`, or "".
+  const std::string& Attr(const std::string& key) const;
+  /// Depth-first search for a descendant (or this node) named `name`;
+  /// nullptr when absent.
+  const SpanNode* Find(const std::string& name) const;
+  /// Indented one-line-per-span rendering ("name 1.234ms k=v").
+  std::string Render() const;
+};
+
+/// Activates trace collection on the current thread for its scope. While
+/// active, TraceSpan objects append to this trace's span tree. Traces
+/// nest: finishing an inner trace attaches its root as a span of the
+/// enclosing trace.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(std::string name);
+  ~ScopedTrace();
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+  /// Stops collection and returns the finished tree; idempotent (the
+  /// destructor finishes implicitly if Finish was never called).
+  SpanNode Finish();
+
+  /// Opaque collection state; public so TraceSpan can reach it.
+  struct Context;
+
+ private:
+  Context* ctx_;  // null once finished
+  std::chrono::steady_clock::time_point start_;
+  SpanNode finished_;
+};
+
+/// RAII span: appends itself under the innermost open span of the
+/// thread's active trace; a no-op (besides the optional histogram) when
+/// no trace is active. Destruction records the elapsed milliseconds and,
+/// when `histogram` is given, feeds it the same duration — so one object
+/// serves both tracing and latency metrics.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, Histogram* histogram = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a key=value annotation (no-op without an active trace).
+  void SetAttr(const std::string& key, std::string value);
+
+  /// Milliseconds since construction.
+  double ElapsedMillis() const;
+
+ private:
+  SpanNode* node_;  // null when no trace was active at construction
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// True while a ScopedTrace is active on this thread.
+bool TraceActive();
+
+}  // namespace teleios::obs
+
+#endif  // TELEIOS_OBS_TRACE_H_

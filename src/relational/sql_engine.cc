@@ -1,5 +1,7 @@
 #include "relational/sql_engine.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/evaluator.h"
 #include "relational/sql_planner.h"
 
@@ -30,7 +32,26 @@ Table AffectedRows(int64_t n) {
 }  // namespace
 
 Result<Table> SqlEngine::Execute(const std::string& sql) {
-  TELEIOS_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  obs::Count("teleios_sql_statements_total");
+  obs::TraceSpan statement_span("sql.statement",
+                                obs::MetricsRegistry::Global().GetHistogram(
+                                    "teleios_sql_execute_millis"));
+  Result<Table> result = ParseAndExecute(sql);
+  if (result.ok()) {
+    obs::Count("teleios_sql_result_rows_total", result->num_rows());
+  } else {
+    obs::Count(obs::WithLabel("teleios_sql_errors_total", "code",
+                              StatusCodeName(result.status().code())));
+  }
+  return result;
+}
+
+Result<Table> SqlEngine::ParseAndExecute(const std::string& sql) {
+  Statement stmt;
+  {
+    obs::TraceSpan parse_span("parse");
+    TELEIOS_ASSIGN_OR_RETURN(stmt, ParseSql(sql));
+  }
   return ExecuteStatement(stmt);
 }
 
@@ -45,8 +66,9 @@ Result<std::string> SqlEngine::Explain(const std::string& sql) {
 
 Result<Table> SqlEngine::ExecuteStatement(const Statement& stmt) {
   if (const auto* select = std::get_if<SelectStatement>(&stmt)) {
-    return ExecuteSelect(*select, *catalog_);
+    return ExecuteSelect(*select, *catalog_);  // emits its own execute span
   }
+  obs::TraceSpan exec_span("execute");
   if (const auto* create = std::get_if<CreateTableStatement>(&stmt)) {
     auto table = std::make_shared<Table>(Schema(create->fields));
     TELEIOS_RETURN_IF_ERROR(catalog_->CreateTable(create->name, table));

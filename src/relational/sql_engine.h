@@ -27,6 +27,7 @@ class SqlEngine {
   storage::Catalog* catalog() { return catalog_; }
 
  private:
+  Result<storage::Table> ParseAndExecute(const std::string& sql);
   Result<storage::Table> ExecuteStatement(const Statement& stmt);
 
   storage::Catalog* catalog_;

@@ -4,6 +4,9 @@
 #include <functional>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace teleios::relational {
 
 using storage::Table;
@@ -116,10 +119,15 @@ struct PlanTrace {
 Result<Table> RunSelect(const SelectStatement& stmt,
                         const storage::Catalog& catalog, PlanTrace* trace) {
   // --- FROM + pushdown + joins -------------------------------------------
-  TELEIOS_ASSIGN_OR_RETURN(storage::TablePtr base_ptr,
-                           catalog.GetTable(stmt.from.name));
+  storage::TablePtr base_ptr;
   std::vector<ExprPtr> conjuncts;
-  if (stmt.where) SplitConjuncts(stmt.where, &conjuncts);
+  {
+    obs::TraceSpan plan_span("plan");
+    TELEIOS_ASSIGN_OR_RETURN(base_ptr, catalog.GetTable(stmt.from.name));
+    if (stmt.where) SplitConjuncts(stmt.where, &conjuncts);
+    plan_span.SetAttr("conjuncts", std::to_string(conjuncts.size()));
+    plan_span.SetAttr("joins", std::to_string(stmt.joins.size()));
+  }
 
   auto push_down = [&](const Table& table,
                        const std::vector<std::string>& names)
@@ -141,6 +149,12 @@ Result<Table> RunSelect(const SelectStatement& stmt,
 
   Table current = *base_ptr;
   trace->Add("scan " + stmt.from.name);
+  {
+    obs::TraceSpan scan_span("scan");
+    scan_span.SetAttr("table", stmt.from.name);
+    scan_span.SetAttr("rows", std::to_string(current.num_rows()));
+    obs::Count("teleios_relational_scans_total");
+  }
   if (!stmt.joins.empty()) {
     std::vector<std::string> left_names = {stmt.from.name};
     if (!stmt.from.alias.empty()) left_names.push_back(stmt.from.alias);
@@ -181,8 +195,14 @@ Result<Table> RunSelect(const SelectStatement& stmt,
       }
       trace->Add("hash join on " + keys.left[0] + " = " + keys.right[0] +
                  (join.type == JoinType::kLeftOuter ? " (left outer)" : ""));
-      TELEIOS_ASSIGN_OR_RETURN(
-          current, HashJoin(current, right, keys.left, keys.right, join.type));
+      {
+        obs::TraceSpan join_span("hash join");
+        join_span.SetAttr("right", join.table.name);
+        TELEIOS_ASSIGN_OR_RETURN(
+            current,
+            HashJoin(current, right, keys.left, keys.right, join.type));
+        join_span.SetAttr("rows", std::to_string(current.num_rows()));
+      }
       if (!keys.residue.empty()) {
         TELEIOS_ASSIGN_OR_RETURN(current,
                                  Filter(current, AndTogether(keys.residue)));
@@ -196,7 +216,9 @@ Result<Table> RunSelect(const SelectStatement& stmt,
     trace->Add("filter " + where->ToString() +
                (IsVectorizablePredicate(current, where) ? " [vectorized]"
                                                         : " [interpreted]"));
+    obs::TraceSpan filter_span("filter");
     TELEIOS_ASSIGN_OR_RETURN(current, Filter(current, where));
+    filter_span.SetAttr("rows", std::to_string(current.num_rows()));
   }
 
   // --- aggregation or plain projection -----------------------------------
@@ -318,8 +340,10 @@ Result<Table> RunSelect(const SelectStatement& stmt,
     }
     trace->Add("group aggregate (" + std::to_string(group_names.size()) +
                " keys, " + std::to_string(aggs.size()) + " aggregates)");
+    obs::TraceSpan agg_span("aggregate");
     TELEIOS_ASSIGN_OR_RETURN(Table agg_out,
                              GroupAggregate(current, group_names, aggs));
+    agg_span.SetAttr("groups", std::to_string(agg_out.num_rows()));
     if (having) {
       trace->Add("having " + having->ToString());
       TELEIOS_ASSIGN_OR_RETURN(agg_out, Filter(agg_out, having));
@@ -361,6 +385,7 @@ Result<Table> RunSelect(const SelectStatement& stmt,
       keys.push_back({o.column, o.descending});
     }
     trace->Add("sort");
+    obs::TraceSpan sort_span("sort");
     TELEIOS_ASSIGN_OR_RETURN(output, Sort(output, keys));
   }
   if (stmt.limit >= 0 || stmt.offset > 0) {
@@ -377,7 +402,13 @@ Result<Table> RunSelect(const SelectStatement& stmt,
 Result<Table> ExecuteSelect(const SelectStatement& stmt,
                             const storage::Catalog& catalog) {
   PlanTrace trace;
-  return RunSelect(stmt, catalog, &trace);
+  obs::TraceSpan exec_span("execute");
+  Result<Table> result = RunSelect(stmt, catalog, &trace);
+  if (result.ok()) {
+    exec_span.SetAttr("rows", std::to_string(result->num_rows()));
+    obs::Count("teleios_relational_rows_emitted_total", result->num_rows());
+  }
+  return result;
 }
 
 Result<std::string> ExplainSelect(const SelectStatement& stmt,

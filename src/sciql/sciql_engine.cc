@@ -1,6 +1,11 @@
 #include "sciql/sciql_engine.h"
 
+#include <sstream>
+
 #include "array/array_ops.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/evaluator.h"
 #include "relational/sql_planner.h"
 
@@ -54,7 +59,26 @@ Status SciQlEngine::DropArray(const std::string& name) {
 }
 
 Result<Table> SciQlEngine::Execute(const std::string& statement) {
-  TELEIOS_ASSIGN_OR_RETURN(SciQlStatement stmt, ParseSciQl(statement));
+  obs::Count("teleios_sciql_statements_total");
+  obs::TraceSpan statement_span("sciql.statement",
+                                obs::MetricsRegistry::Global().GetHistogram(
+                                    "teleios_sciql_execute_millis"));
+  Result<Table> result = ParseAndExecute(statement);
+  if (result.ok()) {
+    obs::Count("teleios_sciql_result_rows_total", result->num_rows());
+  } else {
+    obs::Count(obs::WithLabel("teleios_sciql_errors_total", "code",
+                              StatusCodeName(result.status().code())));
+  }
+  return result;
+}
+
+Result<Table> SciQlEngine::ParseAndExecute(const std::string& statement) {
+  SciQlStatement stmt;
+  {
+    obs::TraceSpan parse_span("parse");
+    TELEIOS_ASSIGN_OR_RETURN(stmt, ParseSciQl(statement));
+  }
   if (const auto* create = std::get_if<CreateArrayStatement>(&stmt)) {
     TELEIOS_ASSIGN_OR_RETURN(
         ArrayPtr arr, Array::Create(create->name, create->dims,
@@ -72,30 +96,53 @@ Result<Table> SciQlEngine::Execute(const std::string& statement) {
   return ExecuteSelect(std::get<SelectStatement>(stmt));
 }
 
-Result<Table> SciQlEngine::ExecuteSelect(const SelectStatement& stmt) {
-  // Build a scratch catalog: referenced arrays become dims+attrs tables
-  // (with slabs applied first); plain tables pass through from the
-  // relational catalog.
-  storage::Catalog scratch;
+Status SciQlEngine::MaterializeSources(const SelectStatement& stmt,
+                                       storage::Catalog* scratch,
+                                       std::vector<std::string>* notes) {
+  // Referenced arrays become dims+attrs tables (with slabs applied
+  // first); plain tables pass through from the relational catalog.
   auto add_source = [&](const relational::TableRef& ref) -> Status {
-    if (scratch.HasTable(ref.name)) return Status::OK();
+    if (scratch->HasTable(ref.name)) return Status::OK();
     auto it = arrays_.find(ref.name);
     if (it != arrays_.end()) {
+      obs::TraceSpan span("materialize");
+      span.SetAttr("array", ref.name);
       ArrayPtr arr = it->second;
+      std::string slab_text;
       if (!ref.slab.empty()) {
         std::vector<Range> slab;
-        for (const auto& [start, end] : ref.slab) slab.push_back({start, end});
+        for (const auto& [start, end] : ref.slab) {
+          slab.push_back({start, end});
+          slab_text += (slab_text.empty() ? "" : ", ") +
+                       std::to_string(start) + ":" + std::to_string(end);
+        }
         TELEIOS_ASSIGN_OR_RETURN(arr, array::Slice(*arr, slab));
       }
-      return scratch.CreateTable(ref.name,
-                                 std::make_shared<Table>(arr->ToTable()));
+      Table cells = arr->ToTable();
+      obs::Count("teleios_sciql_cells_materialized_total", cells.num_rows());
+      span.SetAttr("cells", std::to_string(cells.num_rows()));
+      if (notes != nullptr) {
+        notes->push_back(
+            "materialize array '" + ref.name + "'" +
+            (slab_text.empty() ? std::string(" (full extent)")
+                               : " slab [" + slab_text + "]") +
+            " -> " + std::to_string(cells.num_rows()) + " cell rows");
+      }
+      return scratch->CreateTable(ref.name,
+                                  std::make_shared<Table>(std::move(cells)));
     }
     if (!ref.slab.empty()) {
       return Status::InvalidArgument("slab on non-array '" + ref.name + "'");
     }
     if (tables_ != nullptr) {
       auto table = tables_->GetTable(ref.name);
-      if (table.ok()) return scratch.CreateTable(ref.name, *table);
+      if (table.ok()) {
+        if (notes != nullptr) {
+          notes->push_back("pass through table '" + ref.name +
+                           "' from the relational catalog");
+        }
+        return scratch->CreateTable(ref.name, *table);
+      }
     }
     return Status::NotFound("no array or table named '" + ref.name + "'");
   };
@@ -103,10 +150,36 @@ Result<Table> SciQlEngine::ExecuteSelect(const SelectStatement& stmt) {
   for (const auto& join : stmt.joins) {
     TELEIOS_RETURN_IF_ERROR(add_source(join.table));
   }
+  return Status::OK();
+}
+
+Result<Table> SciQlEngine::ExecuteSelect(const SelectStatement& stmt) {
+  storage::Catalog scratch;
+  TELEIOS_RETURN_IF_ERROR(MaterializeSources(stmt, &scratch, nullptr));
   return relational::ExecuteSelect(stmt, scratch);
 }
 
+Result<std::string> SciQlEngine::Explain(const std::string& statement) {
+  TELEIOS_ASSIGN_OR_RETURN(SciQlStatement stmt, ParseSciQl(statement));
+  const auto* select = std::get_if<SelectStatement>(&stmt);
+  if (select == nullptr) {
+    return Status::InvalidArgument("EXPLAIN supports SELECT only");
+  }
+  storage::Catalog scratch;
+  std::vector<std::string> notes;
+  TELEIOS_RETURN_IF_ERROR(MaterializeSources(*select, &scratch, &notes));
+  std::ostringstream os;
+  for (const std::string& note : notes) os << note << "\n";
+  os << "lowered relational plan:\n";
+  TELEIOS_ASSIGN_OR_RETURN(std::string plan,
+                           relational::ExplainSelect(*select, scratch));
+  os << plan;
+  return os.str();
+}
+
 Result<Table> SciQlEngine::ExecuteUpdate(const UpdateArrayStatement& stmt) {
+  obs::TraceSpan exec_span("execute");
+  exec_span.SetAttr("array", stmt.name);
   TELEIOS_ASSIGN_OR_RETURN(ArrayPtr arr, GetArray(stmt.name));
   if (!stmt.slab.empty() && stmt.slab.size() != arr->num_dims()) {
     return Status::InvalidArgument("slab arity mismatch");

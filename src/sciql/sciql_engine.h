@@ -40,10 +40,22 @@ class SciQlEngine {
   /// table; DDL/updates return a one-cell "affected" table.
   Result<storage::Table> Execute(const std::string& statement);
 
+  /// Renders the plan of a SciQL SELECT: the array-slab materialization
+  /// steps followed by the lowered relational plan (the SciQL analogue of
+  /// SqlEngine::Explain).
+  Result<std::string> Explain(const std::string& statement);
+
  private:
+  Result<storage::Table> ParseAndExecute(const std::string& statement);
   Result<storage::Table> ExecuteSelect(
       const relational::SelectStatement& stmt);
   Result<storage::Table> ExecuteUpdate(const UpdateArrayStatement& stmt);
+  /// Builds the scratch catalog for a SELECT (arrays materialized as
+  /// dims+attrs tables with slabs applied; plain tables passed through),
+  /// appending one human-readable line per source to `notes` if given.
+  Status MaterializeSources(const relational::SelectStatement& stmt,
+                            storage::Catalog* scratch,
+                            std::vector<std::string>* notes);
 
   storage::Catalog* tables_;
   std::map<std::string, array::ArrayPtr> arrays_;

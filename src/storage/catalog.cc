@@ -1,5 +1,7 @@
 #include "storage/catalog.h"
 
+#include "obs/metrics.h"
+
 namespace teleios::storage {
 
 Status Catalog::CreateTable(const std::string& name, TablePtr table) {
@@ -7,6 +9,7 @@ Status Catalog::CreateTable(const std::string& name, TablePtr table) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
   tables_[name] = std::move(table);
+  obs::Count("teleios_storage_tables_created_total");
   return Status::OK();
 }
 
@@ -18,6 +21,9 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  static auto* lookups = obs::MetricsRegistry::Global().GetCounter(
+      "teleios_storage_catalog_lookups_total");
+  lookups->Inc();
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");

@@ -1,10 +1,22 @@
 #include "storage/dictionary.h"
 
+#include "obs/metrics.h"
+
 namespace teleios::storage {
 
 int32_t Dictionary::Intern(std::string_view s) {
+  // Interning runs once per stored string; the counters are cached
+  // function-local statics so the cost is one relaxed atomic add.
+  static auto* hits = obs::MetricsRegistry::Global().GetCounter(
+      "teleios_storage_dict_hits_total");
+  static auto* interned = obs::MetricsRegistry::Global().GetCounter(
+      "teleios_storage_dict_interned_total");
   auto it = index_.find(s);
-  if (it != index_.end()) return it->second;
+  if (it != index_.end()) {
+    hits->Inc();
+    return it->second;
+  }
+  interned->Inc();
   int32_t code = static_cast<int32_t>(strings_.size());
   strings_.emplace_back(s);
   index_.emplace(std::string_view(strings_.back()), code);

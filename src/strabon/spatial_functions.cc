@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "geo/clip.h"
+#include "obs/metrics.h"
 #include "geo/crs.h"
 #include "geo/predicates.h"
 #include "geo/wkt.h"
@@ -47,8 +48,17 @@ Result<const Geometry*> GeometryCache::Get(const Term& term) {
     return Status::TypeError("expected a WKT literal, got " +
                              term.ToNTriples());
   }
+  // FILTER evaluation hits this per candidate binding; cache the counters.
+  static auto* hits = obs::MetricsRegistry::Global().GetCounter(
+      "teleios_strabon_wkt_cache_hits_total");
+  static auto* parses = obs::MetricsRegistry::Global().GetCounter(
+      "teleios_strabon_wkt_parses_total");
   auto it = cache_.find(term.lexical);
-  if (it != cache_.end()) return &it->second;
+  if (it != cache_.end()) {
+    hits->Inc();
+    return &it->second;
+  }
+  parses->Inc();
   TELEIOS_ASSIGN_OR_RETURN(Geometry g, geo::ParseWkt(term.lexical));
   auto [pos, _] = cache_.emplace(term.lexical, std::move(g));
   return &pos->second;

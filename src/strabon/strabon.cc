@@ -7,6 +7,8 @@
 
 #include "common/strings.h"
 #include "geo/wkt.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace teleios::strabon {
 
@@ -31,6 +33,9 @@ Result<size_t> Strabon::LoadTurtleFile(const std::string& path) {
 void Strabon::Add(const Term& s, const Term& p, const Term& o) {
   store_.Add(s, p, o);
   rtree_valid_ = false;
+  static auto* added = obs::MetricsRegistry::Global().GetCounter(
+      "teleios_strabon_triples_added_total");
+  added->Inc();
 }
 
 void Strabon::EnsureSpatialIndex() {
@@ -38,6 +43,10 @@ void Strabon::EnsureSpatialIndex() {
       rtree_built_at_size_ == static_cast<size_t>(store_.dict().size())) {
     return;
   }
+  obs::TraceSpan span("rtree.build",
+                      obs::MetricsRegistry::Global().GetHistogram(
+                          "teleios_strabon_index_build_millis"));
+  obs::Count("teleios_strabon_index_builds_total");
   std::vector<geo::RTree::Entry> entries;
   int32_t n = store_.dict().size();
   for (int32_t id = 0; id < n; ++id) {
@@ -48,6 +57,8 @@ void Strabon::EnsureSpatialIndex() {
     entries.push_back({(*g)->GetEnvelope(), id});
   }
   indexed_count_ = entries.size();
+  obs::SetGauge("teleios_strabon_indexed_geometries",
+                static_cast<double>(indexed_count_));
   rtree_ = geo::RTree();
   rtree_.BulkLoad(std::move(entries));
   rtree_valid_ = true;
@@ -156,6 +167,7 @@ Result<CandidateSets> Strabon::SpatialCandidates(const GroupPattern& where) {
                    MatchDistanceFilter(f, &cache_, &var, &box);
     if (!matched) continue;
     EnsureSpatialIndex();
+    obs::Count("teleios_strabon_rtree_probes_total");
     std::unordered_set<TermId> ids;
     for (int64_t id : rtree_.Query(box)) {
       ids.insert(static_cast<TermId>(id));
@@ -314,11 +326,22 @@ static Result<SolutionSet> AggregateSolutions(
 }
 
 Result<SolutionSet> Strabon::RunQuery(const SparqlQuery& query) {
-  TELEIOS_ASSIGN_OR_RETURN(CandidateSets candidates,
-                           SpatialCandidates(query.where));
+  CandidateSets candidates;
+  {
+    obs::TraceSpan plan_span("plan");
+    TELEIOS_ASSIGN_OR_RETURN(candidates, SpatialCandidates(query.where));
+    plan_span.SetAttr("spatially_restricted_vars",
+                      std::to_string(candidates.size()));
+  }
+  obs::TraceSpan exec_span("execute");
   SparqlEvaluator eval(&store_, &cache_,
                        candidates.empty() ? nullptr : &candidates);
-  TELEIOS_ASSIGN_OR_RETURN(SolutionSet solutions, eval.EvalGroup(query.where));
+  SolutionSet solutions;
+  {
+    obs::TraceSpan match_span("match");
+    TELEIOS_ASSIGN_OR_RETURN(solutions, eval.EvalGroup(query.where));
+    match_span.SetAttr("solutions", std::to_string(solutions.rows.size()));
+  }
 
   if (query.is_ask) return solutions;
 
@@ -329,9 +352,11 @@ Result<SolutionSet> Strabon::RunQuery(const SparqlQuery& query) {
   }
   bool already_projected = false;
   if (has_aggregate) {
+    obs::TraceSpan agg_span("aggregate");
     TELEIOS_ASSIGN_OR_RETURN(
         solutions,
         AggregateSolutions(query, solutions, &eval, &store_.dict()));
+    agg_span.SetAttr("groups", std::to_string(solutions.rows.size()));
     already_projected = true;
   } else if (!query.computed.empty()) {
     // Row-wise computed projections (BIND-like).
@@ -346,6 +371,7 @@ Result<SolutionSet> Strabon::RunQuery(const SparqlQuery& query) {
 
   // ORDER BY.
   if (!query.order_by.empty()) {
+    obs::TraceSpan sort_span("sort");
     std::vector<size_t> order(solutions.rows.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     // Pre-evaluate keys.
@@ -418,7 +444,11 @@ Result<SolutionSet> Strabon::RunQuery(const SparqlQuery& query) {
 }
 
 Result<SolutionSet> Strabon::Select(const std::string& sparql) {
-  TELEIOS_ASSIGN_OR_RETURN(SparqlStatement stmt, ParseSparql(sparql));
+  SparqlStatement stmt;
+  {
+    obs::TraceSpan parse_span("parse");
+    TELEIOS_ASSIGN_OR_RETURN(stmt, ParseSparql(sparql));
+  }
   const auto* query = std::get_if<SparqlQuery>(&stmt);
   if (query == nullptr) {
     return Status::InvalidArgument("expected a SELECT/ASK query");
@@ -427,8 +457,18 @@ Result<SolutionSet> Strabon::Select(const std::string& sparql) {
 }
 
 Result<storage::Table> Strabon::Query(const std::string& sparql) {
-  TELEIOS_ASSIGN_OR_RETURN(SolutionSet solutions, Select(sparql));
-  return solutions.ToTable(store_.dict());
+  obs::Count("teleios_strabon_queries_total");
+  obs::TraceSpan query_span("sparql.query",
+                            obs::MetricsRegistry::Global().GetHistogram(
+                                "teleios_strabon_query_millis"));
+  Result<SolutionSet> solutions = Select(sparql);
+  if (!solutions.ok()) {
+    obs::Count(obs::WithLabel("teleios_strabon_errors_total", "code",
+                              StatusCodeName(solutions.status().code())));
+    return solutions.status();
+  }
+  obs::Count("teleios_strabon_result_rows_total", solutions->rows.size());
+  return solutions->ToTable(store_.dict());
 }
 
 Result<bool> Strabon::Ask(const std::string& sparql) {
@@ -533,12 +573,23 @@ Result<size_t> Strabon::RunUpdate(const SparqlUpdate& update) {
 }
 
 Result<size_t> Strabon::Update(const std::string& sparql) {
-  TELEIOS_ASSIGN_OR_RETURN(SparqlStatement stmt, ParseSparql(sparql));
+  obs::Count("teleios_strabon_updates_total");
+  SparqlStatement stmt;
+  {
+    obs::TraceSpan parse_span("parse");
+    TELEIOS_ASSIGN_OR_RETURN(stmt, ParseSparql(sparql));
+  }
   const auto* update = std::get_if<SparqlUpdate>(&stmt);
   if (update == nullptr) {
     return Status::InvalidArgument("expected an update statement");
   }
-  return RunUpdate(*update);
+  obs::TraceSpan exec_span("execute");
+  Result<size_t> affected = RunUpdate(*update);
+  if (!affected.ok()) {
+    obs::Count(obs::WithLabel("teleios_strabon_errors_total", "code",
+                              StatusCodeName(affected.status().code())));
+  }
+  return affected;
 }
 
 std::string Strabon::ToTurtle() const {

@@ -4,6 +4,8 @@
 #include <filesystem>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/persistence.h"
 
 namespace teleios::vault {
@@ -44,6 +46,7 @@ Status DataVault::EnsureCatalogTables() {
 }
 
 Status DataVault::AttachFile(const std::string& path) {
+  obs::Count("teleios_vault_attach_total");
   TELEIOS_RETURN_IF_ERROR(EnsureCatalogTables());
   if (StrEndsWith(path, ".ter")) {
     TELEIOS_ASSIGN_OR_RETURN(TerHeader header, ReadTerHeader(path));
@@ -66,6 +69,7 @@ Status DataVault::AttachFile(const std::string& path) {
     }));
     rasters_[header.name] = std::move(header);
     ++stats_.files_attached;
+    obs::Count("teleios_vault_files_attached_total");
     return Status::OK();
   }
   if (StrEndsWith(path, ".csv")) {
@@ -80,6 +84,7 @@ Status DataVault::AttachFile(const std::string& path) {
     TELEIOS_RETURN_IF_ERROR(catalog_->CreateTable(
         name, std::make_shared<storage::Table>(std::move(table))));
     ++stats_.files_attached;
+    obs::Count("teleios_vault_files_attached_total");
     return Status::OK();
   }
   if (StrEndsWith(path, ".vec")) {
@@ -100,6 +105,7 @@ Status DataVault::AttachFile(const std::string& path) {
     }));
     vectors_[name] = path;
     ++stats_.files_attached;
+    obs::Count("teleios_vault_files_attached_total");
     return Status::OK();
   }
   return Status::InvalidArgument("unknown vault file format: '" + path + "'");
@@ -156,12 +162,17 @@ Result<ArrayPtr> DataVault::GetRasterArray(const std::string& name) {
   auto cached = cache_.find(name);
   if (cached != cache_.end()) {
     ++stats_.cache_hits;
+    obs::Count("teleios_vault_cache_hits_total");
     return cached->second;
   }
   auto it = rasters_.find(name);
   if (it == rasters_.end()) {
     return Status::NotFound("raster '" + name + "' not attached");
   }
+  obs::TraceSpan span("vault.ingest",
+                      obs::MetricsRegistry::Global().GetHistogram(
+                          "teleios_vault_ingest_millis"));
+  span.SetAttr("raster", name);
   TELEIOS_ASSIGN_OR_RETURN(TerRaster raster, ReadTer(it->second.path));
   std::vector<storage::Field> attrs;
   for (const std::string& band : raster.band_names) {
@@ -176,8 +187,11 @@ Result<ArrayPtr> DataVault::GetRasterArray(const std::string& name) {
     TELEIOS_ASSIGN_OR_RETURN(double* dst, array->MutableDoubles(b));
     std::copy(raster.bands[b].begin(), raster.bands[b].end(), dst);
     stats_.bytes_ingested += raster.bands[b].size() * sizeof(double);
+    obs::Count("teleios_vault_bytes_materialized_total",
+               raster.bands[b].size() * sizeof(double));
   }
   ++stats_.rasters_ingested;
+  obs::Count("teleios_vault_rasters_ingested_total");
   cache_[name] = array;
   return array;
 }
@@ -188,12 +202,17 @@ Result<ArrayPtr> DataVault::GetBandArray(const std::string& name,
   auto cached = cache_.find(key);
   if (cached != cache_.end()) {
     ++stats_.cache_hits;
+    obs::Count("teleios_vault_cache_hits_total");
     return cached->second;
   }
   auto it = rasters_.find(name);
   if (it == rasters_.end()) {
     return Status::NotFound("raster '" + name + "' not attached");
   }
+  obs::TraceSpan span("vault.ingest",
+                      obs::MetricsRegistry::Global().GetHistogram(
+                          "teleios_vault_ingest_millis"));
+  span.SetAttr("raster", key);
   TELEIOS_ASSIGN_OR_RETURN(TerRaster raster, ReadTer(it->second.path));
   int b = raster.BandIndex(band);
   if (b < 0) {
@@ -209,7 +228,10 @@ Result<ArrayPtr> DataVault::GetBandArray(const std::string& name,
             raster.bands[static_cast<size_t>(b)].end(), dst);
   stats_.bytes_ingested +=
       raster.bands[static_cast<size_t>(b)].size() * sizeof(double);
+  obs::Count("teleios_vault_bytes_materialized_total",
+             raster.bands[static_cast<size_t>(b)].size() * sizeof(double));
   ++stats_.rasters_ingested;
+  obs::Count("teleios_vault_rasters_ingested_total");
   cache_[key] = array;
   return array;
 }

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace teleios::obs {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0);
+}
+
+TEST(Histogram, CountsSumAndBuckets) {
+  Histogram h({1, 2, 5});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(4);
+  h.Observe(100);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0);
+}
+
+TEST(Histogram, QuantilesOnKnownDistribution) {
+  // Buckets every 10 up to 1000; observe 1..1000 uniformly, so the
+  // interpolated quantile must sit within one bucket width of the truth.
+  std::vector<double> bounds;
+  for (double b = 10; b <= 1000; b += 10) bounds.push_back(b);
+  Histogram h(bounds);
+  for (int v = 1; v <= 1000; ++v) h.Observe(v);
+  EXPECT_NEAR(h.Quantile(0.5), 500, 10);
+  EXPECT_NEAR(h.Quantile(0.95), 950, 10);
+  EXPECT_NEAR(h.Quantile(0.99), 990, 10);
+  // Quantiles are clamped to the observed range.
+  EXPECT_NEAR(h.Quantile(0.0), 0, 10);
+  EXPECT_NEAR(h.Quantile(1.0), 1000, 10);
+}
+
+TEST(Histogram, OverflowClampsToLastBound) {
+  Histogram h({1, 2});
+  h.Observe(1000);
+  h.Observe(2000);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2);
+}
+
+TEST(Registry, ReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x_total");
+  a->Inc(7);
+  // Same name, same counter; Reset zeroes but never invalidates.
+  EXPECT_EQ(registry.GetCounter("x_total"), a);
+  registry.Reset();
+  EXPECT_EQ(a->value(), 0u);
+  EXPECT_EQ(registry.GetCounter("x_total"), a);
+}
+
+TEST(Registry, TextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("teleios_t_requests_total")->Inc(3);
+  registry.GetCounter(WithLabel("teleios_t_errors_total", "code", "IoError"))
+      ->Inc();
+  registry.GetGauge("teleios_t_indexed")->Set(12);
+  Histogram* h = registry.GetHistogram(
+      WithLabel("teleios_t_latency_millis", "op", "scan"));
+  h->Observe(3);
+  h->Observe(5);
+  std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("# TYPE teleios_t_requests_total counter\n"
+                      "teleios_t_requests_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("teleios_t_errors_total{code=\"IoError\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE teleios_t_indexed gauge\nteleios_t_indexed 12"),
+            std::string::npos);
+  // Summary series place labels before the quantile and suffixes on the
+  // base name, Prometheus style.
+  EXPECT_NE(
+      text.find("teleios_t_latency_millis{op=\"scan\",quantile=\"0.5\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("teleios_t_latency_millis_sum{op=\"scan\"} 8"),
+            std::string::npos);
+  EXPECT_NE(text.find("teleios_t_latency_millis_count{op=\"scan\"} 2"),
+            std::string::npos);
+}
+
+TEST(Registry, JsonExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total")->Inc(2);
+  registry.GetGauge("b")->Set(1.5);
+  registry.GetHistogram("c_millis")->Observe(4);
+  std::string json = registry.JsonExposition();
+  EXPECT_NE(json.find("\"counters\": {\"a_total\": 2}"), std::string::npos);
+  EXPECT_NE(json.find("\"b\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"c_millis\": {\"count\": 1, \"sum\": 4"),
+            std::string::npos);
+}
+
+TEST(Trace, SpansNestInCreationOrder) {
+  ScopedTrace trace("request");
+  {
+    TraceSpan outer("parse");
+    outer.SetAttr("statements", "1");
+  }
+  {
+    TraceSpan outer("execute");
+    { TraceSpan inner("scan"); }
+    { TraceSpan inner("filter"); }
+  }
+  SpanNode root = trace.Finish();
+  EXPECT_EQ(root.name, "request");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "parse");
+  EXPECT_EQ(root.children[0].Attr("statements"), "1");
+  ASSERT_EQ(root.children[1].children.size(), 2u);
+  EXPECT_EQ(root.children[1].children[0].name, "scan");
+  EXPECT_EQ(root.children[1].children[1].name, "filter");
+  // DFS lookup and rendering see the whole tree.
+  EXPECT_NE(root.Find("filter"), nullptr);
+  EXPECT_EQ(root.Find("no-such-span"), nullptr);
+  std::string rendered = root.Render();
+  EXPECT_NE(rendered.find("request"), std::string::npos);
+  EXPECT_NE(rendered.find("    filter"), std::string::npos);
+}
+
+TEST(Trace, InnerTraceBecomesSpanOfOuter) {
+  ScopedTrace outer("outer");
+  {
+    ScopedTrace inner("inner");
+    { TraceSpan s("work"); }
+  }
+  SpanNode root = outer.Finish();
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].name, "inner");
+  ASSERT_EQ(root.children[0].children.size(), 1u);
+  EXPECT_EQ(root.children[0].children[0].name, "work");
+}
+
+TEST(Trace, SpanIsNoOpWithoutActiveTrace) {
+  TraceSpan span("orphan");
+  span.SetAttr("k", "v");  // must not crash
+  EXPECT_FALSE(TraceActive());
+  EXPECT_GE(span.ElapsedMillis(), 0);
+}
+
+TEST(Trace, SpanFeedsHistogramEvenWithoutTrace) {
+  Histogram h({1000000});
+  { TraceSpan span("timed", &h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Trace, FinishIsIdempotent) {
+  ScopedTrace trace("t");
+  { TraceSpan s("a"); }
+  SpanNode first = trace.Finish();
+  SpanNode second = trace.Finish();
+  EXPECT_EQ(first.children.size(), 1u);
+  EXPECT_EQ(second.children.size(), 1u);
+}
+
+}  // namespace
+}  // namespace teleios::obs

@@ -1,15 +1,40 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <set>
+#include <string>
 
 #include "core/observatory.h"
 #include "eo/scene.h"
 #include "linkeddata/generators.h"
+#include "obs/metrics.h"
 
 namespace teleios::core {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Span names of a PROFILE result table (column 0).
+std::set<std::string> SpanNames(const storage::Table& profile) {
+  std::set<std::string> names;
+  for (size_t r = 0; r < profile.num_rows(); ++r) {
+    names.insert(profile.Get(r, 0).AsString());
+  }
+  return names;
+}
+
+/// Value of the first `name value` line in a text exposition ("-1" when
+/// the series is absent).
+int64_t ExpositionValue(const std::string& text, const std::string& series) {
+  size_t pos = 0;
+  while ((pos = text.find(series + " ", pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::stoll(text.substr(pos + series.size() + 1));
+    }
+    pos += series.size();
+  }
+  return -1;
+}
 
 class ObservatoryTest : public ::testing::Test {
  protected:
@@ -103,6 +128,82 @@ TEST_F(ObservatoryTest, ErrorsSurface) {
   EXPECT_FALSE(veo_.RegisterRaster("missing").ok());
   EXPECT_FALSE(veo_.Sql("SELECT * FROM nope").ok());
   EXPECT_FALSE(veo_.Refine("no-such-product").ok());
+}
+
+TEST_F(ObservatoryTest, ProfileSqlReturnsSpanTree) {
+  ASSERT_TRUE(veo_.AttachArchive(dir_.string()).ok());
+  auto profile = veo_.Sql("PROFILE SELECT name FROM vault_rasters");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  ASSERT_EQ(profile->schema().field(0).name, "span");
+  std::set<std::string> names = SpanNames(*profile);
+  EXPECT_TRUE(names.count("sql"));
+  EXPECT_TRUE(names.count("parse"));
+  EXPECT_TRUE(names.count("plan"));
+  EXPECT_TRUE(names.count("execute"));
+  // Root row: depth 0, result cardinality in the detail column.
+  EXPECT_EQ(profile->Get(0, 0).AsString(), "sql");
+  EXPECT_EQ(profile->Get(0, 1).AsInt64(), 0);
+  EXPECT_NE(profile->Get(0, 3).AsString().find("rows=1"), std::string::npos);
+  // PROFILE is case-insensitive; errors still surface as errors.
+  EXPECT_TRUE(veo_.Sql("profile SELECT name FROM vault_rasters").ok());
+  EXPECT_FALSE(veo_.Sql("PROFILE SELECT * FROM nope").ok());
+}
+
+TEST_F(ObservatoryTest, ProfileSciQlReturnsSpanTree) {
+  ASSERT_TRUE(veo_.AttachArchive(dir_.string()).ok());
+  ASSERT_TRUE(veo_.RegisterRaster("msg").ok());
+  auto profile =
+      veo_.SciQl("PROFILE SELECT y, x FROM \"msg\"[0:8, 0:8] WHERE IR039 > 0");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  std::set<std::string> names = SpanNames(*profile);
+  EXPECT_TRUE(names.count("sciql"));
+  EXPECT_TRUE(names.count("parse"));
+  EXPECT_TRUE(names.count("materialize"));
+  EXPECT_TRUE(names.count("plan"));
+  EXPECT_TRUE(names.count("execute"));
+}
+
+TEST_F(ObservatoryTest, ProfileStSparqlReturnsSpanTree) {
+  auto profile = veo_.StSparql(
+      "PROFILE SELECT ?c WHERE { ?c a <http://www.w3.org/2002/07/owl#Class> "
+      "}");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  std::set<std::string> names = SpanNames(*profile);
+  EXPECT_TRUE(names.count("stsparql"));
+  EXPECT_TRUE(names.count("parse"));
+  EXPECT_TRUE(names.count("plan"));
+  EXPECT_TRUE(names.count("execute"));
+}
+
+TEST_F(ObservatoryTest, FireChainPopulatesMetrics) {
+  obs::MetricsRegistry::Global().Reset();
+  ASSERT_TRUE(veo_.AttachArchive(dir_.string()).ok());
+  noa::ChainConfig config;
+  config.classifier.kind = noa::ClassifierKind::kThreshold;
+  config.classifier.threshold_kelvin = 315.0;
+  auto result = veo_.RunFireChain("msg", config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The chain trace drives the timings and records the tier spans.
+  EXPECT_EQ(result->trace.name, "noa.chain");
+  ASSERT_EQ(result->timings.size(), 4u);
+  EXPECT_EQ(result->timings[0].step, "ingestion");
+  EXPECT_EQ(result->timings[1].step, "crop+classify (SciQL)");
+  EXPECT_NE(result->trace.Find("vault.ingest"), nullptr);
+  EXPECT_NE(result->trace.Find("sciql.statement"), nullptr);
+  // MetricsText() reports nonzero ingest/classification/extraction work.
+  std::string text = veo_.MetricsText();
+  EXPECT_GT(ExpositionValue(text, "teleios_vault_rasters_ingested_total"), 0);
+  EXPECT_GT(ExpositionValue(text, "teleios_noa_fire_pixels_total"), 0);
+  EXPECT_GT(ExpositionValue(text, "teleios_noa_hotspots_extracted_total"), 0);
+  EXPECT_GT(ExpositionValue(text, "teleios_noa_chain_runs_total"), 0);
+  EXPECT_GT(
+      ExpositionValue(
+          text, "teleios_noa_stage_millis_count{stage=\"classification\"}"),
+      0);
+  EXPECT_NE(text.find("teleios_noa_chain_millis"), std::string::npos);
+  // And the JSON exposition carries the same counter.
+  EXPECT_NE(veo_.MetricsJson().find("\"teleios_noa_chain_runs_total\": "),
+            std::string::npos);
 }
 
 }  // namespace
