@@ -10,6 +10,8 @@
 #include <filesystem>
 
 #include "eo/scene.h"
+#include "io/fault_injection.h"
+#include "io/filesystem.h"
 #include "relational/sql_engine.h"
 #include "vault/vault.h"
 
@@ -130,5 +132,42 @@ void BM_BandTouch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BandTouch);
+
+/// Eager ingestion under a periodic read-fault rate (arg = one injected
+/// fault per N read ops; 0 = fault-free baseline), with the vault's
+/// bounded retry absorbing the transients. Measures the robustness tax.
+void BM_IngestWithFaultRate(benchmark::State& state) {
+  std::string dir = BuildArchive(4, 128);
+  teleios::io::PosixFileSystem posix;
+  teleios::io::FaultInjectingFileSystem faulty(&posix);
+  teleios::io::FileSystem* prev = teleios::io::SetFileSystem(&faulty);
+  const uint64_t every_n = static_cast<uint64_t>(state.range(0));
+  uint64_t faults = 0;
+  uint64_t failed_runs = 0;
+  for (auto _ : state) {
+    teleios::io::FaultSpec spec;
+    spec.kind = teleios::io::FaultKind::kIoError;
+    spec.reads_only = true;
+    spec.inject_at = every_n ? 1 : 0;
+    spec.every_n = every_n;
+    faulty.Arm(spec);
+    Catalog catalog;
+    DataVault vault(&catalog);
+    teleios::io::RetryPolicy retry;
+    retry.max_attempts = 3;
+    vault.set_ingest_retry(retry);
+    (void)vault.Attach(dir);
+    if (!vault.IngestAll().ok()) ++failed_runs;
+    faults += faulty.faults_injected();
+    benchmark::DoNotOptimize(vault.stats().bytes_ingested);
+  }
+  faulty.Disarm();
+  teleios::io::SetFileSystem(prev);
+  state.counters["faults_per_iter"] =
+      benchmark::Counter(static_cast<double>(faults),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["failed_runs"] = static_cast<double>(failed_runs);
+}
+BENCHMARK(BM_IngestWithFaultRate)->Arg(0)->Arg(256)->Arg(64);
 
 }  // namespace

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 gate: plain build + full ctest, then a sanitizer build
+# (ASan + UBSan) over the same test suite. Run from the repo root.
+#
+#   scripts/check.sh            # both passes
+#   scripts/check.sh --fast     # plain pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_pass() {
+  local build_dir="$1"
+  shift
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+echo "== pass 1/2: plain build + ctest =="
+run_pass build
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "check.sh: fast mode, skipping sanitizer pass"
+  exit 0
+fi
+
+echo "== pass 2/2: ASan + UBSan build + ctest =="
+run_pass build-sanitize -DTELEIOS_SANITIZE=address,undefined
+
+echo "check.sh: all passes green"

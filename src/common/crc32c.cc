@@ -1,0 +1,59 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace teleios {
+
+namespace {
+
+/// Slice-by-4 lookup tables, built once at first use. Table 0 is the
+/// classic byte-at-a-time table for the reflected Castagnoli polynomial;
+/// tables 1..3 shift it by one extra byte each so the hot loop consumes
+/// four input bytes per iteration.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto& t = Tables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+    crc = t[3][crc & 0xFF] ^ t[2][(crc >> 8) & 0xFF] ^
+          t[1][(crc >> 16) & 0xFF] ^ t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n--) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace teleios

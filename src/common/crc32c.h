@@ -1,0 +1,32 @@
+#ifndef TELEIOS_COMMON_CRC32C_H_
+#define TELEIOS_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace teleios {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum used by RocksDB, LevelDB and iSCSI. Dependency-free
+/// table-driven software implementation; detects all single-bit and
+/// single-byte corruptions and all burst errors up to 32 bits, which is
+/// what the storage layer needs to turn silent corruption into
+/// StatusCode::kDataLoss.
+///
+/// `Crc32c(data, n)` computes the checksum of a buffer;
+/// `Crc32cExtend(crc, data, n)` continues a running checksum so large
+/// payloads can be checksummed in chunks without concatenation.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+inline uint32_t Crc32c(std::string_view s) {
+  return Crc32c(s.data(), s.size());
+}
+
+}  // namespace teleios
+
+#endif  // TELEIOS_COMMON_CRC32C_H_

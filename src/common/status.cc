@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "TypeError";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
     case StatusCode::kInternal:

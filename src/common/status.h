@@ -20,6 +20,7 @@ enum class StatusCode {
   kParseError,
   kTypeError,
   kIoError,
+  kDataLoss,
   kUnimplemented,
   kInternal,
 };
@@ -56,6 +57,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  /// Unrecoverable corruption: a checksum mismatch or torn on-disk state
+  /// (the file was read successfully but its bytes are not what was
+  /// written).
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

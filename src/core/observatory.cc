@@ -6,6 +6,7 @@
 #include "eo/ontology.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/persistence.h"
 
 namespace teleios::core {
 
@@ -135,6 +136,20 @@ Result<size_t> VirtualEarthObservatory::LoadLinkedData(
 Result<noa::ChainResult> VirtualEarthObservatory::RunFireChain(
     const std::string& raster_name, const noa::ChainConfig& config) {
   return chain_->Run(raster_name, config);
+}
+
+Result<noa::ChainResult> VirtualEarthObservatory::RunFireChainBatch(
+    const std::vector<std::string>& raster_names,
+    const noa::ChainConfig& config) {
+  return chain_->RunBatch(raster_names, config);
+}
+
+Status VirtualEarthObservatory::SaveCatalog(const std::string& dir) {
+  return storage::SaveCatalog(catalog_, dir);
+}
+
+Result<size_t> VirtualEarthObservatory::LoadCatalog(const std::string& dir) {
+  return storage::LoadCatalog(dir, &catalog_);
 }
 
 std::string VirtualEarthObservatory::MetricsText() const {

@@ -66,6 +66,21 @@ class VirtualEarthObservatory {
   Result<noa::ChainResult> RunFireChain(const std::string& raster_name,
                                         const noa::ChainConfig& config);
 
+  /// Runs the chain over a batch of rasters; per-product failures land
+  /// in ChainResult::failures while the rest complete.
+  Result<noa::ChainResult> RunFireChainBatch(
+      const std::vector<std::string>& raster_names,
+      const noa::ChainConfig& config);
+
+  // --- persistence ----------------------------------------------------------
+
+  /// Saves every catalog table (metadata, attached products, chain
+  /// outputs) as a checksummed snapshot under `dir`.
+  Status SaveCatalog(const std::string& dir);
+
+  /// Loads a SaveCatalog snapshot into this observatory's catalog.
+  Result<size_t> LoadCatalog(const std::string& dir);
+
   /// Refines a chain product against the loaded coastline layer.
   Result<noa::RefinementReport> Refine(const std::string& product_id);
 

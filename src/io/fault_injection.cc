@@ -1,0 +1,249 @@
+#include "io/fault_injection.h"
+
+#include "obs/metrics.h"
+
+namespace teleios::io {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kIoError:
+      return "io_error";
+    case FaultKind::kShortWrite:
+      return "short_write";
+    case FaultKind::kEnospc:
+      return "enospc";
+    case FaultKind::kSyncFail:
+      return "sync_fail";
+    case FaultKind::kSyncDrop:
+      return "sync_drop";
+    case FaultKind::kBitFlip:
+      return "bit_flip";
+  }
+  return "unknown";
+}
+
+void FaultInjectingFileSystem::Arm(const FaultSpec& spec) {
+  spec_ = spec;
+  armed_ = spec.inject_at > 0;
+  crashed_ = false;
+  ops_ = 0;
+  faults_ = 0;
+  bits_flipped_ = 0;
+  rng_ = spec.seed ? spec.seed : 1;
+}
+
+void FaultInjectingFileSystem::Disarm() {
+  armed_ = false;
+  crashed_ = false;
+}
+
+uint64_t FaultInjectingFileSystem::NextRand() {
+  rng_ ^= rng_ >> 12;
+  rng_ ^= rng_ << 25;
+  rng_ ^= rng_ >> 27;
+  return rng_ * 0x2545f4914f6cdd1dull;
+}
+
+Status FaultInjectingFileSystem::InjectedError(const char* what) {
+  return Status::IoError(std::string("injected fault: ") + what);
+}
+
+FaultInjectingFileSystem::FaultAction FaultInjectingFileSystem::NextOp(
+    OpClass op) {
+  if (crashed_) return FaultAction::kFail;  // everything after the crash
+  // The counting mode applies to disabled (inject_at = 0) probe runs
+  // too, so a probed op count matches the armed sweep that follows.
+  if (spec_.reads_only && op != OpClass::kRead) {
+    return FaultAction::kNone;  // not counted in a reads-only sweep
+  }
+  ++ops_;
+  if (!armed_) return FaultAction::kNone;
+  bool hit = ops_ == spec_.inject_at ||
+             (spec_.every_n > 0 && ops_ > spec_.inject_at &&
+              (ops_ - spec_.inject_at) % spec_.every_n == 0);
+  if (!hit) return FaultAction::kNone;
+  FaultAction action = FaultAction::kFail;
+  switch (spec_.kind) {
+    case FaultKind::kIoError:
+      action = FaultAction::kFail;
+      break;
+    case FaultKind::kShortWrite:
+      action = op == OpClass::kAppend ? FaultAction::kShortWrite
+                                      : FaultAction::kFail;
+      break;
+    case FaultKind::kEnospc:
+      action =
+          op == OpClass::kAppend ? FaultAction::kEnospc : FaultAction::kFail;
+      break;
+    case FaultKind::kSyncFail:
+      action = FaultAction::kFail;
+      break;
+    case FaultKind::kSyncDrop:
+      // Only a Sync can be silently dropped; elsewhere nothing happens.
+      action = op == OpClass::kSync ? FaultAction::kSyncDrop
+                                    : FaultAction::kNone;
+      break;
+    case FaultKind::kBitFlip:
+      // Flips only corrupt read payloads; other ops pass through.
+      action =
+          op == OpClass::kRead ? FaultAction::kBitFlip : FaultAction::kNone;
+      break;
+  }
+  if (action == FaultAction::kNone) return action;
+  ++faults_;
+  obs::Count("teleios_io_faults_injected_total");
+  if (spec_.crash) crashed_ = true;
+  return action;
+}
+
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(FaultInjectingFileSystem* fs,
+                     std::unique_ptr<WritableFile> base)
+      : fs_(fs), base_(std::move(base)) {}
+
+  Status Append(const void* data, size_t n) override;
+  Status Flush() override;
+  Status Sync() override;
+  Status Close() override;
+
+ private:
+  FaultInjectingFileSystem* fs_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+class FaultyReadableFile : public ReadableFile {
+ public:
+  FaultyReadableFile(FaultInjectingFileSystem* fs,
+                     std::unique_ptr<ReadableFile> base)
+      : fs_(fs), base_(std::move(base)) {}
+
+  Result<size_t> Read(void* buf, size_t n) override;
+
+ private:
+  FaultInjectingFileSystem* fs_;
+  std::unique_ptr<ReadableFile> base_;
+};
+
+Status FaultyWritableFile::Append(const void* data, size_t n) {
+  switch (fs_->NextOp(FaultInjectingFileSystem::OpClass::kAppend)) {
+    case FaultInjectingFileSystem::FaultAction::kNone:
+      return base_->Append(data, n);
+    case FaultInjectingFileSystem::FaultAction::kShortWrite:
+      // Torn write: half the bytes land before the error.
+      (void)base_->Append(data, n / 2);
+      return FaultInjectingFileSystem::InjectedError("torn write");
+    case FaultInjectingFileSystem::FaultAction::kEnospc:
+      return FaultInjectingFileSystem::InjectedError(
+          "no space left on device");
+    default:
+      return FaultInjectingFileSystem::InjectedError("write failed");
+  }
+}
+
+Status FaultyWritableFile::Flush() {
+  if (fs_->NextOp(FaultInjectingFileSystem::OpClass::kOther) !=
+      FaultInjectingFileSystem::FaultAction::kNone) {
+    return FaultInjectingFileSystem::InjectedError("flush failed");
+  }
+  return base_->Flush();
+}
+
+Status FaultyWritableFile::Sync() {
+  switch (fs_->NextOp(FaultInjectingFileSystem::OpClass::kSync)) {
+    case FaultInjectingFileSystem::FaultAction::kNone:
+      return base_->Sync();
+    case FaultInjectingFileSystem::FaultAction::kSyncDrop:
+      return base_->Flush();  // pretends to be durable; never fsyncs
+    default:
+      return FaultInjectingFileSystem::InjectedError("fsync failed");
+  }
+}
+
+Status FaultyWritableFile::Close() {
+  if (fs_->NextOp(FaultInjectingFileSystem::OpClass::kOther) !=
+      FaultInjectingFileSystem::FaultAction::kNone) {
+    return FaultInjectingFileSystem::InjectedError("close failed");
+  }
+  return base_->Close();
+}
+
+Result<size_t> FaultyReadableFile::Read(void* buf, size_t n) {
+  switch (fs_->NextOp(FaultInjectingFileSystem::OpClass::kRead)) {
+    case FaultInjectingFileSystem::FaultAction::kNone:
+      return base_->Read(buf, n);
+    case FaultInjectingFileSystem::FaultAction::kBitFlip: {
+      Result<size_t> got = base_->Read(buf, n);
+      if (got.ok() && *got > 0) {
+        uint8_t* bytes = static_cast<uint8_t*>(buf);
+        bytes[fs_->NextRand() % *got] ^=
+            static_cast<uint8_t>(1u << (fs_->NextRand() % 8));
+        ++fs_->bits_flipped_;
+      }
+      return got;
+    }
+    default:
+      return FaultInjectingFileSystem::InjectedError("read failed");
+  }
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFileSystem::NewWritableFile(
+    const std::string& path) {
+  if (NextOp(OpClass::kOther) != FaultAction::kNone) {
+    return InjectedError("cannot open for writing");
+  }
+  TELEIOS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                           base_->NewWritableFile(path));
+  return std::unique_ptr<WritableFile>(
+      new FaultyWritableFile(this, std::move(base)));
+}
+
+Result<std::unique_ptr<ReadableFile>> FaultInjectingFileSystem::NewReadableFile(
+    const std::string& path) {
+  if (NextOp(OpClass::kOther) != FaultAction::kNone) {
+    return InjectedError("cannot open for reading");
+  }
+  TELEIOS_ASSIGN_OR_RETURN(std::unique_ptr<ReadableFile> base,
+                           base_->NewReadableFile(path));
+  return std::unique_ptr<ReadableFile>(
+      new FaultyReadableFile(this, std::move(base)));
+}
+
+Status FaultInjectingFileSystem::Rename(const std::string& from,
+                                        const std::string& to) {
+  if (NextOp(OpClass::kOther) != FaultAction::kNone) {
+    return InjectedError("rename failed");
+  }
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingFileSystem::RemoveFile(const std::string& path) {
+  if (NextOp(OpClass::kOther) != FaultAction::kNone) {
+    return InjectedError("remove failed");
+  }
+  return base_->RemoveFile(path);
+}
+
+Result<bool> FaultInjectingFileSystem::FileExists(const std::string& path) {
+  if (NextOp(OpClass::kOther) != FaultAction::kNone) {
+    return InjectedError("stat failed");
+  }
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingFileSystem::CreateDir(const std::string& path) {
+  if (NextOp(OpClass::kOther) != FaultAction::kNone) {
+    return InjectedError("mkdir failed");
+  }
+  return base_->CreateDir(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingFileSystem::ListDirectory(
+    const std::string& dir) {
+  if (NextOp(OpClass::kOther) != FaultAction::kNone) {
+    return InjectedError("list failed");
+  }
+  return base_->ListDirectory(dir);
+}
+
+}  // namespace teleios::io

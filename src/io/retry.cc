@@ -1,0 +1,31 @@
+#include "io/retry.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace teleios::io {
+
+double RetryPolicy::BackoffMillis(int attempt) const {
+  if (base_backoff_ms <= 0 || attempt < 2) return 0;
+  return base_backoff_ms * std::pow(multiplier, attempt - 2);
+}
+
+namespace internal {
+
+void OnRetry(const std::string& what, double backoff_ms) {
+  obs::Count("teleios_io_retries_total");
+  TELEIOS_LOG(Warning) << "retrying " << what << " after " << backoff_ms
+                       << "ms backoff";
+  if (backoff_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+  }
+}
+
+}  // namespace internal
+
+}  // namespace teleios::io

@@ -1,0 +1,63 @@
+#ifndef TELEIOS_IO_RETRY_H_
+#define TELEIOS_IO_RETRY_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace teleios::io {
+
+/// Bounded retry with deterministic exponential backoff for transient
+/// I/O failures. Retries IoError and DataLoss (a re-read after a
+/// transient media flip or a contended write can legitimately succeed);
+/// every other code is a logic or format error that retrying cannot fix.
+struct RetryPolicy {
+  int max_attempts = 3;
+  /// Backoff before attempt k (2-based) is
+  /// `base_backoff_ms * multiplier^(k-2)` milliseconds; 0 disables
+  /// sleeping entirely (the default — tests and benchmarks stay fast and
+  /// deterministic in wall-clock terms).
+  int base_backoff_ms = 0;
+  double multiplier = 2.0;
+
+  bool ShouldRetry(const Status& status) const {
+    return status.code() == StatusCode::kIoError ||
+           status.code() == StatusCode::kDataLoss;
+  }
+  /// Milliseconds to back off before attempt `attempt` (1-based).
+  double BackoffMillis(int attempt) const;
+};
+
+namespace internal {
+/// Sleeps (if ms > 0) and counts `teleios_io_retries_total`.
+void OnRetry(const std::string& what, double backoff_ms);
+
+inline const Status& AsStatus(const Status& s) { return s; }
+template <typename T>
+const Status& AsStatus(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace internal
+
+/// Runs `fn` up to `policy.max_attempts` times; returns the first OK (or
+/// non-retryable) outcome, else the last error. `what` labels the retry
+/// metric and log line. Works for both Status and Result<T> returns.
+template <typename Fn>
+auto WithRetry(const RetryPolicy& policy, const std::string& what, Fn&& fn)
+    -> decltype(fn()) {
+  decltype(fn()) outcome = fn();
+  for (int attempt = 2;
+       attempt <= policy.max_attempts && !outcome.ok() &&
+       policy.ShouldRetry(internal::AsStatus(outcome));
+       ++attempt) {
+    internal::OnRetry(what, policy.BackoffMillis(attempt));
+    outcome = fn();
+  }
+  return outcome;
+}
+
+}  // namespace teleios::io
+
+#endif  // TELEIOS_IO_RETRY_H_

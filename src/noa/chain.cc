@@ -1,5 +1,6 @@
 #include "noa/chain.h"
 
+#include "common/logging.h"
 #include "common/strings.h"
 #include "geo/wkt.h"
 #include "obs/metrics.h"
@@ -58,6 +59,29 @@ Result<ChainResult> ProcessingChain::Run(const std::string& raster_name,
     result->timings.push_back({stage.name, stage.millis});
   }
   return result;
+}
+
+Result<ChainResult> ProcessingChain::RunBatch(
+    const std::vector<std::string>& raster_names, const ChainConfig& config) {
+  ChainResult batch;
+  for (const std::string& name : raster_names) {
+    Result<ChainResult> one = Run(name, config);
+    if (!one.ok()) {
+      TELEIOS_LOG(Warning) << "noa: chain failed for '" << name
+                           << "': " << one.status().ToString();
+      batch.failures.push_back({name, one.status()});
+      obs::Count("teleios_noa_products_failed_total");
+      continue;
+    }
+    batch.product_ids.push_back(one->product_id);
+    batch.hotspots.insert(batch.hotspots.end(), one->hotspots.begin(),
+                          one->hotspots.end());
+    batch.timings.insert(batch.timings.end(), one->timings.begin(),
+                         one->timings.end());
+    batch.sciql.insert(batch.sciql.end(), one->sciql.begin(),
+                       one->sciql.end());
+  }
+  return batch;
 }
 
 Result<ChainResult> ProcessingChain::RunStages(const std::string& raster_name,
@@ -135,7 +159,12 @@ Result<ChainResult> ProcessingChain::RunStages(const std::string& raster_name,
   if (!config.output_dir.empty()) {
     vault::VecFile vec = HotspotsToVec(result.hotspots, result.product_id);
     result.vec_path = config.output_dir + "/" + result.product_id + ".vec";
-    TELEIOS_RETURN_IF_ERROR(vault::WriteVec(vec, result.vec_path));
+    // The export is the chain's only unguarded I/O edge: retry transient
+    // faults before declaring the product failed. WriteVec is atomic, so
+    // a failed attempt leaves no partial file behind.
+    TELEIOS_RETURN_IF_ERROR(io::WithRetry(
+        retry_, "export '" + result.product_id + "'",
+        [&] { return vault::WriteVec(vec, result.vec_path); }));
     meta.file_path = result.vec_path;
   }
   TELEIOS_RETURN_IF_ERROR(eo::RegisterProductRow(meta, catalog_));

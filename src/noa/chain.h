@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "eo/product.h"
 #include "eo/scene.h"
+#include "io/retry.h"
 #include "noa/classification.h"
 #include "noa/hotspot.h"
 #include "obs/trace.h"
@@ -35,8 +36,21 @@ struct StepTiming {
   double millis = 0;
 };
 
+/// One input the chain could not turn into a product (corrupt file,
+/// exhausted export retries, ...). Batch runs record these and keep
+/// going — an operational monitoring service must not lose a night of
+/// hotspots to one bad scene.
+struct ChainFailure {
+  std::string raster;  // the input raster name
+  Status status;
+};
+
 struct ChainResult {
   std::string product_id;           // the generated L2 product
+  /// Batch runs: every product generated, in input order.
+  std::vector<std::string> product_ids;
+  /// Batch runs: inputs that failed (the rest still completed).
+  std::vector<ChainFailure> failures;
   std::vector<Hotspot> hotspots;
   /// Per-stage wall clock, derived from `trace` (one entry per
   /// top-level stage span, in execution order).
@@ -66,6 +80,19 @@ class ProcessingChain {
   Result<ChainResult> Run(const std::string& raster_name,
                           const ChainConfig& config);
 
+  /// Runs the chain over a batch of attached rasters. A raster that
+  /// fails (corrupt payload, export fault) is recorded in
+  /// ChainResult::failures — and counted in
+  /// teleios_noa_products_failed_total — while the remaining rasters
+  /// still produce their products (ChainResult::product_ids, hotspots
+  /// and timings are the aggregates over the successful runs).
+  Result<ChainResult> RunBatch(const std::vector<std::string>& raster_names,
+                               const ChainConfig& config);
+
+  /// Retry policy for the fallible I/O edges of the chain (product
+  /// export). Default: 3 attempts, no backoff sleep.
+  void set_retry(const io::RetryPolicy& policy) { retry_ = policy; }
+
   /// The SciQL classification statement for a config (exposed so demos
   /// can show "how SciQL queries implement the NOA chain", paper §4).
   static std::string ClassificationSciQl(const std::string& raster_name,
@@ -81,6 +108,7 @@ class ProcessingChain {
   sciql::SciQlEngine* sciql_;
   strabon::Strabon* strabon_;
   storage::Catalog* catalog_;
+  io::RetryPolicy retry_;
 };
 
 /// Publishes hotspot descriptions as stRDF into Strabon (type,

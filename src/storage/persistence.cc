@@ -1,41 +1,27 @@
 #include "storage/persistence.h"
 
 #include <cstdint>
-#include <fstream>
+#include <sstream>
 
 #include "common/strings.h"
+#include "io/codec.h"
+#include "io/filesystem.h"
 
 namespace teleios::storage {
 
 namespace {
 
+// TELT v2 on-disk layout:
+//   "TELT" | u32 version=2 | header block | one block per column
+// where a block is io::AppendBlockTo framing (u64 len, u32 CRC32C,
+// payload). The header payload is (u32 ncols, u64 nrows, ncols x
+// (string name, u32 type)); a column payload is nrows validity bytes
+// followed by the typed cells (strings: u32 dict size, dict entries,
+// nrows x i32 codes).
 constexpr char kMagic[4] = {'T', 'E', 'L', 'T'};
-
-void WriteU32(std::ostream& os, uint32_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void WriteU64(std::ostream& os, uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void WriteString(std::ostream& os, const std::string& s) {
-  WriteU32(os, static_cast<uint32_t>(s.size()));
-  os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-bool ReadU32(std::istream& is, uint32_t* v) {
-  return static_cast<bool>(
-      is.read(reinterpret_cast<char*>(v), sizeof(*v)));
-}
-bool ReadU64(std::istream& is, uint64_t* v) {
-  return static_cast<bool>(
-      is.read(reinterpret_cast<char*>(v), sizeof(*v)));
-}
-bool ReadString(std::istream& is, std::string* s) {
-  uint32_t n = 0;
-  if (!ReadU32(is, &n)) return false;
-  s->resize(n);
-  return static_cast<bool>(is.read(s->data(), n));
-}
+constexpr uint32_t kTeltVersion = 2;
+constexpr uint32_t kMaxColumns = 1u << 16;
+constexpr uint32_t kMaxColumnType = static_cast<uint32_t>(ColumnType::kString);
 
 std::string CsvEscape(const std::string& s) {
   bool needs = s.find_first_of(",\"\n") != std::string::npos;
@@ -49,149 +35,205 @@ std::string CsvEscape(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
-Status WriteTable(const Table& table, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IoError("cannot open '" + path + "' for writing");
-  os.write(kMagic, 4);
-  WriteU32(os, static_cast<uint32_t>(table.num_columns()));
-  WriteU64(os, table.num_rows());
-  for (const Field& f : table.schema().fields()) {
-    WriteString(os, f.name);
-    WriteU32(os, static_cast<uint32_t>(f.type));
+std::string SerializeColumn(const Column& col, size_t rows) {
+  std::string payload;
+  for (size_t r = 0; r < rows; ++r) {
+    payload.push_back(col.IsNull(r) ? '\0' : '\1');
   }
-  size_t rows = table.num_rows();
-  for (size_t c = 0; c < table.num_columns(); ++c) {
-    const Column& col = table.column(c);
-    for (size_t r = 0; r < rows; ++r) {
-      uint8_t valid = col.IsNull(r) ? 0 : 1;
-      os.write(reinterpret_cast<const char*>(&valid), 1);
-    }
-    switch (col.type()) {
-      case ColumnType::kBool:
-        for (size_t r = 0; r < rows; ++r) {
-          uint8_t b = (!col.IsNull(r) && col.GetBool(r)) ? 1 : 0;
-          os.write(reinterpret_cast<const char*>(&b), 1);
-        }
-        break;
-      case ColumnType::kInt64:
-        for (size_t r = 0; r < rows; ++r) {
-          int64_t v = col.IsNull(r) ? 0 : col.GetInt64(r);
-          os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-        }
-        break;
-      case ColumnType::kFloat64:
-        for (size_t r = 0; r < rows; ++r) {
-          double v = col.IsNull(r) ? 0.0 : col.GetFloat64(r);
-          os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-        }
-        break;
-      case ColumnType::kString: {
-        const Dictionary& dict = col.dict();
-        WriteU32(os, static_cast<uint32_t>(dict.size()));
-        for (int32_t i = 0; i < dict.size(); ++i) WriteString(os, dict.At(i));
-        for (size_t r = 0; r < rows; ++r) {
-          int32_t code = col.IsNull(r) ? -1 : col.GetStringCode(r);
-          os.write(reinterpret_cast<const char*>(&code), sizeof(code));
-        }
-        break;
+  switch (col.type()) {
+    case ColumnType::kBool:
+      for (size_t r = 0; r < rows; ++r) {
+        payload.push_back((!col.IsNull(r) && col.GetBool(r)) ? '\1' : '\0');
       }
+      break;
+    case ColumnType::kInt64:
+      for (size_t r = 0; r < rows; ++r) {
+        io::PutI64(&payload, col.IsNull(r) ? 0 : col.GetInt64(r));
+      }
+      break;
+    case ColumnType::kFloat64:
+      for (size_t r = 0; r < rows; ++r) {
+        io::PutF64(&payload, col.IsNull(r) ? 0.0 : col.GetFloat64(r));
+      }
+      break;
+    case ColumnType::kString: {
+      const Dictionary& dict = col.dict();
+      io::PutU32(&payload, static_cast<uint32_t>(dict.size()));
+      for (int32_t i = 0; i < dict.size(); ++i) {
+        io::PutStr(&payload, dict.At(i));
+      }
+      for (size_t r = 0; r < rows; ++r) {
+        io::PutI32(&payload, col.IsNull(r) ? -1 : col.GetStringCode(r));
+      }
+      break;
     }
   }
-  if (!os) return Status::IoError("write failure on '" + path + "'");
+  return payload;
+}
+
+Status ParseColumn(std::string_view payload, uint64_t nrows, Column* col) {
+  io::ByteReader reader(payload);
+  if (nrows > payload.size()) {
+    return Status::ParseError("column block shorter than its validity map");
+  }
+  std::vector<uint8_t> valid(static_cast<size_t>(nrows));
+  if (nrows > 0 && !reader.ReadBytes(valid.data(), valid.size())) {
+    return Status::ParseError("truncated TELT validity");
+  }
+  col->Reserve(nrows);
+  switch (col->type()) {
+    case ColumnType::kBool:
+      for (uint64_t r = 0; r < nrows; ++r) {
+        uint8_t b = 0;
+        if (!reader.ReadBytes(&b, 1)) {
+          return Status::ParseError("truncated TELT payload");
+        }
+        if (valid[r]) col->AppendBool(b != 0);
+        else col->AppendNull();
+      }
+      break;
+    case ColumnType::kInt64:
+      for (uint64_t r = 0; r < nrows; ++r) {
+        int64_t v = 0;
+        if (!reader.ReadI64(&v)) {
+          return Status::ParseError("truncated TELT payload");
+        }
+        if (valid[r]) col->AppendInt64(v);
+        else col->AppendNull();
+      }
+      break;
+    case ColumnType::kFloat64:
+      for (uint64_t r = 0; r < nrows; ++r) {
+        double v = 0;
+        if (!reader.ReadF64(&v)) {
+          return Status::ParseError("truncated TELT payload");
+        }
+        if (valid[r]) col->AppendFloat64(v);
+        else col->AppendNull();
+      }
+      break;
+    case ColumnType::kString: {
+      uint32_t dict_size = 0;
+      if (!reader.ReadU32(&dict_size)) {
+        return Status::ParseError("truncated TELT dictionary");
+      }
+      // Each entry takes at least its 4-byte length prefix.
+      if (dict_size > reader.remaining() / sizeof(uint32_t)) {
+        return Status::ParseError("implausible TELT dictionary size");
+      }
+      std::vector<std::string> dict(dict_size);
+      for (uint32_t i = 0; i < dict_size; ++i) {
+        if (!reader.ReadStr(&dict[i])) {
+          return Status::ParseError("truncated TELT dictionary entry");
+        }
+      }
+      for (uint64_t r = 0; r < nrows; ++r) {
+        int32_t code = 0;
+        if (!reader.ReadI32(&code)) {
+          return Status::ParseError("truncated TELT codes");
+        }
+        if (!valid[r]) {
+          col->AppendNull();
+        } else if (code < 0 || code >= static_cast<int32_t>(dict_size)) {
+          return Status::ParseError(
+              "TELT dictionary code " + std::to_string(code) +
+              " out of range (dictionary size " + std::to_string(dict_size) +
+              ")");
+        } else {
+          col->AppendString(dict[code]);
+        }
+      }
+      break;
+    }
+  }
+  if (!reader.exhausted()) {
+    return Status::ParseError("trailing bytes in TELT column block");
+  }
   return Status::OK();
 }
 
+}  // namespace
+
+Status WriteTable(const Table& table, const std::string& path) {
+  std::string image(kMagic, sizeof(kMagic));
+  io::PutU32(&image, kTeltVersion);
+  std::string header;
+  io::PutU32(&header, static_cast<uint32_t>(table.num_columns()));
+  io::PutU64(&header, table.num_rows());
+  for (const Field& f : table.schema().fields()) {
+    io::PutStr(&header, f.name);
+    io::PutU32(&header, static_cast<uint32_t>(f.type));
+  }
+  io::AppendBlockTo(&image, header);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    io::AppendBlockTo(&image,
+                      SerializeColumn(table.column(c), table.num_rows()));
+  }
+  return io::GetFileSystem()->WriteFileAtomic(path, image);
+}
+
 Result<Table> ReadTable(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::IoError("cannot open '" + path + "' for reading");
+  TELEIOS_ASSIGN_OR_RETURN(std::unique_ptr<io::ReadableFile> file,
+                           io::GetFileSystem()->NewReadableFile(path));
+  io::FileReader reader(std::move(file));
   char magic[4];
-  if (!is.read(magic, 4) || std::string(magic, 4) != std::string(kMagic, 4)) {
+  uint32_t version = 0;
+  if (!reader.ReadExact(magic, sizeof(magic)) ||
+      std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+    if (!reader.status().ok()) return reader.status();
     return Status::ParseError("'" + path + "' is not a TELT file");
   }
+  if (!reader.ReadExact(&version, sizeof(version))) {
+    return io::TruncatedOr(reader, "truncated TELT version");
+  }
+  if (version != kTeltVersion) {
+    return Status::ParseError("unsupported TELT version " +
+                              std::to_string(version));
+  }
+  TELEIOS_ASSIGN_OR_RETURN(std::string header, io::ReadBlock(&reader));
+  io::ByteReader h(header);
   uint32_t ncols = 0;
   uint64_t nrows = 0;
-  if (!ReadU32(is, &ncols) || !ReadU64(is, &nrows)) {
+  if (!h.ReadU32(&ncols) || !h.ReadU64(&nrows)) {
     return Status::ParseError("truncated TELT header");
+  }
+  if (ncols > kMaxColumns) {
+    return Status::ParseError("implausible TELT column count " +
+                              std::to_string(ncols));
+  }
+  if (nrows > io::kMaxBlockLen) {
+    // A column block stores at least one validity byte per row, so more
+    // rows than the block size cap cannot be real.
+    return Status::ParseError("implausible TELT row count " +
+                              std::to_string(nrows));
   }
   std::vector<Field> fields;
   for (uint32_t c = 0; c < ncols; ++c) {
     Field f;
     uint32_t t = 0;
-    if (!ReadString(is, &f.name) || !ReadU32(is, &t)) {
+    if (!h.ReadStr(&f.name) || !h.ReadU32(&t)) {
       return Status::ParseError("truncated TELT schema");
+    }
+    if (t > kMaxColumnType) {
+      return Status::ParseError("invalid TELT column type " +
+                                std::to_string(t));
     }
     f.type = static_cast<ColumnType>(t);
     fields.push_back(std::move(f));
   }
+  if (!h.exhausted()) {
+    return Status::ParseError("trailing bytes in TELT header");
+  }
   Table table{Schema(std::move(fields))};
   for (uint32_t c = 0; c < ncols; ++c) {
-    Column& col = table.column(c);
-    col.Reserve(nrows);
-    std::vector<uint8_t> valid(nrows);
-    if (nrows > 0 &&
-        !is.read(reinterpret_cast<char*>(valid.data()),
-                 static_cast<std::streamsize>(nrows))) {
-      return Status::ParseError("truncated TELT validity");
-    }
-    switch (col.type()) {
-      case ColumnType::kBool:
-        for (uint64_t r = 0; r < nrows; ++r) {
-          uint8_t b = 0;
-          if (!is.read(reinterpret_cast<char*>(&b), 1)) {
-            return Status::ParseError("truncated TELT payload");
-          }
-          if (valid[r]) col.AppendBool(b != 0);
-          else col.AppendNull();
-        }
-        break;
-      case ColumnType::kInt64:
-        for (uint64_t r = 0; r < nrows; ++r) {
-          int64_t v = 0;
-          if (!is.read(reinterpret_cast<char*>(&v), sizeof(v))) {
-            return Status::ParseError("truncated TELT payload");
-          }
-          if (valid[r]) col.AppendInt64(v);
-          else col.AppendNull();
-        }
-        break;
-      case ColumnType::kFloat64:
-        for (uint64_t r = 0; r < nrows; ++r) {
-          double v = 0;
-          if (!is.read(reinterpret_cast<char*>(&v), sizeof(v))) {
-            return Status::ParseError("truncated TELT payload");
-          }
-          if (valid[r]) col.AppendFloat64(v);
-          else col.AppendNull();
-        }
-        break;
-      case ColumnType::kString: {
-        uint32_t dict_size = 0;
-        if (!ReadU32(is, &dict_size)) {
-          return Status::ParseError("truncated TELT dictionary");
-        }
-        std::vector<std::string> dict(dict_size);
-        for (uint32_t i = 0; i < dict_size; ++i) {
-          if (!ReadString(is, &dict[i])) {
-            return Status::ParseError("truncated TELT dictionary entry");
-          }
-        }
-        for (uint64_t r = 0; r < nrows; ++r) {
-          int32_t code = 0;
-          if (!is.read(reinterpret_cast<char*>(&code), sizeof(code))) {
-            return Status::ParseError("truncated TELT codes");
-          }
-          if (valid[r] && code >= 0 && code < static_cast<int32_t>(dict_size)) {
-            col.AppendString(dict[code]);
-          } else {
-            col.AppendNull();
-          }
-        }
-        break;
-      }
-    }
+    TELEIOS_ASSIGN_OR_RETURN(std::string payload, io::ReadBlock(&reader));
+    TELEIOS_RETURN_IF_ERROR(ParseColumn(payload, nrows, &table.column(c)));
   }
+  char extra;
+  if (reader.ReadExact(&extra, 1)) {
+    return Status::ParseError("trailing data after TELT columns");
+  }
+  if (!reader.status().ok()) return reader.status();
   return table;
 }
 
@@ -235,8 +277,9 @@ bool SplitCsvRecord(const std::string& line, std::vector<std::string>* out) {
 }  // namespace
 
 Result<Table> ReadCsv(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) return Status::IoError("cannot open '" + path + "'");
+  TELEIOS_ASSIGN_OR_RETURN(std::string content,
+                           io::GetFileSystem()->ReadFile(path));
+  std::istringstream is(content);
   std::string line;
   if (!std::getline(is, line)) {
     return Status::ParseError("empty CSV file '" + path + "'");
@@ -305,23 +348,83 @@ Result<Table> ReadCsv(const std::string& path) {
 }
 
 Status WriteCsv(const Table& table, const std::string& path) {
-  std::ofstream os(path);
-  if (!os) return Status::IoError("cannot open '" + path + "' for writing");
+  std::string out;
   for (size_t c = 0; c < table.num_columns(); ++c) {
-    if (c) os << ",";
-    os << CsvEscape(table.schema().field(c).name);
+    if (c) out += ",";
+    out += CsvEscape(table.schema().field(c).name);
   }
-  os << "\n";
+  out += "\n";
   for (size_t r = 0; r < table.num_rows(); ++r) {
     for (size_t c = 0; c < table.num_columns(); ++c) {
-      if (c) os << ",";
+      if (c) out += ",";
       Value v = table.Get(r, c);
-      if (!v.is_null()) os << CsvEscape(v.ToString());
+      if (!v.is_null()) out += CsvEscape(v.ToString());
     }
-    os << "\n";
+    out += "\n";
   }
-  if (!os) return Status::IoError("write failure on '" + path + "'");
-  return Status::OK();
+  return io::GetFileSystem()->WriteFileAtomic(path, out);
+}
+
+namespace {
+
+constexpr std::string_view kManifestMagic = "#TELCAT1";
+constexpr char kManifestName[] = "/MANIFEST";
+
+}  // namespace
+
+Status SaveCatalog(const Catalog& catalog, const std::string& dir) {
+  io::FileSystem* fs = io::GetFileSystem();
+  TELEIOS_RETURN_IF_ERROR(fs->CreateDir(dir));
+  std::string manifest(kManifestMagic);
+  manifest += "\n";
+  size_t index = 0;
+  for (const std::string& name : catalog.TableNames()) {
+    if (name.find('\n') != std::string::npos ||
+        name.find('\t') != std::string::npos) {
+      return Status::InvalidArgument("table name not snapshot-safe: '" +
+                                     name + "'");
+    }
+    TELEIOS_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(name));
+    std::string file = "table_" + std::to_string(index++) + ".telt";
+    TELEIOS_RETURN_IF_ERROR(WriteTable(*table, dir + "/" + file));
+    manifest += file + "\t" + name + "\n";
+  }
+  io::AppendCrcTrailer(&manifest);
+  // The manifest lands last, atomically: a crash before this point
+  // leaves the previous MANIFEST (and thus the previous snapshot) in
+  // force; the freshly written table files are inert until referenced.
+  return fs->WriteFileAtomic(dir + kManifestName, manifest);
+}
+
+Result<size_t> LoadCatalog(const std::string& dir, Catalog* catalog) {
+  io::FileSystem* fs = io::GetFileSystem();
+  TELEIOS_ASSIGN_OR_RETURN(std::string raw,
+                           fs->ReadFile(dir + kManifestName));
+  TELEIOS_ASSIGN_OR_RETURN(std::string content, io::VerifyCrcTrailer(raw));
+  std::istringstream is(content);
+  std::string line;
+  if (!std::getline(is, line) || line != kManifestMagic) {
+    return Status::ParseError("'" + dir + "' has no catalog manifest");
+  }
+  size_t loaded = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::ParseError("malformed manifest line: '" + line + "'");
+    }
+    std::string file = line.substr(0, tab);
+    std::string name = line.substr(tab + 1);
+    if (file.find('/') != std::string::npos) {
+      return Status::ParseError("manifest file entry escapes snapshot: '" +
+                                file + "'");
+    }
+    TELEIOS_ASSIGN_OR_RETURN(Table table, ReadTable(dir + "/" + file));
+    TELEIOS_RETURN_IF_ERROR(catalog->CreateTable(
+        name, std::make_shared<Table>(std::move(table))));
+    ++loaded;
+  }
+  return loaded;
 }
 
 }  // namespace teleios::storage

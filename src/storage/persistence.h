@@ -4,19 +4,26 @@
 #include <string>
 
 #include "common/status.h"
+#include "storage/catalog.h"
 #include "storage/table.h"
 
 namespace teleios::storage {
 
-/// Writes `table` to `path` in the TELEIOS binary table format ("TELT").
-/// The format stores the schema, row count, validity bytes and typed
-/// payloads; string columns are written dictionary + codes.
+/// Writes `table` to `path` in the TELEIOS binary table format ("TELT",
+/// version 2). The format stores the schema, row count, validity bytes
+/// and typed payloads (string columns as dictionary + codes) in
+/// CRC32C-checksummed sections, and the file is produced with an atomic
+/// durable write (tmp + fsync + rename): a crash mid-write leaves the
+/// previous file intact, never a hybrid.
 Status WriteTable(const Table& table, const std::string& path);
 
-/// Reads a table previously written with WriteTable.
+/// Reads a table previously written with WriteTable. Corrupt bytes
+/// surface as kDataLoss (checksum mismatch) or ParseError (truncation,
+/// implausible counts, out-of-range dictionary codes) — never a crash.
 Result<Table> ReadTable(const std::string& path);
 
-/// Writes `table` as CSV with a header row (for interop / debugging).
+/// Writes `table` as CSV with a header row (for interop / debugging;
+/// atomic write, no checksum — it is an exchange format).
 Status WriteCsv(const Table& table, const std::string& path);
 
 /// Reads a CSV with a header row into a table. Column types are inferred
@@ -24,6 +31,15 @@ Status WriteCsv(const Table& table, const std::string& path);
 /// then DOUBLE, else VARCHAR); empty cells become NULL. Quoted fields
 /// with doubled-quote escapes are supported (the WriteCsv dialect).
 Result<Table> ReadCsv(const std::string& path);
+
+/// Persists every table of `catalog` under `dir`: one TELT file per
+/// table plus a checksummed MANIFEST written last (atomically), so a
+/// crash at any point leaves the previous snapshot loadable.
+Status SaveCatalog(const Catalog& catalog, const std::string& dir);
+
+/// Loads a SaveCatalog snapshot into `catalog` (tables must not already
+/// exist). Returns the number of tables loaded.
+Result<size_t> LoadCatalog(const std::string& dir, Catalog* catalog);
 
 }  // namespace teleios::storage
 

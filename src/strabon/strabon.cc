@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <sstream>
 
 #include "common/strings.h"
 #include "geo/wkt.h"
+#include "io/filesystem.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -23,11 +23,9 @@ Result<size_t> Strabon::LoadTurtle(const std::string& text) {
 }
 
 Result<size_t> Strabon::LoadTurtleFile(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) return Status::IoError("cannot open '" + path + "'");
-  std::ostringstream ss;
-  ss << is.rdbuf();
-  return LoadTurtle(ss.str());
+  TELEIOS_ASSIGN_OR_RETURN(std::string text,
+                           io::GetFileSystem()->ReadFile(path));
+  return LoadTurtle(text);
 }
 
 void Strabon::Add(const Term& s, const Term& p, const Term& o) {
@@ -597,11 +595,7 @@ std::string Strabon::ToTurtle() const {
 }
 
 Status Strabon::SaveTurtleFile(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) return Status::IoError("cannot open '" + path + "' for writing");
-  os << ToTurtle();
-  if (!os) return Status::IoError("write failure on '" + path + "'");
-  return Status::OK();
+  return io::GetFileSystem()->WriteFileAtomic(path, ToTurtle());
 }
 
 }  // namespace teleios::strabon

@@ -1,44 +1,27 @@
 #include "vault/formats.h"
 
-#include <fstream>
+#include <sstream>
 
 #include "common/strings.h"
 #include "geo/wkt.h"
+#include "io/codec.h"
+#include "io/filesystem.h"
 
 namespace teleios::vault {
 
 namespace {
 
-constexpr char kTerMagic[4] = {'T', 'E', 'R', '1'};
-
-void WriteU32(std::ostream& os, uint32_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void WriteI64(std::ostream& os, int64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void WriteF64(std::ostream& os, double v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void WriteStr(std::ostream& os, const std::string& s) {
-  WriteU32(os, static_cast<uint32_t>(s.size()));
-  os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-bool ReadU32(std::istream& is, uint32_t* v) {
-  return static_cast<bool>(is.read(reinterpret_cast<char*>(v), sizeof(*v)));
-}
-bool ReadI64(std::istream& is, int64_t* v) {
-  return static_cast<bool>(is.read(reinterpret_cast<char*>(v), sizeof(*v)));
-}
-bool ReadF64(std::istream& is, double* v) {
-  return static_cast<bool>(is.read(reinterpret_cast<char*>(v), sizeof(*v)));
-}
-bool ReadStr(std::istream& is, std::string* s) {
-  uint32_t n = 0;
-  if (!ReadU32(is, &n) || n > (1u << 20)) return false;
-  s->resize(n);
-  return static_cast<bool>(is.read(s->data(), n));
-}
+// TER v2 on-disk layout:
+//   "TER2" | header block | one block per band
+// with io::AppendBlockTo framing (u64 len, u32 CRC32C, payload), so both
+// the metadata and every pixel payload are corruption-checked; the
+// header block alone is enough for attach-time harvesting (ReadTerHeader
+// never touches the payload). Files are written atomically (tmp + fsync
+// + rename).
+constexpr char kTerMagic[4] = {'T', 'E', 'R', '2'};
+constexpr uint32_t kMaxDim = 1u << 20;           // 1M pixels per axis
+constexpr uint64_t kMaxPixels = 1ull << 27;      // 128M pixels (1 GiB band)
+constexpr uint32_t kMaxBands = 1024;
 
 std::string Footprint(const geo::GeoTransform& t, int32_t w, int32_t h) {
   geo::Point a = t.PixelToWorld(0, 0);
@@ -54,24 +37,38 @@ std::string Footprint(const geo::GeoTransform& t, int32_t w, int32_t h) {
       geo::Geometry::MakeBox(e.min_x, e.min_y, e.max_x, e.max_y));
 }
 
-Status ReadHeaderInto(std::istream& is, const std::string& path,
+/// Reads magic + header block; leaves `reader` positioned at the first
+/// band block.
+Status ReadHeaderInto(io::FileReader* reader, const std::string& path,
                       TerHeader* h) {
   char magic[4];
-  if (!is.read(magic, 4) ||
-      std::string(magic, 4) != std::string(kTerMagic, 4)) {
+  if (!reader->ReadExact(magic, 4) ||
+      std::string_view(magic, 4) != std::string_view(kTerMagic, 4)) {
+    if (!reader->status().ok()) return reader->status();
     return Status::ParseError("'" + path + "' is not a TER file");
   }
+  TELEIOS_ASSIGN_OR_RETURN(std::string block, io::ReadBlock(reader));
+  io::ByteReader r(block);
   uint32_t w = 0, hh = 0, nbands = 0;
-  if (!ReadStr(is, &h->name) || !ReadStr(is, &h->satellite) ||
-      !ReadStr(is, &h->sensor) || !ReadU32(is, &w) || !ReadU32(is, &hh) ||
-      !ReadU32(is, &nbands) || !ReadI64(is, &h->acquisition_time)) {
+  if (!r.ReadStr(&h->name) || !r.ReadStr(&h->satellite) ||
+      !r.ReadStr(&h->sensor) || !r.ReadU32(&w) || !r.ReadU32(&hh) ||
+      !r.ReadU32(&nbands) || !r.ReadI64(&h->acquisition_time)) {
     return Status::ParseError("truncated TER header in '" + path + "'");
+  }
+  if (w > kMaxDim || hh > kMaxDim ||
+      static_cast<uint64_t>(w) * hh > kMaxPixels) {
+    return Status::ParseError("implausible TER raster size " +
+                              std::to_string(w) + "x" + std::to_string(hh));
+  }
+  if (nbands > kMaxBands) {
+    return Status::ParseError("implausible TER band count " +
+                              std::to_string(nbands));
   }
   h->width = static_cast<int32_t>(w);
   h->height = static_cast<int32_t>(hh);
   double gt[6];
   for (double& g : gt) {
-    if (!ReadF64(is, &g)) {
+    if (!r.ReadF64(&g)) {
       return Status::ParseError("truncated TER geotransform");
     }
   }
@@ -85,7 +82,10 @@ Status ReadHeaderInto(std::istream& is, const std::string& path,
   h->transform.pixel_h = gt[5];
   h->band_names.resize(nbands);
   for (std::string& b : h->band_names) {
-    if (!ReadStr(is, &b)) return Status::ParseError("truncated TER bands");
+    if (!r.ReadStr(&b)) return Status::ParseError("truncated TER bands");
+  }
+  if (!r.exhausted()) {
+    return Status::ParseError("trailing bytes in TER header");
   }
   h->path = path;
   return Status::OK();
@@ -112,47 +112,50 @@ Status WriteTer(const TerRaster& raster, const std::string& path) {
   if (raster.bands.size() != raster.band_names.size()) {
     return Status::InvalidArgument("band name/payload arity mismatch");
   }
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IoError("cannot open '" + path + "' for writing");
-  os.write(kTerMagic, 4);
-  WriteStr(os, raster.name);
-  WriteStr(os, raster.satellite);
-  WriteStr(os, raster.sensor);
-  WriteU32(os, static_cast<uint32_t>(raster.width));
-  WriteU32(os, static_cast<uint32_t>(raster.height));
-  WriteU32(os, static_cast<uint32_t>(raster.bands.size()));
-  WriteI64(os, raster.acquisition_time);
+  std::string image(kTerMagic, sizeof(kTerMagic));
+  std::string header;
+  io::PutStr(&header, raster.name);
+  io::PutStr(&header, raster.satellite);
+  io::PutStr(&header, raster.sensor);
+  io::PutU32(&header, static_cast<uint32_t>(raster.width));
+  io::PutU32(&header, static_cast<uint32_t>(raster.height));
+  io::PutU32(&header, static_cast<uint32_t>(raster.bands.size()));
+  io::PutI64(&header, raster.acquisition_time);
   const geo::GeoTransform& t = raster.transform;
   for (double g : {t.origin_x, t.pixel_w, t.rot_x, t.origin_y, t.rot_y,
                    t.pixel_h}) {
-    WriteF64(os, g);
+    io::PutF64(&header, g);
   }
-  for (const std::string& b : raster.band_names) WriteStr(os, b);
+  for (const std::string& b : raster.band_names) io::PutStr(&header, b);
+  io::AppendBlockTo(&image, header);
   size_t pixels = raster.PixelCount();
   for (const auto& band : raster.bands) {
     if (band.size() != pixels) {
       return Status::InvalidArgument("band payload size mismatch");
     }
-    os.write(reinterpret_cast<const char*>(band.data()),
-             static_cast<std::streamsize>(pixels * sizeof(double)));
+    io::AppendBlockTo(
+        &image,
+        std::string_view(reinterpret_cast<const char*>(band.data()),
+                         pixels * sizeof(double)));
   }
-  if (!os) return Status::IoError("write failure on '" + path + "'");
-  return Status::OK();
+  return io::GetFileSystem()->WriteFileAtomic(path, image);
 }
 
 Result<TerHeader> ReadTerHeader(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::IoError("cannot open '" + path + "'");
+  TELEIOS_ASSIGN_OR_RETURN(std::unique_ptr<io::ReadableFile> file,
+                           io::GetFileSystem()->NewReadableFile(path));
+  io::FileReader reader(std::move(file));
   TerHeader h;
-  TELEIOS_RETURN_IF_ERROR(ReadHeaderInto(is, path, &h));
+  TELEIOS_RETURN_IF_ERROR(ReadHeaderInto(&reader, path, &h));
   return h;
 }
 
 Result<TerRaster> ReadTer(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::IoError("cannot open '" + path + "'");
+  TELEIOS_ASSIGN_OR_RETURN(std::unique_ptr<io::ReadableFile> file,
+                           io::GetFileSystem()->NewReadableFile(path));
+  io::FileReader reader(std::move(file));
   TerHeader h;
-  TELEIOS_RETURN_IF_ERROR(ReadHeaderInto(is, path, &h));
+  TELEIOS_RETURN_IF_ERROR(ReadHeaderInto(&reader, path, &h));
   TerRaster r;
   r.name = h.name;
   r.satellite = h.satellite;
@@ -166,11 +169,15 @@ Result<TerRaster> ReadTer(const std::string& path) {
   r.bands.resize(r.band_names.size());
   for (auto& band : r.bands) {
     band.resize(pixels);
-    if (!is.read(reinterpret_cast<char*>(band.data()),
-                 static_cast<std::streamsize>(pixels * sizeof(double)))) {
-      return Status::ParseError("truncated TER payload in '" + path + "'");
-    }
+    TELEIOS_RETURN_IF_ERROR(io::ReadBlockInto(
+        &reader, band.data(), pixels * sizeof(double)));
   }
+  char extra;
+  if (reader.ReadExact(&extra, 1)) {
+    return Status::ParseError("trailing data after TER bands in '" + path +
+                              "'");
+  }
+  if (!reader.status().ok()) return reader.status();
   return r;
 }
 
@@ -225,29 +232,31 @@ std::string Unescape(const std::string& s) {
 }  // namespace
 
 Status WriteVec(const VecFile& file, const std::string& path) {
-  std::ofstream os(path);
-  if (!os) return Status::IoError("cannot open '" + path + "' for writing");
-  os << "#VEC1 " << EscapeAttr(file.name) << "\n";
+  // VEC v2: the VEC1 line format plus a trailing `#CRC32C xxxxxxxx` line
+  // covering the whole body, so any read-side corruption is caught.
+  std::string out = "#VEC2 " + EscapeAttr(file.name) + "\n";
   for (const VecFeature& f : file.features) {
-    os << f.id << "|";
+    out += std::to_string(f.id) + "|";
     bool first = true;
     for (const auto& [k, v] : f.attributes) {
-      if (!first) os << ";";
+      if (!first) out += ";";
       first = false;
-      os << EscapeAttr(k) << "=" << EscapeAttr(v);
+      out += EscapeAttr(k) + "=" + EscapeAttr(v);
     }
-    os << "|" << geo::WriteWkt(f.geometry) << "\n";
+    out += "|" + geo::WriteWkt(f.geometry) + "\n";
   }
-  if (!os) return Status::IoError("write failure on '" + path + "'");
-  return Status::OK();
+  io::AppendCrcTrailer(&out);
+  return io::GetFileSystem()->WriteFileAtomic(path, out);
 }
 
 Result<VecFile> ReadVec(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) return Status::IoError("cannot open '" + path + "'");
+  TELEIOS_ASSIGN_OR_RETURN(std::string raw,
+                           io::GetFileSystem()->ReadFile(path));
+  TELEIOS_ASSIGN_OR_RETURN(std::string content, io::VerifyCrcTrailer(raw));
+  std::istringstream is(content);
   VecFile file;
   std::string line;
-  if (!std::getline(is, line) || !StrStartsWith(line, "#VEC1")) {
+  if (!std::getline(is, line) || !StrStartsWith(line, "#VEC2")) {
     return Status::ParseError("'" + path + "' is not a VEC file");
   }
   if (line.size() > 6) file.name = line.substr(6);

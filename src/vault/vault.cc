@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "common/logging.h"
 #include "common/strings.h"
+#include "io/filesystem.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/persistence.h"
@@ -112,27 +114,28 @@ Status DataVault::AttachFile(const std::string& path) {
 }
 
 Result<size_t> DataVault::Attach(const std::string& directory) {
-  std::error_code ec;
-  if (!fs::is_directory(directory, ec)) {
-    return Status::NotFound("'" + directory + "' is not a directory");
-  }
+  // ListDirectory returns a sorted listing, so attach order — and with it
+  // the row order of the metadata tables — is deterministic.
+  TELEIOS_ASSIGN_OR_RETURN(std::vector<std::string> listing,
+                           io::GetFileSystem()->ListDirectory(directory));
+  attach_failures_.clear();
   size_t attached = 0;
-  std::vector<std::string> paths;
-  for (const auto& entry : fs::directory_iterator(directory, ec)) {
-    if (!entry.is_regular_file()) continue;
-    std::string path = entry.path().string();
-    if (StrEndsWith(path, ".ter") || StrEndsWith(path, ".vec") ||
-        StrEndsWith(path, ".csv")) {
-      paths.push_back(std::move(path));
+  for (const std::string& path : listing) {
+    if (!StrEndsWith(path, ".ter") && !StrEndsWith(path, ".vec") &&
+        !StrEndsWith(path, ".csv")) {
+      continue;
     }
-  }
-  std::sort(paths.begin(), paths.end());
-  for (const std::string& path : paths) {
     Status st = AttachFile(path);
     if (st.ok()) {
       ++attached;
     } else if (st.code() != StatusCode::kAlreadyExists) {
-      return st;
+      // Skip-and-record: a corrupt or unreadable product must not stop
+      // the archive scan.
+      TELEIOS_LOG(Warning) << "vault: skipping '" << path
+                           << "': " << st.ToString();
+      attach_failures_.push_back({path, std::move(st)});
+      ++stats_.attach_failures;
+      obs::Count("teleios_vault_attach_failures_total");
     }
   }
   return attached;
@@ -158,6 +161,57 @@ Result<TerHeader> DataVault::GetRasterHeader(const std::string& name) const {
   return it->second;
 }
 
+Result<TerRaster> DataVault::IngestPayload(const std::string& name,
+                                           const std::string& path) {
+  auto quarantined = quarantine_.find(name);
+  if (quarantined != quarantine_.end()) {
+    // Fail fast with the sticky status; Heal() reinstates the product
+    // once its file reads cleanly again.
+    return Status(quarantined->second.code(),
+                  "raster '" + name + "' is quarantined: " +
+                      quarantined->second.message());
+  }
+  Result<TerRaster> raster = io::WithRetry(
+      ingest_retry_, "vault ingest '" + name + "'",
+      [&] { return ReadTer(path); });
+  if (!raster.ok() && ingest_retry_.ShouldRetry(raster.status())) {
+    // Retry budget exhausted on a fault that is not the caller's doing
+    // (I/O error or corruption): quarantine so the archive keeps serving
+    // the healthy products without re-reading a known-bad file.
+    quarantine_[name] = raster.status();
+    ++stats_.ingest_failures;
+    obs::Count("teleios_vault_quarantined_total");
+    TELEIOS_LOG(Warning) << "vault: quarantining raster '" << name
+                         << "': " << raster.status().ToString();
+  }
+  return raster;
+}
+
+std::vector<std::string> DataVault::QuarantinedNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : quarantine_) names.push_back(name);
+  return names;
+}
+
+size_t DataVault::Heal() {
+  size_t healed = 0;
+  for (auto it = quarantine_.begin(); it != quarantine_.end();) {
+    auto raster = rasters_.find(it->first);
+    // Cheap probe: if the header (magic + checksummed metadata block)
+    // reads cleanly the file was plausibly re-exported; let ingestion
+    // try again.
+    if (raster != rasters_.end() &&
+        ReadTerHeader(raster->second.path).ok()) {
+      it = quarantine_.erase(it);
+      ++healed;
+      obs::Count("teleios_vault_healed_total");
+    } else {
+      ++it;
+    }
+  }
+  return healed;
+}
+
 Result<ArrayPtr> DataVault::GetRasterArray(const std::string& name) {
   auto cached = cache_.find(name);
   if (cached != cache_.end()) {
@@ -173,7 +227,8 @@ Result<ArrayPtr> DataVault::GetRasterArray(const std::string& name) {
                       obs::MetricsRegistry::Global().GetHistogram(
                           "teleios_vault_ingest_millis"));
   span.SetAttr("raster", name);
-  TELEIOS_ASSIGN_OR_RETURN(TerRaster raster, ReadTer(it->second.path));
+  TELEIOS_ASSIGN_OR_RETURN(TerRaster raster,
+                           IngestPayload(name, it->second.path));
   std::vector<storage::Field> attrs;
   for (const std::string& band : raster.band_names) {
     attrs.push_back({band, ColumnType::kFloat64});
@@ -213,7 +268,8 @@ Result<ArrayPtr> DataVault::GetBandArray(const std::string& name,
                       obs::MetricsRegistry::Global().GetHistogram(
                           "teleios_vault_ingest_millis"));
   span.SetAttr("raster", key);
-  TELEIOS_ASSIGN_OR_RETURN(TerRaster raster, ReadTer(it->second.path));
+  TELEIOS_ASSIGN_OR_RETURN(TerRaster raster,
+                           IngestPayload(name, it->second.path));
   int b = raster.BandIndex(band);
   if (b < 0) {
     return Status::NotFound("raster '" + name + "' has no band '" + band +

@@ -8,6 +8,7 @@
 
 #include "array/array.h"
 #include "common/status.h"
+#include "io/retry.h"
 #include "storage/catalog.h"
 #include "vault/formats.h"
 
@@ -19,6 +20,15 @@ struct VaultStats {
   size_t rasters_ingested = 0;   // payloads actually read
   size_t cache_hits = 0;
   size_t bytes_ingested = 0;
+  size_t attach_failures = 0;    // files skipped during Attach()
+  size_t ingest_failures = 0;    // rasters quarantined after retries
+};
+
+/// A file Attach() could not harvest (corrupt, unreadable); the scan
+/// continues past it — one bad product must not block the archive.
+struct AttachFailure {
+  std::string path;
+  Status status;
 };
 
 /// The TELEIOS Data Vault: makes the DBMS aware of external file formats
@@ -32,9 +42,17 @@ class DataVault {
   /// "vault_vectors"); must outlive the vault.
   explicit DataVault(storage::Catalog* catalog) : catalog_(catalog) {}
 
-  /// Scans `directory` for *.ter and *.vec files, harvesting headers into
-  /// the catalog. Returns the number of files attached.
+  /// Scans `directory` (sorted filesystem listing, so attach order is
+  /// deterministic) for *.ter / *.vec / *.csv files, harvesting headers
+  /// into the catalog. Returns the number of files attached. Files that
+  /// fail to parse are skipped and recorded in attach_failures() — one
+  /// corrupt product never aborts the scan.
   Result<size_t> Attach(const std::string& directory);
+
+  /// Files the most recent Attach() skipped, in scan order.
+  const std::vector<AttachFailure>& attach_failures() const {
+    return attach_failures_;
+  }
 
   /// Registers a single file (used by tests and incremental ingestion).
   Status AttachFile(const std::string& path);
@@ -65,15 +83,37 @@ class DataVault {
   /// Drops cached payloads (metadata stays attached).
   void EvictCache();
 
+  /// Retry policy for payload ingestion (transient I/O errors and
+  /// checksum failures are retried before quarantining).
+  void set_ingest_retry(const io::RetryPolicy& policy) {
+    ingest_retry_ = policy;
+  }
+
+  /// Rasters whose ingestion exhausted the retry budget. Quarantined
+  /// products fail fast (the sticky status is returned without touching
+  /// the file again) until Heal() reinstates them.
+  std::vector<std::string> QuarantinedNames() const;
+
+  /// Re-probes every quarantined raster; products whose files read
+  /// cleanly again (e.g. re-exported after corruption) are reinstated.
+  /// Returns the number healed.
+  size_t Heal();
+
   const VaultStats& stats() const { return stats_; }
 
  private:
   Status EnsureCatalogTables();
+  /// ReadTer with retry; quarantines `name` when the budget is exhausted.
+  Result<TerRaster> IngestPayload(const std::string& name,
+                                  const std::string& path);
 
   storage::Catalog* catalog_;
   std::map<std::string, TerHeader> rasters_;
   std::map<std::string, std::string> vectors_;  // name -> path
   std::map<std::string, array::ArrayPtr> cache_;
+  std::map<std::string, Status> quarantine_;  // raster name -> last failure
+  std::vector<AttachFailure> attach_failures_;
+  io::RetryPolicy ingest_retry_;
   VaultStats stats_;
 };
 

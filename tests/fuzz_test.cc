@@ -6,13 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "geo/wkt.h"
 #include "rdf/turtle.h"
 #include "relational/sql_parser.h"
 #include "sciql/sciql_parser.h"
+#include "storage/persistence.h"
 #include "strabon/sparql_parser.h"
+#include "vault/formats.h"
 
 namespace teleios {
 namespace {
@@ -133,6 +137,133 @@ TEST_P(FuzzSweep, TurtleParserNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+// ---------------------------------------------------------------------------
+// Binary-format corruption corpus: every prefix truncation and every
+// single-bit flip of a valid TELT / .ter / .vec file must come back as a
+// clean ParseError / DataLoss / IoError — never a crash or a silently
+// accepted parse. Exhaustive, not sampled, so the artifacts are tiny.
+
+class CorruptionCorpus : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fuzz_corpus_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  static std::string ReadAllBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static void WriteAllBytes(const std::string& path, const std::string& data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+
+  /// Runs `parse` against every prefix truncation and every single-bit
+  /// flip of `image`, requiring a clean rejection each time.
+  /// `tail_slack` exempts the last N bytes from the truncation sweep —
+  /// text formats tolerate a missing final newline, which loses no data.
+  template <typename ParseFn>
+  void Sweep(const std::string& image, const std::string& victim,
+             ParseFn parse, size_t tail_slack = 0) {
+    for (size_t len = 0; len + tail_slack < image.size(); ++len) {
+      WriteAllBytes(victim, image.substr(0, len));
+      Status st = parse(victim);
+      ASSERT_FALSE(st.ok()) << "truncation to " << len
+                            << " bytes was accepted";
+      EXPECT_TRUE(st.code() == StatusCode::kParseError ||
+                  st.code() == StatusCode::kDataLoss ||
+                  st.code() == StatusCode::kIoError)
+          << "truncation to " << len << ": " << st.ToString();
+    }
+    for (size_t i = 0; i < image.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string mutated = image;
+        mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+        WriteAllBytes(victim, mutated);
+        Status st = parse(victim);
+        ASSERT_FALSE(st.ok())
+            << "bit " << bit << " of byte " << i << " flipped unnoticed";
+        EXPECT_TRUE(st.code() == StatusCode::kParseError ||
+                    st.code() == StatusCode::kDataLoss ||
+                    st.code() == StatusCode::kIoError)
+            << "flip at byte " << i << " bit " << bit << ": "
+            << st.ToString();
+      }
+    }
+    // The pristine image still parses afterwards.
+    WriteAllBytes(victim, image);
+    EXPECT_TRUE(parse(victim).ok());
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CorruptionCorpus, TeltRejectsEveryTruncationAndBitFlip) {
+  storage::Table t{storage::Schema({{"id", storage::ColumnType::kInt64},
+                                    {"tag", storage::ColumnType::kString}})};
+  for (int64_t i = 0; i < 3; ++i) {
+    t.column(0).AppendInt64(i);
+    t.column(1).AppendString(i == 1 ? "" : "r" + std::to_string(i));
+  }
+  ASSERT_TRUE(storage::WriteTable(t, Path("seed.telt")).ok());
+  std::string image = ReadAllBytes(Path("seed.telt"));
+  ASSERT_GT(image.size(), 16u);
+  Sweep(image, Path("victim.telt"), [](const std::string& p) {
+    return storage::ReadTable(p).status();
+  });
+}
+
+TEST_F(CorruptionCorpus, TerRejectsEveryTruncationAndBitFlip) {
+  vault::TerRaster r;
+  r.name = "tiny";
+  r.satellite = "Meteosat-9";
+  r.sensor = "SEVIRI";
+  r.width = 4;
+  r.height = 3;
+  r.acquisition_time = 1187997600;
+  r.transform = {21.0, 38.5, 0.01, -0.01, 0, 0};
+  r.band_names = {"IR039"};
+  r.bands = {std::vector<double>(12, 305.5)};
+  ASSERT_TRUE(vault::WriteTer(r, Path("seed.ter")).ok());
+  std::string image = ReadAllBytes(Path("seed.ter"));
+  ASSERT_GT(image.size(), 16u);
+  Sweep(image, Path("victim.ter"), [](const std::string& p) {
+    return vault::ReadTer(p).status();
+  });
+}
+
+TEST_F(CorruptionCorpus, VecRejectsEveryTruncationAndBitFlip) {
+  vault::VecFile vec;
+  vec.name = "hotspots";
+  vault::VecFeature a;
+  a.id = 1;
+  a.attributes = {{"conf", "0.9"}};
+  auto ga = geo::ParseWkt("POINT (21.5 38.2)");
+  ASSERT_TRUE(ga.ok());
+  a.geometry = *ga;
+  vault::VecFeature b;
+  b.id = 2;
+  b.attributes = {{"conf", "0.4"}, {"note", "edge\tcase"}};
+  auto gb = geo::ParseWkt("POINT (22.0 38.0)");
+  ASSERT_TRUE(gb.ok());
+  b.geometry = *gb;
+  vec.features = {a, b};
+  ASSERT_TRUE(vault::WriteVec(vec, Path("seed.vec")).ok());
+  std::string image = ReadAllBytes(Path("seed.vec"));
+  ASSERT_GT(image.size(), 16u);
+  Sweep(
+      image, Path("victim.vec"),
+      [](const std::string& p) { return vault::ReadVec(p).status(); },
+      /*tail_slack=*/1);
+}
 
 }  // namespace
 }  // namespace teleios

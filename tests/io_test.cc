@@ -1,0 +1,332 @@
+// Unit tests for the I/O layer: CRC32C, checksummed block framing,
+// atomic durable writes, the deterministic fault-injecting filesystem
+// and the bounded retry helper.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/crc32c.h"
+#include "io/fault_injection.h"
+#include "io/filesystem.h"
+#include "io/retry.h"
+
+namespace teleios::io {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vectors for CRC32C (Castagnoli).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+  EXPECT_EQ(Crc32c(std::string_view()), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, Crc32c(data)) << "split=" << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsEverySingleBitFlip) {
+  std::string data = "payload under test 0123456789";
+  const uint32_t good = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32c(data), good);
+      data[i] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+class FileSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = stdfs::temp_directory_path() /
+           ("io_test_" + std::to_string(::getpid()));
+    stdfs::create_directories(dir_);
+  }
+  void TearDown() override { stdfs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  stdfs::path dir_;
+};
+
+TEST_F(FileSystemTest, WriteReadRoundTrip) {
+  FileSystem* fs = GetFileSystem();
+  std::string body(200000, 'x');  // > one 64 KiB chunk
+  body += "tail";
+  ASSERT_TRUE(fs->WriteFileAtomic(Path("f.bin"), body).ok());
+  auto back = fs->ReadFile(Path("f.bin"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, body);
+  // No tmp residue after a successful atomic write.
+  EXPECT_FALSE(*fs->FileExists(Path("f.bin.tmp")));
+}
+
+TEST_F(FileSystemTest, ListDirectoryIsSorted) {
+  FileSystem* fs = GetFileSystem();
+  ASSERT_TRUE(fs->WriteFileAtomic(Path("c.ter"), "c").ok());
+  ASSERT_TRUE(fs->WriteFileAtomic(Path("a.ter"), "a").ok());
+  ASSERT_TRUE(fs->WriteFileAtomic(Path("b.vec"), "b").ok());
+  auto listing = fs->ListDirectory(dir_.string());
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 3u);
+  EXPECT_LT((*listing)[0], (*listing)[1]);
+  EXPECT_LT((*listing)[1], (*listing)[2]);
+  EXPECT_EQ(fs->ListDirectory(Path("missing")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FileSystemTest, BlockRoundTripAndCorruption) {
+  FileSystem* fs = GetFileSystem();
+  std::string image;
+  AppendBlockTo(&image, "first payload");
+  AppendBlockTo(&image, std::string(100000, 'y'));
+  ASSERT_TRUE(fs->WriteFileAtomic(Path("blocks"), image).ok());
+  {
+    auto file = fs->NewReadableFile(Path("blocks"));
+    ASSERT_TRUE(file.ok());
+    FileReader reader(std::move(*file));
+    auto b1 = ReadBlock(&reader);
+    ASSERT_TRUE(b1.ok());
+    EXPECT_EQ(*b1, "first payload");
+    auto b2 = ReadBlock(&reader);
+    ASSERT_TRUE(b2.ok());
+    EXPECT_EQ(b2->size(), 100000u);
+  }
+  // Flip one payload byte: kDataLoss, not garbage.
+  std::string corrupt = image;
+  corrupt[sizeof(uint64_t) + sizeof(uint32_t) + 3] ^= 0x10;
+  ASSERT_TRUE(fs->WriteFileAtomic(Path("bad"), corrupt).ok());
+  auto file = fs->NewReadableFile(Path("bad"));
+  ASSERT_TRUE(file.ok());
+  FileReader reader(std::move(*file));
+  EXPECT_EQ(ReadBlock(&reader).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(FileSystemTest, BlockRejectsImplausibleLength) {
+  FileSystem* fs = GetFileSystem();
+  std::string image;
+  uint64_t bogus = ~0ull;  // 16 EiB
+  uint32_t crc = 0;
+  image.append(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  image.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  ASSERT_TRUE(fs->WriteFileAtomic(Path("huge"), image).ok());
+  auto file = fs->NewReadableFile(Path("huge"));
+  ASSERT_TRUE(file.ok());
+  FileReader reader(std::move(*file));
+  EXPECT_EQ(ReadBlock(&reader).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(FileSystemTest, CrcTrailerRoundTripAndCorruption) {
+  std::string content = "line one\nline two\n";
+  std::string stamped = content;
+  AppendCrcTrailer(&stamped);
+  auto back = VerifyCrcTrailer(stamped);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, content);
+  // Any flip in the body is caught.
+  std::string corrupt = stamped;
+  corrupt[5] ^= 0x01;
+  EXPECT_EQ(VerifyCrcTrailer(corrupt).status().code(), StatusCode::kDataLoss);
+  // Truncation (trailer gone) is a ParseError.
+  EXPECT_EQ(VerifyCrcTrailer(content).status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(VerifyCrcTrailer("").status().code(), StatusCode::kParseError);
+}
+
+// --- fault injection -------------------------------------------------------
+
+class FaultTest : public FileSystemTest {};
+
+TEST_F(FaultTest, FailsExactlyTheKthOp) {
+  FaultInjectingFileSystem faulty(GetFileSystem());
+  FaultSpec spec;
+  spec.inject_at = 2;  // op 1 = NewWritableFile, op 2 = first Append
+  faulty.Arm(spec);
+  auto file = faulty.NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->Append("hello").code(), StatusCode::kIoError);
+  EXPECT_EQ(faulty.faults_injected(), 1u);
+  // Not periodic: the next op goes through.
+  EXPECT_TRUE((*file)->Append("hello").ok());
+  EXPECT_TRUE((*file)->Close().ok());
+}
+
+TEST_F(FaultTest, CrashModeFailsEverythingAfterTrigger) {
+  FaultInjectingFileSystem faulty(GetFileSystem());
+  FaultSpec spec;
+  spec.inject_at = 2;
+  spec.crash = true;
+  faulty.Arm(spec);
+  auto file = faulty.NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE((*file)->Append("x").ok());
+  EXPECT_FALSE((*file)->Append("x").ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_FALSE(faulty.Rename(Path("a"), Path("b")).ok());
+  faulty.Disarm();
+  EXPECT_TRUE(faulty.CreateDir(Path("sub")).ok());
+}
+
+TEST_F(FaultTest, ShortWriteTearsTheFile) {
+  FaultInjectingFileSystem faulty(GetFileSystem());
+  FaultSpec spec;
+  spec.kind = FaultKind::kShortWrite;
+  spec.inject_at = 2;
+  faulty.Arm(spec);
+  auto file = faulty.NewWritableFile(Path("torn"));
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE((*file)->Append("0123456789").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  faulty.Disarm();
+  auto back = faulty.ReadFile(Path("torn"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "01234");  // first half only
+}
+
+TEST_F(FaultTest, EnospcWritesNothing) {
+  FaultInjectingFileSystem faulty(GetFileSystem());
+  FaultSpec spec;
+  spec.kind = FaultKind::kEnospc;
+  spec.inject_at = 2;
+  faulty.Arm(spec);
+  auto file = faulty.NewWritableFile(Path("full"));
+  ASSERT_TRUE(file.ok());
+  Status st = (*file)->Append("0123456789");
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("no space"), std::string::npos);
+  ASSERT_TRUE((*file)->Close().ok());
+  faulty.Disarm();
+  EXPECT_EQ(*faulty.ReadFile(Path("full")), "");
+}
+
+TEST_F(FaultTest, BitFlipCorruptsExactlyOneBit) {
+  FaultInjectingFileSystem faulty(GetFileSystem());
+  std::string body(64, 'A');
+  ASSERT_TRUE(faulty.WriteFileAtomic(Path("f"), body).ok());
+  FaultSpec spec;
+  spec.kind = FaultKind::kBitFlip;
+  spec.reads_only = true;
+  spec.inject_at = 1;
+  spec.seed = 42;
+  faulty.Arm(spec);
+  auto back = faulty.ReadFile(Path("f"));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), body.size());
+  size_t diff_bits = 0;
+  for (size_t i = 0; i < body.size(); ++i) {
+    uint8_t x = static_cast<uint8_t>((*back)[i] ^ body[i]);
+    while (x) {
+      diff_bits += x & 1;
+      x >>= 1;
+    }
+  }
+  EXPECT_EQ(diff_bits, 1u);
+}
+
+TEST_F(FaultTest, EveryNRepeatsTheFault) {
+  FaultInjectingFileSystem faulty(GetFileSystem());
+  FaultSpec spec;
+  spec.inject_at = 2;
+  spec.every_n = 2;
+  faulty.Arm(spec);
+  auto file = faulty.NewWritableFile(Path("f"));  // op 1: ok
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE((*file)->Append("a").ok());  // op 2: fault
+  EXPECT_TRUE((*file)->Append("b").ok());   // op 3: ok
+  EXPECT_FALSE((*file)->Append("c").ok());  // op 4: fault
+  EXPECT_TRUE((*file)->Close().ok());       // op 5: ok
+  EXPECT_EQ(faulty.faults_injected(), 2u);
+}
+
+TEST_F(FaultTest, AtomicWriteLeavesOldFileOnFault) {
+  FaultInjectingFileSystem faulty(GetFileSystem());
+  ScopedFileSystem scoped(&faulty);
+  ASSERT_TRUE(GetFileSystem()->WriteFileAtomic(Path("f"), "old").ok());
+  // Fail every op in turn; after each failed write the old content must
+  // still be intact (never a hybrid, never missing).
+  for (uint64_t k = 1; k <= 8; ++k) {
+    FaultSpec spec;
+    spec.inject_at = k;
+    spec.crash = true;
+    faulty.Arm(spec);
+    Status st = GetFileSystem()->WriteFileAtomic(Path("f"), "replacement!");
+    faulty.Disarm();
+    if (st.ok()) {
+      EXPECT_EQ(*GetFileSystem()->ReadFile(Path("f")), "replacement!");
+      ASSERT_TRUE(GetFileSystem()->WriteFileAtomic(Path("f"), "old").ok());
+    } else {
+      EXPECT_EQ(*GetFileSystem()->ReadFile(Path("f")), "old")
+          << "fault at op " << k;
+    }
+  }
+}
+
+// --- retry -----------------------------------------------------------------
+
+TEST(RetryTest, RetriesTransientFailuresUpToBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  Status st = WithRetry(policy, "test", [&] {
+    ++calls;
+    return calls < 3 ? Status::IoError("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+
+  calls = 0;
+  st = WithRetry(policy, "test", [&] {
+    ++calls;
+    return Status::IoError("always");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, DoesNotRetryLogicErrors) {
+  RetryPolicy policy;
+  int calls = 0;
+  Status st = WithRetry(policy, "test", [&] {
+    ++calls;
+    return Status::ParseError("bad format");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, WorksWithResultReturns) {
+  RetryPolicy policy;
+  int calls = 0;
+  Result<int> r = WithRetry(policy, "test", [&]() -> Result<int> {
+    ++calls;
+    if (calls == 1) return Status::DataLoss("flip");
+    return 41 + calls;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 43);
+}
+
+TEST(RetryTest, DeterministicBackoffSchedule) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 8;
+  policy.multiplier = 2.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(2), 8.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(3), 16.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(4), 32.0);
+}
+
+}  // namespace
+}  // namespace teleios::io

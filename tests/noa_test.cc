@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "eo/ontology.h"
 #include "eo/scene.h"
@@ -12,6 +13,8 @@
 #include "noa/hotspot.h"
 #include "noa/mapping.h"
 #include "noa/refinement.h"
+#include "obs/metrics.h"
+#include "vault/formats.h"
 
 namespace teleios::noa {
 namespace {
@@ -259,6 +262,50 @@ TEST_F(ChainTest, TwoClassifiersProduceComparableProducts) {
   auto products = catalog_.GetTable("products");
   ASSERT_TRUE(products.ok());
   EXPECT_EQ((*products)->num_rows(), 2u);
+}
+
+TEST_F(ChainTest, BatchCompletesPastCorruptProduct) {
+  // A second attached scene whose payload gets corrupted on disk: the
+  // batch must finish the healthy product, record the failure, and count
+  // it in teleios_noa_products_failed_total.
+  eo::Scene second = TestScene(7);
+  vault::TerRaster r = second.ToTerRaster();
+  r.name = "scene-b";
+  std::string bad_path = (dir_ / "zz_b.ter").string();
+  ASSERT_TRUE(vault::WriteTer(r, bad_path).ok());
+  ASSERT_TRUE(vault_->AttachFile(bad_path).ok());
+  {
+    std::fstream f(bad_path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(-5, std::ios::end);
+    char c;
+    f.get(c);
+    f.seekp(-5, std::ios::end);
+    f.put(static_cast<char>(c ^ 0x08));
+  }
+  uint64_t failed_before = obs::MetricsRegistry::Global()
+                               .GetCounter("teleios_noa_products_failed_total")
+                               ->value();
+
+  ChainConfig config;
+  config.classifier.kind = ClassifierKind::kContextual;
+  config.output_dir = dir_.string();
+  auto batch = chain_->RunBatch({"MSG2-SEVIRI-scene", "scene-b"}, config);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->product_ids.size(), 1u);
+  EXPECT_NE(batch->product_ids[0].find("MSG2-SEVIRI-scene"),
+            std::string::npos);
+  ASSERT_EQ(batch->failures.size(), 1u);
+  EXPECT_EQ(batch->failures[0].raster, "scene-b");
+  EXPECT_EQ(batch->failures[0].status.code(), StatusCode::kDataLoss);
+  EXPECT_GT(batch->hotspots.size(), 0u);
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .GetCounter("teleios_noa_products_failed_total")
+                ->value(),
+            failed_before + 1);
+  // The healthy product made it into the catalog; the corrupt one did not.
+  auto products = catalog_.GetTable("products");
+  ASSERT_TRUE(products.ok());
+  EXPECT_EQ((*products)->num_rows(), 1u);
 }
 
 class RefinementTest : public ChainTest {

@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "io/codec.h"
+#include "io/filesystem.h"
 #include "storage/catalog.h"
 #include "storage/column.h"
 #include "storage/dictionary.h"
@@ -247,6 +249,157 @@ TEST_F(PersistenceTest, CsvErrors) {
   }
   EXPECT_FALSE(ReadCsv(path_.string()).ok());
   EXPECT_FALSE(ReadCsv((path_.string() + ".missing")).ok());
+}
+
+namespace {
+
+/// Hand-crafts a TELT v2 image: magic + version + header block + column
+/// blocks (each a checksummed io block), for bounds-validation tests.
+std::string CraftTelt(uint32_t ncols, uint64_t nrows, uint32_t col_type,
+                      const std::vector<std::string>& column_payloads) {
+  std::string image = "TELT";
+  io::PutU32(&image, 2);
+  std::string header;
+  io::PutU32(&header, ncols);
+  io::PutU64(&header, nrows);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    io::PutStr(&header, "c" + std::to_string(c));
+    io::PutU32(&header, col_type);
+  }
+  io::AppendBlockTo(&image, header);
+  for (const std::string& payload : column_payloads) {
+    io::AppendBlockTo(&image, payload);
+  }
+  return image;
+}
+
+Result<Table> ReadTeltImage(const std::string& image,
+                            const std::filesystem::path& path) {
+  auto st = io::GetFileSystem()->WriteFileAtomic(path.string(), image);
+  if (!st.ok()) return st;
+  return ReadTable(path.string());
+}
+
+}  // namespace
+
+TEST_F(PersistenceTest, RejectsOutOfRangeDictionaryCode) {
+  std::string col;
+  col.push_back('\1');        // row 0 valid
+  io::PutU32(&col, 1);        // dict size 1
+  io::PutStr(&col, "only");   // dict entry 0
+  io::PutI32(&col, 7);        // code 7: out of range
+  auto r = ReadTeltImage(
+      CraftTelt(1, 1, static_cast<uint32_t>(ColumnType::kString), {col}),
+      path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
+}
+
+TEST_F(PersistenceTest, RejectsImplausibleDictionarySize) {
+  std::string col;
+  col.push_back('\1');
+  io::PutU32(&col, 0x7fffffff);  // claims 2G dictionary entries
+  auto r = ReadTeltImage(
+      CraftTelt(1, 1, static_cast<uint32_t>(ColumnType::kString), {col}),
+      path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(PersistenceTest, RejectsImplausibleCounts) {
+  // Row count beyond the block cap.
+  auto r = ReadTeltImage(
+      CraftTelt(1, (1ull << 30) + 1,
+                static_cast<uint32_t>(ColumnType::kInt64), {}),
+      path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  // Column count beyond the cap.
+  std::string image = "TELT";
+  io::PutU32(&image, 2);
+  std::string header;
+  io::PutU32(&header, (1u << 16) + 1);
+  io::PutU64(&header, 0);
+  io::AppendBlockTo(&image, header);
+  auto r2 = ReadTeltImage(image, path_);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kParseError);
+  // Invalid column type tag.
+  auto r3 = ReadTeltImage(CraftTelt(1, 0, 99, {std::string()}), path_);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(PersistenceTest, CorruptByteIsDataLoss) {
+  Table t{Schema({{"i", ColumnType::kInt64}})};
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{42})}).ok());
+  ASSERT_TRUE(WriteTable(t, path_.string()).ok());
+  auto image = io::GetFileSystem()->ReadFile(path_.string());
+  ASSERT_TRUE(image.ok());
+  std::string corrupt = *image;
+  corrupt[corrupt.size() - 3] ^= 0x40;  // a payload byte of the column
+  auto r = ReadTeltImage(corrupt, path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+class CatalogSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("telcat_test_" + std::to_string(::getpid()));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CatalogSnapshotTest, SaveLoadRoundTrip) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.CreateTable("people", std::make_shared<Table>(MakePeople()))
+          .ok());
+  Table empty{Schema({{"x", ColumnType::kFloat64}})};
+  ASSERT_TRUE(
+      catalog.CreateTable("empty", std::make_shared<Table>(std::move(empty)))
+          .ok());
+  ASSERT_TRUE(SaveCatalog(catalog, dir_.string()).ok());
+
+  Catalog loaded;
+  auto n = LoadCatalog(dir_.string(), &loaded);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);
+  auto people = loaded.GetTable("people");
+  ASSERT_TRUE(people.ok());
+  EXPECT_EQ((*people)->num_rows(), 3u);
+  EXPECT_EQ((*people)->Get(0, 0), Value("ada"));
+  auto e = loaded.GetTable("empty");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->num_rows(), 0u);
+}
+
+TEST_F(CatalogSnapshotTest, CorruptManifestIsDataLoss) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.CreateTable("people", std::make_shared<Table>(MakePeople()))
+          .ok());
+  ASSERT_TRUE(SaveCatalog(catalog, dir_.string()).ok());
+  std::string manifest_path = (dir_ / "MANIFEST").string();
+  auto manifest = io::GetFileSystem()->ReadFile(manifest_path);
+  ASSERT_TRUE(manifest.ok());
+  std::string corrupt = *manifest;
+  corrupt[corrupt.find('\t')] = ' ';
+  ASSERT_TRUE(
+      io::GetFileSystem()->WriteFileAtomic(manifest_path, corrupt).ok());
+  Catalog loaded;
+  auto n = LoadCatalog(dir_.string(), &loaded);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CatalogSnapshotTest, MissingSnapshotIsError) {
+  Catalog loaded;
+  EXPECT_FALSE(LoadCatalog((dir_ / "nope").string(), &loaded).ok());
 }
 
 TEST(MemoryUsageTest, GrowsWithData) {
