@@ -238,6 +238,17 @@ Status FaultInjectingFileSystem::CreateDir(const std::string& path) {
   return base_->CreateDir(path);
 }
 
+Status FaultInjectingFileSystem::SyncDir(const std::string& dir) {
+  switch (NextOp(OpClass::kSync)) {
+    case FaultAction::kNone:
+      return base_->SyncDir(dir);
+    case FaultAction::kSyncDrop:
+      return Status::OK();  // pretends the rename is durable; it isn't
+    default:
+      return InjectedError("directory fsync failed");
+  }
+}
+
 Result<std::vector<std::string>> FaultInjectingFileSystem::ListDirectory(
     const std::string& dir) {
   if (NextOp(OpClass::kOther) != FaultAction::kNone) {

@@ -55,8 +55,9 @@ struct FaultSpec {
 /// `teleios_io_faults_injected_total`.
 ///
 /// Counted operations: NewWritableFile, NewReadableFile, Append, Flush,
-/// Sync, Close, Rename, RemoveFile, FileExists, CreateDir, ListDirectory
-/// and each ReadableFile::Read call.
+/// Sync, Close, Rename, RemoveFile, FileExists, CreateDir, SyncDir,
+/// ListDirectory and each ReadableFile::Read call. SyncDir counts as a
+/// sync op, so kSyncFail/kSyncDrop cover dropped directory fsyncs too.
 class FaultInjectingFileSystem : public FileSystem {
  public:
   /// `base` must outlive this wrapper (and any files it opened).
@@ -84,6 +85,7 @@ class FaultInjectingFileSystem : public FileSystem {
   Status RemoveFile(const std::string& path) override;
   Result<bool> FileExists(const std::string& path) override;
   Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
   Result<std::vector<std::string>> ListDirectory(
       const std::string& dir) override;
 

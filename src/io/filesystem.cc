@@ -6,6 +6,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "common/crc32c.h"
@@ -139,6 +140,19 @@ Status PosixFileSystem::CreateDir(const std::string& path) {
   return Status::OK();
 }
 
+Status PosixFileSystem::SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IoError(ErrnoMessage("cannot open", dir));
+  int rc = ::fsync(fd);
+  int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved_errno;
+    return Status::IoError(ErrnoMessage("fsync failure on", dir));
+  }
+  return Status::OK();
+}
+
 Result<std::vector<std::string>> PosixFileSystem::ListDirectory(
     const std::string& dir) {
   std::error_code ec;
@@ -146,11 +160,22 @@ Result<std::vector<std::string>> PosixFileSystem::ListDirectory(
     return Status::NotFound("'" + dir + "' is not a directory");
   }
   std::vector<std::string> paths;
-  for (const auto& entry : stdfs::directory_iterator(dir, ec)) {
-    if (entry.is_regular_file()) paths.push_back(entry.path().string());
-  }
+  // Explicit iterator with the error_code overloads throughout: the
+  // range-for increment and is_regular_file() would otherwise throw on a
+  // mid-iteration error (e.g. the directory vanishing under us).
+  stdfs::directory_iterator it(dir, ec);
   if (ec) {
     return Status::IoError("cannot list '" + dir + "': " + ec.message());
+  }
+  for (const stdfs::directory_iterator end; it != end; it.increment(ec)) {
+    if (ec) {
+      return Status::IoError("cannot list '" + dir + "': " + ec.message());
+    }
+    if (it->is_regular_file(ec) && !ec) paths.push_back(it->path().string());
+    if (ec) {
+      return Status::IoError("cannot stat '" + it->path().string() +
+                             "': " + ec.message());
+    }
   }
   std::sort(paths.begin(), paths.end());
   return paths;
@@ -169,6 +194,17 @@ Result<std::string> FileSystem::ReadFile(const std::string& path) {
   return out;
 }
 
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
 Status FileSystem::WriteFileAtomic(const std::string& path,
                                    std::string_view data) {
   obs::Count("teleios_io_atomic_writes_total");
@@ -186,8 +222,15 @@ Status FileSystem::WriteFileAtomic(const std::string& path,
     if (st.ok()) st = close;
   }
   if (st.ok()) st = Rename(tmp, path);
-  if (!st.ok()) (void)RemoveFile(tmp);  // best effort; tmp is inert anyway
-  return st;
+  if (!st.ok()) {
+    (void)RemoveFile(tmp);  // best effort; tmp is inert anyway
+    return st;
+  }
+  // The rename only becomes durable once the directory metadata is on
+  // disk; without this a power failure can revert `path` to the old file
+  // even though the data itself was fsynced. A failure here means "new
+  // file visible but durability unknown" — surfaced, not rolled back.
+  return SyncDir(ParentDir(path));
 }
 
 namespace {

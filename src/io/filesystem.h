@@ -58,6 +58,10 @@ class FileSystem {
   virtual Status RemoveFile(const std::string& path) = 0;
   virtual Result<bool> FileExists(const std::string& path) = 0;
   virtual Status CreateDir(const std::string& path) = 0;
+  /// Fsyncs the directory itself, making previously renamed/created
+  /// entries durable (a rename is not power-failure-safe until the
+  /// parent directory's metadata has been flushed).
+  virtual Status SyncDir(const std::string& dir) = 0;
   /// Full paths of the regular files in `dir`, sorted by name so that
   /// directory scans (vault attach) are reproducible across filesystems.
   virtual Result<std::vector<std::string>> ListDirectory(
@@ -69,9 +73,13 @@ class FileSystem {
   Result<std::string> ReadFile(const std::string& path);
 
   /// Crash-safe durable write: writes `path + ".tmp"`, flushes, fsyncs,
-  /// closes, then renames over `path`. A crash (or injected fault) at any
-  /// point leaves either the old file or the new file, never a hybrid;
-  /// the tmp file is removed on failure (best effort).
+  /// closes, renames over `path`, then fsyncs the parent directory so
+  /// the rename itself survives a power failure. A crash (or injected
+  /// fault) at any point leaves either the old file or the new file,
+  /// never a hybrid — note that a failure at or after the rename can
+  /// leave the NEW file in place, so a non-OK status means "not durable",
+  /// not "nothing happened". The tmp file is removed on failure (best
+  /// effort).
   Status WriteFileAtomic(const std::string& path, std::string_view data);
 };
 
@@ -107,6 +115,7 @@ class PosixFileSystem : public FileSystem {
   Status RemoveFile(const std::string& path) override;
   Result<bool> FileExists(const std::string& path) override;
   Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
   Result<std::vector<std::string>> ListDirectory(
       const std::string& dir) override;
 };

@@ -1,6 +1,8 @@
 #include "storage/persistence.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <sstream>
 
 #include "common/strings.h"
@@ -370,11 +372,59 @@ namespace {
 constexpr std::string_view kManifestMagic = "#TELCAT1";
 constexpr char kManifestName[] = "/MANIFEST";
 
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Matches `table_<digits>[_<digits>].telt` — a snapshot table file of
+/// any generation (including the pre-generation `table_<N>.telt` form).
+/// Returns the first number (the generation) or nullopt for other files.
+std::optional<uint64_t> TableFileGeneration(const std::string& file) {
+  constexpr std::string_view kPrefix = "table_";
+  constexpr std::string_view kSuffix = ".telt";
+  if (file.size() <= kPrefix.size() + kSuffix.size() ||
+      file.compare(0, kPrefix.size(), kPrefix) != 0 ||
+      file.compare(file.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+          0) {
+    return std::nullopt;
+  }
+  std::string_view middle(file.data() + kPrefix.size(),
+                          file.size() - kPrefix.size() - kSuffix.size());
+  uint64_t gen = 0;
+  size_t i = 0;
+  for (; i < middle.size() && middle[i] >= '0' && middle[i] <= '9'; ++i) {
+    gen = gen * 10 + static_cast<uint64_t>(middle[i] - '0');
+  }
+  if (i == 0) return std::nullopt;  // no digits after the prefix
+  if (i < middle.size()) {
+    // Optional `_<index>` tail; anything else is not a table file.
+    if (middle[i] != '_') return std::nullopt;
+    for (++i; i < middle.size(); ++i) {
+      if (middle[i] < '0' || middle[i] > '9') return std::nullopt;
+    }
+  }
+  return gen;
+}
+
 }  // namespace
 
 Status SaveCatalog(const Catalog& catalog, const std::string& dir) {
   io::FileSystem* fs = io::GetFileSystem();
   TELEIOS_RETURN_IF_ERROR(fs->CreateDir(dir));
+  // Table files are written under generation-unique names
+  // (`table_<gen>_<idx>.telt`), never reusing a name that exists in the
+  // directory: files referenced by the live MANIFEST are never touched,
+  // so a crash anywhere in this function leaves the previous snapshot
+  // fully intact — never a hybrid of old and new table versions.
+  TELEIOS_ASSIGN_OR_RETURN(std::vector<std::string> existing,
+                           fs->ListDirectory(dir));
+  uint64_t generation = 0;
+  for (const std::string& path : existing) {
+    if (std::optional<uint64_t> gen = TableFileGeneration(Basename(path))) {
+      generation = std::max(generation, *gen + 1);
+    }
+  }
   std::string manifest(kManifestMagic);
   manifest += "\n";
   size_t index = 0;
@@ -385,7 +435,8 @@ Status SaveCatalog(const Catalog& catalog, const std::string& dir) {
                                      name + "'");
     }
     TELEIOS_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(name));
-    std::string file = "table_" + std::to_string(index++) + ".telt";
+    std::string file = "table_" + std::to_string(generation) + "_" +
+                       std::to_string(index++) + ".telt";
     TELEIOS_RETURN_IF_ERROR(WriteTable(*table, dir + "/" + file));
     manifest += file + "\t" + name + "\n";
   }
@@ -393,7 +444,15 @@ Status SaveCatalog(const Catalog& catalog, const std::string& dir) {
   // The manifest lands last, atomically: a crash before this point
   // leaves the previous MANIFEST (and thus the previous snapshot) in
   // force; the freshly written table files are inert until referenced.
-  return fs->WriteFileAtomic(dir + kManifestName, manifest);
+  TELEIOS_RETURN_IF_ERROR(fs->WriteFileAtomic(dir + kManifestName, manifest));
+  // The new MANIFEST is in force; every table file that predates this
+  // generation (older snapshots, leftovers of crashed saves) is now
+  // unreferenced garbage. Best-effort removal — a failure here cannot
+  // hurt correctness, only disk usage.
+  for (const std::string& path : existing) {
+    if (TableFileGeneration(Basename(path))) (void)fs->RemoveFile(path);
+  }
+  return Status::OK();
 }
 
 Result<size_t> LoadCatalog(const std::string& dir, Catalog* catalog) {

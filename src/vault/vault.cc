@@ -197,11 +197,16 @@ size_t DataVault::Heal() {
   size_t healed = 0;
   for (auto it = quarantine_.begin(); it != quarantine_.end();) {
     auto raster = rasters_.find(it->first);
+    if (raster == rasters_.end()) {
+      // No longer attached: there is nothing left to heal, and keeping
+      // the sticky status around would leak quarantine state forever.
+      it = quarantine_.erase(it);
+      continue;
+    }
     // Cheap probe: if the header (magic + checksummed metadata block)
     // reads cleanly the file was plausibly re-exported; let ingestion
     // try again.
-    if (raster != rasters_.end() &&
-        ReadTerHeader(raster->second.path).ok()) {
+    if (ReadTerHeader(raster->second.path).ok()) {
       it = quarantine_.erase(it);
       ++healed;
       obs::Count("teleios_vault_healed_total");

@@ -251,27 +251,64 @@ TEST_F(FaultTest, EveryNRepeatsTheFault) {
   EXPECT_EQ(faulty.faults_injected(), 2u);
 }
 
-TEST_F(FaultTest, AtomicWriteLeavesOldFileOnFault) {
+TEST_F(FaultTest, AtomicWriteLeavesOldOrNewFileOnFault) {
   FaultInjectingFileSystem faulty(GetFileSystem());
   ScopedFileSystem scoped(&faulty);
   ASSERT_TRUE(GetFileSystem()->WriteFileAtomic(Path("f"), "old").ok());
-  // Fail every op in turn; after each failed write the old content must
-  // still be intact (never a hybrid, never missing).
-  for (uint64_t k = 1; k <= 8; ++k) {
+  // Fail every op in turn; after each failed write the content must be
+  // the complete old or complete new file (a fault at the post-rename
+  // directory fsync leaves the new file with a non-OK status) — never a
+  // hybrid, never missing.
+  for (uint64_t k = 1; k <= 9; ++k) {
     FaultSpec spec;
     spec.inject_at = k;
     spec.crash = true;
     faulty.Arm(spec);
     Status st = GetFileSystem()->WriteFileAtomic(Path("f"), "replacement!");
     faulty.Disarm();
+    auto back = GetFileSystem()->ReadFile(Path("f"));
+    ASSERT_TRUE(back.ok()) << "fault at op " << k;
     if (st.ok()) {
-      EXPECT_EQ(*GetFileSystem()->ReadFile(Path("f")), "replacement!");
-      ASSERT_TRUE(GetFileSystem()->WriteFileAtomic(Path("f"), "old").ok());
+      EXPECT_EQ(*back, "replacement!") << "fault at op " << k;
     } else {
-      EXPECT_EQ(*GetFileSystem()->ReadFile(Path("f")), "old")
-          << "fault at op " << k;
+      EXPECT_TRUE(*back == "old" || *back == "replacement!")
+          << "hybrid after fault at op " << k << ": '" << *back << "'";
+    }
+    if (*back != "old") {
+      ASSERT_TRUE(GetFileSystem()->WriteFileAtomic(Path("f"), "old").ok());
     }
   }
+}
+
+TEST_F(FaultTest, DirFsyncFaultSurfacesAfterRename) {
+  FaultInjectingFileSystem faulty(GetFileSystem());
+  ScopedFileSystem scoped(&faulty);
+  ASSERT_TRUE(GetFileSystem()->WriteFileAtomic(Path("f"), "old").ok());
+  // The directory fsync is the last counted op of WriteFileAtomic.
+  FaultSpec probe;
+  probe.inject_at = 0;
+  faulty.Arm(probe);
+  ASSERT_TRUE(GetFileSystem()->WriteFileAtomic(Path("f"), "old").ok());
+  uint64_t last_op = faulty.ops();
+  FaultSpec spec;
+  spec.kind = FaultKind::kSyncFail;
+  spec.inject_at = last_op;
+  faulty.Arm(spec);
+  Status st = GetFileSystem()->WriteFileAtomic(Path("f"), "new");
+  faulty.Disarm();
+  // The rename happened but its durability is unknown: error surfaced,
+  // new content visible.
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("directory fsync"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(*GetFileSystem()->ReadFile(Path("f")), "new");
+
+  // A dropped (lying) directory fsync reports success.
+  spec.kind = FaultKind::kSyncDrop;
+  faulty.Arm(spec);
+  EXPECT_TRUE(GetFileSystem()->WriteFileAtomic(Path("f"), "newer").ok());
+  faulty.Disarm();
+  EXPECT_EQ(faulty.faults_injected(), 1u);
 }
 
 // --- retry -----------------------------------------------------------------

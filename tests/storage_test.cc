@@ -402,6 +402,55 @@ TEST_F(CatalogSnapshotTest, MissingSnapshotIsError) {
   EXPECT_FALSE(LoadCatalog((dir_ / "nope").string(), &loaded).ok());
 }
 
+TEST_F(CatalogSnapshotTest, RewriteCollectsOldGenerations) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.CreateTable("people", std::make_shared<Table>(MakePeople()))
+          .ok());
+  auto count_table_files = [&] {
+    size_t n = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      std::string name = entry.path().filename().string();
+      if (name.rfind("table_", 0) == 0 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".telt") {
+        ++n;
+      }
+    }
+    return n;
+  };
+  // Each save writes a fresh generation (never touching the files the
+  // live MANIFEST references) and garbage-collects the previous one
+  // after the manifest rename, so the directory never accumulates.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(SaveCatalog(catalog, dir_.string()).ok());
+    EXPECT_EQ(count_table_files(), 1u) << "after save " << i;
+    Catalog loaded;
+    auto n = LoadCatalog(dir_.string(), &loaded);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    EXPECT_EQ(*n, 1u);
+  }
+}
+
+TEST_F(CatalogSnapshotTest, StaleTableFilesFromCrashedSaveAreIgnored) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.CreateTable("people", std::make_shared<Table>(MakePeople()))
+          .ok());
+  ASSERT_TRUE(SaveCatalog(catalog, dir_.string()).ok());
+  // Leftover of a crashed save: a table file no MANIFEST references.
+  ASSERT_TRUE(io::GetFileSystem()
+                  ->WriteFileAtomic((dir_ / "table_99_0.telt").string(),
+                                    "not even a telt file")
+                  .ok());
+  Catalog loaded;
+  auto n = LoadCatalog(dir_.string(), &loaded);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1u);
+  // The next save picks a later generation and sweeps the leftover.
+  ASSERT_TRUE(SaveCatalog(catalog, dir_.string()).ok());
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "table_99_0.telt"));
+}
+
 TEST(MemoryUsageTest, GrowsWithData) {
   Table t{Schema({{"x", ColumnType::kInt64}})};
   size_t empty = t.MemoryUsage();
