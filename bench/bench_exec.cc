@@ -1,0 +1,140 @@
+// E13 — thread scaling of the morsel-driven execution layer: the same
+// scan/aggregate/convolve/k-means workloads swept over the pool
+// parallelism (Arg = threads). The acceptance shape is >= 3x at 8
+// threads for the scan/aggregate and convolve kernels on an 8-way
+// machine; results are bit-identical at every point of the sweep by
+// construction (morsel plans never depend on the thread count). Run with
+// --json and divide ns_per_op at Arg(1) by ns_per_op at Arg(8).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "array/array.h"
+#include "array/array_ops.h"
+#include "eo/scene.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
+#include "mining/features.h"
+#include "mining/kmeans.h"
+#include "relational/sql_engine.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace {
+
+using teleios::Value;
+using teleios::exec::ThreadPool;
+
+teleios::storage::TablePtr BenchTable(size_t rows) {
+  auto table = std::make_shared<teleios::storage::Table>(
+      teleios::storage::Schema({
+          {"id", teleios::storage::ColumnType::kInt64},
+          {"band", teleios::storage::ColumnType::kString},
+          {"temp", teleios::storage::ColumnType::kFloat64},
+      }));
+  uint64_t state = 42;
+  for (size_t i = 0; i < rows; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    (void)table->AppendRow({
+        Value(static_cast<int64_t>(i)),
+        Value(std::string(1, 'a' + (i % 7))),
+        Value(250.0 + static_cast<double>(state % 100000) / 1000.0),
+    });
+  }
+  return table;
+}
+
+/// Full-table predicate scan at state.range(0) threads.
+void BM_ParallelScan(benchmark::State& state) {
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(0)));
+  teleios::storage::Catalog catalog;
+  (void)catalog.CreateTable("m", BenchTable(400000));
+  teleios::relational::SqlEngine sql(&catalog);
+  for (auto _ : state) {
+    auto r = sql.Execute("SELECT count(*) AS n FROM m WHERE temp > 300.0");
+    benchmark::DoNotOptimize(r->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * 400000);
+}
+BENCHMARK(BM_ParallelScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Grouped aggregation (hash pre-aggregation per morsel) at N threads.
+void BM_ParallelAggregate(benchmark::State& state) {
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(0)));
+  teleios::storage::Catalog catalog;
+  (void)catalog.CreateTable("m", BenchTable(400000));
+  teleios::relational::SqlEngine sql(&catalog);
+  for (auto _ : state) {
+    auto r = sql.Execute(
+        "SELECT band, count(*) AS n, avg(temp) AS a FROM m GROUP BY band");
+    benchmark::DoNotOptimize(r->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * 400000);
+}
+BENCHMARK(BM_ParallelAggregate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// 5x5 convolution over a 768x768 raster at N threads.
+void BM_Convolve(benchmark::State& state) {
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(0)));
+  constexpr int64_t kSize = 768;
+  auto arr = *teleios::array::Array::Create(
+      "r", {{"y", 0, kSize}, {"x", 0, kSize}},
+      {{"v", teleios::storage::ColumnType::kFloat64}}, {Value(0.0)});
+  double* data = *arr->MutableDoubles(0);
+  uint64_t rng = 7;
+  for (int64_t i = 0; i < kSize * kSize; ++i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    data[i] = static_cast<double>(rng % 1000);
+  }
+  std::vector<double> kernel(25, 1.0 / 25.0);
+  for (auto _ : state) {
+    auto out = teleios::array::Convolve2D(*arr, 0, kernel, 5);
+    benchmark::DoNotOptimize(out->get());
+  }
+  state.SetItemsProcessed(state.iterations() * kSize * kSize);
+}
+BENCHMARK(BM_Convolve)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Feature extraction + Lloyd's iterations at N threads (the mining
+/// stage of the knowledge-discovery tier).
+void BM_KMeans(benchmark::State& state) {
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(0)));
+  teleios::eo::SceneSpec spec;
+  spec.width = 512;
+  spec.height = 512;
+  spec.seed = 3;
+  spec.num_fires = 6;
+  auto scene = *teleios::eo::GenerateScene(spec);
+  auto patches = *teleios::mining::CutPatches(scene, 8);
+  std::vector<std::vector<double>> data;
+  for (const auto& p : patches) data.push_back(p.features);
+  for (auto _ : state) {
+    auto km = teleios::mining::KMeans(data, 8, 20, 99);
+    benchmark::DoNotOptimize(km->inertia);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_KMeans)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Raw ParallelFor dispatch overhead: tiny morsels, trivial body.
+void BM_MorselDispatch(benchmark::State& state) {
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<double> partials(64);
+    teleios::exec::ParallelOptions opts;
+    opts.grain = 1;
+    (void)teleios::exec::ParallelFor(
+        64, opts, [&](size_t m, size_t, size_t) {
+          partials[m] = static_cast<double>(m) * 0.5;
+          return teleios::Status::OK();
+        });
+    benchmark::DoNotOptimize(partials.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MorselDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

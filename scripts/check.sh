@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 gate: plain build + full ctest, then a sanitizer build
-# (ASan + UBSan) over the same test suite. Run from the repo root.
+# Tier-1 gate: plain build + full ctest (serial and TELEIOS_THREADS=8),
+# then a sanitizer build (ASan + UBSan) and a TSan build over the same
+# test suite. Run from the repo root.
 #
-#   scripts/check.sh            # both passes
+#   scripts/check.sh            # all passes
 #   scripts/check.sh --fast     # plain pass only
 set -euo pipefail
 
@@ -17,15 +18,24 @@ run_pass() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
-echo "== pass 1/2: plain build + ctest =="
+echo "== pass 1/4: plain build + ctest =="
 run_pass build
 
+echo "== pass 2/4: ctest again with TELEIOS_THREADS=8 =="
+TELEIOS_THREADS=8 ctest --test-dir build --output-on-failure -j "${JOBS}"
+
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "check.sh: fast mode, skipping sanitizer pass"
+  echo "check.sh: fast mode, skipping sanitizer passes"
   exit 0
 fi
 
-echo "== pass 2/2: ASan + UBSan build + ctest =="
+echo "== pass 3/4: ASan + UBSan build + ctest =="
 run_pass build-sanitize -DTELEIOS_SANITIZE=address,undefined
+
+echo "== pass 4/4: TSan build + ctest (TELEIOS_THREADS=8) =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTELEIOS_SANITIZE=thread
+cmake --build build-tsan -j "${JOBS}"
+TELEIOS_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}"
 
 echo "check.sh: all passes green"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel_for.h"
+
 namespace teleios::array {
 
 using storage::ColumnType;
@@ -126,23 +128,34 @@ Result<ArrayPtr> Convolve2D(const Array& input, size_t attr,
                     {{"v", ColumnType::kFloat64}}, {Value(0.0)}));
   TELEIOS_ASSIGN_OR_RETURN(double* dst, out->MutableDoubles(0));
   int half = kernel_size / 2;
-  for (int64_t y = 0; y < dy.size; ++y) {
-    for (int64_t x = 0; x < dx.size; ++x) {
-      double acc = 0.0;
-      for (int ky = -half; ky <= half; ++ky) {
-        int64_t yy = y + ky;
-        if (yy < 0 || yy >= dy.size) continue;
-        for (int kx = -half; kx <= half; ++kx) {
-          int64_t xx = x + kx;
-          if (xx < 0 || xx >= dx.size) continue;
-          acc += src[yy * dx.size + xx] *
-                 kernel[static_cast<size_t>((ky + half) * kernel_size +
-                                            (kx + half))];
+  // Every output row depends only on input rows, so row-morsels write
+  // disjoint output and the result is bit-identical at any thread count.
+  exec::ParallelOptions opts;
+  opts.label = "exec.convolve";
+  opts.grain = 8;  // rows per morsel
+  TELEIOS_RETURN_IF_ERROR(exec::ParallelFor(
+      static_cast<size_t>(dy.size), opts,
+      [&](size_t, size_t row_begin, size_t row_end) -> Status {
+        for (int64_t y = static_cast<int64_t>(row_begin);
+             y < static_cast<int64_t>(row_end); ++y) {
+          for (int64_t x = 0; x < dx.size; ++x) {
+            double acc = 0.0;
+            for (int ky = -half; ky <= half; ++ky) {
+              int64_t yy = y + ky;
+              if (yy < 0 || yy >= dy.size) continue;
+              for (int kx = -half; kx <= half; ++kx) {
+                int64_t xx = x + kx;
+                if (xx < 0 || xx >= dx.size) continue;
+                acc += src[yy * dx.size + xx] *
+                       kernel[static_cast<size_t>((ky + half) * kernel_size +
+                                                  (kx + half))];
+              }
+            }
+            dst[y * dx.size + x] = acc;
+          }
         }
-      }
-      dst[y * dx.size + x] = acc;
-    }
-  }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -163,15 +176,39 @@ Result<ArrayStats> ComputeStats(const Array& input, size_t attr) {
   ArrayStats stats;
   size_t n = input.num_cells();
   if (n == 0) return stats;
-  stats.min = data[0];
-  stats.max = data[0];
+  // Per-morsel partials merged in morsel-index order: the morsel plan
+  // depends only on n, so the floating-point accumulation order — and
+  // therefore the result — is identical at every thread count.
+  struct Partial {
+    double min = 0, max = 0, sum = 0, sq = 0;
+  };
+  exec::MorselPlan plan = exec::PlanMorsels(n);
+  std::vector<Partial> partials(plan.count);
+  exec::ParallelOptions opts;
+  opts.label = "exec.stats";
+  TELEIOS_RETURN_IF_ERROR(exec::ParallelFor(
+      n, opts, [&](size_t m, size_t begin, size_t end) -> Status {
+        Partial p;
+        p.min = data[begin];
+        p.max = data[begin];
+        for (size_t i = begin; i < end; ++i) {
+          p.min = std::min(p.min, data[i]);
+          p.max = std::max(p.max, data[i]);
+          p.sum += data[i];
+          p.sq += data[i] * data[i];
+        }
+        partials[m] = p;
+        return Status::OK();
+      }));
+  stats.min = partials[0].min;
+  stats.max = partials[0].max;
   double sum = 0;
   double sq = 0;
-  for (size_t i = 0; i < n; ++i) {
-    stats.min = std::min(stats.min, data[i]);
-    stats.max = std::max(stats.max, data[i]);
-    sum += data[i];
-    sq += data[i] * data[i];
+  for (const Partial& p : partials) {
+    stats.min = std::min(stats.min, p.min);
+    stats.max = std::max(stats.max, p.max);
+    sum += p.sum;
+    sq += p.sq;
   }
   stats.count = n;
   stats.mean = sum / static_cast<double>(n);
@@ -198,44 +235,56 @@ Result<ArrayPtr> TileAggregate2D(const Array& input, size_t attr,
                     {{"ty", 0, th}, {"tx", 0, tw}},
                     {{"v", ColumnType::kFloat64}}, {Value(0.0)}));
   TELEIOS_ASSIGN_OR_RETURN(double* dst, out->MutableDoubles(0));
-  for (int64_t ty = 0; ty < th; ++ty) {
-    for (int64_t tx = 0; tx < tw; ++tx) {
-      double acc = 0;
-      double mn = 0, mx = 0;
-      int64_t count = 0;
-      for (int64_t y = ty * tile_h; y < std::min((ty + 1) * tile_h, dy.size);
-           ++y) {
-        for (int64_t x = tx * tile_w;
-             x < std::min((tx + 1) * tile_w, dx.size); ++x) {
-          double v = src[y * dx.size + x];
-          if (count == 0) {
-            mn = mx = v;
-          } else {
-            mn = std::min(mn, v);
-            mx = std::max(mx, v);
-          }
-          acc += v;
-          ++count;
-        }
-      }
-      double result;
-      if (aggregate == "avg") {
-        result = count ? acc / static_cast<double>(count) : 0.0;
-      } else if (aggregate == "sum") {
-        result = acc;
-      } else if (aggregate == "min") {
-        result = mn;
-      } else if (aggregate == "max") {
-        result = mx;
-      } else if (aggregate == "count") {
-        result = static_cast<double>(count);
-      } else {
-        return Status::InvalidArgument("unknown tile aggregate '" +
-                                       aggregate + "'");
-      }
-      dst[ty * tw + tx] = result;
-    }
+  if (aggregate != "avg" && aggregate != "sum" && aggregate != "min" &&
+      aggregate != "max" && aggregate != "count") {
+    return Status::InvalidArgument("unknown tile aggregate '" + aggregate +
+                                   "'");
   }
+  // Each tile reads its own input window and writes its own output cell,
+  // so tile-morsels are fully independent.
+  exec::ParallelOptions opts;
+  opts.label = "exec.tile_aggregate";
+  opts.grain = 16;  // tiles per morsel
+  TELEIOS_RETURN_IF_ERROR(exec::ParallelFor(
+      static_cast<size_t>(th * tw), opts,
+      [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t t = begin; t < end; ++t) {
+          int64_t ty = static_cast<int64_t>(t) / tw;
+          int64_t tx = static_cast<int64_t>(t) % tw;
+          double acc = 0;
+          double mn = 0, mx = 0;
+          int64_t count = 0;
+          for (int64_t y = ty * tile_h;
+               y < std::min((ty + 1) * tile_h, dy.size); ++y) {
+            for (int64_t x = tx * tile_w;
+                 x < std::min((tx + 1) * tile_w, dx.size); ++x) {
+              double v = src[y * dx.size + x];
+              if (count == 0) {
+                mn = mx = v;
+              } else {
+                mn = std::min(mn, v);
+                mx = std::max(mx, v);
+              }
+              acc += v;
+              ++count;
+            }
+          }
+          double result;
+          if (aggregate == "avg") {
+            result = count ? acc / static_cast<double>(count) : 0.0;
+          } else if (aggregate == "sum") {
+            result = acc;
+          } else if (aggregate == "min") {
+            result = mn;
+          } else if (aggregate == "max") {
+            result = mx;
+          } else {
+            result = static_cast<double>(count);
+          }
+          dst[ty * tw + tx] = result;
+        }
+        return Status::OK();
+      }));
   return out;
 }
 

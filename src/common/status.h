@@ -23,6 +23,8 @@ enum class StatusCode {
   kDataLoss,
   kUnimplemented,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name ("Ok", "ParseError", ...).
@@ -69,6 +71,14 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// The caller asked for the work to stop (cooperative cancellation).
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// A deadline attached to the work expired before it completed.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

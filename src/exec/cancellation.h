@@ -1,0 +1,81 @@
+#ifndef TELEIOS_EXEC_CANCELLATION_H_
+#define TELEIOS_EXEC_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+
+namespace teleios::exec {
+
+/// Cooperative cancellation for long-running parallel work. A token is
+/// shared between the party that may abort the work (a user hitting ^C,
+/// an observatory query timeout) and the morsels executing it: the
+/// scheduler checks the token between morsels, and long morsel bodies are
+/// expected to poll Check() themselves at a reasonable cadence.
+///
+/// Cancellation and deadline expiry are sticky: once a token reports a
+/// non-OK Check() it never goes back to OK. Thread-safe; cheap enough to
+/// poll from inner loops (two relaxed atomic loads plus, when a deadline
+/// is set, one steady_clock read).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation; running morsels finish, queued ones do not
+  /// start.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms an absolute deadline; Check() fails once it has passed.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Convenience: deadline `timeout` from now.
+  void CancelAfter(std::chrono::nanoseconds timeout) {
+    SetDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the token was cancelled or its deadline has passed.
+  bool Expired() const {
+    if (cancelled()) return true;
+    int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline == kNoDeadline) return false;
+    return std::chrono::steady_clock::now().time_since_epoch().count() >=
+           deadline;
+  }
+
+  /// OK while the work may continue; Cancelled / DeadlineExceeded once it
+  /// must stop.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("work was cancelled");
+    int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != kNoDeadline &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >=
+            deadline) {
+      return Status::DeadlineExceeded("deadline expired");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline =
+      std::numeric_limits<int64_t>::max();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace teleios::exec
+
+#endif  // TELEIOS_EXEC_CANCELLATION_H_

@@ -1,0 +1,132 @@
+#include "exec/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "exec/task_group.h"
+#include "obs/trace.h"
+
+namespace teleios::exec {
+
+MorselPlan PlanMorsels(size_t n, size_t grain_hint) {
+  MorselPlan plan;
+  if (n == 0) return plan;
+  size_t grain = grain_hint;
+  if (grain == 0) {
+    grain = std::clamp<size_t>(n / 64, size_t{4096}, size_t{262144});
+  }
+  plan.grain = grain;
+  plan.count = (n + grain - 1) / grain;
+  return plan;
+}
+
+namespace {
+
+/// Shared result slots for one parallel region. The lowest failing
+/// morsel index wins so the reported error matches what serial execution
+/// would have hit first.
+struct RegionState {
+  std::mutex mu;
+  size_t error_morsel = SIZE_MAX;
+  Status error;
+  size_t exception_morsel = SIZE_MAX;
+  std::exception_ptr exception;
+  std::atomic<size_t> cursor{0};
+  std::atomic<size_t> executed{0};
+
+  void RecordError(size_t morsel, Status status) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (morsel < error_morsel) {
+      error_morsel = morsel;
+      error = std::move(status);
+    }
+  }
+
+  void RecordException(size_t morsel, std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (morsel < exception_morsel) {
+      exception_morsel = morsel;
+      exception = e;
+    }
+  }
+};
+
+}  // namespace
+
+Status ParallelFor(size_t n, const ParallelOptions& opts,
+                   const MorselBody& body) {
+  if (n == 0) return Status::OK();
+  MorselPlan plan = PlanMorsels(n, opts.grain);
+  ThreadPool* pool = opts.pool != nullptr ? opts.pool : &ThreadPool::Global();
+
+  bool serial =
+      plan.count == 1 || pool->parallelism() == 1 || pool->OnWorkerThread();
+  size_t threads =
+      serial ? 1
+             : std::min(static_cast<size_t>(pool->parallelism()), plan.count);
+
+  // Record the fan-out/fan-in as one span of the caller's trace; its
+  // duration covers dispatch through join.
+  std::unique_ptr<obs::TraceSpan> span;
+  if (opts.label != nullptr && obs::TraceActive()) {
+    span = std::make_unique<obs::TraceSpan>(opts.label);
+    span->SetAttr("morsels", std::to_string(plan.count));
+    span->SetAttr("grain", std::to_string(plan.grain));
+    span->SetAttr("threads", std::to_string(threads));
+  }
+
+  if (serial) {
+    for (size_t m = 0; m < plan.count; ++m) {
+      if (opts.cancel != nullptr) {
+        TELEIOS_RETURN_IF_ERROR(opts.cancel->Check());
+      }
+      TELEIOS_RETURN_IF_ERROR(body(m, plan.Begin(m), plan.End(m, n)));
+    }
+    return Status::OK();
+  }
+
+  RegionState state;
+  auto runner = [&] {
+    for (;;) {
+      if (opts.cancel != nullptr && opts.cancel->Expired()) return;
+      size_t m = state.cursor.fetch_add(1, std::memory_order_relaxed);
+      if (m >= plan.count) return;
+      try {
+        Status s = body(m, plan.Begin(m), plan.End(m, n));
+        if (!s.ok()) state.RecordError(m, std::move(s));
+      } catch (...) {
+        state.RecordException(m, std::current_exception());
+      }
+      state.executed.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  {
+    TaskGroup group(pool);
+    for (size_t t = 1; t < threads; ++t) group.Run(runner);
+    runner();
+    group.Wait();  // runner never throws; body exceptions are captured
+  }
+
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.exception &&
+      state.exception_morsel <= state.error_morsel) {
+    std::rethrow_exception(state.exception);
+  }
+  if (state.error_morsel != SIZE_MAX) return state.error;
+  if (state.executed.load(std::memory_order_relaxed) < plan.count) {
+    // Cancellation stopped morsels from starting.
+    if (opts.cancel != nullptr) {
+      Status s = opts.cancel->Check();
+      if (!s.ok()) return s;
+    }
+    return Status::Internal("parallel region lost morsels");
+  }
+  return Status::OK();
+}
+
+}  // namespace teleios::exec

@@ -1,0 +1,58 @@
+#include "exec/task_group.h"
+
+#include <chrono>
+
+namespace teleios::exec {
+
+TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+    // Wait() rethrows a task exception; a destructor must not.
+  }
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    Finish(error);
+  });
+}
+
+void TaskGroup::Finish(std::exception_ptr error) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (error && !error_) error_ = error;
+  if (--pending_ == 0) done_.notify_all();
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_ == 0) break;
+    }
+    if (pool_->TryRunOneTask()) continue;
+    // Nothing runnable here, but our tasks are still in flight on other
+    // workers; nap briefly so a task forked by *them* becomes stealable.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (pending_ == 0) break;
+    done_.wait_for(lock, std::chrono::microseconds(200));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace teleios::exec

@@ -1,0 +1,53 @@
+#ifndef TELEIOS_EXEC_TASK_GROUP_H_
+#define TELEIOS_EXEC_TASK_GROUP_H_
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+#include "exec/thread_pool.h"
+
+namespace teleios::exec {
+
+/// A fork-join scope over a ThreadPool: Run() forks tasks, Wait() joins
+/// them all. The waiting thread does not idle — it helps drain the pool
+/// (its own forked tasks first, then anything stealable), which both
+/// speeds up the join and makes nested groups deadlock-free.
+///
+/// A task that throws does not take the process down: the first exception
+/// (in completion order) is captured and rethrown from Wait() after every
+/// task has finished. The destructor waits too (but swallows the
+/// exception, destructor discipline) so tasks never outlive the group's
+/// captured state.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool = &ThreadPool::Global())
+      : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Forks `fn` onto the pool (inline on a zero-worker pool).
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every forked task finished, helping execute pool work
+  /// meanwhile; rethrows the first captured task exception.
+  void Wait();
+
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  void Finish(std::exception_ptr error) noexcept;
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_;
+  size_t pending_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace teleios::exec
+
+#endif  // TELEIOS_EXEC_TASK_GROUP_H_

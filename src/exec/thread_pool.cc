@@ -1,0 +1,192 @@
+#include "exec/thread_pool.h"
+
+#include <cstdlib>
+
+namespace teleios::exec {
+
+namespace {
+
+/// Worker index on the pool that owns the calling thread; -1 elsewhere.
+/// One slot per thread is enough: workers never run on another pool's
+/// threads.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+thread_local int t_worker_index = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads, std::string name)
+    : name_(std::move(name)) {
+  if (threads < 1) threads = 1;
+  int workers = threads - 1;
+  auto metric = [&](const std::string& base) {
+    return obs::WithLabel(base, "pool", name_);
+  };
+  auto& registry = obs::MetricsRegistry::Global();
+  queue_depth_ = registry.GetGauge(metric("teleios_exec_queue_depth"));
+  busy_workers_ = registry.GetGauge(metric("teleios_exec_busy_workers"));
+  tasks_total_ = registry.GetCounter(metric("teleios_exec_tasks_total"));
+  steals_total_ = registry.GetCounter(metric("teleios_exec_steals_total"));
+  schedule_millis_ =
+      registry.GetHistogram(metric("teleios_exec_schedule_millis"));
+  registry.GetGauge(metric("teleios_exec_workers"))
+      ->Set(static_cast<double>(workers));
+
+  deques_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    deques_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Tasks still queued at shutdown run on the destroying thread so a
+  // TaskGroup waiting elsewhere can never hang on a dropped task.
+  Task task;
+  while (NextTask(-1, &task)) RunTask(std::move(task));
+}
+
+bool ThreadPool::OnWorkerThread() const {
+  return t_worker_pool == this && t_worker_index >= 0;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  Task t{std::move(task), std::chrono::steady_clock::now()};
+  queue_depth_->Add(1);
+  if (workers_.empty()) {
+    // Serial pool: degenerate to immediate inline execution.
+    RunTask(std::move(t));
+    return;
+  }
+  if (OnWorkerThread()) {
+    Worker& own = *deques_[t_worker_index];
+    std::lock_guard<std::mutex> lock(own.mu);
+    own.deque.push_back(std::move(t));
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    inject_.push_back(std::move(t));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::NextTask(int self, Task* task) {
+  // 1. Own deque, newest first (depth-first execution of forked work).
+  if (self >= 0) {
+    Worker& own = *deques_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.deque.empty()) {
+      *task = std::move(own.deque.back());
+      own.deque.pop_back();
+      return true;
+    }
+  }
+  // 2. Injection queue, oldest first.
+  {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    if (!inject_.empty()) {
+      *task = std::move(inject_.front());
+      inject_.pop_front();
+      return true;
+    }
+  }
+  // 3. Steal from a sibling, oldest first. Start past our own slot so
+  // victims rotate instead of worker 0 being mobbed.
+  size_t n = deques_.size();
+  for (size_t i = 0; i < n; ++i) {
+    size_t victim = (static_cast<size_t>(self < 0 ? 0 : self) + 1 + i) % n;
+    if (static_cast<int>(victim) == self) continue;
+    Worker& other = *deques_[victim];
+    std::lock_guard<std::mutex> lock(other.mu);
+    if (!other.deque.empty()) {
+      *task = std::move(other.deque.front());
+      other.deque.pop_front();
+      steals_total_->Inc();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::RunTask(Task task) {
+  queue_depth_->Add(-1);
+  schedule_millis_->Observe(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - task.enqueued)
+          .count());
+  busy_workers_->Add(1);
+  tasks_total_->Inc();
+  task.fn();
+  busy_workers_->Add(-1);
+}
+
+bool ThreadPool::TryRunOneTask() {
+  Task task;
+  if (!NextTask(OnWorkerThread() ? t_worker_index : -1, &task)) {
+    return false;
+  }
+  RunTask(std::move(task));
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  t_worker_pool = this;
+  t_worker_index = index;
+  for (;;) {
+    Task task;
+    if (NextTask(index, &task)) {
+      RunTask(std::move(task));
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(inject_mu_);
+    if (stop_) return;
+    if (!inject_.empty()) continue;
+    // Re-poll for stealable work every few milliseconds: pushes to
+    // sibling deques notify wake_, but a notification can slip between
+    // our failed scan and this wait.
+    wake_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("TELEIOS_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool>* slot =
+      new std::unique_ptr<ThreadPool>();
+  return *slot;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  auto& slot = GlobalSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>(DefaultThreads());
+  return *slot;
+}
+
+void ThreadPool::SetGlobalThreads(int threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  auto& slot = GlobalSlot();
+  slot.reset();  // join the old pool before the new one exists
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace teleios::exec

@@ -1,0 +1,118 @@
+#ifndef TELEIOS_EXEC_THREAD_POOL_H_
+#define TELEIOS_EXEC_THREAD_POOL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace teleios::exec {
+
+/// A work-stealing thread pool: each worker owns a deque it pushes and
+/// pops LIFO; a worker whose deque runs dry first drains the shared
+/// injection queue (tasks submitted from outside the pool), then steals
+/// FIFO from a sibling's deque. Stealing from the opposite end keeps the
+/// thief off the victim's cache-hot tail and moves the oldest — typically
+/// largest — pending work.
+///
+/// A pool of parallelism `threads` spawns `threads - 1` workers: the
+/// thread that fans work out participates via TaskGroup::Wait /
+/// ParallelFor, so TELEIOS_THREADS=1 means zero workers and every task
+/// runs inline on the caller — the serial behaviour.
+///
+/// Observability (per pool, labelled pool="<name>"):
+///   teleios_exec_workers              gauge   spawned worker threads
+///   teleios_exec_queue_depth          gauge   tasks waiting to run
+///   teleios_exec_busy_workers         gauge   tasks currently executing
+///   teleios_exec_tasks_total          counter tasks executed
+///   teleios_exec_steals_total         counter deque-to-deque steals
+///   teleios_exec_schedule_millis      histo   submit-to-start latency
+class ThreadPool {
+ public:
+  /// `threads` is the target parallelism including the submitting thread
+  /// (clamped to >= 1); `name` labels the pool's metrics.
+  explicit ThreadPool(int threads, std::string name = "global");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`. From a worker thread the task lands on that
+  /// worker's own deque (depth-first, cache-friendly); from any other
+  /// thread it goes to the shared injection queue. With zero workers the
+  /// task runs inline before Submit returns.
+  void Submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread if any is available;
+  /// false when every queue was empty. Lets threads blocked in
+  /// TaskGroup::Wait help drain the pool instead of idling (and makes
+  /// nested waits deadlock-free).
+  bool TryRunOneTask();
+
+  /// Spawned worker threads (parallelism - 1).
+  int workers() const { return static_cast<int>(workers_.size()); }
+  /// Target parallelism (workers() + the submitting thread).
+  int parallelism() const { return workers() + 1; }
+
+  const std::string& name() const { return name_; }
+
+  /// True when the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const;
+
+  /// The process-wide pool, sized from TELEIOS_THREADS (default: the
+  /// hardware concurrency) on first use.
+  static ThreadPool& Global();
+
+  /// Rebuilds the global pool with `threads` parallelism (tests, thread
+  /// sweeps). Must not be called while tasks are in flight.
+  static void SetGlobalThreads(int threads);
+
+  /// Parallelism the global pool would be built with: TELEIOS_THREADS if
+  /// set and valid, else std::thread::hardware_concurrency().
+  static int DefaultThreads();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> deque;
+  };
+
+  void WorkerLoop(int index);
+  /// Pops per the calling context (own deque -> injection queue ->
+  /// steal); false when nothing is runnable.
+  bool NextTask(int self, Task* task);
+  void RunTask(Task task);
+
+  std::string name_;
+  std::vector<std::unique_ptr<Worker>> deques_;
+  std::vector<std::thread> workers_;
+
+  std::mutex inject_mu_;
+  std::deque<Task> inject_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+
+  // Metric handles, resolved once (the registry guarantees stable
+  // pointers).
+  obs::Gauge* queue_depth_;
+  obs::Gauge* busy_workers_;
+  obs::Counter* tasks_total_;
+  obs::Counter* steals_total_;
+  obs::Histogram* schedule_millis_;
+};
+
+}  // namespace teleios::exec
+
+#endif  // TELEIOS_EXEC_THREAD_POOL_H_

@@ -23,6 +23,7 @@ const char* FaultKindName(FaultKind kind) {
 }
 
 void FaultInjectingFileSystem::Arm(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
   spec_ = spec;
   armed_ = spec.inject_at > 0;
   crashed_ = false;
@@ -33,6 +34,7 @@ void FaultInjectingFileSystem::Arm(const FaultSpec& spec) {
 }
 
 void FaultInjectingFileSystem::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
   armed_ = false;
   crashed_ = false;
 }
@@ -48,8 +50,15 @@ Status FaultInjectingFileSystem::InjectedError(const char* what) {
   return Status::IoError(std::string("injected fault: ") + what);
 }
 
+void FaultInjectingFileSystem::ApplyBitFlip(uint8_t* bytes, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes[NextRand() % len] ^= static_cast<uint8_t>(1u << (NextRand() % 8));
+  ++bits_flipped_;
+}
+
 FaultInjectingFileSystem::FaultAction FaultInjectingFileSystem::NextOp(
     OpClass op) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) return FaultAction::kFail;  // everything after the crash
   // The counting mode applies to disabled (inject_at = 0) probe runs
   // too, so a probed op count matches the armed sweep that follows.
@@ -175,10 +184,7 @@ Result<size_t> FaultyReadableFile::Read(void* buf, size_t n) {
     case FaultInjectingFileSystem::FaultAction::kBitFlip: {
       Result<size_t> got = base_->Read(buf, n);
       if (got.ok() && *got > 0) {
-        uint8_t* bytes = static_cast<uint8_t*>(buf);
-        bytes[fs_->NextRand() % *got] ^=
-            static_cast<uint8_t>(1u << (fs_->NextRand() % 8));
-        ++fs_->bits_flipped_;
+        fs_->ApplyBitFlip(static_cast<uint8_t*>(buf), *got);
       }
       return got;
     }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -69,13 +70,22 @@ class FaultInjectingFileSystem : public FileSystem {
   void Disarm();
 
   /// Operations counted since the last Arm() (or construction).
-  uint64_t ops() const { return ops_; }
+  uint64_t ops() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_;
+  }
   /// Faults injected since the last Arm().
-  uint64_t faults_injected() const { return faults_; }
+  uint64_t faults_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_;
+  }
   /// Bits actually corrupted by kBitFlip faults since the last Arm().
   /// A flip scheduled onto a zero-byte read (an EOF probe) has nothing
   /// to corrupt, so this can lag behind faults_injected().
-  uint64_t bits_flipped() const { return bits_flipped_; }
+  uint64_t bits_flipped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bits_flipped_;
+  }
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
@@ -105,11 +115,20 @@ class FaultInjectingFileSystem : public FileSystem {
     kBitFlip,     // read normally, flip one bit of the result
   };
 
-  /// Counts one operation and decides its fate.
+  /// Counts one operation and decides its fate. Thread-safe: the op
+  /// counter advances under mu_, so "fail the k-th op" stays exact and
+  /// deterministic even when parallel batch products share the
+  /// filesystem (which op lands on k then depends on scheduling, but
+  /// exactly one does).
   FaultAction NextOp(OpClass op);
   static Status InjectedError(const char* what);
-  uint64_t NextRand();
+  /// Corrupts one bit of `bytes[0..len)` (bit-flip bookkeeping + RNG
+  /// under mu_).
+  void ApplyBitFlip(uint8_t* bytes, size_t len);
+  uint64_t NextRand();  // caller must hold mu_
 
+  /// Guards all fault-program state below.
+  mutable std::mutex mu_;
   FileSystem* base_;
   FaultSpec spec_;
   bool armed_ = false;

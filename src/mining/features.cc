@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "exec/parallel_for.h"
+
 namespace teleios::mining {
 
 std::vector<std::string> FeatureNames() {
@@ -15,11 +17,22 @@ Result<std::vector<Patch>> CutPatches(const eo::Scene& scene, int size) {
   if (size <= 0 || size > scene.spec.width || size > scene.spec.height) {
     return Status::InvalidArgument("bad patch size");
   }
-  std::vector<Patch> patches;
   int w = scene.spec.width;
   int h = scene.spec.height;
-  for (int row = 0; row + size <= h; row += size) {
-    for (int col = 0; col + size <= w; col += size) {
+  int cols = w / size;
+  int rows = h / size;
+  // The patch grid is known up front, so each morsel fills its own
+  // pre-sized slots; output order matches the serial row-major sweep.
+  std::vector<Patch> patches(static_cast<size_t>(rows) * cols);
+  exec::ParallelOptions opts;
+  opts.label = "exec.cut_patches";
+  opts.grain = 16;  // patches per morsel
+  TELEIOS_RETURN_IF_ERROR(exec::ParallelFor(
+      patches.size(), opts,
+      [&](size_t, size_t begin, size_t end) -> Status {
+    for (size_t pi = begin; pi < end; ++pi) {
+      int row = static_cast<int>(pi / cols) * size;
+      int col = static_cast<int>(pi % cols) * size;
       Patch patch;
       patch.col = col;
       patch.row = row;
@@ -80,9 +93,10 @@ Result<std::vector<Patch>> CutPatches(const eo::Scene& scene, int size) {
       geo::Point br = scene.transform.PixelToWorld(col + size, row + size);
       geo::Point bl = scene.transform.PixelToWorld(col, row + size);
       patch.footprint.outer = {tl, tr, br, bl};
-      patches.push_back(std::move(patch));
+      patches[pi] = std::move(patch);
     }
-  }
+    return Status::OK();
+      }));
   return patches;
 }
 

@@ -1,7 +1,10 @@
 #include "mining/kmeans.h"
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
+
+#include "exec/parallel_for.h"
 
 namespace teleios::mining {
 
@@ -52,16 +55,33 @@ Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& data,
   Rng rng(seed);
   KMeansResult result;
 
+  // All parallel regions below use one morsel plan whose partials are
+  // merged in morsel-index order, so clustering is deterministic for a
+  // given seed at any thread count.
+  constexpr size_t kGrain = 1024;
+  exec::MorselPlan plan = exec::PlanMorsels(n, kGrain);
+  exec::ParallelOptions opts;
+  opts.grain = kGrain;
+
   // k-means++ seeding.
   result.centroids.push_back(data[rng.Next() % n]);
   std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  std::vector<double> morsel_totals(plan.count);
   while (result.centroids.size() < static_cast<size_t>(k)) {
+    opts.label = "exec.kmeans_seed";
+    TELEIOS_RETURN_IF_ERROR(exec::ParallelFor(
+        n, opts, [&](size_t m, size_t begin, size_t end) -> Status {
+          double t = 0;
+          for (size_t i = begin; i < end; ++i) {
+            dist2[i] = std::min(
+                dist2[i], SquaredDistance(data[i], result.centroids.back()));
+            t += dist2[i];
+          }
+          morsel_totals[m] = t;
+          return Status::OK();
+        }));
     double total = 0;
-    for (size_t i = 0; i < n; ++i) {
-      dist2[i] = std::min(dist2[i],
-                          SquaredDistance(data[i], result.centroids.back()));
-      total += dist2[i];
-    }
+    for (size_t m = 0; m < plan.count; ++m) total += morsel_totals[m];
     double target = rng.Uniform() * total;
     size_t chosen = n - 1;
     double acc = 0;
@@ -76,33 +96,56 @@ Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& data,
   }
 
   result.assignments.assign(n, -1);
+  struct UpdatePartial {
+    std::vector<double> sums;  // k * dims, row-major by cluster
+    std::vector<int> counts;
+    uint8_t changed = 0;
+  };
+  std::vector<UpdatePartial> partials(plan.count);
   for (int iter = 0; iter < max_iterations; ++iter) {
     result.iterations = iter + 1;
+    // Assign + per-morsel partial sums for the update step. Each morsel
+    // writes its own assignment slots and its own partial.
+    opts.label = "exec.kmeans_assign";
+    TELEIOS_RETURN_IF_ERROR(exec::ParallelFor(
+        n, opts, [&](size_t m, size_t begin, size_t end) -> Status {
+          UpdatePartial& p = partials[m];
+          p.sums.assign(static_cast<size_t>(k) * dims, 0.0);
+          p.counts.assign(k, 0);
+          p.changed = 0;
+          for (size_t i = begin; i < end; ++i) {
+            int best = 0;
+            double best_d = SquaredDistance(data[i], result.centroids[0]);
+            for (int c = 1; c < k; ++c) {
+              double d = SquaredDistance(data[i], result.centroids[c]);
+              if (d < best_d) {
+                best_d = d;
+                best = c;
+              }
+            }
+            if (result.assignments[i] != best) {
+              result.assignments[i] = best;
+              p.changed = 1;
+            }
+            ++p.counts[best];
+            const std::vector<double>& row = data[i];
+            double* sum = &p.sums[static_cast<size_t>(best) * dims];
+            for (size_t d = 0; d < dims; ++d) sum[d] += row[d];
+          }
+          return Status::OK();
+        }));
     bool changed = false;
-    // Assign.
-    for (size_t i = 0; i < n; ++i) {
-      int best = 0;
-      double best_d = SquaredDistance(data[i], result.centroids[0]);
-      for (int c = 1; c < k; ++c) {
-        double d = SquaredDistance(data[i], result.centroids[c]);
-        if (d < best_d) {
-          best_d = d;
-          best = c;
-        }
-      }
-      if (result.assignments[i] != best) {
-        result.assignments[i] = best;
-        changed = true;
-      }
-    }
+    for (const UpdatePartial& p : partials) changed |= p.changed != 0;
     if (!changed && iter > 0) break;
-    // Update.
+    // Update: fold partials in morsel-index order.
     std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
     std::vector<int> counts(k, 0);
-    for (size_t i = 0; i < n; ++i) {
-      int c = result.assignments[i];
-      ++counts[c];
-      for (size_t d = 0; d < dims; ++d) sums[c][d] += data[i][d];
+    for (const UpdatePartial& p : partials) {
+      for (int c = 0; c < k; ++c) {
+        counts[c] += p.counts[c];
+        const double* sum = &p.sums[static_cast<size_t>(c) * dims];
+        for (size_t d = 0; d < dims; ++d) sums[c][d] += sum[d];
+      }
     }
     for (int c = 0; c < k; ++c) {
       if (counts[c] == 0) continue;  // keep old centroid for empty cluster
@@ -112,10 +155,18 @@ Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& data,
     }
   }
   result.inertia = 0;
-  for (size_t i = 0; i < n; ++i) {
-    result.inertia +=
-        SquaredDistance(data[i], result.centroids[result.assignments[i]]);
-  }
+  opts.label = "exec.kmeans_inertia";
+  TELEIOS_RETURN_IF_ERROR(exec::ParallelFor(
+      n, opts, [&](size_t m, size_t begin, size_t end) -> Status {
+        double t = 0;
+        for (size_t i = begin; i < end; ++i) {
+          t += SquaredDistance(data[i],
+                               result.centroids[result.assignments[i]]);
+        }
+        morsel_totals[m] = t;
+        return Status::OK();
+      }));
+  for (size_t m = 0; m < plan.count; ++m) result.inertia += morsel_totals[m];
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "exec/parallel_for.h"
 #include "geo/wkt.h"
 #include "obs/metrics.h"
 #include "strabon/temporal.h"
@@ -62,10 +63,45 @@ Result<ChainResult> ProcessingChain::Run(const std::string& raster_name,
 }
 
 Result<ChainResult> ProcessingChain::RunBatch(
-    const std::vector<std::string>& raster_names, const ChainConfig& config) {
+    const std::vector<std::string>& raster_names, const ChainConfig& config,
+    const exec::CancellationToken* cancel) {
+  size_t n = raster_names.size();
+  // Products run concurrently (one morsel each); per-product results
+  // land in their input slot and are merged in input order below, so the
+  // batch aggregate is identical at every thread count.
+  std::vector<Result<ChainResult>> results(
+      n, Result<ChainResult>(Status::Cancelled("product not started")));
+  std::vector<uint8_t> ran(n, 0);
+  exec::ParallelOptions opts;
+  opts.grain = 1;
+  opts.label = "noa.batch";
+  opts.cancel = cancel;
+  Status st = exec::ParallelFor(
+      n, opts, [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          results[i] = Run(raster_names[i], config);
+          ran[i] = 1;
+        }
+        return Status::OK();
+      });
+  // Cancellation is not a batch error: the products it skipped are
+  // recorded as per-input failures and everything finished is kept.
+  if (!st.ok() && st.code() != StatusCode::kCancelled &&
+      st.code() != StatusCode::kDeadlineExceeded) {
+    return st;
+  }
   ChainResult batch;
-  for (const std::string& name : raster_names) {
-    Result<ChainResult> one = Run(name, config);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& name = raster_names[i];
+    if (!ran[i]) {
+      Status skipped =
+          cancel != nullptr ? cancel->Check() : Status::OK();
+      if (skipped.ok()) skipped = Status::Internal("product not run");
+      batch.failures.push_back({name, std::move(skipped)});
+      obs::Count("teleios_noa_products_failed_total");
+      continue;
+    }
+    Result<ChainResult>& one = results[i];
     if (!one.ok()) {
       TELEIOS_LOG(Warning) << "noa: chain failed for '" << name
                            << "': " << one.status().ToString();
@@ -97,7 +133,13 @@ Result<ChainResult> ProcessingChain::RunStages(const std::string& raster_name,
     stage.SetAttr("raster", raster_name);
     TELEIOS_ASSIGN_OR_RETURN(array, vault_->GetRasterArray(raster_name));
     if (!sciql_->HasArray(raster_name)) {
-      TELEIOS_RETURN_IF_ERROR(sciql_->RegisterArray(array));
+      Status registered = sciql_->RegisterArray(array);
+      // A concurrent product of the same raster may have won the race
+      // between the HasArray probe and this registration; both proceed.
+      if (!registered.ok() &&
+          registered.code() != StatusCode::kAlreadyExists) {
+        return registered;
+      }
     }
     TELEIOS_ASSIGN_OR_RETURN(header, vault_->GetRasterHeader(raster_name));
     vault::TerRaster raster;
@@ -144,8 +186,11 @@ Result<ChainResult> ProcessingChain::RunStages(const std::string& raster_name,
                result.hotspots.size());
   }
 
-  // Register the derived L2 product in both catalogs.
+  // Register the derived L2 product in both catalogs. One product at a
+  // time: the relational catalog and the Strabon store are shared across
+  // concurrent batch products.
   obs::TraceSpan stage("catalog+shapefile", StageHistogram("publication"));
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
   result.product_id = raster_name + "-hotspots-" +
                       ClassifierKindName(config.classifier.kind);
   eo::ProductMetadata meta;

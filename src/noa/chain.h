@@ -1,12 +1,14 @@
 #ifndef TELEIOS_NOA_CHAIN_H_
 #define TELEIOS_NOA_CHAIN_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "eo/product.h"
 #include "eo/scene.h"
+#include "exec/cancellation.h"
 #include "io/retry.h"
 #include "noa/classification.h"
 #include "noa/hotspot.h"
@@ -80,14 +82,19 @@ class ProcessingChain {
   Result<ChainResult> Run(const std::string& raster_name,
                           const ChainConfig& config);
 
-  /// Runs the chain over a batch of attached rasters. A raster that
-  /// fails (corrupt payload, export fault) is recorded in
-  /// ChainResult::failures — and counted in
+  /// Runs the chain over a batch of attached rasters, processing
+  /// products concurrently on the global thread pool (TELEIOS_THREADS=1
+  /// degrades to the serial loop). A raster that fails (corrupt payload,
+  /// export fault) is recorded in ChainResult::failures — and counted in
   /// teleios_noa_products_failed_total — while the remaining rasters
   /// still produce their products (ChainResult::product_ids, hotspots
-  /// and timings are the aggregates over the successful runs).
+  /// and timings are the aggregates over the successful runs, in input
+  /// order regardless of completion order). A cancelled/expired `cancel`
+  /// token stops products that have not started; each unstarted input is
+  /// recorded as a failure carrying the token's status.
   Result<ChainResult> RunBatch(const std::vector<std::string>& raster_names,
-                               const ChainConfig& config);
+                               const ChainConfig& config,
+                               const exec::CancellationToken* cancel = nullptr);
 
   /// Retry policy for the fallible I/O edges of the chain (product
   /// export). Default: 3 attempts, no backoff sleep.
@@ -109,6 +116,12 @@ class ProcessingChain {
   strabon::Strabon* strabon_;
   storage::Catalog* catalog_;
   io::RetryPolicy retry_;
+  /// Serializes the publication stage (catalog row, Strabon triples,
+  /// shapefile export) across concurrent batch products — the shared
+  /// catalogs are not internally synchronized. Publication order between
+  /// products is scheduling-dependent; everything user-visible in
+  /// ChainResult is merged in input order instead.
+  std::mutex publish_mu_;
 };
 
 /// Publishes hotspot descriptions as stRDF into Strabon (type,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "exec/parallel_for.h"
+
 namespace teleios::relational {
 
 using storage::Column;
@@ -319,31 +321,67 @@ bool IsVectorizablePredicate(const Table& table, const ExprPtr& predicate) {
   return CompilePredicate(table, predicate, &preds);
 }
 
+namespace {
+
+/// Concatenates per-morsel selections in morsel-index order — exactly
+/// the row order a serial scan would produce.
+SelectionVector MergeSelections(std::vector<SelectionVector>& partials) {
+  size_t total = 0;
+  for (const SelectionVector& p : partials) total += p.size();
+  SelectionVector sel;
+  sel.reserve(total);
+  for (SelectionVector& p : partials) {
+    sel.insert(sel.end(), p.begin(), p.end());
+  }
+  return sel;
+}
+
+}  // namespace
+
 Result<SelectionVector> FilterIndicesInterpreted(const Table& table,
                                                  const ExprPtr& predicate) {
   TELEIOS_ASSIGN_OR_RETURN(BoundExpr bound,
                            BoundExpr::Bind(predicate, table));
-  SelectionVector sel;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    TELEIOS_ASSIGN_OR_RETURN(Value v, bound.Eval(table, r));
-    if (v.Truthy()) sel.push_back(static_cast<uint32_t>(r));
-  }
-  return sel;
+  exec::ParallelOptions opts;
+  opts.label = "exec.filter";
+  exec::MorselPlan plan = exec::PlanMorsels(table.num_rows(), opts.grain);
+  std::vector<SelectionVector> partials(plan.count);
+  TELEIOS_RETURN_IF_ERROR(exec::ParallelFor(
+      table.num_rows(), opts,
+      [&](size_t morsel, size_t begin, size_t end) -> Status {
+        SelectionVector& sel = partials[morsel];
+        for (size_t r = begin; r < end; ++r) {
+          TELEIOS_ASSIGN_OR_RETURN(Value v, bound.Eval(table, r));
+          if (v.Truthy()) sel.push_back(static_cast<uint32_t>(r));
+        }
+        return Status::OK();
+      }));
+  return MergeSelections(partials);
 }
 
 Result<SelectionVector> FilterIndices(const Table& table,
                                       const ExprPtr& predicate) {
   std::vector<VecPred> preds;
   if (CompilePredicate(table, predicate, &preds)) {
-    SelectionVector sel(table.num_rows());
-    for (size_t i = 0; i < sel.size(); ++i) {
-      sel[i] = static_cast<uint32_t>(i);
-    }
-    for (const VecPred& pred : preds) {
-      ApplyVecPred(table, pred, &sel);
-      if (sel.empty()) break;
-    }
-    return sel;
+    exec::ParallelOptions opts;
+    opts.label = "exec.filter";
+    exec::MorselPlan plan = exec::PlanMorsels(table.num_rows(), opts.grain);
+    std::vector<SelectionVector> partials(plan.count);
+    TELEIOS_RETURN_IF_ERROR(exec::ParallelFor(
+        table.num_rows(), opts,
+        [&](size_t morsel, size_t begin, size_t end) -> Status {
+          SelectionVector& sel = partials[morsel];
+          sel.resize(end - begin);
+          for (size_t i = begin; i < end; ++i) {
+            sel[i - begin] = static_cast<uint32_t>(i);
+          }
+          for (const VecPred& pred : preds) {
+            ApplyVecPred(table, pred, &sel);
+            if (sel.empty()) break;
+          }
+          return Status::OK();
+        }));
+    return MergeSelections(partials);
   }
   return FilterIndicesInterpreted(table, predicate);
 }
@@ -390,12 +428,20 @@ Result<Table> ProjectCompute(const Table& table,
     bound.push_back(std::move(b));
   }
   std::vector<std::vector<Value>> results(items.size());
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    for (size_t i = 0; i < items.size(); ++i) {
-      TELEIOS_ASSIGN_OR_RETURN(Value v, bound[i].Eval(table, r));
-      results[i].push_back(std::move(v));
-    }
-  }
+  for (auto& column : results) column.resize(table.num_rows());
+  exec::ParallelOptions opts;
+  opts.label = "exec.project";
+  TELEIOS_RETURN_IF_ERROR(exec::ParallelFor(
+      table.num_rows(), opts,
+      [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          for (size_t i = 0; i < items.size(); ++i) {
+            TELEIOS_ASSIGN_OR_RETURN(Value v, bound[i].Eval(table, r));
+            results[i][r] = std::move(v);
+          }
+        }
+        return Status::OK();
+      }));
   std::vector<Field> fields;
   for (size_t i = 0; i < items.size(); ++i) {
     fields.push_back({items[i].alias, InferColumnType(results[i])});
@@ -515,6 +561,21 @@ struct AggState {
     seen = true;
   }
 
+  /// Folds a later morsel's partial state into this one. Partials are
+  /// merged in morsel-index order, so the floating-point accumulation
+  /// order is fixed by the morsel plan — identical at any thread count.
+  void Merge(const AggState& later) {
+    count += later.count;
+    sum += later.sum;
+    isum += later.isum;
+    sum_is_int = sum_is_int && later.sum_is_int;
+    if (later.seen) {
+      if (!seen || later.min.Compare(min) < 0) min = later.min;
+      if (!seen || later.max.Compare(max) > 0) max = later.max;
+      seen = true;
+    }
+  }
+
   Result<Value> Finish(const std::string& fn) const {
     if (fn == "count") return Value(count);
     if (!seen) return Value();  // empty group -> NULL (except count)
@@ -555,28 +616,60 @@ Result<Table> GroupAggregate(const Table& table,
     uint32_t first_row;
     std::vector<AggState> states;
   };
+  struct Partial {
+    std::unordered_map<std::string, Group> groups;
+    std::vector<std::string> order;  // first-seen order within the morsel
+  };
+
+  // Morsel-parallel pre-aggregation: each morsel builds its own hash
+  // table, then the partials fold together in morsel-index order, which
+  // reproduces the serial first-seen group order and accumulation order.
+  exec::ParallelOptions opts;
+  opts.label = "exec.aggregate";
+  exec::MorselPlan plan = exec::PlanMorsels(table.num_rows(), opts.grain);
+  std::vector<Partial> partials(plan.count);
+  TELEIOS_RETURN_IF_ERROR(exec::ParallelFor(
+      table.num_rows(), opts,
+      [&](size_t morsel, size_t begin, size_t end) -> Status {
+        Partial& part = partials[morsel];
+        for (size_t r = begin; r < end; ++r) {
+          std::string key =
+              gcols.empty() ? std::string() : MakeKey(table, r, gcols);
+          auto it = part.groups.find(key);
+          if (it == part.groups.end()) {
+            Group g;
+            g.first_row = static_cast<uint32_t>(r);
+            g.states.resize(aggregates.size());
+            it = part.groups.emplace(key, std::move(g)).first;
+            part.order.push_back(key);
+          }
+          for (size_t a = 0; a < aggregates.size(); ++a) {
+            Value v;
+            if (has_arg[a]) {
+              TELEIOS_ASSIGN_OR_RETURN(v, bound_args[a].Eval(table, r));
+            } else {
+              v = Value(int64_t{1});  // count(*)
+            }
+            it->second.states[a].Update(v);
+          }
+        }
+        return Status::OK();
+      }));
+
   std::unordered_map<std::string, Group> groups;
   std::vector<std::string> group_order;
-
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    std::string key =
-        gcols.empty() ? std::string() : MakeKey(table, r, gcols);
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      Group g;
-      g.first_row = static_cast<uint32_t>(r);
-      g.states.resize(aggregates.size());
-      it = groups.emplace(key, std::move(g)).first;
-      group_order.push_back(key);
-    }
-    for (size_t a = 0; a < aggregates.size(); ++a) {
-      Value v;
-      if (has_arg[a]) {
-        TELEIOS_ASSIGN_OR_RETURN(v, bound_args[a].Eval(table, r));
+  for (Partial& part : partials) {
+    for (const std::string& key : part.order) {
+      Group& incoming = part.groups.at(key);
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        groups.emplace(key, std::move(incoming));
+        group_order.push_back(key);
       } else {
-        v = Value(int64_t{1});  // count(*)
+        for (size_t a = 0; a < aggregates.size(); ++a) {
+          it->second.states[a].Merge(incoming.states[a]);
+        }
       }
-      it->second.states[a].Update(v);
     }
   }
 

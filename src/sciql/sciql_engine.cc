@@ -29,6 +29,7 @@ Table AffectedRows(int64_t n) {
 }  // namespace
 
 Status SciQlEngine::RegisterArray(ArrayPtr array) {
+  std::unique_lock<std::shared_mutex> lock(arrays_mu_);
   if (arrays_.count(array->name())) {
     return Status::AlreadyExists("array '" + array->name() +
                                  "' already exists");
@@ -38,6 +39,7 @@ Status SciQlEngine::RegisterArray(ArrayPtr array) {
 }
 
 Result<ArrayPtr> SciQlEngine::GetArray(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(arrays_mu_);
   auto it = arrays_.find(name);
   if (it == arrays_.end()) {
     return Status::NotFound("array '" + name + "' does not exist");
@@ -45,13 +47,20 @@ Result<ArrayPtr> SciQlEngine::GetArray(const std::string& name) const {
   return it->second;
 }
 
+bool SciQlEngine::HasArray(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(arrays_mu_);
+  return arrays_.count(name) > 0;
+}
+
 std::vector<std::string> SciQlEngine::ArrayNames() const {
+  std::shared_lock<std::shared_mutex> lock(arrays_mu_);
   std::vector<std::string> names;
   for (const auto& [name, _] : arrays_) names.push_back(name);
   return names;
 }
 
 Status SciQlEngine::DropArray(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(arrays_mu_);
   if (!arrays_.erase(name)) {
     return Status::NotFound("array '" + name + "' does not exist");
   }
@@ -103,11 +112,15 @@ Status SciQlEngine::MaterializeSources(const SelectStatement& stmt,
   // first); plain tables pass through from the relational catalog.
   auto add_source = [&](const relational::TableRef& ref) -> Status {
     if (scratch->HasTable(ref.name)) return Status::OK();
-    auto it = arrays_.find(ref.name);
-    if (it != arrays_.end()) {
+    ArrayPtr arr;
+    {
+      std::shared_lock<std::shared_mutex> lock(arrays_mu_);
+      auto it = arrays_.find(ref.name);
+      if (it != arrays_.end()) arr = it->second;
+    }
+    if (arr != nullptr) {
       obs::TraceSpan span("materialize");
       span.SetAttr("array", ref.name);
-      ArrayPtr arr = it->second;
       std::string slab_text;
       if (!ref.slab.empty()) {
         std::vector<Range> slab;

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -30,9 +31,7 @@ class SciQlEngine {
   Status RegisterArray(array::ArrayPtr array);
 
   Result<array::ArrayPtr> GetArray(const std::string& name) const;
-  bool HasArray(const std::string& name) const {
-    return arrays_.count(name) > 0;
-  }
+  bool HasArray(const std::string& name) const;
   std::vector<std::string> ArrayNames() const;
   Status DropArray(const std::string& name);
 
@@ -58,6 +57,11 @@ class SciQlEngine {
                             std::vector<std::string>* notes);
 
   storage::Catalog* tables_;
+  /// Guards the array catalog so concurrent batch products can run
+  /// SELECTs while others register/drop their scene arrays. Statement
+  /// execution itself holds no lock — concurrent UPDATEs of the *same*
+  /// array are the caller's problem.
+  mutable std::shared_mutex arrays_mu_;
   std::map<std::string, array::ArrayPtr> arrays_;
 };
 

@@ -49,6 +49,7 @@ Status DataVault::EnsureCatalogTables() {
 
 Status DataVault::AttachFile(const std::string& path) {
   obs::Count("teleios_vault_attach_total");
+  std::lock_guard<std::mutex> lock(mu_);
   TELEIOS_RETURN_IF_ERROR(EnsureCatalogTables());
   if (StrEndsWith(path, ".ter")) {
     TELEIOS_ASSIGN_OR_RETURN(TerHeader header, ReadTerHeader(path));
@@ -118,7 +119,10 @@ Result<size_t> DataVault::Attach(const std::string& directory) {
   // the row order of the metadata tables — is deterministic.
   TELEIOS_ASSIGN_OR_RETURN(std::vector<std::string> listing,
                            io::GetFileSystem()->ListDirectory(directory));
-  attach_failures_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attach_failures_.clear();
+  }
   size_t attached = 0;
   for (const std::string& path : listing) {
     if (!StrEndsWith(path, ".ter") && !StrEndsWith(path, ".vec") &&
@@ -133,6 +137,7 @@ Result<size_t> DataVault::Attach(const std::string& directory) {
       // the archive scan.
       TELEIOS_LOG(Warning) << "vault: skipping '" << path
                            << "': " << st.ToString();
+      std::lock_guard<std::mutex> lock(mu_);
       attach_failures_.push_back({path, std::move(st)});
       ++stats_.attach_failures;
       obs::Count("teleios_vault_attach_failures_total");
@@ -142,18 +147,21 @@ Result<size_t> DataVault::Attach(const std::string& directory) {
 }
 
 std::vector<std::string> DataVault::RasterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, _] : rasters_) names.push_back(name);
   return names;
 }
 
 std::vector<std::string> DataVault::VectorNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, _] : vectors_) names.push_back(name);
   return names;
 }
 
 Result<TerHeader> DataVault::GetRasterHeader(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = rasters_.find(name);
   if (it == rasters_.end()) {
     return Status::NotFound("raster '" + name + "' not attached");
@@ -188,12 +196,14 @@ Result<TerRaster> DataVault::IngestPayload(const std::string& name,
 }
 
 std::vector<std::string> DataVault::QuarantinedNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, _] : quarantine_) names.push_back(name);
   return names;
 }
 
 size_t DataVault::Heal() {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t healed = 0;
   for (auto it = quarantine_.begin(); it != quarantine_.end();) {
     auto raster = rasters_.find(it->first);
@@ -218,6 +228,7 @@ size_t DataVault::Heal() {
 }
 
 Result<ArrayPtr> DataVault::GetRasterArray(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto cached = cache_.find(name);
   if (cached != cache_.end()) {
     ++stats_.cache_hits;
@@ -258,6 +269,7 @@ Result<ArrayPtr> DataVault::GetRasterArray(const std::string& name) {
 
 Result<ArrayPtr> DataVault::GetBandArray(const std::string& name,
                                          const std::string& band) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string key = name + "#" + band;
   auto cached = cache_.find(key);
   if (cached != cache_.end()) {
@@ -298,20 +310,28 @@ Result<ArrayPtr> DataVault::GetBandArray(const std::string& name,
 }
 
 Result<VecFile> DataVault::GetVector(const std::string& name) const {
-  auto it = vectors_.find(name);
-  if (it == vectors_.end()) {
-    return Status::NotFound("vector '" + name + "' not attached");
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = vectors_.find(name);
+    if (it == vectors_.end()) {
+      return Status::NotFound("vector '" + name + "' not attached");
+    }
+    path = it->second;
   }
-  return ReadVec(it->second);
+  return ReadVec(path);
 }
 
 Status DataVault::IngestAll() {
-  for (const auto& [name, _] : rasters_) {
+  for (const std::string& name : RasterNames()) {
     TELEIOS_RETURN_IF_ERROR(GetRasterArray(name).status());
   }
   return Status::OK();
 }
 
-void DataVault::EvictCache() { cache_.clear(); }
+void DataVault::EvictCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
 
 }  // namespace teleios::vault

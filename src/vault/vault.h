@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -99,14 +100,23 @@ class DataVault {
   /// Returns the number healed.
   size_t Heal();
 
-  const VaultStats& stats() const { return stats_; }
+  VaultStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
  private:
   Status EnsureCatalogTables();
   /// ReadTer with retry; quarantines `name` when the budget is exhausted.
+  /// Caller must hold mu_.
   Result<TerRaster> IngestPayload(const std::string& name,
                                   const std::string& path);
 
+  /// One coarse lock over catalog maps, the payload cache, quarantine
+  /// state, and stats. Held across payload ingestion, which deliberately
+  /// serializes file reads when batch products ingest concurrently —
+  /// lazy-ingest caching stays exactly-once per raster.
+  mutable std::mutex mu_;
   storage::Catalog* catalog_;
   std::map<std::string, TerHeader> rasters_;
   std::map<std::string, std::string> vectors_;  // name -> path

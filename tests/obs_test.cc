@@ -194,5 +194,74 @@ TEST(Trace, FinishIsIdempotent) {
   EXPECT_EQ(second.children.size(), 1u);
 }
 
+// Race-audit stress tests: run these under TELEIOS_SANITIZE=thread
+// (scripts/check.sh pass 4). Counters/gauges/histogram buckets are
+// atomics; registry creation and exposition take the registry mutex;
+// traces are thread-local, so concurrent per-thread traces never share
+// span state.
+
+TEST(ThreadSafety, ConcurrentMetricUpdatesAndExposition) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("obs_stress_counter_total");
+  counter->Reset();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, counter, t] {
+      // Same-name lookups race with creation of per-thread names.
+      Gauge* gauge = registry.GetGauge("obs_stress_gauge");
+      Histogram* histo = registry.GetHistogram(
+          WithLabel("obs_stress_millis", "thread", std::to_string(t)));
+      for (int i = 0; i < kIters; ++i) {
+        counter->Inc();
+        gauge->Add(1.0);
+        gauge->Add(-1.0);
+        histo->Observe(static_cast<double>(i % 13));
+        if (i % 500 == 0) {
+          // Exposition concurrent with updates must stay well-formed.
+          std::string text = registry.TextExposition();
+          EXPECT_NE(text.find("obs_stress_counter_total"),
+                    std::string::npos);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(registry.GetGauge("obs_stress_gauge")->value(), 0.0);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry
+                  .GetHistogram(WithLabel("obs_stress_millis", "thread",
+                                          std::to_string(t)))
+                  ->count(),
+              static_cast<uint64_t>(kIters));
+  }
+}
+
+TEST(ThreadSafety, PerThreadTracesStayIsolated) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int round = 0; round < 50; ++round) {
+        ScopedTrace trace("stress" + std::to_string(t));
+        {
+          TraceSpan outer("outer");
+          outer.SetAttr("thread", std::to_string(t));
+          TraceSpan inner("inner");
+        }
+        SpanNode root = trace.Finish();
+        ASSERT_EQ(root.children.size(), 1u);
+        ASSERT_EQ(root.children[0].children.size(), 1u);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
 }  // namespace
 }  // namespace teleios::obs
