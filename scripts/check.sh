@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: plain build + full ctest (serial and TELEIOS_THREADS=8),
-# then a sanitizer build (ASan + UBSan) and a TSan build over the same
-# test suite. Run from the repo root.
+# then a sanitizer build (ASan + UBSan), a TSan build over the same test
+# suite, and a static-analysis pass (clang -Werror=thread-safety over the
+# thread-safety annotations, plus the teleios_lint ctest target). Run
+# from the repo root.
 #
 #   scripts/check.sh            # all passes
 #   scripts/check.sh --fast     # plain pass only
@@ -18,10 +20,10 @@ run_pass() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
-echo "== pass 1/4: plain build + ctest =="
+echo "== pass 1/5: plain build + ctest =="
 run_pass build
 
-echo "== pass 2/4: ctest again with TELEIOS_THREADS=8 =="
+echo "== pass 2/5: ctest again with TELEIOS_THREADS=8 =="
 TELEIOS_THREADS=8 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 if [[ "${1:-}" == "--fast" ]]; then
@@ -29,13 +31,27 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== pass 3/4: ASan + UBSan build + ctest =="
+echo "== pass 3/5: ASan + UBSan build + ctest =="
 run_pass build-sanitize -DTELEIOS_SANITIZE=address,undefined
 
-echo "== pass 4/4: TSan build + ctest (TELEIOS_THREADS=8) =="
+echo "== pass 4/5: TSan build + ctest (TELEIOS_THREADS=8) =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTELEIOS_SANITIZE=thread
 cmake --build build-tsan -j "${JOBS}"
 TELEIOS_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}"
+
+echo "== pass 5/5: static analysis (thread-safety annotations + lint) =="
+if command -v clang++ >/dev/null 2>&1; then
+  # Compile-time lock-discipline check: the annotated build must be
+  # warning-clean under -Werror=thread-safety (clang only).
+  cmake -B build-analysis -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER=clang++ -DTELEIOS_THREAD_SAFETY_ANALYSIS=ON
+  cmake --build build-analysis -j "${JOBS}"
+  ctest --test-dir build-analysis --output-on-failure -R "teleios_lint|LintRuleTest|LintScannerTest|LintPathTest"
+else
+  echo "check.sh: clang++ not found; thread-safety analysis skipped," \
+       "running teleios_lint from the plain build"
+  ctest --test-dir build --output-on-failure -R "teleios_lint|LintRuleTest|LintScannerTest|LintPathTest"
+fi
 
 echo "check.sh: all passes green"

@@ -13,6 +13,9 @@ namespace {
 LogLevel InitialLevel() {
   const char* env = std::getenv("TELEIOS_LOG_LEVEL");
   LogLevel level = LogLevel::kInfo;
+  // Intentional drop: an unparseable TELEIOS_LOG_LEVEL falls back to
+  // kInfo — logging setup must never fail, and there is nowhere to
+  // report to this early in startup.
   if (env != nullptr) (void)ParseLogLevel(env, &level);
   return level;
 }

@@ -16,7 +16,7 @@ LogLevel GetLogLevel();
 
 /// Parses "debug" / "info" / "warning" (or "warn") / "error" (any case)
 /// or a numeric level 0-3; false on anything else.
-bool ParseLogLevel(const std::string& name, LogLevel* level);
+[[nodiscard]] bool ParseLogLevel(const std::string& name, LogLevel* level);
 
 namespace internal {
 

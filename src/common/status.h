@@ -31,7 +31,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error outcome, cheap to copy on the success path.
-class Status {
+///
+/// `[[nodiscard]]` on the class makes every function returning a Status
+/// warn when the caller drops the return: an ignored error is either a
+/// latent bug or must be an explicit, commented `(void)` cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -95,7 +99,7 @@ class Status {
 
 /// A value-or-error outcome; holds T on success, Status otherwise.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return 42;`.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "common/logging.h"
 #include "common/strings.h"
 #include "eo/ontology.h"
 #include "obs/metrics.h"
@@ -76,7 +77,15 @@ VirtualEarthObservatory::VirtualEarthObservatory() {
   chain_ = std::make_unique<noa::ProcessingChain>(vault_.get(), sciql_.get(),
                                                   &strabon_, &catalog_);
   // The domain ontology is part of the observatory's knowledge base.
-  (void)strabon_.LoadTurtle(eo::OntologyTurtle());
+  // Its load result used to be dropped here (found by the
+  // [[nodiscard]] sweep); a constructor cannot propagate a Status, so
+  // the outcome is logged and kept sticky in ontology_status().
+  Result<size_t> loaded = strabon_.LoadTurtle(eo::OntologyTurtle());
+  if (!loaded.ok()) {
+    ontology_status_ = loaded.status();
+    TELEIOS_LOG(Error) << "domain ontology failed to load: "
+                        << loaded.status().message();
+  }
 }
 
 Result<size_t> VirtualEarthObservatory::AttachArchive(

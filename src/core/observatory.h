@@ -105,6 +105,13 @@ class VirtualEarthObservatory {
   sciql::SciQlEngine& sciql() { return *sciql_; }
   strabon::Strabon& strabon() { return strabon_; }
 
+  /// Status of the domain-ontology load performed at construction. A
+  /// constructor cannot return a Status, so the result is kept sticky
+  /// here instead of being dropped; semantic queries against an
+  /// observatory whose ontology failed to load would silently miss the
+  /// taxonomy, so callers that depend on it should check this once.
+  const Status& ontology_status() const { return ontology_status_; }
+
  private:
   storage::Catalog catalog_;
   strabon::Strabon strabon_;
@@ -112,6 +119,7 @@ class VirtualEarthObservatory {
   std::unique_ptr<sciql::SciQlEngine> sciql_;
   std::unique_ptr<relational::SqlEngine> sql_;
   std::unique_ptr<noa::ProcessingChain> chain_;
+  Status ontology_status_;
 };
 
 }  // namespace teleios::core

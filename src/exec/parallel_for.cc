@@ -4,9 +4,9 @@
 #include <atomic>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "exec/task_group.h"
 #include "obs/trace.h"
 
@@ -30,16 +30,16 @@ namespace {
 /// morsel index wins so the reported error matches what serial execution
 /// would have hit first.
 struct RegionState {
-  std::mutex mu;
-  size_t error_morsel = SIZE_MAX;
-  Status error;
-  size_t exception_morsel = SIZE_MAX;
-  std::exception_ptr exception;
+  Mutex mu;
+  size_t error_morsel TELEIOS_GUARDED_BY(mu) = SIZE_MAX;
+  Status error TELEIOS_GUARDED_BY(mu);
+  size_t exception_morsel TELEIOS_GUARDED_BY(mu) = SIZE_MAX;
+  std::exception_ptr exception TELEIOS_GUARDED_BY(mu);
   std::atomic<size_t> cursor{0};
   std::atomic<size_t> executed{0};
 
   void RecordError(size_t morsel, Status status) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (morsel < error_morsel) {
       error_morsel = morsel;
       error = std::move(status);
@@ -47,7 +47,7 @@ struct RegionState {
   }
 
   void RecordException(size_t morsel, std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (morsel < exception_morsel) {
       exception_morsel = morsel;
       exception = e;
@@ -112,7 +112,7 @@ Status ParallelFor(size_t n, const ParallelOptions& opts,
     group.Wait();  // runner never throws; body exceptions are captured
   }
 
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   if (state.exception &&
       state.exception_morsel <= state.error_morsel) {
     std::rethrow_exception(state.exception);

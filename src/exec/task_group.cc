@@ -7,6 +7,7 @@ namespace teleios::exec {
 TaskGroup::~TaskGroup() {
   try {
     Wait();
+    // teleios-lint: allow(TL004) -- destructor discipline, see below.
   } catch (...) {
     // Wait() rethrows a task exception; a destructor must not.
   }
@@ -14,7 +15,7 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::Run(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   pool_->Submit([this, fn = std::move(fn)] {
@@ -29,7 +30,7 @@ void TaskGroup::Run(std::function<void()> fn) {
 }
 
 void TaskGroup::Finish(std::exception_ptr error) noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (error && !error_) error_ = error;
   if (--pending_ == 0) done_.notify_all();
 }
@@ -37,17 +38,17 @@ void TaskGroup::Finish(std::exception_ptr error) noexcept {
 void TaskGroup::Wait() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (pending_ == 0) break;
     }
     if (pool_->TryRunOneTask()) continue;
     // Nothing runnable here, but our tasks are still in flight on other
     // workers; nap briefly so a task forked by *them* becomes stealable.
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (pending_ == 0) break;
-    done_.wait_for(lock, std::chrono::microseconds(200));
+    done_.wait_for(lock.native(), std::chrono::microseconds(200));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (error_) {
     std::exception_ptr error = error_;
     error_ = nullptr;

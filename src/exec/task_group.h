@@ -4,8 +4,8 @@
 #include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "exec/thread_pool.h"
 
 namespace teleios::exec {
@@ -39,13 +39,13 @@ class TaskGroup {
   ThreadPool* pool() const { return pool_; }
 
  private:
-  void Finish(std::exception_ptr error) noexcept;
+  void Finish(std::exception_ptr error) noexcept TELEIOS_EXCLUDES(mu_);
 
   ThreadPool* pool_;
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable done_;
-  size_t pending_ = 0;
-  std::exception_ptr error_;
+  size_t pending_ TELEIOS_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ TELEIOS_GUARDED_BY(mu_);
 };
 
 }  // namespace teleios::exec

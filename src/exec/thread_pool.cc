@@ -43,7 +43,7 @@ ThreadPool::ThreadPool(int threads, std::string name)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(inject_mu_);
+    MutexLock lock(inject_mu_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -68,10 +68,10 @@ void ThreadPool::Submit(std::function<void()> task) {
   }
   if (OnWorkerThread()) {
     Worker& own = *deques_[t_worker_index];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     own.deque.push_back(std::move(t));
   } else {
-    std::lock_guard<std::mutex> lock(inject_mu_);
+    MutexLock lock(inject_mu_);
     inject_.push_back(std::move(t));
   }
   wake_.notify_one();
@@ -81,7 +81,7 @@ bool ThreadPool::NextTask(int self, Task* task) {
   // 1. Own deque, newest first (depth-first execution of forked work).
   if (self >= 0) {
     Worker& own = *deques_[self];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.deque.empty()) {
       *task = std::move(own.deque.back());
       own.deque.pop_back();
@@ -90,7 +90,7 @@ bool ThreadPool::NextTask(int self, Task* task) {
   }
   // 2. Injection queue, oldest first.
   {
-    std::lock_guard<std::mutex> lock(inject_mu_);
+    MutexLock lock(inject_mu_);
     if (!inject_.empty()) {
       *task = std::move(inject_.front());
       inject_.pop_front();
@@ -104,7 +104,7 @@ bool ThreadPool::NextTask(int self, Task* task) {
     size_t victim = (static_cast<size_t>(self < 0 ? 0 : self) + 1 + i) % n;
     if (static_cast<int>(victim) == self) continue;
     Worker& other = *deques_[victim];
-    std::lock_guard<std::mutex> lock(other.mu);
+    MutexLock lock(other.mu);
     if (!other.deque.empty()) {
       *task = std::move(other.deque.front());
       other.deque.pop_front();
@@ -145,13 +145,13 @@ void ThreadPool::WorkerLoop(int index) {
       RunTask(std::move(task));
       continue;
     }
-    std::unique_lock<std::mutex> lock(inject_mu_);
+    MutexLock lock(inject_mu_);
     if (stop_) return;
     if (!inject_.empty()) continue;
     // Re-poll for stealable work every few milliseconds: pushes to
     // sibling deques notify wake_, but a notification can slip between
     // our failed scan and this wait.
-    wake_.wait_for(lock, std::chrono::milliseconds(2));
+    wake_.wait_for(lock.native(), std::chrono::milliseconds(2));
   }
 }
 
@@ -166,7 +166,7 @@ int ThreadPool::DefaultThreads() {
 
 namespace {
 
-std::mutex g_pool_mu;
+Mutex g_pool_mu;
 std::unique_ptr<ThreadPool>& GlobalSlot() {
   static std::unique_ptr<ThreadPool>* slot =
       new std::unique_ptr<ThreadPool>();
@@ -176,14 +176,14 @@ std::unique_ptr<ThreadPool>& GlobalSlot() {
 }  // namespace
 
 ThreadPool& ThreadPool::Global() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   auto& slot = GlobalSlot();
   if (!slot) slot = std::make_unique<ThreadPool>(DefaultThreads());
   return *slot;
 }
 
 void ThreadPool::SetGlobalThreads(int threads) {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   auto& slot = GlobalSlot();
   slot.reset();  // join the old pool before the new one exists
   slot = std::make_unique<ThreadPool>(threads);

@@ -6,11 +6,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace teleios::exec {
@@ -85,24 +85,24 @@ class ThreadPool {
   };
 
   struct Worker {
-    std::mutex mu;
-    std::deque<Task> deque;
+    Mutex mu;
+    std::deque<Task> deque TELEIOS_GUARDED_BY(mu);
   };
 
   void WorkerLoop(int index);
   /// Pops per the calling context (own deque -> injection queue ->
   /// steal); false when nothing is runnable.
-  bool NextTask(int self, Task* task);
+  bool NextTask(int self, Task* task) TELEIOS_EXCLUDES(inject_mu_);
   void RunTask(Task task);
 
   std::string name_;
   std::vector<std::unique_ptr<Worker>> deques_;
   std::vector<std::thread> workers_;
 
-  std::mutex inject_mu_;
-  std::deque<Task> inject_;
+  Mutex inject_mu_;
+  std::deque<Task> inject_ TELEIOS_GUARDED_BY(inject_mu_);
   std::condition_variable wake_;
-  bool stop_ = false;
+  bool stop_ TELEIOS_GUARDED_BY(inject_mu_) = false;
 
   // Metric handles, resolved once (the registry guarantees stable
   // pointers).

@@ -231,7 +231,7 @@ std::vector<int64_t> RTree::QueryWithin(const Envelope& query,
   // QueryNode already intersected against grown box; refine by distance.
   // (Envelope distance is a lower bound of geometry distance.)
   out = std::move(candidates);
-  (void)BoxDistance;
+  (void)BoxDistance;  // kept for the doc comment above; not used on this path
   return out;
 }
 

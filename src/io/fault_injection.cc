@@ -23,7 +23,7 @@ const char* FaultKindName(FaultKind kind) {
 }
 
 void FaultInjectingFileSystem::Arm(const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spec_ = spec;
   armed_ = spec.inject_at > 0;
   crashed_ = false;
@@ -34,7 +34,7 @@ void FaultInjectingFileSystem::Arm(const FaultSpec& spec) {
 }
 
 void FaultInjectingFileSystem::Disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_ = false;
   crashed_ = false;
 }
@@ -51,14 +51,14 @@ Status FaultInjectingFileSystem::InjectedError(const char* what) {
 }
 
 void FaultInjectingFileSystem::ApplyBitFlip(uint8_t* bytes, size_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   bytes[NextRand() % len] ^= static_cast<uint8_t>(1u << (NextRand() % 8));
   ++bits_flipped_;
 }
 
 FaultInjectingFileSystem::FaultAction FaultInjectingFileSystem::NextOp(
     OpClass op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (crashed_) return FaultAction::kFail;  // everything after the crash
   // The counting mode applies to disabled (inject_at = 0) probe runs
   // too, so a probed op count matches the armed sweep that follows.

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "io/filesystem.h"
 
 namespace teleios::io {
@@ -71,19 +71,19 @@ class FaultInjectingFileSystem : public FileSystem {
 
   /// Operations counted since the last Arm() (or construction).
   uint64_t ops() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return ops_;
   }
   /// Faults injected since the last Arm().
   uint64_t faults_injected() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return faults_;
   }
   /// Bits actually corrupted by kBitFlip faults since the last Arm().
   /// A flip scheduled onto a zero-byte read (an EOF probe) has nothing
   /// to corrupt, so this can lag behind faults_injected().
   uint64_t bits_flipped() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return bits_flipped_;
   }
 
@@ -120,23 +120,23 @@ class FaultInjectingFileSystem : public FileSystem {
   /// deterministic even when parallel batch products share the
   /// filesystem (which op lands on k then depends on scheduling, but
   /// exactly one does).
-  FaultAction NextOp(OpClass op);
+  FaultAction NextOp(OpClass op) TELEIOS_EXCLUDES(mu_);
   static Status InjectedError(const char* what);
   /// Corrupts one bit of `bytes[0..len)` (bit-flip bookkeeping + RNG
   /// under mu_).
-  void ApplyBitFlip(uint8_t* bytes, size_t len);
-  uint64_t NextRand();  // caller must hold mu_
+  void ApplyBitFlip(uint8_t* bytes, size_t len) TELEIOS_EXCLUDES(mu_);
+  uint64_t NextRand() TELEIOS_REQUIRES(mu_);
 
   /// Guards all fault-program state below.
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   FileSystem* base_;
-  FaultSpec spec_;
-  bool armed_ = false;
-  bool crashed_ = false;
-  uint64_t ops_ = 0;
-  uint64_t faults_ = 0;
-  uint64_t bits_flipped_ = 0;
-  uint64_t rng_ = 1;
+  FaultSpec spec_ TELEIOS_GUARDED_BY(mu_);
+  bool armed_ TELEIOS_GUARDED_BY(mu_) = false;
+  bool crashed_ TELEIOS_GUARDED_BY(mu_) = false;
+  uint64_t ops_ TELEIOS_GUARDED_BY(mu_) = 0;
+  uint64_t faults_ TELEIOS_GUARDED_BY(mu_) = 0;
+  uint64_t bits_flipped_ TELEIOS_GUARDED_BY(mu_) = 0;
+  uint64_t rng_ TELEIOS_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace teleios::io

@@ -244,6 +244,10 @@ FileSystem* g_default_fs = nullptr;
 
 }  // namespace
 
+std::string PathStem(const std::string& path) {
+  return std::filesystem::path(path).stem().string();
+}
+
 FileSystem* GetFileSystem() {
   return g_default_fs ? g_default_fs : PosixSingleton();
 }

@@ -83,6 +83,13 @@ class FileSystem {
   Status WriteFileAtomic(const std::string& path, std::string_view data);
 };
 
+/// The filename of `path` without its final extension ("a/b/c.ter" ->
+/// "c"). Pure string manipulation, but it lives here so std::filesystem
+/// stays confined to src/io/ (teleios_lint rule TL001: every path and
+/// file primitive that the fault layer should know about goes through
+/// the io seam).
+std::string PathStem(const std::string& path);
+
 /// The process-default FileSystem (a PosixFileSystem singleton) unless
 /// overridden with SetFileSystem. Never nullptr.
 FileSystem* GetFileSystem();

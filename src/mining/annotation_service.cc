@@ -55,12 +55,17 @@ Result<size_t> AnnotationService::Publish(const std::string& product_id,
   if (annotations_.empty()) {
     return Status::InvalidArgument("nothing annotated yet");
   }
-  // Replace any previous annotation set for this product.
+  // Replace any previous annotation set for this product. The DELETE
+  // must succeed before the new set goes in: publishing on top of a
+  // failed DELETE would leave the stale annotations alongside the new
+  // ones, and the caller would never know (found by the [[nodiscard]]
+  // sweep — this return used to be dropped).
   std::string ns(eo::kNoaNs);
-  (void)strabon->Update(
+  Result<size_t> deleted = strabon->Update(
       "DELETE { ?patch ?p ?o } WHERE { ?patch a <" + ns + "Patch> ; "
       "<" + ns + "derivedFromProduct> <" + ns + "product/" + product_id +
       "> ; ?p ?o . }");
+  if (!deleted.ok()) return deleted.status();
   return PublishAnnotations(annotations_, product_id, strabon);
 }
 

@@ -190,7 +190,7 @@ Result<ChainResult> ProcessingChain::RunStages(const std::string& raster_name,
   // time: the relational catalog and the Strabon store are shared across
   // concurrent batch products.
   obs::TraceSpan stage("catalog+shapefile", StageHistogram("publication"));
-  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  MutexLock publish_lock(publish_mu_);
   result.product_id = raster_name + "-hotspots-" +
                       ClassifierKindName(config.classifier.kind);
   eo::ProductMetadata meta;

@@ -112,28 +112,28 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 std::string MetricsRegistry::TextExposition() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   std::string last_base;
   for (const auto& [name, counter] : counters_) {
@@ -167,7 +167,7 @@ std::string MetricsRegistry::TextExposition() const {
 }
 
 std::string MetricsRegistry::JsonExposition() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   os << "{\"counters\": {";
   bool first = true;
@@ -198,7 +198,7 @@ std::string MetricsRegistry::JsonExposition() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [_, c] : counters_) c->Reset();
   for (auto& [_, g] : gauges_) g->Reset();
   for (auto& [_, h] : histograms_) h->Reset();

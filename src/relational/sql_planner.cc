@@ -415,7 +415,8 @@ Result<std::string> ExplainSelect(const SelectStatement& stmt,
                                   const storage::Catalog& catalog) {
   PlanTrace trace;
   TELEIOS_ASSIGN_OR_RETURN(Table out, RunSelect(stmt, catalog, &trace));
-  (void)out;
+  (void)out;  // EXPLAIN wants the trace, not the rows; execution errors
+              // still propagate via ASSIGN_OR_RETURN above.
   std::ostringstream os;
   for (const std::string& s : trace.steps) os << s << "\n";
   return os.str();

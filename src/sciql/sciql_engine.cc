@@ -29,7 +29,7 @@ Table AffectedRows(int64_t n) {
 }  // namespace
 
 Status SciQlEngine::RegisterArray(ArrayPtr array) {
-  std::unique_lock<std::shared_mutex> lock(arrays_mu_);
+  WriterMutexLock lock(arrays_mu_);
   if (arrays_.count(array->name())) {
     return Status::AlreadyExists("array '" + array->name() +
                                  "' already exists");
@@ -39,7 +39,7 @@ Status SciQlEngine::RegisterArray(ArrayPtr array) {
 }
 
 Result<ArrayPtr> SciQlEngine::GetArray(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(arrays_mu_);
+  ReaderMutexLock lock(arrays_mu_);
   auto it = arrays_.find(name);
   if (it == arrays_.end()) {
     return Status::NotFound("array '" + name + "' does not exist");
@@ -48,19 +48,19 @@ Result<ArrayPtr> SciQlEngine::GetArray(const std::string& name) const {
 }
 
 bool SciQlEngine::HasArray(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(arrays_mu_);
+  ReaderMutexLock lock(arrays_mu_);
   return arrays_.count(name) > 0;
 }
 
 std::vector<std::string> SciQlEngine::ArrayNames() const {
-  std::shared_lock<std::shared_mutex> lock(arrays_mu_);
+  ReaderMutexLock lock(arrays_mu_);
   std::vector<std::string> names;
   for (const auto& [name, _] : arrays_) names.push_back(name);
   return names;
 }
 
 Status SciQlEngine::DropArray(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(arrays_mu_);
+  WriterMutexLock lock(arrays_mu_);
   if (!arrays_.erase(name)) {
     return Status::NotFound("array '" + name + "' does not exist");
   }
@@ -114,7 +114,7 @@ Status SciQlEngine::MaterializeSources(const SelectStatement& stmt,
     if (scratch->HasTable(ref.name)) return Status::OK();
     ArrayPtr arr;
     {
-      std::shared_lock<std::shared_mutex> lock(arrays_mu_);
+      ReaderMutexLock lock(arrays_mu_);
       auto it = arrays_.find(ref.name);
       if (it != arrays_.end()) arr = it->second;
     }

@@ -3,12 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "array/array.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sciql/sciql_parser.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
@@ -61,8 +61,8 @@ class SciQlEngine {
   /// SELECTs while others register/drop their scene arrays. Statement
   /// execution itself holds no lock — concurrent UPDATEs of the *same*
   /// array are the caller's problem.
-  mutable std::shared_mutex arrays_mu_;
-  std::map<std::string, array::ArrayPtr> arrays_;
+  mutable SharedMutex arrays_mu_;
+  std::map<std::string, array::ArrayPtr> arrays_ TELEIOS_GUARDED_BY(arrays_mu_);
 };
 
 }  // namespace teleios::sciql

@@ -1,7 +1,6 @@
 #include "vault/vault.h"
 
 #include <algorithm>
-#include <filesystem>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -11,8 +10,6 @@
 #include "storage/persistence.h"
 
 namespace teleios::vault {
-
-namespace fs = std::filesystem;
 
 using array::Array;
 using array::ArrayPtr;
@@ -49,7 +46,7 @@ Status DataVault::EnsureCatalogTables() {
 
 Status DataVault::AttachFile(const std::string& path) {
   obs::Count("teleios_vault_attach_total");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TELEIOS_RETURN_IF_ERROR(EnsureCatalogTables());
   if (StrEndsWith(path, ".ter")) {
     TELEIOS_ASSIGN_OR_RETURN(TerHeader header, ReadTerHeader(path));
@@ -78,7 +75,7 @@ Status DataVault::AttachFile(const std::string& path) {
   if (StrEndsWith(path, ".csv")) {
     // Tabular auxiliary data (e.g. ground-station observations): the
     // vault materializes it as a catalog table named after the file.
-    std::string name = fs::path(path).stem().string();
+    std::string name = io::PathStem(path);
     if (catalog_->HasTable(name)) {
       return Status::AlreadyExists("table '" + name + "' already attached");
     }
@@ -94,7 +91,7 @@ Status DataVault::AttachFile(const std::string& path) {
     // Vector metadata needs a cheap scan for the feature count.
     TELEIOS_ASSIGN_OR_RETURN(VecFile file, ReadVec(path));
     std::string name = file.name.empty()
-                           ? fs::path(path).stem().string()
+                           ? io::PathStem(path)
                            : file.name;
     if (vectors_.count(name)) {
       return Status::AlreadyExists("vector '" + name + "' already attached");
@@ -120,7 +117,7 @@ Result<size_t> DataVault::Attach(const std::string& directory) {
   TELEIOS_ASSIGN_OR_RETURN(std::vector<std::string> listing,
                            io::GetFileSystem()->ListDirectory(directory));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     attach_failures_.clear();
   }
   size_t attached = 0;
@@ -137,7 +134,7 @@ Result<size_t> DataVault::Attach(const std::string& directory) {
       // the archive scan.
       TELEIOS_LOG(Warning) << "vault: skipping '" << path
                            << "': " << st.ToString();
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       attach_failures_.push_back({path, std::move(st)});
       ++stats_.attach_failures;
       obs::Count("teleios_vault_attach_failures_total");
@@ -147,21 +144,21 @@ Result<size_t> DataVault::Attach(const std::string& directory) {
 }
 
 std::vector<std::string> DataVault::RasterNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, _] : rasters_) names.push_back(name);
   return names;
 }
 
 std::vector<std::string> DataVault::VectorNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, _] : vectors_) names.push_back(name);
   return names;
 }
 
 Result<TerHeader> DataVault::GetRasterHeader(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = rasters_.find(name);
   if (it == rasters_.end()) {
     return Status::NotFound("raster '" + name + "' not attached");
@@ -196,14 +193,14 @@ Result<TerRaster> DataVault::IngestPayload(const std::string& name,
 }
 
 std::vector<std::string> DataVault::QuarantinedNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, _] : quarantine_) names.push_back(name);
   return names;
 }
 
 size_t DataVault::Heal() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t healed = 0;
   for (auto it = quarantine_.begin(); it != quarantine_.end();) {
     auto raster = rasters_.find(it->first);
@@ -228,7 +225,7 @@ size_t DataVault::Heal() {
 }
 
 Result<ArrayPtr> DataVault::GetRasterArray(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto cached = cache_.find(name);
   if (cached != cache_.end()) {
     ++stats_.cache_hits;
@@ -269,7 +266,7 @@ Result<ArrayPtr> DataVault::GetRasterArray(const std::string& name) {
 
 Result<ArrayPtr> DataVault::GetBandArray(const std::string& name,
                                          const std::string& band) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string key = name + "#" + band;
   auto cached = cache_.find(key);
   if (cached != cache_.end()) {
@@ -312,7 +309,7 @@ Result<ArrayPtr> DataVault::GetBandArray(const std::string& name,
 Result<VecFile> DataVault::GetVector(const std::string& name) const {
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = vectors_.find(name);
     if (it == vectors_.end()) {
       return Status::NotFound("vector '" + name + "' not attached");
@@ -330,7 +327,7 @@ Status DataVault::IngestAll() {
 }
 
 void DataVault::EvictCache() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cache_.clear();
 }
 

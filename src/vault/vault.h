@@ -3,12 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "array/array.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "io/retry.h"
 #include "storage/catalog.h"
 #include "vault/formats.h"
@@ -50,8 +50,10 @@ class DataVault {
   /// corrupt product never aborts the scan.
   Result<size_t> Attach(const std::string& directory);
 
-  /// Files the most recent Attach() skipped, in scan order.
-  const std::vector<AttachFailure>& attach_failures() const {
+  /// Files the most recent Attach() skipped, in scan order. Returned by
+  /// value: the vector can be rewritten by a concurrent Attach().
+  std::vector<AttachFailure> attach_failures() const {
+    MutexLock lock(mu_);
     return attach_failures_;
   }
 
@@ -87,6 +89,7 @@ class DataVault {
   /// Retry policy for payload ingestion (transient I/O errors and
   /// checksum failures are retried before quarantining).
   void set_ingest_retry(const io::RetryPolicy& policy) {
+    MutexLock lock(mu_);
     ingest_retry_ = policy;
   }
 
@@ -101,30 +104,32 @@ class DataVault {
   size_t Heal();
 
   VaultStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
 
  private:
-  Status EnsureCatalogTables();
+  Status EnsureCatalogTables() TELEIOS_REQUIRES(mu_);
   /// ReadTer with retry; quarantines `name` when the budget is exhausted.
-  /// Caller must hold mu_.
   Result<TerRaster> IngestPayload(const std::string& name,
-                                  const std::string& path);
+                                  const std::string& path)
+      TELEIOS_REQUIRES(mu_);
 
   /// One coarse lock over catalog maps, the payload cache, quarantine
   /// state, and stats. Held across payload ingestion, which deliberately
   /// serializes file reads when batch products ingest concurrently —
   /// lazy-ingest caching stays exactly-once per raster.
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   storage::Catalog* catalog_;
-  std::map<std::string, TerHeader> rasters_;
-  std::map<std::string, std::string> vectors_;  // name -> path
-  std::map<std::string, array::ArrayPtr> cache_;
-  std::map<std::string, Status> quarantine_;  // raster name -> last failure
-  std::vector<AttachFailure> attach_failures_;
-  io::RetryPolicy ingest_retry_;
-  VaultStats stats_;
+  std::map<std::string, TerHeader> rasters_ TELEIOS_GUARDED_BY(mu_);
+  std::map<std::string, std::string> vectors_
+      TELEIOS_GUARDED_BY(mu_);  // name -> path
+  std::map<std::string, array::ArrayPtr> cache_ TELEIOS_GUARDED_BY(mu_);
+  std::map<std::string, Status> quarantine_
+      TELEIOS_GUARDED_BY(mu_);  // raster name -> last failure
+  std::vector<AttachFailure> attach_failures_ TELEIOS_GUARDED_BY(mu_);
+  io::RetryPolicy ingest_retry_ TELEIOS_GUARDED_BY(mu_);
+  VaultStats stats_ TELEIOS_GUARDED_BY(mu_);
 };
 
 }  // namespace teleios::vault

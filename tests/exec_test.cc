@@ -10,6 +10,7 @@
 
 #include "array/array.h"
 #include "array/array_ops.h"
+#include "common/thread_annotations.h"
 #include "eo/scene.h"
 #include "exec/cancellation.h"
 #include "exec/parallel_for.h"
@@ -38,6 +39,85 @@ class GlobalThreadsGuard {
   GlobalThreadsGuard() = default;
   ~GlobalThreadsGuard() { ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads()); }
 };
+
+// --- annotated mutex wrappers (common/thread_annotations.h) ---------------
+//
+// The wrappers must stay byte-for-byte equivalent to the std primitives
+// at runtime: these tests hammer them from pool threads so the TSan
+// pass (check.sh pass 4) verifies the RAII bookkeeping really locks.
+
+TEST(ThreadAnnotationsTest, MutexLockWrappersExcludeEachOther) {
+  GlobalThreadsGuard guard;
+  ThreadPool::SetGlobalThreads(4);
+  Mutex mu;
+  int counter = 0;  // protected by mu
+  TaskGroup group;
+  for (int t = 0; t < 4; ++t) {
+    group.Run([&] {
+      for (int i = 0; i < 1000; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  group.Wait();
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(ThreadAnnotationsTest, TryLockGuardsTheSameState) {
+  GlobalThreadsGuard guard;
+  ThreadPool::SetGlobalThreads(4);
+  Mutex mu;
+  int counter = 0;  // protected by mu
+  std::atomic<int> acquired{0};
+  TaskGroup group;
+  for (int t = 0; t < 4; ++t) {
+    group.Run([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (mu.TryLock()) {
+          ++counter;
+          mu.Unlock();
+          acquired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  group.Wait();
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, acquired.load(std::memory_order_relaxed));
+  EXPECT_GT(counter, 0);
+}
+
+TEST(ThreadAnnotationsTest, SharedMutexReadersSeeConsistentState) {
+  GlobalThreadsGuard guard;
+  ThreadPool::SetGlobalThreads(4);
+  SharedMutex mu;
+  std::vector<int> data{0};  // protected by mu; back() == size()-1 invariant
+  std::atomic<int> reads{0};
+  TaskGroup group;
+  for (int t = 0; t < 2; ++t) {
+    group.Run([&] {
+      for (int i = 0; i < 500; ++i) {
+        WriterMutexLock lock(mu);
+        data.push_back(data.back() + 1);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    group.Run([&] {
+      for (int i = 0; i < 500; ++i) {
+        ReaderMutexLock lock(mu);
+        ASSERT_EQ(data.back(), static_cast<int>(data.size()) - 1);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  group.Wait();
+  WriterMutexLock lock(mu);
+  EXPECT_EQ(data.size(), 1001u);
+  EXPECT_EQ(reads.load(std::memory_order_relaxed), 1000);
+}
 
 // ---------------------------------------------------------------------------
 // ThreadPool

@@ -1,0 +1,6 @@
+// BAD fixture: std::filesystem outside src/io/ must fire TL001.
+#include <filesystem>
+
+bool Exists(const char* path) {
+  return std::filesystem::exists(path);
+}

@@ -1,0 +1,7 @@
+// BAD fixture: C stdio outside src/io/ must fire TL001.
+#include <cstdio>
+
+void Touch(const char* path) {
+  FILE* f = fopen(path, "w");
+  if (f) fclose(f);
+}

@@ -1,0 +1,15 @@
+// BAD fixture: a mutex member with no TELEIOS_GUARDED_BY member in the
+// same class must fire TL002.
+#include <mutex>
+
+class Counter {
+ public:
+  void Inc() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;  // should be TELEIOS_GUARDED_BY(mu_)
+};

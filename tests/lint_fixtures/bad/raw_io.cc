@@ -1,0 +1,7 @@
+// BAD fixture: raw stream I/O outside src/io/ must fire TL001.
+#include <fstream>
+
+void WriteLog(const char* path) {
+  std::ofstream out(path);
+  out << "hello\n";
+}

@@ -1,0 +1,7 @@
+// BAD fixture: std::thread outside src/exec/ must fire TL003.
+#include <thread>
+
+void Background(void (*fn)()) {
+  std::thread t(fn);
+  t.detach();
+}

@@ -1,0 +1,9 @@
+// BAD fixture: a catch (...) that swallows must fire TL004.
+void Risky();
+
+void Safe() {
+  try {
+    Risky();
+  } catch (...) {
+  }
+}

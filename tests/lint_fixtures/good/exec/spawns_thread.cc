@@ -1,0 +1,8 @@
+// GOOD fixture: std::thread is allowed inside an exec/ directory (the
+// thread pool implementation).
+#include <thread>
+
+void Spawn(void (*fn)()) {
+  std::thread t(fn);
+  t.join();
+}

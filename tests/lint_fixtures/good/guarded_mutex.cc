@@ -1,0 +1,10 @@
+// GOOD fixture: a mutex member whose class annotates what it guards.
+#include <mutex>
+
+#define TELEIOS_GUARDED_BY(x)
+
+class Counter {
+ private:
+  std::mutex mu_;
+  int count_ TELEIOS_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,9 @@
+// GOOD fixture: raw I/O is allowed inside an io/ directory (this is the
+// seam itself).
+#include <filesystem>
+#include <fstream>
+
+bool Probe(const char* path) {
+  std::ifstream in(path);
+  return in.good() && std::filesystem::exists(path);
+}

@@ -1,0 +1,17 @@
+// GOOD fixture: catch (...) that rethrows (and one that captures).
+#include <exception>
+
+void Risky();
+
+void Wrapper(std::exception_ptr* out) {
+  try {
+    Risky();
+  } catch (...) {
+    *out = std::current_exception();
+  }
+  try {
+    Risky();
+  } catch (...) {
+    throw;
+  }
+}

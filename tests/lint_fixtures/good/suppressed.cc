@@ -1,0 +1,9 @@
+// GOOD fixture: an explicit suppression comment silences a rule on the
+// next line.
+#include <mutex>
+
+class ExternalGuard {
+ private:
+  // teleios-lint: allow(TL002) -- guards state owned elsewhere.
+  std::mutex mu_;
+};

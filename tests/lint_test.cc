@@ -1,0 +1,175 @@
+// Exercises tools/teleios_lint: each rule fires on its bad fixture with
+// the exact rule ID, stays quiet on the good fixtures, and the
+// suppression-comment escape hatch works. The ctest target
+// `teleios_lint` separately asserts the real src/ tree is clean; these
+// tests pin down *what* that target enforces.
+
+#include "lint.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace teleios::lint {
+namespace {
+
+std::string FixturePath(const std::string& rel) {
+  return std::string(TELEIOS_LINT_FIXTURE_DIR) + "/" + rel;
+}
+
+std::string ReadFixture(const std::string& rel) {
+  std::ifstream in(FixturePath(rel), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << rel;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> RuleIds(const std::vector<Finding>& findings) {
+  std::vector<std::string> ids;
+  for (const auto& f : findings) ids.push_back(f.rule);
+  return ids;
+}
+
+std::vector<Finding> LintFixture(const std::string& rel) {
+  return LintSource(FixturePath(rel), ReadFixture(rel));
+}
+
+TEST(LintRuleTest, RawStreamIoFiresTl001) {
+  auto findings = LintFixture("bad/raw_io.cc");
+  ASSERT_FALSE(findings.empty());
+  // Both the #include <fstream> and the std::ofstream use are reported.
+  EXPECT_EQ(RuleIds(findings), (std::vector<std::string>{"TL001", "TL001"}));
+}
+
+TEST(LintRuleTest, FilesystemUseFiresTl001) {
+  auto findings = LintFixture("bad/filesystem_use.cc");
+  ASSERT_EQ(findings.size(), 2u);  // include + qualified use
+  EXPECT_EQ(findings[0].rule, "TL001");
+  EXPECT_EQ(findings[1].rule, "TL001");
+}
+
+TEST(LintRuleTest, FopenFiresTl001) {
+  auto findings = LintFixture("bad/fopen_call.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "TL001");
+  EXPECT_NE(findings[0].message.find("fopen"), std::string::npos);
+}
+
+TEST(LintRuleTest, NakedMutexMemberFiresTl002) {
+  auto findings = LintFixture("bad/naked_mutex.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "TL002");
+}
+
+TEST(LintRuleTest, RawThreadFiresTl003) {
+  auto findings = LintFixture("bad/raw_thread.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "TL003");
+}
+
+TEST(LintRuleTest, SwallowingCatchFiresTl004) {
+  auto findings = LintFixture("bad/swallow.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "TL004");
+}
+
+TEST(LintRuleTest, IoDirectoryIsExemptFromTl001) {
+  EXPECT_TRUE(LintFixture("good/io/file_io.cc").empty());
+}
+
+TEST(LintRuleTest, ExecDirectoryIsExemptFromTl003) {
+  EXPECT_TRUE(LintFixture("good/exec/spawns_thread.cc").empty());
+}
+
+TEST(LintRuleTest, GuardedMutexIsClean) {
+  EXPECT_TRUE(LintFixture("good/guarded_mutex.cc").empty());
+}
+
+TEST(LintRuleTest, RethrowingAndCapturingCatchesAreClean) {
+  EXPECT_TRUE(LintFixture("good/rethrow.cc").empty());
+}
+
+TEST(LintRuleTest, SuppressionCommentSilencesRule) {
+  EXPECT_TRUE(LintFixture("good/suppressed.cc").empty());
+}
+
+TEST(LintScannerTest, StringsAndCommentsDoNotTrip) {
+  // The forbidden tokens only appear inside literals and comments.
+  const char* src = R"lint(
+    // std::thread in a comment
+    /* std::ofstream in a block comment */
+    const char* s = "std::filesystem::exists(fopen)";
+  )lint";
+  EXPECT_TRUE(LintSource("some/file.cc", src).empty());
+}
+
+TEST(LintScannerTest, ThisThreadIsNotAThread) {
+  const char* src = R"(
+    #include <chrono>
+    void Nap() { std::this_thread::sleep_for(std::chrono::seconds(1)); }
+  )";
+  EXPECT_TRUE(LintSource("some/file.cc", src).empty());
+}
+
+TEST(LintScannerTest, TemplateHeaderIsNotAClass) {
+  // `template <class T>` must not open a class scope; the local mutex
+  // in the function body is not a member.
+  const char* src = R"(
+    #include <mutex>
+    template <class T>
+    T Locked(T v) {
+      static std::mutex mu;
+      std::lock_guard<std::mutex> lock(mu);
+      return v;
+    }
+  )";
+  EXPECT_TRUE(LintSource("some/file.cc", src).empty());
+}
+
+TEST(LintScannerTest, SuppressionOnSameLineWorks) {
+  const char* src =
+      "class C {\n"
+      "  std::mutex mu_;  // teleios-lint: allow(TL002)\n"
+      "};\n";
+  EXPECT_TRUE(LintSource("some/file.cc", src).empty());
+}
+
+TEST(LintScannerTest, SuppressionOfOtherRuleDoesNotSilence) {
+  const char* src =
+      "class C {\n"
+      "  std::mutex mu_;  // teleios-lint: allow(TL001)\n"
+      "};\n";
+  auto findings = LintSource("some/file.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "TL002");
+}
+
+TEST(LintScannerTest, AnnotatedWrapperMutexCountsAsMutexMember) {
+  // The teleios::Mutex wrapper is held to the same standard as
+  // std::mutex: a capability nobody annotates against is suspicious.
+  const char* src =
+      "class C {\n"
+      "  Mutex mu_;\n"
+      "  int x_ = 0;\n"
+      "};\n";
+  auto findings = LintSource("some/file.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "TL002");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintPathTest, HasDirComponent) {
+  EXPECT_TRUE(HasDirComponent("src/io/retry.cc", "io"));
+  EXPECT_TRUE(HasDirComponent("io/retry.cc", "io"));
+  EXPECT_TRUE(HasDirComponent("/root/repo/src/io/x.h", "io"));
+  EXPECT_FALSE(HasDirComponent("src/vault/vault.cc", "io"));
+  EXPECT_FALSE(HasDirComponent("src/audio/x.cc", "io"));
+  EXPECT_FALSE(HasDirComponent("src/iodine.cc", "io"));
+}
+
+}  // namespace
+}  // namespace teleios::lint

@@ -280,6 +280,21 @@ TEST(AnnotationServiceTest, RepublishReplacesOldAnnotations) {
   EXPECT_GE(strabon.size(), first);
 }
 
+TEST(AnnotationServiceTest, PublishPropagatesDeleteFailure) {
+  // Regression: Publish used to drop the Status of the DELETE that
+  // clears the previous annotation set. A product id that breaks the
+  // SPARQL IRI (the space below) makes the DELETE unparseable; before
+  // the fix Publish still reported OK while stale annotations survived
+  // alongside the fresh ones.
+  eo::Scene scene = TestScene();
+  auto patches = *CutPatches(scene, 16);
+  AnnotationService service;
+  ASSERT_TRUE(service.Annotate(patches, 4, 3).ok());
+  strabon::Strabon strabon;
+  auto published = service.Publish("p 1", &strabon);
+  EXPECT_FALSE(published.ok());
+}
+
 /// k sweep: annotation never crashes and confidence stays sane.
 class KSweep : public ::testing::TestWithParam<int> {};
 

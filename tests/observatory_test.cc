@@ -66,6 +66,14 @@ TEST_F(ObservatoryTest, OntologyPreloaded) {
   EXPECT_GT(classes->num_rows(), 10u);
 }
 
+TEST_F(ObservatoryTest, OntologyLoadOutcomeIsObservable) {
+  // Regression: the constructor used to drop the Status of the
+  // compiled-in ontology load entirely; it is now kept sticky so a
+  // failure would be visible to callers instead of manifesting as
+  // mysteriously empty taxonomy queries.
+  EXPECT_TRUE(veo_.ontology_status().ok());
+}
+
 TEST_F(ObservatoryTest, AttachAndQueryMetadata) {
   auto n = veo_.AttachArchive(dir_.string());
   ASSERT_TRUE(n.ok());

@@ -1,0 +1,382 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace teleios::lint {
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+/// One comment/string-stripping + tokenizing pass. Comments are scanned
+/// for `teleios-lint: allow(...)` suppressions before being dropped;
+/// string and character literals are dropped whole (so a string
+/// containing "std::thread" never trips a rule). Preprocessor include
+/// targets are kept as a single `<header>` token following `include`.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  void Run() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        ScanLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        ScanBlockComment();
+        continue;
+      }
+      if (c == '"' && pos_ >= 1 && src_[pos_ - 1] == 'R') {
+        ScanRawString();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        ScanLiteral(c);
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        ScanIdentifier();
+        continue;
+      }
+      if (c == ':' && Peek(1) == ':') {
+        tokens_.push_back({"::", line_});
+        pos_ += 2;
+        continue;
+      }
+      if (c == '.' && Peek(1) == '.' && Peek(2) == '.') {
+        tokens_.push_back({"...", line_});
+        pos_ += 3;
+        continue;
+      }
+      if (c == '<' && !tokens_.empty() && tokens_.back().text == "include") {
+        ScanIncludeTarget();
+        continue;
+      }
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        tokens_.push_back({std::string(1, c), line_});
+      }
+      ++pos_;
+    }
+  }
+
+  const std::vector<Token>& tokens() const { return tokens_; }
+  /// line -> rule IDs suppressed on that line.
+  const std::map<int, std::set<std::string>>& suppressions() const {
+    return suppressions_;
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void RecordSuppressions(std::string_view comment, int line) {
+    size_t at = comment.find("teleios-lint:");
+    if (at == std::string_view::npos) return;
+    size_t open = comment.find("allow(", at);
+    if (open == std::string_view::npos) return;
+    size_t close = comment.find(')', open);
+    if (close == std::string_view::npos) return;
+    std::string_view rules = comment.substr(open + 6, close - open - 6);
+    std::string id;
+    for (char c : rules) {
+      if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+        if (!id.empty()) suppressions_[line].insert(id);
+        id.clear();
+      } else {
+        id.push_back(c);
+      }
+    }
+    if (!id.empty()) suppressions_[line].insert(id);
+  }
+
+  void ScanLineComment() {
+    size_t end = src_.find('\n', pos_);
+    if (end == std::string_view::npos) end = src_.size();
+    RecordSuppressions(src_.substr(pos_, end - pos_), line_);
+    pos_ = end;
+  }
+
+  void ScanBlockComment() {
+    int start_line = line_;
+    size_t end = src_.find("*/", pos_ + 2);
+    if (end == std::string_view::npos) end = src_.size();
+    std::string_view body = src_.substr(pos_, end - pos_);
+    RecordSuppressions(body, start_line);
+    line_ += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+    pos_ = end == src_.size() ? end : end + 2;
+  }
+
+  void ScanRawString() {
+    // R"delim( ... )delim"
+    size_t open = src_.find('(', pos_);
+    if (open == std::string_view::npos) {
+      pos_ = src_.size();
+      return;
+    }
+    std::string delim(src_.substr(pos_ + 1, open - pos_ - 1));
+    std::string closer = ")" + delim + "\"";
+    size_t end = src_.find(closer, open);
+    if (end == std::string_view::npos) end = src_.size();
+    std::string_view body = src_.substr(pos_, end - pos_);
+    line_ += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+    pos_ = std::min(end + closer.size(), src_.size());
+  }
+
+  void ScanLiteral(char quote) {
+    ++pos_;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') ++line_;
+      ++pos_;
+      if (c == quote) break;
+    }
+  }
+
+  void ScanIdentifier() {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_')) {
+      ++pos_;
+    }
+    tokens_.push_back({std::string(src_.substr(start, pos_ - start)), line_});
+  }
+
+  void ScanIncludeTarget() {
+    size_t end = src_.find('>', pos_);
+    size_t nl = src_.find('\n', pos_);
+    if (end == std::string_view::npos || (nl != std::string_view::npos &&
+                                          nl < end)) {
+      ++pos_;  // malformed; treat '<' as punctuation
+      tokens_.push_back({"<", line_});
+      return;
+    }
+    tokens_.push_back(
+        {std::string(src_.substr(pos_, end - pos_ + 1)), line_});
+    pos_ = end + 1;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  std::vector<Token> tokens_;
+  std::map<int, std::set<std::string>> suppressions_;
+};
+
+bool IsMutexType(const std::vector<Token>& toks, size_t i, size_t* len) {
+  // std::mutex | std::shared_mutex | std::recursive_mutex
+  if (i + 2 < toks.size() && toks[i].text == "std" &&
+      toks[i + 1].text == "::" &&
+      (toks[i + 2].text == "mutex" || toks[i + 2].text == "shared_mutex" ||
+       toks[i + 2].text == "recursive_mutex")) {
+    *len = 3;
+    return true;
+  }
+  // teleios::Mutex | teleios::SharedMutex
+  if (i + 2 < toks.size() && toks[i].text == "teleios" &&
+      toks[i + 1].text == "::" &&
+      (toks[i + 2].text == "Mutex" || toks[i + 2].text == "SharedMutex")) {
+    *len = 3;
+    return true;
+  }
+  // Bare Mutex / SharedMutex (the annotated wrappers).
+  if (toks[i].text == "Mutex" || toks[i].text == "SharedMutex") {
+    *len = 1;
+    return true;
+  }
+  return false;
+}
+
+bool IsIdent(const Token& t) {
+  return !t.text.empty() &&
+         (std::isalpha(static_cast<unsigned char>(t.text[0])) ||
+          t.text[0] == '_');
+}
+
+struct Scope {
+  bool is_class = false;
+  bool has_guarded_by = false;
+  std::vector<int> mutex_member_lines;
+};
+
+}  // namespace
+
+bool HasDirComponent(const std::string& path, const std::string& dir) {
+  std::string needle = "/" + dir + "/";
+  if (path.find(needle) != std::string::npos) return true;
+  return path.rfind(dir + "/", 0) == 0;
+}
+
+std::vector<Finding> LintSource(const std::string& path,
+                                std::string_view content) {
+  Scanner scanner(content);
+  scanner.Run();
+  const std::vector<Token>& toks = scanner.tokens();
+  const auto& suppressions = scanner.suppressions();
+
+  bool io_exempt = HasDirComponent(path, "io");
+  bool exec_exempt = HasDirComponent(path, "exec");
+
+  std::vector<Finding> findings;
+  std::set<std::pair<int, std::string>> seen;  // (line, rule) dedup
+  auto report = [&](const std::string& rule, int line,
+                    const std::string& message) {
+    for (int l : {line, line - 1}) {
+      auto it = suppressions.find(l);
+      if (it != suppressions.end() && it->second.count(rule)) return;
+    }
+    if (!seen.insert({line, rule}).second) return;
+    findings.push_back({rule, line, message});
+  };
+
+  std::vector<Scope> scopes;
+  bool pending_class = false;
+  bool in_template = false;
+  int template_angle = 0;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+
+    // Template headers: `template <class T>` must not look like a class
+    // definition.
+    if (tok.text == "template") {
+      in_template = true;
+      template_angle = 0;
+      continue;
+    }
+    if (in_template) {
+      if (tok.text == "<") ++template_angle;
+      if (tok.text == ">" && --template_angle <= 0) in_template = false;
+      if (tok.text == "{" || tok.text == ";") in_template = false;
+      if (in_template) continue;
+    }
+
+    // --- scope tracking (for TL002) ------------------------------------
+    if ((tok.text == "class" || tok.text == "struct") &&
+        (i == 0 || toks[i - 1].text != "enum")) {
+      pending_class = true;
+    } else if (tok.text == ";" && pending_class) {
+      pending_class = false;  // forward declaration
+    } else if (tok.text == "{") {
+      Scope scope;
+      scope.is_class = pending_class;
+      scopes.push_back(scope);
+      pending_class = false;
+    } else if (tok.text == "}") {
+      if (!scopes.empty()) {
+        Scope done = scopes.back();
+        scopes.pop_back();
+        if (done.is_class && !done.has_guarded_by) {
+          for (int line : done.mutex_member_lines) {
+            report("TL002", line,
+                   "mutex member in a class with no TELEIOS_GUARDED_BY "
+                   "member: annotate what it guards (or suppress if it "
+                   "guards external state)");
+          }
+        }
+      }
+    }
+
+    if (tok.text == "TELEIOS_GUARDED_BY" && !scopes.empty() &&
+        scopes.back().is_class) {
+      scopes.back().has_guarded_by = true;
+    }
+
+    // Mutex-typed member: `Mutex name_;` directly inside a class body.
+    size_t type_len = 0;
+    if (!scopes.empty() && scopes.back().is_class &&
+        IsMutexType(toks, i, &type_len) && i + type_len + 1 < toks.size() &&
+        IsIdent(toks[i + type_len]) &&
+        toks[i + type_len + 1].text == ";") {
+      scopes.back().mutex_member_lines.push_back(tok.line);
+    }
+
+    // --- TL001: raw I/O outside src/io/ --------------------------------
+    if (!io_exempt) {
+      if (i + 2 < toks.size() && tok.text == "std" &&
+          toks[i + 1].text == "::" &&
+          (toks[i + 2].text == "ofstream" || toks[i + 2].text == "ifstream" ||
+           toks[i + 2].text == "fstream" ||
+           toks[i + 2].text == "filesystem")) {
+        report("TL001", tok.line,
+               "raw file I/O (std::" + toks[i + 2].text +
+                   ") outside src/io/: route through io::FileSystem so "
+                   "fault injection covers it");
+      }
+      if ((tok.text == "fopen" || tok.text == "freopen" ||
+           tok.text == "tmpfile") &&
+          i + 1 < toks.size() && toks[i + 1].text == "(" &&
+          (i == 0 || toks[i - 1].text != "::")) {
+        report("TL001", tok.line,
+               "raw file I/O (" + tok.text +
+                   ") outside src/io/: route through io::FileSystem so "
+                   "fault injection covers it");
+      }
+      if ((tok.text == "<fstream>" || tok.text == "<filesystem>") &&
+          i >= 1 && toks[i - 1].text == "include") {
+        report("TL001", tok.line,
+               "#include " + tok.text +
+                   " outside src/io/: route through io::FileSystem so "
+                   "fault injection covers it");
+      }
+    }
+
+    // --- TL003: raw threads outside src/exec/ --------------------------
+    if (!exec_exempt && i + 2 < toks.size() && tok.text == "std" &&
+        toks[i + 1].text == "::" && toks[i + 2].text == "thread") {
+      report("TL003", tok.line,
+             "std::thread outside src/exec/: all parallelism goes through "
+             "exec::ThreadPool so TELEIOS_THREADS=1 means serial");
+    }
+
+    // --- TL004: catch (...) that swallows ------------------------------
+    if (tok.text == "catch" && i + 4 < toks.size() &&
+        toks[i + 1].text == "(" && toks[i + 2].text == "..." &&
+        toks[i + 3].text == ")" && toks[i + 4].text == "{") {
+      int depth = 0;
+      bool handled = false;
+      for (size_t j = i + 4; j < toks.size(); ++j) {
+        if (toks[j].text == "{") ++depth;
+        if (toks[j].text == "}" && --depth == 0) break;
+        if (toks[j].text == "throw" ||
+            toks[j].text == "rethrow_exception" ||
+            toks[j].text == "current_exception" ||
+            toks[j].text == "TELEIOS_LOG") {
+          handled = true;
+          break;
+        }
+      }
+      if (!handled) {
+        report("TL004", tok.line,
+               "catch (...) that neither rethrows, captures the exception, "
+               "nor logs: silently swallowed exceptions hide bugs");
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace teleios::lint

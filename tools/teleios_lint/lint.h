@@ -1,0 +1,61 @@
+#ifndef TELEIOS_TOOLS_TELEIOS_LINT_LINT_H_
+#define TELEIOS_TOOLS_TELEIOS_LINT_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// teleios_lint: a token-level linter for project invariants that clang
+/// (or any general-purpose tool) cannot express. It is deliberately not
+/// a compiler plugin — the rules are boundary rules ("this construct is
+/// only allowed in this directory") and structural rules ("a mutex
+/// member implies a guarded member"), which a comment- and
+/// string-aware token scan checks exactly as well as an AST would,
+/// with zero build-time dependencies.
+///
+/// Rules:
+///   TL001 raw-io        No std::ofstream/ifstream/fstream,
+///                       std::filesystem, fopen/freopen/tmpfile, or
+///                       <fstream>/<filesystem> include outside src/io/.
+///                       All file I/O must go through io::FileSystem so
+///                       fault injection covers it (PR 2 seam).
+///   TL002 naked-mutex   No mutex-typed data member (std::mutex,
+///                       std::shared_mutex, Mutex, SharedMutex) in a
+///                       class with no TELEIOS_GUARDED_BY-annotated
+///                       member: an unguarded-capability class is either
+///                       missing annotations or guarding external state
+///                       (suppress with a comment in the latter case).
+///   TL003 raw-thread    No std::thread outside src/exec/ — all
+///                       parallelism goes through the ThreadPool, so
+///                       TELEIOS_THREADS=1 really means serial.
+///   TL004 catch-swallow No `catch (...)` whose body neither rethrows
+///                       (throw / rethrow_exception), captures
+///                       (current_exception), nor logs (TELEIOS_LOG):
+///                       silently swallowed exceptions hide bugs.
+///
+/// Suppression: a comment `// teleios-lint: allow(TL002)` (one or more
+/// comma-separated rule IDs) on the finding's line or the line above
+/// disables those rules there. Every suppression is a reviewed,
+/// greppable decision — the same contract as the explicit `(void)`
+/// casts for discarded Statuses.
+namespace teleios::lint {
+
+struct Finding {
+  std::string rule;     // "TL001" ... "TL004"
+  int line = 0;         // 1-based
+  std::string message;  // human-readable explanation
+};
+
+/// Lints one translation unit. `path` decides directory exemptions
+/// (a "/io/" component exempts TL001, "/exec/" exempts TL003); `content`
+/// is the file's source text. Findings are ordered by line.
+std::vector<Finding> LintSource(const std::string& path,
+                                std::string_view content);
+
+/// True when `path` has a directory component `dir` (e.g. HasDirComponent
+/// ("src/io/retry.cc", "io")).
+bool HasDirComponent(const std::string& path, const std::string& dir);
+
+}  // namespace teleios::lint
+
+#endif  // TELEIOS_TOOLS_TELEIOS_LINT_LINT_H_

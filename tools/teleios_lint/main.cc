@@ -1,0 +1,76 @@
+// teleios_lint driver: lints the given files (or every *.h/*.cc under
+// the given directories) and exits non-zero when any rule fires.
+//
+// The tool itself lives outside src/, so it may use std::filesystem and
+// std::ifstream directly — the TL001 boundary rule is about production
+// code going through the fault-injectable io::FileSystem seam, which a
+// build-time tool has no reason to do.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+void Collect(const std::string& arg, std::vector<std::string>* files) {
+  std::error_code ec;
+  if (fs::is_directory(arg, ec)) {
+    for (fs::recursive_directory_iterator it(arg, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (it->is_regular_file(ec) && IsSourceFile(it->path())) {
+        files->push_back(it->path().generic_string());
+      }
+    }
+  } else {
+    files->push_back(arg);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: teleios_lint <file-or-dir>...\n";
+    return 2;
+  }
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) Collect(argv[i], &files);
+  std::sort(files.begin(), files.end());
+
+  size_t total = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << path << ": cannot read\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+    for (const auto& finding : teleios::lint::LintSource(path, content)) {
+      std::cout << path << ":" << finding.line << ": [" << finding.rule
+                << "] " << finding.message << "\n";
+      ++total;
+    }
+  }
+  if (total > 0) {
+    std::cout << "teleios_lint: " << total << " finding(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "teleios_lint: clean (" << files.size() << " files)\n";
+  return 0;
+}
