@@ -1,0 +1,138 @@
+// E15 — resource-governor overheads: what admission control, budget
+// accounting and the circuit breaker cost on the hot path when the
+// system is NOT overloaded (the steady-state tax), and how fast the
+// shed paths are when it is (overload must be cheap, or shedding is
+// just another way to thrash). Run with --json to diff ns_per_op.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "governor/admission.h"
+#include "governor/circuit_breaker.h"
+#include "governor/memory_budget.h"
+#include "relational/sql_engine.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace {
+
+using teleios::Value;
+namespace governor = teleios::governor;
+
+/// Reserve+release round trip at state.range(0) hierarchy depth (1 =
+/// root only; 3 = process -> batch -> query, the facade's worst case).
+void BM_BudgetReserveRelease(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  std::vector<std::unique_ptr<governor::MemoryBudget>> chain;
+  chain.push_back(std::make_unique<governor::MemoryBudget>(
+      "root", governor::MemoryBudget::kUnlimited));
+  for (int d = 1; d < depth; ++d) {
+    chain.push_back(std::make_unique<governor::MemoryBudget>(
+        "child" + std::to_string(d), governor::MemoryBudget::kUnlimited,
+        chain.back().get()));
+  }
+  governor::MemoryBudget* leaf = chain.back().get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(leaf->Reserve(4096));
+    leaf->Release(4096);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Uncontended admit+release round trip — the tax every governed
+/// statement pays when slots are free.
+void BM_AdmissionFastPath(benchmark::State& state) {
+  governor::AdmissionController admission;
+  for (auto _ : state) {
+    auto ticket = admission.Admit(nullptr);
+    benchmark::DoNotOptimize(ticket.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Shed path: queue full, every arrival bounced with kUnavailable.
+void BM_AdmissionShed(benchmark::State& state) {
+  governor::AdmissionConfig config;
+  config.max_concurrent = 1;
+  config.max_queue = 0;
+  config.max_wait = std::chrono::milliseconds(0);
+  governor::AdmissionController admission(config);
+  auto held = admission.Admit(nullptr);
+  for (auto _ : state) {
+    auto shed = admission.Admit(nullptr);
+    benchmark::DoNotOptimize(shed.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Closed-breaker pass-through (admit + record success).
+void BM_BreakerClosedPassThrough(benchmark::State& state) {
+  governor::CircuitBreaker breaker("bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        breaker.Run([] { return teleios::Status::OK(); }));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Open-breaker shed — the fail-fast path under persistent faults.
+void BM_BreakerOpenShed(benchmark::State& state) {
+  teleios::governor::CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_duration = std::chrono::hours(1);
+  governor::CircuitBreaker breaker("bench-open", config);
+  (void)breaker.Run([] { return teleios::Status::IoError("down"); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(breaker.Admit());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// A governed-style SQL statement under a per-query child budget vs the
+/// raw engine: Arg(0)==1 runs with the budget installed, Arg(0)==0
+/// without, so the relative cost of budget charges inside the operators
+/// is the ratio of the two.
+void BM_GovernedSqlStatement(benchmark::State& state) {
+  bool governed = state.range(0) != 0;
+  teleios::storage::Catalog catalog;
+  auto table = std::make_shared<teleios::storage::Table>(
+      teleios::storage::Schema({
+          {"id", teleios::storage::ColumnType::kInt64},
+          {"temp", teleios::storage::ColumnType::kFloat64},
+      }));
+  uint64_t s = 7;
+  for (int64_t i = 0; i < 100000; ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    (void)table->AppendRow(
+        {Value(i), Value(250.0 + static_cast<double>(s % 100000) / 1000.0)});
+  }
+  (void)catalog.CreateTable("m", table);
+  teleios::relational::SqlEngine sql(&catalog);
+  governor::MemoryBudget root("bench-root",
+                              governor::MemoryBudget::kUnlimited);
+  for (auto _ : state) {
+    if (governed) {
+      governor::MemoryBudget query("query",
+                                   governor::MemoryBudget::kUnlimited, &root);
+      governor::ScopedBudget scope(&query);
+      auto r = sql.Execute("SELECT count(*) AS n FROM m WHERE temp > 300.0");
+      benchmark::DoNotOptimize(r.ok());
+    } else {
+      auto r = sql.Execute("SELECT count(*) AS n FROM m WHERE temp > 300.0");
+      benchmark::DoNotOptimize(r.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+
+BENCHMARK(BM_BudgetReserveRelease)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_AdmissionFastPath);
+BENCHMARK(BM_AdmissionShed);
+BENCHMARK(BM_BreakerClosedPassThrough);
+BENCHMARK(BM_BreakerOpenShed);
+BENCHMARK(BM_GovernedSqlStatement)->Arg(0)->Arg(1);
+
+}  // namespace

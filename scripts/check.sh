@@ -40,6 +40,19 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-tsan -j "${JOBS}"
 TELEIOS_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}"
 
+echo "== pass 4b/5: overload leg — governor tests under tight budgets =="
+# The resource-governor suite again, now with an externally tightened
+# process budget and a tiny admission pool, under both sanitizer builds:
+# shed paths and refusal paths must stay clean under ASan/UBSan (no
+# leak on any error path) and TSan (admission queue + breaker + budget
+# locking). Facade-level tests install their own roomy budget via
+# ScopedBudget, so a 64m process root only starves what means to be
+# starved.
+TELEIOS_MEMORY_BUDGET=64m TELEIOS_MAX_CONCURRENT_QUERIES=2 \
+  ctest --test-dir build-sanitize --output-on-failure -R "governor_test|GovernedObservatoryTest|MemoryBudgetTest|AdmissionTest|BreakerTest"
+TELEIOS_MEMORY_BUDGET=64m TELEIOS_MAX_CONCURRENT_QUERIES=2 TELEIOS_THREADS=8 \
+  ctest --test-dir build-tsan --output-on-failure -R "governor_test|GovernedObservatoryTest|MemoryBudgetTest|AdmissionTest|BreakerTest"
+
 echo "== pass 5/5: static analysis (thread-safety annotations + lint) =="
 if command -v clang++ >/dev/null 2>&1; then
   # Compile-time lock-discipline check: the annotated build must be

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "exec/parallel_for.h"
+#include "governor/memory_budget.h"
 
 namespace teleios::array {
 
@@ -121,6 +122,13 @@ Result<ArrayPtr> Convolve2D(const Array& input, size_t attr,
   TELEIOS_ASSIGN_OR_RETURN(const double* src, input.Doubles(attr));
   const Dimension& dy = input.dims()[0];
   const Dimension& dx = input.dims()[1];
+  // The output raster is the op's one big allocation.
+  TELEIOS_ASSIGN_OR_RETURN(
+      governor::BudgetCharge charge,
+      governor::ChargeCurrent(
+          static_cast<size_t>(dy.size) * static_cast<size_t>(dx.size) *
+              sizeof(double),
+          "convolution output raster"));
   TELEIOS_ASSIGN_OR_RETURN(
       ArrayPtr out,
       Array::Create(input.name() + "_conv",
@@ -229,6 +237,11 @@ Result<ArrayPtr> TileAggregate2D(const Array& input, size_t attr,
   const Dimension& dx = input.dims()[1];
   int64_t th = (dy.size + tile_h - 1) / tile_h;
   int64_t tw = (dx.size + tile_w - 1) / tile_w;
+  TELEIOS_ASSIGN_OR_RETURN(
+      governor::BudgetCharge charge,
+      governor::ChargeCurrent(
+          static_cast<size_t>(th) * static_cast<size_t>(tw) * sizeof(double),
+          "tile-aggregate output raster"));
   TELEIOS_ASSIGN_OR_RETURN(
       ArrayPtr out,
       Array::Create(input.name() + "_tiles",

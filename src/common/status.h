@@ -25,6 +25,8 @@ enum class StatusCode {
   kInternal,
   kCancelled,
   kDeadlineExceeded,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name ("Ok", "ParseError", ...).
@@ -83,6 +85,16 @@ class [[nodiscard]] Status {
   /// A deadline attached to the work expired before it completed.
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// A resource budget (memory, quota) was exhausted; retrying with a
+  /// smaller request or a larger budget can succeed.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// The service is temporarily refusing work (overload shed, open
+  /// circuit breaker); the request itself was fine — try again later.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

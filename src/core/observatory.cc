@@ -70,6 +70,40 @@ Result<storage::Table> ProfileStatement(const char* trace_name,
 
 }  // namespace
 
+template <typename Fn>
+auto VirtualEarthObservatory::Governed(const char* tier,
+                                       const exec::CancellationToken* cancel,
+                                       Fn&& run) -> decltype(run()) {
+  governor::AdmissionTicket ticket;
+  {
+    // Queue wait is part of the statement's observed latency; the span
+    // makes it visible in PROFILE output.
+    obs::TraceSpan span("governor.admit");
+    auto admitted = admission_.Admit(cancel);
+    if (!admitted.ok()) {
+      obs::Count(obs::WithLabel("teleios_governor_rejected_total", "tier",
+                                tier));
+      return admitted.status();
+    }
+    ticket = std::move(*admitted);
+  }
+  // A per-query child of the caller's budget: the process (or test) root
+  // enforces the limit, the child gives per-statement accounting — its
+  // balance must return to zero on every path out of `run`.
+  governor::MemoryBudget query_budget(std::string(tier) + "-query",
+                                      governor::MemoryBudget::kUnlimited,
+                                      governor::CurrentBudget());
+  governor::ScopedBudget budget_scope(&query_budget);
+  auto result = governor::WithOomGuard(tier, [&] { return run(); });
+  obs::SetGauge("teleios_governor_query_peak_bytes",
+                static_cast<double>(query_budget.peak()));
+  // Always zero unless a charge guard leaked — a cheap, always-on
+  // invariant check surfaced as a metric.
+  obs::SetGauge("teleios_governor_query_leak_bytes",
+                static_cast<double>(query_budget.used()));
+  return result;
+}
+
 VirtualEarthObservatory::VirtualEarthObservatory() {
   vault_ = std::make_unique<vault::DataVault>(&catalog_);
   sciql_ = std::make_unique<sciql::SciQlEngine>(&catalog_);
@@ -101,35 +135,36 @@ Status VirtualEarthObservatory::RegisterRaster(const std::string& name) {
 }
 
 Result<storage::Table> VirtualEarthObservatory::Sql(
-    const std::string& statement) {
+    const std::string& statement, const exec::CancellationToken* cancel) {
   std::string body = statement;
-  if (StripProfilePrefix(&body)) {
-    return ProfileStatement(
-        "sql", body, [&](const std::string& s) { return sql_->Execute(s); });
-  }
-  return sql_->Execute(statement);
+  bool profile = StripProfilePrefix(&body);
+  auto execute = [&](const std::string& s) {
+    return Governed("sql", cancel, [&] { return sql_->Execute(s); });
+  };
+  if (profile) return ProfileStatement("sql", body, execute);
+  return execute(body);
 }
 
 Result<storage::Table> VirtualEarthObservatory::SciQl(
-    const std::string& statement) {
+    const std::string& statement, const exec::CancellationToken* cancel) {
   std::string body = statement;
-  if (StripProfilePrefix(&body)) {
-    return ProfileStatement("sciql", body, [&](const std::string& s) {
-      return sciql_->Execute(s);
-    });
-  }
-  return sciql_->Execute(statement);
+  bool profile = StripProfilePrefix(&body);
+  auto execute = [&](const std::string& s) {
+    return Governed("sciql", cancel, [&] { return sciql_->Execute(s); });
+  };
+  if (profile) return ProfileStatement("sciql", body, execute);
+  return execute(body);
 }
 
 Result<storage::Table> VirtualEarthObservatory::StSparql(
-    const std::string& query) {
+    const std::string& query, const exec::CancellationToken* cancel) {
   std::string body = query;
-  if (StripProfilePrefix(&body)) {
-    return ProfileStatement("stsparql", body, [&](const std::string& s) {
-      return strabon_.Query(s);
-    });
-  }
-  return strabon_.Query(query);
+  bool profile = StripProfilePrefix(&body);
+  auto execute = [&](const std::string& s) {
+    return Governed("stsparql", cancel, [&] { return strabon_.Query(s); });
+  };
+  if (profile) return ProfileStatement("stsparql", body, execute);
+  return execute(body);
 }
 
 Result<size_t> VirtualEarthObservatory::StSparqlUpdate(
@@ -143,14 +178,20 @@ Result<size_t> VirtualEarthObservatory::LoadLinkedData(
 }
 
 Result<noa::ChainResult> VirtualEarthObservatory::RunFireChain(
-    const std::string& raster_name, const noa::ChainConfig& config) {
-  return chain_->Run(raster_name, config);
+    const std::string& raster_name, const noa::ChainConfig& config,
+    const exec::CancellationToken* cancel) {
+  return Governed("fire-chain", cancel,
+                  [&] { return chain_->Run(raster_name, config, cancel); });
 }
 
 Result<noa::ChainResult> VirtualEarthObservatory::RunFireChainBatch(
     const std::vector<std::string>& raster_names,
-    const noa::ChainConfig& config) {
-  return chain_->RunBatch(raster_names, config);
+    const noa::ChainConfig& config, const exec::CancellationToken* cancel) {
+  // One admission slot and one budget for the whole batch: the chain's
+  // internal fan-out (one worker per product) stays inside them.
+  return Governed("fire-chain-batch", cancel, [&] {
+    return chain_->RunBatch(raster_names, config, cancel);
+  });
 }
 
 Status VirtualEarthObservatory::SaveCatalog(const std::string& dir) {

@@ -6,6 +6,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/cancellation.h"
+#include "governor/admission.h"
+#include "governor/memory_budget.h"
 #include "noa/chain.h"
 #include "noa/mapping.h"
 #include "noa/refinement.h"
@@ -48,13 +51,25 @@ class VirtualEarthObservatory {
   // under a trace and returns the span tree as a table with columns
   // (span, depth, millis, detail) instead of the result rows; the root
   // span carries the result cardinality as a rows= detail.
+  //
+  // Statements run under the resource governor: admission control caps
+  // how many execute at once (overflow sheds with kUnavailable), and a
+  // per-query child of the process memory budget accounts the statement's
+  // working memory (an oversized query fails that query with
+  // kResourceExhausted instead of taking the process down). `cancel`
+  // (optional) bounds the queue wait and the statement's retries by the
+  // caller's deadline.
 
   /// SQL over catalog/metadata tables.
-  Result<storage::Table> Sql(const std::string& statement);
+  Result<storage::Table> Sql(const std::string& statement,
+                             const exec::CancellationToken* cancel = nullptr);
   /// SciQL over registered arrays (and catalog tables).
-  Result<storage::Table> SciQl(const std::string& statement);
+  Result<storage::Table> SciQl(const std::string& statement,
+                               const exec::CancellationToken* cancel = nullptr);
   /// stSPARQL SELECT/ASK over the semantic store.
-  Result<storage::Table> StSparql(const std::string& query);
+  Result<storage::Table> StSparql(
+      const std::string& query,
+      const exec::CancellationToken* cancel = nullptr);
   /// stSPARQL update.
   Result<size_t> StSparqlUpdate(const std::string& update);
   /// Loads Turtle (ontologies, annotations, linked open data).
@@ -63,14 +78,18 @@ class VirtualEarthObservatory {
   // --- service tier ---------------------------------------------------------
 
   /// Runs the NOA fire-monitoring chain on an attached raster.
-  Result<noa::ChainResult> RunFireChain(const std::string& raster_name,
-                                        const noa::ChainConfig& config);
+  Result<noa::ChainResult> RunFireChain(
+      const std::string& raster_name, const noa::ChainConfig& config,
+      const exec::CancellationToken* cancel = nullptr);
 
   /// Runs the chain over a batch of rasters; per-product failures land
-  /// in ChainResult::failures while the rest complete.
+  /// in ChainResult::failures while the rest complete. Governed like the
+  /// query entry points: one admission slot for the whole batch, one
+  /// per-batch memory budget.
   Result<noa::ChainResult> RunFireChainBatch(
       const std::vector<std::string>& raster_names,
-      const noa::ChainConfig& config);
+      const noa::ChainConfig& config,
+      const exec::CancellationToken* cancel = nullptr);
 
   // --- persistence ----------------------------------------------------------
 
@@ -112,7 +131,23 @@ class VirtualEarthObservatory {
   /// taxonomy, so callers that depend on it should check this once.
   const Status& ontology_status() const { return ontology_status_; }
 
+  // --- resource governance ----------------------------------------------------
+
+  /// Concurrency / queue-depth knobs; defaults come from
+  /// TELEIOS_MAX_CONCURRENT_QUERIES at construction.
+  void SetAdmissionConfig(const governor::AdmissionConfig& config) {
+    admission_.Reconfigure(config);
+  }
+  governor::AdmissionController& admission() { return admission_; }
+
  private:
+  /// Admission + per-query budget + bad_alloc backstop around one
+  /// governed entry point. Runs inside any active trace, so PROFILE
+  /// output shows the `governor.admit` span alongside execution.
+  template <typename Fn>
+  auto Governed(const char* tier, const exec::CancellationToken* cancel,
+                Fn&& run) -> decltype(run());
+
   storage::Catalog catalog_;
   strabon::Strabon strabon_;
   std::unique_ptr<vault::DataVault> vault_;
@@ -120,6 +155,7 @@ class VirtualEarthObservatory {
   std::unique_ptr<relational::SqlEngine> sql_;
   std::unique_ptr<noa::ProcessingChain> chain_;
   Status ontology_status_;
+  governor::AdmissionController admission_{governor::AdmissionConfig::FromEnv()};
 };
 
 }  // namespace teleios::core

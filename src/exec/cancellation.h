@@ -46,6 +46,23 @@ class CancellationToken {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
+  /// True once SetDeadline/CancelAfter armed a deadline.
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  /// The armed deadline; meaningless unless has_deadline(). Exposed so
+  /// cooperating layers (retry backoff, admission queues) can bound
+  /// their own waits by the caller's deadline instead of overshooting
+  /// it.
+  std::chrono::steady_clock::time_point deadline() const {
+    // deadline_ns_ holds a raw time_since_epoch().count(), i.e. native
+    // steady_clock duration units.
+    return std::chrono::steady_clock::time_point(
+        std::chrono::steady_clock::duration(
+            deadline_ns_.load(std::memory_order_relaxed)));
+  }
+
   /// True when the token was cancelled or its deadline has passed.
   bool Expired() const {
     if (cancelled()) return true;

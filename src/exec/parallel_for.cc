@@ -8,6 +8,7 @@
 
 #include "common/thread_annotations.h"
 #include "exec/task_group.h"
+#include "governor/memory_budget.h"
 #include "obs/trace.h"
 
 namespace teleios::exec {
@@ -90,7 +91,12 @@ Status ParallelFor(size_t n, const ParallelOptions& opts,
   }
 
   RegionState state;
+  // Workers charge the caller's budget, not the process root: a morsel
+  // body that reserves memory on a pool thread lands on the same
+  // per-query budget as the thread that opened the region.
+  governor::MemoryBudget* region_budget = governor::CurrentBudget();
   auto runner = [&] {
+    governor::ScopedBudget budget_scope(region_budget);
     for (;;) {
       if (opts.cancel != nullptr && opts.cancel->Expired()) return;
       size_t m = state.cursor.fetch_add(1, std::memory_order_relaxed);

@@ -1,0 +1,116 @@
+#ifndef TELEIOS_GOVERNOR_ADMISSION_H_
+#define TELEIOS_GOVERNOR_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "exec/cancellation.h"
+
+namespace teleios::governor {
+
+struct AdmissionConfig {
+  /// Statements executing at once; further arrivals queue.
+  int max_concurrent = 4;
+  /// Bounded FIFO wait queue; arrivals beyond it are shed immediately.
+  int max_queue = 16;
+  /// Upper bound on queue wait for callers without a deadline of their
+  /// own; zero sheds immediately when no slot is free.
+  std::chrono::milliseconds max_wait{30000};
+
+  /// max_concurrent from TELEIOS_MAX_CONCURRENT_QUERIES when set to a
+  /// positive integer; the defaults above otherwise.
+  static AdmissionConfig FromEnv();
+};
+
+class AdmissionController;
+
+/// RAII occupancy of one admission slot; releasing (destruction or
+/// reset) wakes the next queued waiter. Movable so the facade can hold
+/// it across a statement's execution.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  ~AdmissionTicket() { reset(); }
+
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : controller_(other.controller_) {
+    other.controller_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      reset();
+      controller_ = other.controller_;
+      other.controller_ = nullptr;
+    }
+    return *this;
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  void reset();
+  bool valid() const { return controller_ != nullptr; }
+
+ private:
+  friend class AdmissionController;
+  explicit AdmissionTicket(AdmissionController* controller)
+      : controller_(controller) {}
+
+  AdmissionController* controller_ = nullptr;
+};
+
+/// Bounded-concurrency admission control for the observatory facade:
+/// at most `max_concurrent` statements run at once, up to `max_queue`
+/// more wait in strict FIFO order (sequence-numbered tickets), and
+/// anything beyond that is shed instantly with `kUnavailable` — a full
+/// system says "try later" in microseconds instead of thrashing.
+///
+/// Waiting is deadline-aware: a caller whose CancellationToken carries a
+/// deadline never waits past it (the wait returns the token's own
+/// kDeadlineExceeded / kCancelled), and deadline-less callers are
+/// bounded by `max_wait`. A waiter that gives up removes itself from
+/// the queue, so later arrivals cannot deadlock behind it.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config = {})
+      : config_(config) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Applies to subsequent Admit calls; running statements and queued
+  /// waiters are not disturbed.
+  void Reconfigure(const AdmissionConfig& config);
+
+  /// Blocks until a slot frees (FIFO), the caller's deadline expires, or
+  /// max_wait elapses. `token` may be nullptr. Sheds with kUnavailable
+  /// when the queue is full or the wait times out; returns the token's
+  /// status when it cancels/expires first.
+  Result<AdmissionTicket> Admit(const exec::CancellationToken* token);
+
+  int running() const;
+  int queued() const;
+
+ private:
+  friend class AdmissionTicket;
+  void ReleaseSlot();
+  void ReportGaugesLocked() const TELEIOS_REQUIRES(mu_);
+  /// Removes a give-up waiter's ticket so later arrivals don't deadlock
+  /// behind it.
+  void AbandonLocked(uint64_t seq) TELEIOS_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::condition_variable cv_;
+  AdmissionConfig config_ TELEIOS_GUARDED_BY(mu_);
+  int running_ TELEIOS_GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ TELEIOS_GUARDED_BY(mu_) = 0;
+  /// Waiting tickets in arrival order; the front is next to admit.
+  std::deque<uint64_t> queue_ TELEIOS_GUARDED_BY(mu_);
+};
+
+}  // namespace teleios::governor
+
+#endif  // TELEIOS_GOVERNOR_ADMISSION_H_

@@ -1,0 +1,181 @@
+#include "governor/circuit_breaker.h"
+
+#include "obs/metrics.h"
+
+namespace teleios::governor {
+
+namespace {
+
+void ReportState(const std::string& name, CircuitBreaker::State state) {
+  obs::SetGauge(obs::WithLabel("teleios_governor_breaker_state", "breaker",
+                               name),
+                static_cast<double>(static_cast<int>(state)));
+}
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(std::string name, CircuitBreakerConfig config)
+    : name_(std::move(name)), config_(config) {
+  MutexLock lock(mu_);
+  ReportStateLocked();
+}
+
+void CircuitBreaker::Reconfigure(const CircuitBreakerConfig& config) {
+  MutexLock lock(mu_);
+  config_ = config;
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  probe_in_flight_ = false;
+  ReportStateLocked();
+}
+
+void CircuitBreaker::SetClockForTest(Clock clock) {
+  MutexLock lock(mu_);
+  clock_ = std::move(clock);
+}
+
+std::chrono::steady_clock::time_point CircuitBreaker::NowLocked() const {
+  return clock_ ? clock_() : std::chrono::steady_clock::now();
+}
+
+void CircuitBreaker::TripLocked() {
+  state_ = State::kOpen;
+  opened_at_ = NowLocked();
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  probe_in_flight_ = false;
+  ++trips_;
+  obs::Count(obs::WithLabel("teleios_governor_breaker_trips_total",
+                            "breaker", name_));
+  ReportStateLocked();
+}
+
+void CircuitBreaker::ReportStateLocked() const {
+  ReportState(name_, state_);
+}
+
+Status CircuitBreaker::Admit() {
+  MutexLock lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return Status::OK();
+    case State::kOpen: {
+      if (NowLocked() - opened_at_ < config_.open_duration) {
+        obs::Count(obs::WithLabel("teleios_governor_breaker_shed_total",
+                                  "breaker", name_));
+        return Status::Unavailable(
+            "circuit breaker '" + name_ +
+            "' is open: dependency failing, shedding calls until the "
+            "cool-down elapses");
+      }
+      state_ = State::kHalfOpen;
+      half_open_successes_ = 0;
+      probe_in_flight_ = true;
+      ReportStateLocked();
+      return Status::OK();
+    }
+    case State::kHalfOpen: {
+      // One probe at a time: concurrent callers are shed until the probe
+      // reports back, so a recovering dependency is not stampeded.
+      if (probe_in_flight_) {
+        obs::Count(obs::WithLabel("teleios_governor_breaker_shed_total",
+                                  "breaker", name_));
+        return Status::Unavailable("circuit breaker '" + name_ +
+                                   "' is half-open: probe in flight");
+      }
+      probe_in_flight_ = true;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("circuit breaker '" + name_ +
+                          "': unknown state");
+}
+
+void CircuitBreaker::RecordSuccess() {
+  MutexLock lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++half_open_successes_ >= config_.half_open_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        ReportStateLocked();
+      }
+      break;
+    case State::kOpen:
+      // A straggler from before the trip; the cool-down stands.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  MutexLock lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        TripLocked();
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: back to a full cool-down.
+      TripLocked();
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+bool CircuitBreaker::IsInfrastructureFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kDataLoss:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status CircuitBreaker::Run(
+    const std::function<Status()>& fn,
+    const std::function<bool(const Status&)>& is_failure) {
+  Status admitted = Admit();
+  if (!admitted.ok()) return admitted;
+  Status result = fn();
+  bool failed = is_failure ? is_failure(result)
+                           : IsInfrastructureFailure(result);
+  if (failed) {
+    RecordFailure();
+  } else {
+    RecordSuccess();
+  }
+  return result;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  MutexLock lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  MutexLock lock(mu_);
+  return trips_;
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace teleios::governor

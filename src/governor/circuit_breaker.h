@@ -1,0 +1,103 @@
+#ifndef TELEIOS_GOVERNOR_CIRCUIT_BREAKER_H_
+#define TELEIOS_GOVERNOR_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace teleios::governor {
+
+struct CircuitBreakerConfig {
+  /// Consecutive qualifying failures that trip the breaker open.
+  int failure_threshold = 3;
+  /// Cool-down after tripping before a half-open probe is let through.
+  std::chrono::milliseconds open_duration{250};
+  /// Consecutive half-open successes needed to close again.
+  int half_open_successes = 1;
+};
+
+/// Classic closed → open → half-open overload breaker around a flaky
+/// dependency (vault ingestion, NOA export). Closed it passes everything
+/// through and counts consecutive qualifying failures; at
+/// `failure_threshold` it trips open and sheds calls instantly with
+/// `kUnavailable` (no I/O, no retry backoff) until `open_duration` has
+/// elapsed. Then exactly one probe call is admitted (half-open): success
+/// closes the breaker, failure re-opens it for another cool-down.
+///
+/// This composes with io::RetryPolicy one level down: retries smooth
+/// transient faults, the breaker stops a persistent fault from turning
+/// every caller into a slow failure.
+///
+/// Time is read through an injectable clock so tests drive the state
+/// machine deterministically without sleeping. Thread-safe; immovable
+/// (owns a Mutex) — reconfigure in place via Reconfigure().
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  using Clock = std::function<std::chrono::steady_clock::time_point()>;
+
+  explicit CircuitBreaker(std::string name,
+                          CircuitBreakerConfig config = {});
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Swaps the thresholds and resets to closed (tests, env overrides).
+  void Reconfigure(const CircuitBreakerConfig& config);
+
+  /// Replaces the time source (tests); nullptr restores steady_clock.
+  void SetClockForTest(Clock clock);
+
+  /// kUnavailable while the breaker is shedding; OK admits the call (and,
+  /// from open, moves to half-open once the cool-down elapsed). Every
+  /// admitted call MUST be followed by RecordSuccess or RecordFailure.
+  Status Admit();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  /// Admit → run → record in one step. `is_failure` decides which
+  /// outcomes count against the breaker; by default only infrastructure
+  /// faults (kIoError, kDataLoss, kUnavailable) do, so a NotFound or a
+  /// validation error never trips it. Non-qualifying errors still return
+  /// to the caller unchanged, recorded as breaker successes.
+  Status Run(const std::function<Status()>& fn,
+             const std::function<bool(const Status&)>& is_failure = nullptr);
+
+  State state() const;
+  const std::string& name() const { return name_; }
+
+  /// Times the breaker tripped open since construction.
+  uint64_t trips() const;
+
+  static const char* StateName(State state);
+  /// Default Run() failure predicate, exposed for callers that record
+  /// outcomes manually around non-Status code paths.
+  static bool IsInfrastructureFailure(const Status& status);
+
+ private:
+  std::chrono::steady_clock::time_point NowLocked() const
+      TELEIOS_REQUIRES(mu_);
+  void TripLocked() TELEIOS_REQUIRES(mu_);
+  void ReportStateLocked() const TELEIOS_REQUIRES(mu_);
+
+  const std::string name_;
+  mutable Mutex mu_;
+  CircuitBreakerConfig config_ TELEIOS_GUARDED_BY(mu_);
+  Clock clock_ TELEIOS_GUARDED_BY(mu_);
+  State state_ TELEIOS_GUARDED_BY(mu_) = State::kClosed;
+  int consecutive_failures_ TELEIOS_GUARDED_BY(mu_) = 0;
+  int half_open_successes_ TELEIOS_GUARDED_BY(mu_) = 0;
+  bool probe_in_flight_ TELEIOS_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point opened_at_ TELEIOS_GUARDED_BY(mu_);
+  uint64_t trips_ TELEIOS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace teleios::governor
+
+#endif  // TELEIOS_GOVERNOR_CIRCUIT_BREAKER_H_

@@ -1,0 +1,125 @@
+#include "governor/memory_budget.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace teleios::governor {
+
+namespace {
+
+/// Updates the root-budget gauges; only the process root reports, so the
+/// series mean one thing regardless of how many children exist.
+void ReportRootGauges(const MemoryBudget& budget) {
+  obs::SetGauge("teleios_governor_budget_used_bytes",
+                static_cast<double>(budget.used()));
+  obs::SetGauge("teleios_governor_budget_peak_bytes",
+                static_cast<double>(budget.peak()));
+}
+
+/// Parses TELEIOS_MEMORY_BUDGET: plain bytes with an optional k/m/g
+/// (binary) suffix; unset, 0 or unparsable = unlimited.
+size_t EnvBudgetBytes() {
+  const char* env = std::getenv("TELEIOS_MEMORY_BUDGET");
+  if (env == nullptr || *env == '\0') return MemoryBudget::kUnlimited;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env) return MemoryBudget::kUnlimited;
+  switch (std::tolower(static_cast<unsigned char>(*end))) {
+    case 'k':
+      v <<= 10;
+      break;
+    case 'm':
+      v <<= 20;
+      break;
+    case 'g':
+      v <<= 30;
+      break;
+    default:
+      break;
+  }
+  return v == 0 ? MemoryBudget::kUnlimited : static_cast<size_t>(v);
+}
+
+}  // namespace
+
+Status MemoryBudget::Reserve(size_t bytes) {
+  if (bytes == 0) return Status::OK();
+  {
+    MutexLock lock(mu_);
+    if (limit_ != kUnlimited &&
+        (bytes > limit_ || used_ > limit_ - bytes)) {
+      obs::Count("teleios_governor_budget_denied_total");
+      return Status::ResourceExhausted(
+          "memory budget '" + name_ + "' exhausted: requested " +
+          std::to_string(bytes) + " bytes with " + std::to_string(used_) +
+          "/" + std::to_string(limit_) + " in use");
+    }
+    used_ += bytes;
+  }
+  if (parent_ != nullptr) {
+    Status up = parent_->Reserve(bytes);
+    if (!up.ok()) {
+      MutexLock lock(mu_);
+      used_ -= bytes;
+      return up;
+    }
+  }
+  {
+    // Peak is recorded only once the whole ancestor chain accepted, so
+    // a refused reservation never inflates the high-water mark.
+    MutexLock lock(mu_);
+    if (used_ > peak_) peak_ = used_;
+  }
+  if (parent_ == nullptr) ReportRootGauges(*this);
+  return Status::OK();
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  if (bytes == 0) return;
+  {
+    MutexLock lock(mu_);
+    used_ = bytes > used_ ? 0 : used_ - bytes;
+  }
+  if (parent_ != nullptr) {
+    parent_->Release(bytes);
+  } else {
+    ReportRootGauges(*this);
+  }
+}
+
+Result<BudgetCharge> TryCharge(MemoryBudget* budget, size_t bytes,
+                               const std::string& what) {
+  Status reserved = budget->Reserve(bytes);
+  if (!reserved.ok()) {
+    return Status(reserved.code(), what + ": " + reserved.message());
+  }
+  return BudgetCharge(budget, bytes);
+}
+
+MemoryBudget& ProcessBudget() {
+  static MemoryBudget* root =
+      new MemoryBudget("process", EnvBudgetBytes());
+  return *root;
+}
+
+namespace {
+thread_local MemoryBudget* g_current_budget = nullptr;
+}  // namespace
+
+MemoryBudget* CurrentBudget() {
+  return g_current_budget != nullptr ? g_current_budget : &ProcessBudget();
+}
+
+MemoryBudget* SetCurrentBudget(MemoryBudget* budget) {
+  MemoryBudget* prev = g_current_budget;
+  g_current_budget = budget;
+  return prev;
+}
+
+Result<BudgetCharge> ChargeCurrent(size_t bytes, const std::string& what) {
+  return TryCharge(CurrentBudget(), bytes, what);
+}
+
+}  // namespace teleios::governor

@@ -26,6 +26,31 @@ void OnRetry(const std::string& what, double backoff_ms) {
   }
 }
 
+Status BeforeRetry(const RetryPolicy& policy, const std::string& what,
+                   double backoff_ms) {
+  if (policy.cancel != nullptr) {
+    Status live = policy.cancel->Check();
+    if (!live.ok()) {
+      obs::Count("teleios_io_retries_abandoned_total");
+      return Status(live.code(),
+                    "not retrying " + what + ": " + live.message());
+    }
+    if (backoff_ms > 0 && policy.cancel->has_deadline()) {
+      auto wake = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double, std::milli>(backoff_ms);
+      if (wake >= policy.cancel->deadline()) {
+        obs::Count("teleios_io_retries_abandoned_total");
+        return Status::DeadlineExceeded(
+            "not retrying " + what + ": backoff of " +
+            std::to_string(backoff_ms) +
+            "ms would overshoot the caller's deadline");
+      }
+    }
+  }
+  OnRetry(what, backoff_ms);
+  return Status::OK();
+}
+
 }  // namespace internal
 
 }  // namespace teleios::io

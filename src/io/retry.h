@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "exec/cancellation.h"
 
 namespace teleios::io {
 
@@ -21,6 +22,12 @@ struct RetryPolicy {
   /// deterministic in wall-clock terms).
   int base_backoff_ms = 0;
   double multiplier = 2.0;
+  /// Optional caller cancellation/deadline (not owned; may be nullptr).
+  /// WithRetry stops retrying once the token cancels or its deadline
+  /// passes, and never starts a backoff sleep that would overshoot the
+  /// deadline — a retried operation fails *within* its budget instead of
+  /// sleeping past it.
+  const exec::CancellationToken* cancel = nullptr;
 
   bool ShouldRetry(const Status& status) const {
     return status.code() == StatusCode::kIoError ||
@@ -34,6 +41,13 @@ namespace internal {
 /// Sleeps (if ms > 0) and counts `teleios_io_retries_total`.
 void OnRetry(const std::string& what, double backoff_ms);
 
+/// Gate before a retry sleep: OK to proceed (after sleeping), or the
+/// token's kCancelled / kDeadlineExceeded when the caller's budget is
+/// spent — including when the backoff itself would overshoot the
+/// deadline, in which case sleeping would be pure waste.
+Status BeforeRetry(const RetryPolicy& policy, const std::string& what,
+                   double backoff_ms);
+
 inline const Status& AsStatus(const Status& s) { return s; }
 template <typename T>
 const Status& AsStatus(const Result<T>& r) {
@@ -44,6 +58,9 @@ const Status& AsStatus(const Result<T>& r) {
 /// Runs `fn` up to `policy.max_attempts` times; returns the first OK (or
 /// non-retryable) outcome, else the last error. `what` labels the retry
 /// metric and log line. Works for both Status and Result<T> returns.
+/// With `policy.cancel` set, a cancelled/expired token ends the loop
+/// with the token's status carrying the last underlying error in its
+/// message, so the cause of the final failed attempt is not lost.
 template <typename Fn>
 auto WithRetry(const RetryPolicy& policy, const std::string& what, Fn&& fn)
     -> decltype(fn()) {
@@ -52,7 +69,13 @@ auto WithRetry(const RetryPolicy& policy, const std::string& what, Fn&& fn)
        attempt <= policy.max_attempts && !outcome.ok() &&
        policy.ShouldRetry(internal::AsStatus(outcome));
        ++attempt) {
-    internal::OnRetry(what, policy.BackoffMillis(attempt));
+    Status proceed =
+        internal::BeforeRetry(policy, what, policy.BackoffMillis(attempt));
+    if (!proceed.ok()) {
+      return Status(proceed.code(),
+                    proceed.message() + " (last error: " +
+                        internal::AsStatus(outcome).message() + ")");
+    }
     outcome = fn();
   }
   return outcome;

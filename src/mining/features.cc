@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "exec/parallel_for.h"
+#include "governor/memory_budget.h"
 
 namespace teleios::mining {
 
@@ -21,6 +22,12 @@ Result<std::vector<Patch>> CutPatches(const eo::Scene& scene, int size) {
   int h = scene.spec.height;
   int cols = w / size;
   int rows = h / size;
+  // Feature vectors plus footprints dominate the patch grid's footprint.
+  TELEIOS_ASSIGN_OR_RETURN(
+      governor::BudgetCharge charge,
+      governor::ChargeCurrent(static_cast<size_t>(rows) * cols *
+                                  (sizeof(Patch) + 16 * sizeof(double)),
+                              "patch grid"));
   // The patch grid is known up front, so each morsel fills its own
   // pre-sized slots; output order matches the serial row-major sweep.
   std::vector<Patch> patches(static_cast<size_t>(rows) * cols);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "exec/parallel_for.h"
+#include "governor/memory_budget.h"
 
 namespace teleios::mining {
 
@@ -60,6 +61,16 @@ Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& data,
   // given seed at any thread count.
   constexpr size_t kGrain = 1024;
   exec::MorselPlan plan = exec::PlanMorsels(n, kGrain);
+
+  // The working set beyond the caller's data: seeding distances,
+  // assignments, and per-morsel centroid partials.
+  TELEIOS_ASSIGN_OR_RETURN(
+      governor::BudgetCharge charge,
+      governor::ChargeCurrent(
+          n * (sizeof(double) + sizeof(int)) +
+              plan.count * static_cast<size_t>(k) *
+                  (dims * sizeof(double) + sizeof(int)),
+          "k-means working buffers"));
   exec::ParallelOptions opts;
   opts.grain = kGrain;
 

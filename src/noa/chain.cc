@@ -4,6 +4,7 @@
 #include "common/strings.h"
 #include "exec/parallel_for.h"
 #include "geo/wkt.h"
+#include "governor/memory_budget.h"
 #include "obs/metrics.h"
 #include "strabon/temporal.h"
 
@@ -45,10 +46,11 @@ std::string ProcessingChain::ClassificationSciQl(
 }
 
 Result<ChainResult> ProcessingChain::Run(const std::string& raster_name,
-                                         const ChainConfig& config) {
+                                         const ChainConfig& config,
+                                         const exec::CancellationToken* cancel) {
   obs::Count("teleios_noa_chain_runs_total");
   obs::ScopedTrace trace("noa.chain");
-  Result<ChainResult> result = RunStages(raster_name, config);
+  Result<ChainResult> result = RunStages(raster_name, config, cancel);
   if (!result.ok()) {
     obs::Count(obs::WithLabel("teleios_noa_chain_errors_total", "code",
                               StatusCodeName(result.status().code())));
@@ -79,7 +81,7 @@ Result<ChainResult> ProcessingChain::RunBatch(
   Status st = exec::ParallelFor(
       n, opts, [&](size_t, size_t begin, size_t end) -> Status {
         for (size_t i = begin; i < end; ++i) {
-          results[i] = Run(raster_names[i], config);
+          results[i] = Run(raster_names[i], config, cancel);
           ran[i] = 1;
         }
         return Status::OK();
@@ -121,13 +123,15 @@ Result<ChainResult> ProcessingChain::RunBatch(
 }
 
 Result<ChainResult> ProcessingChain::RunStages(const std::string& raster_name,
-                                               const ChainConfig& config) {
+                                               const ChainConfig& config,
+                                               const exec::CancellationToken* cancel) {
   ChainResult result;
 
   // (a) Ingestion: lazy vault ingestion into a SciQL array.
   array::ArrayPtr array;
   vault::TerHeader header;
   eo::Scene scene;
+  governor::BudgetCharge scene_charge;
   {
     obs::TraceSpan stage("ingestion", StageHistogram("ingestion"));
     stage.SetAttr("raster", raster_name);
@@ -142,6 +146,15 @@ Result<ChainResult> ProcessingChain::RunStages(const std::string& raster_name,
       }
     }
     TELEIOS_ASSIGN_OR_RETURN(header, vault_->GetRasterHeader(raster_name));
+    // The re-read raster plus the scene planes built from it; held until
+    // the chain finishes with the scene.
+    TELEIOS_ASSIGN_OR_RETURN(
+        scene_charge,
+        governor::ChargeCurrent(
+            2 * static_cast<size_t>(header.width) *
+                static_cast<size_t>(header.height) *
+                header.band_names.size() * sizeof(double),
+            "chain scene '" + raster_name + "'"));
     vault::TerRaster raster;
     TELEIOS_ASSIGN_OR_RETURN(raster, vault::ReadTer(header.path));
     TELEIOS_ASSIGN_OR_RETURN(scene, eo::SceneFromRaster(raster));
@@ -205,11 +218,17 @@ Result<ChainResult> ProcessingChain::RunStages(const std::string& raster_name,
     vault::VecFile vec = HotspotsToVec(result.hotspots, result.product_id);
     result.vec_path = config.output_dir + "/" + result.product_id + ".vec";
     // The export is the chain's only unguarded I/O edge: retry transient
-    // faults before declaring the product failed. WriteVec is atomic, so
-    // a failed attempt leaves no partial file behind.
-    TELEIOS_RETURN_IF_ERROR(io::WithRetry(
-        retry_, "export '" + result.product_id + "'",
-        [&] { return vault::WriteVec(vec, result.vec_path); }));
+    // faults before declaring the product failed (WriteVec is atomic, so
+    // a failed attempt leaves no partial file behind), under the export
+    // breaker so a persistently failing output directory sheds later
+    // products instantly, and bounded by the caller's deadline so retry
+    // backoff never outlives it.
+    io::RetryPolicy policy = retry_;
+    if (policy.cancel == nullptr) policy.cancel = cancel;
+    TELEIOS_RETURN_IF_ERROR(export_breaker_.Run([&] {
+      return io::WithRetry(policy, "export '" + result.product_id + "'",
+                           [&] { return vault::WriteVec(vec, result.vec_path); });
+    }));
     meta.file_path = result.vec_path;
   }
   TELEIOS_RETURN_IF_ERROR(eo::RegisterProductRow(meta, catalog_));

@@ -9,6 +9,7 @@
 #include "eo/product.h"
 #include "eo/scene.h"
 #include "exec/cancellation.h"
+#include "governor/circuit_breaker.h"
 #include "io/retry.h"
 #include "noa/classification.h"
 #include "noa/hotspot.h"
@@ -78,9 +79,11 @@ class ProcessingChain {
 
   /// Runs the chain on an attached raster. The classification is
   /// evaluated through real SciQL (SELECT with slab + cell expression)
-  /// against the ingested array.
+  /// against the ingested array. `cancel` (optional) bounds the fallible
+  /// I/O edges: export retry backoff never outlives its deadline.
   Result<ChainResult> Run(const std::string& raster_name,
-                          const ChainConfig& config);
+                          const ChainConfig& config,
+                          const exec::CancellationToken* cancel = nullptr);
 
   /// Runs the chain over a batch of attached rasters, processing
   /// products concurrently on the global thread pool (TELEIOS_THREADS=1
@@ -100,6 +103,13 @@ class ProcessingChain {
   /// export). Default: 3 attempts, no backoff sleep.
   void set_retry(const io::RetryPolicy& policy) { retry_ = policy; }
 
+  /// Overload breaker around product export: a persistently failing
+  /// output directory trips it open and later products shed their export
+  /// (and fail fast into ChainResult::failures) instead of each burning
+  /// a full retry budget. Exposed for tests to Reconfigure() and inject
+  /// a deterministic clock.
+  governor::CircuitBreaker& export_breaker() { return export_breaker_; }
+
   /// The SciQL classification statement for a config (exposed so demos
   /// can show "how SciQL queries implement the NOA chain", paper §4).
   static std::string ClassificationSciQl(const std::string& raster_name,
@@ -109,7 +119,8 @@ class ProcessingChain {
   /// The chain body; Run wraps it in the "noa.chain" trace and derives
   /// `timings` + `trace` from the finished tree.
   Result<ChainResult> RunStages(const std::string& raster_name,
-                                const ChainConfig& config);
+                                const ChainConfig& config,
+                                const exec::CancellationToken* cancel);
 
   vault::DataVault* vault_;
   sciql::SciQlEngine* sciql_;
@@ -125,6 +136,8 @@ class ProcessingChain {
   /// the output directory), which the analysis cannot express.
   // teleios-lint: allow(TL002) -- guards external catalogs, see above.
   Mutex publish_mu_;
+  /// Self-locking; shared by every product the chain exports.
+  governor::CircuitBreaker export_breaker_{"noa-export"};
 };
 
 /// Publishes hotspot descriptions as stRDF into Strabon (type,

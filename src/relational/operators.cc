@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "exec/parallel_for.h"
+#include "governor/memory_budget.h"
 
 namespace teleios::relational {
 
@@ -342,6 +343,11 @@ Result<SelectionVector> FilterIndicesInterpreted(const Table& table,
                                                  const ExprPtr& predicate) {
   TELEIOS_ASSIGN_OR_RETURN(BoundExpr bound,
                            BoundExpr::Bind(predicate, table));
+  // Worst case the partials plus their merged copy hold every row index.
+  TELEIOS_ASSIGN_OR_RETURN(
+      governor::BudgetCharge charge,
+      governor::ChargeCurrent(table.num_rows() * 2 * sizeof(uint32_t),
+                              "filter selection vectors"));
   exec::ParallelOptions opts;
   opts.label = "exec.filter";
   exec::MorselPlan plan = exec::PlanMorsels(table.num_rows(), opts.grain);
@@ -363,6 +369,10 @@ Result<SelectionVector> FilterIndices(const Table& table,
                                       const ExprPtr& predicate) {
   std::vector<VecPred> preds;
   if (CompilePredicate(table, predicate, &preds)) {
+    TELEIOS_ASSIGN_OR_RETURN(
+        governor::BudgetCharge charge,
+        governor::ChargeCurrent(table.num_rows() * 2 * sizeof(uint32_t),
+                                "filter selection vectors"));
     exec::ParallelOptions opts;
     opts.label = "exec.filter";
     exec::MorselPlan plan = exec::PlanMorsels(table.num_rows(), opts.grain);
@@ -621,6 +631,16 @@ Result<Table> GroupAggregate(const Table& table,
     std::vector<std::string> order;  // first-seen order within the morsel
   };
 
+  // Reserve for the worst case — every row its own group (key bytes +
+  // bucket + one state per aggregate) — so an aggregation too big for
+  // the budget is refused up front instead of dying mid-build.
+  TELEIOS_ASSIGN_OR_RETURN(
+      governor::BudgetCharge charge,
+      governor::ChargeCurrent(
+          table.num_rows() *
+              (sizeof(Group) + 48 + aggregates.size() * sizeof(AggState)),
+          "group-aggregate hash tables"));
+
   // Morsel-parallel pre-aggregation: each morsel builds its own hash
   // table, then the partials fold together in morsel-index order, which
   // reproduces the serial first-seen group order and accumulation order.
@@ -725,6 +745,11 @@ Result<Table> Sort(const Table& table, const std::vector<SortKey>& keys) {
     if (i < 0) return Status::NotFound("sort column '" + k.column + "' not found");
     cols.push_back(i);
   }
+  // The permutation vector plus stable_sort's temporary buffer.
+  TELEIOS_ASSIGN_OR_RETURN(
+      governor::BudgetCharge charge,
+      governor::ChargeCurrent(table.num_rows() * 2 * sizeof(uint32_t),
+                              "sort selection"));
   SelectionVector sel(table.num_rows());
   for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint32_t>(i);
   std::stable_sort(sel.begin(), sel.end(), [&](uint32_t a, uint32_t b) {

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "governor/memory_budget.h"
 #include "io/filesystem.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -176,9 +177,18 @@ Result<TerRaster> DataVault::IngestPayload(const std::string& name,
                   "raster '" + name + "' is quarantined: " +
                       quarantined->second.message());
   }
+  // Breaker before retries: when ingestion is persistently failing, shed
+  // instantly instead of burning a fresh retry budget per caller. A shed
+  // call did no I/O, so it neither quarantines nor counts as a failure.
+  TELEIOS_RETURN_IF_ERROR(ingest_breaker_.Admit());
   Result<TerRaster> raster = io::WithRetry(
       ingest_retry_, "vault ingest '" + name + "'",
       [&] { return ReadTer(path); });
+  if (governor::CircuitBreaker::IsInfrastructureFailure(raster.status())) {
+    ingest_breaker_.RecordFailure();
+  } else {
+    ingest_breaker_.RecordSuccess();
+  }
   if (!raster.ok() && ingest_retry_.ShouldRetry(raster.status())) {
     // Retry budget exhausted on a fault that is not the caller's doing
     // (I/O error or corruption): quarantine so the archive keeps serving
@@ -240,6 +250,15 @@ Result<ArrayPtr> DataVault::GetRasterArray(const std::string& name) {
                       obs::MetricsRegistry::Global().GetHistogram(
                           "teleios_vault_ingest_millis"));
   span.SetAttr("raster", name);
+  // The header tells us the materialization cost before any payload I/O:
+  // the decoded TerRaster plus the array it is copied into.
+  TELEIOS_ASSIGN_OR_RETURN(
+      governor::BudgetCharge charge,
+      governor::ChargeCurrent(
+          2 * static_cast<size_t>(it->second.width) *
+              static_cast<size_t>(it->second.height) *
+              it->second.band_names.size() * sizeof(double),
+          "vault raster ingest '" + name + "'"));
   TELEIOS_ASSIGN_OR_RETURN(TerRaster raster,
                            IngestPayload(name, it->second.path));
   std::vector<storage::Field> attrs;
@@ -282,6 +301,14 @@ Result<ArrayPtr> DataVault::GetBandArray(const std::string& name,
                       obs::MetricsRegistry::Global().GetHistogram(
                           "teleios_vault_ingest_millis"));
   span.SetAttr("raster", key);
+  // Whole payload decoded, one band copied out.
+  TELEIOS_ASSIGN_OR_RETURN(
+      governor::BudgetCharge charge,
+      governor::ChargeCurrent(
+          static_cast<size_t>(it->second.width) *
+              static_cast<size_t>(it->second.height) *
+              (it->second.band_names.size() + 1) * sizeof(double),
+          "vault band ingest '" + key + "'"));
   TELEIOS_ASSIGN_OR_RETURN(TerRaster raster,
                            IngestPayload(name, it->second.path));
   int b = raster.BandIndex(band);

@@ -9,6 +9,7 @@
 #include "array/array.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "governor/circuit_breaker.h"
 #include "io/retry.h"
 #include "storage/catalog.h"
 #include "vault/formats.h"
@@ -93,6 +94,13 @@ class DataVault {
     ingest_retry_ = policy;
   }
 
+  /// Overload breaker around payload ingestion. Retries smooth a
+  /// transient fault; when ingestion keeps failing the breaker opens and
+  /// sheds further payload reads with kUnavailable (no I/O, no backoff)
+  /// until its cool-down lets a probe through. Exposed so tests can
+  /// Reconfigure() thresholds and inject a deterministic clock.
+  governor::CircuitBreaker& ingest_breaker() { return ingest_breaker_; }
+
   /// Rasters whose ingestion exhausted the retry budget. Quarantined
   /// products fail fast (the sticky status is returned without touching
   /// the file again) until Heal() reinstates them.
@@ -130,6 +138,8 @@ class DataVault {
   std::vector<AttachFailure> attach_failures_ TELEIOS_GUARDED_BY(mu_);
   io::RetryPolicy ingest_retry_ TELEIOS_GUARDED_BY(mu_);
   VaultStats stats_ TELEIOS_GUARDED_BY(mu_);
+  /// Self-locking; safe to touch with or without mu_ held.
+  governor::CircuitBreaker ingest_breaker_{"vault-ingest"};
 };
 
 }  // namespace teleios::vault

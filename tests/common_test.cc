@@ -24,9 +24,22 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
     EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+TEST(StatusTest, GovernorCodesRoundTrip) {
+  // The resource-governor codes added with the overload-protection work.
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  Status exhausted = Status::ResourceExhausted("budget refused");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.message(), "budget refused");
+  Status shed = Status::Unavailable("shedding load");
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(shed.message(), "shedding load");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -1,0 +1,13 @@
+// BAD fixture: a local std::bad_alloc handler outside src/governor/
+// must fire TL005 — OOM policy belongs to governor::WithOomGuard.
+#include <new>
+#include <vector>
+
+bool TryGrow(std::vector<int>* v, int n) {
+  try {
+    v->resize(n);
+    return true;
+  } catch (const std::bad_alloc&) {
+    return false;
+  }
+}

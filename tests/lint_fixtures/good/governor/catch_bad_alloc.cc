@@ -1,0 +1,14 @@
+// GOOD fixture: catching std::bad_alloc is allowed inside a governor/
+// directory (this is where WithOomGuard, the sanctioned translation to
+// kResourceExhausted, lives).
+#include <new>
+#include <vector>
+
+bool TryGrow(std::vector<int>* v, int n) {
+  try {
+    v->resize(n);
+    return true;
+  } catch (const std::bad_alloc&) {
+    return false;
+  }
+}

@@ -77,6 +77,38 @@ TEST(LintRuleTest, SwallowingCatchFiresTl004) {
   EXPECT_EQ(findings[0].rule, "TL004");
 }
 
+TEST(LintRuleTest, CatchBadAllocFiresTl005) {
+  auto findings = LintFixture("bad/catch_bad_alloc.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "TL005");
+  EXPECT_NE(findings[0].message.find("WithOomGuard"), std::string::npos);
+}
+
+TEST(LintRuleTest, GovernorDirectoryIsExemptFromTl005) {
+  EXPECT_TRUE(LintFixture("good/governor/catch_bad_alloc.cc").empty());
+}
+
+TEST(LintScannerTest, BadAllocSpellingsAllFireTl005) {
+  // By value, by reference, and unqualified (after using-declarations)
+  // are all the same policy violation.
+  const char* by_value = "void F() { try { G(); } catch (std::bad_alloc) { } }";
+  const char* by_ref =
+      "void F() { try { G(); } catch (std::bad_alloc& e) { } }";
+  const char* unqualified =
+      "void F() { try { G(); } catch (const bad_alloc& e) { } }";
+  for (const char* src : {by_value, by_ref, unqualified}) {
+    auto findings = LintSource("src/vault/x.cc", src);
+    ASSERT_EQ(findings.size(), 1u) << src;
+    EXPECT_EQ(findings[0].rule, "TL005") << src;
+  }
+}
+
+TEST(LintScannerTest, CatchEllipsisDoesNotFireTl005) {
+  // TL004's territory; TL005 only matches bad_alloc in the declarator.
+  const char* src = "void F() { try { G(); } catch (...) { throw; } }";
+  EXPECT_TRUE(LintSource("src/vault/x.cc", src).empty());
+}
+
 TEST(LintRuleTest, IoDirectoryIsExemptFromTl001) {
   EXPECT_TRUE(LintFixture("good/io/file_io.cc").empty());
 }

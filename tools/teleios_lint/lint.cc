@@ -234,6 +234,7 @@ std::vector<Finding> LintSource(const std::string& path,
 
   bool io_exempt = HasDirComponent(path, "io");
   bool exec_exempt = HasDirComponent(path, "exec");
+  bool governor_exempt = HasDirComponent(path, "governor");
 
   std::vector<Finding> findings;
   std::set<std::pair<int, std::string>> seen;  // (line, rule) dedup
@@ -368,6 +369,28 @@ std::vector<Finding> LintSource(const std::string& path,
         report("TL004", tok.line,
                "catch (...) that neither rethrows, captures the exception, "
                "nor logs: silently swallowed exceptions hide bugs");
+      }
+    }
+
+    // --- TL005: catching bad_alloc outside src/governor/ ----------------
+    // `catch (std::bad_alloc)` in any spelling (const&, by value, with or
+    // without std::). The governor's WithOomGuard is the one sanctioned
+    // translation point from allocation failure to kResourceExhausted;
+    // scattered handlers fragment the OOM policy and hide real pressure
+    // from the memory budget metrics.
+    if (!governor_exempt && tok.text == "catch" && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      for (size_t j = i + 2; j < toks.size() && toks[j].text != ")" &&
+                             toks[j].text != "{";
+           ++j) {
+        if (toks[j].text == "bad_alloc") {
+          report("TL005", tok.line,
+                 "catch of std::bad_alloc outside src/governor/: allocation "
+                 "failure policy lives in governor::WithOomGuard (returns "
+                 "kResourceExhausted); charge a MemoryBudget instead of "
+                 "handling OOM locally");
+          break;
+        }
       }
     }
   }

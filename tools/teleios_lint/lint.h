@@ -32,6 +32,12 @@
 ///                       (throw / rethrow_exception), captures
 ///                       (current_exception), nor logs (TELEIOS_LOG):
 ///                       silently swallowed exceptions hide bugs.
+///   TL005 local-oom     No `catch (std::bad_alloc)` outside
+///                       src/governor/. Allocation-failure policy is
+///                       centralized in governor::WithOomGuard, which
+///                       converts it to kResourceExhausted; local
+///                       handlers fragment that policy and bypass the
+///                       memory-budget accounting.
 ///
 /// Suppression: a comment `// teleios-lint: allow(TL002)` (one or more
 /// comma-separated rule IDs) on the finding's line or the line above
@@ -41,14 +47,15 @@
 namespace teleios::lint {
 
 struct Finding {
-  std::string rule;     // "TL001" ... "TL004"
+  std::string rule;     // "TL001" ... "TL005"
   int line = 0;         // 1-based
   std::string message;  // human-readable explanation
 };
 
 /// Lints one translation unit. `path` decides directory exemptions
-/// (a "/io/" component exempts TL001, "/exec/" exempts TL003); `content`
-/// is the file's source text. Findings are ordered by line.
+/// (a "/io/" component exempts TL001, "/exec/" exempts TL003, a
+/// "/governor/" component exempts TL005); `content` is the file's
+/// source text. Findings are ordered by line.
 std::vector<Finding> LintSource(const std::string& path,
                                 std::string_view content);
 
