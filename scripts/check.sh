@@ -53,6 +53,18 @@ TELEIOS_MEMORY_BUDGET=64m TELEIOS_MAX_CONCURRENT_QUERIES=2 \
 TELEIOS_MEMORY_BUDGET=64m TELEIOS_MAX_CONCURRENT_QUERIES=2 TELEIOS_THREADS=8 \
   ctest --test-dir build-tsan --output-on-failure -R "governor_test|GovernedObservatoryTest|MemoryBudgetTest|AdmissionTest|BreakerTest"
 
+echo "== pass 4c/5: introspection leg — every statement traced and flagged =="
+# The introspection suite (sys.* tables, KillQuery, query log, event
+# ring) plus the obs format/codec tests, with sampling on every
+# statement and a zero slow-query threshold: the costliest observability
+# configuration must be leak-free under ASan/UBSan and race-free under
+# TSan (registry ledger, event ring, and trace buffers are all hit from
+# every worker thread).
+TELEIOS_TRACE_SAMPLE=1 TELEIOS_SLOW_QUERY_MS=0 \
+  ctest --test-dir build-sanitize --output-on-failure -R "IntrospectionTest|Registry\.|EventLog\.|TraceExport\.|Trace\.|ThreadSafety"
+TELEIOS_TRACE_SAMPLE=1 TELEIOS_SLOW_QUERY_MS=0 TELEIOS_THREADS=8 \
+  ctest --test-dir build-tsan --output-on-failure -R "IntrospectionTest|Registry\.|EventLog\.|TraceExport\.|Trace\.|ThreadSafety"
+
 echo "== pass 5/5: static analysis (thread-safety annotations + lint) =="
 if command -v clang++ >/dev/null 2>&1; then
   # Compile-time lock-discipline check: the annotated build must be

@@ -1,12 +1,16 @@
 #include "core/observatory.h"
 
 #include <cctype>
+#include <optional>
+#include <type_traits>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/strings.h"
 #include "eo/ontology.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "storage/persistence.h"
 
 namespace teleios::core {
@@ -54,53 +58,103 @@ storage::Table SpanTreeTable(const obs::SpanNode& root) {
   return table;
 }
 
-/// Runs `execute(statement)` under a fresh trace named `trace_name` and
-/// returns the finished span tree as a table (errors pass through).
-template <typename Fn>
-Result<storage::Table> ProfileStatement(const char* trace_name,
-                                        const std::string& statement,
-                                        Fn&& execute) {
-  obs::ScopedTrace trace(trace_name);
-  Result<storage::Table> result = execute(statement);
-  obs::SpanNode root = trace.Finish();
-  if (!result.ok()) return result.status();
-  root.attrs.emplace_back("rows", std::to_string(result->num_rows()));
-  return SpanTreeTable(root);
-}
-
 }  // namespace
 
 template <typename Fn>
 auto VirtualEarthObservatory::Governed(const char* tier,
+                                       const std::string& statement,
+                                       bool profile,
                                        const exec::CancellationToken* cancel,
                                        Fn&& run) -> decltype(run()) {
+  using R = decltype(run());
+  constexpr bool kTableResult = std::is_same_v<R, Result<storage::Table>>;
+
+  // Register first: the statement is observable in sys.queries (and
+  // killable) from the moment it exists, queue wait included. The
+  // registry token chains to the caller's, so either cancels the work.
+  obs::QueryGuard query = introspection_.Start(tier, statement, cancel);
+  const bool traced = profile || introspection_.ShouldSample(query.id());
+  std::optional<obs::ScopedTrace> trace;
+  if (traced) trace.emplace(tier);
+
+  Status admit_error = Status::OK();
   governor::AdmissionTicket ticket;
+  double queued_millis = 0;
   {
     // Queue wait is part of the statement's observed latency; the span
     // makes it visible in PROFILE output.
     obs::TraceSpan span("governor.admit");
-    auto admitted = admission_.Admit(cancel);
-    if (!admitted.ok()) {
-      obs::Count(obs::WithLabel("teleios_governor_rejected_total", "tier",
-                                tier));
-      return admitted.status();
+    auto admitted = admission_.Admit(query.token());
+    if (admitted.ok()) {
+      ticket = std::move(*admitted);
+      queued_millis = span.ElapsedMillis();
+    } else {
+      admit_error = admitted.status();
     }
-    ticket = std::move(*admitted);
   }
+  if (!admit_error.ok()) {
+    obs::Count(obs::WithLabel("teleios_governor_rejected_total", "tier",
+                              tier));
+    std::string trace_json;
+    if (trace.has_value()) {
+      obs::SpanNode root = trace->Finish();
+      root.attrs.emplace_back("status", StatusCodeName(admit_error.code()));
+      trace_json = obs::ToChromeTraceJson(root);
+    }
+    introspection_.Finish(std::move(query), admit_error.code(), -1, 0,
+                          std::move(trace_json));
+    return admit_error;
+  }
+  introspection_.MarkRunning(query, queued_millis);
+
   // A per-query child of the caller's budget: the process (or test) root
   // enforces the limit, the child gives per-statement accounting — its
   // balance must return to zero on every path out of `run`.
   governor::MemoryBudget query_budget(std::string(tier) + "-query",
                                       governor::MemoryBudget::kUnlimited,
                                       governor::CurrentBudget());
-  governor::ScopedBudget budget_scope(&query_budget);
-  auto result = governor::WithOomGuard(tier, [&] { return run(); });
+  R result = [&] {
+    governor::ScopedBudget budget_scope(&query_budget);
+    // Install the registry token thread-locally: engines that never
+    // thread a token still stop at morsel boundaries after KillQuery.
+    exec::ScopedCancel cancel_scope(query.token());
+    return governor::WithOomGuard(tier, [&] { return run(); });
+  }();
   obs::SetGauge("teleios_governor_query_peak_bytes",
                 static_cast<double>(query_budget.peak()));
   // Always zero unless a charge guard leaked — a cheap, always-on
   // invariant check surfaced as a metric.
   obs::SetGauge("teleios_governor_query_leak_bytes",
                 static_cast<double>(query_budget.used()));
+
+  int64_t rows = -1;
+  if constexpr (kTableResult) {
+    if (result.ok()) rows = static_cast<int64_t>(result->num_rows());
+  }
+
+  // A failing statement still finishes its trace: the root span carries
+  // the outcome as a status attribute, so exported trees are self-
+  // describing on error paths too.
+  obs::SpanNode root;
+  std::string trace_json;
+  if (trace.has_value()) {
+    root = trace->Finish();
+    root.attrs.emplace_back("status",
+                            StatusCodeName(result.status().code()));
+    if (rows >= 0) root.attrs.emplace_back("rows", std::to_string(rows));
+    trace_json = obs::ToChromeTraceJson(root);
+  }
+  introspection_.Finish(std::move(query), result.status().code(), rows,
+                        query_budget.peak(), std::move(trace_json));
+
+  if constexpr (kTableResult) {
+    if (profile) {
+      // PROFILE of a failing statement keeps returning the error (the
+      // trace still landed in sys.query_log above).
+      if (!result.ok()) return result;
+      return SpanTreeTable(root);
+    }
+  }
   return result;
 }
 
@@ -110,6 +164,10 @@ VirtualEarthObservatory::VirtualEarthObservatory() {
   sql_ = std::make_unique<relational::SqlEngine>(&catalog_);
   chain_ = std::make_unique<noa::ProcessingChain>(vault_.get(), sciql_.get(),
                                                   &strabon_, &catalog_);
+  // Both query engines serve the sys.* schema from this observatory's
+  // live state.
+  sql_->set_virtual_tables(&system_tables_);
+  sciql_->set_virtual_tables(&system_tables_);
   // The domain ontology is part of the observatory's knowledge base.
   // Its load result used to be dropped here (found by the
   // [[nodiscard]] sweep); a constructor cannot propagate a Status, so
@@ -138,33 +196,24 @@ Result<storage::Table> VirtualEarthObservatory::Sql(
     const std::string& statement, const exec::CancellationToken* cancel) {
   std::string body = statement;
   bool profile = StripProfilePrefix(&body);
-  auto execute = [&](const std::string& s) {
-    return Governed("sql", cancel, [&] { return sql_->Execute(s); });
-  };
-  if (profile) return ProfileStatement("sql", body, execute);
-  return execute(body);
+  return Governed("sql", body, profile, cancel,
+                  [&] { return sql_->Execute(body); });
 }
 
 Result<storage::Table> VirtualEarthObservatory::SciQl(
     const std::string& statement, const exec::CancellationToken* cancel) {
   std::string body = statement;
   bool profile = StripProfilePrefix(&body);
-  auto execute = [&](const std::string& s) {
-    return Governed("sciql", cancel, [&] { return sciql_->Execute(s); });
-  };
-  if (profile) return ProfileStatement("sciql", body, execute);
-  return execute(body);
+  return Governed("sciql", body, profile, cancel,
+                  [&] { return sciql_->Execute(body); });
 }
 
 Result<storage::Table> VirtualEarthObservatory::StSparql(
     const std::string& query, const exec::CancellationToken* cancel) {
   std::string body = query;
   bool profile = StripProfilePrefix(&body);
-  auto execute = [&](const std::string& s) {
-    return Governed("stsparql", cancel, [&] { return strabon_.Query(s); });
-  };
-  if (profile) return ProfileStatement("stsparql", body, execute);
-  return execute(body);
+  return Governed("stsparql", body, profile, cancel,
+                  [&] { return strabon_.Query(body); });
 }
 
 Result<size_t> VirtualEarthObservatory::StSparqlUpdate(
@@ -180,7 +229,8 @@ Result<size_t> VirtualEarthObservatory::LoadLinkedData(
 Result<noa::ChainResult> VirtualEarthObservatory::RunFireChain(
     const std::string& raster_name, const noa::ChainConfig& config,
     const exec::CancellationToken* cancel) {
-  return Governed("fire-chain", cancel,
+  return Governed("fire-chain", "fire-chain " + raster_name,
+                  /*profile=*/false, cancel,
                   [&] { return chain_->Run(raster_name, config, cancel); });
 }
 
@@ -189,7 +239,10 @@ Result<noa::ChainResult> VirtualEarthObservatory::RunFireChainBatch(
     const noa::ChainConfig& config, const exec::CancellationToken* cancel) {
   // One admission slot and one budget for the whole batch: the chain's
   // internal fan-out (one worker per product) stays inside them.
-  return Governed("fire-chain-batch", cancel, [&] {
+  std::string label =
+      "fire-chain-batch (" + std::to_string(raster_names.size()) +
+      " rasters)";
+  return Governed("fire-chain-batch", label, /*profile=*/false, cancel, [&] {
     return chain_->RunBatch(raster_names, config, cancel);
   });
 }

@@ -6,10 +6,12 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/system_tables.h"
 #include "exec/cancellation.h"
 #include "governor/admission.h"
 #include "governor/memory_budget.h"
 #include "noa/chain.h"
+#include "obs/query_registry.h"
 #include "noa/mapping.h"
 #include "noa/refinement.h"
 #include "sciql/sciql_engine.h"
@@ -104,12 +106,31 @@ class VirtualEarthObservatory {
   Result<noa::RefinementReport> Refine(const std::string& product_id);
 
   // --- observability --------------------------------------------------------
+  //
+  // Every governed statement is also registered in the introspection
+  // layer: it gets a process-unique query id, is visible in the
+  // `sys.queries` virtual table while it runs (`SELECT * FROM
+  // sys.queries` from any other connection/thread), can be killed by id,
+  // and leaves a completion record in `sys.query_log` — with its span
+  // tree as Chrome trace-event JSON when the statement was PROFILEd or
+  // sampled by TELEIOS_TRACE_SAMPLE.
 
   /// Prometheus-style text exposition of all process-wide metrics
   /// (counters, gauges, latency summaries) recorded by the tiers.
   std::string MetricsText() const;
   /// The same metrics as one JSON object.
   std::string MetricsJson() const;
+
+  /// Cooperatively cancels the governed statement with this `sys.queries`
+  /// id: a queued statement abandons the admission queue, a running one
+  /// stops at its next cancellation poll (morsel boundaries, retry
+  /// loops). NotFound once the query has finished. The kill is a
+  /// request — completion (status kCancelled) lands in sys.query_log
+  /// when the statement actually unwinds.
+  Status KillQuery(uint64_t id) { return introspection_.Kill(id); }
+
+  /// The query lifecycle ledger behind sys.queries / sys.query_log.
+  obs::ActiveQueryRegistry& introspection() { return introspection_; }
 
   // --- application tier -------------------------------------------------------
 
@@ -141,12 +162,16 @@ class VirtualEarthObservatory {
   governor::AdmissionController& admission() { return admission_; }
 
  private:
-  /// Admission + per-query budget + bad_alloc backstop around one
-  /// governed entry point. Runs inside any active trace, so PROFILE
-  /// output shows the `governor.admit` span alongside execution.
+  /// The full governed statement lifecycle around one entry point:
+  /// registry registration (sys.queries row + killable token), admission,
+  /// optional tracing (PROFILE or sampling), per-query budget +
+  /// bad_alloc backstop, and the sys.query_log completion record on
+  /// every path out. For table-returning entry points `profile` swaps
+  /// the result for the span tree rendered as a table.
   template <typename Fn>
-  auto Governed(const char* tier, const exec::CancellationToken* cancel,
-                Fn&& run) -> decltype(run());
+  auto Governed(const char* tier, const std::string& statement, bool profile,
+                const exec::CancellationToken* cancel, Fn&& run)
+      -> decltype(run());
 
   storage::Catalog catalog_;
   strabon::Strabon strabon_;
@@ -156,6 +181,8 @@ class VirtualEarthObservatory {
   std::unique_ptr<noa::ProcessingChain> chain_;
   Status ontology_status_;
   governor::AdmissionController admission_{governor::AdmissionConfig::FromEnv()};
+  obs::ActiveQueryRegistry introspection_;
+  SystemTables system_tables_{&introspection_};
 };
 
 }  // namespace teleios::core

@@ -1,0 +1,185 @@
+#include "core/system_tables.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "exec/thread_pool.h"
+#include "governor/circuit_breaker.h"
+#include "governor/memory_budget.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+
+namespace teleios::core {
+
+using storage::ColumnType;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+
+namespace {
+
+const char* const kTableNames[] = {
+    "sys.breakers", "sys.budgets", "sys.events",  "sys.metrics",
+    "sys.pools",    "sys.queries", "sys.query_log",
+};
+
+/// size_t byte counts surface as int64; kUnlimited becomes -1 so WHERE
+/// clauses can tell "uncapped" from "huge".
+int64_t BytesColumn(size_t bytes) {
+  return bytes == governor::MemoryBudget::kUnlimited
+             ? -1
+             : static_cast<int64_t>(bytes);
+}
+
+TablePtr QueriesTable(const obs::ActiveQueryRegistry& registry) {
+  auto table = std::make_shared<Table>(
+      Schema({{"id", ColumnType::kInt64},
+              {"tier", ColumnType::kString},
+              {"statement", ColumnType::kString},
+              {"state", ColumnType::kString},
+              {"start_unix_millis", ColumnType::kInt64},
+              {"queued_millis", ColumnType::kFloat64},
+              {"elapsed_millis", ColumnType::kFloat64}}));
+  for (const obs::ActiveQuery& q : registry.Active()) {
+    table->column(0).AppendInt64(static_cast<int64_t>(q.id));
+    table->column(1).AppendString(q.tier);
+    table->column(2).AppendString(q.statement);
+    table->column(3).AppendString(obs::QueryStateName(q.state));
+    table->column(4).AppendInt64(q.start_unix_millis);
+    table->column(5).AppendFloat64(q.queued_millis);
+    table->column(6).AppendFloat64(q.elapsed_millis);
+  }
+  return table;
+}
+
+TablePtr QueryLogTable(const obs::ActiveQueryRegistry& registry) {
+  auto table = std::make_shared<Table>(
+      Schema({{"id", ColumnType::kInt64},
+              {"tier", ColumnType::kString},
+              {"statement", ColumnType::kString},
+              {"status", ColumnType::kString},
+              {"rows", ColumnType::kInt64},
+              {"latency_millis", ColumnType::kFloat64},
+              {"queued_millis", ColumnType::kFloat64},
+              {"peak_budget_bytes", ColumnType::kInt64},
+              {"end_unix_millis", ColumnType::kInt64},
+              {"trace_json", ColumnType::kString}}));
+  for (const obs::QueryCompletion& c : registry.Log()) {
+    table->column(0).AppendInt64(static_cast<int64_t>(c.id));
+    table->column(1).AppendString(c.tier);
+    table->column(2).AppendString(c.statement);
+    table->column(3).AppendString(c.status);
+    table->column(4).AppendInt64(c.rows);
+    table->column(5).AppendFloat64(c.latency_millis);
+    table->column(6).AppendFloat64(c.queued_millis);
+    table->column(7).AppendInt64(static_cast<int64_t>(c.peak_budget_bytes));
+    table->column(8).AppendInt64(c.end_unix_millis);
+    table->column(9).AppendString(c.trace_json);
+  }
+  return table;
+}
+
+TablePtr MetricsTable() {
+  auto table = std::make_shared<Table>(Schema({{"name", ColumnType::kString},
+                                               {"kind", ColumnType::kString},
+                                               {"value",
+                                                ColumnType::kFloat64}}));
+  for (const obs::MetricSample& sample :
+       obs::MetricsRegistry::Global().Samples()) {
+    table->column(0).AppendString(sample.name);
+    table->column(1).AppendString(sample.kind);
+    table->column(2).AppendFloat64(sample.value);
+  }
+  return table;
+}
+
+TablePtr BudgetsTable() {
+  auto table = std::make_shared<Table>(
+      Schema({{"name", ColumnType::kString},
+              {"parent", ColumnType::kString},
+              {"limit_bytes", ColumnType::kInt64},
+              {"used_bytes", ColumnType::kInt64},
+              {"peak_bytes", ColumnType::kInt64}}));
+  for (const governor::BudgetStats& b : governor::AllBudgetStats()) {
+    table->column(0).AppendString(b.name);
+    table->column(1).AppendString(b.parent);
+    table->column(2).AppendInt64(BytesColumn(b.limit));
+    table->column(3).AppendInt64(static_cast<int64_t>(b.used));
+    table->column(4).AppendInt64(static_cast<int64_t>(b.peak));
+  }
+  return table;
+}
+
+TablePtr BreakersTable() {
+  auto table = std::make_shared<Table>(Schema({{"name", ColumnType::kString},
+                                               {"state", ColumnType::kString},
+                                               {"trips",
+                                                ColumnType::kInt64}}));
+  for (const governor::BreakerStats& b : governor::AllBreakerStats()) {
+    table->column(0).AppendString(b.name);
+    table->column(1).AppendString(governor::CircuitBreaker::StateName(b.state));
+    table->column(2).AppendInt64(static_cast<int64_t>(b.trips));
+  }
+  return table;
+}
+
+TablePtr PoolsTable() {
+  auto table = std::make_shared<Table>(
+      Schema({{"name", ColumnType::kString},
+              {"workers", ColumnType::kInt64},
+              {"parallelism", ColumnType::kInt64},
+              {"queued", ColumnType::kInt64},
+              {"busy", ColumnType::kInt64},
+              {"tasks_total", ColumnType::kInt64},
+              {"steals_total", ColumnType::kInt64}}));
+  // Chain-local pools are ephemeral; the process pool is the one whose
+  // health matters for capacity questions.
+  exec::ThreadPool::Stats stats = exec::ThreadPool::Global().Snapshot();
+  table->column(0).AppendString(stats.name);
+  table->column(1).AppendInt64(stats.workers);
+  table->column(2).AppendInt64(stats.parallelism);
+  table->column(3).AppendInt64(static_cast<int64_t>(stats.queued));
+  table->column(4).AppendInt64(stats.busy);
+  table->column(5).AppendInt64(static_cast<int64_t>(stats.tasks_total));
+  table->column(6).AppendInt64(static_cast<int64_t>(stats.steals_total));
+  return table;
+}
+
+TablePtr EventsTable() {
+  auto table = std::make_shared<Table>(
+      Schema({{"unix_millis", ColumnType::kInt64},
+              {"type", ColumnType::kString},
+              {"json", ColumnType::kString}}));
+  for (const obs::Event& event : obs::EventLog::Global().Snapshot()) {
+    table->column(0).AppendInt64(event.unix_millis);
+    table->column(1).AppendString(event.type);
+    table->column(2).AppendString(event.ToJson());
+  }
+  return table;
+}
+
+}  // namespace
+
+bool SystemTables::Serves(const std::string& name) const {
+  return std::find(std::begin(kTableNames), std::end(kTableNames), name) !=
+         std::end(kTableNames);
+}
+
+std::vector<std::string> SystemTables::TableNames() const {
+  return std::vector<std::string>(std::begin(kTableNames),
+                                  std::end(kTableNames));
+}
+
+Result<TablePtr> SystemTables::Materialize(const std::string& name) {
+  if (name == "sys.queries") return QueriesTable(*registry_);
+  if (name == "sys.query_log") return QueryLogTable(*registry_);
+  if (name == "sys.metrics") return MetricsTable();
+  if (name == "sys.budgets") return BudgetsTable();
+  if (name == "sys.breakers") return BreakersTable();
+  if (name == "sys.pools") return PoolsTable();
+  if (name == "sys.events") return EventsTable();
+  return Status::NotFound("no system table named '" + name + "'");
+}
+
+}  // namespace teleios::core

@@ -1,0 +1,19 @@
+#include "exec/cancellation.h"
+
+namespace teleios::exec {
+
+namespace {
+
+thread_local const CancellationToken* t_current_cancel = nullptr;
+
+}  // namespace
+
+const CancellationToken* CurrentCancel() { return t_current_cancel; }
+
+const CancellationToken* SetCurrentCancel(const CancellationToken* token) {
+  const CancellationToken* prev = t_current_cancel;
+  t_current_cancel = token;
+  return prev;
+}
+
+}  // namespace teleios::exec

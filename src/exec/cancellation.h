@@ -20,6 +20,11 @@ namespace teleios::exec {
 /// non-OK Check() it never goes back to OK. Thread-safe; cheap enough to
 /// poll from inner loops (two relaxed atomic loads plus, when a deadline
 /// is set, one steady_clock read).
+///
+/// Tokens can be chained: LinkParent() attaches a second token whose
+/// cancellation/deadline this one also honors. The query registry uses
+/// this to combine the caller's token (their ^C / deadline) with its own
+/// per-query token (KillQuery) into one handle the engines poll.
 class CancellationToken {
  public:
   CancellationToken() = default;
@@ -30,6 +35,14 @@ class CancellationToken {
   /// Requests cancellation; running morsels finish, queued ones do not
   /// start.
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Chains `parent` (may be nullptr): this token reports cancelled /
+  /// expired whenever the parent does, and deadline() returns the
+  /// earlier of the two. Must be called before the token is shared with
+  /// other threads (the link is a plain pointer write), and `parent`
+  /// must outlive this token.
+  void LinkParent(const CancellationToken* parent) { parent_ = parent; }
+  const CancellationToken* parent() const { return parent_; }
 
   /// Arms an absolute deadline; Check() fails once it has passed.
   void SetDeadline(std::chrono::steady_clock::time_point deadline) {
@@ -43,45 +56,59 @@ class CancellationToken {
   }
 
   bool cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
+    return cancelled_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->cancelled());
   }
 
-  /// True once SetDeadline/CancelAfter armed a deadline.
+  /// True once SetDeadline/CancelAfter armed a deadline (here or on a
+  /// linked parent).
   bool has_deadline() const {
-    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline ||
+           (parent_ != nullptr && parent_->has_deadline());
   }
 
-  /// The armed deadline; meaningless unless has_deadline(). Exposed so
-  /// cooperating layers (retry backoff, admission queues) can bound
-  /// their own waits by the caller's deadline instead of overshooting
-  /// it.
+  /// The earliest armed deadline in the chain; meaningless unless
+  /// has_deadline(). Exposed so cooperating layers (retry backoff,
+  /// admission queues) can bound their own waits by the caller's
+  /// deadline instead of overshooting it.
   std::chrono::steady_clock::time_point deadline() const {
     // deadline_ns_ holds a raw time_since_epoch().count(), i.e. native
     // steady_clock duration units.
+    int64_t own = deadline_ns_.load(std::memory_order_relaxed);
+    if (parent_ != nullptr && parent_->has_deadline()) {
+      int64_t theirs = parent_->deadline().time_since_epoch().count();
+      if (own == kNoDeadline || theirs < own) own = theirs;
+    }
     return std::chrono::steady_clock::time_point(
-        std::chrono::steady_clock::duration(
-            deadline_ns_.load(std::memory_order_relaxed)));
+        std::chrono::steady_clock::duration(own));
   }
 
-  /// True when the token was cancelled or its deadline has passed.
+  /// True when the token (or a linked parent) was cancelled or its
+  /// deadline has passed.
   bool Expired() const {
     if (cancelled()) return true;
     int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
-    if (deadline == kNoDeadline) return false;
-    return std::chrono::steady_clock::now().time_since_epoch().count() >=
-           deadline;
+    if (deadline != kNoDeadline &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >=
+            deadline) {
+      return true;
+    }
+    return parent_ != nullptr && parent_->Expired();
   }
 
   /// OK while the work may continue; Cancelled / DeadlineExceeded once it
   /// must stop.
   Status Check() const {
-    if (cancelled()) return Status::Cancelled("work was cancelled");
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("work was cancelled");
+    }
     int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
     if (deadline != kNoDeadline &&
         std::chrono::steady_clock::now().time_since_epoch().count() >=
             deadline) {
       return Status::DeadlineExceeded("deadline expired");
     }
+    if (parent_ != nullptr) return parent_->Check();
     return Status::OK();
   }
 
@@ -91,6 +118,34 @@ class CancellationToken {
 
   std::atomic<bool> cancelled_{false};
   std::atomic<int64_t> deadline_ns_{kNoDeadline};
+  /// Set once before sharing (LinkParent); never mutated afterwards.
+  const CancellationToken* parent_ = nullptr;
+};
+
+/// The token the *current thread's* work should poll; nullptr when no
+/// governed statement is active. The observatory facade installs the
+/// per-query registry token here for a statement's execution, and
+/// ParallelFor both defaults its between-morsel checks to it and
+/// re-installs it on pool workers for the duration of a parallel region
+/// — so a KillQuery reaches morsel-driven scans that were written
+/// without any token plumbing.
+const CancellationToken* CurrentCancel();
+
+/// Installs `token` as the current thread's cancel (nullptr clears);
+/// returns the previous value.
+const CancellationToken* SetCurrentCancel(const CancellationToken* token);
+
+/// RAII thread-local cancel override.
+class ScopedCancel {
+ public:
+  explicit ScopedCancel(const CancellationToken* token)
+      : prev_(SetCurrentCancel(token)) {}
+  ~ScopedCancel() { SetCurrentCancel(prev_); }
+  ScopedCancel(const ScopedCancel&) = delete;
+  ScopedCancel& operator=(const ScopedCancel&) = delete;
+
+ private:
+  const CancellationToken* prev_;
 };
 
 }  // namespace teleios::exec

@@ -63,6 +63,12 @@ Status ParallelFor(size_t n, const ParallelOptions& opts,
   if (n == 0) return Status::OK();
   MorselPlan plan = PlanMorsels(n, opts.grain);
   ThreadPool* pool = opts.pool != nullptr ? opts.pool : &ThreadPool::Global();
+  // Regions opened without an explicit token still honor the governed
+  // statement they run inside: the facade installs the per-query token
+  // as the thread's CurrentCancel, which is how KillQuery stops a
+  // morsel-driven scan whose operator never threaded a token through.
+  const CancellationToken* cancel =
+      opts.cancel != nullptr ? opts.cancel : CurrentCancel();
 
   bool serial =
       plan.count == 1 || pool->parallelism() == 1 || pool->OnWorkerThread();
@@ -82,8 +88,8 @@ Status ParallelFor(size_t n, const ParallelOptions& opts,
 
   if (serial) {
     for (size_t m = 0; m < plan.count; ++m) {
-      if (opts.cancel != nullptr) {
-        TELEIOS_RETURN_IF_ERROR(opts.cancel->Check());
+      if (cancel != nullptr) {
+        TELEIOS_RETURN_IF_ERROR(cancel->Check());
       }
       TELEIOS_RETURN_IF_ERROR(body(m, plan.Begin(m), plan.End(m, n)));
     }
@@ -97,8 +103,12 @@ Status ParallelFor(size_t n, const ParallelOptions& opts,
   governor::MemoryBudget* region_budget = governor::CurrentBudget();
   auto runner = [&] {
     governor::ScopedBudget budget_scope(region_budget);
+    // Nested regions opened from a morsel body (they run inline on the
+    // worker) must see the same token as the thread that opened this
+    // region.
+    ScopedCancel cancel_scope(cancel);
     for (;;) {
-      if (opts.cancel != nullptr && opts.cancel->Expired()) return;
+      if (cancel != nullptr && cancel->Expired()) return;
       size_t m = state.cursor.fetch_add(1, std::memory_order_relaxed);
       if (m >= plan.count) return;
       try {
@@ -126,8 +136,8 @@ Status ParallelFor(size_t n, const ParallelOptions& opts,
   if (state.error_morsel != SIZE_MAX) return state.error;
   if (state.executed.load(std::memory_order_relaxed) < plan.count) {
     // Cancellation stopped morsels from starting.
-    if (opts.cancel != nullptr) {
-      Status s = opts.cancel->Check();
+    if (cancel != nullptr) {
+      Status s = cancel->Check();
       if (!s.ok()) return s;
     }
     return Status::Internal("parallel region lost morsels");

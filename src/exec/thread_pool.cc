@@ -58,6 +58,25 @@ bool ThreadPool::OnWorkerThread() const {
   return t_worker_pool == this && t_worker_index >= 0;
 }
 
+ThreadPool::Stats ThreadPool::Snapshot() {
+  Stats stats;
+  stats.name = name_;
+  stats.workers = workers();
+  stats.parallelism = parallelism();
+  {
+    MutexLock lock(inject_mu_);
+    stats.queued = inject_.size();
+  }
+  for (const auto& worker : deques_) {
+    MutexLock lock(worker->mu);
+    stats.queued += worker->deque.size();
+  }
+  stats.busy = static_cast<int>(busy_workers_->value());
+  stats.tasks_total = tasks_total_->value();
+  stats.steals_total = steals_total_->value();
+  return stats;
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   Task t{std::move(task), std::chrono::steady_clock::now()};
   queue_depth_->Add(1);

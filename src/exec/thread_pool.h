@@ -66,6 +66,20 @@ class ThreadPool {
   /// True when the calling thread is one of this pool's workers.
   bool OnWorkerThread() const;
 
+  /// Instantaneous snapshot for introspection (`sys.pools`): queued
+  /// counts every task waiting in the injection queue or a worker deque;
+  /// busy / totals come from this pool's registry metrics.
+  struct Stats {
+    std::string name;
+    int workers = 0;
+    int parallelism = 0;
+    size_t queued = 0;
+    int busy = 0;
+    uint64_t tasks_total = 0;
+    uint64_t steals_total = 0;
+  };
+  Stats Snapshot();
+
   /// The process-wide pool, sized from TELEIOS_THREADS (default: the
   /// hardware concurrency) on first use.
   static ThreadPool& Global();

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 
 namespace teleios::governor {
@@ -52,6 +53,10 @@ Result<AdmissionTicket> AdmissionController::Admit(
   }
   if (static_cast<int>(queue_.size()) >= config_.max_queue) {
     obs::Count("teleios_governor_admission_shed_total");
+    obs::PostEvent("admission.shed",
+                   {{"reason", "queue_full"},
+                    {"queued", std::to_string(queue_.size())},
+                    {"running", std::to_string(running_)}});
     return Status::Unavailable(
         "admission queue full (" + std::to_string(queue_.size()) +
         " waiting, " + std::to_string(running_) +
@@ -93,6 +98,10 @@ Result<AdmissionTicket> AdmissionController::Admit(
     if (std::chrono::steady_clock::now() >= give_up_at) {
       AbandonLocked(seq);
       obs::Count("teleios_governor_admission_timeout_total");
+      obs::PostEvent("admission.shed",
+                     {{"reason", "wait_timeout"},
+                      {"queued", std::to_string(queue_.size())},
+                      {"running", std::to_string(running_)}});
       return Status::Unavailable(
           "timed out waiting for an admission slot (" +
           std::to_string(running_) + " running); shedding load");

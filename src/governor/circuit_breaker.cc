@@ -1,5 +1,9 @@
 #include "governor/circuit_breaker.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 
 namespace teleios::governor {
@@ -12,22 +16,64 @@ void ReportState(const std::string& name, CircuitBreaker::State state) {
                 static_cast<double>(static_cast<int>(state)));
 }
 
+/// Registry of live breakers backing AllBreakerStats().
+Mutex& BreakerRegistryMutex() {
+  static Mutex* mu = new Mutex();
+  return *mu;
+}
+
+std::vector<CircuitBreaker*>& BreakerRegistry() {
+  static std::vector<CircuitBreaker*>* breakers =
+      new std::vector<CircuitBreaker*>();
+  return *breakers;
+}
+
 }  // namespace
 
 CircuitBreaker::CircuitBreaker(std::string name, CircuitBreakerConfig config)
     : name_(std::move(name)), config_(config) {
-  MutexLock lock(mu_);
+  {
+    MutexLock lock(mu_);
+    ReportStateLocked();
+  }
+  MutexLock lock(BreakerRegistryMutex());
+  BreakerRegistry().push_back(this);
+}
+
+CircuitBreaker::~CircuitBreaker() {
+  MutexLock lock(BreakerRegistryMutex());
+  auto& breakers = BreakerRegistry();
+  breakers.erase(std::find(breakers.begin(), breakers.end(), this));
+}
+
+std::vector<BreakerStats> AllBreakerStats() {
+  MutexLock lock(BreakerRegistryMutex());
+  std::vector<BreakerStats> out;
+  out.reserve(BreakerRegistry().size());
+  for (const CircuitBreaker* breaker : BreakerRegistry()) {
+    out.push_back({breaker->name(), breaker->state(), breaker->trips()});
+  }
+  return out;
+}
+
+void CircuitBreaker::TransitionLocked(State next) {
+  if (next == state_) return;
+  State prev = state_;
+  state_ = next;
   ReportStateLocked();
+  obs::PostEvent("breaker.transition", {{"breaker", name_},
+                                        {"from", StateName(prev)},
+                                        {"to", StateName(next)},
+                                        {"trips", std::to_string(trips_)}});
 }
 
 void CircuitBreaker::Reconfigure(const CircuitBreakerConfig& config) {
   MutexLock lock(mu_);
   config_ = config;
-  state_ = State::kClosed;
   consecutive_failures_ = 0;
   half_open_successes_ = 0;
   probe_in_flight_ = false;
-  ReportStateLocked();
+  TransitionLocked(State::kClosed);
 }
 
 void CircuitBreaker::SetClockForTest(Clock clock) {
@@ -40,7 +86,6 @@ std::chrono::steady_clock::time_point CircuitBreaker::NowLocked() const {
 }
 
 void CircuitBreaker::TripLocked() {
-  state_ = State::kOpen;
   opened_at_ = NowLocked();
   consecutive_failures_ = 0;
   half_open_successes_ = 0;
@@ -48,7 +93,7 @@ void CircuitBreaker::TripLocked() {
   ++trips_;
   obs::Count(obs::WithLabel("teleios_governor_breaker_trips_total",
                             "breaker", name_));
-  ReportStateLocked();
+  TransitionLocked(State::kOpen);
 }
 
 void CircuitBreaker::ReportStateLocked() const {
@@ -69,10 +114,9 @@ Status CircuitBreaker::Admit() {
             "' is open: dependency failing, shedding calls until the "
             "cool-down elapses");
       }
-      state_ = State::kHalfOpen;
       half_open_successes_ = 0;
       probe_in_flight_ = true;
-      ReportStateLocked();
+      TransitionLocked(State::kHalfOpen);
       return Status::OK();
     }
     case State::kHalfOpen: {
@@ -101,9 +145,8 @@ void CircuitBreaker::RecordSuccess() {
     case State::kHalfOpen:
       probe_in_flight_ = false;
       if (++half_open_successes_ >= config_.half_open_successes) {
-        state_ = State::kClosed;
         consecutive_failures_ = 0;
-        ReportStateLocked();
+        TransitionLocked(State::kClosed);
       }
       break;
     case State::kOpen:

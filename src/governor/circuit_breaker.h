@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -43,6 +44,7 @@ class CircuitBreaker {
 
   explicit CircuitBreaker(std::string name,
                           CircuitBreakerConfig config = {});
+  ~CircuitBreaker();
 
   CircuitBreaker(const CircuitBreaker&) = delete;
   CircuitBreaker& operator=(const CircuitBreaker&) = delete;
@@ -85,6 +87,8 @@ class CircuitBreaker {
       TELEIOS_REQUIRES(mu_);
   void TripLocked() TELEIOS_REQUIRES(mu_);
   void ReportStateLocked() const TELEIOS_REQUIRES(mu_);
+  /// State change + gauge + `breaker.transition` event in one place.
+  void TransitionLocked(State next) TELEIOS_REQUIRES(mu_);
 
   const std::string name_;
   mutable Mutex mu_;
@@ -97,6 +101,18 @@ class CircuitBreaker {
   std::chrono::steady_clock::time_point opened_at_ TELEIOS_GUARDED_BY(mu_);
   uint64_t trips_ TELEIOS_GUARDED_BY(mu_) = 0;
 };
+
+/// Point-in-time reading of one live breaker, for `sys.breakers`.
+struct BreakerStats {
+  std::string name;
+  CircuitBreaker::State state = CircuitBreaker::State::kClosed;
+  uint64_t trips = 0;
+};
+
+/// Snapshot of every live CircuitBreaker, in construction order. The
+/// registration lock is held for the walk, so no breaker is destroyed
+/// mid-read.
+std::vector<BreakerStats> AllBreakerStats();
 
 }  // namespace teleios::governor
 

@@ -1,13 +1,28 @@
 #include "governor/memory_budget.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 
 namespace teleios::governor {
 
 namespace {
+
+/// Registry of live budgets backing AllBudgetStats(). Creation order is
+/// kept (a vector, not a set) so parents list before their children.
+Mutex& BudgetRegistryMutex() {
+  static Mutex* mu = new Mutex();
+  return *mu;
+}
+
+std::vector<MemoryBudget*>& BudgetRegistry() {
+  static std::vector<MemoryBudget*>* budgets =
+      new std::vector<MemoryBudget*>();
+  return *budgets;
+}
 
 /// Updates the root-budget gauges; only the process root reports, so the
 /// series mean one thing regardless of how many children exist.
@@ -44,19 +59,63 @@ size_t EnvBudgetBytes() {
 
 }  // namespace
 
+MemoryBudget::MemoryBudget(std::string name, size_t limit,
+                           MemoryBudget* parent)
+    : name_(std::move(name)), limit_(limit), parent_(parent) {
+  MutexLock lock(BudgetRegistryMutex());
+  BudgetRegistry().push_back(this);
+}
+
+MemoryBudget::~MemoryBudget() {
+  MutexLock lock(BudgetRegistryMutex());
+  auto& budgets = BudgetRegistry();
+  budgets.erase(std::find(budgets.begin(), budgets.end(), this));
+}
+
+std::vector<BudgetStats> AllBudgetStats() {
+  MutexLock lock(BudgetRegistryMutex());
+  std::vector<BudgetStats> out;
+  out.reserve(BudgetRegistry().size());
+  for (const MemoryBudget* budget : BudgetRegistry()) {
+    BudgetStats stats;
+    stats.name = budget->name();
+    stats.parent =
+        budget->parent() != nullptr ? budget->parent()->name() : "";
+    stats.limit = budget->limit();
+    stats.used = budget->used();
+    stats.peak = budget->peak();
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
 Status MemoryBudget::Reserve(size_t bytes) {
   if (bytes == 0) return Status::OK();
+  bool refused = false;
+  size_t used_now = 0;
   {
     MutexLock lock(mu_);
     if (limit_ != kUnlimited &&
         (bytes > limit_ || used_ > limit_ - bytes)) {
-      obs::Count("teleios_governor_budget_denied_total");
-      return Status::ResourceExhausted(
-          "memory budget '" + name_ + "' exhausted: requested " +
-          std::to_string(bytes) + " bytes with " + std::to_string(used_) +
-          "/" + std::to_string(limit_) + " in use");
+      refused = true;
+      used_now = used_;
+    } else {
+      used_ += bytes;
     }
-    used_ += bytes;
+  }
+  if (refused) {
+    // Counted and posted outside mu_ so the event sink's I/O never runs
+    // under a budget lock.
+    obs::Count("teleios_governor_budget_denied_total");
+    obs::PostEvent("budget.refused",
+                   {{"budget", name_},
+                    {"requested_bytes", std::to_string(bytes)},
+                    {"used_bytes", std::to_string(used_now)},
+                    {"limit_bytes", std::to_string(limit_)}});
+    return Status::ResourceExhausted(
+        "memory budget '" + name_ + "' exhausted: requested " +
+        std::to_string(bytes) + " bytes with " + std::to_string(used_now) +
+        "/" + std::to_string(limit_) + " in use");
   }
   if (parent_ != nullptr) {
     Status up = parent_->Reserve(bytes);

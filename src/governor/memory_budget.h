@@ -6,6 +6,7 @@
 #include <new>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -33,11 +34,11 @@ class MemoryBudget {
   static constexpr size_t kUnlimited = std::numeric_limits<size_t>::max();
 
   /// `parent` (may be nullptr) must outlive this budget. `limit` is this
-  /// node's own cap; kUnlimited defers entirely to the ancestors.
+  /// node's own cap; kUnlimited defers entirely to the ancestors. Every
+  /// budget self-registers for AllBudgetStats() enumeration.
   MemoryBudget(std::string name, size_t limit,
-               MemoryBudget* parent = nullptr)
-      : name_(std::move(name)), limit_(limit), parent_(parent) {}
-  virtual ~MemoryBudget() = default;
+               MemoryBudget* parent = nullptr);
+  virtual ~MemoryBudget();
 
   MemoryBudget(const MemoryBudget&) = delete;
   MemoryBudget& operator=(const MemoryBudget&) = delete;
@@ -123,6 +124,21 @@ class BudgetCharge {
 /// `what` labels the refusal message ("group-aggregate hash tables").
 Result<BudgetCharge> TryCharge(MemoryBudget* budget, size_t bytes,
                                const std::string& what);
+
+/// Point-in-time reading of one live budget, for `sys.budgets`.
+struct BudgetStats {
+  std::string name;
+  std::string parent;  ///< parent budget's name, "" at the root
+  size_t limit = 0;    ///< MemoryBudget::kUnlimited when uncapped
+  size_t used = 0;
+  size_t peak = 0;
+};
+
+/// Snapshot of every live MemoryBudget (the process root, per-query
+/// children, engine scratch budgets). The registration lock is held for
+/// the whole walk, so no budget is destroyed mid-read; creation order is
+/// preserved (parents precede children).
+std::vector<BudgetStats> AllBudgetStats();
 
 /// The process-root budget. Its limit comes from TELEIOS_MEMORY_BUDGET
 /// (bytes, with an optional k/m/g suffix; unset or 0 = unlimited), read

@@ -1,0 +1,111 @@
+#ifndef TELEIOS_OBS_EVENT_LOG_H_
+#define TELEIOS_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace teleios::io {
+class WritableFile;
+}  // namespace teleios::io
+
+namespace teleios::obs {
+
+/// One structured diagnostic event: a type tag plus flat string fields,
+/// stamped with wall-clock milliseconds at Post time. Rendered as one
+/// JSON object per event ({"ts_millis": ..., "type": "...", fields...}).
+struct Event {
+  int64_t unix_millis = 0;
+  std::string type;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  std::string ToJson() const;
+  /// First field value under `key`, or "".
+  const std::string& Field(const std::string& key) const;
+};
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscapeString(const std::string& s);
+
+/// A bounded ring of recent diagnostic events — the process's flight
+/// recorder. Posting is cheap (one lock, no allocation beyond the event
+/// itself) and safe from any thread, including under engine locks: the
+/// log never calls back into the layers that feed it.
+///
+/// Event taxonomy (types posted by the substrate):
+///   query.finish         every governed statement's completion record
+///   query.slow           latency exceeded TELEIOS_SLOW_QUERY_MS
+///   query.killed         a KillQuery(id) hit a live statement
+///   budget.refused       a MemoryBudget reservation was refused
+///   admission.shed       the admission queue shed an arrival
+///   breaker.transition   a circuit breaker changed state
+///   vault.quarantine     a raster was quarantined after a failed ingest
+///
+/// An optional JSONL sink mirrors every posted event to a file, one
+/// JSON object per line, through the io seam (so fault injection covers
+/// it); sink errors are counted, never propagated — diagnostics must not
+/// fail the work they observe.
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = kDefaultCapacity);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// The process-wide log every substrate hook posts to. Capacity comes
+  /// from TELEIOS_EVENT_LOG_CAPACITY (default 512) and the JSONL sink
+  /// from TELEIOS_EVENT_LOG_PATH, both read once at first use.
+  static EventLog& Global();
+
+  void Post(std::string type,
+            std::vector<std::pair<std::string, std::string>> fields);
+
+  /// The retained window, oldest first.
+  std::vector<Event> Snapshot() const;
+
+  /// Events posted since construction (>= Snapshot().size(): the ring
+  /// drops the oldest once full).
+  uint64_t posted_total() const;
+  /// Events pushed out of the ring by newer ones.
+  uint64_t dropped_total() const;
+
+  /// Mirrors subsequent events to `path` as JSON lines via the io seam
+  /// (empty path closes the sink). Opening truncates; the sink is a
+  /// per-run diagnostic stream, not durable storage.
+  Status SetSinkPath(const std::string& path);
+
+  /// Drops retained events and counters; keeps capacity and sink.
+  void Reset();
+  /// Tests: swaps the ring bound (drops overflow immediately).
+  void SetCapacity(size_t capacity);
+
+  static constexpr size_t kDefaultCapacity = 512;
+
+ private:
+  mutable Mutex mu_;
+  size_t capacity_ TELEIOS_GUARDED_BY(mu_);
+  std::deque<Event> ring_ TELEIOS_GUARDED_BY(mu_);
+  uint64_t posted_ TELEIOS_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ TELEIOS_GUARDED_BY(mu_) = 0;
+  std::unique_ptr<io::WritableFile> sink_ TELEIOS_GUARDED_BY(mu_);
+};
+
+/// Posts to EventLog::Global() — the one-liner used at substrate call
+/// sites, mirroring obs::Count.
+void PostEvent(std::string type,
+               std::vector<std::pair<std::string, std::string>> fields);
+
+/// Milliseconds since the Unix epoch (system clock).
+int64_t UnixMillisNow();
+
+}  // namespace teleios::obs
+
+#endif  // TELEIOS_OBS_EVENT_LOG_H_

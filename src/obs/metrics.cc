@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 namespace teleios::obs {
@@ -35,6 +36,42 @@ std::string BaseName(const std::string& name) {
 std::string Labels(const std::string& name) {
   size_t brace = name.find('{');
   return brace == std::string::npos ? std::string() : name.substr(brace);
+}
+
+/// Prometheus text-format escaping for label values: backslash, double
+/// quote, and newline must be backslash-escaped.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Prometheus text-format escaping for `# HELP` text: backslash and
+/// newline only (quotes are legal there).
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
 }
 
 /// `series("x{a="b"}", "_sum", "")` -> `x_sum{a="b"}`;
@@ -107,8 +144,39 @@ void Histogram::Reset() {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    ProcessUptimeSeconds();  // anchor the uptime epoch
+    r->GetGauge("teleios_process_uptime_seconds");
+    r->SetHelp("teleios_process_uptime_seconds",
+               "Seconds since process metrics initialization.");
+    // Build-info idiom: a constant-1 gauge whose labels carry the facts.
+#if defined(__VERSION__)
+    const char* compiler = __VERSION__;
+#else
+    const char* compiler = "unknown";
+#endif
+    std::string info = WithLabel(
+        WithLabel("teleios_build_info", "compiler", compiler), "std",
+        std::to_string(__cplusplus));
+    r->GetGauge(info)->Set(1);
+    r->SetHelp("teleios_build_info",
+               "Constant 1; labels identify the build toolchain.");
+    return r;
+  }();
   return *registry;
+}
+
+void MetricsRegistry::SetHelp(const std::string& base_name, std::string help) {
+  MutexLock lock(mu_);
+  help_[base_name] = std::move(help);
+}
+
+void MetricsRegistry::RefreshComputedLocked() const {
+  // Computed metrics only exist in the global registry; instance
+  // registries (tests) skip this by not having the series.
+  auto it = gauges_.find("teleios_process_uptime_seconds");
+  if (it != gauges_.end()) it->second->Set(ProcessUptimeSeconds());
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
@@ -134,25 +202,41 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 std::string MetricsRegistry::TextExposition() const {
   MutexLock lock(mu_);
+  RefreshComputedLocked();
   std::ostringstream os;
+  // One HELP (when registered) + one TYPE line per family. Maps are
+  // name-sorted, so a family's series are adjacent and last_base
+  // suffices for the dedupe.
+  auto family_header = [&](const std::string& base, const char* type) {
+    auto help = help_.find(base);
+    if (help != help_.end()) {
+      os << "# HELP " << base << " " << EscapeHelp(help->second) << "\n";
+    }
+    os << "# TYPE " << base << " " << type << "\n";
+  };
   std::string last_base;
   for (const auto& [name, counter] : counters_) {
     std::string base = BaseName(name);
     if (base != last_base) {
-      os << "# TYPE " << base << " counter\n";
+      family_header(base, "counter");
       last_base = base;
     }
     os << name << " " << counter->value() << "\n";
   }
+  last_base.clear();
   for (const auto& [name, gauge] : gauges_) {
-    os << "# TYPE " << BaseName(name) << " gauge\n";
+    std::string base = BaseName(name);
+    if (base != last_base) {
+      family_header(base, "gauge");
+      last_base = base;
+    }
     os << name << " " << NumberToString(gauge->value()) << "\n";
   }
   last_base.clear();
   for (const auto& [name, hist] : histograms_) {
     std::string base = BaseName(name);
     if (base != last_base) {
-      os << "# TYPE " << base << " summary\n";
+      family_header(base, "summary");
       last_base = base;
     }
     for (double q : {0.5, 0.95, 0.99}) {
@@ -168,6 +252,7 @@ std::string MetricsRegistry::TextExposition() const {
 
 std::string MetricsRegistry::JsonExposition() const {
   MutexLock lock(mu_);
+  RefreshComputedLocked();
   std::ostringstream os;
   os << "{\"counters\": {";
   bool first = true;
@@ -197,6 +282,30 @@ std::string MetricsRegistry::JsonExposition() const {
   return os.str();
 }
 
+std::vector<MetricSample> MetricsRegistry::Samples() const {
+  MutexLock lock(mu_);
+  RefreshComputedLocked();
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 5);
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, "counter", static_cast<double>(counter->value())});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back({name, "gauge", gauge->value()});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out.push_back({Series(name, "_count", ""), "histogram",
+                   static_cast<double>(hist->count())});
+    out.push_back({Series(name, "_sum", ""), "histogram", hist->sum()});
+    out.push_back({Series(name, "_p50", ""), "histogram", hist->Quantile(0.5)});
+    out.push_back(
+        {Series(name, "_p95", ""), "histogram", hist->Quantile(0.95)});
+    out.push_back(
+        {Series(name, "_p99", ""), "histogram", hist->Quantile(0.99)});
+  }
+  return out;
+}
+
 void MetricsRegistry::Reset() {
   MutexLock lock(mu_);
   for (auto& [_, c] : counters_) c->Reset();
@@ -206,7 +315,19 @@ void MetricsRegistry::Reset() {
 
 std::string WithLabel(const std::string& name, const std::string& key,
                       const std::string& value) {
-  return name + "{" + key + "=\"" + value + "\"}";
+  std::string pair = key + "=\"" + EscapeLabelValue(value) + "\"";
+  if (!name.empty() && name.back() == '}') {
+    return name.substr(0, name.size() - 1) + "," + pair + "}";
+  }
+  return name + "{" + pair + "}";
+}
+
+double ProcessUptimeSeconds() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 void Count(const std::string& name, uint64_t n) {

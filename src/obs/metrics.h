@@ -70,6 +70,15 @@ class Histogram {
   std::atomic<double> sum_{0};
 };
 
+/// One flattened metric reading, for programmatic consumers (the
+/// `sys.metrics` virtual table). Histograms flatten into derived series
+/// (`<name>_count`, `<name>_sum`, `<name>_p50/p95/p99`).
+struct MetricSample {
+  std::string name;  ///< full series name, labels included
+  std::string kind;  ///< "counter" | "gauge" | "histogram"
+  double value = 0;
+};
+
 /// Process-wide registry of named metrics. Metric pointers are stable for
 /// the registry's lifetime (callers may cache them in function-local
 /// statics on hot paths); Reset() zeroes values without invalidating
@@ -88,18 +97,32 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
-  /// Prometheus-style plain text exposition: one `name value` line per
-  /// counter/gauge; histograms expose `{quantile=...}`, `_sum`, `_count`.
+  /// Attaches Prometheus `# HELP` text to a metric family. `base_name`
+  /// is the series name without labels; newlines and backslashes are
+  /// escaped at exposition time.
+  void SetHelp(const std::string& base_name, std::string help);
+
+  /// Prometheus text exposition format: every family gets exactly one
+  /// `# TYPE` line (and a `# HELP` line when SetHelp was called), then
+  /// one `name value` line per series; histograms expose
+  /// `{quantile=...}`, `_sum`, `_count` as a summary.
   std::string TextExposition() const;
 
   /// One JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum, p50, p95, p99}}}.
   std::string JsonExposition() const;
 
+  /// Every series as a flat name/kind/value list, sorted by kind then
+  /// name (the order of the text exposition). Backs `sys.metrics`.
+  std::vector<MetricSample> Samples() const;
+
   /// Zeroes every metric (tests); registered pointers stay valid.
   void Reset();
 
  private:
+  /// Refreshes computed metrics (process uptime) before a read-out.
+  void RefreshComputedLocked() const TELEIOS_REQUIRES(mu_);
+
   mutable Mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_
       TELEIOS_GUARDED_BY(mu_);
@@ -107,11 +130,18 @@ class MetricsRegistry {
       TELEIOS_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_
       TELEIOS_GUARDED_BY(mu_);
+  std::map<std::string, std::string> help_ TELEIOS_GUARDED_BY(mu_);
 };
 
 /// `WithLabel("x_total", "code", "ParseError")` -> `x_total{code="ParseError"}`.
+/// Applied to a name that already carries labels, appends to them:
+/// `WithLabel("x{a="1"}", "b", "2")` -> `x{a="1",b="2"}`. Label values are
+/// escaped per the Prometheus text format (backslash, quote, newline).
 std::string WithLabel(const std::string& name, const std::string& key,
                       const std::string& value);
+
+/// Seconds since the process (first Global() touch) started.
+double ProcessUptimeSeconds();
 
 // --- call-site helpers (all route to MetricsRegistry::Global()) -----------
 

@@ -1,0 +1,174 @@
+#ifndef TELEIOS_OBS_QUERY_REGISTRY_H_
+#define TELEIOS_OBS_QUERY_REGISTRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "exec/cancellation.h"
+
+namespace teleios::obs {
+
+enum class QueryState { kQueued, kRunning };
+
+const char* QueryStateName(QueryState state);
+
+/// Snapshot row of one in-flight statement (`sys.queries`).
+struct ActiveQuery {
+  uint64_t id = 0;
+  std::string tier;       // sql / sciql / stsparql / fire-chain / ...
+  std::string statement;  // verbatim text (PROFILE prefix stripped)
+  QueryState state = QueryState::kQueued;
+  int64_t start_unix_millis = 0;  // wall clock at registration
+  double queued_millis = 0;       // admission wait (0 while still queued)
+  double elapsed_millis = 0;      // registration -> snapshot time
+};
+
+/// Completion record of one finished statement (`sys.query_log`).
+struct QueryCompletion {
+  uint64_t id = 0;
+  std::string tier;
+  std::string statement;
+  std::string status;  // StatusCodeName of the final status
+  int64_t rows = -1;   // result cardinality; -1 when not a table result
+  double latency_millis = 0;  // registration -> finish, queue wait included
+  double queued_millis = 0;
+  uint64_t peak_budget_bytes = 0;
+  int64_t end_unix_millis = 0;
+  /// Chrome trace-event JSON of the statement's span tree when the query
+  /// was traced (PROFILE or TELEIOS_TRACE_SAMPLE hit); "" otherwise.
+  std::string trace_json;
+};
+
+/// Lifecycle knobs, read from the environment once per registry.
+struct IntrospectionConfig {
+  /// Completions at or above this latency post a query.slow event;
+  /// negative disables. TELEIOS_SLOW_QUERY_MS (note: 0 flags everything).
+  double slow_query_millis = -1;
+  /// Trace every Nth query (ids divisible by N) even without PROFILE and
+  /// store the tree in the query log; 0 disables. TELEIOS_TRACE_SAMPLE.
+  uint64_t trace_sample_every = 0;
+  /// Completion records retained (ring). TELEIOS_QUERY_LOG_CAPACITY,
+  /// default 256.
+  size_t query_log_capacity = 256;
+
+  static IntrospectionConfig FromEnv();
+};
+
+class ActiveQueryRegistry;
+
+/// RAII registration of one statement: created by
+/// ActiveQueryRegistry::Start, consumed by Finish. If a guard dies
+/// without Finish (an exception crossed the facade), the registry
+/// records the query as Internal so `sys.queries` can never leak a
+/// phantom row.
+class QueryGuard {
+ public:
+  QueryGuard() = default;
+  ~QueryGuard();
+
+  QueryGuard(QueryGuard&& other) noexcept { *this = std::move(other); }
+  QueryGuard& operator=(QueryGuard&& other) noexcept;
+  QueryGuard(const QueryGuard&) = delete;
+  QueryGuard& operator=(const QueryGuard&) = delete;
+
+  uint64_t id() const { return id_; }
+  /// The per-query token: cancelled by KillQuery, chained to the
+  /// caller's own token. Valid for the guard's lifetime.
+  const exec::CancellationToken* token() const { return token_.get(); }
+  bool valid() const { return registry_ != nullptr; }
+
+ private:
+  friend class ActiveQueryRegistry;
+  ActiveQueryRegistry* registry_ = nullptr;
+  uint64_t id_ = 0;
+  std::shared_ptr<exec::CancellationToken> token_;
+};
+
+/// The observatory's query lifecycle ledger: every admitted statement is
+/// registered here with a monotonically-assigned id, observable while it
+/// runs (`sys.queries`), killable by id, and archived into a bounded
+/// completion ring (`sys.query_log`) when it finishes on ANY path —
+/// success, error, shed, killed.
+///
+/// Thread-safe throughout; snapshots are cheap copies so readers never
+/// hold the lock while rendering tables.
+class ActiveQueryRegistry {
+ public:
+  explicit ActiveQueryRegistry(
+      IntrospectionConfig config = IntrospectionConfig::FromEnv());
+
+  ActiveQueryRegistry(const ActiveQueryRegistry&) = delete;
+  ActiveQueryRegistry& operator=(const ActiveQueryRegistry&) = delete;
+
+  /// Registers a statement (state kQueued) and hands back its guard.
+  /// `parent` (may be nullptr) is the caller's token; the registry token
+  /// chains to it, so engines polling the registry token honor both.
+  QueryGuard Start(std::string tier, std::string statement,
+                   const exec::CancellationToken* parent);
+
+  /// Moves the query to kRunning and records its admission wait.
+  void MarkRunning(const QueryGuard& guard, double queued_millis);
+
+  /// Cancels the query's token; running morsels stop at their next poll
+  /// and a queued statement abandons the admission queue. NotFound when
+  /// no such query is active (already finished ids are not killable).
+  Status Kill(uint64_t id);
+
+  /// True when `id` should run under an always-on sampled trace.
+  bool ShouldSample(uint64_t id) const;
+
+  /// Closes the guard: removes the active entry, derives latency, posts
+  /// query.finish (and query.slow when over threshold) events, and
+  /// appends the completion record to the ring.
+  void Finish(QueryGuard guard, StatusCode code, int64_t rows,
+              uint64_t peak_budget_bytes, std::string trace_json);
+
+  /// In-flight statements, id-ascending; elapsed_millis is as of now.
+  std::vector<ActiveQuery> Active() const;
+
+  /// Retained completion records, oldest first.
+  std::vector<QueryCompletion> Log() const;
+
+  uint64_t started_total() const;
+  uint64_t finished_total() const;
+  /// Completion records pushed out of the ring.
+  uint64_t log_dropped_total() const;
+
+  IntrospectionConfig config() const;
+  /// Tests: swap thresholds/sampling/capacity (trims the ring at once).
+  void Reconfigure(const IntrospectionConfig& config);
+
+ private:
+  friend class QueryGuard;
+
+  struct Entry {
+    ActiveQuery info;
+    std::chrono::steady_clock::time_point start;
+    std::shared_ptr<exec::CancellationToken> token;
+  };
+
+  /// Guard died without Finish: close the entry as Internal.
+  void Abandon(uint64_t id);
+  void FinishLocked(uint64_t id, StatusCode code, int64_t rows,
+                    uint64_t peak_budget_bytes, std::string trace_json)
+      TELEIOS_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  IntrospectionConfig config_ TELEIOS_GUARDED_BY(mu_);
+  uint64_t next_id_ TELEIOS_GUARDED_BY(mu_) = 1;
+  uint64_t finished_ TELEIOS_GUARDED_BY(mu_) = 0;
+  uint64_t log_dropped_ TELEIOS_GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, Entry> active_ TELEIOS_GUARDED_BY(mu_);
+  std::deque<QueryCompletion> log_ TELEIOS_GUARDED_BY(mu_);
+};
+
+}  // namespace teleios::obs
+
+#endif  // TELEIOS_OBS_QUERY_REGISTRY_H_

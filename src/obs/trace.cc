@@ -11,6 +11,12 @@ struct ScopedTrace::Context {
   /// vectors the outer pointers live in never reallocate while they are
   /// on the stack.
   std::vector<SpanNode*> open;
+  /// Trace start; spans record their start offset against it.
+  std::chrono::steady_clock::time_point start;
+  /// Start offset of this trace within the enclosing trace active at
+  /// construction (0 at top level); applied to the whole tree when the
+  /// finished root is attached as a span of the outer trace.
+  double offset_in_parent = 0;
 };
 
 namespace {
@@ -61,24 +67,45 @@ std::string SpanNode::Render() const {
   return os.str();
 }
 
+namespace {
+
+/// Shifts a finished subtree's start offsets into an enclosing trace's
+/// timebase.
+void ShiftStartOffsets(SpanNode* node, double offset) {
+  node->start_millis += offset;
+  for (SpanNode& child : node->children) ShiftStartOffsets(&child, offset);
+}
+
+}  // namespace
+
 ScopedTrace::ScopedTrace(std::string name)
     : ctx_(new Context()), start_(std::chrono::steady_clock::now()) {
   ctx_->root.name = std::move(name);
   ctx_->open.push_back(&ctx_->root);
+  ctx_->start = start_;
+  if (!t_active.empty()) {
+    ctx_->offset_in_parent = std::chrono::duration<double, std::milli>(
+                                 start_ - t_active.back()->start)
+                                 .count();
+  }
   t_active.push_back(ctx_);
 }
 
 SpanNode ScopedTrace::Finish() {
   if (ctx_ == nullptr) return finished_;
   ctx_->root.millis = MillisSince(start_);
+  double offset_in_parent = ctx_->offset_in_parent;
   finished_ = std::move(ctx_->root);
   // Pop this trace (it is the innermost by scoping discipline).
   if (!t_active.empty() && t_active.back() == ctx_) t_active.pop_back();
   delete ctx_;
   ctx_ = nullptr;
-  // A finished inner trace becomes a span of the enclosing trace.
+  // A finished inner trace becomes a span of the enclosing trace; its
+  // offsets move from "since inner start" to "since outer start".
   if (!t_active.empty()) {
-    t_active.back()->open.back()->children.push_back(finished_);
+    SpanNode attached = finished_;
+    ShiftStartOffsets(&attached, offset_in_parent);
+    t_active.back()->open.back()->children.push_back(std::move(attached));
   }
   return finished_;
 }
@@ -92,7 +119,11 @@ TraceSpan::TraceSpan(std::string name, Histogram* histogram)
   if (t_active.empty()) return;
   ScopedTrace::Context* ctx = t_active.back();
   SpanNode* parent = ctx->open.back();
-  parent->children.push_back(SpanNode{std::move(name), 0, {}, {}});
+  SpanNode node;
+  node.name = std::move(name);
+  node.start_millis =
+      std::chrono::duration<double, std::milli>(start_ - ctx->start).count();
+  parent->children.push_back(std::move(node));
   node_ = &parent->children.back();
   ctx->open.push_back(node_);
 }

@@ -15,6 +15,10 @@ namespace teleios::obs {
 struct SpanNode {
   std::string name;
   double millis = 0;
+  /// Offset of this span's start from its trace's root start, in
+  /// milliseconds (the root itself is 0). Gives exporters real
+  /// timestamps instead of reconstructed ones.
+  double start_millis = 0;
   std::vector<std::pair<std::string, std::string>> attrs;
   std::vector<SpanNode> children;
 

@@ -1,5 +1,7 @@
 #include "relational/sql_engine.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "relational/evaluator.h"
@@ -66,6 +68,35 @@ Result<std::string> SqlEngine::Explain(const std::string& sql) {
 
 Result<Table> SqlEngine::ExecuteStatement(const Statement& stmt) {
   if (const auto* select = std::get_if<SelectStatement>(&stmt)) {
+    // Serve `sys.*` references through an overlay catalog: a cheap copy
+    // of the base (shared table pointers) plus a fresh snapshot of every
+    // served table this statement touches, materialized at execute time.
+    if (virtual_tables_ != nullptr) {
+      std::vector<const std::string*> names;
+      names.push_back(&select->from.name);
+      for (const JoinClause& join : select->joins) {
+        names.push_back(&join.table.name);
+      }
+      storage::Catalog overlay;
+      std::vector<std::string> materialized;
+      for (const std::string* name : names) {
+        if (!virtual_tables_->Serves(*name)) continue;
+        if (materialized.empty()) overlay = *catalog_;
+        if (std::find(materialized.begin(), materialized.end(), *name) !=
+            materialized.end()) {
+          continue;  // self-join: one snapshot per statement
+        }
+        TELEIOS_ASSIGN_OR_RETURN(TablePtr table,
+                                 virtual_tables_->Materialize(*name));
+        // The provider shadows any stored table of the same name.
+        if (overlay.HasTable(*name)) {
+          TELEIOS_RETURN_IF_ERROR(overlay.DropTable(*name));
+        }
+        TELEIOS_RETURN_IF_ERROR(overlay.CreateTable(*name, std::move(table)));
+        materialized.push_back(*name);
+      }
+      if (!materialized.empty()) return ExecuteSelect(*select, overlay);
+    }
     return ExecuteSelect(*select, *catalog_);  // emits its own execute span
   }
   obs::TraceSpan exec_span("execute");

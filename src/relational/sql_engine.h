@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "relational/sql_parser.h"
+#include "relational/virtual_tables.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
 
@@ -24,6 +25,14 @@ class SqlEngine {
   /// Returns the optimizer's plan steps for a SELECT.
   Result<std::string> Explain(const std::string& sql);
 
+  /// Installs a `sys.*` provider (nullptr to detach; must outlive the
+  /// engine). SELECTs referencing a served name run against an overlay
+  /// catalog holding a fresh snapshot of those tables; DDL/DML never see
+  /// virtual tables.
+  void set_virtual_tables(VirtualTableProvider* provider) {
+    virtual_tables_ = provider;
+  }
+
   storage::Catalog* catalog() { return catalog_; }
 
  private:
@@ -31,6 +40,7 @@ class SqlEngine {
   Result<storage::Table> ExecuteStatement(const Statement& stmt);
 
   storage::Catalog* catalog_;
+  VirtualTableProvider* virtual_tables_ = nullptr;
 };
 
 }  // namespace teleios::relational

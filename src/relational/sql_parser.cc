@@ -248,6 +248,13 @@ Result<TableRef> ParseTableRef(TokenCursor* cur) {
     ref.name = cur->Next().text;
   } else {
     TELEIOS_ASSIGN_OR_RETURN(ref.name, cur->ExpectIdentifier());
+    // Schema-qualified names (`sys.queries`): the dotted text as a whole
+    // is the catalog name.
+    while (cur->PeekSymbol(".") &&
+           cur->Peek(1).type == TokenType::kIdentifier) {
+      cur->Next();
+      ref.name += "." + cur->Next().text;
+    }
   }
   if (cur->AcceptSymbol("[")) {
     do {

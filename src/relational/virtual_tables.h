@@ -1,0 +1,35 @@
+#ifndef TELEIOS_RELATIONAL_VIRTUAL_TABLES_H_
+#define TELEIOS_RELATIONAL_VIRTUAL_TABLES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace teleios::relational {
+
+/// Supplies materialized-on-read system tables (the `sys.*` schema) to
+/// the query engines. A provider is consulted per statement: every
+/// served table referenced by a SELECT is materialized at execution
+/// time, so the result reflects live registry/governor/executor state
+/// rather than anything stored in the catalog. Providers must be
+/// thread-safe — concurrent statements materialize concurrently.
+class VirtualTableProvider {
+ public:
+  virtual ~VirtualTableProvider() = default;
+
+  /// True when this provider serves `name` (e.g. "sys.queries").
+  virtual bool Serves(const std::string& name) const = 0;
+
+  /// The served names, sorted (diagnostics, `sys.tables`-style listings).
+  virtual std::vector<std::string> TableNames() const = 0;
+
+  /// Builds a fresh snapshot table for `name`; kNotFound when the name
+  /// is not served.
+  virtual Result<storage::TablePtr> Materialize(const std::string& name) = 0;
+};
+
+}  // namespace teleios::relational
+
+#endif  // TELEIOS_RELATIONAL_VIRTUAL_TABLES_H_

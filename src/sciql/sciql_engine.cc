@@ -147,6 +147,14 @@ Status SciQlEngine::MaterializeSources(const SelectStatement& stmt,
     if (!ref.slab.empty()) {
       return Status::InvalidArgument("slab on non-array '" + ref.name + "'");
     }
+    if (virtual_tables_ != nullptr && virtual_tables_->Serves(ref.name)) {
+      TELEIOS_ASSIGN_OR_RETURN(storage::TablePtr snapshot,
+                               virtual_tables_->Materialize(ref.name));
+      if (notes != nullptr) {
+        notes->push_back("materialize virtual table '" + ref.name + "'");
+      }
+      return scratch->CreateTable(ref.name, std::move(snapshot));
+    }
     if (tables_ != nullptr) {
       auto table = tables_->GetTable(ref.name);
       if (table.ok()) {

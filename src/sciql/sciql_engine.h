@@ -9,6 +9,7 @@
 #include "array/array.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "relational/virtual_tables.h"
 #include "sciql/sciql_parser.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
@@ -44,6 +45,13 @@ class SciQlEngine {
   /// SqlEngine::Explain).
   Result<std::string> Explain(const std::string& statement);
 
+  /// Installs a `sys.*` provider (nullptr to detach; must outlive the
+  /// engine). Served names resolve in SELECTs after arrays, before
+  /// relational pass-through.
+  void set_virtual_tables(relational::VirtualTableProvider* provider) {
+    virtual_tables_ = provider;
+  }
+
  private:
   Result<storage::Table> ParseAndExecute(const std::string& statement);
   Result<storage::Table> ExecuteSelect(
@@ -57,6 +65,7 @@ class SciQlEngine {
                             std::vector<std::string>* notes);
 
   storage::Catalog* tables_;
+  relational::VirtualTableProvider* virtual_tables_ = nullptr;
   /// Guards the array catalog so concurrent batch products can run
   /// SELECTs while others register/drop their scene arrays. Statement
   /// execution itself holds no lock — concurrent UPDATEs of the *same*

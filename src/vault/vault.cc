@@ -6,6 +6,7 @@
 #include "common/strings.h"
 #include "governor/memory_budget.h"
 #include "io/filesystem.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/persistence.h"
@@ -196,6 +197,8 @@ Result<TerRaster> DataVault::IngestPayload(const std::string& name,
     quarantine_[name] = raster.status();
     ++stats_.ingest_failures;
     obs::Count("teleios_vault_quarantined_total");
+    obs::PostEvent("vault.quarantine",
+                   {{"raster", name}, {"status", raster.status().ToString()}});
     TELEIOS_LOG(Warning) << "vault: quarantining raster '" << name
                          << "': " << raster.status().ToString();
   }

@@ -1,11 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace teleios::obs {
 namespace {
@@ -192,6 +201,190 @@ TEST(Trace, FinishIsIdempotent) {
   SpanNode second = trace.Finish();
   EXPECT_EQ(first.children.size(), 1u);
   EXPECT_EQ(second.children.size(), 1u);
+}
+
+// Prometheus text-format conformance: escaping and family headers.
+
+TEST(Registry, LabelValuesAreEscapedInExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter(WithLabel("esc_total", "path", "a\"b\\c\nd"))->Inc();
+  std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Registry, HelpTextIsEscapedAndEmittedOncePerFamily) {
+  MetricsRegistry registry;
+  registry.SetHelp("helped_total", "first line\nsecond \\ line");
+  registry.GetCounter(WithLabel("helped_total", "code", "a"))->Inc();
+  registry.GetCounter(WithLabel("helped_total", "code", "b"))->Inc();
+  std::string text = registry.TextExposition();
+  std::string help = "# HELP helped_total first line\\nsecond \\\\ line\n";
+  size_t first = text.find(help);
+  ASSERT_NE(first, std::string::npos) << text;
+  EXPECT_EQ(text.find(help, first + 1), std::string::npos)
+      << "one HELP per family, not per series";
+  EXPECT_EQ(text.find("# TYPE helped_total counter", first),
+            text.find(help) + help.size())
+      << "TYPE follows HELP";
+}
+
+TEST(Registry, EveryFamilyHasExactlyOneTypeLine) {
+  MetricsRegistry registry;
+  registry.GetCounter("fam_a_total")->Inc();
+  registry.GetCounter(WithLabel("fam_a_total", "code", "x"))->Inc();
+  registry.GetGauge("fam_b")->Set(1);
+  registry.GetHistogram(WithLabel("fam_c_millis", "op", "scan"))->Observe(2);
+  registry.GetHistogram(WithLabel("fam_c_millis", "op", "sort"))->Observe(3);
+
+  std::set<std::string> typed;
+  std::istringstream lines(registry.TextExposition());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::string family = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_TRUE(typed.insert(family).second)
+          << "duplicate # TYPE for " << family;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    // Every sample belongs to a family announced by a preceding TYPE.
+    std::string name = line.substr(0, line.find_first_of("{ "));
+    for (const char* suffix : {"_sum", "_count"}) {
+      size_t at = name.size() > strlen(suffix)
+                      ? name.rfind(suffix)
+                      : std::string::npos;
+      if (at != std::string::npos && at == name.size() - strlen(suffix) &&
+          typed.count(name.substr(0, at))) {
+        name = name.substr(0, at);
+      }
+    }
+    EXPECT_TRUE(typed.count(name)) << "sample before its TYPE: " << line;
+  }
+}
+
+TEST(Registry, UptimeAndBuildInfoAreExposedGlobally) {
+  // Process-level series live only in the global registry; instance
+  // registries (like this test's locals elsewhere) never invent them.
+  std::string text = MetricsRegistry::Global().TextExposition();
+  EXPECT_NE(text.find("# TYPE teleios_process_uptime_seconds gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("teleios_build_info{compiler="), std::string::npos);
+  EXPECT_GT(ProcessUptimeSeconds(), 0.0);
+
+  MetricsRegistry local;
+  local.GetCounter("anything_total")->Inc();
+  EXPECT_EQ(local.TextExposition().find("teleios_process_uptime_seconds"),
+            std::string::npos);
+}
+
+// Structured event log: ring bounds, JSON rendering, JSONL sink.
+
+TEST(EventLog, RingDropsOldestAndCountsEverything) {
+  EventLog log(3);
+  for (int i = 0; i < 5; ++i) {
+    log.Post("e" + std::to_string(i), {{"i", std::to_string(i)}});
+  }
+  std::vector<Event> window = log.Snapshot();
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window.front().type, "e2");
+  EXPECT_EQ(window.back().type, "e4");
+  EXPECT_EQ(log.posted_total(), 5u);
+  EXPECT_EQ(log.dropped_total(), 2u);
+}
+
+TEST(EventLog, ToJsonEscapesFieldValues) {
+  Event event;
+  event.unix_millis = 7;
+  event.type = "test.event";
+  event.fields = {{"msg", "say \"hi\"\n"}};
+  EXPECT_EQ(event.ToJson(),
+            "{\"ts_millis\": 7, \"type\": \"test.event\", "
+            "\"msg\": \"say \\\"hi\\\"\\n\"}");
+}
+
+TEST(EventLog, JsonlSinkMirrorsEvents) {
+  namespace fs = std::filesystem;
+  fs::path path = fs::temp_directory_path() /
+                  ("event_sink_" + std::to_string(::getpid()) + ".jsonl");
+  EventLog log(8);
+  ASSERT_TRUE(log.SetSinkPath(path.string()).ok());
+  log.Post("sink.a", {{"k", "v"}});
+  log.Post("sink.b", {});
+  ASSERT_TRUE(log.SetSinkPath("").ok());  // close and flush
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"type\": \"sink.a\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"k\": \"v\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\": \"sink.b\""), std::string::npos);
+  fs::remove(path);
+}
+
+// Chrome trace-event codec.
+
+/// Structural equality, attr order and float bits included.
+void ExpectSameTree(const SpanNode& a, const SpanNode& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.millis, b.millis);
+  EXPECT_EQ(a.start_millis, b.start_millis);
+  EXPECT_EQ(a.attrs, b.attrs);
+  ASSERT_EQ(a.children.size(), b.children.size());
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    ExpectSameTree(a.children[i], b.children[i]);
+  }
+}
+
+TEST(TraceExport, RoundTripsTreeTimestampsAndAttrs) {
+  SpanNode root;
+  root.name = "sql";
+  root.millis = 12.375;
+  root.attrs = {{"status", "OK"}, {"rows", "4"}};
+  SpanNode admit;
+  admit.name = "governor.admit";
+  admit.millis = 0.25;
+  SpanNode scan;
+  scan.name = "exec.filter";
+  scan.millis = 11.5;
+  scan.start_millis = 0.5;
+  scan.attrs = {{"note", "quote \" back\\slash\nnewline"}};
+  SpanNode morsel;
+  morsel.name = "morsel";
+  morsel.millis = 1.0625;
+  morsel.start_millis = 0.75;
+  scan.children.push_back(morsel);
+  root.children.push_back(admit);
+  root.children.push_back(scan);
+
+  std::string json = ToChromeTraceJson(root);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  auto parsed = FromChromeTraceJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSameTree(root, *parsed);
+  // Byte-exact second generation: the codec is a fixed point.
+  EXPECT_EQ(ToChromeTraceJson(*parsed), json);
+}
+
+TEST(TraceExport, RejectsMalformedInput) {
+  EXPECT_EQ(FromChromeTraceJson("{\"traceEvents\": [").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(FromChromeTraceJson("{\"traceEvents\": []}").status().code(),
+            StatusCode::kInvalidArgument);
+  // Two depth-0 events cannot form one rooted tree.
+  SpanNode root;
+  root.name = "a";
+  std::string one = ToChromeTraceJson(root);
+  std::string events = one.substr(one.find('['));
+  events = events.substr(1, events.rfind(']') - 1);
+  std::string twin =
+      "{\"traceEvents\": [" + events + ", " + events + "]}";
+  EXPECT_EQ(FromChromeTraceJson(twin).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 // Race-audit stress tests: run these under TELEIOS_SANITIZE=thread
