@@ -65,6 +65,18 @@ TELEIOS_TRACE_SAMPLE=1 TELEIOS_SLOW_QUERY_MS=0 \
 TELEIOS_TRACE_SAMPLE=1 TELEIOS_SLOW_QUERY_MS=0 TELEIOS_THREADS=8 \
   ctest --test-dir build-tsan --output-on-failure -R "IntrospectionTest|Registry\.|EventLog\.|TraceExport\.|Trace\.|ThreadSafety"
 
+echo "== pass 4d/5: durability leg — crash sweep with aggressive checkpointing =="
+# The recovery sweep and WAL unit tests again under both sanitizer
+# builds, with the auto-checkpoint threshold squeezed to 4 KiB so the
+# checkpoint protocol (rotate + carry-forward + truncate) fires inside
+# the kill window on nearly every workload: every replay, rollover and
+# poisoned-segment path must be leak-free under ASan/UBSan and the
+# writer/durability-manager locking race-free under TSan.
+TELEIOS_WAL_CHECKPOINT_BYTES=4k \
+  ctest --test-dir build-sanitize --output-on-failure -R "RecoverySweepTest|WalTest|RetryTest"
+TELEIOS_WAL_CHECKPOINT_BYTES=4k TELEIOS_THREADS=8 \
+  ctest --test-dir build-tsan --output-on-failure -R "RecoverySweepTest|WalTest|RetryTest"
+
 echo "== pass 5/5: static analysis (thread-safety annotations + lint) =="
 if command -v clang++ >/dev/null 2>&1; then
   # Compile-time lock-discipline check: the annotated build must be

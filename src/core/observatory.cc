@@ -4,6 +4,7 @@
 #include <optional>
 #include <type_traits>
 #include <utility>
+#include <variant>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -11,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "relational/sql_parser.h"
 #include "storage/persistence.h"
 
 namespace teleios::core {
@@ -44,6 +46,16 @@ void FlattenSpans(const obs::SpanNode& node, int64_t depth,
   for (const obs::SpanNode& child : node.children) {
     FlattenSpans(child, depth + 1, out);
   }
+}
+
+/// True when `statement` parses as a mutating SQL statement (anything
+/// but SELECT). Parse failures return false: the engine will produce
+/// the real error, and nothing gets logged for a statement that can
+/// never apply.
+bool IsSqlMutation(const std::string& statement) {
+  Result<relational::Statement> parsed = relational::ParseSql(statement);
+  if (!parsed.ok()) return false;
+  return !std::holds_alternative<relational::SelectStatement>(*parsed);
 }
 
 /// The span tree as a table, pre-order, one row per span.
@@ -196,8 +208,15 @@ Result<storage::Table> VirtualEarthObservatory::Sql(
     const std::string& statement, const exec::CancellationToken* cancel) {
   std::string body = statement;
   bool profile = StripProfilePrefix(&body);
-  return Governed("sql", body, profile, cancel,
-                  [&] { return sql_->Execute(body); });
+  return Governed("sql", body, profile, cancel, [&] {
+    // A durable observatory write-ahead-logs mutating statements; the
+    // log+apply runs inside the governed scope, so admission, budget,
+    // and introspection see the durable path like any other statement.
+    if (durability_ != nullptr && IsSqlMutation(body)) {
+      return durability_->SqlMutation(body);
+    }
+    return sql_->Execute(body);
+  });
 }
 
 Result<storage::Table> VirtualEarthObservatory::SciQl(
@@ -218,11 +237,13 @@ Result<storage::Table> VirtualEarthObservatory::StSparql(
 
 Result<size_t> VirtualEarthObservatory::StSparqlUpdate(
     const std::string& update) {
+  if (durability_ != nullptr) return durability_->StrabonUpdate(update);
   return strabon_.Update(update);
 }
 
 Result<size_t> VirtualEarthObservatory::LoadLinkedData(
     const std::string& turtle) {
+  if (durability_ != nullptr) return durability_->LoadTurtle(turtle);
   return strabon_.LoadTurtle(turtle);
 }
 
@@ -253,6 +274,71 @@ Status VirtualEarthObservatory::SaveCatalog(const std::string& dir) {
 
 Result<size_t> VirtualEarthObservatory::LoadCatalog(const std::string& dir) {
   return storage::LoadCatalog(dir, &catalog_);
+}
+
+Status VirtualEarthObservatory::Open(const std::string& dir) {
+  return Open(dir, DurabilityOptions::FromEnv());
+}
+
+Status VirtualEarthObservatory::Open(const std::string& dir,
+                                     const DurabilityOptions& options) {
+  if (durability_ != nullptr) {
+    return Status::Internal("observatory already opened at '" +
+                            durability_->dir() + "'");
+  }
+  DurabilityEngines engines;
+  engines.catalog = &catalog_;
+  engines.sql = sql_.get();
+  engines.strabon = &strabon_;
+  engines.vault = vault_.get();
+  auto durability =
+      std::make_unique<DurabilityManager>(engines, dir, options);
+  TELEIOS_RETURN_IF_ERROR(durability->Recover());
+  durability_ = std::move(durability);
+  // Live vault transitions mirror into the log from here on (replayed
+  // attachments above fired no hooks — the hook was not yet installed —
+  // so recovery does not re-log itself).
+  DurabilityManager* raw = durability_.get();
+  vault_->set_transition_hook([raw](const vault::VaultTransition& t) {
+    raw->OnVaultTransition(t);
+  });
+  system_tables_.set_durability(raw);
+  return Status::OK();
+}
+
+Status VirtualEarthObservatory::Checkpoint() {
+  if (durability_ == nullptr) {
+    return Status::Internal("observatory is not durable; call Open first");
+  }
+  return durability_->Checkpoint();
+}
+
+RecoveryReport VirtualEarthObservatory::recovery_report() const {
+  if (durability_ == nullptr) return RecoveryReport{};
+  return durability_->recovery_report();
+}
+
+DurabilityStats VirtualEarthObservatory::durability_stats() const {
+  if (durability_ == nullptr) return DurabilityStats{};
+  return durability_->stats();
+}
+
+Result<size_t> VirtualEarthObservatory::PublishAnnotations(
+    const mining::AnnotationService& service, const std::string& product_id) {
+  if (durability_ != nullptr) {
+    if (service.annotations().empty()) {
+      return Status::InvalidArgument("nothing annotated yet");
+    }
+    return durability_->PublishAnnotations(service.annotations(),
+                                           product_id);
+  }
+  return service.Publish(product_id, &strabon_);
+}
+
+Result<size_t> VirtualEarthObservatory::DeleteAnnotations(
+    const std::string& product_id) {
+  if (durability_ != nullptr) return durability_->DeleteAnnotations(product_id);
+  return strabon_.Update(mining::DeleteAnnotationsUpdate(product_id));
 }
 
 std::string VirtualEarthObservatory::MetricsText() const {

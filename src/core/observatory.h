@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/recovery.h"
 #include "core/system_tables.h"
+#include "mining/annotation_service.h"
 #include "exec/cancellation.h"
 #include "governor/admission.h"
 #include "governor/memory_budget.h"
@@ -93,7 +95,7 @@ class VirtualEarthObservatory {
       const noa::ChainConfig& config,
       const exec::CancellationToken* cancel = nullptr);
 
-  // --- persistence ----------------------------------------------------------
+  // --- persistence & durability ---------------------------------------------
 
   /// Saves every catalog table (metadata, attached products, chain
   /// outputs) as a checksummed snapshot under `dir`.
@@ -101,6 +103,38 @@ class VirtualEarthObservatory {
 
   /// Loads a SaveCatalog snapshot into this observatory's catalog.
   Result<size_t> LoadCatalog(const std::string& dir);
+
+  /// Makes this observatory durable, rooted at `dir`: recovers the
+  /// newest catalog snapshot plus the WAL tail (automatic crash
+  /// recovery — a torn log tail is dropped and counted, never an
+  /// error), then routes every subsequent logical mutation (mutating
+  /// SQL, stSPARQL updates, linked-data loads, annotation publication,
+  /// vault attach/quarantine/heal) through the write-ahead log before
+  /// applying it. Call on a freshly constructed observatory, once;
+  /// options default to DurabilityOptions::FromEnv(). After Open,
+  /// `sys.wal` serves the durability state and recovery_report() says
+  /// what replay did.
+  Status Open(const std::string& dir);
+  Status Open(const std::string& dir, const DurabilityOptions& options);
+
+  /// True once Open() succeeded.
+  bool durable() const { return durability_ != nullptr; }
+
+  /// Snapshot + WAL rotation + truncation, on demand (Open also
+  /// checkpoints automatically once the log passes its size threshold).
+  Status Checkpoint();
+
+  /// What recovery replayed at Open time (zero-valued when not durable).
+  RecoveryReport recovery_report() const;
+  /// Live durability counters (sys.wal's source).
+  DurabilityStats durability_stats() const;
+
+  /// Publishes a mining service's annotations for `product_id`
+  /// (replace semantics), durably when open. Returns triples added.
+  Result<size_t> PublishAnnotations(const mining::AnnotationService& service,
+                                    const std::string& product_id);
+  /// Removes a product's published annotations, durably when open.
+  Result<size_t> DeleteAnnotations(const std::string& product_id);
 
   /// Refines a chain product against the loaded coastline layer.
   Result<noa::RefinementReport> Refine(const std::string& product_id);
@@ -179,6 +213,7 @@ class VirtualEarthObservatory {
   std::unique_ptr<sciql::SciQlEngine> sciql_;
   std::unique_ptr<relational::SqlEngine> sql_;
   std::unique_ptr<noa::ProcessingChain> chain_;
+  std::unique_ptr<DurabilityManager> durability_;
   Status ontology_status_;
   governor::AdmissionController admission_{governor::AdmissionConfig::FromEnv()};
   obs::ActiveQueryRegistry introspection_;

@@ -1,0 +1,215 @@
+#ifndef TELEIOS_CORE_RECOVERY_H_
+#define TELEIOS_CORE_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "io/wal.h"
+#include "mining/annotation.h"
+#include "relational/sql_engine.h"
+#include "storage/catalog.h"
+#include "storage/persistence.h"
+#include "strabon/strabon.h"
+#include "vault/vault.h"
+
+namespace teleios::core {
+
+/// The logical WAL record catalogue. Records are REDO intents replayed
+/// in LSN order at startup; every apply is idempotent (see each entry),
+/// so replaying a record whose effect already reached the snapshot — or
+/// replaying twice after repeated crashes — converges to the same state.
+enum class WalRecordType : uint32_t {
+  /// A mutating SQL statement, re-executed verbatim. Catalog-class:
+  /// skipped when its LSN is at or below the snapshot's `#LSN` mark
+  /// (the snapshot already contains its effect).
+  kSqlStatement = 1,
+  /// A SPARQL update, re-run verbatim (state-class: always replayed;
+  /// the store is only persisted through carry-forward snapshots).
+  kStrabonUpdate = 2,
+  /// A Turtle document, re-loaded (triple stores deduplicate).
+  kLoadTurtle = 3,
+  /// An annotation publication: {product_id, rendered turtle}. Replay
+  /// deletes the product's previous patches, then loads the turtle —
+  /// the same replace semantics as the live path.
+  kAnnotationPublish = 4,
+  /// A vault attachment by source path; replay re-harvests the header
+  /// idempotently (no duplicate metadata rows).
+  kVaultAttach = 5,
+  /// A raster quarantine: {name, status code, message}. Replay
+  /// reinstates the sticky status without touching the file.
+  kVaultQuarantine = 6,
+  /// A quarantine entry cleared by Heal().
+  kVaultHeal = 7,
+  /// Carry-forward of the whole semantic store at a checkpoint (full
+  /// Turtle dump); written right after log rotation so truncating the
+  /// old segments loses nothing that is not in snapshot + new log.
+  kStrabonSnapshot = 8,
+};
+
+/// What Recover() did, for callers and the crash-sweep harness.
+struct RecoveryReport {
+  bool recovered = false;          ///< Recover() completed
+  bool snapshot_loaded = false;    ///< a catalog snapshot existed
+  uint64_t snapshot_generation = 0;
+  uint64_t snapshot_lsn = 0;       ///< `#LSN` mark of the snapshot
+  size_t snapshot_tables = 0;
+  uint64_t records_replayed = 0;   ///< decoded intact from the WAL
+  uint64_t records_applied = 0;    ///< actually re-applied
+  uint64_t records_skipped = 0;    ///< catalog-class at/below snapshot LSN
+  uint64_t tail_records_dropped = 0;  ///< torn tails dropped (not errors)
+  uint64_t replay_errors = 0;      ///< per-record apply failures tolerated
+  uint64_t last_lsn = 0;           ///< highest LSN seen anywhere
+  uint64_t wal_segments = 0;
+  uint64_t wal_bytes = 0;
+};
+
+/// Point-in-time durability state for `sys.wal` and tests.
+struct DurabilityStats {
+  bool durable = false;  ///< a DurabilityManager is open and recovered
+  io::WalWriter::Stats wal;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_generation = 0;
+  uint64_t checkpoint_lsn = 0;
+  RecoveryReport recovery;
+};
+
+/// Knobs for the durability layer.
+struct DurabilityOptions {
+  /// Auto-checkpoint (snapshot + log truncation) once the durable log
+  /// exceeds this many bytes; 0 disables auto-checkpointing (explicit
+  /// Checkpoint() still works). Default 8 MiB.
+  uint64_t checkpoint_bytes = 8ull << 20;
+  /// Budget charged for the WAL's append buffer (group-commit batching);
+  /// nullptr uses the process budget.
+  governor::MemoryBudget* wal_budget = nullptr;
+
+  /// Reads TELEIOS_WAL_CHECKPOINT_BYTES (bytes, k/m/g suffixes; unset
+  /// keeps the default, 0 disables).
+  static DurabilityOptions FromEnv();
+};
+
+/// The engines a DurabilityManager recovers and logs for. All pointers
+/// are borrowed and must outlive the manager; strabon and vault may be
+/// null (their record types are then skipped on replay and never
+/// produced).
+struct DurabilityEngines {
+  storage::Catalog* catalog = nullptr;
+  relational::SqlEngine* sql = nullptr;
+  strabon::Strabon* strabon = nullptr;
+  vault::DataVault* vault = nullptr;
+};
+
+/// Write-ahead logging + checkpointing + crash recovery over the
+/// observatory's durable state, rooted at one directory:
+///
+///   <dir>/catalog/   generation-unique TELT snapshot (SaveCatalog)
+///   <dir>/wal/       CRC32C-framed log segments (io/wal.h)
+///
+/// Protocol: every durable logical mutation goes through LogAndApply —
+/// append + fsync FIRST (the acknowledgement point), then apply in
+/// memory. One mutex spans append+sync+apply+auto-checkpoint, so a
+/// checkpoint can never slip between a record's fsync and its apply
+/// (which would stamp the snapshot with an LSN covering an un-applied
+/// record). Checkpoint = snapshot the catalog with the current synced
+/// LSN inside the MANIFEST, rotate the log, re-append carry-forward
+/// records for state that lives outside the catalog snapshot (vault
+/// attachments + quarantine, the semantic store), then delete the old
+/// segments. Recovery = load newest snapshot, replay the log in order
+/// (skipping catalog-class records the snapshot already covers),
+/// tolerate a torn tail per segment, surface mid-log corruption as
+/// kDataLoss.
+class DurabilityManager {
+ public:
+  DurabilityManager(const DurabilityEngines& engines, std::string dir,
+                    const DurabilityOptions& options);
+  ~DurabilityManager();
+
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  /// Loads the newest valid snapshot, replays the WAL tail, and opens
+  /// the log for appending. Must be called (once) before any Log*
+  /// entry point; the engines must still be empty. Emits the
+  /// `recovery.complete` event and teleios_recovery_* metrics.
+  Status Recover();
+
+  /// The report of the Recover() call (zero-valued before it).
+  RecoveryReport recovery_report() const;
+
+  /// Snapshot + rotate + carry-forward + truncate, unconditionally.
+  Status Checkpoint();
+
+  /// Durable mutating SQL: logs the statement, then executes it.
+  Result<storage::Table> SqlMutation(const std::string& statement);
+  /// Durable SPARQL update.
+  Result<size_t> StrabonUpdate(const std::string& update);
+  /// Durable Turtle load.
+  Result<size_t> LoadTurtle(const std::string& turtle);
+  /// Durable annotation publication (replace semantics): renders the
+  /// triples once, logs {product, turtle}, then deletes + loads.
+  Result<size_t> PublishAnnotations(
+      const std::vector<mining::Annotation>& annotations,
+      const std::string& product_id);
+  /// Durable removal of a product's annotations.
+  Result<size_t> DeleteAnnotations(const std::string& product_id);
+
+  /// Vault transition subscriber (install via set_transition_hook):
+  /// mirrors attach/quarantine/heal into the log. Best-effort — the
+  /// vault change already committed in memory, so a log failure is
+  /// counted (teleios_wal_vault_mirror_failures_total) and healed by
+  /// the next checkpoint's carry-forward, never propagated.
+  void OnVaultTransition(const vault::VaultTransition& transition);
+
+  DurabilityStats stats() const;
+
+  const std::string& dir() const { return dir_; }
+  std::string wal_dir() const { return dir_ + "/wal"; }
+  std::string snapshot_dir() const { return dir_ + "/catalog"; }
+
+ private:
+  Status RecoverLocked() TELEIOS_REQUIRES(mu_);
+  Status CheckpointLocked() TELEIOS_REQUIRES(mu_);
+  void MaybeAutoCheckpointLocked() TELEIOS_REQUIRES(mu_);
+  Status ApplyRecord(const io::WalRecord& record, RecoveryReport* report)
+      TELEIOS_REQUIRES(mu_);
+
+  /// Append + fsync `body` under `type`, then run `apply`. The record
+  /// is acknowledged (durable) iff the sync succeeded; apply failures
+  /// propagate to the caller but the record stays in the log — replay
+  /// re-runs the same apply deterministically, converging either way.
+  template <typename Fn>
+  auto LogAndApply(WalRecordType type, const std::string& body, Fn&& apply)
+      -> decltype(apply()) {
+    MutexLock lock(mu_);
+    if (wal_ == nullptr) {
+      return Status::Internal(
+          "durability manager not recovered; call Recover() first");
+    }
+    auto lsn = wal_->Append(static_cast<uint32_t>(type), body);
+    if (!lsn.ok()) return lsn.status();
+    TELEIOS_RETURN_IF_ERROR(wal_->Sync());
+    auto result = apply();
+    MaybeAutoCheckpointLocked();
+    return result;
+  }
+
+  const DurabilityEngines engines_;
+  const std::string dir_;
+  const DurabilityOptions options_;
+
+  mutable Mutex mu_;
+  std::unique_ptr<io::WalWriter> wal_ TELEIOS_GUARDED_BY(mu_);
+  RecoveryReport report_ TELEIOS_GUARDED_BY(mu_);
+  uint64_t checkpoints_ TELEIOS_GUARDED_BY(mu_) = 0;
+  uint64_t checkpoint_generation_ TELEIOS_GUARDED_BY(mu_) = 0;
+  uint64_t checkpoint_lsn_ TELEIOS_GUARDED_BY(mu_) = 0;
+  bool in_checkpoint_ TELEIOS_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace teleios::core
+
+#endif  // TELEIOS_CORE_RECOVERY_H_

@@ -21,7 +21,7 @@ namespace {
 
 const char* const kTableNames[] = {
     "sys.breakers", "sys.budgets", "sys.events",  "sys.metrics",
-    "sys.pools",    "sys.queries", "sys.query_log",
+    "sys.pools",    "sys.queries", "sys.query_log", "sys.wal",
 };
 
 /// size_t byte counts surface as int64; kUnlimited becomes -1 so WHERE
@@ -159,6 +159,56 @@ TablePtr EventsTable() {
   return table;
 }
 
+TablePtr WalTable(DurabilityManager* durability) {
+  auto table = std::make_shared<Table>(
+      Schema({{"dir", ColumnType::kString},
+              {"wal_bytes", ColumnType::kInt64},
+              {"segment_seq", ColumnType::kInt64},
+              {"last_lsn", ColumnType::kInt64},
+              {"synced_lsn", ColumnType::kInt64},
+              {"appends_total", ColumnType::kInt64},
+              {"syncs_total", ColumnType::kInt64},
+              {"rotations_total", ColumnType::kInt64},
+              {"checkpoints_total", ColumnType::kInt64},
+              {"checkpoint_generation", ColumnType::kInt64},
+              {"checkpoint_lsn", ColumnType::kInt64},
+              {"recovered", ColumnType::kInt64},
+              {"recovery_records_replayed", ColumnType::kInt64},
+              {"recovery_records_applied", ColumnType::kInt64},
+              {"recovery_records_skipped", ColumnType::kInt64},
+              {"recovery_tail_dropped", ColumnType::kInt64},
+              {"recovery_replay_errors", ColumnType::kInt64}}));
+  // One row per durable observatory; none when running in-memory only.
+  if (durability == nullptr) return table;
+  DurabilityStats stats = durability->stats();
+  if (!stats.durable) return table;
+  table->column(0).AppendString(durability->dir());
+  table->column(1).AppendInt64(static_cast<int64_t>(stats.wal.total_bytes));
+  table->column(2).AppendInt64(static_cast<int64_t>(stats.wal.segment_seq));
+  table->column(3).AppendInt64(static_cast<int64_t>(stats.wal.last_lsn));
+  table->column(4).AppendInt64(static_cast<int64_t>(stats.wal.synced_lsn));
+  table->column(5).AppendInt64(static_cast<int64_t>(stats.wal.appends_total));
+  table->column(6).AppendInt64(static_cast<int64_t>(stats.wal.syncs_total));
+  table->column(7).AppendInt64(
+      static_cast<int64_t>(stats.wal.rotations_total));
+  table->column(8).AppendInt64(static_cast<int64_t>(stats.checkpoints));
+  table->column(9).AppendInt64(
+      static_cast<int64_t>(stats.checkpoint_generation));
+  table->column(10).AppendInt64(static_cast<int64_t>(stats.checkpoint_lsn));
+  table->column(11).AppendInt64(stats.recovery.recovered ? 1 : 0);
+  table->column(12).AppendInt64(
+      static_cast<int64_t>(stats.recovery.records_replayed));
+  table->column(13).AppendInt64(
+      static_cast<int64_t>(stats.recovery.records_applied));
+  table->column(14).AppendInt64(
+      static_cast<int64_t>(stats.recovery.records_skipped));
+  table->column(15).AppendInt64(
+      static_cast<int64_t>(stats.recovery.tail_records_dropped));
+  table->column(16).AppendInt64(
+      static_cast<int64_t>(stats.recovery.replay_errors));
+  return table;
+}
+
 }  // namespace
 
 bool SystemTables::Serves(const std::string& name) const {
@@ -179,6 +229,7 @@ Result<TablePtr> SystemTables::Materialize(const std::string& name) {
   if (name == "sys.breakers") return BreakersTable();
   if (name == "sys.pools") return PoolsTable();
   if (name == "sys.events") return EventsTable();
+  if (name == "sys.wal") return WalTable(durability_);
   return Status::NotFound("no system table named '" + name + "'");
 }
 

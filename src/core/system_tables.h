@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/recovery.h"
 #include "obs/query_registry.h"
 #include "relational/virtual_tables.h"
 #include "storage/table.h"
@@ -23,6 +24,9 @@ namespace teleios::core {
 ///   sys.breakers   circuit breakers (name, state, trips)
 ///   sys.pools      the global work-stealing pool's counters
 ///   sys.events     the EventLog ring, one JSON object per row
+///   sys.wal        durability state (WAL size/LSNs, checkpoint marks,
+///                  last recovery's replay counts); empty when the
+///                  observatory runs without a durable directory
 ///
 /// Snapshots are plain tables, so the full relational surface (WHERE,
 /// joins against user tables, aggregates) applies to them.
@@ -36,8 +40,15 @@ class SystemTables : public relational::VirtualTableProvider {
   std::vector<std::string> TableNames() const override;
   Result<storage::TablePtr> Materialize(const std::string& name) override;
 
+  /// Wires sys.wal to a durability manager (nullptr serves it empty).
+  /// `durability` must outlive the provider.
+  void set_durability(DurabilityManager* durability) {
+    durability_ = durability;
+  }
+
  private:
   obs::ActiveQueryRegistry* registry_;
+  DurabilityManager* durability_ = nullptr;
 };
 
 }  // namespace teleios::core

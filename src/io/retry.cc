@@ -1,7 +1,9 @@
 #include "io/retry.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <thread>
 
 #include "common/logging.h"
@@ -12,6 +14,41 @@ namespace teleios::io {
 double RetryPolicy::BackoffMillis(int attempt) const {
   if (base_backoff_ms <= 0 || attempt < 2) return 0;
   return base_backoff_ms * std::pow(multiplier, attempt - 2);
+}
+
+namespace {
+
+/// splitmix64: tiny, stateless-per-step, well-mixed — exactly enough
+/// PRNG for jitter, with no <random> engine state to drag around.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits.
+double UniformUnit(uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double RetryPolicy::NextBackoffMillis(int attempt, double prev_ms,
+                                      uint64_t* rng_state) const {
+  if (base_backoff_ms <= 0 || attempt < 2) return 0;
+  double cap = max_backoff_ms > 0
+                   ? static_cast<double>(max_backoff_ms)
+                   : std::numeric_limits<double>::infinity();
+  if (!decorrelated_jitter) {
+    return std::min(cap, BackoffMillis(attempt));
+  }
+  // Decorrelated jitter: uniform over [base, min(cap, 3 * prev)), where
+  // the first retry's prev is the base itself.
+  double base = static_cast<double>(base_backoff_ms);
+  double upper = std::min(cap, 3.0 * std::max(prev_ms, base));
+  if (upper <= base) return std::min(cap, base);
+  return base + UniformUnit(rng_state) * (upper - base);
 }
 
 namespace internal {

@@ -1,6 +1,7 @@
 #ifndef TELEIOS_IO_RETRY_H_
 #define TELEIOS_IO_RETRY_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <utility>
@@ -22,6 +23,20 @@ struct RetryPolicy {
   /// deterministic in wall-clock terms).
   int base_backoff_ms = 0;
   double multiplier = 2.0;
+  /// Decorrelated jitter (the AWS architecture-blog variant): backoff
+  /// before each retry is drawn uniformly from
+  /// `[base_backoff_ms, min(max_backoff_ms, 3 * previous_backoff))`, so
+  /// a fleet of callers that failed together (one storage node blip, a
+  /// replication-link partner restarting) spreads its retries out
+  /// instead of hammering the target in lockstep. Deterministic: the
+  /// draw comes from a small inline PRNG seeded with `jitter_seed`, so
+  /// tests replay the exact schedule.
+  bool decorrelated_jitter = false;
+  /// Upper bound on any single backoff in milliseconds; 0 = uncapped.
+  /// Applies to both the exponential and the jittered schedule.
+  int max_backoff_ms = 0;
+  /// Seed for the jitter PRNG (only used with decorrelated_jitter).
+  uint64_t jitter_seed = 1;
   /// Optional caller cancellation/deadline (not owned; may be nullptr).
   /// WithRetry stops retrying once the token cancels or its deadline
   /// passes, and never starts a backoff sleep that would overshoot the
@@ -33,8 +48,16 @@ struct RetryPolicy {
     return status.code() == StatusCode::kIoError ||
            status.code() == StatusCode::kDataLoss;
   }
-  /// Milliseconds to back off before attempt `attempt` (1-based).
+  /// Milliseconds to back off before attempt `attempt` (1-based):
+  /// the plain exponential schedule, ignoring jitter.
   double BackoffMillis(int attempt) const;
+  /// Milliseconds to back off before attempt `attempt`, honoring
+  /// decorrelated_jitter and max_backoff_ms. `prev_ms` is the previous
+  /// backoff this retry loop slept (0 before the first retry) and
+  /// `rng_state` the loop's PRNG state, seeded from jitter_seed; both
+  /// are threaded through by WithRetry.
+  double NextBackoffMillis(int attempt, double prev_ms,
+                           uint64_t* rng_state) const;
 };
 
 namespace internal {
@@ -65,12 +88,16 @@ template <typename Fn>
 auto WithRetry(const RetryPolicy& policy, const std::string& what, Fn&& fn)
     -> decltype(fn()) {
   decltype(fn()) outcome = fn();
+  uint64_t rng_state = policy.jitter_seed;
+  double prev_backoff_ms = 0;
   for (int attempt = 2;
        attempt <= policy.max_attempts && !outcome.ok() &&
        policy.ShouldRetry(internal::AsStatus(outcome));
        ++attempt) {
-    Status proceed =
-        internal::BeforeRetry(policy, what, policy.BackoffMillis(attempt));
+    double backoff_ms =
+        policy.NextBackoffMillis(attempt, prev_backoff_ms, &rng_state);
+    prev_backoff_ms = backoff_ms;
+    Status proceed = internal::BeforeRetry(policy, what, backoff_ms);
     if (!proceed.ok()) {
       return Status(proceed.code(),
                     proceed.message() + " (last error: " +

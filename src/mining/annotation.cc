@@ -84,4 +84,20 @@ Result<size_t> PublishAnnotations(const std::vector<Annotation>& annotations,
   return added;
 }
 
+Result<std::string> RenderAnnotationsTurtle(
+    const std::vector<Annotation>& annotations,
+    const std::string& product_id) {
+  strabon::Strabon scratch;
+  TELEIOS_RETURN_IF_ERROR(
+      PublishAnnotations(annotations, product_id, &scratch).status());
+  return scratch.ToTurtle();
+}
+
+std::string DeleteAnnotationsUpdate(const std::string& product_id) {
+  std::string ns(eo::kNoaNs);
+  return "DELETE { ?patch ?p ?o } WHERE { ?patch a <" + ns + "Patch> ; "
+         "<" + ns + "derivedFromProduct> <" + ns + "product/" + product_id +
+         "> ; ?p ?o . }";
+}
+
 }  // namespace teleios::mining

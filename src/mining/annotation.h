@@ -45,6 +45,19 @@ Result<size_t> PublishAnnotations(const std::vector<Annotation>& annotations,
                                   const std::string& product_id,
                                   strabon::Strabon* strabon);
 
+/// Renders the exact triples PublishAnnotations would add as a Turtle
+/// document, by publishing into a scratch store and serializing it. The
+/// durability layer logs this rendering in the WAL: replaying it with
+/// LoadTurtle reproduces the publication without re-running clustering.
+Result<std::string> RenderAnnotationsTurtle(
+    const std::vector<Annotation>& annotations,
+    const std::string& product_id);
+
+/// The SPARQL update that removes every annotation patch derived from
+/// `product_id` — the delete half of a republish, shared by the live
+/// path and WAL replay so both delete exactly the same triples.
+std::string DeleteAnnotationsUpdate(const std::string& product_id);
+
 }  // namespace teleios::mining
 
 #endif  // TELEIOS_MINING_ANNOTATION_H_

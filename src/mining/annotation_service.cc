@@ -60,11 +60,8 @@ Result<size_t> AnnotationService::Publish(const std::string& product_id,
   // failed DELETE would leave the stale annotations alongside the new
   // ones, and the caller would never know (found by the [[nodiscard]]
   // sweep — this return used to be dropped).
-  std::string ns(eo::kNoaNs);
-  Result<size_t> deleted = strabon->Update(
-      "DELETE { ?patch ?p ?o } WHERE { ?patch a <" + ns + "Patch> ; "
-      "<" + ns + "derivedFromProduct> <" + ns + "product/" + product_id +
-      "> ; ?p ?o . }");
+  Result<size_t> deleted =
+      strabon->Update(DeleteAnnotationsUpdate(product_id));
   if (!deleted.ok()) return deleted.status();
   return PublishAnnotations(annotations_, product_id, strabon);
 }

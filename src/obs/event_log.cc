@@ -142,19 +142,47 @@ uint64_t EventLog::dropped_total() const {
 }
 
 Status EventLog::SetSinkPath(const std::string& path) {
+  io::FileSystem* fs = io::GetFileSystem();
   std::unique_ptr<io::WritableFile> file;
   if (!path.empty()) {
-    TELEIOS_ASSIGN_OR_RETURN(file,
-                             io::GetFileSystem()->NewWritableFile(path));
+    // Keep one restart of history: NewWritableFile truncates, so an
+    // existing sink file is rotated aside first, and the rename is made
+    // durable the same way WriteFileAtomic does it — by fsyncing the
+    // parent directory.
+    TELEIOS_ASSIGN_OR_RETURN(bool exists, fs->FileExists(path));
+    if (exists) {
+      TELEIOS_RETURN_IF_ERROR(fs->Rename(path, path + ".prev"));
+      size_t slash = path.find_last_of('/');
+      std::string parent =
+          slash == std::string::npos ? "." : path.substr(0, slash);
+      TELEIOS_RETURN_IF_ERROR(fs->SyncDir(parent));
+    }
+    TELEIOS_ASSIGN_OR_RETURN(file, fs->NewWritableFile(path));
   }
   MutexLock lock(mu_);
   if (sink_ != nullptr) {
-    // Best effort: a failed close loses buffered diagnostics, nothing
-    // more; the new sink (or no sink) takes over regardless.
-    (void)sink_->Close();
+    // Best effort: a failed sync/close loses buffered diagnostics,
+    // nothing more; the new sink (or no sink) takes over regardless.
+    // The drop is visible on the error counter rather than silent.
+    Status closed = sink_->Sync();
+    if (closed.ok()) closed = sink_->Close();
+    if (!closed.ok()) {
+      Count("teleios_obs_event_sink_errors_total");
+    }
   }
   sink_ = std::move(file);
   return Status::OK();
+}
+
+Status EventLog::SyncSink() {
+  MutexLock lock(mu_);
+  if (sink_ == nullptr) return Status::OK();
+  Status synced = sink_->Flush();
+  if (synced.ok()) synced = sink_->Sync();
+  if (!synced.ok()) {
+    Count("teleios_obs_event_sink_errors_total");
+  }
+  return synced;
 }
 
 void EventLog::Reset() {

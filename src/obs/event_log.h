@@ -78,9 +78,17 @@ class EventLog {
   uint64_t dropped_total() const;
 
   /// Mirrors subsequent events to `path` as JSON lines via the io seam
-  /// (empty path closes the sink). Opening truncates; the sink is a
-  /// per-run diagnostic stream, not durable storage.
+  /// (empty path closes the sink). An existing file at `path` is first
+  /// rotated to `path + ".prev"` (rename + parent-directory fsync), so
+  /// the previous run's history survives one restart — sys.events can
+  /// show what happened before a crash. The outgoing sink is synced and
+  /// closed; failures there are counted, never propagated.
   Status SetSinkPath(const std::string& path);
+
+  /// Flushes and fsyncs the sink (no-op without one). The durability
+  /// layer calls this after checkpoint/recovery events so the post-
+  /// restart history is itself crash-durable.
+  Status SyncSink();
 
   /// Drops retained events and counters; keeps capacity and sink.
   void Reset();

@@ -188,6 +188,15 @@ Result<Table> ReadTable(const std::string& path) {
   if (!reader.ReadExact(&version, sizeof(version))) {
     return io::TruncatedOr(reader, "truncated TELT version");
   }
+  if (version > kTeltVersion) {
+    // Forward-compatibility guard: a newer writer may have reshaped the
+    // sections, so parsing by this binary's layout could silently
+    // misread data — refuse loudly instead of guessing.
+    return Status::DataLoss(
+        "TELT version " + std::to_string(version) +
+        " is newer than this binary (understands <= " +
+        std::to_string(kTeltVersion) + "); upgrade before loading");
+  }
   if (version != kTeltVersion) {
     return Status::ParseError("unsupported TELT version " +
                               std::to_string(version));
@@ -410,6 +419,11 @@ std::optional<uint64_t> TableFileGeneration(const std::string& file) {
 }  // namespace
 
 Status SaveCatalog(const Catalog& catalog, const std::string& dir) {
+  return SaveCatalogCheckpoint(catalog, dir, /*lsn=*/0, nullptr);
+}
+
+Status SaveCatalogCheckpoint(const Catalog& catalog, const std::string& dir,
+                             uint64_t lsn, SnapshotMeta* meta) {
   io::FileSystem* fs = io::GetFileSystem();
   TELEIOS_RETURN_IF_ERROR(fs->CreateDir(dir));
   // Table files are written under generation-unique names
@@ -427,6 +441,11 @@ Status SaveCatalog(const Catalog& catalog, const std::string& dir) {
   }
   std::string manifest(kManifestMagic);
   manifest += "\n";
+  // Meta lines ride inside the same atomic MANIFEST write, so the
+  // generation and applied-LSN mark can never disagree with the table
+  // data: the rename commits both or neither.
+  manifest += "#GEN " + std::to_string(generation) + "\n";
+  manifest += "#LSN " + std::to_string(lsn) + "\n";
   size_t index = 0;
   for (const std::string& name : catalog.TableNames()) {
     if (name.find('\n') != std::string::npos ||
@@ -452,22 +471,84 @@ Status SaveCatalog(const Catalog& catalog, const std::string& dir) {
   for (const std::string& path : existing) {
     if (TableFileGeneration(Basename(path))) (void)fs->RemoveFile(path);
   }
+  if (meta != nullptr) {
+    meta->loaded = true;
+    meta->generation = generation;
+    meta->lsn = lsn;
+    meta->tables = index;
+  }
   return Status::OK();
 }
 
-Result<size_t> LoadCatalog(const std::string& dir, Catalog* catalog) {
+namespace {
+
+/// Checks the manifest's `#TELCAT<N>` magic line: OK for this binary's
+/// format, kDataLoss for a newer one, ParseError for anything else.
+Status CheckManifestMagic(const std::string& line, const std::string& dir) {
+  if (line == kManifestMagic) return Status::OK();
+  constexpr std::string_view kMagicPrefix = "#TELCAT";
+  if (line.size() > kMagicPrefix.size() &&
+      line.compare(0, kMagicPrefix.size(), kMagicPrefix) == 0) {
+    uint64_t format = 0;
+    size_t i = kMagicPrefix.size();
+    for (; i < line.size() && line[i] >= '0' && line[i] <= '9'; ++i) {
+      format = format * 10 + static_cast<uint64_t>(line[i] - '0');
+    }
+    if (i == line.size() && format > 1) {
+      return Status::DataLoss(
+          "catalog manifest in '" + dir + "' has format " +
+          std::to_string(format) +
+          ", newer than this binary (understands <= 1); refusing to guess "
+          "the layout");
+    }
+  }
+  return Status::ParseError("'" + dir + "' has no catalog manifest");
+}
+
+/// Parses `#GEN <n>` / `#LSN <n>` meta lines; other `#` lines are
+/// ignored (same-format additions must be skippable by older readers —
+/// layout changes bump the magic instead).
+void ParseManifestMeta(const std::string& line, SnapshotMeta* meta) {
+  auto parse_u64 = [](std::string_view text, uint64_t* out) {
+    if (text.empty()) return false;
+    uint64_t v = 0;
+    for (char c : text) {
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    *out = v;
+    return true;
+  };
+  constexpr std::string_view kGen = "#GEN ";
+  constexpr std::string_view kLsn = "#LSN ";
+  if (line.compare(0, kGen.size(), kGen) == 0) {
+    (void)parse_u64(std::string_view(line).substr(kGen.size()),
+                    &meta->generation);
+  } else if (line.compare(0, kLsn.size(), kLsn) == 0) {
+    (void)parse_u64(std::string_view(line).substr(kLsn.size()), &meta->lsn);
+  }
+}
+
+Result<SnapshotMeta> LoadCatalogImpl(const std::string& dir,
+                                     Catalog* catalog) {
   io::FileSystem* fs = io::GetFileSystem();
   TELEIOS_ASSIGN_OR_RETURN(std::string raw,
                            fs->ReadFile(dir + kManifestName));
   TELEIOS_ASSIGN_OR_RETURN(std::string content, io::VerifyCrcTrailer(raw));
   std::istringstream is(content);
   std::string line;
-  if (!std::getline(is, line) || line != kManifestMagic) {
+  if (!std::getline(is, line)) {
     return Status::ParseError("'" + dir + "' has no catalog manifest");
   }
-  size_t loaded = 0;
+  TELEIOS_RETURN_IF_ERROR(CheckManifestMagic(line, dir));
+  SnapshotMeta meta;
+  meta.loaded = true;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
+    if (line[0] == '#') {
+      ParseManifestMeta(line, &meta);
+      continue;
+    }
     size_t tab = line.find('\t');
     if (tab == std::string::npos) {
       return Status::ParseError("malformed manifest line: '" + line + "'");
@@ -481,9 +562,27 @@ Result<size_t> LoadCatalog(const std::string& dir, Catalog* catalog) {
     TELEIOS_ASSIGN_OR_RETURN(Table table, ReadTable(dir + "/" + file));
     TELEIOS_RETURN_IF_ERROR(catalog->CreateTable(
         name, std::make_shared<Table>(std::move(table))));
-    ++loaded;
+    ++meta.tables;
   }
-  return loaded;
+  return meta;
+}
+
+}  // namespace
+
+Result<size_t> LoadCatalog(const std::string& dir, Catalog* catalog) {
+  TELEIOS_ASSIGN_OR_RETURN(SnapshotMeta meta, LoadCatalogImpl(dir, catalog));
+  return meta.tables;
+}
+
+Result<SnapshotMeta> LoadCatalogSnapshot(const std::string& dir,
+                                         Catalog* catalog) {
+  // PosixFileSystem reports a missing file as IoError, so probe
+  // explicitly: an absent MANIFEST is a fresh observatory directory,
+  // not a failure.
+  TELEIOS_ASSIGN_OR_RETURN(
+      bool exists, io::GetFileSystem()->FileExists(dir + kManifestName));
+  if (!exists) return SnapshotMeta{};
+  return LoadCatalogImpl(dir, catalog);
 }
 
 }  // namespace teleios::storage

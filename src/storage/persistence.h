@@ -41,6 +41,29 @@ Status SaveCatalog(const Catalog& catalog, const std::string& dir);
 /// exist). Returns the number of tables loaded.
 Result<size_t> LoadCatalog(const std::string& dir, Catalog* catalog);
 
+/// What a snapshot covers — carried in `#GEN` / `#LSN` meta lines inside
+/// the MANIFEST, so the "this WAL prefix is already applied" mark
+/// commits atomically with the table data it describes (the recovery
+/// layer skips catalog WAL records at or below `lsn` on replay).
+struct SnapshotMeta {
+  bool loaded = false;      ///< false: no snapshot exists at the path
+  uint64_t generation = 0;  ///< table-file generation of the snapshot
+  uint64_t lsn = 0;         ///< highest catalog mutation LSN included
+  size_t tables = 0;
+};
+
+/// SaveCatalog plus checkpoint bookkeeping: stamps the MANIFEST with the
+/// caller's `lsn` high-water mark and reports the generation written.
+Status SaveCatalogCheckpoint(const Catalog& catalog, const std::string& dir,
+                             uint64_t lsn, SnapshotMeta* meta = nullptr);
+
+/// LoadCatalog that tolerates a missing snapshot (fresh directory:
+/// returns `loaded = false` and leaves `catalog` untouched) and reports
+/// the snapshot's meta for WAL replay. A manifest or table file whose
+/// format version is newer than this binary fails with kDataLoss.
+Result<SnapshotMeta> LoadCatalogSnapshot(const std::string& dir,
+                                         Catalog* catalog);
+
 }  // namespace teleios::storage
 
 #endif  // TELEIOS_STORAGE_PERSISTENCE_H_

@@ -46,71 +46,102 @@ Status DataVault::EnsureCatalogTables() {
   return Status::OK();
 }
 
+void DataVault::set_transition_hook(VaultTransitionHook hook) {
+  MutexLock lock(mu_);
+  transition_hook_ = std::move(hook);
+}
+
+void DataVault::FireTransition(const VaultTransition& transition) {
+  VaultTransitionHook hook;
+  {
+    MutexLock lock(mu_);
+    hook = transition_hook_;
+  }
+  // Invoked with no vault lock held: the subscriber (the durability
+  // manager) takes its own lock and appends to the WAL, and may consult
+  // the vault again without deadlocking.
+  if (hook) hook(transition);
+}
+
 Status DataVault::AttachFile(const std::string& path) {
   obs::Count("teleios_vault_attach_total");
-  MutexLock lock(mu_);
-  TELEIOS_RETURN_IF_ERROR(EnsureCatalogTables());
-  if (StrEndsWith(path, ".ter")) {
-    TELEIOS_ASSIGN_OR_RETURN(TerHeader header, ReadTerHeader(path));
-    if (rasters_.count(header.name)) {
-      return Status::AlreadyExists("raster '" + header.name +
-                                   "' already attached");
+  std::optional<VaultTransition> attached;
+  Status st = [&]() -> Status {
+    MutexLock lock(mu_);
+    TELEIOS_RETURN_IF_ERROR(EnsureCatalogTables());
+    if (StrEndsWith(path, ".ter")) {
+      TELEIOS_ASSIGN_OR_RETURN(TerHeader header, ReadTerHeader(path));
+      if (rasters_.count(header.name)) {
+        return Status::AlreadyExists("raster '" + header.name +
+                                     "' already attached");
+      }
+      TELEIOS_ASSIGN_OR_RETURN(storage::TablePtr table,
+                               catalog_->GetTable("vault_rasters"));
+      TELEIOS_RETURN_IF_ERROR(table->AppendRow({
+          Value(header.name),
+          Value(header.satellite),
+          Value(header.sensor),
+          Value(static_cast<int64_t>(header.width)),
+          Value(static_cast<int64_t>(header.height)),
+          Value(static_cast<int64_t>(header.band_names.size())),
+          Value(header.acquisition_time),
+          Value(header.FootprintWkt()),
+          Value(path),
+      }));
+      std::string name = header.name;
+      rasters_[name] = std::move(header);
+      ++stats_.files_attached;
+      obs::Count("teleios_vault_files_attached_total");
+      attached = VaultTransition{VaultTransition::Kind::kAttach, name, path,
+                                 Status::OK()};
+      return Status::OK();
     }
-    TELEIOS_ASSIGN_OR_RETURN(storage::TablePtr table,
-                             catalog_->GetTable("vault_rasters"));
-    TELEIOS_RETURN_IF_ERROR(table->AppendRow({
-        Value(header.name),
-        Value(header.satellite),
-        Value(header.sensor),
-        Value(static_cast<int64_t>(header.width)),
-        Value(static_cast<int64_t>(header.height)),
-        Value(static_cast<int64_t>(header.band_names.size())),
-        Value(header.acquisition_time),
-        Value(header.FootprintWkt()),
-        Value(path),
-    }));
-    rasters_[header.name] = std::move(header);
-    ++stats_.files_attached;
-    obs::Count("teleios_vault_files_attached_total");
-    return Status::OK();
-  }
-  if (StrEndsWith(path, ".csv")) {
-    // Tabular auxiliary data (e.g. ground-station observations): the
-    // vault materializes it as a catalog table named after the file.
-    std::string name = io::PathStem(path);
-    if (catalog_->HasTable(name)) {
-      return Status::AlreadyExists("table '" + name + "' already attached");
+    if (StrEndsWith(path, ".csv")) {
+      // Tabular auxiliary data (e.g. ground-station observations): the
+      // vault materializes it as a catalog table named after the file.
+      std::string name = io::PathStem(path);
+      if (catalog_->HasTable(name)) {
+        return Status::AlreadyExists("table '" + name + "' already attached");
+      }
+      TELEIOS_ASSIGN_OR_RETURN(storage::Table table,
+                               storage::ReadCsv(path));
+      TELEIOS_RETURN_IF_ERROR(catalog_->CreateTable(
+          name, std::make_shared<storage::Table>(std::move(table))));
+      ++stats_.files_attached;
+      obs::Count("teleios_vault_files_attached_total");
+      attached = VaultTransition{VaultTransition::Kind::kAttach, name, path,
+                                 Status::OK()};
+      return Status::OK();
     }
-    TELEIOS_ASSIGN_OR_RETURN(storage::Table table,
-                             storage::ReadCsv(path));
-    TELEIOS_RETURN_IF_ERROR(catalog_->CreateTable(
-        name, std::make_shared<storage::Table>(std::move(table))));
-    ++stats_.files_attached;
-    obs::Count("teleios_vault_files_attached_total");
-    return Status::OK();
-  }
-  if (StrEndsWith(path, ".vec")) {
-    // Vector metadata needs a cheap scan for the feature count.
-    TELEIOS_ASSIGN_OR_RETURN(VecFile file, ReadVec(path));
-    std::string name = file.name.empty()
-                           ? io::PathStem(path)
-                           : file.name;
-    if (vectors_.count(name)) {
-      return Status::AlreadyExists("vector '" + name + "' already attached");
+    if (StrEndsWith(path, ".vec")) {
+      // Vector metadata needs a cheap scan for the feature count.
+      TELEIOS_ASSIGN_OR_RETURN(VecFile file, ReadVec(path));
+      std::string name = file.name.empty()
+                             ? io::PathStem(path)
+                             : file.name;
+      if (vectors_.count(name)) {
+        return Status::AlreadyExists("vector '" + name +
+                                     "' already attached");
+      }
+      TELEIOS_ASSIGN_OR_RETURN(storage::TablePtr table,
+                               catalog_->GetTable("vault_vectors"));
+      TELEIOS_RETURN_IF_ERROR(table->AppendRow({
+          Value(name),
+          Value(static_cast<int64_t>(file.features.size())),
+          Value(path),
+      }));
+      vectors_[name] = path;
+      ++stats_.files_attached;
+      obs::Count("teleios_vault_files_attached_total");
+      attached = VaultTransition{VaultTransition::Kind::kAttach, name, path,
+                                 Status::OK()};
+      return Status::OK();
     }
-    TELEIOS_ASSIGN_OR_RETURN(storage::TablePtr table,
-                             catalog_->GetTable("vault_vectors"));
-    TELEIOS_RETURN_IF_ERROR(table->AppendRow({
-        Value(name),
-        Value(static_cast<int64_t>(file.features.size())),
-        Value(path),
-    }));
-    vectors_[name] = path;
-    ++stats_.files_attached;
-    obs::Count("teleios_vault_files_attached_total");
-    return Status::OK();
-  }
-  return Status::InvalidArgument("unknown vault file format: '" + path + "'");
+    return Status::InvalidArgument("unknown vault file format: '" + path +
+                                   "'");
+  }();
+  if (attached) FireTransition(*attached);
+  return st;
 }
 
 Result<size_t> DataVault::Attach(const std::string& directory) {
@@ -168,15 +199,16 @@ Result<TerHeader> DataVault::GetRasterHeader(const std::string& name) const {
   return it->second;
 }
 
-Result<TerRaster> DataVault::IngestPayload(const std::string& name,
-                                           const std::string& path) {
-  auto quarantined = quarantine_.find(name);
-  if (quarantined != quarantine_.end()) {
+Result<TerRaster> DataVault::IngestPayload(
+    const std::string& name, const std::string& path,
+    std::optional<VaultTransition>* quarantined) {
+  auto sticky = quarantine_.find(name);
+  if (sticky != quarantine_.end()) {
     // Fail fast with the sticky status; Heal() reinstates the product
     // once its file reads cleanly again.
-    return Status(quarantined->second.code(),
+    return Status(sticky->second.code(),
                   "raster '" + name + "' is quarantined: " +
-                      quarantined->second.message());
+                      sticky->second.message());
   }
   // Breaker before retries: when ingestion is persistently failing, shed
   // instantly instead of burning a fresh retry budget per caller. A shed
@@ -201,6 +233,8 @@ Result<TerRaster> DataVault::IngestPayload(const std::string& name,
                    {{"raster", name}, {"status", raster.status().ToString()}});
     TELEIOS_LOG(Warning) << "vault: quarantining raster '" << name
                          << "': " << raster.status().ToString();
+    *quarantined = VaultTransition{VaultTransition::Kind::kQuarantine, name,
+                                   path, raster.status()};
   }
   return raster;
 }
@@ -213,31 +247,48 @@ std::vector<std::string> DataVault::QuarantinedNames() const {
 }
 
 size_t DataVault::Heal() {
-  MutexLock lock(mu_);
+  std::vector<std::string> cleared;
   size_t healed = 0;
-  for (auto it = quarantine_.begin(); it != quarantine_.end();) {
-    auto raster = rasters_.find(it->first);
-    if (raster == rasters_.end()) {
-      // No longer attached: there is nothing left to heal, and keeping
-      // the sticky status around would leak quarantine state forever.
-      it = quarantine_.erase(it);
-      continue;
+  {
+    MutexLock lock(mu_);
+    for (auto it = quarantine_.begin(); it != quarantine_.end();) {
+      auto raster = rasters_.find(it->first);
+      if (raster == rasters_.end()) {
+        // No longer attached: there is nothing left to heal, and keeping
+        // the sticky status around would leak quarantine state forever.
+        cleared.push_back(it->first);
+        it = quarantine_.erase(it);
+        continue;
+      }
+      // Cheap probe: if the header (magic + checksummed metadata block)
+      // reads cleanly the file was plausibly re-exported; let ingestion
+      // try again.
+      if (ReadTerHeader(raster->second.path).ok()) {
+        cleared.push_back(it->first);
+        it = quarantine_.erase(it);
+        ++healed;
+        obs::Count("teleios_vault_healed_total");
+      } else {
+        ++it;
+      }
     }
-    // Cheap probe: if the header (magic + checksummed metadata block)
-    // reads cleanly the file was plausibly re-exported; let ingestion
-    // try again.
-    if (ReadTerHeader(raster->second.path).ok()) {
-      it = quarantine_.erase(it);
-      ++healed;
-      obs::Count("teleios_vault_healed_total");
-    } else {
-      ++it;
-    }
+  }
+  for (const std::string& name : cleared) {
+    FireTransition(VaultTransition{VaultTransition::Kind::kHeal, name, "",
+                                   Status::OK()});
   }
   return healed;
 }
 
 Result<ArrayPtr> DataVault::GetRasterArray(const std::string& name) {
+  std::optional<VaultTransition> quarantined;
+  Result<ArrayPtr> result = GetRasterArrayLocked(name, &quarantined);
+  if (quarantined) FireTransition(*quarantined);
+  return result;
+}
+
+Result<ArrayPtr> DataVault::GetRasterArrayLocked(
+    const std::string& name, std::optional<VaultTransition>* quarantined) {
   MutexLock lock(mu_);
   auto cached = cache_.find(name);
   if (cached != cache_.end()) {
@@ -263,7 +314,7 @@ Result<ArrayPtr> DataVault::GetRasterArray(const std::string& name) {
               it->second.band_names.size() * sizeof(double),
           "vault raster ingest '" + name + "'"));
   TELEIOS_ASSIGN_OR_RETURN(TerRaster raster,
-                           IngestPayload(name, it->second.path));
+                           IngestPayload(name, it->second.path, quarantined));
   std::vector<storage::Field> attrs;
   for (const std::string& band : raster.band_names) {
     attrs.push_back({band, ColumnType::kFloat64});
@@ -288,6 +339,15 @@ Result<ArrayPtr> DataVault::GetRasterArray(const std::string& name) {
 
 Result<ArrayPtr> DataVault::GetBandArray(const std::string& name,
                                          const std::string& band) {
+  std::optional<VaultTransition> quarantined;
+  Result<ArrayPtr> result = GetBandArrayLocked(name, band, &quarantined);
+  if (quarantined) FireTransition(*quarantined);
+  return result;
+}
+
+Result<ArrayPtr> DataVault::GetBandArrayLocked(
+    const std::string& name, const std::string& band,
+    std::optional<VaultTransition>* quarantined) {
   MutexLock lock(mu_);
   std::string key = name + "#" + band;
   auto cached = cache_.find(key);
@@ -313,7 +373,7 @@ Result<ArrayPtr> DataVault::GetBandArray(const std::string& name,
               (it->second.band_names.size() + 1) * sizeof(double),
           "vault band ingest '" + key + "'"));
   TELEIOS_ASSIGN_OR_RETURN(TerRaster raster,
-                           IngestPayload(name, it->second.path));
+                           IngestPayload(name, it->second.path, quarantined));
   int b = raster.BandIndex(band);
   if (b < 0) {
     return Status::NotFound("raster '" + name + "' has no band '" + band +
@@ -359,6 +419,102 @@ Status DataVault::IngestAll() {
 void DataVault::EvictCache() {
   MutexLock lock(mu_);
   cache_.clear();
+}
+
+namespace {
+
+/// True when `table` already has a row whose first (name) column equals
+/// `name` — the idempotence probe for replayed attachments. Linear scan:
+/// recovery replays at most one record per attachment, and the metadata
+/// tables are small.
+bool TableHasNameRow(const storage::Table& table, const std::string& name) {
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    Value v = table.Get(r, 0);
+    if (!v.is_null() && v.ToString() == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status DataVault::RestoreAttachment(const std::string& path) {
+  MutexLock lock(mu_);
+  TELEIOS_RETURN_IF_ERROR(EnsureCatalogTables());
+  if (StrEndsWith(path, ".ter")) {
+    TELEIOS_ASSIGN_OR_RETURN(TerHeader header, ReadTerHeader(path));
+    std::string name = header.name;
+    TELEIOS_ASSIGN_OR_RETURN(storage::TablePtr table,
+                             catalog_->GetTable("vault_rasters"));
+    if (!TableHasNameRow(*table, name)) {
+      TELEIOS_RETURN_IF_ERROR(table->AppendRow({
+          Value(name),
+          Value(header.satellite),
+          Value(header.sensor),
+          Value(static_cast<int64_t>(header.width)),
+          Value(static_cast<int64_t>(header.height)),
+          Value(static_cast<int64_t>(header.band_names.size())),
+          Value(header.acquisition_time),
+          Value(header.FootprintWkt()),
+          Value(path),
+      }));
+    }
+    if (!rasters_.count(name)) {
+      rasters_[name] = std::move(header);
+      ++stats_.files_attached;
+    }
+    return Status::OK();
+  }
+  if (StrEndsWith(path, ".csv")) {
+    std::string name = io::PathStem(path);
+    if (catalog_->HasTable(name)) return Status::OK();
+    TELEIOS_ASSIGN_OR_RETURN(storage::Table table, storage::ReadCsv(path));
+    TELEIOS_RETURN_IF_ERROR(catalog_->CreateTable(
+        name, std::make_shared<storage::Table>(std::move(table))));
+    ++stats_.files_attached;
+    return Status::OK();
+  }
+  if (StrEndsWith(path, ".vec")) {
+    TELEIOS_ASSIGN_OR_RETURN(VecFile file, ReadVec(path));
+    std::string name = file.name.empty() ? io::PathStem(path) : file.name;
+    TELEIOS_ASSIGN_OR_RETURN(storage::TablePtr table,
+                             catalog_->GetTable("vault_vectors"));
+    if (!TableHasNameRow(*table, name)) {
+      TELEIOS_RETURN_IF_ERROR(table->AppendRow({
+          Value(name),
+          Value(static_cast<int64_t>(file.features.size())),
+          Value(path),
+      }));
+    }
+    if (!vectors_.count(name)) {
+      vectors_[name] = path;
+      ++stats_.files_attached;
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown vault file format: '" + path + "'");
+}
+
+void DataVault::RestoreQuarantine(const std::string& name, Status sticky) {
+  MutexLock lock(mu_);
+  quarantine_[name] = std::move(sticky);
+}
+
+void DataVault::ClearQuarantine(const std::string& name) {
+  MutexLock lock(mu_);
+  quarantine_.erase(name);
+}
+
+std::map<std::string, Status> DataVault::QuarantineSnapshot() const {
+  MutexLock lock(mu_);
+  return quarantine_;
+}
+
+std::vector<std::string> DataVault::AttachedFilePaths() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> paths;
+  for (const auto& [name, header] : rasters_) paths.push_back(header.path);
+  for (const auto& [name, path] : vectors_) paths.push_back(path);
+  return paths;
 }
 
 }  // namespace teleios::vault

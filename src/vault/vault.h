@@ -1,8 +1,10 @@
 #ifndef TELEIOS_VAULT_VAULT_H_
 #define TELEIOS_VAULT_VAULT_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,26 @@ struct AttachFailure {
   std::string path;
   Status status;
 };
+
+/// A durable vault state change that just committed in memory. The
+/// durability layer subscribes via set_transition_hook to mirror each
+/// one into the write-ahead log, so attachments and quarantine survive a
+/// restart. Hooks fire OUTSIDE the vault lock (after the change is
+/// visible), so a subscriber may call back into the vault or take its
+/// own locks without deadlocking.
+struct VaultTransition {
+  enum class Kind {
+    kAttach,      ///< a file was attached (name + source path)
+    kQuarantine,  ///< a raster entered quarantine (name + sticky status)
+    kHeal,        ///< a quarantine entry was cleared (name)
+  };
+  Kind kind = Kind::kAttach;
+  std::string name;
+  std::string path;  ///< source file, kAttach only
+  Status status;     ///< sticky failure, kQuarantine only
+};
+
+using VaultTransitionHook = std::function<void(const VaultTransition&)>;
 
 /// The TELEIOS Data Vault: makes the DBMS aware of external file formats
 /// (symbiosis of the database and the scientific file repository, per
@@ -116,12 +138,56 @@ class DataVault {
     return stats_;
   }
 
+  /// Subscribes `hook` to durable state changes (see VaultTransition).
+  /// One subscriber; installing replaces the previous. The Restore* /
+  /// ClearQuarantine replay entry points below never fire it — replaying
+  /// a WAL record must not append that record again.
+  void set_transition_hook(VaultTransitionHook hook);
+
+  /// Replay-side AttachFile: idempotent against state already restored
+  /// from a catalog snapshot (the in-memory maps are filled if absent,
+  /// and a metadata row is appended only when no row with that name
+  /// exists), and it does not fire the transition hook.
+  Status RestoreAttachment(const std::string& path);
+
+  /// Replay-side quarantine: reinstates the sticky failure status for
+  /// `name` without re-probing the file or firing the hook.
+  void RestoreQuarantine(const std::string& name, Status sticky);
+
+  /// Replay-side heal: drops `name` from quarantine (no-op when absent,
+  /// no hook).
+  void ClearQuarantine(const std::string& name);
+
+  /// Point-in-time quarantine state (name -> sticky failure), for the
+  /// checkpoint's carry-forward records.
+  std::map<std::string, Status> QuarantineSnapshot() const;
+
+  /// Source paths of every attached raster and vector, in attach-map
+  /// order — the attachments a checkpoint must carry forward (CSV
+  /// attachments live entirely in the catalog snapshot).
+  std::vector<std::string> AttachedFilePaths() const;
+
  private:
   Status EnsureCatalogTables() TELEIOS_REQUIRES(mu_);
-  /// ReadTer with retry; quarantines `name` when the budget is exhausted.
+  /// ReadTer with retry; quarantines `name` when the budget is exhausted
+  /// (reporting the transition through `quarantined` for the caller to
+  /// fire once the vault lock is released).
   Result<TerRaster> IngestPayload(const std::string& name,
-                                  const std::string& path)
+                                  const std::string& path,
+                                  std::optional<VaultTransition>* quarantined)
       TELEIOS_REQUIRES(mu_);
+  /// Invokes the subscribed hook (if any) with `transition`. Must be
+  /// called WITHOUT mu_ held.
+  void FireTransition(const VaultTransition& transition)
+      TELEIOS_EXCLUDES(mu_);
+  /// Lock-holding bodies of GetRasterArray/GetBandArray; the public
+  /// wrappers fire any quarantine transition after the lock is released.
+  Result<array::ArrayPtr> GetRasterArrayLocked(
+      const std::string& name,
+      std::optional<VaultTransition>* quarantined);
+  Result<array::ArrayPtr> GetBandArrayLocked(
+      const std::string& name, const std::string& band,
+      std::optional<VaultTransition>* quarantined);
 
   /// One coarse lock over catalog maps, the payload cache, quarantine
   /// state, and stats. Held across payload ingestion, which deliberately
@@ -138,6 +204,7 @@ class DataVault {
   std::vector<AttachFailure> attach_failures_ TELEIOS_GUARDED_BY(mu_);
   io::RetryPolicy ingest_retry_ TELEIOS_GUARDED_BY(mu_);
   VaultStats stats_ TELEIOS_GUARDED_BY(mu_);
+  VaultTransitionHook transition_hook_ TELEIOS_GUARDED_BY(mu_);
   /// Self-locking; safe to touch with or without mu_ held.
   governor::CircuitBreaker ingest_breaker_{"vault-ingest"};
 };

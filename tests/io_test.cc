@@ -4,13 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/crc32c.h"
 #include "io/fault_injection.h"
 #include "io/filesystem.h"
 #include "io/retry.h"
+#include "io/wal.h"
 
 namespace teleios::io {
 namespace {
@@ -363,6 +367,247 @@ TEST(RetryTest, DeterministicBackoffSchedule) {
   EXPECT_DOUBLE_EQ(policy.BackoffMillis(2), 8.0);
   EXPECT_DOUBLE_EQ(policy.BackoffMillis(3), 16.0);
   EXPECT_DOUBLE_EQ(policy.BackoffMillis(4), 32.0);
+}
+
+TEST(RetryTest, DecorrelatedJitterIsDeterministicUnderSeed) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.decorrelated_jitter = true;
+  policy.max_backoff_ms = 500;
+  policy.jitter_seed = 42;
+
+  auto schedule = [&](uint64_t seed) {
+    RetryPolicy p = policy;
+    p.jitter_seed = seed;
+    uint64_t rng = p.jitter_seed;
+    std::vector<double> out;
+    double prev = 0;
+    for (int attempt = 2; attempt <= 8; ++attempt) {
+      prev = p.NextBackoffMillis(attempt, prev, &rng);
+      out.push_back(prev);
+    }
+    return out;
+  };
+  EXPECT_EQ(schedule(42), schedule(42));     // reproducible
+  EXPECT_NE(schedule(42), schedule(43));     // seed actually matters
+}
+
+TEST(RetryTest, DecorrelatedJitterStaysInEnvelope) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.decorrelated_jitter = true;
+  policy.max_backoff_ms = 120;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    uint64_t rng = seed;
+    double prev = 0;
+    for (int attempt = 2; attempt <= 12; ++attempt) {
+      double next = policy.NextBackoffMillis(attempt, prev, &rng);
+      // AWS decorrelated jitter: uniform in [base, min(cap, 3*prev)].
+      EXPECT_GE(next, 10.0) << "seed " << seed << " attempt " << attempt;
+      EXPECT_LE(next, 120.0) << "seed " << seed << " attempt " << attempt;
+      double upper = std::min(120.0, 3.0 * std::max(prev, 10.0));
+      EXPECT_LE(next, upper) << "seed " << seed << " attempt " << attempt;
+      prev = next;
+    }
+  }
+}
+
+TEST(RetryTest, JitterOffKeepsExponentialScheduleUnderCap) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 8;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 20;
+  uint64_t rng = 1;
+  EXPECT_DOUBLE_EQ(policy.NextBackoffMillis(2, 0, &rng), 8.0);
+  EXPECT_DOUBLE_EQ(policy.NextBackoffMillis(3, 8, &rng), 16.0);
+  EXPECT_DOUBLE_EQ(policy.NextBackoffMillis(4, 16, &rng), 20.0);  // capped
+}
+
+class WalTest : public FileSystemTest {
+ protected:
+  std::string WalDir() { return Path("wal"); }
+
+  // Appends `n` records ("record-<i>") through a writer, synced.
+  Result<std::unique_ptr<WalWriter>> OpenAndAppend(int n,
+                                                   uint64_t first_lsn = 1) {
+    TELEIOS_ASSIGN_OR_RETURN(
+        auto writer, WalWriter::Open(WalDir(), first_lsn, 0, {}));
+    for (int i = 0; i < n; ++i) {
+      TELEIOS_RETURN_IF_ERROR(
+          writer->Append(7, "record-" + std::to_string(i)).status());
+    }
+    TELEIOS_RETURN_IF_ERROR(writer->Sync());
+    return writer;
+  }
+
+  Result<std::vector<WalRecord>> ReplayAll(WalReplayStats* stats = nullptr) {
+    std::vector<WalRecord> records;
+    TELEIOS_ASSIGN_OR_RETURN(
+        WalReplayStats s, ReplayWal(WalDir(), [&](const WalRecord& r) {
+          records.push_back(r);
+          return Status::OK();
+        }));
+    if (stats != nullptr) *stats = s;
+    return records;
+  }
+};
+
+TEST_F(WalTest, AppendSyncReplayRoundTrip) {
+  auto writer = OpenAndAppend(5);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ((*writer)->stats().synced_lsn, 5u);
+
+  WalReplayStats stats;
+  auto records = ReplayAll(&stats);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 5u);
+  for (size_t i = 0; i < records->size(); ++i) {
+    EXPECT_EQ((*records)[i].lsn, i + 1);
+    EXPECT_EQ((*records)[i].type, 7u);
+    EXPECT_EQ((*records)[i].payload, "record-" + std::to_string(i));
+  }
+  EXPECT_EQ(stats.tail_dropped, 0u);
+  EXPECT_EQ(stats.last_lsn, 5u);
+}
+
+TEST_F(WalTest, UnsyncedRecordsAreNotDurable) {
+  auto writer = WalWriter::Open(WalDir(), 1, 0, {});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(1, "synced").ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  ASSERT_TRUE((*writer)->Append(1, "buffered-only").ok());
+  // No sync: the second record must not replay.
+  auto records = ReplayAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].payload, "synced");
+}
+
+TEST_F(WalTest, ReopenNeverAppendsIntoOldSegmentAndLsnsContinue) {
+  { ASSERT_TRUE(OpenAndAppend(3).ok()); }
+  auto writer = WalWriter::Open(WalDir(), /*next_lsn=*/4, 0, {});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(7, "after-restart").ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  auto segments = ListWalSegments(WalDir());
+  ASSERT_TRUE(segments.ok());
+  EXPECT_EQ(segments->size(), 2u);  // fresh segment, old left inert
+  auto records = ReplayAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 4u);
+  EXPECT_EQ((*records)[3].lsn, 4u);
+  EXPECT_EQ((*records)[3].payload, "after-restart");
+}
+
+TEST_F(WalTest, TornTailIsDroppedNotFatal) {
+  { ASSERT_TRUE(OpenAndAppend(4).ok()); }
+  auto segments = ListWalSegments(WalDir());
+  ASSERT_TRUE(segments.ok());
+  const std::string segment = segments->back();
+  auto bytes = GetFileSystem()->ReadFile(segment);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(GetFileSystem()
+                  ->WriteFileAtomic(segment,
+                                    bytes->substr(0, bytes->size() - 5))
+                  .ok());
+  WalReplayStats stats;
+  auto records = ReplayAll(&stats);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ(records->size(), 3u);
+  EXPECT_EQ(stats.tail_dropped, 1u);
+}
+
+TEST_F(WalTest, MidSegmentCorruptionIsDataLoss) {
+  { ASSERT_TRUE(OpenAndAppend(4).ok()); }
+  auto segments = ListWalSegments(WalDir());
+  ASSERT_TRUE(segments.ok());
+  const std::string segment = segments->back();
+  auto bytes = GetFileSystem()->ReadFile(segment);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupt = *bytes;
+  corrupt[20] ^= 0x01;  // first record's payload: CRC mismatch mid-log
+  ASSERT_TRUE(GetFileSystem()->WriteFileAtomic(segment, corrupt).ok());
+  auto records = ReplayAll();
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(WalTest, NewerFormatVersionIsRejected) {
+  { ASSERT_TRUE(OpenAndAppend(1).ok()); }
+  auto segments = ListWalSegments(WalDir());
+  ASSERT_TRUE(segments.ok());
+  const std::string segment = segments->back();
+  auto bytes = GetFileSystem()->ReadFile(segment);
+  ASSERT_TRUE(bytes.ok());
+  std::string future = *bytes;
+  future[4] = 2;  // version field right after the magic
+  ASSERT_TRUE(GetFileSystem()->WriteFileAtomic(segment, future).ok());
+  auto records = ReplayAll();
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(records.status().message().find("newer"), std::string::npos)
+      << records.status().ToString();
+}
+
+TEST_F(WalTest, RotateStartsNewSegmentAndTruncateDropsOld) {
+  auto writer = OpenAndAppend(3);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Rotate().ok());
+  ASSERT_TRUE((*writer)->Append(7, "fresh").ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  auto segments = ListWalSegments(WalDir());
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 2u);
+  ASSERT_TRUE((*writer)->TruncateBefore((*writer)->segment_seq()).ok());
+  segments = ListWalSegments(WalDir());
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 1u);
+  auto records = ReplayAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].payload, "fresh");
+}
+
+TEST_F(WalTest, SyncFailurePoisonsSegmentAndDropsUnacked) {
+  PosixFileSystem posix;
+  FaultInjectingFileSystem faulty(&posix);
+  FileSystem* prev = SetFileSystem(&faulty);
+  auto writer = WalWriter::Open(WalDir(), 1, 0, {});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(7, "durable").ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+
+  // Fail the next sync: the buffered record is dropped (never acked)
+  // and the segment is poisoned.
+  ASSERT_TRUE((*writer)->Append(7, "lost").ok());
+  FaultSpec spec;
+  spec.kind = FaultKind::kSyncFail;
+  spec.inject_at = 1;
+  faulty.Arm(spec);
+  Status failed = (*writer)->Sync();
+  faulty.Disarm();
+  ASSERT_FALSE(failed.ok());
+
+  // The next append rotates to a fresh segment and syncs cleanly.
+  ASSERT_TRUE((*writer)->Append(7, "after-poison").ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  writer->reset();
+  SetFileSystem(prev);
+
+  auto records = ReplayAll();
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  std::vector<std::string> payloads;
+  for (const WalRecord& r : *records) payloads.push_back(r.payload);
+  EXPECT_EQ(payloads,
+            (std::vector<std::string>{"durable", "after-poison"}));
+}
+
+TEST_F(WalTest, EmptyDirectoryReplaysNothing) {
+  WalReplayStats stats;
+  auto records = ReplayAll(&stats);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+  EXPECT_EQ(stats.segments, 0u);
 }
 
 }  // namespace

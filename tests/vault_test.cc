@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/observatory.h"
 #include "eo/scene.h"
 #include "vault/formats.h"
 #include "vault/vault.h"
@@ -290,6 +291,62 @@ TEST_F(VaultTest, CorruptPayloadQuarantinesThenHeals) {
   auto recovered = vault.GetRasterArray("a");
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   EXPECT_TRUE(vault.QuarantinedNames().empty());
+}
+
+// Quarantine is durable state: a quarantined raster stays quarantined
+// across a restart (via WAL replay), and Heal() clears it durably.
+TEST_F(VaultTest, QuarantineSurvivesReopenAndHealClearsDurably) {
+  fs::path archive = dir_ / "archive";
+  fs::create_directories(archive);
+  TerRaster r = MakeRaster("a");
+  std::string path = (archive / "a.ter").string();
+  ASSERT_TRUE(WriteTer(r, path).ok());
+  const std::string db = (dir_ / "db").string();
+
+  {
+    core::VirtualEarthObservatory veo;
+    ASSERT_TRUE(veo.Open(db).ok());
+    veo.vault().set_ingest_retry({/*max_attempts=*/1});
+    ASSERT_TRUE(veo.AttachArchive(archive.string()).ok());
+    // Corrupt a payload byte behind the vault's back; the next ingest
+    // quarantines, and the transition mirrors into the WAL.
+    {
+      std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+      char c;
+      f.seekg(-9, std::ios::end);
+      f.get(c);
+      f.seekp(-9, std::ios::end);
+      f.put(static_cast<char>(c ^ 0x20));
+    }
+    ASSERT_FALSE(veo.vault().GetRasterArray("a").ok());
+    ASSERT_EQ(veo.vault().QuarantinedNames().size(), 1u);
+  }
+  {
+    // Restart: the attachment AND the quarantine come back; the sticky
+    // status fails fast without re-reading the bad payload.
+    core::VirtualEarthObservatory veo;
+    ASSERT_TRUE(veo.Open(db).ok());
+    ASSERT_EQ(veo.vault().QuarantinedNames().size(), 1u);
+    auto arr = veo.vault().GetRasterArray("a");
+    ASSERT_FALSE(arr.ok());
+    EXPECT_NE(arr.status().message().find("quarantined"), std::string::npos)
+        << arr.status().ToString();
+    // Repair the file and heal: the clear is durable too.
+    ASSERT_TRUE(WriteTer(r, path).ok());
+    EXPECT_EQ(veo.vault().Heal(), 1u);
+    EXPECT_TRUE(veo.vault().QuarantinedNames().empty());
+  }
+  {
+    core::VirtualEarthObservatory veo;
+    ASSERT_TRUE(veo.Open(db).ok());
+    EXPECT_TRUE(veo.vault().QuarantinedNames().empty());
+    auto recovered = veo.vault().GetRasterArray("a");
+    EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+    // The attachment itself also recovered: metadata is queryable.
+    auto names = veo.Sql("SELECT name FROM vault_rasters");
+    ASSERT_TRUE(names.ok());
+    EXPECT_EQ(names->num_rows(), 1u);
+  }
 }
 
 TEST_F(VaultTest, SceneRasterIntegration) {
