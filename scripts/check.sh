@@ -77,6 +77,18 @@ TELEIOS_WAL_CHECKPOINT_BYTES=4k \
 TELEIOS_WAL_CHECKPOINT_BYTES=4k TELEIOS_THREADS=8 \
   ctest --test-dir build-tsan --output-on-failure -R "RecoverySweepTest|WalTest|RetryTest"
 
+echo "== pass 4e/5: server leg — wire protocol under tight admission =="
+# The network service layer (E2E server suite + wire-protocol
+# malformation corpus) under both sanitizer builds, with the admission
+# pool squeezed to 2 so concurrent wire statements pile into the queue:
+# session teardown, shed paths, and mid-stream disconnects must be
+# leak-free under ASan/UBSan, and the session registry / streaming
+# backpressure / drain handshake race-free under TSan.
+TELEIOS_MAX_CONCURRENT_QUERIES=2 \
+  ctest --test-dir build-sanitize --output-on-failure -R "ServerTest|ProtocolTest|WireProtocolFuzz"
+TELEIOS_MAX_CONCURRENT_QUERIES=2 TELEIOS_THREADS=8 \
+  ctest --test-dir build-tsan --output-on-failure -R "ServerTest|ProtocolTest|WireProtocolFuzz"
+
 echo "== pass 5/5: static analysis (thread-safety annotations + lint) =="
 if command -v clang++ >/dev/null 2>&1; then
   # Compile-time lock-discipline check: the annotated build must be

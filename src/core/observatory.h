@@ -166,6 +166,11 @@ class VirtualEarthObservatory {
   /// The query lifecycle ledger behind sys.queries / sys.query_log.
   obs::ActiveQueryRegistry& introspection() { return introspection_; }
 
+  /// The sys.* virtual-table provider shared by the SQL and SciQL
+  /// engines; optional subsystems (the network server) extend the
+  /// schema through SystemTables::set_extra.
+  SystemTables& system_tables() { return system_tables_; }
+
   // --- application tier -------------------------------------------------------
 
   /// A mapper over this observatory's semantic store; add layers with

@@ -212,13 +212,22 @@ TablePtr WalTable(DurabilityManager* durability) {
 }  // namespace
 
 bool SystemTables::Serves(const std::string& name) const {
-  return std::find(std::begin(kTableNames), std::end(kTableNames), name) !=
-         std::end(kTableNames);
+  if (std::find(std::begin(kTableNames), std::end(kTableNames), name) !=
+      std::end(kTableNames)) {
+    return true;
+  }
+  return extra_ != nullptr && extra_->Serves(name);
 }
 
 std::vector<std::string> SystemTables::TableNames() const {
-  return std::vector<std::string>(std::begin(kTableNames),
-                                  std::end(kTableNames));
+  std::vector<std::string> names(std::begin(kTableNames),
+                                 std::end(kTableNames));
+  if (extra_ != nullptr) {
+    for (std::string& name : extra_->TableNames()) {
+      names.push_back(std::move(name));
+    }
+  }
+  return names;
 }
 
 Result<TablePtr> SystemTables::Materialize(const std::string& name) {
@@ -230,6 +239,9 @@ Result<TablePtr> SystemTables::Materialize(const std::string& name) {
   if (name == "sys.pools") return PoolsTable();
   if (name == "sys.events") return EventsTable();
   if (name == "sys.wal") return WalTable(durability_);
+  if (extra_ != nullptr && extra_->Serves(name)) {
+    return extra_->Materialize(name);
+  }
   return Status::NotFound("no system table named '" + name + "'");
 }
 

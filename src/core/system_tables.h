@@ -46,9 +46,17 @@ class SystemTables : public relational::VirtualTableProvider {
     durability_ = durability;
   }
 
+  /// Chains another provider behind the built-in sys.* set, so optional
+  /// subsystems (the network server's sys.sessions) can join the schema
+  /// without the core knowing them. `extra` must outlive the provider or
+  /// be unset (nullptr) first; its names must not collide with
+  /// kTableNames.
+  void set_extra(relational::VirtualTableProvider* extra) { extra_ = extra; }
+
  private:
   obs::ActiveQueryRegistry* registry_;
   DurabilityManager* durability_ = nullptr;
+  relational::VirtualTableProvider* extra_ = nullptr;
 };
 
 }  // namespace teleios::core

@@ -1,0 +1,51 @@
+#ifndef TELEIOS_SERVER_HTTP_H_
+#define TELEIOS_SERVER_HTTP_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace teleios::server {
+
+/// A parsed HTTP/1.1 request — just enough surface for the JSON facade
+/// (curl-ability, health checks, metrics scrapes), deliberately not a
+/// web server: one request per connection, no chunked encoding, no
+/// keep-alive.
+struct HttpRequest {
+  std::string method;  // GET / POST / ...
+  std::string path;    // decoded path without query string
+  std::map<std::string, std::string> query;    // ?lang=sql&...
+  std::map<std::string, std::string> headers;  // lowercased names
+  std::string body;
+};
+
+/// Parses `head` (request line + headers, terminated by CRLFCRLF;
+/// body NOT included). kInvalidArgument on malformed input.
+Result<HttpRequest> ParseHttpHead(std::string_view head);
+
+/// Content-Length declared by the request (0 when absent); caps at
+/// `max` with kInvalidArgument beyond it.
+Result<size_t> DeclaredContentLength(const HttpRequest& request, size_t max);
+
+/// Serializes one response with Connection: close and Content-Length.
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body);
+
+const char* HttpStatusText(int status);
+
+/// Maps a Status to the HTTP status code of the JSON error reply.
+int HttpStatusForError(const Status& status);
+
+/// {"columns": [...], "types": [...], "rows": [[...], ...]} — the JSON
+/// rendering of a result table used by POST /query.
+std::string TableToJson(const storage::Table& table);
+
+/// {"error": {"code": "...", "message": "..."}}
+std::string ErrorToJson(const Status& status);
+
+}  // namespace teleios::server
+
+#endif  // TELEIOS_SERVER_HTTP_H_

@@ -1,0 +1,446 @@
+#include "server/protocol.h"
+
+#include <algorithm>
+
+#include "common/crc32c.h"
+#include "common/strings.h"
+
+namespace teleios::server {
+
+namespace {
+
+using storage::ColumnType;
+
+/// Value wire tags; fixed forever (wire compatibility).
+enum ValueTag : uint8_t {
+  kTagNull = 0,
+  kTagBool = 1,
+  kTagInt64 = 2,
+  kTagFloat64 = 3,
+  kTagString = 4,
+};
+
+bool ReadU8(io::ByteReader* reader, uint8_t* v) {
+  return reader->ReadBytes(v, 1);
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+Result<ColumnType> ColumnTypeFromWire(uint8_t v) {
+  switch (v) {
+    case 0:
+      return ColumnType::kBool;
+    case 1:
+      return ColumnType::kInt64;
+    case 2:
+      return ColumnType::kFloat64;
+    case 3:
+      return ColumnType::kString;
+    default:
+      return Status::DataLoss("unknown wire column type " +
+                              std::to_string(v));
+  }
+}
+
+uint8_t ColumnTypeToWire(ColumnType t) {
+  switch (t) {
+    case ColumnType::kBool:
+      return 0;
+    case ColumnType::kInt64:
+      return 1;
+    case ColumnType::kFloat64:
+      return 2;
+    case ColumnType::kString:
+      return 3;
+  }
+  return 255;  // unreachable
+}
+
+/// Renders `v` as a SQL literal for parameter binding.
+std::string SqlLiteral(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return v.AsBool() ? "TRUE" : "FALSE";
+    case ValueType::kInt64:
+      return std::to_string(v.AsInt64());
+    case ValueType::kFloat64:
+      return StrFormat("%.17g", v.AsFloat64());
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : v.AsString()) {
+        out += c;
+        if (c == '\'') out += '\'';  // SQL doubles embedded quotes
+      }
+      out += '\'';
+      return out;
+    }
+  }
+  return "NULL";  // unreachable
+}
+
+}  // namespace
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kHello:
+      return "HELLO";
+    case Opcode::kQuery:
+      return "QUERY";
+    case Opcode::kPrepare:
+      return "PREPARE";
+    case Opcode::kExecute:
+      return "EXECUTE";
+    case Opcode::kCancel:
+      return "CANCEL";
+    case Opcode::kCloseStmt:
+      return "CLOSE_STMT";
+    case Opcode::kGoodbye:
+      return "GOODBYE";
+    case Opcode::kWelcome:
+      return "WELCOME";
+    case Opcode::kError:
+      return "ERROR";
+    case Opcode::kSchema:
+      return "SCHEMA";
+    case Opcode::kRows:
+      return "ROWS";
+    case Opcode::kDone:
+      return "DONE";
+    case Opcode::kStmtReady:
+      return "STMT_READY";
+  }
+  return "UNKNOWN";
+}
+
+const char* LangName(Lang lang) {
+  switch (lang) {
+    case Lang::kSql:
+      return "sql";
+    case Lang::kSciQl:
+      return "sciql";
+    case Lang::kStSparql:
+      return "stsparql";
+  }
+  return "unknown";
+}
+
+Result<Lang> ParseLang(std::string_view name) {
+  std::string lower = StrLower(name);
+  if (lower == "sql") return Lang::kSql;
+  if (lower == "sciql") return Lang::kSciQl;
+  if (lower == "stsparql" || lower == "sparql") return Lang::kStSparql;
+  return Status::InvalidArgument("unknown query language '" +
+                                 std::string(name) +
+                                 "' (sql, sciql, stsparql)");
+}
+
+void AppendFrame(std::string* out, Opcode opcode, std::string_view payload) {
+  std::string body;
+  body.reserve(1 + payload.size());
+  PutU8(&body, static_cast<uint8_t>(opcode));
+  body.append(payload.data(), payload.size());
+  io::PutU32(out, static_cast<uint32_t>(body.size()));
+  io::PutU32(out, Crc32c(body.data(), body.size()));
+  out->append(body);
+}
+
+Result<uint32_t> DecodeFrameLength(std::string_view header, uint32_t* crc) {
+  io::ByteReader reader(header);
+  uint32_t length = 0;
+  if (!reader.ReadU32(&length) || !reader.ReadU32(crc)) {
+    return Status::DataLoss("truncated frame header");
+  }
+  if (length == 0) {
+    return Status::DataLoss("frame with zero-length body");
+  }
+  if (length > kMaxFrameBytes) {
+    return Status::DataLoss("frame length " + std::to_string(length) +
+                            " exceeds the " +
+                            std::to_string(kMaxFrameBytes) + "-byte bound");
+  }
+  return length;
+}
+
+Result<Frame> DecodeFrameBody(std::string_view body, uint32_t crc) {
+  if (body.empty()) return Status::DataLoss("empty frame body");
+  uint32_t actual = Crc32c(body.data(), body.size());
+  if (actual != crc) {
+    return Status::DataLoss("frame CRC mismatch (corrupt or torn frame)");
+  }
+  Frame frame;
+  frame.opcode = static_cast<Opcode>(static_cast<uint8_t>(body[0]));
+  frame.payload.assign(body.data() + 1, body.size() - 1);
+  return frame;
+}
+
+void AppendValue(std::string* out, const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      PutU8(out, kTagNull);
+      return;
+    case ValueType::kBool:
+      PutU8(out, kTagBool);
+      PutU8(out, value.AsBool() ? 1 : 0);
+      return;
+    case ValueType::kInt64:
+      PutU8(out, kTagInt64);
+      io::PutI64(out, value.AsInt64());
+      return;
+    case ValueType::kFloat64:
+      PutU8(out, kTagFloat64);
+      io::PutF64(out, value.AsFloat64());
+      return;
+    case ValueType::kString:
+      PutU8(out, kTagString);
+      io::PutStr(out, value.AsString());
+      return;
+  }
+}
+
+Result<Value> ReadValue(io::ByteReader* reader) {
+  uint8_t tag = 0;
+  if (!ReadU8(reader, &tag)) return Status::DataLoss("truncated value tag");
+  switch (tag) {
+    case kTagNull:
+      return Value();
+    case kTagBool: {
+      uint8_t b = 0;
+      if (!ReadU8(reader, &b)) return Status::DataLoss("truncated bool");
+      return Value(b != 0);
+    }
+    case kTagInt64: {
+      int64_t v = 0;
+      if (!reader->ReadI64(&v)) return Status::DataLoss("truncated int64");
+      return Value(v);
+    }
+    case kTagFloat64: {
+      double v = 0;
+      if (!reader->ReadF64(&v)) return Status::DataLoss("truncated float64");
+      return Value(v);
+    }
+    case kTagString: {
+      std::string s;
+      if (!reader->ReadStr(&s)) return Status::DataLoss("truncated string");
+      return Value(std::move(s));
+    }
+    default:
+      return Status::DataLoss("unknown value tag " + std::to_string(tag));
+  }
+}
+
+std::string EncodeSchema(const storage::Table& table) {
+  std::string out;
+  io::PutU32(&out, static_cast<uint32_t>(table.schema().num_fields()));
+  for (const storage::Field& field : table.schema().fields()) {
+    io::PutStr(&out, field.name);
+    PutU8(&out, ColumnTypeToWire(field.type));
+  }
+  return out;
+}
+
+Result<storage::Table> DecodeSchema(std::string_view payload) {
+  io::ByteReader reader(payload);
+  uint32_t ncols = 0;
+  if (!reader.ReadU32(&ncols)) return Status::DataLoss("truncated schema");
+  // One name length prefix + one type byte is the minimum per column;
+  // reject counts the payload cannot possibly hold.
+  if (ncols > payload.size()) {
+    return Status::DataLoss("schema column count exceeds payload");
+  }
+  std::vector<storage::Field> fields;
+  fields.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    storage::Field field;
+    uint8_t wire_type = 0;
+    if (!reader.ReadStr(&field.name) || !ReadU8(&reader, &wire_type)) {
+      return Status::DataLoss("truncated schema column " + std::to_string(i));
+    }
+    TELEIOS_ASSIGN_OR_RETURN(field.type, ColumnTypeFromWire(wire_type));
+    fields.push_back(std::move(field));
+  }
+  return storage::Table(storage::Schema(std::move(fields)));
+}
+
+std::string EncodeRowChunk(const storage::Table& table, size_t begin,
+                           size_t end) {
+  end = std::min(end, table.num_rows());
+  begin = std::min(begin, end);
+  std::string out;
+  io::PutU32(&out, static_cast<uint32_t>(end - begin));
+  for (size_t r = begin; r < end; ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      AppendValue(&out, table.Get(r, c));
+    }
+  }
+  return out;
+}
+
+Status DecodeRowChunk(std::string_view payload, storage::Table* table) {
+  io::ByteReader reader(payload);
+  uint32_t nrows = 0;
+  if (!reader.ReadU32(&nrows)) return Status::DataLoss("truncated row chunk");
+  size_t ncols = table->num_columns();
+  // A row is at least one tag byte per column; bound the declared count
+  // by what the payload could hold before appending anything.
+  if (ncols > 0 && nrows > payload.size()) {
+    return Status::DataLoss("row count exceeds chunk payload");
+  }
+  std::vector<Value> row(ncols);
+  for (uint32_t r = 0; r < nrows; ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      TELEIOS_ASSIGN_OR_RETURN(row[c], ReadValue(&reader));
+    }
+    Status appended = table->AppendRow(row);
+    if (!appended.ok()) {
+      return Status::DataLoss("row chunk type mismatch: " +
+                              appended.message());
+    }
+  }
+  if (!reader.exhausted()) {
+    return Status::DataLoss("trailing bytes after row chunk");
+  }
+  return Status::OK();
+}
+
+std::string EncodeTable(const storage::Table& table, size_t chunk_rows) {
+  if (chunk_rows == 0) chunk_rows = 1;
+  std::string out = EncodeSchema(table);
+  for (size_t begin = 0; begin < table.num_rows(); begin += chunk_rows) {
+    out += EncodeRowChunk(table, begin, begin + chunk_rows);
+  }
+  return out;
+}
+
+std::string EncodeHello(uint32_t version, std::string_view auth_token,
+                        uint64_t deadline_millis) {
+  std::string out;
+  io::PutU32(&out, version);
+  io::PutStr(&out, auth_token);
+  io::PutU64(&out, deadline_millis);
+  return out;
+}
+
+std::string EncodeQuery(Lang lang, std::string_view statement,
+                        uint64_t deadline_millis) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(lang));
+  io::PutStr(&out, statement);
+  io::PutU64(&out, deadline_millis);
+  return out;
+}
+
+std::string EncodePrepare(Lang lang, std::string_view statement) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(lang));
+  io::PutStr(&out, statement);
+  return out;
+}
+
+std::string EncodeExecute(uint32_t stmt_id, const std::vector<Value>& params,
+                          uint64_t deadline_millis) {
+  std::string out;
+  io::PutU32(&out, stmt_id);
+  io::PutU32(&out, static_cast<uint32_t>(params.size()));
+  for (const Value& p : params) AppendValue(&out, p);
+  io::PutU64(&out, deadline_millis);
+  return out;
+}
+
+std::string EncodeCancel(uint64_t session_id, uint64_t cancel_key) {
+  std::string out;
+  io::PutU64(&out, session_id);
+  io::PutU64(&out, cancel_key);
+  return out;
+}
+
+std::string EncodeCloseStmt(uint32_t stmt_id) {
+  std::string out;
+  io::PutU32(&out, stmt_id);
+  return out;
+}
+
+std::string EncodeWelcome(uint32_t version, uint64_t session_id,
+                          uint64_t cancel_key) {
+  std::string out;
+  io::PutU32(&out, version);
+  io::PutU64(&out, session_id);
+  io::PutU64(&out, cancel_key);
+  return out;
+}
+
+std::string EncodeError(const Status& status) {
+  std::string out;
+  io::PutU32(&out, static_cast<uint32_t>(status.code()));
+  io::PutStr(&out, status.message());
+  return out;
+}
+
+std::string EncodeDone(uint64_t total_rows, uint64_t chunks) {
+  std::string out;
+  io::PutU64(&out, total_rows);
+  io::PutU64(&out, chunks);
+  return out;
+}
+
+std::string EncodeStmtReady(uint32_t stmt_id) {
+  std::string out;
+  io::PutU32(&out, stmt_id);
+  return out;
+}
+
+Status DecodeError(std::string_view payload) {
+  io::ByteReader reader(payload);
+  uint32_t code = 0;
+  std::string message;
+  if (!reader.ReadU32(&code) || !reader.ReadStr(&message)) {
+    return Status::DataLoss("truncated ERROR frame");
+  }
+  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+    return Status::Internal("server error with unknown code " +
+                            std::to_string(code) + ": " + message);
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+Result<std::string> BindParameters(const std::string& text,
+                                   const std::vector<Value>& params) {
+  std::string out;
+  out.reserve(text.size() + params.size() * 8);
+  size_t next = 0;
+  char quote = '\0';
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (quote != '\0') {
+      out += c;
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      out += c;
+      continue;
+    }
+    if (c == '?') {
+      if (next >= params.size()) {
+        return Status::InvalidArgument(
+            "statement has more '?' placeholders than the " +
+            std::to_string(params.size()) + " bound parameters");
+      }
+      out += SqlLiteral(params[next++]);
+      continue;
+    }
+    out += c;
+  }
+  if (next != params.size()) {
+    return Status::InvalidArgument(
+        std::to_string(params.size()) + " parameters bound but only " +
+        std::to_string(next) + " '?' placeholders in the statement");
+  }
+  return out;
+}
+
+}  // namespace teleios::server

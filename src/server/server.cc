@@ -1,0 +1,672 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "server/http.h"
+
+namespace teleios::server {
+
+namespace {
+
+using std::chrono::steady_clock;
+
+/// Env int with a floor; unset/unparsable keeps the default.
+int EnvInt(const char* name, int def, int min_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return def;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  if (end == env) return def;
+  return std::max(min_value, static_cast<int>(v));
+}
+
+/// Same k/m/g-suffix grammar as TELEIOS_MEMORY_BUDGET (see the
+/// governor); unset, 0 or unparsable = unlimited.
+size_t EnvBytes(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') {
+    return governor::MemoryBudget::kUnlimited;
+  }
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env) return governor::MemoryBudget::kUnlimited;
+  switch (std::tolower(static_cast<unsigned char>(*end))) {
+    case 'k':
+      v <<= 10;
+      break;
+    case 'm':
+      v <<= 20;
+      break;
+    case 'g':
+      v <<= 30;
+      break;
+    default:
+      break;
+  }
+  return v == 0 ? governor::MemoryBudget::kUnlimited
+                : static_cast<size_t>(v);
+}
+
+/// Frame header + CRC overhead on the wire, for budget accounting.
+constexpr size_t kFrameOverhead = 9;  // u32 length + u32 crc + u8 opcode
+
+/// How long a fresh connection may take to show its first protocol
+/// bytes and HELLO before the server hangs up — an unauthenticated
+/// socket must not pin a pool worker forever.
+constexpr std::chrono::seconds kHandshakeTimeout(10);
+
+}  // namespace
+
+/// keep_going context for Socket::ReadExact poll slices: abandon the
+/// read once the server drains, and optionally on a handshake deadline.
+struct ConnectionIo {
+  TeleiosServer* server = nullptr;
+  bool has_deadline = false;
+  steady_clock::time_point deadline;
+
+  static bool KeepGoing(void* arg) {
+    auto* io = static_cast<ConnectionIo*>(arg);
+    if (io->server->stopping_ || io->server->draining_) return false;
+    if (io->has_deadline && steady_clock::now() > io->deadline) return false;
+    return true;
+  }
+};
+
+ServerConfig ServerConfig::FromEnv() {
+  ServerConfig config;
+  config.port = EnvInt("TELEIOS_SERVER_PORT", 0, 0);
+  config.max_sessions = EnvInt("TELEIOS_SERVER_MAX_SESSIONS", 64, 1);
+  const char* token = std::getenv("TELEIOS_AUTH_TOKEN");
+  if (token != nullptr) config.auth_token = token;
+  config.chunk_rows = static_cast<size_t>(
+      EnvInt("TELEIOS_SERVER_CHUNK_ROWS", 1024, 1));
+  config.session_budget_bytes = EnvBytes("TELEIOS_SESSION_MEMORY_BUDGET");
+  return config;
+}
+
+TeleiosServer::TeleiosServer(core::VirtualEarthObservatory* observatory,
+                             ServerConfig config)
+    : observatory_(observatory), config_(std::move(config)) {}
+
+TeleiosServer::~TeleiosServer() {
+  Status st = Shutdown();
+  (void)st;  // a destructor has no one to report a checkpoint error to
+}
+
+Status TeleiosServer::Start() {
+  if (started_) return Status::AlreadyExists("server already started");
+  TELEIOS_ASSIGN_OR_RETURN(listener_,
+                           Socket::Listen(config_.port));
+  port_ = listener_.bound_port();
+  observatory_->system_tables().set_extra(&sessions_);
+  // One worker per serveable connection plus the accept loop; never the
+  // global morsel pool — a handler parked in recv(2) must not steal a
+  // core from a running scan.
+  pool_ = std::make_unique<exec::ThreadPool>(config_.max_sessions + 2,
+                                             "server");
+  started_ = true;
+  pool_->Submit([this] { AcceptLoop(); });
+  obs::PostEvent("server.start", {{"port", std::to_string(port_)}});
+  return Status::OK();
+}
+
+void TeleiosServer::AcceptLoop() {
+  while (!stopping_) {
+    Result<Socket> accepted = listener_.AcceptWithTimeout(100);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kUnavailable) continue;
+      break;  // listener shut down (or hard error): stop accepting
+    }
+    if (active_connections_.load() >= config_.max_sessions) {
+      ShedConnection(std::move(accepted).value());
+      continue;
+    }
+    ++active_connections_;
+    auto sock = std::make_shared<Socket>(std::move(accepted).value());
+    pool_->Submit([this, sock]() mutable {
+      HandleConnection(std::move(*sock));
+      --active_connections_;
+    });
+  }
+  accept_done_ = true;
+}
+
+void TeleiosServer::ShedConnection(Socket sock) {
+  obs::Count("teleios_server_sheds_total");
+  obs::PostEvent("server.shed",
+                 {{"peer", sock.peer()},
+                  {"live", std::to_string(active_connections_.load())}});
+  // Sniff briefly (one poll slice) so the refusal speaks the client's
+  // protocol; a silent client just gets the close.
+  char preamble[4] = {0};
+  ConnectionIo io{this, true, steady_clock::now()};
+  Status sniffed = sock.ReadExact(preamble, sizeof(preamble), 200,
+                                  &ConnectionIo::KeepGoing, &io);
+  Status refusal =
+      Status::Unavailable("server at max_sessions=" +
+                          std::to_string(config_.max_sessions) +
+                          "; connection refused");
+  Status st;
+  if (sniffed.ok() && std::memcmp(preamble, kMagic, sizeof(kMagic)) == 0) {
+    std::string out;
+    AppendFrame(&out, Opcode::kError, EncodeError(refusal));
+    st = sock.WriteAll(out);
+  } else {
+    st = sock.WriteAll(
+        BuildHttpResponse(503, "application/json", ErrorToJson(refusal)));
+  }
+  (void)st;  // the peer is being dropped either way
+}
+
+void TeleiosServer::HandleConnection(Socket sock) {
+  char preamble[4] = {0};
+  ConnectionIo io{this, true, steady_clock::now() + kHandshakeTimeout};
+  Status st = sock.ReadExact(preamble, sizeof(preamble), 250,
+                             &ConnectionIo::KeepGoing, &io);
+  if (!st.ok()) return;  // silent or dropped connection: nothing owed
+
+  const bool binary = std::memcmp(preamble, kMagic, sizeof(kMagic)) == 0;
+  std::shared_ptr<Session> session = sessions_.Open(
+      sock.peer(), binary ? "binary" : "http", config_.session_budget_bytes);
+  session->RegisterSocket(&sock);
+  if (binary) {
+    ServeBinary(&sock, session);
+  } else {
+    ServeHttp(&sock, session, std::string(preamble, sizeof(preamble)));
+  }
+  session->ClearSocket();
+  // A dropped socket cancels whatever the session was still running —
+  // the morsel loop unwinds at its next poll even though the handler
+  // thread has already moved on.
+  session->connection_token()->Cancel();
+  sessions_.Close(session);
+}
+
+Status TeleiosServer::ReadFrame(Socket* sock, Frame* frame) {
+  char header[8];
+  ConnectionIo io{this, false, {}};
+  TELEIOS_RETURN_IF_ERROR(sock->ReadExact(header, sizeof(header), 250,
+                                          &ConnectionIo::KeepGoing, &io));
+  uint32_t crc = 0;
+  TELEIOS_ASSIGN_OR_RETURN(
+      uint32_t length,
+      DecodeFrameLength(std::string_view(header, sizeof(header)), &crc));
+  std::string body(length, '\0');
+  // The body must follow promptly — a half-sent frame cannot hold the
+  // connection open past the handshake timeout.
+  ConnectionIo body_io{this, true, steady_clock::now() + kHandshakeTimeout};
+  Status st = sock->ReadExact(body.data(), body.size(), 250,
+                              &ConnectionIo::KeepGoing, &body_io);
+  if (!st.ok()) {
+    return st.code() == StatusCode::kCancelled
+               ? st
+               : Status::DataLoss("frame body truncated: " + st.message());
+  }
+  TELEIOS_ASSIGN_OR_RETURN(*frame, DecodeFrameBody(body, crc));
+  obs::Count("teleios_server_frames_total");
+  obs::Count("teleios_server_bytes_in_total", sizeof(header) + body.size());
+  return Status::OK();
+}
+
+Status TeleiosServer::WriteFrame(Socket* sock,
+                                 const std::shared_ptr<Session>& session,
+                                 Opcode opcode, std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + kFrameOverhead);
+  AppendFrame(&out, opcode, payload);
+  TELEIOS_RETURN_IF_ERROR(sock->WriteAll(out));
+  if (session != nullptr) session->AddBytesStreamed(out.size());
+  return Status::OK();
+}
+
+void TeleiosServer::ServeBinary(Socket* sock,
+                                const std::shared_ptr<Session>& session) {
+  auto protocol_error = [&](const Status& st) {
+    obs::Count("teleios_server_protocol_errors_total");
+    Status write = WriteFrame(sock, session, Opcode::kError, EncodeError(st));
+    (void)write;  // the connection is being dropped regardless
+  };
+
+  // --- HELLO ---------------------------------------------------------------
+  Frame frame;
+  Status st = ReadFrame(sock, &frame);
+  if (!st.ok()) {
+    if (st.code() == StatusCode::kDataLoss) protocol_error(st);
+    return;
+  }
+  if (frame.opcode != Opcode::kHello) {
+    protocol_error(Status::InvalidArgument(
+        "first frame must be HELLO, got " + std::string(OpcodeName(frame.opcode))));
+    return;
+  }
+  io::ByteReader hello(frame.payload);
+  uint32_t version = 0;
+  std::string auth_token;
+  uint64_t default_deadline = 0;
+  if (!hello.ReadU32(&version) || !hello.ReadStr(&auth_token) ||
+      !hello.ReadU64(&default_deadline) || !hello.exhausted()) {
+    protocol_error(Status::DataLoss("malformed HELLO payload"));
+    return;
+  }
+  if (version == 0 || version > kProtocolVersion) {
+    protocol_error(Status::InvalidArgument(
+        "client protocol version " + std::to_string(version) +
+        " not supported (server speaks " +
+        std::to_string(kProtocolVersion) + ")"));
+    return;
+  }
+  if (!config_.auth_token.empty() && auth_token != config_.auth_token) {
+    protocol_error(Status::InvalidArgument("authentication failed"));
+    return;
+  }
+  st = WriteFrame(sock, session, Opcode::kWelcome,
+                  EncodeWelcome(kProtocolVersion, session->id(),
+                                session->cancel_key()));
+  if (!st.ok()) return;
+  session->set_state("idle");
+
+  // --- statement loop ------------------------------------------------------
+  for (;;) {
+    st = ReadFrame(sock, &frame);
+    if (!st.ok()) {
+      // kUnavailable: clean close between frames. kCancelled: draining.
+      if (st.code() == StatusCode::kDataLoss) protocol_error(st);
+      if (st.code() == StatusCode::kCancelled && draining_) {
+        Status bye = WriteFrame(
+            sock, session, Opcode::kError,
+            EncodeError(Status::Unavailable("server shutting down")));
+        (void)bye;
+      }
+      return;
+    }
+    io::ByteReader reader(frame.payload);
+    switch (frame.opcode) {
+      case Opcode::kQuery: {
+        uint8_t lang_byte = 0;
+        std::string statement;
+        uint64_t deadline = 0;
+        if (!reader.ReadBytes(&lang_byte, 1) ||
+            !reader.ReadStr(&statement, kMaxFrameBytes) ||
+            !reader.ReadU64(&deadline) || !reader.exhausted() ||
+            lang_byte < 1 || lang_byte > 3) {
+          protocol_error(Status::DataLoss("malformed QUERY payload"));
+          return;
+        }
+        st = RunAndStream(sock, session, static_cast<Lang>(lang_byte),
+                          statement,
+                          deadline > 0 ? deadline : default_deadline);
+        if (!st.ok()) return;
+        break;
+      }
+      case Opcode::kPrepare: {
+        uint8_t lang_byte = 0;
+        std::string statement;
+        if (!reader.ReadBytes(&lang_byte, 1) ||
+            !reader.ReadStr(&statement, kMaxFrameBytes) ||
+            !reader.exhausted() || lang_byte < 1 || lang_byte > 3) {
+          protocol_error(Status::DataLoss("malformed PREPARE payload"));
+          return;
+        }
+        uint32_t stmt_id = session->AddPrepared(
+            {static_cast<Lang>(lang_byte), std::move(statement)});
+        st = WriteFrame(sock, session, Opcode::kStmtReady,
+                        EncodeStmtReady(stmt_id));
+        if (!st.ok()) return;
+        break;
+      }
+      case Opcode::kExecute: {
+        uint32_t stmt_id = 0;
+        uint32_t nparams = 0;
+        if (!reader.ReadU32(&stmt_id) || !reader.ReadU32(&nparams) ||
+            nparams > 1024) {
+          protocol_error(Status::DataLoss("malformed EXECUTE payload"));
+          return;
+        }
+        std::vector<Value> params;
+        params.reserve(nparams);
+        bool bad = false;
+        for (uint32_t i = 0; i < nparams; ++i) {
+          Result<Value> v = ReadValue(&reader);
+          if (!v.ok()) {
+            bad = true;
+            break;
+          }
+          params.push_back(std::move(v).value());
+        }
+        uint64_t deadline = 0;
+        if (bad || !reader.ReadU64(&deadline) || !reader.exhausted()) {
+          protocol_error(Status::DataLoss("malformed EXECUTE payload"));
+          return;
+        }
+        Result<PreparedStatement> stmt = session->GetPrepared(stmt_id);
+        if (!stmt.ok()) {
+          st = WriteFrame(sock, session, Opcode::kError,
+                          EncodeError(stmt.status()));
+          if (!st.ok()) return;
+          break;
+        }
+        Result<std::string> bound =
+            BindParameters(stmt.value().text, params);
+        if (!bound.ok()) {
+          st = WriteFrame(sock, session, Opcode::kError,
+                          EncodeError(bound.status()));
+          if (!st.ok()) return;
+          break;
+        }
+        st = RunAndStream(sock, session, stmt.value().lang, bound.value(),
+                          deadline > 0 ? deadline : default_deadline);
+        if (!st.ok()) return;
+        break;
+      }
+      case Opcode::kCancel: {
+        uint64_t target_session = 0;
+        uint64_t cancel_key = 0;
+        if (!reader.ReadU64(&target_session) ||
+            !reader.ReadU64(&cancel_key) || !reader.exhausted()) {
+          protocol_error(Status::DataLoss("malformed CANCEL payload"));
+          return;
+        }
+        Status cancelled =
+            sessions_.CancelStatement(target_session, cancel_key);
+        st = cancelled.ok()
+                 ? WriteFrame(sock, session, Opcode::kDone, EncodeDone(0, 0))
+                 : WriteFrame(sock, session, Opcode::kError,
+                              EncodeError(cancelled));
+        if (!st.ok()) return;
+        break;
+      }
+      case Opcode::kCloseStmt: {
+        uint32_t stmt_id = 0;
+        if (!reader.ReadU32(&stmt_id) || !reader.exhausted()) {
+          protocol_error(Status::DataLoss("malformed CLOSE_STMT payload"));
+          return;
+        }
+        Status closed = session->ClosePrepared(stmt_id);
+        st = closed.ok()
+                 ? WriteFrame(sock, session, Opcode::kDone, EncodeDone(0, 0))
+                 : WriteFrame(sock, session, Opcode::kError,
+                              EncodeError(closed));
+        if (!st.ok()) return;
+        break;
+      }
+      case Opcode::kGoodbye:
+        return;
+      default:
+        protocol_error(Status::InvalidArgument(
+            "unexpected opcode " +
+            std::to_string(static_cast<int>(frame.opcode))));
+        return;
+    }
+  }
+}
+
+Result<storage::Table> TeleiosServer::RunStatement(
+    const std::shared_ptr<Session>& session, Lang lang,
+    const std::string& statement, uint64_t deadline_millis) {
+  session->AddQuery();
+  obs::Count(obs::WithLabel("teleios_server_queries_total", "lang",
+                            LangName(lang)));
+  std::shared_ptr<exec::CancellationToken> token =
+      session->BeginStatement(deadline_millis);
+  // Install the session budget thread-locally: the facade's per-query
+  // budget becomes its child, so the chain reads process -> session ->
+  // query in sys.budgets.
+  governor::ScopedBudget scope(session->budget());
+  Result<storage::Table> result = Status::Internal("unreachable");
+  switch (lang) {
+    case Lang::kSql:
+      result = observatory_->Sql(statement, token.get());
+      break;
+    case Lang::kSciQl:
+      result = observatory_->SciQl(statement, token.get());
+      break;
+    case Lang::kStSparql: {
+      // SELECT/ASK stream rows; updates return a one-row count table so
+      // both shapes fit the same SCHEMA/ROWS/DONE stream.
+      std::string_view head = StrTrim(statement);
+      std::string first = StrLower(std::string(
+          head.substr(0, std::min<size_t>(head.size(), 6))));
+      if (StrStartsWith(first, "insert") || StrStartsWith(first, "delete")) {
+        Result<size_t> count = observatory_->StSparqlUpdate(statement);
+        if (!count.ok()) {
+          result = count.status();
+        } else {
+          storage::Table table(
+              storage::Schema({{"count", storage::ColumnType::kInt64}}));
+          table.column(0).AppendInt64(
+              static_cast<int64_t>(count.value()));
+          result = std::move(table);
+        }
+      } else {
+        result = observatory_->StSparql(statement, token.get());
+      }
+      break;
+    }
+  }
+  session->EndStatement();
+  return result;
+}
+
+Status TeleiosServer::RunAndStream(Socket* sock,
+                                   const std::shared_ptr<Session>& session,
+                                   Lang lang, const std::string& statement,
+                                   uint64_t deadline_millis) {
+  session->set_state("executing");
+  Result<storage::Table> result =
+      RunStatement(session, lang, statement, deadline_millis);
+  if (!result.ok()) {
+    session->set_state("idle");
+    // An engine error is the statement's problem, not the connection's.
+    return WriteFrame(sock, session, Opcode::kError,
+                      EncodeError(result.status()));
+  }
+  const storage::Table& table = result.value();
+  session->set_state("streaming");
+  Status st =
+      WriteFrame(sock, session, Opcode::kSchema, EncodeSchema(table));
+  if (!st.ok()) return st;
+  uint64_t chunks = 0;
+  const size_t num_rows = table.num_rows();
+  for (size_t begin = 0; begin < num_rows; begin += config_.chunk_rows) {
+    size_t end = std::min(num_rows, begin + config_.chunk_rows);
+    std::string payload = EncodeRowChunk(table, begin, end);
+    // Backpressure: the serialized chunk is charged to the session
+    // budget for as long as it sits in our hands / the socket buffer —
+    // a slow reader throttles the stream instead of growing the heap.
+    Result<governor::BudgetCharge> charge = governor::TryCharge(
+        session->budget(), payload.size() + kFrameOverhead,
+        "result stream window");
+    if (!charge.ok()) {
+      session->set_state("idle");
+      return WriteFrame(sock, session, Opcode::kError,
+                        EncodeError(charge.status()));
+    }
+    st = WriteFrame(sock, session, Opcode::kRows, payload);
+    if (!st.ok()) return st;
+    ++chunks;
+  }
+  st = WriteFrame(sock, session, Opcode::kDone,
+                  EncodeDone(num_rows, chunks));
+  session->set_state("idle");
+  return st;
+}
+
+void TeleiosServer::ServeHttp(Socket* sock,
+                              const std::shared_ptr<Session>& session,
+                              const std::string& sniffed) {
+  obs::Count("teleios_server_http_requests_total");
+  session->set_state("executing");
+  auto respond = [&](int status, std::string_view content_type,
+                     std::string_view body) {
+    std::string out = BuildHttpResponse(status, content_type, body);
+    Status st = sock->WriteAll(out);
+    if (st.ok()) session->AddBytesStreamed(out.size());
+  };
+
+  // Read up to CRLFCRLF (the head), bounded by max_http_bytes.
+  std::string data = sniffed;
+  size_t head_end;
+  while ((head_end = data.find("\r\n\r\n")) == std::string::npos) {
+    if (data.size() > config_.max_http_bytes) {
+      respond(413, "application/json",
+              ErrorToJson(Status::InvalidArgument("request too large")));
+      return;
+    }
+    char buf[4096];
+    Result<size_t> r = sock->ReadSome(buf, sizeof(buf), 5000);
+    if (!r.ok() || r.value() == 0) return;  // slowloris / dropped
+    data.append(buf, r.value());
+  }
+  Result<HttpRequest> parsed = ParseHttpHead(data.substr(0, head_end + 4));
+  if (!parsed.ok()) {
+    respond(400, "application/json", ErrorToJson(parsed.status()));
+    return;
+  }
+  HttpRequest request = std::move(parsed).value();
+  Result<size_t> length =
+      DeclaredContentLength(request, config_.max_http_bytes);
+  if (!length.ok()) {
+    respond(413, "application/json", ErrorToJson(length.status()));
+    return;
+  }
+  request.body = data.substr(head_end + 4);
+  if (request.body.size() < length.value()) {
+    size_t missing = length.value() - request.body.size();
+    std::string rest(missing, '\0');
+    ConnectionIo io{this, true, steady_clock::now() + kHandshakeTimeout};
+    Status st = sock->ReadExact(rest.data(), rest.size(), 250,
+                                &ConnectionIo::KeepGoing, &io);
+    if (!st.ok()) return;
+    request.body += rest;
+  } else {
+    request.body.resize(length.value());
+  }
+  obs::Count("teleios_server_bytes_in_total",
+             data.size() + request.body.size());
+
+  // --- routes --------------------------------------------------------------
+  if (request.method == "GET" && request.path == "/healthz") {
+    respond(200, "text/plain", draining_ ? "draining\n" : "ok\n");
+    return;
+  }
+  if (request.method == "GET" && request.path == "/metrics") {
+    respond(200, "text/plain; version=0.0.4", observatory_->MetricsText());
+    return;
+  }
+  if (request.method == "GET" && request.path == "/sessions") {
+    Result<storage::TablePtr> table = sessions_.Materialize("sys.sessions");
+    if (!table.ok()) {
+      respond(500, "application/json", ErrorToJson(table.status()));
+    } else {
+      respond(200, "application/json", TableToJson(*table.value()));
+    }
+    return;
+  }
+  if (request.path == "/query") {
+    if (request.method != "POST") {
+      respond(405, "application/json",
+              ErrorToJson(Status::InvalidArgument(
+                  "use POST /query with the statement as the body")));
+      return;
+    }
+    if (!config_.auth_token.empty()) {
+      auto it = request.headers.find("authorization");
+      if (it == request.headers.end() ||
+          it->second != "Bearer " + config_.auth_token) {
+        respond(401, "application/json",
+                ErrorToJson(
+                    Status::InvalidArgument("authentication failed")));
+        return;
+      }
+    }
+    std::string lang_name = "sql";
+    auto lang_it = request.query.find("lang");
+    if (lang_it != request.query.end()) lang_name = lang_it->second;
+    Result<Lang> lang = ParseLang(lang_name);
+    if (!lang.ok()) {
+      respond(400, "application/json", ErrorToJson(lang.status()));
+      return;
+    }
+    uint64_t deadline = 0;
+    auto deadline_it = request.query.find("timeout_millis");
+    if (deadline_it != request.query.end()) {
+      Result<int64_t> millis = ParseInt64(deadline_it->second);
+      if (!millis.ok() || millis.value() < 0) {
+        respond(400, "application/json",
+                ErrorToJson(
+                    Status::InvalidArgument("bad timeout_millis value")));
+        return;
+      }
+      deadline = static_cast<uint64_t>(millis.value());
+    }
+    if (request.body.empty()) {
+      respond(400, "application/json",
+              ErrorToJson(Status::InvalidArgument(
+                  "empty statement: POST the query text as the body")));
+      return;
+    }
+    Result<storage::Table> result =
+        RunStatement(session, lang.value(), request.body, deadline);
+    session->set_state("idle");
+    if (!result.ok()) {
+      respond(HttpStatusForError(result.status()), "application/json",
+              ErrorToJson(result.status()));
+    } else {
+      respond(200, "application/json", TableToJson(result.value()));
+    }
+    return;
+  }
+  respond(404, "application/json",
+          ErrorToJson(Status::NotFound("no route for " + request.method +
+                                       " " + request.path)));
+}
+
+Status TeleiosServer::Shutdown(std::chrono::milliseconds drain_timeout) {
+  if (!started_) return Status::OK();
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    return Status::OK();  // second (sequential) call: already shut down
+  }
+  draining_ = true;
+  obs::PostEvent("server.drain",
+                 {{"live", std::to_string(sessions_.live())}});
+  // Wake the accept loop out of its poll and refuse new connections.
+  listener_.ShutdownBoth();
+  // Let in-flight statements finish streaming: handlers notice
+  // draining_ between read polls (≤250ms) and unwind after their
+  // current statement completes.
+  auto deadline = steady_clock::now() + drain_timeout;
+  while (steady_clock::now() < deadline &&
+         (active_connections_.load() > 0 || !accept_done_.load())) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (active_connections_.load() > 0) {
+    // Stragglers: cancel their statements and half-close their sockets;
+    // the handlers' next read/write fails and they unwind.
+    sessions_.CancelAll();
+    sessions_.ForceCloseAll();
+  }
+  pool_.reset();  // joins the accept loop and every handler
+  listener_.Close();
+  observatory_->system_tables().set_extra(nullptr);
+  obs::PostEvent("server.stop",
+                 {{"sessions_served",
+                   std::to_string(sessions_.opened_total())}});
+  // The SIGTERM contract: a durable observatory leaves a fresh
+  // checkpoint behind so restart recovery has no WAL tail to replay.
+  if (observatory_->durable()) {
+    TELEIOS_RETURN_IF_ERROR(observatory_->Checkpoint());
+  }
+  return Status::OK();
+}
+
+}  // namespace teleios::server

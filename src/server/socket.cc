@@ -1,0 +1,189 @@
+#include "server/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace teleios::server {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + ::strerror(errno));
+}
+
+std::string PeerString(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    bound_port_ = other.bound_port_;
+    peer_ = std::move(other.peer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Listen(int port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock;
+  sock.fd_ = fd;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind to 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) return Errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  sock.bound_port_ = ntohs(addr.sin_port);
+  return sock;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock;
+  sock.fd_ = fd;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("connect to " + host + ":" + std::to_string(port));
+  }
+  sock.peer_ = host + ":" + std::to_string(port);
+  sock.SetNoDelay();
+  return sock;
+}
+
+Result<Socket> Socket::AcceptWithTimeout(int timeout_millis) {
+  pollfd pfd = {fd_, POLLIN, 0};
+  int ready = ::poll(&pfd, 1, timeout_millis);
+  if (ready == 0) return Status::Unavailable("accept timed out");
+  if (ready < 0) {
+    if (errno == EINTR) return Status::Unavailable("accept interrupted");
+    return Errno("poll on listen socket");
+  }
+  sockaddr_in addr = {};
+  socklen_t len = sizeof(addr);
+  int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (fd < 0) {
+    // The listen socket was shut down under us (server stopping).
+    if (errno == EINVAL || errno == EBADF) {
+      return Status::Cancelled("listen socket closed");
+    }
+    return Errno("accept");
+  }
+  Socket sock;
+  sock.fd_ = fd;
+  sock.peer_ = PeerString(addr);
+  sock.SetNoDelay();
+  return sock;
+}
+
+Status Socket::ReadExact(void* dst, size_t n, int poll_millis,
+                         bool (*keep_going)(void*), void* arg) {
+  char* out = static_cast<char*>(dst);
+  size_t got = 0;
+  while (got < n) {
+    pollfd pfd = {fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, poll_millis);
+    if (ready < 0 && errno != EINTR) return Errno("poll");
+    if (ready <= 0) {
+      if (keep_going != nullptr && !keep_going(arg)) {
+        return Status::Cancelled("read abandoned (connection draining)");
+      }
+      continue;
+    }
+    ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0) return Status::Unavailable("connection closed by peer");
+      return Status::DataLoss("connection closed mid-message (" +
+                              std::to_string(got) + "/" +
+                              std::to_string(n) + " bytes)");
+    }
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return Errno("recv");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Result<size_t> Socket::ReadSome(void* dst, size_t n, int timeout_millis) {
+  for (;;) {
+    pollfd pfd = {fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, timeout_millis);
+    if (ready == 0) return Status::Unavailable("read timed out");
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    ssize_t r = ::recv(fd_, dst, n, 0);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return Errno("recv");
+    }
+    return static_cast<size_t>(r);
+  }
+}
+
+Status Socket::WriteAll(std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t r =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::IoError("peer closed the connection mid-write");
+      }
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::SetNoDelay() {
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace teleios::server

@@ -6,15 +6,23 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 
+#include "core/observatory.h"
 #include "geo/wkt.h"
 #include "io/filesystem.h"
 #include "rdf/turtle.h"
 #include "relational/sql_parser.h"
 #include "sciql/sciql_parser.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/socket.h"
 #include "storage/persistence.h"
 #include "strabon/sparql_parser.h"
 #include "vault/formats.h"
@@ -312,6 +320,187 @@ TEST_F(ForwardCompat, CatalogManifestNewerVersionIsDataLoss) {
   EXPECT_EQ(n.status().code(), StatusCode::kDataLoss);
   EXPECT_NE(n.status().message().find("newer"), std::string::npos)
       << n.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Wire-protocol malformation corpus: a TELEIOS server fed truncated
+// length prefixes, hostile lengths, corrupted CRCs, unknown opcodes,
+// mid-frame disconnects, and seeded garbage must shed every one as a
+// protocol error — never crash, never allocate a hostile length, and
+// never leak a session. After every abuse the same server still serves
+// a well-behaved client.
+
+class WireProtocolFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server::ServerConfig config;
+    config.port = 0;
+    server_ = std::make_unique<server::TeleiosServer>(&veo_, config);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    // The abused server must still be a working server.
+    auto client = server::Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto result = client->Query(server::Lang::kSql, "SELECT count(*) AS n FROM sys.sessions");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    (void)client->Goodbye();
+    // ...and every malformed connection fully unwound.
+    EXPECT_TRUE(NoLiveSessions());
+    ASSERT_TRUE(server_->Shutdown().ok());
+  }
+
+  bool NoLiveSessions() {
+    for (int i = 0; i < 500; ++i) {
+      if (server_->sessions().live() == 0) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return server_->sessions().live() == 0;
+  }
+
+  server::Socket MustConnectRaw() {
+    auto sock = server::Socket::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(sock.ok());
+    return std::move(sock).value();
+  }
+
+  /// Sends raw bytes on a fresh connection, then closes without reading.
+  void SendAndDrop(const std::string& bytes) {
+    server::Socket sock = MustConnectRaw();
+    (void)sock.WriteAll(bytes);
+  }
+
+  static std::string Magic() { return std::string(server::kMagic, 4); }
+
+  /// A well-formed post-magic HELLO frame (anonymous, no deadline).
+  static std::string HelloFrame() {
+    std::string frame;
+    server::AppendFrame(
+        &frame, server::Opcode::kHello,
+        server::EncodeHello(server::kProtocolVersion, "", 0));
+    return frame;
+  }
+
+  core::VirtualEarthObservatory veo_;
+  std::unique_ptr<server::TeleiosServer> server_;
+};
+
+TEST_F(WireProtocolFuzz, TruncatedLengthPrefixesNeverCrash) {
+  const std::string hello = Magic() + HelloFrame();
+  // Every prefix of the handshake, from zero bytes (bare connect) up to
+  // one byte short of complete, then disconnect.
+  for (size_t len = 0; len < hello.size(); ++len) {
+    SendAndDrop(hello.substr(0, len));
+  }
+  EXPECT_TRUE(NoLiveSessions());
+}
+
+TEST_F(WireProtocolFuzz, OversizedLengthIsRefusedBeforeAllocation) {
+  // A header declaring a 4-GiB body: the length guard must trip off the
+  // 8 header bytes alone (kMaxFrameBytes), not attempt the read.
+  std::string wire = Magic() + HelloFrame();
+  std::string header(8, '\0');
+  header[0] = '\xff';
+  header[1] = '\xff';
+  header[2] = '\xff';
+  header[3] = '\xff';
+  server::Socket sock = MustConnectRaw();
+  ASSERT_TRUE(sock.WriteAll(wire + header).ok());
+  // The server answers with a framed ERROR (best effort) and drops.
+  std::string drained;
+  char buf[512];
+  for (;;) {
+    auto got = sock.ReadSome(buf, sizeof(buf), 5000);
+    if (!got.ok() || *got == 0) break;
+    drained.append(buf, *got);
+  }
+  EXPECT_TRUE(NoLiveSessions());
+
+  // Zero-length frames are equally malformed.
+  std::string zero(8, '\0');
+  SendAndDrop(wire + zero);
+  EXPECT_TRUE(NoLiveSessions());
+}
+
+TEST_F(WireProtocolFuzz, CorruptedCrcIsDetectedAndDropped) {
+  std::string query_frame;
+  server::AppendFrame(
+      &query_frame, server::Opcode::kQuery,
+      server::EncodeQuery(server::Lang::kSql, "SELECT count(*) AS n FROM sys.sessions", 0));
+  // Flip each bit of the CRC field and of the first payload byte; every
+  // mutant must die at the CRC check, not reach the SQL engine.
+  for (size_t byte : {size_t{4}, size_t{9}}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto client = server::Client::Connect("127.0.0.1", server_->port());
+      ASSERT_TRUE(client.ok());
+      std::string mutant = query_frame;
+      mutant[byte] = static_cast<char>(mutant[byte] ^ (1 << bit));
+      ASSERT_TRUE(client->SendRaw(mutant).ok());
+      // The server either frames a kDataLoss ERROR before dropping or
+      // just drops; it never returns rows for a torn frame.
+      auto frame = client->ReadFrame();
+      if (frame.ok()) {
+        EXPECT_EQ(frame->opcode, server::Opcode::kError);
+      }
+    }
+  }
+  EXPECT_TRUE(NoLiveSessions());
+}
+
+TEST_F(WireProtocolFuzz, UnknownOpcodeIsAProtocolError) {
+  for (uint8_t opcode : {uint8_t{0}, uint8_t{42}, uint8_t{200},
+                         uint8_t{255}}) {
+    auto client = server::Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(
+        client->SendFrame(static_cast<server::Opcode>(opcode), "junk").ok());
+    auto frame = client->ReadFrame();
+    if (frame.ok()) {
+      EXPECT_EQ(frame->opcode, server::Opcode::kError);
+    }
+  }
+  EXPECT_TRUE(NoLiveSessions());
+}
+
+TEST_F(WireProtocolFuzz, MidFrameDisconnectLeaksNothing) {
+  // Declare a 100-byte body, deliver 10, vanish: the server sees a torn
+  // frame (kDataLoss), not a hung read or a crash.
+  std::string torn;
+  server::AppendFrame(&torn, server::Opcode::kQuery,
+                      std::string(99, 'q'));  // body = opcode + 99
+  SendAndDrop(Magic() + HelloFrame() + torn.substr(0, 8 + 10));
+  EXPECT_TRUE(NoLiveSessions());
+
+  // Same torn tail on an established, authenticated session.
+  auto client = server::Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendRaw(torn.substr(0, 8 + 10)).ok());
+  client->socket().Close();
+  EXPECT_TRUE(NoLiveSessions());
+}
+
+TEST_F(WireProtocolFuzz, SeededGarbageStreamsNeverCrash) {
+  Rng rng(0xd1ce);
+  for (int i = 0; i < 32; ++i) {
+    std::string noise = Garbage(&rng, 1 + rng.Next() % 200);
+    // Half the probes speak "binary" (magic preamble + noise), half hit
+    // the HTTP sniffer with bare noise.
+    SendAndDrop(i % 2 == 0 ? Magic() + noise : noise);
+  }
+  // Bit-flip sweep over a pristine handshake+query image (sampled: every
+  // third byte) — mutants may break the magic, the frame, or the SQL,
+  // and each layer must reject cleanly.
+  std::string image = Magic() + HelloFrame();
+  server::AppendFrame(
+      &image, server::Opcode::kQuery,
+      server::EncodeQuery(server::Lang::kSql, "SELECT count(*) AS n FROM sys.sessions", 0));
+  for (size_t i = 0; i < image.size(); i += 3) {
+    std::string mutant = image;
+    mutant[i] = static_cast<char>(mutant[i] ^ (1u << (i % 8)));
+    SendAndDrop(mutant);
+  }
+  EXPECT_TRUE(NoLiveSessions());
 }
 
 }  // namespace

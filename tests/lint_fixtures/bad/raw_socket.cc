@@ -1,0 +1,9 @@
+// TL006 fixture: raw socket API outside src/server/.
+#include <sys/socket.h>
+
+int OpenRaw(int port) {
+  int fd = socket(2, 1, 0);
+  unsigned short net_port = htons(static_cast<unsigned short>(port));
+  int peer = accept(fd, nullptr, nullptr);
+  return peer + net_port;
+}

@@ -1,0 +1,11 @@
+// TL006 fixture: the server directory IS the socket boundary — the raw
+// API is allowed here (this mirrors src/server/socket.cc).
+#include <arpa/inet.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+int Listen(int port) {
+  int fd = ::socket(2, 1, 0);
+  unsigned short net_port = htons(static_cast<unsigned short>(port));
+  return fd + net_port;
+}

@@ -88,6 +88,44 @@ TEST(LintRuleTest, GovernorDirectoryIsExemptFromTl005) {
   EXPECT_TRUE(LintFixture("good/governor/catch_bad_alloc.cc").empty());
 }
 
+TEST(LintRuleTest, RawSocketFiresTl006) {
+  auto findings = LintFixture("bad/raw_socket.cc");
+  // The <sys/socket.h> include plus the socket/htons/accept calls.
+  ASSERT_EQ(findings.size(), 4u);
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "TL006");
+  EXPECT_NE(findings[0].message.find("<sys/socket.h>"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("socket()"), std::string::npos);
+  EXPECT_NE(findings[2].message.find("htons()"), std::string::npos);
+  EXPECT_NE(findings[3].message.find("accept()"), std::string::npos);
+}
+
+TEST(LintRuleTest, ServerDirectoryIsExemptFromTl006) {
+  EXPECT_TRUE(LintFixture("good/server/socket_use.cc").empty());
+}
+
+TEST(LintScannerTest, SocketLookalikesDoNotFireTl006) {
+  // Member calls, namespace-qualified names from elsewhere, and plain
+  // identifiers that only share a name with the C API are all fine.
+  const char* src = R"lint(
+    void F(Listener& l) {
+      l.accept();
+      queue->recv(5);
+      std::accept(1);
+      int accept = 3;
+      (void)accept;
+    }
+  )lint";
+  EXPECT_TRUE(LintSource("src/vault/x.cc", src).empty());
+}
+
+TEST(LintScannerTest, GlobalScopeSocketCallFiresTl006) {
+  // `::socket(...)` at global scope is exactly what the rule fences.
+  const char* src = "int F() { return ::socket(2, 1, 0); }";
+  auto findings = LintSource("src/vault/x.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "TL006");
+}
+
 TEST(LintScannerTest, BadAllocSpellingsAllFireTl005) {
   // By value, by reference, and unqualified (after using-declarations)
   // are all the same policy violation.

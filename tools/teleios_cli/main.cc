@@ -1,0 +1,125 @@
+// teleios_cli — interactive client for a running teleios_server.
+//
+//   teleios_cli --port N [--host H] [--lang sql|sciql|stsparql]
+//               [--token T] [statement]
+//
+// With a statement argument: runs it and prints the result as TSV.
+// Without: a line-per-statement REPL on stdin. `\lang sciql` switches
+// language mid-session; `\quit` exits.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "server/client.h"
+
+namespace {
+
+void PrintTable(const teleios::storage::Table& table) {
+  for (size_t c = 0; c < table.schema().num_fields(); ++c) {
+    std::printf("%s%s", c > 0 ? "\t" : "",
+                table.schema().field(c).name.c_str());
+  }
+  std::printf("\n");
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      std::printf("%s%s", c > 0 ? "\t" : "",
+                  table.Get(r, c).ToString().c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+bool RunOne(teleios::server::Client& client, teleios::server::Lang lang,
+            const std::string& statement) {
+  auto result = client.Query(lang, statement);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return false;
+  }
+  PrintTable(result.value());
+  std::fprintf(stderr, "(%llu row(s), %llu chunk(s))\n",
+               static_cast<unsigned long long>(client.last_total_rows()),
+               static_cast<unsigned long long>(client.last_chunks()));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using teleios::server::Client;
+  using teleios::server::ClientOptions;
+  using teleios::server::Lang;
+  using teleios::server::ParseLang;
+
+  std::string host = "127.0.0.1";
+  int port = 0;
+  Lang lang = Lang::kSql;
+  ClientOptions options;
+  std::string statement;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      host = argv[++i];
+    } else if (std::strcmp(argv[i], "--lang") == 0 && i + 1 < argc) {
+      auto parsed = ParseLang(argv[++i]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "unknown --lang %s\n", argv[i]);
+        return 2;
+      }
+      lang = parsed.value();
+    } else if (std::strcmp(argv[i], "--token") == 0 && i + 1 < argc) {
+      options.auth_token = argv[++i];
+    } else if (argv[i][0] != '-') {
+      statement = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: teleios_cli --port N [--host H] [--lang L] "
+                   "[--token T] [statement]\n");
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "teleios_cli: --port is required\n");
+    return 2;
+  }
+
+  auto connected = Client::Connect(host, port, options);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  Client client = std::move(connected).value();
+  std::fprintf(stderr, "connected; session %llu\n",
+               static_cast<unsigned long long>(client.session_id()));
+
+  if (!statement.empty()) {
+    bool ok = RunOne(client, lang, statement);
+    (void)client.Goodbye();
+    return ok ? 0 : 1;
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::string_view trimmed = teleios::StrTrim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == "\\quit" || trimmed == "\\q") break;
+    if (teleios::StrStartsWith(trimmed, "\\lang ")) {
+      auto parsed = ParseLang(teleios::StrTrim(trimmed.substr(6)));
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().ToString().c_str());
+      } else {
+        lang = parsed.value();
+      }
+      continue;
+    }
+    RunOne(client, lang, std::string(trimmed));
+  }
+  (void)client.Goodbye();
+  return 0;
+}

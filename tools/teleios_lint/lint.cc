@@ -211,6 +211,16 @@ bool IsIdent(const Token& t) {
           t.text[0] == '_');
 }
 
+/// Identifier-shaped tokens that can legally precede `::` without
+/// naming a namespace or class (`return ::socket(...)`).
+bool IsKeyword(const std::string& text) {
+  static const std::set<std::string> kKeywords = {
+      "return", "case",      "throw",    "else",     "do",
+      "goto",   "new",       "delete",   "co_return", "co_await",
+      "co_yield"};
+  return kKeywords.count(text) > 0;
+}
+
 struct Scope {
   bool is_class = false;
   bool has_guarded_by = false;
@@ -235,6 +245,7 @@ std::vector<Finding> LintSource(const std::string& path,
   bool io_exempt = HasDirComponent(path, "io");
   bool exec_exempt = HasDirComponent(path, "exec");
   bool governor_exempt = HasDirComponent(path, "governor");
+  bool server_exempt = HasDirComponent(path, "server");
 
   std::vector<Finding> findings;
   std::set<std::pair<int, std::string>> seen;  // (line, rule) dedup
@@ -390,6 +401,56 @@ std::vector<Finding> LintSource(const std::string& path,
                  "kResourceExhausted); charge a MemoryBudget instead of "
                  "handling OOM locally");
           break;
+        }
+      }
+    }
+
+    // --- TL006: raw sockets outside src/server/ --------------------------
+    // The network boundary is server::Socket, the same seam contract
+    // TL001 enforces for file I/O: drain interruption, peer accounting,
+    // and shed policy only hold when every byte crosses that one class.
+    if (!server_exempt) {
+      if ((tok.text == "<sys/socket.h>" || tok.text == "<netinet/in.h>" ||
+           tok.text == "<netinet/tcp.h>" || tok.text == "<arpa/inet.h>") &&
+          i >= 1 && toks[i - 1].text == "include") {
+        report("TL006", tok.line,
+               "#include " + tok.text +
+                   " outside src/server/: the socket boundary lives in "
+                   "server::Socket");
+      }
+      // Call sites: `socket(`, `::accept(`, `htons(` ... but not member
+      // calls (`x.accept(`), and not qualified names from another
+      // namespace (`std::bind` — an identifier before the `::`).
+      static const char* const kSocketCalls[] = {
+          "socket",    "accept",      "recv",      "setsockopt",
+          "getsockname", "htons",     "ntohs",     "htonl",
+          "ntohl",     "inet_pton",   "inet_ntop",
+      };
+      bool is_socket_call = false;
+      for (const char* name : kSocketCalls) {
+        if (tok.text == name) {
+          is_socket_call = true;
+          break;
+        }
+      }
+      if (is_socket_call && i + 1 < toks.size() &&
+          toks[i + 1].text == "(") {
+        // The tokenizer splits `->` into `-` `>`.
+        bool member_call =
+            i >= 1 &&
+            (toks[i - 1].text == "." ||
+             (toks[i - 1].text == ">" && i >= 2 && toks[i - 2].text == "-"));
+        // `ns::accept(` is someone else's function; `::accept(` (keyword
+        // or punctuation before the `::`) is the global C API.
+        bool ns_qualified = i >= 2 && toks[i - 1].text == "::" &&
+                            IsIdent(toks[i - 2]) &&
+                            !IsKeyword(toks[i - 2].text);
+        if (!member_call && !ns_qualified) {
+          report("TL006", tok.line,
+                 "raw socket call " + tok.text +
+                     "() outside src/server/: route through "
+                     "server::Socket so drain/shed policy and peer "
+                     "accounting stay in one place");
         }
       }
     }

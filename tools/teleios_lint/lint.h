@@ -38,6 +38,14 @@
 ///                       converts it to kResourceExhausted; local
 ///                       handlers fragment that policy and bypass the
 ///                       memory-budget accounting.
+///   TL006 raw-socket    No raw socket API outside src/server/ — no
+///                       socket/accept/recv/setsockopt/getsockname or
+///                       htons/ntohs/htonl/ntohl calls, and no
+///                       <sys/socket.h>/<netinet/...>/<arpa/inet.h>
+///                       include. The network boundary is server::Socket
+///                       (same seam contract as TL001/io): drain
+///                       interruption, peer accounting, and shed policy
+///                       only hold if every byte crosses that one class.
 ///
 /// Suppression: a comment `// teleios-lint: allow(TL002)` (one or more
 /// comma-separated rule IDs) on the finding's line or the line above
@@ -47,15 +55,16 @@
 namespace teleios::lint {
 
 struct Finding {
-  std::string rule;     // "TL001" ... "TL005"
+  std::string rule;     // "TL001" ... "TL006"
   int line = 0;         // 1-based
   std::string message;  // human-readable explanation
 };
 
 /// Lints one translation unit. `path` decides directory exemptions
 /// (a "/io/" component exempts TL001, "/exec/" exempts TL003, a
-/// "/governor/" component exempts TL005); `content` is the file's
-/// source text. Findings are ordered by line.
+/// "/governor/" component exempts TL005, a "/server/" component exempts
+/// TL006); `content` is the file's source text. Findings are ordered by
+/// line.
 std::vector<Finding> LintSource(const std::string& path,
                                 std::string_view content);
 

@@ -1,0 +1,105 @@
+// teleios_server — the observatory as a network service.
+//
+//   teleios_server [--port N] [--dir PATH] [--demo]
+//
+// Binds the TELEIOS wire protocol + HTTP facade on 127.0.0.1 (port from
+// --port, TELEIOS_SERVER_PORT, or ephemeral), optionally durable under
+// --dir (WAL + checkpoints, crash recovery at boot), optionally
+// pre-loaded with a synthetic demo scene (--demo) so a fresh server has
+// something to query.
+//
+// SIGTERM/SIGINT trigger the graceful path: stop accepting, drain
+// in-flight statements, write a final WAL checkpoint, exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <memory>
+
+#include "core/observatory.h"
+#include "server/server.h"
+#include "storage/table.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
+
+int Fail(const teleios::Status& status, const char* what) {
+  std::fprintf(stderr, "teleios_server: %s: %s\n", what,
+               status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using teleios::Status;
+
+  teleios::server::ServerConfig config =
+      teleios::server::ServerConfig::FromEnv();
+  std::string dir;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      config.port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: teleios_server [--port N] [--dir PATH] [--demo]\n");
+      return 2;
+    }
+  }
+
+  teleios::core::VirtualEarthObservatory observatory;
+  if (!dir.empty()) {
+    Status opened = observatory.Open(dir);
+    if (!opened.ok()) return Fail(opened, "open durable directory");
+    std::printf("durable under %s (replayed %llu WAL record(s))\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(
+                    observatory.recovery_report().records_replayed));
+  }
+  if (demo) {
+    namespace storage = teleios::storage;
+    auto table = std::make_shared<storage::Table>(
+        storage::Schema({{"id", storage::ColumnType::kInt64},
+                         {"name", storage::ColumnType::kString}}));
+    table->column(0).AppendInt64(1);
+    table->column(1).AppendString("MSG2_DEMO_HOTSPOT");
+    table->column(0).AppendInt64(2);
+    table->column(1).AppendString("MSG2_DEMO_BURNT_AREA");
+    Status st = observatory.catalog().CreateTable("demo", table);
+    if (!st.ok()) return Fail(st, "demo table");
+  }
+
+  teleios::server::TeleiosServer server(&observatory, config);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started, "start");
+  std::printf("teleios_server listening on 127.0.0.1:%d (max_sessions=%d)\n",
+              server.port(), config.max_sessions);
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("draining (%zu live session(s))...\n",
+              server.sessions().live());
+  Status stopped = server.Shutdown();
+  if (!stopped.ok()) return Fail(stopped, "shutdown");
+  std::printf("served %llu session(s); bye\n",
+              static_cast<unsigned long long>(
+                  server.sessions().opened_total()));
+  return 0;
+}
