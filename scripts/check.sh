@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate: plain build + full ctest (serial and TELEIOS_THREADS=8),
-# then a sanitizer build (ASan + UBSan), a TSan build over the same test
-# suite, and a static-analysis pass (clang -Werror=thread-safety over the
-# thread-safety annotations, plus the teleios_lint ctest target). Run
-# from the repo root.
+# then a sanitizer build (ASan + UBSan), a TSan build (with the runtime
+# deadlock validator compiled in via TELEIOS_DEADLOCK_CHECK) over the
+# same test suite, and a static-analysis pass (clang
+# -Werror=thread-safety over the thread-safety annotations, the
+# teleios_lint ctest target, and the teleios_analyze whole-tree
+# lock-order + layering analysis). Run from the repo root.
 #
 #   scripts/check.sh            # all passes
 #   scripts/check.sh --fast     # plain pass only
@@ -34,9 +36,14 @@ fi
 echo "== pass 3/5: ASan + UBSan build + ctest =="
 run_pass build-sanitize -DTELEIOS_SANITIZE=address,undefined
 
-echo "== pass 4/5: TSan build + ctest (TELEIOS_THREADS=8) =="
+echo "== pass 4/5: TSan build + ctest (TELEIOS_THREADS=8, deadlock check on) =="
+# TELEIOS_DEADLOCK_CHECK compiles the runtime lock-order validator into
+# the Mutex wrappers: one green run proves every acquisition ORDER taken
+# by the suite is acyclic (the graph accumulates over the process
+# lifetime), not just that no interleaving happened to hang. Paired with
+# TSan because both want the maximally-concurrent configuration.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DTELEIOS_SANITIZE=thread
+  -DTELEIOS_SANITIZE=thread -DTELEIOS_DEADLOCK_CHECK=ON
 cmake --build build-tsan -j "${JOBS}"
 TELEIOS_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}"
 
@@ -89,7 +96,7 @@ TELEIOS_MAX_CONCURRENT_QUERIES=2 \
 TELEIOS_MAX_CONCURRENT_QUERIES=2 TELEIOS_THREADS=8 \
   ctest --test-dir build-tsan --output-on-failure -R "ServerTest|ProtocolTest|WireProtocolFuzz"
 
-echo "== pass 5/5: static analysis (thread-safety annotations + lint) =="
+echo "== pass 5/5: static analysis (thread-safety annotations + lint + analyzer) =="
 if command -v clang++ >/dev/null 2>&1; then
   # Compile-time lock-discipline check: the annotated build must be
   # warning-clean under -Werror=thread-safety (clang only).
@@ -102,5 +109,13 @@ else
        "running teleios_lint from the plain build"
   ctest --test-dir build --output-on-failure -R "teleios_lint|LintRuleTest|LintScannerTest|LintPathTest"
 fi
+
+# Whole-tree cross-file analysis: lock-order cycle detection over every
+# TU at once plus the layer-DAG check against layers.txt. ctest covers
+# it too; running the binary here prints the edge/statistics summary
+# into the check log.
+./build/tools/teleios_analyze/teleios_analyze \
+  --layers tools/teleios_analyze/layers.txt src
+ctest --test-dir build --output-on-failure -R "Analyze|LayerSpec|DeadlockGraphTest"
 
 echo "check.sh: all passes green"

@@ -1,6 +1,6 @@
-#include "exec/cancellation.h"
+#include "common/cancellation.h"
 
-namespace teleios::exec {
+namespace teleios {
 
 namespace {
 
@@ -16,4 +16,4 @@ const CancellationToken* SetCurrentCancel(const CancellationToken* token) {
   return prev;
 }
 
-}  // namespace teleios::exec
+}  // namespace teleios

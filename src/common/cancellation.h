@@ -1,5 +1,5 @@
-#ifndef TELEIOS_EXEC_CANCELLATION_H_
-#define TELEIOS_EXEC_CANCELLATION_H_
+#ifndef TELEIOS_COMMON_CANCELLATION_H_
+#define TELEIOS_COMMON_CANCELLATION_H_
 
 #include <atomic>
 #include <chrono>
@@ -8,9 +8,15 @@
 
 #include "common/status.h"
 
-namespace teleios::exec {
+namespace teleios {
 
-/// Cooperative cancellation for long-running parallel work. A token is
+/// Cooperative cancellation for long-running parallel work. Lives in
+/// common/ (the bottom layer) rather than exec/ because the io retry
+/// policy, the obs query registry, and the governor admission queue all
+/// consume tokens from *below* exec in the layer DAG enforced by
+/// tools/teleios_analyze.
+///
+/// A token is
 /// shared between the party that may abort the work (a user hitting ^C,
 /// an observatory query timeout) and the morsels executing it: the
 /// scheduler checks the token between morsels, and long morsel bodies are
@@ -148,6 +154,6 @@ class ScopedCancel {
   const CancellationToken* prev_;
 };
 
-}  // namespace teleios::exec
+}  // namespace teleios
 
-#endif  // TELEIOS_EXEC_CANCELLATION_H_
+#endif  // TELEIOS_COMMON_CANCELLATION_H_

@@ -1,0 +1,169 @@
+#include "common/deadlock.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace teleios::deadlock {
+
+namespace {
+
+// The validator's own state is guarded by a raw std::mutex on purpose:
+// it must never recurse into the instrumented wrappers.
+std::mutex& GraphMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+struct Graph {
+  // held -> {acquired while held}; nodes exist only while their mutex
+  // is alive (OnDestroy erases them).
+  std::map<const void*, std::set<const void*>> edges;
+  // Stable small ids for readable reports ("M3 -> M7" beats pointers).
+  std::map<const void*, size_t> ids;
+  size_t next_id = 0;
+};
+
+Graph& TheGraph() {
+  static Graph* graph = new Graph();
+  return *graph;
+}
+
+std::atomic<size_t> g_inversions{0};
+std::atomic<Handler> g_handler{nullptr};
+
+// Per-thread stack of wrapper addresses, innermost acquisition last.
+thread_local std::vector<const void*> t_held;
+
+void DefaultHandler(const std::string& report) {
+  std::fprintf(stderr, "%s", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void Report(const std::string& report) {
+  g_inversions.fetch_add(1, std::memory_order_relaxed);
+  Handler handler = g_handler.load(std::memory_order_acquire);
+  (handler != nullptr ? handler : &DefaultHandler)(report);
+}
+
+size_t IdOf(Graph& graph, const void* mu) {
+  auto [it, inserted] = graph.ids.emplace(mu, graph.next_id);
+  if (inserted) ++graph.next_id;
+  return it->second;
+}
+
+std::string Name(Graph& graph, const void* mu) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "M%zu [%p]", IdOf(graph, mu), mu);
+  return buf;
+}
+
+/// DFS from `from` looking for `target`; fills `path` (from ... target)
+/// when found. Must hold GraphMutex().
+bool FindPath(const Graph& graph, const void* from, const void* target,
+              std::set<const void*>* visited,
+              std::vector<const void*>* path) {
+  if (!visited->insert(from).second) return false;
+  path->push_back(from);
+  if (from == target) return true;
+  auto it = graph.edges.find(from);
+  if (it != graph.edges.end()) {
+    for (const void* next : it->second) {
+      if (FindPath(graph, next, target, visited, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+std::string CycleReport(Graph& graph, const void* held, const void* mu,
+                        const std::vector<const void*>& chain) {
+  std::string out =
+      "teleios deadlock check: lock-order inversion (potential "
+      "deadlock)\n  this thread holds " +
+      Name(graph, held) + " and is acquiring " + Name(graph, mu) +
+      ",\n  but the process has already acquired them in the opposite "
+      "order:\n";
+  for (size_t i = 0; i + 1 < chain.size(); ++i) {
+    out += "    " + Name(graph, chain[i]) + " was held while acquiring " +
+           Name(graph, chain[i + 1]) + "\n";
+  }
+  out +=
+      "  run tools/teleios_analyze for the static witness chain "
+      "(file:line) of each edge\n";
+  return out;
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu) {
+  for (const void* held : t_held) {
+    if (held == mu) {
+      std::lock_guard<std::mutex> lock(GraphMutex());
+      Report("teleios deadlock check: recursive acquisition of " +
+             Name(TheGraph(), mu) +
+             " (non-recursive mutex already held by this thread)\n");
+      return;
+    }
+  }
+  if (t_held.empty()) return;
+  std::lock_guard<std::mutex> lock(GraphMutex());
+  Graph& graph = TheGraph();
+  // Would any new held -> mu edge close a cycle? That is exactly when
+  // mu already reaches a held mutex.
+  for (const void* held : t_held) {
+    std::set<const void*> visited;
+    std::vector<const void*> chain;
+    if (FindPath(graph, mu, held, &visited, &chain)) {
+      Report(CycleReport(graph, held, mu, chain));
+      break;
+    }
+  }
+  for (const void* held : t_held) {
+    graph.edges[held].insert(mu);
+    IdOf(graph, held);
+  }
+  IdOf(graph, mu);
+}
+
+void OnAcquired(const void* mu) { t_held.push_back(mu); }
+
+void OnTryAcquired(const void* mu) { t_held.push_back(mu); }
+
+void OnRelease(const void* mu) {
+  auto it = std::find(t_held.rbegin(), t_held.rend(), mu);
+  if (it != t_held.rend()) t_held.erase(std::next(it).base());
+}
+
+void OnDestroy(const void* mu) {
+  std::lock_guard<std::mutex> lock(GraphMutex());
+  Graph& graph = TheGraph();
+  graph.edges.erase(mu);
+  for (auto& [from, to] : graph.edges) to.erase(mu);
+  graph.ids.erase(mu);
+}
+
+Handler SetHandler(Handler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+size_t InversionCount() {
+  return g_inversions.load(std::memory_order_relaxed);
+}
+
+void ResetGraphForTest() {
+  std::lock_guard<std::mutex> lock(GraphMutex());
+  Graph& graph = TheGraph();
+  graph.edges.clear();
+  graph.ids.clear();
+  graph.next_id = 0;
+  g_inversions.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace teleios::deadlock

@@ -1,0 +1,77 @@
+#ifndef TELEIOS_COMMON_DEADLOCK_H_
+#define TELEIOS_COMMON_DEADLOCK_H_
+
+#include <cstddef>
+#include <string>
+
+/// Runtime lock-order validator (the dynamic half of the deadlock story;
+/// tools/teleios_analyze is the static half).
+///
+/// Compiled into the teleios::Mutex / SharedMutex wrappers when the
+/// build sets -DTELEIOS_DEADLOCK_CHECK=ON (a CMake option). Every
+/// acquisition through the wrappers then:
+///
+///   1. checks the thread's held-set for the same mutex (recursive
+///      acquisition of a non-recursive mutex: certain deadlock),
+///   2. adds held -> acquiring edges to a process-wide lock-order graph
+///      keyed by mutex address, and
+///   3. walks the graph before committing the new edges; if the
+///      acquiring mutex can already reach a held one, the acquisition
+///      order has inverted somewhere in the process's history and the
+///      full cycle is reported.
+///
+/// This is the same design as absl's deadlock graph: edges accumulate
+/// over the process lifetime, so the two halves of an ABBA inversion are
+/// caught even when they never overlap in time — one clean test run
+/// under TELEIOS_DEADLOCK_CHECK=ON proves the *order*, not just the
+/// absence of a lucky interleaving. Being address-keyed it also covers
+/// what the static class-level analysis cannot: instance hierarchies
+/// (parent/child MemoryBudget chains, per-worker deques) where the type
+/// graph has a legal self-loop but the instances must still be ordered
+/// consistently.
+///
+/// TryLock acquisitions record the mutex as held but add no edges (a
+/// try-lock cannot block, so it cannot complete a deadlock by itself).
+/// Condition-variable waits through MutexLock::native() keep the mutex
+/// in the held-set across the wait — the wait re-acquires before
+/// returning, so the conservative bookkeeping stays truthful at every
+/// point the caller can observe.
+///
+/// The default report handler prints the cycle to stderr and aborts;
+/// tests install a capturing handler instead (the inversion is a fact
+/// about ordering, not an actual hang, so execution can continue).
+namespace teleios::deadlock {
+
+/// Pre-acquisition hook: self-lock + cycle detection, then edge commit.
+/// Called by the wrappers *before* blocking on the underlying primitive,
+/// so a detected inversion is reported instead of hanging.
+void OnAcquire(const void* mu);
+/// Post-acquisition hook: pushes `mu` onto the thread's held-set.
+void OnAcquired(const void* mu);
+/// try_lock success: record held without adding order edges.
+void OnTryAcquired(const void* mu);
+/// Removes (the innermost occurrence of) `mu` from the held-set.
+void OnRelease(const void* mu);
+/// Forgets a destroyed mutex: its node and incident edges are dropped so
+/// a recycled address cannot inherit stale ordering history.
+void OnDestroy(const void* mu);
+
+/// Handler invoked with a human-readable report when an inversion or a
+/// self-deadlock is detected. The default prints to stderr and aborts.
+using Handler = void (*)(const std::string& report);
+
+/// Installs `handler` (nullptr restores the default); returns the
+/// previous one. Tests use this to capture reports without dying.
+Handler SetHandler(Handler handler);
+
+/// Total inversions + self-deadlocks detected since process start.
+size_t InversionCount();
+
+/// Drops every node, edge and counter (not the held-sets of live
+/// threads). Tests call this between cases so one scenario's history
+/// does not condemn the next.
+void ResetGraphForTest();
+
+}  // namespace teleios::deadlock
+
+#endif  // TELEIOS_COMMON_DEADLOCK_H_

@@ -76,7 +76,7 @@ template <typename Fn>
 auto VirtualEarthObservatory::Governed(const char* tier,
                                        const std::string& statement,
                                        bool profile,
-                                       const exec::CancellationToken* cancel,
+                                       const CancellationToken* cancel,
                                        Fn&& run) -> decltype(run()) {
   using R = decltype(run());
   constexpr bool kTableResult = std::is_same_v<R, Result<storage::Table>>;
@@ -129,7 +129,7 @@ auto VirtualEarthObservatory::Governed(const char* tier,
     governor::ScopedBudget budget_scope(&query_budget);
     // Install the registry token thread-locally: engines that never
     // thread a token still stop at morsel boundaries after KillQuery.
-    exec::ScopedCancel cancel_scope(query.token());
+    ScopedCancel cancel_scope(query.token());
     return governor::WithOomGuard(tier, [&] { return run(); });
   }();
   obs::SetGauge("teleios_governor_query_peak_bytes",
@@ -205,7 +205,7 @@ Status VirtualEarthObservatory::RegisterRaster(const std::string& name) {
 }
 
 Result<storage::Table> VirtualEarthObservatory::Sql(
-    const std::string& statement, const exec::CancellationToken* cancel) {
+    const std::string& statement, const CancellationToken* cancel) {
   std::string body = statement;
   bool profile = StripProfilePrefix(&body);
   return Governed("sql", body, profile, cancel, [&] {
@@ -220,7 +220,7 @@ Result<storage::Table> VirtualEarthObservatory::Sql(
 }
 
 Result<storage::Table> VirtualEarthObservatory::SciQl(
-    const std::string& statement, const exec::CancellationToken* cancel) {
+    const std::string& statement, const CancellationToken* cancel) {
   std::string body = statement;
   bool profile = StripProfilePrefix(&body);
   return Governed("sciql", body, profile, cancel,
@@ -228,7 +228,7 @@ Result<storage::Table> VirtualEarthObservatory::SciQl(
 }
 
 Result<storage::Table> VirtualEarthObservatory::StSparql(
-    const std::string& query, const exec::CancellationToken* cancel) {
+    const std::string& query, const CancellationToken* cancel) {
   std::string body = query;
   bool profile = StripProfilePrefix(&body);
   return Governed("stsparql", body, profile, cancel,
@@ -249,7 +249,7 @@ Result<size_t> VirtualEarthObservatory::LoadLinkedData(
 
 Result<noa::ChainResult> VirtualEarthObservatory::RunFireChain(
     const std::string& raster_name, const noa::ChainConfig& config,
-    const exec::CancellationToken* cancel) {
+    const CancellationToken* cancel) {
   return Governed("fire-chain", "fire-chain " + raster_name,
                   /*profile=*/false, cancel,
                   [&] { return chain_->Run(raster_name, config, cancel); });
@@ -257,7 +257,7 @@ Result<noa::ChainResult> VirtualEarthObservatory::RunFireChain(
 
 Result<noa::ChainResult> VirtualEarthObservatory::RunFireChainBatch(
     const std::vector<std::string>& raster_names,
-    const noa::ChainConfig& config, const exec::CancellationToken* cancel) {
+    const noa::ChainConfig& config, const CancellationToken* cancel) {
   // One admission slot and one budget for the whole batch: the chain's
   // internal fan-out (one worker per product) stays inside them.
   std::string label =

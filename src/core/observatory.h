@@ -9,7 +9,7 @@
 #include "core/recovery.h"
 #include "core/system_tables.h"
 #include "mining/annotation_service.h"
-#include "exec/cancellation.h"
+#include "common/cancellation.h"
 #include "governor/admission.h"
 #include "governor/memory_budget.h"
 #include "noa/chain.h"
@@ -66,14 +66,14 @@ class VirtualEarthObservatory {
 
   /// SQL over catalog/metadata tables.
   Result<storage::Table> Sql(const std::string& statement,
-                             const exec::CancellationToken* cancel = nullptr);
+                             const CancellationToken* cancel = nullptr);
   /// SciQL over registered arrays (and catalog tables).
   Result<storage::Table> SciQl(const std::string& statement,
-                               const exec::CancellationToken* cancel = nullptr);
+                               const CancellationToken* cancel = nullptr);
   /// stSPARQL SELECT/ASK over the semantic store.
   Result<storage::Table> StSparql(
       const std::string& query,
-      const exec::CancellationToken* cancel = nullptr);
+      const CancellationToken* cancel = nullptr);
   /// stSPARQL update.
   Result<size_t> StSparqlUpdate(const std::string& update);
   /// Loads Turtle (ontologies, annotations, linked open data).
@@ -84,7 +84,7 @@ class VirtualEarthObservatory {
   /// Runs the NOA fire-monitoring chain on an attached raster.
   Result<noa::ChainResult> RunFireChain(
       const std::string& raster_name, const noa::ChainConfig& config,
-      const exec::CancellationToken* cancel = nullptr);
+      const CancellationToken* cancel = nullptr);
 
   /// Runs the chain over a batch of rasters; per-product failures land
   /// in ChainResult::failures while the rest complete. Governed like the
@@ -93,7 +93,7 @@ class VirtualEarthObservatory {
   Result<noa::ChainResult> RunFireChainBatch(
       const std::vector<std::string>& raster_names,
       const noa::ChainConfig& config,
-      const exec::CancellationToken* cancel = nullptr);
+      const CancellationToken* cancel = nullptr);
 
   // --- persistence & durability ---------------------------------------------
 
@@ -209,7 +209,7 @@ class VirtualEarthObservatory {
   /// the result for the span tree rendered as a table.
   template <typename Fn>
   auto Governed(const char* tier, const std::string& statement, bool profile,
-                const exec::CancellationToken* cancel, Fn&& run)
+                const CancellationToken* cancel, Fn&& run)
       -> decltype(run());
 
   storage::Catalog catalog_;

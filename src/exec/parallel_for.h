@@ -5,7 +5,7 @@
 #include <functional>
 
 #include "common/status.h"
-#include "exec/cancellation.h"
+#include "common/cancellation.h"
 #include "exec/thread_pool.h"
 
 namespace teleios::exec {

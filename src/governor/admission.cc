@@ -41,7 +41,7 @@ void AdmissionController::ReportGaugesLocked() const {
 }
 
 Result<AdmissionTicket> AdmissionController::Admit(
-    const exec::CancellationToken* token) {
+    const CancellationToken* token) {
   auto arrival = std::chrono::steady_clock::now();
   MutexLock lock(mu_);
   // Fast path: a free slot and nobody queued ahead.

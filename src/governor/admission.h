@@ -8,7 +8,7 @@
 
 #include "common/status.h"
 #include "common/thread_annotations.h"
-#include "exec/cancellation.h"
+#include "common/cancellation.h"
 
 namespace teleios::governor {
 
@@ -89,7 +89,7 @@ class AdmissionController {
   /// max_wait elapses. `token` may be nullptr. Sheds with kUnavailable
   /// when the queue is full or the wait times out; returns the token's
   /// status when it cancels/expires first.
-  Result<AdmissionTicket> Admit(const exec::CancellationToken* token);
+  Result<AdmissionTicket> Admit(const CancellationToken* token);
 
   int running() const;
   int queued() const;

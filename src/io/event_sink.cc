@@ -1,0 +1,58 @@
+// The io-layer implementation of the obs::EventSink seam: the event
+// log (which sits *below* io in the layer DAG — io itself posts events
+// and records metrics) declares the interface and this factory; the
+// definition lives here so every sink byte crosses the fault-injectable
+// io::FileSystem boundary, rotate-aside and parent-directory fsync
+// included.
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "io/filesystem.h"
+#include "obs/event_log.h"
+
+namespace teleios::obs {
+
+namespace {
+
+class JsonlEventSink : public EventSink {
+ public:
+  explicit JsonlEventSink(std::unique_ptr<io::WritableFile> file)
+      : file_(std::move(file)) {}
+
+  Status Append(const std::string& line) override {
+    return file_->Append(line);
+  }
+  Status Flush() override { return file_->Flush(); }
+  Status Sync() override { return file_->Sync(); }
+  Status Close() override { return file_->Close(); }
+
+ private:
+  std::unique_ptr<io::WritableFile> file_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<EventSink>> OpenJsonlEventSink(
+    const std::string& path) {
+  io::FileSystem* fs = io::GetFileSystem();
+  // Keep one restart of history: NewWritableFile truncates, so an
+  // existing sink file is rotated aside first, and the rename is made
+  // durable the same way WriteFileAtomic does it — by fsyncing the
+  // parent directory.
+  TELEIOS_ASSIGN_OR_RETURN(bool exists, fs->FileExists(path));
+  if (exists) {
+    TELEIOS_RETURN_IF_ERROR(fs->Rename(path, path + ".prev"));
+    size_t slash = path.find_last_of('/');
+    std::string parent =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    TELEIOS_RETURN_IF_ERROR(fs->SyncDir(parent));
+  }
+  TELEIOS_ASSIGN_OR_RETURN(std::unique_ptr<io::WritableFile> file,
+                           fs->NewWritableFile(path));
+  return Result<std::unique_ptr<EventSink>>(
+      std::make_unique<JsonlEventSink>(std::move(file)));
+}
+
+}  // namespace teleios::obs

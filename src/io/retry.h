@@ -7,7 +7,7 @@
 #include <utility>
 
 #include "common/status.h"
-#include "exec/cancellation.h"
+#include "common/cancellation.h"
 
 namespace teleios::io {
 
@@ -42,7 +42,7 @@ struct RetryPolicy {
   /// passes, and never starts a backoff sleep that would overshoot the
   /// deadline — a retried operation fails *within* its budget instead of
   /// sleeping past it.
-  const exec::CancellationToken* cancel = nullptr;
+  const CancellationToken* cancel = nullptr;
 
   bool ShouldRetry(const Status& status) const {
     return status.code() == StatusCode::kIoError ||

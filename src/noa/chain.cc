@@ -47,7 +47,7 @@ std::string ProcessingChain::ClassificationSciQl(
 
 Result<ChainResult> ProcessingChain::Run(const std::string& raster_name,
                                          const ChainConfig& config,
-                                         const exec::CancellationToken* cancel) {
+                                         const CancellationToken* cancel) {
   obs::Count("teleios_noa_chain_runs_total");
   obs::ScopedTrace trace("noa.chain");
   Result<ChainResult> result = RunStages(raster_name, config, cancel);
@@ -66,7 +66,7 @@ Result<ChainResult> ProcessingChain::Run(const std::string& raster_name,
 
 Result<ChainResult> ProcessingChain::RunBatch(
     const std::vector<std::string>& raster_names, const ChainConfig& config,
-    const exec::CancellationToken* cancel) {
+    const CancellationToken* cancel) {
   size_t n = raster_names.size();
   // Products run concurrently (one morsel each); per-product results
   // land in their input slot and are merged in input order below, so the
@@ -124,7 +124,7 @@ Result<ChainResult> ProcessingChain::RunBatch(
 
 Result<ChainResult> ProcessingChain::RunStages(const std::string& raster_name,
                                                const ChainConfig& config,
-                                               const exec::CancellationToken* cancel) {
+                                               const CancellationToken* cancel) {
   ChainResult result;
 
   // (a) Ingestion: lazy vault ingestion into a SciQL array.

@@ -8,7 +8,7 @@
 #include "common/thread_annotations.h"
 #include "eo/product.h"
 #include "eo/scene.h"
-#include "exec/cancellation.h"
+#include "common/cancellation.h"
 #include "governor/circuit_breaker.h"
 #include "io/retry.h"
 #include "noa/classification.h"
@@ -83,7 +83,7 @@ class ProcessingChain {
   /// I/O edges: export retry backoff never outlives its deadline.
   Result<ChainResult> Run(const std::string& raster_name,
                           const ChainConfig& config,
-                          const exec::CancellationToken* cancel = nullptr);
+                          const CancellationToken* cancel = nullptr);
 
   /// Runs the chain over a batch of attached rasters, processing
   /// products concurrently on the global thread pool (TELEIOS_THREADS=1
@@ -97,7 +97,7 @@ class ProcessingChain {
   /// recorded as a failure carrying the token's status.
   Result<ChainResult> RunBatch(const std::vector<std::string>& raster_names,
                                const ChainConfig& config,
-                               const exec::CancellationToken* cancel = nullptr);
+                               const CancellationToken* cancel = nullptr);
 
   /// Retry policy for the fallible I/O edges of the chain (product
   /// export). Default: 3 attempts, no backoff sleep.
@@ -120,7 +120,7 @@ class ProcessingChain {
   /// `timings` + `trace` from the finished tree.
   Result<ChainResult> RunStages(const std::string& raster_name,
                                 const ChainConfig& config,
-                                const exec::CancellationToken* cancel);
+                                const CancellationToken* cancel);
 
   vault::DataVault* vault_;
   sciql::SciQlEngine* sciql_;

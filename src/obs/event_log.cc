@@ -4,7 +4,6 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "io/filesystem.h"
 #include "obs/metrics.h"
 
 namespace teleios::obs {
@@ -142,22 +141,12 @@ uint64_t EventLog::dropped_total() const {
 }
 
 Status EventLog::SetSinkPath(const std::string& path) {
-  io::FileSystem* fs = io::GetFileSystem();
-  std::unique_ptr<io::WritableFile> file;
+  std::unique_ptr<EventSink> file;
   if (!path.empty()) {
-    // Keep one restart of history: NewWritableFile truncates, so an
-    // existing sink file is rotated aside first, and the rename is made
-    // durable the same way WriteFileAtomic does it — by fsyncing the
-    // parent directory.
-    TELEIOS_ASSIGN_OR_RETURN(bool exists, fs->FileExists(path));
-    if (exists) {
-      TELEIOS_RETURN_IF_ERROR(fs->Rename(path, path + ".prev"));
-      size_t slash = path.find_last_of('/');
-      std::string parent =
-          slash == std::string::npos ? "." : path.substr(0, slash);
-      TELEIOS_RETURN_IF_ERROR(fs->SyncDir(parent));
-    }
-    TELEIOS_ASSIGN_OR_RETURN(file, fs->NewWritableFile(path));
+    // The io layer opens (and rotates aside) the actual file; see
+    // OpenJsonlEventSink in event_log.h for why the implementation
+    // lives in src/io/event_sink.cc.
+    TELEIOS_ASSIGN_OR_RETURN(file, OpenJsonlEventSink(path));
   }
   MutexLock lock(mu_);
   if (sink_ != nullptr) {

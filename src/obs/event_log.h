@@ -11,10 +11,6 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 
-namespace teleios::io {
-class WritableFile;
-}  // namespace teleios::io
-
 namespace teleios::obs {
 
 /// One structured diagnostic event: a type tag plus flat string fields,
@@ -33,6 +29,29 @@ struct Event {
 /// Escapes `s` for embedding inside a JSON string literal (quotes,
 /// backslashes, control characters).
 std::string JsonEscapeString(const std::string& s);
+
+/// Where the JSONL sink's bytes go. The event log itself sits below the
+/// io layer in the dependency DAG (io records metrics and posts events),
+/// so it cannot open files: it writes through this seam instead, and the
+/// io layer supplies the implementation. Standard dependency inversion —
+/// obs declares the interface and the factory, io/event_sink.cc defines
+/// the factory (same pattern as a log framework accepting a writer).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual Status Append(const std::string& line) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Opens the JSONL sink for `path` with rotate-aside semantics (an
+/// existing file moves to `path + ".prev"` and the rename is fsynced).
+/// Declared here, *defined* in src/io/event_sink.cc so every byte still
+/// crosses the fault-injectable io::FileSystem seam without obs
+/// including io headers.
+Result<std::unique_ptr<EventSink>> OpenJsonlEventSink(
+    const std::string& path);
 
 /// A bounded ring of recent diagnostic events — the process's flight
 /// recorder. Posting is cheap (one lock, no allocation beyond the event
@@ -103,7 +122,7 @@ class EventLog {
   std::deque<Event> ring_ TELEIOS_GUARDED_BY(mu_);
   uint64_t posted_ TELEIOS_GUARDED_BY(mu_) = 0;
   uint64_t dropped_ TELEIOS_GUARDED_BY(mu_) = 0;
-  std::unique_ptr<io::WritableFile> sink_ TELEIOS_GUARDED_BY(mu_);
+  std::unique_ptr<EventSink> sink_ TELEIOS_GUARDED_BY(mu_);
 };
 
 /// Posts to EventLog::Global() — the one-liner used at substrate call

@@ -75,8 +75,8 @@ ActiveQueryRegistry::ActiveQueryRegistry(IntrospectionConfig config) {
 }
 
 QueryGuard ActiveQueryRegistry::Start(std::string tier, std::string statement,
-                                      const exec::CancellationToken* parent) {
-  auto token = std::make_shared<exec::CancellationToken>();
+                                      const CancellationToken* parent) {
+  auto token = std::make_shared<CancellationToken>();
   // Linked before the token is visible to anyone else.
   token->LinkParent(parent);
 
@@ -111,7 +111,7 @@ void ActiveQueryRegistry::MarkRunning(const QueryGuard& guard,
 }
 
 Status ActiveQueryRegistry::Kill(uint64_t id) {
-  std::shared_ptr<exec::CancellationToken> token;
+  std::shared_ptr<CancellationToken> token;
   std::string tier;
   {
     MutexLock lock(mu_);

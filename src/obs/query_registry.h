@@ -11,7 +11,7 @@
 
 #include "common/status.h"
 #include "common/thread_annotations.h"
-#include "exec/cancellation.h"
+#include "common/cancellation.h"
 
 namespace teleios::obs {
 
@@ -81,14 +81,14 @@ class QueryGuard {
   uint64_t id() const { return id_; }
   /// The per-query token: cancelled by KillQuery, chained to the
   /// caller's own token. Valid for the guard's lifetime.
-  const exec::CancellationToken* token() const { return token_.get(); }
+  const CancellationToken* token() const { return token_.get(); }
   bool valid() const { return registry_ != nullptr; }
 
  private:
   friend class ActiveQueryRegistry;
   ActiveQueryRegistry* registry_ = nullptr;
   uint64_t id_ = 0;
-  std::shared_ptr<exec::CancellationToken> token_;
+  std::shared_ptr<CancellationToken> token_;
 };
 
 /// The observatory's query lifecycle ledger: every admitted statement is
@@ -111,7 +111,7 @@ class ActiveQueryRegistry {
   /// `parent` (may be nullptr) is the caller's token; the registry token
   /// chains to it, so engines polling the registry token honor both.
   QueryGuard Start(std::string tier, std::string statement,
-                   const exec::CancellationToken* parent);
+                   const CancellationToken* parent);
 
   /// Moves the query to kRunning and records its admission wait.
   void MarkRunning(const QueryGuard& guard, double queued_millis);
@@ -151,7 +151,7 @@ class ActiveQueryRegistry {
   struct Entry {
     ActiveQuery info;
     std::chrono::steady_clock::time_point start;
-    std::shared_ptr<exec::CancellationToken> token;
+    std::shared_ptr<CancellationToken> token;
   };
 
   /// Guard died without Finish: close the entry as Internal.

@@ -415,7 +415,7 @@ Result<storage::Table> TeleiosServer::RunStatement(
   session->AddQuery();
   obs::Count(obs::WithLabel("teleios_server_queries_total", "lang",
                             LangName(lang)));
-  std::shared_ptr<exec::CancellationToken> token =
+  std::shared_ptr<CancellationToken> token =
       session->BeginStatement(deadline_millis);
   // Install the session budget thread-locally: the facade's per-query
   // budget becomes its child, so the chain reads process -> session ->

@@ -37,9 +37,9 @@ Session::Session(uint64_t id, uint64_t cancel_key, std::string peer,
       budget_("session-" + std::to_string(id), budget_bytes,
               &governor::ProcessBudget()) {}
 
-std::shared_ptr<exec::CancellationToken> Session::BeginStatement(
+std::shared_ptr<CancellationToken> Session::BeginStatement(
     uint64_t deadline_millis) {
-  auto token = std::make_shared<exec::CancellationToken>();
+  auto token = std::make_shared<CancellationToken>();
   token->LinkParent(&connection_token_);
   if (deadline_millis > 0) {
     token->CancelAfter(std::chrono::milliseconds(deadline_millis));
@@ -55,7 +55,7 @@ void Session::EndStatement() {
 }
 
 bool Session::CancelActiveStatement() {
-  std::shared_ptr<exec::CancellationToken> token;
+  std::shared_ptr<CancellationToken> token;
   {
     MutexLock lock(mu_);
     token = active_statement_;

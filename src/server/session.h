@@ -9,7 +9,7 @@
 
 #include "common/status.h"
 #include "common/thread_annotations.h"
-#include "exec/cancellation.h"
+#include "common/cancellation.h"
 #include "governor/memory_budget.h"
 #include "relational/virtual_tables.h"
 #include "server/protocol.h"
@@ -61,7 +61,7 @@ class Session {
   /// The connection-lifetime token: cancelled when the socket drops or
   /// the server force-drains, which reaches the running statement too
   /// (statement tokens link to it).
-  exec::CancellationToken* connection_token() { return &connection_token_; }
+  CancellationToken* connection_token() { return &connection_token_; }
 
   /// The session's budget; the handler installs it thread-locally while
   /// serving, so per-query children chain process -> session -> query.
@@ -71,7 +71,7 @@ class Session {
   /// with `deadline_millis` armed when nonzero. The token is retained so
   /// a CANCEL frame (from any connection holding the cancel key) can
   /// reach it; EndStatement drops it.
-  std::shared_ptr<exec::CancellationToken> BeginStatement(
+  std::shared_ptr<CancellationToken> BeginStatement(
       uint64_t deadline_millis);
   void EndStatement();
 
@@ -104,12 +104,12 @@ class Session {
   const std::string peer_;
   const std::string protocol_;
   const int64_t open_unix_millis_;
-  exec::CancellationToken connection_token_;
+  CancellationToken connection_token_;
   governor::MemoryBudget budget_;
 
   mutable Mutex mu_;
   std::string state_ TELEIOS_GUARDED_BY(mu_) = "handshake";
-  std::shared_ptr<exec::CancellationToken> active_statement_
+  std::shared_ptr<CancellationToken> active_statement_
       TELEIOS_GUARDED_BY(mu_);
   std::map<uint32_t, PreparedStatement> prepared_ TELEIOS_GUARDED_BY(mu_);
   uint32_t next_stmt_id_ TELEIOS_GUARDED_BY(mu_) = 1;

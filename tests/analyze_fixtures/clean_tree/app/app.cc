@@ -1,0 +1,3 @@
+#include "common/engine.h"
+
+void RunApp(Engine& engine) { engine.Tick(); }

@@ -1,0 +1,10 @@
+#include "common/engine.h"
+
+void Engine::Tick() {
+  MutexLock lock(a_);
+  Step();
+}
+
+void Engine::Step() {
+  MutexLock lock(b_);  // a_ held (REQUIRES) -> b_: one direction only
+}

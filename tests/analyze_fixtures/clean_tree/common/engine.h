@@ -1,0 +1,17 @@
+// A consistently-ordered two-lock class: a_ is always taken before b_,
+// and Step's TELEIOS_REQUIRES(a_) annotation is the only way the
+// analyzer can know a_ is held across the b_ acquisition.
+#ifndef CLEAN_TREE_COMMON_ENGINE_H_
+#define CLEAN_TREE_COMMON_ENGINE_H_
+
+class Engine {
+ public:
+  void Tick();
+  void Step() TELEIOS_REQUIRES(a_);
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};
+
+#endif  // CLEAN_TREE_COMMON_ENGINE_H_

@@ -1,0 +1,8 @@
+#include "core/pair.h"
+
+void Node::Transfer(Peer& other) {
+  MutexLock lock(mu_);
+  other.Receive();  // Node::mu_ held -> acquires Peer::nu_
+}
+
+void Node::Receive() { MutexLock lock(mu_); }

@@ -1,0 +1,27 @@
+// Two classes that take each other's locks in opposite orders across
+// two translation units: the canonical ABBA deadlock, invisible to any
+// per-file check.
+#ifndef CYCLE_TREE_CORE_PAIR_H_
+#define CYCLE_TREE_CORE_PAIR_H_
+
+class Peer;
+
+class Node {
+ public:
+  void Transfer(Peer& other);
+  void Receive();
+
+ private:
+  Mutex mu_;
+};
+
+class Peer {
+ public:
+  void Transfer(Node& other);
+  void Receive();
+
+ private:
+  Mutex nu_;
+};
+
+#endif  // CYCLE_TREE_CORE_PAIR_H_

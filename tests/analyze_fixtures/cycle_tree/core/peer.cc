@@ -1,0 +1,8 @@
+#include "core/pair.h"
+
+void Peer::Transfer(Node& other) {
+  MutexLock lock(nu_);
+  other.Receive();  // Peer::nu_ held -> acquires Node::mu_
+}
+
+void Peer::Receive() { MutexLock lock(nu_); }

@@ -1,0 +1,4 @@
+#include "base/util.h"
+#include "top/api.h"  // TA002: base (rank 0) must not reach into top (rank 2)
+
+int BaseBad() { return TopApi() + BaseUtil(); }

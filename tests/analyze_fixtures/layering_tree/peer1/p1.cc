@@ -1,0 +1,3 @@
+#include "peer2/p2.h"  // TA003: same-rank peer include without an allow edge
+
+int PeerOne() { return PeerTwo(); }

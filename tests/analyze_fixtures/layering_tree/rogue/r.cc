@@ -1,0 +1,4 @@
+// TA004: this directory is not declared in layers.txt at all.
+#include "base/util.h"
+
+int Rogue() { return BaseUtil(); }

@@ -1,0 +1,8 @@
+#ifndef LAYERING_TREE_TOP_API_H_
+#define LAYERING_TREE_TOP_API_H_
+
+#include "base/util.h"  // fine: top (rank 2) may depend on base (rank 0)
+
+int TopApi();
+
+#endif  // LAYERING_TREE_TOP_API_H_

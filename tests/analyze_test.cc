@@ -1,0 +1,200 @@
+// Tests for tools/teleios_analyze: each fixture tree under
+// tests/analyze_fixtures/ is a miniature source layout exhibiting (or
+// deliberately avoiding) exactly one class of cross-file violation; the
+// tests assert the exact rule IDs and file:line witnesses, not just
+// finding counts, so a regression that reports the right number of
+// wrong findings still fails.
+
+#include "analyze.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace teleios::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Loads fixture tree `name`: every *.h / *.cc sorted by relative path,
+/// plus its layers.txt.
+struct Tree {
+  std::vector<SourceFile> files;
+  LayerSpec layers;
+};
+
+Tree LoadTree(const std::string& name) {
+  Tree tree;
+  fs::path root = fs::path(TELEIOS_ANALYZE_FIXTURE_DIR) / name;
+  EXPECT_TRUE(fs::is_directory(root)) << root;
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    fs::path p = it->path();
+    if (p.extension() != ".h" && p.extension() != ".cc") continue;
+    tree.files.push_back(
+        {fs::relative(p, root).generic_string(), ReadFileOrDie(p)});
+  }
+  std::sort(tree.files.begin(), tree.files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  LayerSpecParse parsed = ParseLayerSpec(ReadFileOrDie(root / "layers.txt"));
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+  tree.layers = parsed.spec;
+  return tree;
+}
+
+std::vector<std::string> RuleIds(const Analysis& analysis) {
+  std::vector<std::string> out;
+  for (const Finding& f : analysis.findings) out.push_back(f.rule);
+  return out;
+}
+
+bool HasWitness(const Finding& f, const std::string& file, int line) {
+  for (const Site& s : f.witness) {
+    if (s.file == file && s.line == line) return true;
+  }
+  return false;
+}
+
+TEST(AnalyzeCycleTest, CycleTreeReportsTa001WithCrossFileWitness) {
+  Tree tree = LoadTree("cycle_tree");
+  Analysis analysis = Analyze(tree.files, tree.layers, Options{});
+  ASSERT_EQ(RuleIds(analysis), std::vector<std::string>{"TA001"});
+  const Finding& f = analysis.findings[0];
+  EXPECT_NE(f.message.find("Node::mu_"), std::string::npos) << f.message;
+  EXPECT_NE(f.message.find("Peer::nu_"), std::string::npos) << f.message;
+  // The witness must span both translation units: the acquisition in
+  // node.cc AND the opposite-order acquisition in peer.cc.
+  EXPECT_TRUE(HasWitness(f, "core/node.cc", 4));
+  EXPECT_TRUE(HasWitness(f, "core/peer.cc", 4));
+}
+
+TEST(AnalyzeCycleTest, EdgesCarryDirectedWitnessChains) {
+  Tree tree = LoadTree("cycle_tree");
+  Analysis analysis = Analyze(tree.files, tree.layers, Options{});
+  ASSERT_EQ(analysis.edges.size(), 2u);
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const EdgeInfo& e : analysis.edges) pairs.insert({e.from, e.to});
+  EXPECT_TRUE(pairs.count({"Node::mu_", "Peer::nu_"}));
+  EXPECT_TRUE(pairs.count({"Peer::nu_", "Node::mu_"}));
+  for (const EdgeInfo& e : analysis.edges) {
+    ASSERT_FALSE(e.witness.empty());
+    // First witness site is where the `from` mutex was taken.
+    EXPECT_EQ(e.witness.front().file,
+              e.from == "Node::mu_" ? "core/node.cc" : "core/peer.cc");
+  }
+}
+
+TEST(AnalyzeCycleTest, DisablingLockOrderSkipsTa001) {
+  Tree tree = LoadTree("cycle_tree");
+  Options options;
+  options.lock_order = false;
+  Analysis analysis = Analyze(tree.files, tree.layers, options);
+  EXPECT_TRUE(analysis.findings.empty());
+}
+
+TEST(AnalyzeLayeringTest, LayeringTreeReportsEachRuleExactlyOnce) {
+  Tree tree = LoadTree("layering_tree");
+  Analysis analysis = Analyze(tree.files, tree.layers, Options{});
+  ASSERT_EQ(RuleIds(analysis),
+            (std::vector<std::string>{"TA002", "TA003", "TA004"}));
+
+  const Finding& inversion = analysis.findings[0];
+  EXPECT_TRUE(HasWitness(inversion, "base/bad.cc", 2));
+  EXPECT_NE(inversion.message.find("top/api.h"), std::string::npos);
+
+  const Finding& peer = analysis.findings[1];
+  EXPECT_TRUE(HasWitness(peer, "peer1/p1.cc", 1));
+  EXPECT_NE(peer.message.find("peer2"), std::string::npos);
+
+  const Finding& undeclared = analysis.findings[2];
+  EXPECT_TRUE(HasWitness(undeclared, "rogue/r.cc", 1));
+  EXPECT_NE(undeclared.message.find("rogue"), std::string::npos);
+}
+
+TEST(AnalyzeLayeringTest, AllowEdgePermitsPeerInclude) {
+  Tree tree = LoadTree("layering_tree");
+  tree.layers.allowed.insert({"peer1", "peer2"});
+  Analysis analysis = Analyze(tree.files, tree.layers, Options{});
+  ASSERT_EQ(RuleIds(analysis),
+            (std::vector<std::string>{"TA002", "TA004"}));
+}
+
+TEST(AnalyzeLayeringTest, DisablingLayeringSkipsAllLayerRules) {
+  Tree tree = LoadTree("layering_tree");
+  Options options;
+  options.layering = false;
+  Analysis analysis = Analyze(tree.files, tree.layers, options);
+  EXPECT_TRUE(analysis.findings.empty());
+}
+
+TEST(AnalyzeCleanTest, CleanTreeHasNoFindings) {
+  Tree tree = LoadTree("clean_tree");
+  Analysis analysis = Analyze(tree.files, tree.layers, Options{});
+  EXPECT_TRUE(analysis.findings.empty());
+  EXPECT_EQ(analysis.stats.lock_sites, 2u);
+}
+
+TEST(AnalyzeCleanTest, RequiresAnnotationSeedsHeldSet) {
+  // Engine::Step acquires b_ under TELEIOS_REQUIRES(a_); the a_ -> b_
+  // edge exists only if the annotation seeded the held-set.
+  Tree tree = LoadTree("clean_tree");
+  Analysis analysis = Analyze(tree.files, tree.layers, Options{});
+  ASSERT_EQ(analysis.edges.size(), 1u);
+  EXPECT_EQ(analysis.edges[0].from, "Engine::a_");
+  EXPECT_EQ(analysis.edges[0].to, "Engine::b_");
+}
+
+TEST(LayerSpecTest, ParsesLayersCommentsAndAllows) {
+  LayerSpecParse parsed = ParseLayerSpec(
+      "# comment\n"
+      "layer base\n"
+      "layer left right  # peers\n"
+      "allow left right\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.spec.rank.at("base"), 0);
+  EXPECT_EQ(parsed.spec.rank.at("left"), 1);
+  EXPECT_EQ(parsed.spec.rank.at("right"), 1);
+  EXPECT_TRUE(parsed.spec.allowed.count({"left", "right"}));
+}
+
+TEST(LayerSpecTest, RejectsDuplicateDirectory) {
+  LayerSpecParse parsed = ParseLayerSpec("layer a\nlayer a b\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("'a'"), std::string::npos) << parsed.error;
+}
+
+TEST(LayerSpecTest, RejectsUnknownDirective) {
+  LayerSpecParse parsed = ParseLayerSpec("tier a\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("tier"), std::string::npos) << parsed.error;
+}
+
+TEST(LayerSpecTest, RejectsEmptyLayerLine) {
+  LayerSpecParse parsed = ParseLayerSpec("layer\n");
+  EXPECT_FALSE(parsed.ok);
+}
+
+TEST(LayerSpecTest, RejectsMalformedAllow) {
+  LayerSpecParse parsed = ParseLayerSpec("layer a b\nallow a\n");
+  EXPECT_FALSE(parsed.ok);
+}
+
+}  // namespace
+}  // namespace teleios::analyze

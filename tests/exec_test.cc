@@ -12,7 +12,7 @@
 #include "array/array_ops.h"
 #include "common/thread_annotations.h"
 #include "eo/scene.h"
-#include "exec/cancellation.h"
+#include "common/cancellation.h"
 #include "exec/parallel_for.h"
 #include "exec/task_group.h"
 #include "exec/thread_pool.h"
@@ -500,7 +500,7 @@ class BatchEquivalenceTest : public ::testing::Test {
     config.classifier.kind = noa::ClassifierKind::kContextual;
     return config;
   }
-  Result<noa::ChainResult> RunOnce(const exec::CancellationToken* cancel =
+  Result<noa::ChainResult> RunOnce(const CancellationToken* cancel =
                                        nullptr) {
     storage::Catalog catalog;
     vault::DataVault vault(&catalog);

@@ -18,7 +18,7 @@
 
 #include "core/observatory.h"
 #include "eo/scene.h"
-#include "exec/cancellation.h"
+#include "common/cancellation.h"
 #include "governor/admission.h"
 #include "governor/circuit_breaker.h"
 #include "governor/fault_injection.h"
@@ -345,7 +345,7 @@ TEST(AdmissionTest, CancelledTokenReturnsItsStatus) {
   governor::AdmissionController admission(AdmitConfig(1, 4, 10000));
   auto held = admission.Admit(nullptr);
   ASSERT_TRUE(held.ok());
-  exec::CancellationToken token;
+  CancellationToken token;
   token.Cancel();
   auto cancelled = admission.Admit(&token);
   ASSERT_FALSE(cancelled.ok());
@@ -359,7 +359,7 @@ TEST(AdmissionTest, DeadlineBoundsTheQueueWait) {
   governor::AdmissionController admission(AdmitConfig(1, 4, 10000));
   auto held = admission.Admit(nullptr);
   ASSERT_TRUE(held.ok());
-  exec::CancellationToken token;
+  CancellationToken token;
   token.CancelAfter(std::chrono::milliseconds(30));
   auto start = std::chrono::steady_clock::now();
   auto expired = admission.Admit(&token);
@@ -376,7 +376,7 @@ TEST(AdmissionTest, DeadlineBoundsTheQueueWait) {
 // ---------------------------------------------------------------------
 
 TEST(RetryDeadlineTest, ExpiredTokenStopsRetriesAndKeepsTheLastError) {
-  exec::CancellationToken token;
+  CancellationToken token;
   token.CancelAfter(std::chrono::nanoseconds(0));  // already expired
   io::RetryPolicy policy;
   policy.max_attempts = 5;
@@ -394,7 +394,7 @@ TEST(RetryDeadlineTest, ExpiredTokenStopsRetriesAndKeepsTheLastError) {
 }
 
 TEST(RetryDeadlineTest, BackoffNeverOvershootsTheDeadline) {
-  exec::CancellationToken token;
+  CancellationToken token;
   token.CancelAfter(std::chrono::milliseconds(50));
   io::RetryPolicy policy;
   policy.max_attempts = 3;
@@ -415,7 +415,7 @@ TEST(RetryDeadlineTest, BackoffNeverOvershootsTheDeadline) {
 }
 
 TEST(RetryDeadlineTest, CancelledTokenStopsBetweenAttempts) {
-  exec::CancellationToken token;
+  CancellationToken token;
   io::RetryPolicy policy;
   policy.max_attempts = 5;
   policy.cancel = &token;
@@ -430,7 +430,7 @@ TEST(RetryDeadlineTest, CancelledTokenStopsBetweenAttempts) {
 }
 
 TEST(RetryDeadlineTest, TokenWithoutDeadlineDoesNotLimitRetries) {
-  exec::CancellationToken token;  // live, no deadline
+  CancellationToken token;  // live, no deadline
   io::RetryPolicy policy;
   policy.max_attempts = 3;
   policy.cancel = &token;
@@ -590,7 +590,7 @@ TEST_F(GovernedObservatoryTest, AdmissionHonoursTheCallersDeadline) {
   veo_.SetAdmissionConfig(AdmitConfig(1, 4, 10000));
   auto held = veo_.admission().Admit(nullptr);
   ASSERT_TRUE(held.ok());
-  exec::CancellationToken token;
+  CancellationToken token;
   token.CancelAfter(std::chrono::milliseconds(30));
   auto expired = veo_.Sql("SELECT name FROM vault_rasters", &token);
   ASSERT_FALSE(expired.ok());

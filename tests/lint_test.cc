@@ -214,8 +214,63 @@ TEST(LintScannerTest, SuppressionOfOtherRuleDoesNotSilence) {
       "  std::mutex mu_;  // teleios-lint: allow(TL001)\n"
       "};\n";
   auto findings = LintSource("some/file.cc", src);
+  // The TL002 still fires, and the allow(TL001) — which suppressed
+  // nothing — is itself reported stale.
+  EXPECT_EQ(RuleIds(findings), (std::vector<std::string>{"TL002", "TL007"}));
+}
+
+TEST(LintStaleSuppressionTest, UnusedSuppressionFiresTl007) {
+  // The code the allow() excused is gone; the comment lingers.
+  const char* src =
+      "// teleios-lint: allow(TL003)\n"
+      "int NoThreadHereAnymore() { return 1; }\n";
+  auto findings = LintSource("some/file.cc", src);
   ASSERT_EQ(findings.size(), 1u);
-  EXPECT_EQ(findings[0].rule, "TL002");
+  EXPECT_EQ(findings[0].rule, "TL007");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("TL003"), std::string::npos);
+}
+
+TEST(LintStaleSuppressionTest, UsedSuppressionDoesNotFireTl007) {
+  const char* src =
+      "class C {\n"
+      "  std::mutex mu_;  // teleios-lint: allow(TL002)\n"
+      "};\n";
+  EXPECT_TRUE(LintSource("some/file.cc", src).empty());
+}
+
+TEST(LintStaleSuppressionTest, UnknownRuleIdFiresTl007) {
+  // A typo in the rule ID suppresses nothing, silently — worse than a
+  // stale comment because the author believes a rule is being waived.
+  const char* src =
+      "class C {\n"
+      "  std::mutex mu_;  // teleios-lint: allow(TL0002)\n"
+      "};\n";
+  auto findings = LintSource("some/file.cc", src);
+  // The misspelled allow() is reported AND the TL002 still fires.
+  EXPECT_EQ(RuleIds(findings), (std::vector<std::string>{"TL002", "TL007"}));
+  EXPECT_NE(findings[1].message.find("TL0002"), std::string::npos);
+}
+
+TEST(LintStaleSuppressionTest, Tl007IsItselfSuppressible) {
+  // allow(TL007) acknowledges a deliberately-retained suppression (e.g.
+  // code that only exists under an #ifdef the linter cannot evaluate).
+  const char* src =
+      "// teleios-lint: allow(TL003, TL007)\n"
+      "int NoThreadHereAnymore() { return 1; }\n";
+  EXPECT_TRUE(LintSource("some/file.cc", src).empty());
+}
+
+TEST(LintStaleSuppressionTest, MultiRuleCommentReportsOnlyStaleIds) {
+  const char* src =
+      "class C {\n"
+      "  std::mutex mu_;  // teleios-lint: allow(TL002, TL001)\n"
+      "};\n";
+  auto findings = LintSource("some/file.cc", src);
+  // TL002 was used; TL001 was not.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "TL007");
+  EXPECT_NE(findings[0].message.find("TL001"), std::string::npos);
 }
 
 TEST(LintScannerTest, AnnotatedWrapperMutexCountsAsMutexMember) {
@@ -239,6 +294,28 @@ TEST(LintPathTest, HasDirComponent) {
   EXPECT_FALSE(HasDirComponent("src/vault/vault.cc", "io"));
   EXPECT_FALSE(HasDirComponent("src/audio/x.cc", "io"));
   EXPECT_FALSE(HasDirComponent("src/iodine.cc", "io"));
+}
+
+TEST(LintPathTest, HasDirComponentMatchesWholeSegmentsOnly) {
+  // A directory whose name merely starts with (or contains) the rule
+  // dir must not inherit its exemption.
+  EXPECT_FALSE(HasDirComponent("src/ioutil/f.cc", "io"));
+  EXPECT_FALSE(HasDirComponent("src/radio/f.cc", "io"));
+  EXPECT_FALSE(HasDirComponent("ioutil/f.cc", "io"));
+  EXPECT_TRUE(HasDirComponent("src/ioutil/io/f.cc", "io"));
+}
+
+TEST(LintPathTest, HasDirComponentEdgeCases) {
+  // Leading ./ and duplicate separators are path noise, not components.
+  EXPECT_TRUE(HasDirComponent("./src/io/f.cc", "io"));
+  EXPECT_TRUE(HasDirComponent("src//io//f.cc", "io"));
+  EXPECT_FALSE(HasDirComponent("./src/iox/f.cc", "io"));
+  // The final segment is a filename, never a directory component.
+  EXPECT_FALSE(HasDirComponent("src/common/io", "io"));
+  // A trailing slash makes the last segment a real component.
+  EXPECT_TRUE(HasDirComponent("src/io/", "io"));
+  EXPECT_FALSE(HasDirComponent("", "io"));
+  EXPECT_FALSE(HasDirComponent("src/io/f.cc", ""));
 }
 
 }  // namespace

@@ -1,0 +1,1440 @@
+#include "analyze.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "lint.h"
+
+namespace teleios::analyze {
+
+namespace {
+
+using lint::Token;
+
+// ---------------------------------------------------------------------------
+// Token utilities
+// ---------------------------------------------------------------------------
+
+bool IsIdent(const Token& t) {
+  return !t.text.empty() &&
+         (std::isalpha(static_cast<unsigned char>(t.text[0])) ||
+          t.text[0] == '_');
+}
+
+bool IsAllCaps(const std::string& s) {
+  bool has_alpha = false;
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isalpha(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+bool IsTypeQualifier(const std::string& s) {
+  static const std::set<std::string> kQuals = {
+      "const",    "mutable",  "static",   "constexpr", "inline",
+      "volatile", "typename", "unsigned", "signed",    "long",
+      "short",    "struct",   "class",    "register",  "thread_local",
+      "extern",   "virtual",  "explicit", "friend",    "std"};
+  return kQuals.count(s) > 0;
+}
+
+bool IsControlKeyword(const std::string& s) {
+  static const std::set<std::string> kCtl = {
+      "if",      "for",      "while",    "switch",   "catch",
+      "return",  "sizeof",   "alignof",  "decltype", "new",
+      "delete",  "throw",    "assert",   "defined",  "alignas",
+      "noexcept", "else",    "do",       "goto",     "case",
+      "default", "break",    "continue", "co_return"};
+  return kCtl.count(s) > 0;
+}
+
+/// Statement keywords after which an identifier is a call, not a
+/// declared name (`return Fn(...)`, `else Fn(...)`).
+bool IsStmtKeyword(const std::string& s) {
+  static const std::set<std::string> kStmt = {
+      "return", "else", "case", "do", "throw", "goto", "delete",
+      "co_return", "co_yield", "co_await"};
+  return kStmt.count(s) > 0;
+}
+
+/// Index just past the token matching `open` at index i (t[i] == open).
+size_t MatchForward(const std::vector<Token>& t, size_t i,
+                    const std::string& open, const std::string& close) {
+  int depth = 0;
+  for (size_t j = i; j < t.size(); ++j) {
+    if (t[j].text == open) ++depth;
+    if (t[j].text == close && --depth == 0) return j + 1;
+  }
+  return t.size();
+}
+
+/// Drops preprocessor directive lines (# ..., including backslash
+/// continuations) so the structure parser never sees macro bodies. The
+/// layering pass scans the raw stream for include targets instead.
+std::vector<Token> StripDirectives(const std::vector<Token>& raw) {
+  std::vector<Token> out;
+  out.reserve(raw.size());
+  size_t i = 0;
+  while (i < raw.size()) {
+    if (raw[i].text != "#") {
+      out.push_back(raw[i]);
+      ++i;
+      continue;
+    }
+    int line = raw[i].line;
+    ++i;
+    while (i < raw.size() && raw[i].line <= line) {
+      if (raw[i].text == "\\" && i + 1 < raw.size() &&
+          raw[i + 1].line == raw[i].line + 1) {
+        line = raw[i].line + 1;  // backslash continuation
+      }
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Program model
+// ---------------------------------------------------------------------------
+
+struct ClassInfo {
+  std::string qname;  // ns-qualified ("teleios::exec::ThreadPool")
+  std::string sname;  // short name ("ThreadPool")
+  std::vector<std::string> bases;  // short names
+  std::set<std::string> mutex_members;
+  std::map<std::string, std::string> member_class;  // member -> type short name
+  // method -> TELEIOS_REQUIRES expressions from in-class declarations
+  // (out-of-line definitions do not repeat the annotation).
+  std::map<std::string, std::vector<std::vector<std::string>>> requires_decl;
+};
+
+struct FunctionDef {
+  std::string key;          // unique ("WalWriter::Append@io/wal.cc:40")
+  std::string display;      // "WalWriter::Append"
+  std::string class_sname;  // short name of owning class, "" if free
+  std::string name;
+  std::string return_class;  // return type's short name ("" if not a class)
+  size_t file = 0;        // index into files
+  size_t body_begin = 0;  // token index of the body '{'
+  size_t body_end = 0;    // one past the matching '}'
+  int line = 0;
+  std::vector<std::vector<std::string>> requires_exprs;
+  std::map<std::string, std::string> param_class;  // param -> type short name
+};
+
+enum class CallKind { kBare, kReceiver, kQualified };
+
+struct Hold {
+  std::string node;
+  Site site;
+  int depth = 0;
+};
+
+struct CallRec {
+  std::string caller;  // FunctionDef::key (or a per-lambda key)
+  std::string name;    // callee name
+  CallKind kind = CallKind::kBare;
+  std::string recv_type;     // receiver static type (kReceiver)
+  std::string qual;          // qualifying class (kQualified)
+  std::string caller_class;  // short name of the caller's class
+  Site site;
+  std::vector<Hold> held;
+};
+
+struct Edge {
+  std::string from, to;
+  std::vector<Site> witness;  // from's acquire site, then the path to to's
+};
+
+using Graph = std::map<std::string, std::map<std::string, Edge>>;
+
+struct EdgeSink {
+  Graph* graph;
+  Stats* stats;
+  void Add(const std::string& from, const std::string& to,
+           std::vector<Site> witness) {
+    if (from == to) {
+      ++stats->self_edges;
+      return;
+    }
+    auto& slot = (*graph)[from];
+    if (!slot.count(to)) {
+      slot[to] = Edge{from, to, std::move(witness)};
+      ++stats->edges;
+    }
+  }
+};
+
+struct Program {
+  const std::vector<SourceFile>* files = nullptr;
+  std::vector<std::vector<Token>> raw_tokens;   // per file
+  std::vector<std::vector<Token>> code_tokens;  // directives stripped
+  std::map<std::string, ClassInfo> classes;     // by qname
+  std::map<std::string, std::vector<std::string>> classes_by_short;
+  std::vector<FunctionDef> functions;
+  std::map<std::string, std::vector<size_t>> functions_by_name;
+  std::map<std::pair<std::string, std::string>, std::vector<size_t>>
+      methods_by_class;  // (class short name, method) -> function indices
+  std::map<std::string, std::string> global_mutexes;  // name -> node
+  std::vector<CallRec> calls;
+  // function key -> acquired node -> witness site chain
+  std::map<std::string, std::map<std::string, std::vector<Site>>> direct;
+  Stats stats;
+};
+
+bool IsMutexTypeName(const std::string& s) {
+  return s == "Mutex" || s == "SharedMutex" || s == "mutex" ||
+         s == "shared_mutex";
+}
+
+bool IsScopedLockName(const std::string& s) {
+  return s == "MutexLock" || s == "WriterMutexLock" || s == "ReaderMutexLock";
+}
+
+// ---------------------------------------------------------------------------
+// Structure parser: classes, members, function definitions
+// ---------------------------------------------------------------------------
+
+/// Runs twice per file: a first pass over every file collects classes
+/// (members, bases, annotations), then a second pass registers function
+/// definitions. Without the split, an out-of-line `Foo::Bar() {...}` in
+/// a .cc parsed before Foo's header would not be recognized as a method
+/// of Foo — making results depend on file order.
+class StructureParser {
+ public:
+  StructureParser(Program* prog, size_t file_index, bool collect_functions)
+      : prog_(prog),
+        t_(prog->code_tokens[file_index]),
+        file_(file_index),
+        rel_((*prog->files)[file_index].rel),
+        collect_functions_(collect_functions) {}
+
+  void Parse() { DeclLoop(0, t_.size(), /*class_qname=*/""); }
+
+ private:
+  std::string NsPrefix() const {
+    std::string out;
+    for (const auto& part : ns_) out += part + "::";
+    return out;
+  }
+
+  void DeclLoop(size_t i, size_t end, const std::string& class_qname) {
+    while (i < end && i < t_.size()) {
+      const std::string& tok = t_[i].text;
+      if (tok == ";" || tok == "}" || tok == "public" || tok == "private" ||
+          tok == "protected" || tok == ":") {
+        ++i;
+        continue;
+      }
+      if (tok == "namespace") {
+        i = ParseNamespace(i, end);
+        continue;
+      }
+      if (tok == "template") {
+        i = SkipTemplateHeader(i);
+        continue;
+      }
+      if ((tok == "class" || tok == "struct") &&
+          (i == 0 || t_[i - 1].text != "enum")) {
+        i = ParseClass(i, end);
+        continue;
+      }
+      if (tok == "enum") {
+        i = SkipEnum(i);
+        continue;
+      }
+      if (tok == "using" || tok == "typedef" || tok == "friend" ||
+          tok == "static_assert") {
+        while (i < t_.size() && t_[i].text != ";") ++i;
+        continue;
+      }
+      if (tok == "extern" && i + 1 < t_.size() && t_[i + 1].text == "{") {
+        size_t close = MatchForward(t_, i + 1, "{", "}");  // extern "C" {}
+        DeclLoop(i + 2, close - 1, class_qname);
+        i = close;
+        continue;
+      }
+      i = ParseDeclaration(i, end, class_qname);
+    }
+  }
+
+  size_t ParseNamespace(size_t i, size_t end) {
+    ++i;  // 'namespace'
+    std::vector<std::string> parts;
+    while (i < t_.size() && (IsIdent(t_[i]) || t_[i].text == "::")) {
+      if (IsIdent(t_[i])) parts.push_back(t_[i].text);
+      ++i;
+    }
+    if (i < t_.size() && t_[i].text == "=") {  // namespace alias
+      while (i < t_.size() && t_[i].text != ";") ++i;
+      return i;
+    }
+    if (i >= t_.size() || t_[i].text != "{") return i;
+    if (parts.empty()) parts.push_back("(anon:" + rel_ + ")");
+    size_t close = MatchForward(t_, i, "{", "}");
+    for (const auto& p : parts) ns_.push_back(p);
+    DeclLoop(i + 1, std::min(close - 1, end), /*class_qname=*/"");
+    for (size_t k = 0; k < parts.size(); ++k) ns_.pop_back();
+    return close;
+  }
+
+  size_t SkipTemplateHeader(size_t i) {
+    ++i;  // 'template'
+    if (i >= t_.size() || t_[i].text != "<") return i;
+    int angle = 0;
+    for (; i < t_.size(); ++i) {
+      if (t_[i].text == "<") ++angle;
+      if (t_[i].text == ">" && --angle == 0) return i + 1;
+      if (t_[i].text == "{" || t_[i].text == ";") return i;
+    }
+    return i;
+  }
+
+  size_t SkipEnum(size_t i) {
+    while (i < t_.size() && t_[i].text != "{" && t_[i].text != ";") ++i;
+    if (i < t_.size() && t_[i].text == "{") {
+      i = MatchForward(t_, i, "{", "}");
+      while (i < t_.size() && t_[i].text != ";") ++i;
+    }
+    return i;
+  }
+
+  size_t ParseClass(size_t i, size_t end) {
+    ++i;  // 'class' / 'struct'
+    std::string name;
+    while (i < t_.size() && t_[i].text != "{" && t_[i].text != ";" &&
+           t_[i].text != ":") {
+      if (IsIdent(t_[i]) && t_[i].text != "final") {
+        if (i + 1 < t_.size() && t_[i + 1].text == "(") {
+          i = MatchForward(t_, i + 1, "(", ")");  // attribute macro
+          continue;
+        }
+        name = t_[i].text;
+      }
+      ++i;
+    }
+    if (i >= t_.size() || t_[i].text == ";" || name.empty()) return i + 1;
+    std::vector<std::string> bases;
+    if (t_[i].text == ":") {
+      std::string last;
+      ++i;
+      while (i < t_.size() && t_[i].text != "{") {
+        if (t_[i].text == "<") {  // skip template args of a base
+          int angle = 1;
+          ++i;
+          while (i < t_.size() && angle > 0) {
+            if (t_[i].text == "<") ++angle;
+            if (t_[i].text == ">") --angle;
+            ++i;
+          }
+          continue;
+        }
+        if (IsIdent(t_[i]) && t_[i].text != "public" &&
+            t_[i].text != "private" && t_[i].text != "protected" &&
+            t_[i].text != "virtual") {
+          last = t_[i].text;
+        }
+        if (t_[i].text == ",") {
+          if (!last.empty()) bases.push_back(last);
+          last.clear();
+        }
+        ++i;
+      }
+      if (!last.empty()) bases.push_back(last);
+    }
+    if (i >= t_.size() || t_[i].text != "{") return i;
+    std::string qname = NsPrefix() + name;
+    ClassInfo& info = prog_->classes[qname];
+    if (info.qname.empty()) {
+      info.qname = qname;
+      info.sname = name;
+      prog_->classes_by_short[name].push_back(qname);
+      ++prog_->stats.classes;
+      info.bases.insert(info.bases.end(), bases.begin(), bases.end());
+    }
+    size_t close = MatchForward(t_, i, "{", "}");
+    DeclLoop(i + 1, std::min(close - 1, end), qname);
+    return close;
+  }
+
+  /// TELEIOS_REQUIRES / TELEIOS_REQUIRES_SHARED args in [from, to),
+  /// split at top-level commas into per-mutex token lists.
+  std::vector<std::vector<std::string>> CollectRequires(size_t from,
+                                                        size_t to) {
+    std::vector<std::vector<std::string>> out;
+    for (size_t j = from; j < to && j < t_.size(); ++j) {
+      if ((t_[j].text == "TELEIOS_REQUIRES" ||
+           t_[j].text == "TELEIOS_REQUIRES_SHARED") &&
+          j + 1 < t_.size() && t_[j + 1].text == "(") {
+        size_t close = MatchForward(t_, j + 1, "(", ")");
+        std::vector<std::string> expr;
+        int depth = 0;
+        for (size_t k = j + 2; k + 1 < close; ++k) {
+          if (t_[k].text == "(") ++depth;
+          if (t_[k].text == ")") --depth;
+          if (t_[k].text == "," && depth == 0) {
+            if (!expr.empty()) out.push_back(expr);
+            expr.clear();
+            continue;
+          }
+          expr.push_back(t_[k].text);
+        }
+        if (!expr.empty()) out.push_back(expr);
+        j = close - 1;
+      }
+    }
+    return out;
+  }
+
+  std::map<std::string, std::string> ParseParams(size_t open, size_t close) {
+    std::map<std::string, std::string> out;
+    std::vector<std::string> idents;
+    auto flush = [&] {
+      if (idents.size() >= 2) out[idents.back()] = idents[idents.size() - 2];
+      idents.clear();
+    };
+    int depth = 0;
+    bool in_default = false;
+    for (size_t j = open + 1; j + 1 < close; ++j) {
+      const std::string& s = t_[j].text;
+      if (s == "(" || s == "<" || s == "[") ++depth;
+      if (s == ")" || s == ">" || s == "]") --depth;
+      if (depth < 0) depth = 0;
+      if (s == "," && depth == 0) {
+        flush();
+        in_default = false;
+        continue;
+      }
+      if (s == "=") in_default = true;
+      if (!in_default && IsIdent(t_[j]) && !IsTypeQualifier(s)) {
+        idents.push_back(s);
+      }
+    }
+    flush();
+    return out;
+  }
+
+  /// Generic declaration at index i: member variable, function
+  /// declaration, or function definition. Returns the next index.
+  size_t ParseDeclaration(size_t i, size_t end,
+                          const std::string& class_qname) {
+    size_t j = i;
+    int paren = 0;
+    bool saw_eq = false;
+    size_t params_open = t_.size(), params_close = t_.size();
+    size_t body = t_.size();
+    size_t semi = t_.size();
+    while (j < end && j < t_.size()) {
+      const std::string& s = t_[j].text;
+      // `operator=(...)` / `operator==(...)`: jump over the operator
+      // symbol so its '=' is not mistaken for an initializer (which
+      // would swallow the body as a brace-init and derail the file).
+      if (s == "operator" && params_open == t_.size() && paren == 0 &&
+          !saw_eq) {
+        ++j;
+        if (j + 1 < t_.size() && t_[j].text == "(" &&
+            t_[j + 1].text == ")") {
+          j += 2;  // operator()
+        } else {
+          while (j < t_.size() && t_[j].text != "(" && t_[j].text != ";" &&
+                 t_[j].text != "{") {
+            ++j;
+          }
+        }
+        continue;
+      }
+      if (s == "(") {
+        if (paren == 0 && !saw_eq && params_open == t_.size() && j > i) {
+          params_open = j;
+          size_t close = MatchForward(t_, j, "(", ")");
+          params_close = close - 1;
+          j = close;
+          // Constructor init list: `: member(init), member{init}`.
+          if (j < t_.size() && t_[j].text == ":" &&
+              !(j + 1 < t_.size() && t_[j + 1].text == ":")) {
+            ++j;
+            while (j < t_.size()) {
+              while (j < t_.size() && (IsIdent(t_[j]) || t_[j].text == "::")) {
+                ++j;
+              }
+              if (j < t_.size() && t_[j].text == "(") {
+                j = MatchForward(t_, j, "(", ")");
+              } else if (j < t_.size() && t_[j].text == "{" && j > 0 &&
+                         IsIdent(t_[j - 1])) {
+                j = MatchForward(t_, j, "{", "}");
+              } else {
+                break;
+              }
+              if (j < t_.size() && t_[j].text == ",") {
+                ++j;
+                continue;
+              }
+              break;
+            }
+          }
+          continue;
+        }
+        ++paren;
+      } else if (s == ")") {
+        --paren;
+      } else if (s == "=" && paren == 0) {
+        saw_eq = true;
+      } else if (s == "{" && paren == 0) {
+        if (saw_eq || params_open == t_.size()) {
+          j = MatchForward(t_, j, "{", "}");  // brace initializer
+          continue;
+        }
+        body = j;
+        break;
+      } else if (s == ";" && paren == 0) {
+        semi = j;
+        break;
+      } else if (s == "}" && paren == 0) {
+        return j;  // malformed: bail to the scope close
+      }
+      ++j;
+    }
+    if (body == t_.size() && semi == t_.size()) return j + 1;
+
+    if (params_open == t_.size()) {
+      if (semi != t_.size()) HandleVariable(i, semi, class_qname);
+      return semi + 1;
+    }
+
+    // Function name: the identifier immediately before the param list.
+    std::string name;
+    std::string class_sname;
+    size_t name_idx = params_open;
+    if (name_idx > i && IsIdent(t_[name_idx - 1])) {
+      name = t_[name_idx - 1].text;
+      size_t before = name_idx - 2;  // token index before the name
+      if (name_idx >= 2 && t_[name_idx - 2].text == "~") {
+        name = "~" + name;
+        before = name_idx - 3;
+      }
+      if (before + 1 >= 1 && before < t_.size() &&
+          t_[before].text == "::" && before >= 1 && IsIdent(t_[before - 1])) {
+        const std::string& scope = t_[before - 1].text;
+        if (prog_->classes_by_short.count(scope)) class_sname = scope;
+      }
+    }
+    if (name.empty() || name == "operator" || IsAllCaps(name)) {
+      // Attribute-decorated member (`int x_ TELEIOS_GUARDED_BY(mu_);`)
+      // or an operator.
+      if (semi != t_.size()) {
+        bool is_operator = false;
+        for (size_t k = i; k < semi; ++k) {
+          if (t_[k].text == "operator") is_operator = true;
+        }
+        if (!is_operator) HandleVariable(i, semi, class_qname);
+        return semi + 1;
+      }
+      return body == t_.size() ? j + 1 : MatchForward(t_, body, "{", "}");
+    }
+    if (class_sname.empty() && !class_qname.empty()) {
+      auto it = prog_->classes.find(class_qname);
+      if (it != prog_->classes.end()) class_sname = it->second.sname;
+    }
+
+    size_t tail_end = body != t_.size() ? body : semi;
+    auto requires_exprs = CollectRequires(params_close, tail_end);
+
+    if (body == t_.size()) {
+      // Declaration only: remember in-class REQUIRES for the definition.
+      if (!collect_functions_ && !class_qname.empty() &&
+          !requires_exprs.empty()) {
+        auto& decl = prog_->classes[class_qname].requires_decl[name];
+        decl.insert(decl.end(), requires_exprs.begin(), requires_exprs.end());
+      }
+      return semi + 1;
+    }
+
+    size_t body_close = MatchForward(t_, body, "{", "}");
+    if (!collect_functions_) return body_close;
+    // Return type: the first non-qualifier identifier before the
+    // (possibly `Class::`-scoped) name. Needed to resolve method
+    // chains like `MetricsRegistry::Global().GetGauge(...)`.
+    std::string return_class;
+    {
+      size_t limit = name_idx >= 1 ? name_idx - 1 : 0;  // the name itself
+      if (name.size() > 0 && name[0] == '~' && limit > 0) --limit;
+      if (limit >= 2 && t_[limit - 1].text == "::") limit -= 2;
+      for (size_t k = i; k < limit; ++k) {
+        if (IsIdent(t_[k]) && !IsTypeQualifier(t_[k].text)) {
+          return_class = t_[k].text;
+          break;
+        }
+      }
+      if (return_class.empty() && !class_sname.empty() &&
+          name == class_sname) {
+        return_class = class_sname;  // constructor
+      }
+    }
+    FunctionDef def;
+    def.class_sname = class_sname;
+    def.name = name;
+    def.return_class = std::move(return_class);
+    def.display = (class_sname.empty() ? "" : class_sname + "::") + name;
+    def.key = def.display + "@" + rel_ + ":" + std::to_string(t_[body].line);
+    def.file = file_;
+    def.body_begin = body;
+    def.body_end = body_close;
+    def.line = t_[params_open].line;
+    def.requires_exprs = requires_exprs;
+    def.param_class = ParseParams(params_open, params_close + 1);
+    prog_->functions.push_back(std::move(def));
+    ++prog_->stats.functions;
+    return body_close;
+  }
+
+  /// Member or namespace-scope variable declaration in [i, semi).
+  void HandleVariable(size_t i, size_t semi, const std::string& class_qname) {
+    // The declarator name is the last plain identifier before the first
+    // attribute macro or initializer.
+    size_t cut = semi;
+    for (size_t j = i; j < semi; ++j) {
+      if (t_[j].text == "=") {
+        cut = j;
+        break;
+      }
+      if (IsIdent(t_[j]) && IsAllCaps(t_[j].text) && j + 1 < semi &&
+          t_[j + 1].text == "(") {
+        cut = j;
+        break;
+      }
+    }
+    std::string name;
+    for (size_t j = i; j < cut; ++j) {
+      if (IsIdent(t_[j]) && !IsTypeQualifier(t_[j].text)) name = t_[j].text;
+    }
+    if (name.empty()) return;
+    bool is_mutex = false;
+    std::string type;
+    bool in_template = false;
+    for (size_t j = i; j < cut; ++j) {
+      const std::string& s = t_[j].text;
+      if (s == name && j + 1 >= cut) break;  // the declarator itself
+      if (s == "<") in_template = true;
+      if (s == ">") in_template = false;
+      if (IsMutexTypeName(s) && !in_template) is_mutex = true;
+      if (IsIdent(t_[j]) && !IsTypeQualifier(s) && s != name) type = s;
+    }
+    if (!class_qname.empty()) {
+      ClassInfo& info = prog_->classes[class_qname];
+      if (is_mutex) {
+        info.mutex_members.insert(name);
+      } else if (!type.empty()) {
+        info.member_class[name] = type;
+      }
+    } else if (is_mutex) {
+      prog_->global_mutexes[name] = NsPrefix() + name;
+    }
+  }
+
+  Program* prog_;
+  const std::vector<Token>& t_;
+  size_t file_;
+  std::string rel_;
+  bool collect_functions_;
+  std::vector<std::string> ns_;
+};
+
+// ---------------------------------------------------------------------------
+// Body analysis: acquisition scopes, call sites, direct nesting edges
+// ---------------------------------------------------------------------------
+
+class BodyAnalyzer {
+ public:
+  BodyAnalyzer(Program* prog, const FunctionDef& def, EdgeSink* sink)
+      : prog_(prog),
+        def_(def),
+        sink_(sink),
+        t_(prog->code_tokens[def.file]),
+        rel_((*prog->files)[def.file].rel) {}
+
+  void Run() {
+    locals_ = def_.param_class;
+    // TELEIOS_REQUIRES mutexes are held across the whole body. They
+    // seed `held` (edges to anything acquired inside) but not the
+    // function's own acquired-set — the caller did that acquiring.
+    for (const auto& expr : MergedRequires()) {
+      std::string node = ResolveMutexExpr(expr);
+      if (!node.empty()) held_.push_back({node, {rel_, def_.line}, 0});
+    }
+    Walk();
+  }
+
+ private:
+  std::vector<std::vector<std::string>> MergedRequires() const {
+    std::vector<std::vector<std::string>> out = def_.requires_exprs;
+    if (!def_.class_sname.empty()) {
+      const ClassInfo* cls = ClassByShort(def_.class_sname);
+      if (cls != nullptr) {
+        auto it = cls->requires_decl.find(def_.name);
+        if (it != cls->requires_decl.end()) {
+          out.insert(out.end(), it->second.begin(), it->second.end());
+        }
+      }
+    }
+    return out;
+  }
+
+  const ClassInfo* ClassByShort(const std::string& sname) const {
+    auto it = prog_->classes_by_short.find(sname);
+    if (it == prog_->classes_by_short.end() || it->second.size() != 1) {
+      return nullptr;
+    }
+    return &prog_->classes.at(it->second.front());
+  }
+
+  bool ClassHasMutexMember(const ClassInfo* cls, const std::string& member,
+                           std::string* owner, int depth = 0) const {
+    if (cls == nullptr || depth > 8) return false;
+    if (cls->mutex_members.count(member)) {
+      *owner = cls->sname;
+      return true;
+    }
+    for (const auto& base : cls->bases) {
+      if (ClassHasMutexMember(ClassByShort(base), member, owner, depth + 1)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string TypeOf(const std::string& var) const {
+    auto lit = locals_.find(var);
+    if (lit != locals_.end()) return lit->second;
+    const ClassInfo* cls = ClassByShort(def_.class_sname);
+    if (cls != nullptr) {
+      auto mit = cls->member_class.find(var);
+      if (mit != cls->member_class.end()) return mit->second;
+    }
+    return "";
+  }
+
+  /// Maps a lock expression to a graph node: "Class::member",
+  /// "ns::global", "Fn()" for static-factory mutexes, or a
+  /// function-local fallback that cannot alias across functions.
+  std::string ResolveMutexExpr(const std::vector<std::string>& expr) {
+    // `Fn()` / `Class::Fn()`: a function returning a static mutex; the
+    // last identifier names the node so qualified and unqualified call
+    // sites agree.
+    if (expr.size() >= 2 && expr[expr.size() - 2] == "(" &&
+        expr.back() == ")") {
+      for (size_t k = expr.size() - 2; k-- > 0;) {
+        const std::string& s = expr[k];
+        if (!s.empty() && (std::isalpha(static_cast<unsigned char>(s[0])) ||
+                           s[0] == '_')) {
+          return s + "()";
+        }
+      }
+      return "";
+    }
+    std::vector<std::string> e;
+    for (const auto& s : expr) {
+      if (s == "*" || s == "&" || s == "(" || s == ")" || s == "this" ||
+          s == "." || s == "-" || s == ">" || s == "::") {
+        continue;
+      }
+      e.push_back(s);
+    }
+    if (e.empty()) return "";
+    const std::string& last = e.back();
+    if (e.size() == 1) {
+      std::string owner;
+      if (ClassHasMutexMember(ClassByShort(def_.class_sname), last, &owner)) {
+        return owner + "::" + last;
+      }
+      auto sit = static_locals_.find(last);
+      if (sit != static_locals_.end()) return sit->second;
+      auto git = prog_->global_mutexes.find(last);
+      if (git != prog_->global_mutexes.end()) return git->second;
+      // A mutex parameter or unresolvable local: function-local node.
+      return def_.key + "::" + last;
+    }
+    // Receiver chain `x.mu` / `x->mu` / `A::mu`.
+    const std::string& recv = e[e.size() - 2];
+    std::string type = TypeOf(recv);
+    if (type.empty() && prog_->classes_by_short.count(recv)) type = recv;
+    std::string owner;
+    if (!type.empty() && ClassHasMutexMember(ClassByShort(type), last, &owner)) {
+      return owner + "::" + last;
+    }
+    // Unique-member heuristic: exactly one class anywhere has a mutex
+    // member with this name.
+    std::string unique_owner;
+    for (const auto& [qname, cls] : prog_->classes) {
+      (void)qname;
+      if (cls.mutex_members.count(last)) {
+        if (!unique_owner.empty()) {
+          unique_owner.clear();
+          break;
+        }
+        unique_owner = cls.sname;
+      }
+    }
+    if (!unique_owner.empty()) return unique_owner + "::" + last;
+    std::string flat;
+    for (const auto& s : e) flat += flat.empty() ? s : "." + s;
+    return def_.key + "::" + flat;
+  }
+
+  std::string CallerKey() const {
+    return lambda_.empty() ? def_.key
+                           : def_.key + "::lambda@" +
+                                 std::to_string(lambda_.back().line);
+  }
+
+  /// Return-type class of the call whose callee identifier is at
+  /// `idx` — resolves `Fn` in `Fn(...)`, `Class::Fn(...)`, or a bare
+  /// same-class method. "" when unknown (or a deeper chain).
+  std::string ReturnClassOf(size_t idx) const {
+    const std::string& callee = t_[idx].text;
+    std::vector<size_t> defs;
+    if (idx >= 2 && t_[idx - 1].text == "::" && IsIdent(t_[idx - 2])) {
+      auto mit = prog_->methods_by_class.find({t_[idx - 2].text, callee});
+      if (mit != prog_->methods_by_class.end()) defs = mit->second;
+    } else if (idx >= 1 && (t_[idx - 1].text == "." ||
+                            t_[idx - 1].text == ">")) {
+      return "";  // a chain deeper than one hop
+    } else {
+      if (!def_.class_sname.empty()) {
+        auto mit = prog_->methods_by_class.find({def_.class_sname, callee});
+        if (mit != prog_->methods_by_class.end()) defs = mit->second;
+      }
+      if (defs.empty()) {
+        auto fit = prog_->functions_by_name.find(callee);
+        if (fit != prog_->functions_by_name.end() &&
+            fit->second.size() == 1) {
+          defs = fit->second;
+        }
+      }
+    }
+    for (size_t d : defs) {
+      const std::string& rc = prog_->functions[d].return_class;
+      if (!rc.empty() && prog_->classes_by_short.count(rc)) return rc;
+    }
+    return "";
+  }
+
+  struct LambdaCtx {
+    int depth = 0;  // brace depth of the lambda body
+    int line = 0;
+    std::vector<Hold> saved;
+  };
+
+  void Walk() {
+    int depth = 1;  // inside the body '{'
+    bool pending_lambda = false;
+    int pending_lambda_line = 0;
+    for (size_t i = def_.body_begin + 1; i + 1 < def_.body_end; ++i) {
+      const std::string& s = t_[i].text;
+      if (s == "{") {
+        ++depth;
+        if (pending_lambda) {
+          lambda_.push_back({depth, pending_lambda_line, std::move(held_)});
+          held_.clear();
+          pending_lambda = false;
+        }
+        continue;
+      }
+      if (s == "}") {
+        if (!lambda_.empty() && lambda_.back().depth == depth) {
+          held_ = std::move(lambda_.back().saved);
+          lambda_.pop_back();
+        }
+        --depth;
+        while (!held_.empty() && held_.back().depth > depth) held_.pop_back();
+        continue;
+      }
+      // Lambda introducer: `[caps] (params) {` — bodies are analyzed
+      // with an empty held-set (they usually run on another thread), so
+      // a lock held at the definition site produces no edge into them.
+      if (s == "[" && i > def_.body_begin + 1) {
+        const std::string& prev = t_[i - 1].text;
+        if (prev == "(" || prev == "," || prev == "=" || prev == ";" ||
+            prev == "{" || prev == "}" || prev == "return") {
+          size_t close = MatchForward(t_, i, "[", "]");
+          size_t after = close;
+          if (after < t_.size() && t_[after].text == "(") {
+            after = MatchForward(t_, after, "(", ")");
+          }
+          if (after < t_.size() &&
+              (t_[after].text == "{" || t_[after].text == "mutable" ||
+               t_[after].text == "noexcept" || t_[after].text == "-")) {
+            pending_lambda = true;
+            pending_lambda_line = t_[i].line;
+          }
+          i = close - 1;
+          continue;
+        }
+      }
+      // Scoped acquisition: `MutexLock name(expr);`
+      if (IsScopedLockName(s) && i + 2 < def_.body_end &&
+          IsIdent(t_[i + 1]) && t_[i + 2].text == "(") {
+        size_t close = MatchForward(t_, i + 2, "(", ")");
+        std::vector<std::string> expr;
+        for (size_t k = i + 3; k + 1 < close; ++k) expr.push_back(t_[k].text);
+        std::string node = ResolveMutexExpr(expr);
+        if (!node.empty()) {
+          Site site{rel_, t_[i].line};
+          ++prog_->stats.lock_sites;
+          for (const Hold& h : held_) {
+            sink_->Add(h.node, node, {h.site, site});
+          }
+          if (lambda_.empty()) {
+            auto& slot = prog_->direct[def_.key];
+            if (!slot.count(node)) slot[node] = {site};
+          }
+          held_.push_back({node, site, depth});
+        }
+        i = close - 1;
+        continue;
+      }
+      // `static Mutex name;` — a function-local node.
+      if (s == "static" && i + 2 < def_.body_end &&
+          IsMutexTypeName(t_[i + 1].text) && IsIdent(t_[i + 2])) {
+        static_locals_[t_[i + 2].text] = def_.key + "::" + t_[i + 2].text;
+        continue;
+      }
+      // Local declarations with a class type: `Worker* w = ...`.
+      if (IsIdent(t_[i]) && !IsTypeQualifier(s) && !IsControlKeyword(s)) {
+        size_t k = i + 1;
+        while (k < def_.body_end && (t_[k].text == "*" || t_[k].text == "&")) {
+          ++k;
+        }
+        if (k > i + 1 || (k < def_.body_end && IsIdent(t_[k]))) {
+          // `=` / `;` for plain declarations, `:` for range-for, `,`
+          // for multi-declarator and structured call args.
+          if (k + 1 < def_.body_end && IsIdent(t_[k]) &&
+              (t_[k + 1].text == "=" || t_[k + 1].text == ";" ||
+               t_[k + 1].text == ":" || t_[k + 1].text == ")") &&
+              prog_->classes_by_short.count(s)) {
+            locals_[t_[k].text] = s;
+          }
+        }
+      }
+      // Call sites.
+      if (IsIdent(t_[i]) && i + 1 < def_.body_end && t_[i + 1].text == "(" &&
+          !IsControlKeyword(s) && !IsAllCaps(s) && !IsTypeQualifier(s) &&
+          !IsScopedLockName(s) && s != "operator") {
+        const std::string& prev = t_[i - 1].text;
+        CallRec rec;
+        rec.caller = CallerKey();
+        rec.caller_class = def_.class_sname;
+        rec.name = s;
+        rec.site = {rel_, t_[i].line};
+        rec.held = held_;
+        if (prev == "." || (prev == ">" && i >= 2 && t_[i - 2].text == "-")) {
+          rec.kind = CallKind::kReceiver;
+          size_t r = prev == "." ? i - 2 : i - 3;
+          if (r < t_.size() && t_[r].text == "]") {
+            int bd = 0;  // `xs[k]->f(`: walk back over the subscript
+            while (r > 0) {
+              if (t_[r].text == "]") ++bd;
+              if (t_[r].text == "[" && --bd == 0) {
+                --r;
+                break;
+              }
+              --r;
+            }
+          }
+          if (r < t_.size() && t_[r].text == ")") {
+            // Method chain `F(...).g(`: the receiver is F's return.
+            int pd = 0;
+            size_t q = r;
+            while (q > 0) {
+              if (t_[q].text == ")") ++pd;
+              if (t_[q].text == "(" && --pd == 0) break;
+              --q;
+            }
+            if (q > 0 && IsIdent(t_[q - 1])) {
+              rec.recv_type = ReturnClassOf(q - 1);
+            }
+          } else if (r < t_.size() && IsIdent(t_[r])) {
+            rec.recv_type = TypeOf(t_[r].text);
+          }
+          if (rec.recv_type.empty()) continue;  // untyped receiver
+        } else if (prev == "::") {
+          if (i >= 2 && IsIdent(t_[i - 2])) {
+            const std::string& scope = t_[i - 2].text;
+            if (scope == "std") continue;
+            if (prog_->classes_by_short.count(scope)) {
+              rec.kind = CallKind::kQualified;
+              rec.qual = scope;
+            }  // else: ns-qualified free function, resolved as kBare
+          } else {
+            continue;  // `::socket(` — not ours
+          }
+        } else if (prev == "new") {
+          // `new Foo(...)`: a constructor may itself take locks.
+          if (!prog_->classes_by_short.count(s)) continue;
+          rec.kind = CallKind::kQualified;
+          rec.qual = s;
+        } else if (IsIdent(t_[i - 1]) && !IsStmtKeyword(prev)) {
+          continue;  // `Type name(...)` — a declaration, not a call
+        } else if (prev == "*" || prev == "&" || prev == "~") {
+          continue;
+        }
+        prog_->calls.push_back(std::move(rec));
+      }
+    }
+  }
+
+  Program* prog_;
+  const FunctionDef& def_;
+  EdgeSink* sink_;
+  const std::vector<Token>& t_;
+  std::string rel_;
+  std::map<std::string, std::string> locals_;
+  std::map<std::string, std::string> static_locals_;
+  std::vector<Hold> held_;
+  std::vector<LambdaCtx> lambda_;
+};
+
+// ---------------------------------------------------------------------------
+// Interprocedural propagation + cycle detection
+// ---------------------------------------------------------------------------
+
+/// Function indices a call can land on; empty when unresolved. `sound`
+/// is false when the set is a same-name guess not worth lock edges.
+std::vector<size_t> ResolveCall(const Program& prog, const CallRec& call,
+                                bool* sound) {
+  *sound = true;
+  std::vector<size_t> out;
+  auto methods_of = [&](const std::string& sname, int depth,
+                        auto&& self) -> void {
+    if (depth > 8) return;
+    auto mit = prog.methods_by_class.find({sname, call.name});
+    if (mit != prog.methods_by_class.end()) {
+      out.insert(out.end(), mit->second.begin(), mit->second.end());
+    }
+    // Virtual dispatch: any derived override may run.
+    for (const auto& [qname, cls] : prog.classes) {
+      (void)qname;
+      for (const auto& base : cls.bases) {
+        if (base == sname) self(cls.sname, depth + 1, self);
+      }
+    }
+  };
+  switch (call.kind) {
+    case CallKind::kReceiver: {
+      methods_of(call.recv_type, 0, methods_of);
+      if (out.empty()) {
+        // Inherited implementation: climb the base chain.
+        auto cit = prog.classes_by_short.find(call.recv_type);
+        if (cit != prog.classes_by_short.end() && cit->second.size() == 1) {
+          for (const auto& base : prog.classes.at(cit->second.front()).bases) {
+            auto mit = prog.methods_by_class.find({base, call.name});
+            if (mit != prog.methods_by_class.end()) {
+              out.insert(out.end(), mit->second.begin(), mit->second.end());
+            }
+          }
+        }
+      }
+      return out;
+    }
+    case CallKind::kQualified: {
+      auto mit = prog.methods_by_class.find({call.qual, call.name});
+      if (mit != prog.methods_by_class.end()) out = mit->second;
+      return out;
+    }
+    case CallKind::kBare: {
+      if (!call.caller_class.empty()) {
+        auto mit = prog.methods_by_class.find({call.caller_class, call.name});
+        if (mit != prog.methods_by_class.end()) return mit->second;
+      }
+      auto fit = prog.functions_by_name.find(call.name);
+      if (fit == prog.functions_by_name.end()) return out;
+      if (fit->second.size() == 1) return fit->second;
+      *sound = false;  // several unrelated same-name functions
+      return fit->second;
+    }
+  }
+  return out;
+}
+
+using AcquireMap =
+    std::map<std::string, std::map<std::string, std::vector<Site>>>;
+
+constexpr size_t kMaxWitness = 24;
+
+void Propagate(const Program& prog, AcquireMap* acquires) {
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 64) {
+    changed = false;
+    for (const CallRec& call : prog.calls) {
+      bool sound = true;
+      std::vector<size_t> targets = ResolveCall(prog, call, &sound);
+      if (!sound || targets.empty()) continue;
+      for (size_t tid : targets) {
+        auto tit = acquires->find(prog.functions[tid].key);
+        if (tit == acquires->end()) continue;
+        auto& mine = (*acquires)[call.caller];
+        for (const auto& [node, chain] : tit->second) {
+          if (mine.count(node) || chain.size() >= kMaxWitness) continue;
+          std::vector<Site> path;
+          path.push_back(call.site);
+          path.insert(path.end(), chain.begin(), chain.end());
+          mine[node] = std::move(path);
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+void CollectCallEdges(const Program& prog, const AcquireMap& acquires,
+                      EdgeSink* sink, Stats* stats) {
+  for (const CallRec& call : prog.calls) {
+    if (call.held.empty()) continue;
+    bool sound = true;
+    std::vector<size_t> targets = ResolveCall(prog, call, &sound);
+    if (targets.empty()) continue;
+    if (!sound) {
+      ++stats->ambiguous_calls;
+      continue;
+    }
+    for (size_t tid : targets) {
+      auto tit = acquires.find(prog.functions[tid].key);
+      if (tit == acquires.end()) continue;
+      for (const auto& [node, chain] : tit->second) {
+        for (const Hold& h : call.held) {
+          std::vector<Site> witness;
+          witness.push_back(h.site);
+          witness.push_back(call.site);
+          witness.insert(witness.end(), chain.begin(), chain.end());
+          sink->Add(h.node, node, std::move(witness));
+        }
+      }
+    }
+  }
+}
+
+// Tarjan strongly-connected components (iterative).
+class SccFinder {
+ public:
+  explicit SccFinder(const Graph& graph) : graph_(graph) {
+    for (const auto& [node, out] : graph) {
+      nodes_.insert(node);
+      for (const auto& [to, e] : out) {
+        (void)e;
+        nodes_.insert(to);
+      }
+    }
+  }
+
+  std::vector<std::vector<std::string>> Run() {
+    for (const auto& node : nodes_) {
+      if (!index_.count(node)) Strongconnect(node);
+    }
+    return sccs_;
+  }
+
+ private:
+  void Strongconnect(const std::string& root) {
+    struct Frame {
+      std::string node;
+      std::vector<std::string> succ;
+      size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    auto push = [&](const std::string& n) {
+      index_[n] = lowlink_[n] = counter_++;
+      tstack_.push_back(n);
+      on_stack_.insert(n);
+      Frame f;
+      f.node = n;
+      auto it = graph_.find(n);
+      if (it != graph_.end()) {
+        for (const auto& [to, e] : it->second) {
+          (void)e;
+          f.succ.push_back(to);
+        }
+      }
+      stack.push_back(std::move(f));
+    };
+    push(root);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < f.succ.size()) {
+        const std::string& w = f.succ[f.next++];
+        if (!index_.count(w)) {
+          push(w);
+        } else if (on_stack_.count(w)) {
+          lowlink_[f.node] = std::min(lowlink_[f.node], index_[w]);
+        }
+      } else {
+        if (lowlink_[f.node] == index_[f.node]) {
+          std::vector<std::string> scc;
+          while (true) {
+            std::string w = tstack_.back();
+            tstack_.pop_back();
+            on_stack_.erase(w);
+            scc.push_back(w);
+            if (w == f.node) break;
+          }
+          if (scc.size() > 1) {
+            std::sort(scc.begin(), scc.end());
+            sccs_.push_back(std::move(scc));
+          }
+        }
+        std::string done = f.node;
+        stack.pop_back();
+        if (!stack.empty()) {
+          lowlink_[stack.back().node] =
+              std::min(lowlink_[stack.back().node], lowlink_[done]);
+        }
+      }
+    }
+  }
+
+  const Graph& graph_;
+  std::set<std::string> nodes_;
+  std::map<std::string, size_t> index_, lowlink_;
+  std::vector<std::string> tstack_;
+  std::set<std::string> on_stack_;
+  std::vector<std::vector<std::string>> sccs_;
+  size_t counter_ = 0;
+};
+
+/// Shortest cycle through the lexicographically-smallest node of `scc`
+/// (deterministic over sorted adjacency maps).
+std::vector<std::string> FindCycle(const Graph& graph,
+                                   const std::vector<std::string>& scc) {
+  const std::string& start = scc.front();  // scc is sorted
+  std::set<std::string> in_scc(scc.begin(), scc.end());
+  std::map<std::string, std::string> parent;
+  std::vector<std::string> queue = {start};
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    std::string cur = queue[qi];
+    auto it = graph.find(cur);
+    if (it == graph.end()) continue;
+    for (const auto& [to, e] : it->second) {
+      (void)e;
+      if (!in_scc.count(to)) continue;
+      if (to == start) {
+        std::vector<std::string> path = {start};
+        std::vector<std::string> rev;
+        for (std::string n = cur; n != start; n = parent.at(n)) {
+          rev.push_back(n);
+        }
+        path.insert(path.end(), rev.rbegin(), rev.rend());
+        path.push_back(start);
+        return path;
+      }
+      if (!parent.count(to)) {
+        parent[to] = cur;
+        queue.push_back(to);
+      }
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Layering pass
+// ---------------------------------------------------------------------------
+
+void CheckLayering(const Program& prog, const LayerSpec& layers,
+                   std::vector<Finding>* findings, Stats* stats) {
+  std::set<std::string> reported;  // dedup by rule+message
+  auto report = [&](const std::string& rule, const std::string& message,
+                    std::vector<Site> witness) {
+    if (!reported.insert(rule + message).second) return;
+    findings->push_back({rule, message, std::move(witness)});
+  };
+  for (size_t fi = 0; fi < prog.files->size(); ++fi) {
+    const SourceFile& file = (*prog.files)[fi];
+    size_t slash = file.rel.find('/');
+    if (slash == std::string::npos) continue;  // file at the root: no layer
+    std::string dir = file.rel.substr(0, slash);
+    bool dir_known = layers.rank.count(dir) > 0;
+    if (!dir_known) {
+      report("TA004",
+             "directory '" + dir + "' is not declared in the layer spec",
+             {{file.rel, 1}});
+    }
+    const std::vector<Token>& toks = prog.raw_tokens[fi];
+    for (size_t i = 1; i < toks.size(); ++i) {
+      const std::string& s = toks[i].text;
+      if (toks[i - 1].text != "include" || s.size() < 2 || s.front() != '"') {
+        continue;
+      }
+      std::string target = s.substr(1, s.size() - 2);
+      size_t tslash = target.find('/');
+      if (tslash == std::string::npos) continue;  // same-directory include
+      std::string tdir = target.substr(0, tslash);
+      ++stats->include_edges;
+      if (!layers.rank.count(tdir)) {
+        report("TA004",
+               "include of '" + target + "' from " + dir + ": directory '" +
+                   tdir + "' is not declared in the layer spec",
+               {{file.rel, toks[i].line}});
+        continue;
+      }
+      if (!dir_known || tdir == dir) continue;
+      if (layers.allowed.count({dir, tdir})) continue;
+      int from_rank = layers.rank.at(dir);
+      int to_rank = layers.rank.at(tdir);
+      if (to_rank > from_rank) {
+        report("TA002",
+               "layer inversion: " + dir + " (rank " +
+                   std::to_string(from_rank) + ") includes \"" + target +
+                   "\" from " + tdir + " (rank " + std::to_string(to_rank) +
+                   ") — lower layers must not depend on higher ones",
+               {{file.rel, toks[i].line}});
+      } else if (to_rank == from_rank) {
+        report("TA003",
+               "peer coupling: " + dir + " includes \"" + target +
+                   "\" from same-rank directory " + tdir +
+                   " without an `allow " + dir + " " + tdir + "` edge",
+               {{file.rel, toks[i].line}});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+LayerSpecParse ParseLayerSpec(std::string_view text) {
+  LayerSpecParse out;
+  int rank = 0;
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    bool last = eol == std::string_view::npos;
+    if (last) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    std::vector<std::string> words;
+    std::string word;
+    for (char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!word.empty()) words.push_back(word);
+        word.clear();
+      } else {
+        word.push_back(c);
+      }
+    }
+    if (!word.empty()) words.push_back(word);
+    if (!words.empty()) {
+      if (words[0] == "layer") {
+        if (words.size() < 2) {
+          out.error = "line " + std::to_string(line_no) +
+                      ": `layer` needs at least one directory";
+          return out;
+        }
+        for (size_t k = 1; k < words.size(); ++k) {
+          if (out.spec.rank.count(words[k])) {
+            out.error = "line " + std::to_string(line_no) + ": directory '" +
+                        words[k] + "' declared twice";
+            return out;
+          }
+          out.spec.rank[words[k]] = rank;
+        }
+        ++rank;
+      } else if (words[0] == "allow") {
+        if (words.size() != 3) {
+          out.error = "line " + std::to_string(line_no) +
+                      ": `allow` takes exactly <from> <to>";
+          return out;
+        }
+        out.spec.allowed.insert({words[1], words[2]});
+      } else {
+        out.error = "line " + std::to_string(line_no) +
+                    ": unknown directive '" + words[0] + "'";
+        return out;
+      }
+    }
+    if (last) break;
+  }
+  out.ok = true;
+  return out;
+}
+
+Analysis Analyze(const std::vector<SourceFile>& files,
+                 const LayerSpec& layers, const Options& options) {
+  Analysis analysis;
+  Program prog;
+  prog.files = &files;
+  prog.stats.files = files.size();
+
+  for (const SourceFile& file : files) {
+    lint::Tokenizer tok(file.content);
+    tok.Run();
+    prog.raw_tokens.push_back(tok.tokens());
+    prog.code_tokens.push_back(StripDirectives(prog.raw_tokens.back()));
+  }
+
+  if (options.lock_order) {
+    for (size_t fi = 0; fi < files.size(); ++fi) {
+      StructureParser(&prog, fi, /*collect_functions=*/false).Parse();
+    }
+    for (size_t fi = 0; fi < files.size(); ++fi) {
+      StructureParser(&prog, fi, /*collect_functions=*/true).Parse();
+    }
+    for (size_t idx = 0; idx < prog.functions.size(); ++idx) {
+      const FunctionDef& fn = prog.functions[idx];
+      prog.functions_by_name[fn.name].push_back(idx);
+      if (!fn.class_sname.empty()) {
+        prog.methods_by_class[{fn.class_sname, fn.name}].push_back(idx);
+      }
+    }
+    Graph graph;
+    EdgeSink sink{&graph, &prog.stats};
+    for (const FunctionDef& def : prog.functions) {
+      BodyAnalyzer(&prog, def, &sink).Run();
+    }
+    AcquireMap acquires = prog.direct;
+    Propagate(prog, &acquires);
+    CollectCallEdges(prog, acquires, &sink, &prog.stats);
+    prog.stats.mutex_nodes = graph.size();
+    for (const auto& [from, out] : graph) {
+      (void)from;
+      for (const auto& [to, e] : out) {
+        (void)to;
+        analysis.edges.push_back({e.from, e.to, e.witness});
+      }
+    }
+    for (const auto& scc : SccFinder(graph).Run()) {
+      std::vector<std::string> cycle = FindCycle(graph, scc);
+      if (cycle.empty()) continue;
+      std::string message = "lock-order cycle: ";
+      std::vector<Site> witness;
+      for (size_t k = 0; k + 1 < cycle.size(); ++k) {
+        message += cycle[k] + " -> ";
+        const Edge& e = graph.at(cycle[k]).at(cycle[k + 1]);
+        witness.insert(witness.end(), e.witness.begin(), e.witness.end());
+      }
+      message += cycle.back();
+      analysis.findings.push_back({"TA001", message, std::move(witness)});
+    }
+  }
+
+  if (options.layering) {
+    CheckLayering(prog, layers, &analysis.findings, &prog.stats);
+  }
+
+  std::sort(analysis.findings.begin(), analysis.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  analysis.stats = prog.stats;
+  return analysis;
+}
+
+}  // namespace teleios::analyze

@@ -1,0 +1,203 @@
+// teleios_analyze CLI: whole-tree lock-order + layering analysis.
+//
+//   teleios_analyze [--layers FILE] [--json] [--no-lock-order]
+//                   [--no-layering] ROOT
+//
+// Scans every *.h / *.cc under ROOT (sorted by relative path, so output
+// is deterministic), runs both passes, and prints findings with their
+// witness chains. Exit status: 0 clean, 1 findings, 2 usage/IO error.
+// --json emits machine-readable stats + findings + wall_ms for the
+// experiment harness.
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+
+namespace fs = std::filesystem;
+using teleios::analyze::Analysis;
+using teleios::analyze::Finding;
+using teleios::analyze::LayerSpecParse;
+using teleios::analyze::Options;
+using teleios::analyze::SourceFile;
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: teleios_analyze [--layers FILE] [--json] [--edges]"
+               " [--no-lock-order] [--no-layering] ROOT\n";
+  return 2;
+}
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void PrintJson(const Analysis& analysis, long long wall_ms) {
+  const auto& st = analysis.stats;
+  std::cout << "{\n  \"wall_ms\": " << wall_ms << ",\n  \"stats\": {"
+            << "\"files\": " << st.files << ", \"classes\": " << st.classes
+            << ", \"functions\": " << st.functions
+            << ", \"mutex_nodes\": " << st.mutex_nodes
+            << ", \"lock_sites\": " << st.lock_sites
+            << ", \"edges\": " << st.edges
+            << ", \"self_edges\": " << st.self_edges
+            << ", \"ambiguous_calls\": " << st.ambiguous_calls
+            << ", \"include_edges\": " << st.include_edges << "},\n"
+            << "  \"findings\": [";
+  for (size_t i = 0; i < analysis.findings.size(); ++i) {
+    const Finding& f = analysis.findings[i];
+    std::cout << (i ? ",\n    " : "\n    ") << "{\"rule\": \"" << f.rule
+              << "\", \"message\": \"" << JsonEscape(f.message)
+              << "\", \"witness\": [";
+    for (size_t w = 0; w < f.witness.size(); ++w) {
+      std::cout << (w ? ", " : "") << "\"" << JsonEscape(f.witness[w].file)
+                << ":" << f.witness[w].line << "\"";
+    }
+    std::cout << "]}";
+  }
+  std::cout << (analysis.findings.empty() ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+void PrintText(const Analysis& analysis, long long wall_ms) {
+  for (const Finding& f : analysis.findings) {
+    std::cout << f.rule << ": " << f.message << "\n";
+    for (const auto& site : f.witness) {
+      std::cout << "    at " << site.file << ":" << site.line << "\n";
+    }
+  }
+  const auto& st = analysis.stats;
+  std::cout << "teleios_analyze: " << st.files << " files, " << st.classes
+            << " classes, " << st.functions << " functions, "
+            << st.mutex_nodes << " lock nodes, " << st.lock_sites
+            << " lock sites, " << st.edges << " order edges ("
+            << st.self_edges << " self, " << st.ambiguous_calls
+            << " ambiguous calls skipped), " << st.include_edges
+            << " include edges; " << analysis.findings.size()
+            << " finding(s) in " << wall_ms << " ms\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root_arg, layers_arg;
+  bool json = false;
+  bool dump_edges = false;
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--layers") {
+      if (++i >= argc) return Usage();
+      layers_arg = argv[i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--edges") {
+      dump_edges = true;
+    } else if (arg == "--no-lock-order") {
+      options.lock_order = false;
+    } else if (arg == "--no-layering") {
+      options.layering = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (root_arg.empty()) {
+      root_arg = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (root_arg.empty()) return Usage();
+
+  fs::path root(root_arg);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    std::cerr << "teleios_analyze: not a directory: " << root_arg << "\n";
+    return 2;
+  }
+
+  teleios::analyze::LayerSpec layers;
+  fs::path layers_path =
+      layers_arg.empty() ? root / "layers.txt" : fs::path(layers_arg);
+  if (!layers_arg.empty() || fs::exists(layers_path, ec)) {
+    std::string text;
+    if (!ReadFile(layers_path, &text)) {
+      std::cerr << "teleios_analyze: cannot read layer spec: "
+                << layers_path.string() << "\n";
+      return 2;
+    }
+    LayerSpecParse parsed = teleios::analyze::ParseLayerSpec(text);
+    if (!parsed.ok) {
+      std::cerr << "teleios_analyze: " << layers_path.string() << ": "
+                << parsed.error << "\n";
+      return 2;
+    }
+    layers = parsed.spec;
+  } else {
+    options.layering = false;  // no spec anywhere: nothing to check
+  }
+
+  std::vector<SourceFile> files;
+  for (auto it = fs::recursive_directory_iterator(root, ec);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file(ec)) continue;
+    fs::path p = it->path();
+    if (p.extension() != ".h" && p.extension() != ".cc") continue;
+    SourceFile file;
+    file.rel = fs::relative(p, root, ec).generic_string();
+    if (!ReadFile(p, &file.content)) {
+      std::cerr << "teleios_analyze: cannot read " << p.string() << "\n";
+      return 2;
+    }
+    files.push_back(std::move(file));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+
+  auto t0 = std::chrono::steady_clock::now();
+  Analysis analysis = teleios::analyze::Analyze(files, layers, options);
+  auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+
+  if (dump_edges) {
+    for (const auto& e : analysis.edges) {
+      std::cout << "edge: " << e.from << " -> " << e.to;
+      for (const auto& site : e.witness) {
+        std::cout << "  " << site.file << ":" << site.line;
+      }
+      std::cout << "\n";
+    }
+  }
+  if (json) {
+    PrintJson(analysis, wall_ms);
+  } else {
+    PrintText(analysis, wall_ms);
+  }
+  return analysis.findings.empty() ? 0 : 1;
+}

@@ -2,184 +2,153 @@
 
 #include <algorithm>
 #include <cctype>
-#include <map>
-#include <set>
 
 namespace teleios::lint {
 
-namespace {
-
-struct Token {
-  std::string text;
-  int line = 0;
-};
-
-/// One comment/string-stripping + tokenizing pass. Comments are scanned
-/// for `teleios-lint: allow(...)` suppressions before being dropped;
-/// string and character literals are dropped whole (so a string
-/// containing "std::thread" never trips a rule). Preprocessor include
-/// targets are kept as a single `<header>` token following `include`.
-class Scanner {
- public:
-  explicit Scanner(std::string_view src) : src_(src) {}
-
-  void Run() {
-    while (pos_ < src_.size()) {
-      char c = src_[pos_];
-      if (c == '\n') {
-        ++line_;
-        ++pos_;
-        continue;
-      }
-      if (c == '/' && Peek(1) == '/') {
-        ScanLineComment();
-        continue;
-      }
-      if (c == '/' && Peek(1) == '*') {
-        ScanBlockComment();
-        continue;
-      }
-      if (c == '"' && pos_ >= 1 && src_[pos_ - 1] == 'R') {
-        ScanRawString();
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        ScanLiteral(c);
-        continue;
-      }
-      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-        ScanIdentifier();
-        continue;
-      }
-      if (c == ':' && Peek(1) == ':') {
-        tokens_.push_back({"::", line_});
-        pos_ += 2;
-        continue;
-      }
-      if (c == '.' && Peek(1) == '.' && Peek(2) == '.') {
-        tokens_.push_back({"...", line_});
-        pos_ += 3;
-        continue;
-      }
-      if (c == '<' && !tokens_.empty() && tokens_.back().text == "include") {
-        ScanIncludeTarget();
-        continue;
-      }
-      if (!std::isspace(static_cast<unsigned char>(c))) {
-        tokens_.push_back({std::string(1, c), line_});
-      }
+void Tokenizer::Run() {
+  while (pos_ < src_.size()) {
+    char c = src_[pos_];
+    if (c == '\n') {
+      ++line_;
       ++pos_;
+      continue;
     }
-  }
-
-  const std::vector<Token>& tokens() const { return tokens_; }
-  /// line -> rule IDs suppressed on that line.
-  const std::map<int, std::set<std::string>>& suppressions() const {
-    return suppressions_;
-  }
-
- private:
-  char Peek(size_t ahead) const {
-    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
-  }
-
-  void RecordSuppressions(std::string_view comment, int line) {
-    size_t at = comment.find("teleios-lint:");
-    if (at == std::string_view::npos) return;
-    size_t open = comment.find("allow(", at);
-    if (open == std::string_view::npos) return;
-    size_t close = comment.find(')', open);
-    if (close == std::string_view::npos) return;
-    std::string_view rules = comment.substr(open + 6, close - open - 6);
-    std::string id;
-    for (char c : rules) {
-      if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
-        if (!id.empty()) suppressions_[line].insert(id);
-        id.clear();
-      } else {
-        id.push_back(c);
-      }
+    if (c == '/' && Peek(1) == '/') {
+      ScanLineComment();
+      continue;
     }
-    if (!id.empty()) suppressions_[line].insert(id);
-  }
-
-  void ScanLineComment() {
-    size_t end = src_.find('\n', pos_);
-    if (end == std::string_view::npos) end = src_.size();
-    RecordSuppressions(src_.substr(pos_, end - pos_), line_);
-    pos_ = end;
-  }
-
-  void ScanBlockComment() {
-    int start_line = line_;
-    size_t end = src_.find("*/", pos_ + 2);
-    if (end == std::string_view::npos) end = src_.size();
-    std::string_view body = src_.substr(pos_, end - pos_);
-    RecordSuppressions(body, start_line);
-    line_ += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
-    pos_ = end == src_.size() ? end : end + 2;
-  }
-
-  void ScanRawString() {
-    // R"delim( ... )delim"
-    size_t open = src_.find('(', pos_);
-    if (open == std::string_view::npos) {
-      pos_ = src_.size();
-      return;
+    if (c == '/' && Peek(1) == '*') {
+      ScanBlockComment();
+      continue;
     }
-    std::string delim(src_.substr(pos_ + 1, open - pos_ - 1));
-    std::string closer = ")" + delim + "\"";
-    size_t end = src_.find(closer, open);
-    if (end == std::string_view::npos) end = src_.size();
-    std::string_view body = src_.substr(pos_, end - pos_);
-    line_ += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
-    pos_ = std::min(end + closer.size(), src_.size());
-  }
-
-  void ScanLiteral(char quote) {
+    // Include targets come before the literal branches: `"dir/file.h"`
+    // after `include` must survive as a token, not vanish as a string.
+    if ((c == '<' || c == '"') && !tokens_.empty() &&
+        tokens_.back().text == "include") {
+      ScanIncludeTarget(c == '<' ? '>' : '"');
+      continue;
+    }
+    if (c == '"' && pos_ >= 1 && src_[pos_ - 1] == 'R') {
+      ScanRawString();
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      ScanLiteral(c);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      ScanIdentifier();
+      continue;
+    }
+    if (c == ':' && Peek(1) == ':') {
+      tokens_.push_back({"::", line_});
+      pos_ += 2;
+      continue;
+    }
+    if (c == '.' && Peek(1) == '.' && Peek(2) == '.') {
+      tokens_.push_back({"...", line_});
+      pos_ += 3;
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      tokens_.push_back({std::string(1, c), line_});
+    }
     ++pos_;
-    while (pos_ < src_.size()) {
-      char c = src_[pos_];
-      if (c == '\\') {
-        pos_ += 2;
-        continue;
-      }
-      if (c == '\n') ++line_;
-      ++pos_;
-      if (c == quote) break;
+  }
+}
+
+void Tokenizer::RecordSuppressions(std::string_view comment, int line) {
+  size_t at = comment.find("teleios-lint:");
+  if (at == std::string_view::npos) return;
+  size_t open = comment.find("allow(", at);
+  if (open == std::string_view::npos) return;
+  size_t close = comment.find(')', open);
+  if (close == std::string_view::npos) return;
+  std::string_view rules = comment.substr(open + 6, close - open - 6);
+  std::string id;
+  for (char c : rules) {
+    if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+      if (!id.empty()) suppressions_[line].insert(id);
+      id.clear();
+    } else {
+      id.push_back(c);
     }
   }
+  if (!id.empty()) suppressions_[line].insert(id);
+}
 
-  void ScanIdentifier() {
-    size_t start = pos_;
-    while (pos_ < src_.size() &&
-           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
-            src_[pos_] == '_')) {
-      ++pos_;
-    }
-    tokens_.push_back({std::string(src_.substr(start, pos_ - start)), line_});
+void Tokenizer::ScanLineComment() {
+  size_t end = src_.find('\n', pos_);
+  if (end == std::string_view::npos) end = src_.size();
+  RecordSuppressions(src_.substr(pos_, end - pos_), line_);
+  pos_ = end;
+}
+
+void Tokenizer::ScanBlockComment() {
+  int start_line = line_;
+  size_t end = src_.find("*/", pos_ + 2);
+  if (end == std::string_view::npos) end = src_.size();
+  std::string_view body = src_.substr(pos_, end - pos_);
+  RecordSuppressions(body, start_line);
+  line_ += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+  pos_ = end == src_.size() ? end : end + 2;
+}
+
+void Tokenizer::ScanRawString() {
+  // R"delim( ... )delim"
+  size_t open = src_.find('(', pos_);
+  if (open == std::string_view::npos) {
+    pos_ = src_.size();
+    return;
   }
+  std::string delim(src_.substr(pos_ + 1, open - pos_ - 1));
+  std::string closer = ")" + delim + "\"";
+  size_t end = src_.find(closer, open);
+  if (end == std::string_view::npos) end = src_.size();
+  std::string_view body = src_.substr(pos_, end - pos_);
+  line_ += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+  pos_ = std::min(end + closer.size(), src_.size());
+}
 
-  void ScanIncludeTarget() {
-    size_t end = src_.find('>', pos_);
-    size_t nl = src_.find('\n', pos_);
-    if (end == std::string_view::npos || (nl != std::string_view::npos &&
-                                          nl < end)) {
-      ++pos_;  // malformed; treat '<' as punctuation
-      tokens_.push_back({"<", line_});
-      return;
+void Tokenizer::ScanLiteral(char quote) {
+  ++pos_;
+  while (pos_ < src_.size()) {
+    char c = src_[pos_];
+    if (c == '\\') {
+      pos_ += 2;
+      continue;
     }
-    tokens_.push_back(
-        {std::string(src_.substr(pos_, end - pos_ + 1)), line_});
-    pos_ = end + 1;
+    if (c == '\n') ++line_;
+    ++pos_;
+    if (c == quote) break;
   }
+}
 
-  std::string_view src_;
-  size_t pos_ = 0;
-  int line_ = 1;
-  std::vector<Token> tokens_;
-  std::map<int, std::set<std::string>> suppressions_;
-};
+void Tokenizer::ScanIdentifier() {
+  size_t start = pos_;
+  while (pos_ < src_.size() &&
+         (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+          src_[pos_] == '_')) {
+    ++pos_;
+  }
+  tokens_.push_back({std::string(src_.substr(start, pos_ - start)), line_});
+}
+
+void Tokenizer::ScanIncludeTarget(char closer) {
+  size_t end = src_.find(closer, pos_ + 1);
+  size_t nl = src_.find('\n', pos_);
+  if (end == std::string_view::npos ||
+      (nl != std::string_view::npos && nl < end)) {
+    // Malformed; treat the opener as ordinary punctuation.
+    tokens_.push_back({std::string(1, src_[pos_]), line_});
+    ++pos_;
+    return;
+  }
+  tokens_.push_back({std::string(src_.substr(pos_, end - pos_ + 1)), line_});
+  pos_ = end + 1;
+}
+
+namespace {
 
 bool IsMutexType(const std::vector<Token>& toks, size_t i, size_t* len) {
   // std::mutex | std::shared_mutex | std::recursive_mutex
@@ -221,6 +190,14 @@ bool IsKeyword(const std::string& text) {
   return kKeywords.count(text) > 0;
 }
 
+/// Rule IDs this linter can emit; a suppression naming anything else is
+/// a typo (TL007).
+bool IsKnownRule(const std::string& rule) {
+  static const std::set<std::string> kRules = {
+      "TL001", "TL002", "TL003", "TL004", "TL005", "TL006", "TL007"};
+  return kRules.count(rule) > 0;
+}
+
 struct Scope {
   bool is_class = false;
   bool has_guarded_by = false;
@@ -230,14 +207,24 @@ struct Scope {
 }  // namespace
 
 bool HasDirComponent(const std::string& path, const std::string& dir) {
-  std::string needle = "/" + dir + "/";
-  if (path.find(needle) != std::string::npos) return true;
-  return path.rfind(dir + "/", 0) == 0;
+  // Segment-exact match: `src/ioutil/f.cc` must NOT have component "io",
+  // and the trailing segment is a filename, never a directory. Empty
+  // segments from duplicate separators (`src//io//f.cc`) and a leading
+  // `./` fall out naturally (`""` and `"."` never equal a rule dir).
+  if (dir.empty()) return false;
+  size_t start = 0;
+  while (start < path.size()) {
+    size_t end = path.find('/', start);
+    if (end == std::string::npos) break;  // final segment: the filename
+    if (path.compare(start, end - start, dir) == 0) return true;
+    start = end + 1;
+  }
+  return false;
 }
 
 std::vector<Finding> LintSource(const std::string& path,
                                 std::string_view content) {
-  Scanner scanner(content);
+  Tokenizer scanner(content);
   scanner.Run();
   const std::vector<Token>& toks = scanner.tokens();
   const auto& suppressions = scanner.suppressions();
@@ -249,11 +236,17 @@ std::vector<Finding> LintSource(const std::string& path,
 
   std::vector<Finding> findings;
   std::set<std::pair<int, std::string>> seen;  // (line, rule) dedup
+  // (suppression line, rule) pairs that actually suppressed a finding —
+  // the complement feeds TL007.
+  std::set<std::pair<int, std::string>> used;
   auto report = [&](const std::string& rule, int line,
                     const std::string& message) {
     for (int l : {line, line - 1}) {
       auto it = suppressions.find(l);
-      if (it != suppressions.end() && it->second.count(rule)) return;
+      if (it != suppressions.end() && it->second.count(rule)) {
+        used.insert({l, rule});
+        return;
+      }
     }
     if (!seen.insert({line, rule}).second) return;
     findings.push_back({rule, line, message});
@@ -452,6 +445,32 @@ std::vector<Finding> LintSource(const std::string& path,
                      "server::Socket so drain/shed policy and peer "
                      "accounting stay in one place");
         }
+      }
+    }
+  }
+
+  // --- TL007: stale or misspelled suppressions -------------------------
+  // A suppression that no longer suppresses anything is worse than no
+  // comment: it documents a hazard that is not there and silently masks
+  // the rule if the hazard ever returns somewhere nearby. Flagged after
+  // the main pass so `used` is complete. `allow(TL007)` on its own line
+  // is exempt from staleness (it exists to acknowledge this very rule)
+  // but still goes through `report`, so it can be suppressed like any
+  // other finding.
+  for (const auto& [line, rules] : suppressions) {
+    for (const std::string& rule : rules) {
+      if (!IsKnownRule(rule)) {
+        report("TL007", line,
+               "suppression names unknown rule '" + rule +
+                   "': misspelled rule IDs silently suppress nothing");
+        continue;
+      }
+      if (rule == "TL007") continue;
+      if (!used.count({line, rule})) {
+        report("TL007", line,
+               "stale suppression: no " + rule +
+                   " finding on this line or the next — delete the "
+                   "allow(" + rule + ") comment");
       }
     }
   }

@@ -1,6 +1,8 @@
 #ifndef TELEIOS_TOOLS_TELEIOS_LINT_LINT_H_
 #define TELEIOS_TOOLS_TELEIOS_LINT_LINT_H_
 
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -46,6 +48,13 @@
 ///                       (same seam contract as TL001/io): drain
 ///                       interruption, peer accounting, and shed policy
 ///                       only hold if every byte crosses that one class.
+///   TL007 stale-allow   A `teleios-lint: allow(TLxxx)` comment that no
+///                       longer suppresses anything (the code it excused
+///                       was deleted or moved), or that names a rule ID
+///                       this linter does not have (a typo that silently
+///                       suppresses nothing). Dead suppressions document
+///                       hazards that are not there and mask the rule if
+///                       the hazard returns nearby.
 ///
 /// Suppression: a comment `// teleios-lint: allow(TL002)` (one or more
 /// comma-separated rule IDs) on the finding's line or the line above
@@ -55,9 +64,55 @@
 namespace teleios::lint {
 
 struct Finding {
-  std::string rule;     // "TL001" ... "TL006"
+  std::string rule;     // "TL001" ... "TL007"
   int line = 0;         // 1-based
   std::string message;  // human-readable explanation
+};
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+/// One comment/string-stripping + tokenizing pass, shared by the linter
+/// and by tools/teleios_analyze (which needs the same comment- and
+/// string-aware view of a TU to extract lock sites and include edges).
+/// Comments are scanned for `teleios-lint: allow(...)` suppressions
+/// before being dropped; string and character literals are dropped whole
+/// (so a string containing "std::thread" never trips a rule) — except
+/// directly after `#include`, where both `<header>` and `"header"`
+/// targets are kept as single tokens (quotes included) so include-graph
+/// construction sees them.
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view src) : src_(src) {}
+
+  void Run();
+
+  const std::vector<Token>& tokens() const { return tokens_; }
+  /// line -> rule IDs suppressed on that line.
+  const std::map<int, std::set<std::string>>& suppressions() const {
+    return suppressions_;
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void RecordSuppressions(std::string_view comment, int line);
+  void ScanLineComment();
+  void ScanBlockComment();
+  void ScanRawString();
+  void ScanLiteral(char quote);
+  void ScanIdentifier();
+  void ScanIncludeTarget(char closer);
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  std::vector<Token> tokens_;
+  std::map<int, std::set<std::string>> suppressions_;
 };
 
 /// Lints one translation unit. `path` decides directory exemptions
