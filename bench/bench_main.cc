@@ -5,9 +5,14 @@
 //   {"name": "BM_Scan/1024", "iters": 4096, "ns_per_op": 1234.5}
 //
 // so CI and scripts can diff perf numbers without parsing tables.
+//
+// --fault-rate=N is consumed here too (exported as
+// TELEIOS_BENCH_FAULT_RATE): fault-aware benchmarks like
+// BM_ServerFaultRate read it to override their injected-fault period.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -68,6 +73,8 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json = true;
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--fault-rate=", 13) == 0) {
+      ::setenv("TELEIOS_BENCH_FAULT_RATE", argv[i] + 13, /*overwrite=*/1);
     } else {
       passthrough.push_back(argv[i]);
     }

@@ -5,6 +5,13 @@
 // throughput, bounding the protocol tax: framing + CRC, session
 // accounting, budget-charged chunking, and the thread-per-connection
 // handoff. Run with --json to diff ns_per_op across changes.
+//
+// E20 — the retry tax: BM_ServerFaultRate runs the same streamed query
+// through a ResilientClient while the fault-injecting transport kills
+// every N-th transport op (cells N = 0/32/128/512; 0 = clean wire).
+// p50 shows the fault-free fast path is untouched; p95/p99 absorb the
+// reconnect + replay cost. `--fault-rate=N` (consumed by bench_main,
+// exported as TELEIOS_BENCH_FAULT_RATE) overrides N in every cell.
 
 #include <benchmark/benchmark.h>
 
@@ -12,6 +19,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -21,7 +29,10 @@
 #include "core/observatory.h"
 #include "governor/admission.h"
 #include "server/client.h"
+#include "server/fault_transport.h"
+#include "server/resilient_client.h"
 #include "server/server.h"
+#include "server/transport.h"
 #include "storage/table.h"
 
 namespace {
@@ -176,6 +187,106 @@ BENCHMARK(BM_ServerSweep)
     ->Args({8, 4})
     ->Args({64, 1})
     ->Args({64, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// One resilient client querying through a transport that injects a
+/// disconnect every `every_n` ops (state.range(0); 0 disables). Each
+/// iteration is one streamed SELECT; per-query round-trips feed the
+/// percentile counters, and the client's own telemetry reports the
+/// retry/reconnect cost the faults induced.
+void BM_ServerFaultRate(benchmark::State& state) {
+  uint64_t every_n = static_cast<uint64_t>(state.range(0));
+  if (const char* override_rate = std::getenv("TELEIOS_BENCH_FAULT_RATE")) {
+    every_n = static_cast<uint64_t>(std::strtoull(override_rate, nullptr, 10));
+  }
+
+  core::VirtualEarthObservatory veo;
+  auto table = std::make_shared<storage::Table>(
+      storage::Schema({{"x", storage::ColumnType::kInt64}}));
+  for (size_t i = 0; i < kRowsPerQuery; ++i) {
+    table->column(0).AppendInt64(static_cast<int64_t>(i));
+  }
+  if (!veo.catalog().CreateTable("bench_rows", table).ok()) {
+    state.SkipWithError("CreateTable failed");
+    return;
+  }
+  teleios::governor::AdmissionConfig admission;
+  admission.max_concurrent = 16;
+  admission.max_queue = 512;
+  veo.SetAdmissionConfig(admission);
+
+  server::ServerConfig config;
+  config.port = 0;
+  config.max_sessions = 8;
+  config.chunk_rows = 128;
+  server::TeleiosServer srv(&veo, config);
+  if (!srv.Start().ok()) {
+    state.SkipWithError("server Start failed");
+    return;
+  }
+
+  // Installed after Start so only client-side ops (connect, handshake,
+  // query write, stream reads) are faulted; the server keeps its real
+  // listener. The period must exceed one query's op cost (~10) or no
+  // retry could ever finish.
+  server::FaultInjectingTransport faulty;
+  server::ScopedTransport scope(&faulty);
+  if (every_n > 0) {
+    server::TransportFaultSpec spec;
+    spec.kind = server::TransportFaultKind::kDisconnect;
+    spec.inject_at = every_n;
+    spec.every_n = every_n;
+    faulty.Arm(spec);
+  }
+
+  server::ResilientClientOptions options;
+  options.retry.max_attempts = 8;
+  options.retry.base_backoff_ms = 1;
+  options.retry.max_backoff_ms = 10;
+  options.retry.jitter_seed = 7;
+  server::ResilientClient client("127.0.0.1", srv.port(), options);
+
+  const std::string query = "SELECT x FROM bench_rows";
+  std::vector<double> query_micros;
+  uint64_t rows_streamed = 0;
+  bool failed = false;
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    auto result = client.Query(server::Lang::kSql, query);
+    double micros = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    if (!result.ok()) {
+      failed = true;
+      break;
+    }
+    rows_streamed += result->num_rows();
+    query_micros.push_back(micros);
+  }
+
+  faulty.Disarm();
+  (void)client.Goodbye();
+  if (failed) state.SkipWithError("a query exhausted its retries");
+  if (!srv.Shutdown().ok()) state.SkipWithError("Shutdown failed");
+
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rtt_p50_us"] = Percentile(query_micros, 0.50);
+  state.counters["rtt_p95_us"] = Percentile(query_micros, 0.95);
+  state.counters["rtt_p99_us"] = Percentile(query_micros, 0.99);
+  state.counters["retries"] = static_cast<double>(client.retries());
+  state.counters["reconnects"] = static_cast<double>(client.reconnects());
+  state.counters["faults"] = static_cast<double>(faulty.faults_injected());
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(rows_streamed), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_ServerFaultRate)
+    ->ArgName("every_n")
+    ->Arg(0)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(512)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -96,6 +96,20 @@ TELEIOS_MAX_CONCURRENT_QUERIES=2 \
 TELEIOS_MAX_CONCURRENT_QUERIES=2 TELEIOS_THREADS=8 \
   ctest --test-dir build-tsan --output-on-failure -R "ServerTest|ProtocolTest|WireProtocolFuzz"
 
+echo "== pass 4f/5: chaos leg — transport faults, leases, and the socket sweep =="
+# The network fault-tolerance suite under both sanitizer builds: the
+# fault-injecting transport unit programs, the dedup window, lease
+# expiry, the heartbeat/write-timeout wire tests, the
+# kill-at-every-socket-op sweep (every fault point must leave the
+# server serviceable, leak-free, and exactly-once on WAL replay), and
+# the reconnect storm. The storm is the TSan centerpiece: eight
+# resilient clients reconnecting through injected disconnects hammer
+# the session registry, dedup window, and accept loop concurrently.
+ctest --test-dir build-sanitize --output-on-failure \
+  -R "TransportFaultTest|DedupRegistryTest|SessionLeaseTest|ChaosServerTest"
+TELEIOS_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
+  -R "TransportFaultTest|DedupRegistryTest|SessionLeaseTest|ChaosServerTest"
+
 echo "== pass 5/5: static analysis (thread-safety annotations + lint + analyzer) =="
 if command -v clang++ >/dev/null 2>&1; then
   # Compile-time lock-discipline check: the annotated build must be

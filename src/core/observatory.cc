@@ -212,8 +212,13 @@ Result<storage::Table> VirtualEarthObservatory::Sql(
     // A durable observatory write-ahead-logs mutating statements; the
     // log+apply runs inside the governed scope, so admission, budget,
     // and introspection see the durable path like any other statement.
-    if (durability_ != nullptr && IsSqlMutation(body)) {
-      return durability_->SqlMutation(body);
+    // Mutations are single-writer (see sql_write_mu_) — the lock is
+    // taken inside the governed scope so admission queueing, not the
+    // mutex, is where concurrent statements wait first.
+    if (IsSqlMutation(body)) {
+      MutexLock write_lock(sql_write_mu_);
+      if (durability_ != nullptr) return durability_->SqlMutation(body);
+      return sql_->Execute(body);
     }
     return sql_->Execute(body);
   });

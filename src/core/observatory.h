@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/recovery.h"
 #include "core/system_tables.h"
 #include "mining/annotation_service.h"
@@ -219,6 +220,15 @@ class VirtualEarthObservatory {
   std::unique_ptr<relational::SqlEngine> sql_;
   std::unique_ptr<noa::ProcessingChain> chain_;
   std::unique_ptr<DurabilityManager> durability_;
+  /// SQL mutations are single-writer: concurrent INSERT/UPDATE/DELETE
+  /// from server handler threads would otherwise race on column
+  /// vectors. The durable path already serializes under the WAL lock;
+  /// this keeps the non-durable path honest too. Reads stay lock-free,
+  /// so a scan concurrent with a mutation of the *same* table remains
+  /// unsynchronized — workloads that need that run statements on one
+  /// thread, as before.
+  // teleios-lint: allow(TL002) -- guards catalog column state, see above.
+  mutable Mutex sql_write_mu_;
   Status ontology_status_;
   governor::AdmissionController admission_{governor::AdmissionConfig::FromEnv()};
   obs::ActiveQueryRegistry introspection_;

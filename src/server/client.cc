@@ -9,12 +9,14 @@ namespace teleios::server {
 Result<Client> Client::Connect(const std::string& host, int port,
                                const ClientOptions& options) {
   Client client;
-  TELEIOS_ASSIGN_OR_RETURN(client.sock_, Socket::Connect(host, port));
+  TELEIOS_ASSIGN_OR_RETURN(client.conn_,
+                           GetTransport()->Connect(host, port));
   std::string hello(kMagic, sizeof(kMagic));
   AppendFrame(&hello, Opcode::kHello,
               EncodeHello(kProtocolVersion, options.auth_token,
-                          options.default_deadline_millis));
-  TELEIOS_RETURN_IF_ERROR(client.sock_.WriteAll(hello));
+                          options.default_deadline_millis,
+                          options.client_id));
+  TELEIOS_RETURN_IF_ERROR(client.conn_->WriteAll(hello));
   TELEIOS_ASSIGN_OR_RETURN(Frame frame, client.ReadFrame());
   if (frame.opcode == Opcode::kError) return DecodeError(frame.payload);
   if (frame.opcode != Opcode::kWelcome) {
@@ -33,26 +35,26 @@ Result<Client> Client::Connect(const std::string& host, int port,
 
 Result<Frame> Client::ReadFrame() {
   char header[8];
-  TELEIOS_RETURN_IF_ERROR(sock_.ReadExact(header, sizeof(header)));
+  TELEIOS_RETURN_IF_ERROR(conn_->ReadExact(header, sizeof(header)));
   uint32_t crc = 0;
   TELEIOS_ASSIGN_OR_RETURN(
       uint32_t length,
       DecodeFrameLength(std::string_view(header, sizeof(header)), &crc));
   std::string body(length, '\0');
-  TELEIOS_RETURN_IF_ERROR(sock_.ReadExact(body.data(), body.size()));
+  TELEIOS_RETURN_IF_ERROR(conn_->ReadExact(body.data(), body.size()));
   return DecodeFrameBody(body, crc);
 }
 
 Status Client::SendFrame(Opcode opcode, std::string_view payload) {
   std::string out;
   AppendFrame(&out, opcode, payload);
-  return sock_.WriteAll(out);
+  return conn_->WriteAll(out);
 }
 
 Status Client::SendQuery(Lang lang, const std::string& statement,
-                         uint64_t deadline_millis) {
+                         uint64_t deadline_millis, uint64_t request_id) {
   return SendFrame(Opcode::kQuery,
-                   EncodeQuery(lang, statement, deadline_millis));
+                   EncodeQuery(lang, statement, deadline_millis, request_id));
 }
 
 Result<storage::Table> Client::ReadResult() {
@@ -97,8 +99,10 @@ Result<storage::Table> Client::ReadResult() {
 }
 
 Result<storage::Table> Client::Query(Lang lang, const std::string& statement,
-                                     uint64_t deadline_millis) {
-  TELEIOS_RETURN_IF_ERROR(SendQuery(lang, statement, deadline_millis));
+                                     uint64_t deadline_millis,
+                                     uint64_t request_id) {
+  TELEIOS_RETURN_IF_ERROR(
+      SendQuery(lang, statement, deadline_millis, request_id));
   return ReadResult();
 }
 
@@ -121,9 +125,11 @@ Result<uint32_t> Client::Prepare(Lang lang, const std::string& statement) {
 
 Result<storage::Table> Client::Execute(uint32_t stmt_id,
                                        const std::vector<Value>& params,
-                                       uint64_t deadline_millis) {
-  TELEIOS_RETURN_IF_ERROR(SendFrame(
-      Opcode::kExecute, EncodeExecute(stmt_id, params, deadline_millis)));
+                                       uint64_t deadline_millis,
+                                       uint64_t request_id) {
+  TELEIOS_RETURN_IF_ERROR(
+      SendFrame(Opcode::kExecute, EncodeExecute(stmt_id, params,
+                                                deadline_millis, request_id)));
   return ReadResult();
 }
 
@@ -149,9 +155,25 @@ Status Client::Cancel(uint64_t session_id, uint64_t cancel_key) {
   return ReadAck();
 }
 
+Status Client::Ping() {
+  std::string payload;
+  io::PutU64(&payload, ++ping_seq_);
+  TELEIOS_RETURN_IF_ERROR(SendFrame(Opcode::kPing, payload));
+  TELEIOS_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.opcode == Opcode::kError) return DecodeError(frame.payload);
+  if (frame.opcode != Opcode::kPong) {
+    return Status::DataLoss("expected PONG, got " +
+                            std::string(OpcodeName(frame.opcode)));
+  }
+  if (frame.payload != payload) {
+    return Status::DataLoss("PONG echoed the wrong payload");
+  }
+  return Status::OK();
+}
+
 Status Client::Goodbye() {
   TELEIOS_RETURN_IF_ERROR(SendFrame(Opcode::kGoodbye, {}));
-  sock_.Close();
+  conn_->Close();
   return Status::OK();
 }
 

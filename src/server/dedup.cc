@@ -1,0 +1,126 @@
+#include "server/dedup.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace teleios::server {
+
+DedupRegistry::DedupRegistry(size_t max_clients, size_t window,
+                             size_t max_result_bytes)
+    : max_clients_(max_clients == 0 ? 1 : max_clients),
+      window_(window == 0 ? 1 : window),
+      max_result_bytes_(max_result_bytes) {}
+
+DedupRegistry::Claim DedupRegistry::Begin(uint64_t client_id,
+                                          uint64_t request_id) {
+  Claim claim;
+  {
+    MutexLock lock(mu_);
+    auto it = clients_.find(client_id);
+    if (it == clients_.end()) {
+      if (clients_.size() >= max_clients_) EvictColdestClient();
+      it = clients_.emplace(client_id, ClientWindow{}).first;
+    }
+    ClientWindow& window = it->second;
+    window.last_used_seq = ++use_seq_;
+    auto entry_it = window.entries.find(request_id);
+    if (entry_it == window.entries.end()) {
+      window.entries.emplace(request_id, Entry{});
+      claim.kind = Claim::kFresh;
+    } else if (entry_it->second.done) {
+      ++hits_;
+      claim.kind = Claim::kDone;
+      claim.status = entry_it->second.status;
+      claim.result = entry_it->second.result;
+    } else {
+      // Still executing on another connection (the retry raced the
+      // original). The client backs off and retries; by then the
+      // original has completed and the entry replays.
+      ++in_flight_hits_;
+      claim.kind = Claim::kInFlight;
+      claim.status = Status::Unavailable(
+          "request " + std::to_string(request_id) +
+          " is still in flight; retry shortly");
+    }
+  }
+  if (claim.kind == Claim::kDone) {
+    obs::Count("teleios_server_dedup_hits_total");
+  } else if (claim.kind == Claim::kInFlight) {
+    obs::Count("teleios_server_dedup_inflight_total");
+  }
+  return claim;
+}
+
+void DedupRegistry::Complete(uint64_t client_id, uint64_t request_id,
+                             const Status& status,
+                             std::shared_ptr<const storage::Table> result) {
+  MutexLock lock(mu_);
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) return;  // window evicted mid-statement
+  auto entry_it = it->second.entries.find(request_id);
+  if (entry_it == it->second.entries.end()) return;
+  if (result != nullptr && result->MemoryUsage() > max_result_bytes_) {
+    // Too big to pin in the window: forget the request instead of
+    // holding a giant table. A duplicate re-executes — acceptable only
+    // because oversized results mean a misclassified read, and reads
+    // are safe to repeat.
+    ++oversize_;
+    it->second.entries.erase(entry_it);
+    return;
+  }
+  entry_it->second.done = true;
+  entry_it->second.status = status;
+  entry_it->second.result = std::move(result);
+  it->second.completed.push_back(request_id);
+  EvictIfNeeded(&it->second);
+}
+
+void DedupRegistry::Abandon(uint64_t client_id, uint64_t request_id) {
+  MutexLock lock(mu_);
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) return;
+  auto entry_it = it->second.entries.find(request_id);
+  if (entry_it != it->second.entries.end() && !entry_it->second.done) {
+    it->second.entries.erase(entry_it);
+  }
+}
+
+void DedupRegistry::EvictIfNeeded(ClientWindow* window) {
+  while (window->completed.size() > window_) {
+    uint64_t oldest = window->completed.front();
+    window->completed.pop_front();
+    window->entries.erase(oldest);
+    ++evicted_;
+  }
+}
+
+void DedupRegistry::EvictColdestClient() {
+  auto coldest = clients_.end();
+  for (auto it = clients_.begin(); it != clients_.end(); ++it) {
+    if (coldest == clients_.end() ||
+        it->second.last_used_seq < coldest->second.last_used_seq) {
+      coldest = it;
+    }
+  }
+  if (coldest != clients_.end()) {
+    evicted_ += coldest->second.entries.size();
+    clients_.erase(coldest);
+  }
+}
+
+DedupStats DedupRegistry::stats() const {
+  MutexLock lock(mu_);
+  DedupStats stats;
+  stats.hits = hits_;
+  stats.in_flight = in_flight_hits_;
+  stats.evicted = evicted_;
+  stats.oversize = oversize_;
+  stats.clients = clients_.size();
+  for (const auto& [id, window] : clients_) {
+    stats.entries += window.entries.size();
+  }
+  return stats;
+}
+
+}  // namespace teleios::server

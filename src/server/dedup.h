@@ -1,0 +1,113 @@
+#ifndef TELEIOS_SERVER_DEDUP_H_
+#define TELEIOS_SERVER_DEDUP_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "storage/table.h"
+
+namespace teleios::server {
+
+/// Point-in-time counters for the dedup window.
+struct DedupStats {
+  uint64_t hits = 0;        // duplicates answered from the window
+  uint64_t in_flight = 0;   // duplicates refused because still running
+  uint64_t evicted = 0;     // entries aged out of a client's window
+  uint64_t oversize = 0;    // results too big to retain (re-execute)
+  uint64_t clients = 0;     // client windows currently held
+  uint64_t entries = 0;     // request entries currently held
+};
+
+/// The server half of idempotent retry: a bounded window of completed
+/// mutating statements keyed by (client_id, request_id).
+///
+/// The client tags every mutating statement with a request id that
+/// stays FIXED across retries, and sends its stable client id in HELLO
+/// — the window is keyed by client, not session, because the retry
+/// that matters most arrives on a *new* connection after the old one
+/// died mid-reply. When a retry finds its id already completed, the
+/// server replays the recorded outcome instead of re-executing — the
+/// WAL keeps exactly one application of the statement, which is what
+/// the chaos sweep proves by replaying recovered rows against the
+/// acked set.
+///
+/// Bounded three ways: at most `max_clients` client windows (LRU), at
+/// most `window` completed entries per client (FIFO eviction — a retry
+/// of an evicted id re-executes, so clients must not reuse ids more
+/// than a window apart, which the resilient client's monotonic counter
+/// guarantees), and results larger than `max_result_bytes` are not
+/// retained (the entry is dropped and a duplicate re-executes — the
+/// safety valve for a misclassified giant SELECT; real mutations return
+/// one-row count tables).
+class DedupRegistry {
+ public:
+  struct Claim {
+    enum Kind {
+      kFresh,     // first sighting: run it, then Complete()
+      kDone,      // already ran: replay `status` / `result`
+      kInFlight,  // running right now on another connection: back off
+    };
+    Kind kind = kFresh;
+    Status status = Status::OK();
+    /// The recorded result table when kDone and status is OK.
+    std::shared_ptr<const storage::Table> result;
+  };
+
+  explicit DedupRegistry(size_t max_clients = 256, size_t window = 128,
+                         size_t max_result_bytes = 64u << 10);
+
+  /// Claims (client_id, request_id). kFresh marks it in-flight; the
+  /// caller MUST follow up with Complete() (or Abandon() when the
+  /// statement never ran).
+  Claim Begin(uint64_t client_id, uint64_t request_id);
+
+  /// Records the outcome of a kFresh claim. `result` may be nullptr
+  /// (error outcomes, or results past the byte cap).
+  void Complete(uint64_t client_id, uint64_t request_id,
+                const Status& status,
+                std::shared_ptr<const storage::Table> result);
+
+  /// Drops an in-flight marker without recording an outcome (the
+  /// statement was never executed — e.g. its payload failed to parse
+  /// after the claim). A retry becomes kFresh again.
+  void Abandon(uint64_t client_id, uint64_t request_id);
+
+  DedupStats stats() const;
+  size_t max_result_bytes() const { return max_result_bytes_; }
+
+ private:
+  struct Entry {
+    bool done = false;
+    Status status = Status::OK();
+    std::shared_ptr<const storage::Table> result;
+  };
+  struct ClientWindow {
+    std::map<uint64_t, Entry> entries;
+    /// Completion order, for FIFO eviction of done entries.
+    std::deque<uint64_t> completed;
+    uint64_t last_used_seq = 0;
+  };
+
+  void EvictIfNeeded(ClientWindow* window) TELEIOS_REQUIRES(mu_);
+  void EvictColdestClient() TELEIOS_REQUIRES(mu_);
+
+  const size_t max_clients_;
+  const size_t window_;
+  const size_t max_result_bytes_;
+
+  mutable Mutex mu_;
+  std::map<uint64_t, ClientWindow> clients_ TELEIOS_GUARDED_BY(mu_);
+  uint64_t use_seq_ TELEIOS_GUARDED_BY(mu_) = 0;
+  uint64_t hits_ TELEIOS_GUARDED_BY(mu_) = 0;
+  uint64_t in_flight_hits_ TELEIOS_GUARDED_BY(mu_) = 0;
+  uint64_t evicted_ TELEIOS_GUARDED_BY(mu_) = 0;
+  uint64_t oversize_ TELEIOS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace teleios::server
+
+#endif  // TELEIOS_SERVER_DEDUP_H_

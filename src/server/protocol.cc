@@ -1,6 +1,7 @@
 #include "server/protocol.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "common/crc32c.h"
 #include "common/strings.h"
@@ -100,6 +101,8 @@ const char* OpcodeName(Opcode op) {
       return "CLOSE_STMT";
     case Opcode::kGoodbye:
       return "GOODBYE";
+    case Opcode::kPing:
+      return "PING";
     case Opcode::kWelcome:
       return "WELCOME";
     case Opcode::kError:
@@ -112,6 +115,8 @@ const char* OpcodeName(Opcode op) {
       return "DONE";
     case Opcode::kStmtReady:
       return "STMT_READY";
+    case Opcode::kPong:
+      return "PONG";
   }
   return "UNKNOWN";
 }
@@ -316,20 +321,22 @@ std::string EncodeTable(const storage::Table& table, size_t chunk_rows) {
 }
 
 std::string EncodeHello(uint32_t version, std::string_view auth_token,
-                        uint64_t deadline_millis) {
+                        uint64_t deadline_millis, uint64_t client_id) {
   std::string out;
   io::PutU32(&out, version);
   io::PutStr(&out, auth_token);
   io::PutU64(&out, deadline_millis);
+  if (client_id != 0) io::PutU64(&out, client_id);
   return out;
 }
 
 std::string EncodeQuery(Lang lang, std::string_view statement,
-                        uint64_t deadline_millis) {
+                        uint64_t deadline_millis, uint64_t request_id) {
   std::string out;
   PutU8(&out, static_cast<uint8_t>(lang));
   io::PutStr(&out, statement);
   io::PutU64(&out, deadline_millis);
+  if (request_id != 0) io::PutU64(&out, request_id);
   return out;
 }
 
@@ -341,12 +348,13 @@ std::string EncodePrepare(Lang lang, std::string_view statement) {
 }
 
 std::string EncodeExecute(uint32_t stmt_id, const std::vector<Value>& params,
-                          uint64_t deadline_millis) {
+                          uint64_t deadline_millis, uint64_t request_id) {
   std::string out;
   io::PutU32(&out, stmt_id);
   io::PutU32(&out, static_cast<uint32_t>(params.size()));
   for (const Value& p : params) AppendValue(&out, p);
   io::PutU64(&out, deadline_millis);
+  if (request_id != 0) io::PutU64(&out, request_id);
   return out;
 }
 
@@ -404,6 +412,26 @@ Status DecodeError(std::string_view payload) {
                             std::to_string(code) + ": " + message);
   }
   return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+bool IsMutatingStatement(Lang lang, std::string_view statement) {
+  std::string_view head = StrTrim(statement);
+  size_t end = 0;
+  while (end < head.size() &&
+         std::isalpha(static_cast<unsigned char>(head[end]))) {
+    ++end;
+  }
+  std::string word = StrLower(head.substr(0, end));
+  switch (lang) {
+    case Lang::kSql:
+    case Lang::kSciQl:
+      return word == "insert" || word == "update" || word == "delete" ||
+             word == "create" || word == "drop" || word == "alter" ||
+             word == "truncate";
+    case Lang::kStSparql:
+      return word == "insert" || word == "delete";
+  }
+  return false;
 }
 
 Result<std::string> BindParameters(const std::string& text,

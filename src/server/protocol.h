@@ -42,15 +42,23 @@ namespace teleios::server {
 /// final DONE — so a million-row result never materializes twice on the
 /// server side and a slow reader backpressures the stream through the
 /// socket send buffer instead of growing the heap.
+/// Several client payloads end in optional version-2 trailing fields
+/// (marked [v2] below): a v1 encoder simply stops earlier, and the
+/// decoder reads the extra field only when bytes remain — both
+/// directions interoperate across the version bump.
 enum class Opcode : uint8_t {
   // client -> server
   kHello = 1,      // u32 version | str auth_token | u64 deadline_millis
+                   //   | [v2] u64 client_id
   kQuery = 2,      // u8 lang | str statement | u64 deadline_millis
+                   //   | [v2] u64 request_id
   kPrepare = 3,    // u8 lang | str statement
   kExecute = 4,    // u32 stmt_id | u32 nparams | params | u64 deadline_millis
+                   //   | [v2] u64 request_id
   kCancel = 5,     // u64 session_id | u64 cancel_key
   kCloseStmt = 6,  // u32 stmt_id
   kGoodbye = 7,    // empty
+  kPing = 8,       // opaque payload, echoed back — the lease heartbeat
 
   // server -> client
   kWelcome = 64,   // u32 version | u64 session_id | u64 cancel_key
@@ -59,6 +67,7 @@ enum class Opcode : uint8_t {
   kRows = 67,      // u32 nrows | nrows * ncols tagged values
   kDone = 68,      // u64 total_rows | u64 chunks
   kStmtReady = 69, // u32 stmt_id
+  kPong = 70,      // the PING payload, echoed
 };
 
 const char* OpcodeName(Opcode op);
@@ -76,8 +85,10 @@ Result<Lang> ParseLang(std::string_view name);
 
 /// Protocol version spoken by this build. A HELLO with a newer major
 /// version is refused (kInvalidArgument), mirroring the forward-compat
-/// guards on the on-disk formats.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// guards on the on-disk formats. Version 2 added PING/PONG heartbeats
+/// and the optional client_id / request_id trailing fields (idempotent
+/// retry); v1 clients are still accepted.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Connection preamble distinguishing binary clients from HTTP ones.
 inline constexpr char kMagic[4] = {'T', 'E', 'O', '1'};
@@ -137,13 +148,18 @@ std::string EncodeTable(const storage::Table& table, size_t chunk_rows);
 
 // --- message payload builders (client side) --------------------------------
 
+/// `client_id` (v2) is the client's stable identity for the server's
+/// idempotent-retry dedup window — it survives reconnects, unlike the
+/// session id; 0 omits the field (v1 shape).
 std::string EncodeHello(uint32_t version, std::string_view auth_token,
-                        uint64_t deadline_millis);
+                        uint64_t deadline_millis, uint64_t client_id = 0);
+/// `request_id` (v2) tags a mutating statement for exactly-once retry;
+/// 0 omits the field (v1 shape / read-only statements).
 std::string EncodeQuery(Lang lang, std::string_view statement,
-                        uint64_t deadline_millis);
+                        uint64_t deadline_millis, uint64_t request_id = 0);
 std::string EncodePrepare(Lang lang, std::string_view statement);
 std::string EncodeExecute(uint32_t stmt_id, const std::vector<Value>& params,
-                          uint64_t deadline_millis);
+                          uint64_t deadline_millis, uint64_t request_id = 0);
 std::string EncodeCancel(uint64_t session_id, uint64_t cancel_key);
 std::string EncodeCloseStmt(uint32_t stmt_id);
 std::string EncodeWelcome(uint32_t version, uint64_t session_id,
@@ -155,6 +171,14 @@ std::string EncodeStmtReady(uint32_t stmt_id);
 /// Decodes an ERROR payload back into the Status it carried (unknown
 /// codes map to kInternal so a newer server cannot crash an old client).
 Status DecodeError(std::string_view payload);
+
+/// True when `statement` looks like it changes state — the client-side
+/// classifier deciding which statements get a retry request id. First
+/// keyword based: SQL/SciQL INSERT/UPDATE/DELETE/CREATE/DROP/ALTER,
+/// stSPARQL INSERT/DELETE. Conservative in the safe direction:
+/// misclassifying a read as mutating costs one dedup-window slot;
+/// statements the parser rejects mutate nothing either way.
+bool IsMutatingStatement(Lang lang, std::string_view statement);
 
 /// Substitutes `?` placeholders (outside string literals) in a prepared
 /// statement's text with SQL-literal renderings of `params`; errors when

@@ -1,0 +1,142 @@
+#include "server/resilient_client.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace teleios::server {
+
+namespace {
+
+/// splitmix64 — the session cancel-key mixer; here it spreads derived
+/// client ids so two processes started the same nanosecond still get
+/// distinct dedup windows.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t DeriveClientId() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t seed = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  uint64_t id = Mix(seed ^ Mix(++counter));
+  return id != 0 ? id : 1;  // 0 means "no identity" on the wire
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(std::string host, int port,
+                                 ResilientClientOptions options)
+    : host_(std::move(host)), port_(port), options_(std::move(options)) {
+  client_id_ = options_.client.client_id != 0 ? options_.client.client_id
+                                              : DeriveClientId();
+}
+
+Status ResilientClient::EnsureConnected() {
+  if (client_.has_value()) return Status::OK();
+  ClientOptions opts = options_.client;
+  opts.client_id = client_id_;
+  Result<Client> client = Client::Connect(host_, port_, opts);
+  if (!client.ok()) return client.status();
+  client_.emplace(std::move(client).value());
+  ++epoch_;
+  if (epoch_ > 1) {
+    ++reconnects_;
+    obs::Count("teleios_client_reconnects_total");
+  }
+  return Status::OK();
+}
+
+void ResilientClient::Disconnect() { client_.reset(); }
+
+Result<storage::Table> ResilientClient::Query(Lang lang,
+                                              const std::string& statement,
+                                              uint64_t deadline_millis) {
+  // One request id for all attempts of one logical statement: that is
+  // the whole idempotency contract.
+  const uint64_t request_id =
+      IsMutatingStatement(lang, statement) ? ++next_request_id_ : 0;
+  return RunWithRetry("server query", [&]() {
+    return client_->Query(lang, statement, deadline_millis, request_id);
+  });
+}
+
+Result<uint32_t> ResilientClient::RemoteStmtId(uint32_t local_id) {
+  auto it = statements_.find(local_id);
+  if (it == statements_.end()) {
+    return Status::NotFound("no prepared statement with local id " +
+                            std::to_string(local_id));
+  }
+  if (it->second.epoch == epoch_) return it->second.remote_id;
+  TELEIOS_ASSIGN_OR_RETURN(uint32_t remote_id,
+                           client_->Prepare(it->second.lang,
+                                            it->second.text));
+  it->second.remote_id = remote_id;
+  it->second.epoch = epoch_;
+  return remote_id;
+}
+
+Result<uint32_t> ResilientClient::Prepare(Lang lang,
+                                          const std::string& statement) {
+  uint32_t local_id = next_local_stmt_++;
+  statements_[local_id] = LocalStatement{lang, statement, 0, 0};
+  Status st = RunWithRetry("server prepare", [&]() -> Status {
+    return RemoteStmtId(local_id).status();
+  });
+  if (!st.ok()) {
+    statements_.erase(local_id);
+    return st;
+  }
+  return local_id;
+}
+
+Result<storage::Table> ResilientClient::Execute(
+    uint32_t stmt_id, const std::vector<Value>& params,
+    uint64_t deadline_millis) {
+  auto it = statements_.find(stmt_id);
+  if (it == statements_.end()) {
+    return Status::NotFound("no prepared statement with local id " +
+                            std::to_string(stmt_id));
+  }
+  const uint64_t request_id =
+      IsMutatingStatement(it->second.lang, it->second.text)
+          ? ++next_request_id_
+          : 0;
+  return RunWithRetry("server execute", [&]() -> Result<storage::Table> {
+    TELEIOS_ASSIGN_OR_RETURN(uint32_t remote_id, RemoteStmtId(stmt_id));
+    return client_->Execute(remote_id, params, deadline_millis, request_id);
+  });
+}
+
+Status ResilientClient::CloseStmt(uint32_t stmt_id) {
+  auto it = statements_.find(stmt_id);
+  if (it == statements_.end()) {
+    return Status::NotFound("no prepared statement with local id " +
+                            std::to_string(stmt_id));
+  }
+  // Best-effort remote close — only when the handle is live on the
+  // current connection; a reconnected server never saw it.
+  Status st = Status::OK();
+  if (client_.has_value() && it->second.epoch == epoch_) {
+    st = client_->CloseStmt(it->second.remote_id);
+  }
+  statements_.erase(it);
+  return st;
+}
+
+Status ResilientClient::Ping() {
+  return RunWithRetry("server ping", [&]() { return client_->Ping(); });
+}
+
+Status ResilientClient::Goodbye() {
+  if (!client_.has_value()) return Status::OK();
+  Status st = client_->Goodbye();
+  client_.reset();
+  return st;
+}
+
+}  // namespace teleios::server

@@ -1,0 +1,181 @@
+#ifndef TELEIOS_SERVER_RESILIENT_CLIENT_H_
+#define TELEIOS_SERVER_RESILIENT_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "io/retry.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "storage/table.h"
+
+namespace teleios::server {
+
+struct ResilientClientOptions {
+  /// Per-connection options; client_id 0 is replaced with a derived
+  /// stable identity so the server's dedup window recognizes this
+  /// client across reconnects.
+  ClientOptions client;
+  /// Backoff schedule between attempts. Retried codes are kIoError,
+  /// kDataLoss and kUnavailable (dead socket, torn frame, shed or
+  /// draining server, dedup in-flight) — everything else is the
+  /// statement's own fault and replays identically. Set retry.cancel to
+  /// bound the whole retried call by a deadline.
+  io::RetryPolicy retry = DefaultRetryPolicy();
+
+  static io::RetryPolicy DefaultRetryPolicy() {
+    io::RetryPolicy policy;
+    policy.max_attempts = 5;
+    policy.base_backoff_ms = 10;
+    policy.decorrelated_jitter = true;
+    policy.max_backoff_ms = 2000;
+    return policy;
+  }
+};
+
+/// A Client that survives the network: reconnects on failure with
+/// decorrelated-jitter backoff, replays prepared statements onto the
+/// new connection, and tags every mutating statement with a request id
+/// fixed across its attempts — so the server's dedup window applies it
+/// exactly once no matter how many times the wire died mid-reply.
+///
+/// Reads are retried because they are safe to repeat; mutations are
+/// retried because the request id makes them safe to repeat. Statement
+/// handles returned by Prepare() are *local* — they stay valid across
+/// reconnects (the remote statement is re-prepared lazily).
+///
+/// Not thread-safe, same as Client: one ResilientClient per thread.
+class ResilientClient {
+ public:
+  ResilientClient(std::string host, int port,
+                  ResilientClientOptions options = {});
+
+  ResilientClient(ResilientClient&&) = default;
+  ResilientClient& operator=(ResilientClient&&) = default;
+  ResilientClient(const ResilientClient&) = delete;
+  ResilientClient& operator=(const ResilientClient&) = delete;
+
+  Result<storage::Table> Query(Lang lang, const std::string& statement,
+                               uint64_t deadline_millis = 0);
+
+  /// Local statement handle (see class comment). The remote PREPARE
+  /// happens eagerly so syntax-level refusals surface here, and again
+  /// transparently after every reconnect.
+  Result<uint32_t> Prepare(Lang lang, const std::string& statement);
+  Result<storage::Table> Execute(uint32_t stmt_id,
+                                 const std::vector<Value>& params,
+                                 uint64_t deadline_millis = 0);
+  Status CloseStmt(uint32_t stmt_id);
+
+  /// Heartbeat: keeps the server-side lease alive and verifies the
+  /// connection end to end (reconnecting if it cannot).
+  Status Ping();
+
+  /// Polite close; never retried — a failed goodbye is still goodbye.
+  Status Goodbye();
+
+  /// Forces the next call onto a fresh connection (test hook; also
+  /// useful after a long idle gap when the lease has surely expired).
+  void Disconnect();
+
+  bool connected() const { return client_.has_value(); }
+  uint64_t client_id() const { return client_id_; }
+  /// Session identity of the *current* connection (0 when disconnected;
+  /// changes across reconnects).
+  uint64_t session_id() const {
+    return client_.has_value() ? client_->session_id() : 0;
+  }
+  uint64_t cancel_key() const {
+    return client_.has_value() ? client_->cancel_key() : 0;
+  }
+
+  /// Resilience telemetry: completed reconnects after a failure, and
+  /// re-attempted operations.
+  uint64_t reconnects() const { return reconnects_; }
+  uint64_t retries() const { return retries_; }
+
+ private:
+  struct LocalStatement {
+    Lang lang = Lang::kSql;
+    std::string text;
+    uint32_t remote_id = 0;
+    /// Connection epoch remote_id was prepared on; stale after a
+    /// reconnect, triggering a transparent re-prepare.
+    uint64_t epoch = 0;
+  };
+
+  static bool Retryable(const Status& status) {
+    return status.code() == StatusCode::kIoError ||
+           status.code() == StatusCode::kDataLoss ||
+           status.code() == StatusCode::kUnavailable;
+  }
+
+  Status EnsureConnected();
+  /// remote_id for `stmt`, re-preparing on the current connection when
+  /// the handle predates it.
+  Result<uint32_t> RemoteStmtId(uint32_t local_id);
+
+  /// The retry loop WithRetry can't express: reconnect between
+  /// attempts, retry kUnavailable too, keep the backoff/deadline
+  /// machinery. `fn` runs against a connected client.
+  template <typename Fn>
+  auto RunWithRetry(const std::string& what, Fn&& fn) -> decltype(fn()) {
+    const io::RetryPolicy& policy = options_.retry;
+    uint64_t rng_state = policy.jitter_seed;
+    double prev_backoff_ms = 0;
+    decltype(fn()) outcome = Status::Unavailable("never attempted");
+    for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+      if (attempt > 1) {
+        ++retries_;
+        double backoff_ms =
+            policy.NextBackoffMillis(attempt, prev_backoff_ms, &rng_state);
+        prev_backoff_ms = backoff_ms;
+        Status proceed = io::internal::BeforeRetry(policy, what, backoff_ms);
+        if (!proceed.ok()) {
+          return Status(proceed.code(),
+                        proceed.message() + " (last error: " +
+                            io::internal::AsStatus(outcome).message() + ")");
+        }
+      }
+      Status connected = EnsureConnected();
+      if (!connected.ok()) {
+        outcome = connected;
+        if (!Retryable(connected)) return outcome;
+        continue;
+      }
+      outcome = fn();
+      if (outcome.ok() || !Retryable(io::internal::AsStatus(outcome))) {
+        return outcome;
+      }
+      // Any retryable failure makes the connection suspect — a torn
+      // frame leaves the stream unframed, a timeout leaves a reply in
+      // flight. Reconnect rather than guess.
+      Disconnect();
+    }
+    return outcome;
+  }
+
+  std::string host_;
+  int port_ = 0;
+  ResilientClientOptions options_;
+  uint64_t client_id_ = 0;
+  std::optional<Client> client_;
+  /// Bumped on every successful connect; prepared-statement handles
+  /// remember the epoch they were prepared on.
+  uint64_t epoch_ = 0;
+  uint64_t next_request_id_ = 0;
+  uint32_t next_local_stmt_ = 1;
+  std::map<uint32_t, LocalStatement> statements_;
+  uint64_t reconnects_ = 0;
+  uint64_t retries_ = 0;
+};
+
+}  // namespace teleios::server
+
+#endif  // TELEIOS_SERVER_RESILIENT_CLIENT_H_

@@ -90,12 +90,20 @@ ServerConfig ServerConfig::FromEnv() {
   config.chunk_rows = static_cast<size_t>(
       EnvInt("TELEIOS_SERVER_CHUNK_ROWS", 1024, 1));
   config.session_budget_bytes = EnvBytes("TELEIOS_SESSION_MEMORY_BUDGET");
+  config.backlog = EnvInt("TELEIOS_SERVER_BACKLOG", 128, 1);
+  config.lease_millis = EnvInt("TELEIOS_SERVER_LEASE_MS", 60'000, 0);
+  config.write_timeout_millis =
+      EnvInt("TELEIOS_SERVER_WRITE_TIMEOUT_MS", 30'000, 0);
+  config.dedup_window = EnvInt("TELEIOS_SERVER_DEDUP_WINDOW", 128, 1);
   return config;
 }
 
 TeleiosServer::TeleiosServer(core::VirtualEarthObservatory* observatory,
                              ServerConfig config)
-    : observatory_(observatory), config_(std::move(config)) {}
+    : observatory_(observatory),
+      config_(std::move(config)),
+      dedup_(/*max_clients=*/256,
+             static_cast<size_t>(config_.dedup_window)) {}
 
 TeleiosServer::~TeleiosServer() {
   Status st = Shutdown();
@@ -104,26 +112,40 @@ TeleiosServer::~TeleiosServer() {
 
 Status TeleiosServer::Start() {
   if (started_) return Status::AlreadyExists("server already started");
-  TELEIOS_ASSIGN_OR_RETURN(listener_,
-                           Socket::Listen(config_.port));
-  port_ = listener_.bound_port();
+  TELEIOS_ASSIGN_OR_RETURN(
+      listener_, GetTransport()->Listen(config_.port, config_.backlog));
+  port_ = listener_->bound_port();
   observatory_->system_tables().set_extra(&sessions_);
-  // One worker per serveable connection plus the accept loop; never the
-  // global morsel pool — a handler parked in recv(2) must not steal a
-  // core from a running scan.
-  pool_ = std::make_unique<exec::ThreadPool>(config_.max_sessions + 2,
-                                             "server");
+  // One worker per serveable connection plus the accept loop and (when
+  // leasing) the reaper; never the global morsel pool — a handler
+  // parked in recv(2) must not steal a core from a running scan. The
+  // pool spawns `threads - 1` workers (the submitter participates in
+  // morsel pools, but nobody waits on this one), hence the extra +1.
+  const int reaper_workers = config_.lease_millis > 0 ? 1 : 0;
+  pool_ = std::make_unique<exec::ThreadPool>(
+      config_.max_sessions + 2 + reaper_workers, "server");
   started_ = true;
   pool_->Submit([this] { AcceptLoop(); });
+  if (config_.lease_millis > 0) {
+    pool_->Submit([this] { ReapLoop(); });
+  }
   obs::PostEvent("server.start", {{"port", std::to_string(port_)}});
   return Status::OK();
 }
 
 void TeleiosServer::AcceptLoop() {
   while (!stopping_) {
-    Result<Socket> accepted = listener_.AcceptWithTimeout(100);
+    Result<std::unique_ptr<Connection>> accepted =
+        listener_->AcceptWithTimeout(100);
     if (!accepted.ok()) {
-      if (accepted.status().code() == StatusCode::kUnavailable) continue;
+      if (accepted.status().code() == StatusCode::kUnavailable) {
+        // A poll timeout — or an injected/transient accept failure; a
+        // real arrival that got refused is worth counting.
+        if (accepted.status().message() != "accept timed out") {
+          obs::Count("teleios_server_accept_refused_total");
+        }
+        continue;
+      }
       break;  // listener shut down (or hard error): stop accepting
     }
     if (active_connections_.load() >= config_.max_sessions) {
@@ -131,26 +153,43 @@ void TeleiosServer::AcceptLoop() {
       continue;
     }
     ++active_connections_;
-    auto sock = std::make_shared<Socket>(std::move(accepted).value());
-    pool_->Submit([this, sock]() mutable {
-      HandleConnection(std::move(*sock));
+    auto conn = std::make_shared<std::unique_ptr<Connection>>(
+        std::move(accepted).value());
+    pool_->Submit([this, conn]() mutable {
+      HandleConnection(std::move(*conn));
       --active_connections_;
     });
   }
   accept_done_ = true;
 }
 
-void TeleiosServer::ShedConnection(Socket sock) {
+void TeleiosServer::ReapLoop() {
+  // Sleep in short ticks (so shutdown never waits on this thread) but
+  // scan only every ~lease/10 — expiry is noticed within ~10% of the
+  // configured idle bound without hammering the registry.
+  const auto tick = std::chrono::milliseconds(10);
+  const int64_t ticks_per_scan =
+      std::max<int64_t>(1, config_.lease_millis / 10 / tick.count());
+  int64_t ticks = 0;
+  while (!stopping_) {
+    std::this_thread::sleep_for(tick);
+    if (stopping_) break;
+    if (++ticks % ticks_per_scan != 0) continue;
+    sessions_.ReapExpired(config_.lease_millis);
+  }
+}
+
+void TeleiosServer::ShedConnection(std::unique_ptr<Connection> conn) {
   obs::Count("teleios_server_sheds_total");
   obs::PostEvent("server.shed",
-                 {{"peer", sock.peer()},
+                 {{"peer", conn->peer()},
                   {"live", std::to_string(active_connections_.load())}});
   // Sniff briefly (one poll slice) so the refusal speaks the client's
   // protocol; a silent client just gets the close.
   char preamble[4] = {0};
   ConnectionIo io{this, true, steady_clock::now()};
-  Status sniffed = sock.ReadExact(preamble, sizeof(preamble), 200,
-                                  &ConnectionIo::KeepGoing, &io);
+  Status sniffed = conn->ReadExact(preamble, sizeof(preamble), 200,
+                                   &ConnectionIo::KeepGoing, &io);
   Status refusal =
       Status::Unavailable("server at max_sessions=" +
                           std::to_string(config_.max_sessions) +
@@ -159,31 +198,33 @@ void TeleiosServer::ShedConnection(Socket sock) {
   if (sniffed.ok() && std::memcmp(preamble, kMagic, sizeof(kMagic)) == 0) {
     std::string out;
     AppendFrame(&out, Opcode::kError, EncodeError(refusal));
-    st = sock.WriteAll(out);
+    st = conn->WriteAll(out, config_.write_timeout_millis);
   } else {
-    st = sock.WriteAll(
-        BuildHttpResponse(503, "application/json", ErrorToJson(refusal)));
+    st = conn->WriteAll(
+        BuildHttpResponse(503, "application/json", ErrorToJson(refusal)),
+        config_.write_timeout_millis);
   }
   (void)st;  // the peer is being dropped either way
 }
 
-void TeleiosServer::HandleConnection(Socket sock) {
+void TeleiosServer::HandleConnection(std::unique_ptr<Connection> conn) {
   char preamble[4] = {0};
   ConnectionIo io{this, true, steady_clock::now() + kHandshakeTimeout};
-  Status st = sock.ReadExact(preamble, sizeof(preamble), 250,
-                             &ConnectionIo::KeepGoing, &io);
+  Status st = conn->ReadExact(preamble, sizeof(preamble), 250,
+                              &ConnectionIo::KeepGoing, &io);
   if (!st.ok()) return;  // silent or dropped connection: nothing owed
 
   const bool binary = std::memcmp(preamble, kMagic, sizeof(kMagic)) == 0;
   std::shared_ptr<Session> session = sessions_.Open(
-      sock.peer(), binary ? "binary" : "http", config_.session_budget_bytes);
-  session->RegisterSocket(&sock);
+      conn->peer(), binary ? "binary" : "http",
+      config_.session_budget_bytes);
+  session->RegisterConnection(conn.get());
   if (binary) {
-    ServeBinary(&sock, session);
+    ServeBinary(conn.get(), session);
   } else {
-    ServeHttp(&sock, session, std::string(preamble, sizeof(preamble)));
+    ServeHttp(conn.get(), session, std::string(preamble, sizeof(preamble)));
   }
-  session->ClearSocket();
+  session->ClearConnection();
   // A dropped socket cancels whatever the session was still running —
   // the morsel loop unwinds at its next poll even though the handler
   // thread has already moved on.
@@ -191,10 +232,10 @@ void TeleiosServer::HandleConnection(Socket sock) {
   sessions_.Close(session);
 }
 
-Status TeleiosServer::ReadFrame(Socket* sock, Frame* frame) {
+Status TeleiosServer::ReadFrame(Connection* conn, Frame* frame) {
   char header[8];
   ConnectionIo io{this, false, {}};
-  TELEIOS_RETURN_IF_ERROR(sock->ReadExact(header, sizeof(header), 250,
+  TELEIOS_RETURN_IF_ERROR(conn->ReadExact(header, sizeof(header), 250,
                                           &ConnectionIo::KeepGoing, &io));
   uint32_t crc = 0;
   TELEIOS_ASSIGN_OR_RETURN(
@@ -204,7 +245,7 @@ Status TeleiosServer::ReadFrame(Socket* sock, Frame* frame) {
   // The body must follow promptly — a half-sent frame cannot hold the
   // connection open past the handshake timeout.
   ConnectionIo body_io{this, true, steady_clock::now() + kHandshakeTimeout};
-  Status st = sock->ReadExact(body.data(), body.size(), 250,
+  Status st = conn->ReadExact(body.data(), body.size(), 250,
                               &ConnectionIo::KeepGoing, &body_io);
   if (!st.ok()) {
     return st.code() == StatusCode::kCancelled
@@ -217,28 +258,43 @@ Status TeleiosServer::ReadFrame(Socket* sock, Frame* frame) {
   return Status::OK();
 }
 
-Status TeleiosServer::WriteFrame(Socket* sock,
+Status TeleiosServer::WriteFrame(Connection* conn,
                                  const std::shared_ptr<Session>& session,
                                  Opcode opcode, std::string_view payload) {
   std::string out;
   out.reserve(payload.size() + kFrameOverhead);
   AppendFrame(&out, opcode, payload);
-  TELEIOS_RETURN_IF_ERROR(sock->WriteAll(out));
+  Status st = conn->WriteAll(out, config_.write_timeout_millis);
+  if (!st.ok()) {
+    if (st.code() == StatusCode::kDeadlineExceeded) {
+      // The client stopped reading long enough to stall this write:
+      // kill the connection so its budget, registry entry, and pool
+      // worker come back.
+      obs::Count("teleios_server_write_timeouts_total");
+      obs::PostEvent("server.write_timeout",
+                     {{"session", session != nullptr
+                                      ? std::to_string(session->id())
+                                      : std::string("0")},
+                      {"opcode", OpcodeName(opcode)}});
+      conn->ShutdownBoth();
+    }
+    return st;
+  }
   if (session != nullptr) session->AddBytesStreamed(out.size());
   return Status::OK();
 }
 
-void TeleiosServer::ServeBinary(Socket* sock,
+void TeleiosServer::ServeBinary(Connection* conn,
                                 const std::shared_ptr<Session>& session) {
   auto protocol_error = [&](const Status& st) {
     obs::Count("teleios_server_protocol_errors_total");
-    Status write = WriteFrame(sock, session, Opcode::kError, EncodeError(st));
+    Status write = WriteFrame(conn, session, Opcode::kError, EncodeError(st));
     (void)write;  // the connection is being dropped regardless
   };
 
   // --- HELLO ---------------------------------------------------------------
   Frame frame;
-  Status st = ReadFrame(sock, &frame);
+  Status st = ReadFrame(conn, &frame);
   if (!st.ok()) {
     if (st.code() == StatusCode::kDataLoss) protocol_error(st);
     return;
@@ -252,8 +308,16 @@ void TeleiosServer::ServeBinary(Socket* sock,
   uint32_t version = 0;
   std::string auth_token;
   uint64_t default_deadline = 0;
+  uint64_t client_id = 0;
   if (!hello.ReadU32(&version) || !hello.ReadStr(&auth_token) ||
-      !hello.ReadU64(&default_deadline) || !hello.exhausted()) {
+      !hello.ReadU64(&default_deadline)) {
+    protocol_error(Status::DataLoss("malformed HELLO payload"));
+    return;
+  }
+  // Optional v2 trailing field: the client's stable identity for the
+  // idempotent-retry window. A v1 HELLO simply ends here.
+  if (!hello.exhausted() &&
+      (!hello.ReadU64(&client_id) || !hello.exhausted())) {
     protocol_error(Status::DataLoss("malformed HELLO payload"));
     return;
   }
@@ -268,42 +332,51 @@ void TeleiosServer::ServeBinary(Socket* sock,
     protocol_error(Status::InvalidArgument("authentication failed"));
     return;
   }
-  st = WriteFrame(sock, session, Opcode::kWelcome,
+  session->set_client_id(client_id);
+  st = WriteFrame(conn, session, Opcode::kWelcome,
                   EncodeWelcome(kProtocolVersion, session->id(),
                                 session->cancel_key()));
   if (!st.ok()) return;
   session->set_state("idle");
+  session->Touch(sessions_.NowMillis());
 
   // --- statement loop ------------------------------------------------------
   for (;;) {
-    st = ReadFrame(sock, &frame);
+    st = ReadFrame(conn, &frame);
     if (!st.ok()) {
       // kUnavailable: clean close between frames. kCancelled: draining.
       if (st.code() == StatusCode::kDataLoss) protocol_error(st);
       if (st.code() == StatusCode::kCancelled && draining_) {
         Status bye = WriteFrame(
-            sock, session, Opcode::kError,
+            conn, session, Opcode::kError,
             EncodeError(Status::Unavailable("server shutting down")));
         (void)bye;
       }
       return;
     }
+    // Every frame renews the lease — including PING, whose whole job
+    // is to renew it.
+    session->Touch(sessions_.NowMillis());
     io::ByteReader reader(frame.payload);
     switch (frame.opcode) {
       case Opcode::kQuery: {
         uint8_t lang_byte = 0;
         std::string statement;
         uint64_t deadline = 0;
+        uint64_t request_id = 0;
         if (!reader.ReadBytes(&lang_byte, 1) ||
             !reader.ReadStr(&statement, kMaxFrameBytes) ||
-            !reader.ReadU64(&deadline) || !reader.exhausted() ||
-            lang_byte < 1 || lang_byte > 3) {
+            !reader.ReadU64(&deadline) || lang_byte < 1 || lang_byte > 3 ||
+            // Optional v2 trailing field: the retry request id.
+            (!reader.exhausted() &&
+             (!reader.ReadU64(&request_id) || !reader.exhausted()))) {
           protocol_error(Status::DataLoss("malformed QUERY payload"));
           return;
         }
-        st = RunAndStream(sock, session, static_cast<Lang>(lang_byte),
+        st = RunAndStream(conn, session, static_cast<Lang>(lang_byte),
                           statement,
-                          deadline > 0 ? deadline : default_deadline);
+                          deadline > 0 ? deadline : default_deadline,
+                          request_id);
         if (!st.ok()) return;
         break;
       }
@@ -318,7 +391,7 @@ void TeleiosServer::ServeBinary(Socket* sock,
         }
         uint32_t stmt_id = session->AddPrepared(
             {static_cast<Lang>(lang_byte), std::move(statement)});
-        st = WriteFrame(sock, session, Opcode::kStmtReady,
+        st = WriteFrame(conn, session, Opcode::kStmtReady,
                         EncodeStmtReady(stmt_id));
         if (!st.ok()) return;
         break;
@@ -343,13 +416,17 @@ void TeleiosServer::ServeBinary(Socket* sock,
           params.push_back(std::move(v).value());
         }
         uint64_t deadline = 0;
-        if (bad || !reader.ReadU64(&deadline) || !reader.exhausted()) {
+        uint64_t request_id = 0;
+        if (bad || !reader.ReadU64(&deadline) ||
+            // Optional v2 trailing field: the retry request id.
+            (!reader.exhausted() &&
+             (!reader.ReadU64(&request_id) || !reader.exhausted()))) {
           protocol_error(Status::DataLoss("malformed EXECUTE payload"));
           return;
         }
         Result<PreparedStatement> stmt = session->GetPrepared(stmt_id);
         if (!stmt.ok()) {
-          st = WriteFrame(sock, session, Opcode::kError,
+          st = WriteFrame(conn, session, Opcode::kError,
                           EncodeError(stmt.status()));
           if (!st.ok()) return;
           break;
@@ -357,13 +434,14 @@ void TeleiosServer::ServeBinary(Socket* sock,
         Result<std::string> bound =
             BindParameters(stmt.value().text, params);
         if (!bound.ok()) {
-          st = WriteFrame(sock, session, Opcode::kError,
+          st = WriteFrame(conn, session, Opcode::kError,
                           EncodeError(bound.status()));
           if (!st.ok()) return;
           break;
         }
-        st = RunAndStream(sock, session, stmt.value().lang, bound.value(),
-                          deadline > 0 ? deadline : default_deadline);
+        st = RunAndStream(conn, session, stmt.value().lang, bound.value(),
+                          deadline > 0 ? deadline : default_deadline,
+                          request_id);
         if (!st.ok()) return;
         break;
       }
@@ -378,8 +456,8 @@ void TeleiosServer::ServeBinary(Socket* sock,
         Status cancelled =
             sessions_.CancelStatement(target_session, cancel_key);
         st = cancelled.ok()
-                 ? WriteFrame(sock, session, Opcode::kDone, EncodeDone(0, 0))
-                 : WriteFrame(sock, session, Opcode::kError,
+                 ? WriteFrame(conn, session, Opcode::kDone, EncodeDone(0, 0))
+                 : WriteFrame(conn, session, Opcode::kError,
                               EncodeError(cancelled));
         if (!st.ok()) return;
         break;
@@ -392,9 +470,18 @@ void TeleiosServer::ServeBinary(Socket* sock,
         }
         Status closed = session->ClosePrepared(stmt_id);
         st = closed.ok()
-                 ? WriteFrame(sock, session, Opcode::kDone, EncodeDone(0, 0))
-                 : WriteFrame(sock, session, Opcode::kError,
+                 ? WriteFrame(conn, session, Opcode::kDone, EncodeDone(0, 0))
+                 : WriteFrame(conn, session, Opcode::kError,
                               EncodeError(closed));
+        if (!st.ok()) return;
+        break;
+      }
+      case Opcode::kPing: {
+        // The lease heartbeat: echo the payload back so clients can
+        // measure round trips. The Touch above already renewed the
+        // lease.
+        obs::Count("teleios_server_pings_total");
+        st = WriteFrame(conn, session, Opcode::kPong, frame.payload);
         if (!st.ok()) return;
         break;
       }
@@ -456,23 +543,12 @@ Result<storage::Table> TeleiosServer::RunStatement(
   return result;
 }
 
-Status TeleiosServer::RunAndStream(Socket* sock,
-                                   const std::shared_ptr<Session>& session,
-                                   Lang lang, const std::string& statement,
-                                   uint64_t deadline_millis) {
-  session->set_state("executing");
-  Result<storage::Table> result =
-      RunStatement(session, lang, statement, deadline_millis);
-  if (!result.ok()) {
-    session->set_state("idle");
-    // An engine error is the statement's problem, not the connection's.
-    return WriteFrame(sock, session, Opcode::kError,
-                      EncodeError(result.status()));
-  }
-  const storage::Table& table = result.value();
+Status TeleiosServer::StreamTable(Connection* conn,
+                                  const std::shared_ptr<Session>& session,
+                                  const storage::Table& table) {
   session->set_state("streaming");
   Status st =
-      WriteFrame(sock, session, Opcode::kSchema, EncodeSchema(table));
+      WriteFrame(conn, session, Opcode::kSchema, EncodeSchema(table));
   if (!st.ok()) return st;
   uint64_t chunks = 0;
   const size_t num_rows = table.num_rows();
@@ -487,28 +563,92 @@ Status TeleiosServer::RunAndStream(Socket* sock,
         "result stream window");
     if (!charge.ok()) {
       session->set_state("idle");
-      return WriteFrame(sock, session, Opcode::kError,
+      return WriteFrame(conn, session, Opcode::kError,
                         EncodeError(charge.status()));
     }
-    st = WriteFrame(sock, session, Opcode::kRows, payload);
+    st = WriteFrame(conn, session, Opcode::kRows, payload);
     if (!st.ok()) return st;
     ++chunks;
   }
-  st = WriteFrame(sock, session, Opcode::kDone,
+  st = WriteFrame(conn, session, Opcode::kDone,
                   EncodeDone(num_rows, chunks));
   session->set_state("idle");
   return st;
 }
 
-void TeleiosServer::ServeHttp(Socket* sock,
+Status TeleiosServer::RunAndStream(Connection* conn,
+                                   const std::shared_ptr<Session>& session,
+                                   Lang lang, const std::string& statement,
+                                   uint64_t deadline_millis,
+                                   uint64_t request_id) {
+  const uint64_t client_id = session->client_id();
+  const bool dedup = request_id != 0 && client_id != 0;
+  if (dedup) {
+    DedupRegistry::Claim claim = dedup_.Begin(client_id, request_id);
+    if (claim.kind == DedupRegistry::Claim::kDone) {
+      // A retry of a statement that already ran to a definitive outcome:
+      // replay the recording, never re-execute.
+      if (!claim.status.ok()) {
+        return WriteFrame(conn, session, Opcode::kError,
+                          EncodeError(claim.status));
+      }
+      if (claim.result == nullptr) {
+        return WriteFrame(
+            conn, session, Opcode::kError,
+            EncodeError(Status::Internal("dedup window lost its result")));
+      }
+      return StreamTable(conn, session, *claim.result);
+    }
+    if (claim.kind == DedupRegistry::Claim::kInFlight) {
+      // The retry raced the original (still executing on its dying
+      // connection). Tell the client to back off; the connection itself
+      // is healthy.
+      return WriteFrame(conn, session, Opcode::kError,
+                        EncodeError(claim.status));
+    }
+  }
+  session->set_state("executing");
+  Result<storage::Table> result =
+      RunStatement(session, lang, statement, deadline_millis);
+  if (dedup) {
+    // Record the outcome BEFORE streaming: the handler is synchronous,
+    // so by the time a mid-stream disconnect is noticed the statement
+    // has already completed here — the retry on a fresh connection
+    // replays it instead of applying the mutation twice.
+    //
+    // Cancellation / deadline are not definitive: the statement was
+    // aborted before committing, so the retry should re-execute rather
+    // than replay an error that no longer describes anything.
+    StatusCode code = result.status().code();
+    if (code == StatusCode::kCancelled ||
+        code == StatusCode::kDeadlineExceeded) {
+      dedup_.Abandon(client_id, request_id);
+    } else if (result.ok()) {
+      dedup_.Complete(client_id, request_id, Status::OK(),
+                      std::make_shared<const storage::Table>(result.value()));
+    } else {
+      dedup_.Complete(client_id, request_id, result.status(), nullptr);
+    }
+  }
+  if (!result.ok()) {
+    session->set_state("idle");
+    // An engine error is the statement's problem, not the connection's.
+    return WriteFrame(conn, session, Opcode::kError,
+                      EncodeError(result.status()));
+  }
+  return StreamTable(conn, session, result.value());
+}
+
+void TeleiosServer::ServeHttp(Connection* conn,
                               const std::shared_ptr<Session>& session,
                               const std::string& sniffed) {
   obs::Count("teleios_server_http_requests_total");
   session->set_state("executing");
+  session->Touch(sessions_.NowMillis());
   auto respond = [&](int status, std::string_view content_type,
                      std::string_view body) {
     std::string out = BuildHttpResponse(status, content_type, body);
-    Status st = sock->WriteAll(out);
+    Status st = conn->WriteAll(out, config_.write_timeout_millis);
     if (st.ok()) session->AddBytesStreamed(out.size());
   };
 
@@ -522,7 +662,7 @@ void TeleiosServer::ServeHttp(Socket* sock,
       return;
     }
     char buf[4096];
-    Result<size_t> r = sock->ReadSome(buf, sizeof(buf), 5000);
+    Result<size_t> r = conn->ReadSome(buf, sizeof(buf), 5000);
     if (!r.ok() || r.value() == 0) return;  // slowloris / dropped
     data.append(buf, r.value());
   }
@@ -543,7 +683,7 @@ void TeleiosServer::ServeHttp(Socket* sock,
     size_t missing = length.value() - request.body.size();
     std::string rest(missing, '\0');
     ConnectionIo io{this, true, steady_clock::now() + kHandshakeTimeout};
-    Status st = sock->ReadExact(rest.data(), rest.size(), 250,
+    Status st = conn->ReadExact(rest.data(), rest.size(), 250,
                                 &ConnectionIo::KeepGoing, &io);
     if (!st.ok()) return;
     request.body += rest;
@@ -640,7 +780,7 @@ Status TeleiosServer::Shutdown(std::chrono::milliseconds drain_timeout) {
   obs::PostEvent("server.drain",
                  {{"live", std::to_string(sessions_.live())}});
   // Wake the accept loop out of its poll and refuse new connections.
-  listener_.ShutdownBoth();
+  if (listener_ != nullptr) listener_->ShutdownBoth();
   // Let in-flight statements finish streaming: handlers notice
   // draining_ between read polls (≤250ms) and unwind after their
   // current statement completes.
@@ -656,7 +796,7 @@ Status TeleiosServer::Shutdown(std::chrono::milliseconds drain_timeout) {
     sessions_.ForceCloseAll();
   }
   pool_.reset();  // joins the accept loop and every handler
-  listener_.Close();
+  if (listener_ != nullptr) listener_->Close();
   observatory_->system_tables().set_extra(nullptr);
   obs::PostEvent("server.stop",
                  {{"sessions_served",

@@ -10,9 +10,10 @@
 #include "common/status.h"
 #include "core/observatory.h"
 #include "exec/thread_pool.h"
+#include "server/dedup.h"
 #include "server/protocol.h"
 #include "server/session.h"
-#include "server/socket.h"
+#include "server/transport.h"
 
 namespace teleios::server {
 
@@ -37,6 +38,23 @@ struct ServerConfig {
   size_t session_budget_bytes = governor::MemoryBudget::kUnlimited;
   /// Largest HTTP request (head + body) the facade accepts.
   size_t max_http_bytes = 1u << 20;
+  /// Kernel accept backlog on the listen socket — arrivals beyond it
+  /// are refused by the kernel before the accept loop ever sees them.
+  /// TELEIOS_SERVER_BACKLOG, default 128.
+  int backlog = 128;
+  /// Session lease: a binary session idle longer than this (no frame,
+  /// no PING) is reaped — its connection is closed and its budget and
+  /// registry entry released. 0 disables the reaper.
+  /// TELEIOS_SERVER_LEASE_MS, default 60000.
+  int64_t lease_millis = 60'000;
+  /// Per-write timeout: a client that stops reading long enough for a
+  /// frame write to stall this long is killed (the stream aborts, the
+  /// session unwinds). 0 disables. TELEIOS_SERVER_WRITE_TIMEOUT_MS,
+  /// default 30000.
+  int write_timeout_millis = 30'000;
+  /// Completed mutating statements remembered per client for idempotent
+  /// retry. TELEIOS_SERVER_DEDUP_WINDOW, default 128.
+  int dedup_window = 128;
 
   static ServerConfig FromEnv();
 };
@@ -86,35 +104,53 @@ class TeleiosServer {
   bool draining() const { return draining_; }
 
   SessionRegistry& sessions() { return sessions_; }
+  DedupRegistry& dedup() { return dedup_; }
   const ServerConfig& config() const { return config_; }
 
  private:
   friend struct ConnectionIo;
 
   void AcceptLoop();
+  /// The lease reaper: polls the session registry and force-closes
+  /// sessions idle past config_.lease_millis (see
+  /// SessionRegistry::ReapExpired).
+  void ReapLoop();
   /// Sheds one connection before session setup: sniffs just enough to
   /// answer in the right protocol, replies kUnavailable / 503, closes.
-  void ShedConnection(Socket sock);
-  void HandleConnection(Socket sock);
-  void ServeBinary(Socket* sock, const std::shared_ptr<Session>& session);
-  void ServeHttp(Socket* sock, const std::shared_ptr<Session>& session,
+  void ShedConnection(std::unique_ptr<Connection> conn);
+  void HandleConnection(std::unique_ptr<Connection> conn);
+  void ServeBinary(Connection* conn,
+                   const std::shared_ptr<Session>& session);
+  void ServeHttp(Connection* conn, const std::shared_ptr<Session>& session,
                  const std::string& sniffed);
 
   /// Reads one frame (header + CRC-checked body); kUnavailable on clean
   /// EOF between frames, kCancelled once draining, kDataLoss on a
   /// malformed or torn frame.
-  Status ReadFrame(Socket* sock, Frame* frame);
-  Status WriteFrame(Socket* sock, const std::shared_ptr<Session>& session,
-                    Opcode opcode, std::string_view payload);
+  Status ReadFrame(Connection* conn, Frame* frame);
+  /// Writes one frame under the per-write timeout; a stalled client
+  /// surfaces kDeadlineExceeded (counted) and kills the connection.
+  Status WriteFrame(Connection* conn,
+                    const std::shared_ptr<Session>& session, Opcode opcode,
+                    std::string_view payload);
 
   /// Runs one statement through the observatory's governed entry points
   /// and streams the result (SCHEMA / ROWS* / DONE) or an ERROR frame.
   /// The returned status is the *connection's* health: engine errors are
   /// reported to the client and return OK here; only a dead socket is
-  /// non-OK.
-  Status RunAndStream(Socket* sock, const std::shared_ptr<Session>& session,
-                      Lang lang, const std::string& statement,
-                      uint64_t deadline_millis);
+  /// non-OK. A nonzero `request_id` (on a session that declared a
+  /// client_id) goes through the dedup window: a duplicate replays the
+  /// recorded outcome instead of re-executing.
+  Status RunAndStream(Connection* conn,
+                      const std::shared_ptr<Session>& session, Lang lang,
+                      const std::string& statement, uint64_t deadline_millis,
+                      uint64_t request_id = 0);
+
+  /// Streams one materialized table as SCHEMA / ROWS* / DONE — shared
+  /// by fresh results and dedup replays.
+  Status StreamTable(Connection* conn,
+                     const std::shared_ptr<Session>& session,
+                     const storage::Table& table);
 
   Result<storage::Table> RunStatement(
       const std::shared_ptr<Session>& session, Lang lang,
@@ -123,7 +159,8 @@ class TeleiosServer {
   core::VirtualEarthObservatory* const observatory_;
   const ServerConfig config_;
   SessionRegistry sessions_;
-  Socket listener_;
+  DedupRegistry dedup_;
+  std::unique_ptr<Listener> listener_;
   int port_ = 0;
   std::unique_ptr<exec::ThreadPool> pool_;
   std::atomic<bool> started_{false};

@@ -96,6 +96,31 @@ void Session::set_state(const std::string& state) {
   state_ = state;
 }
 
+std::string Session::state() const {
+  MutexLock lock(mu_);
+  return state_;
+}
+
+void Session::Touch(int64_t now_millis) {
+  MutexLock lock(mu_);
+  last_activity_millis_ = now_millis;
+}
+
+int64_t Session::last_activity_millis() const {
+  MutexLock lock(mu_);
+  return last_activity_millis_;
+}
+
+void Session::set_client_id(uint64_t id) {
+  MutexLock lock(mu_);
+  client_id_ = id;
+}
+
+uint64_t Session::client_id() const {
+  MutexLock lock(mu_);
+  return client_id_;
+}
+
 void Session::AddBytesStreamed(uint64_t n) {
   obs::Count("teleios_server_bytes_out_total", n);
   MutexLock lock(mu_);
@@ -107,20 +132,20 @@ uint64_t Session::bytes_streamed() const {
   return bytes_streamed_;
 }
 
-void Session::RegisterSocket(Socket* socket) {
+void Session::RegisterConnection(Connection* conn) {
   MutexLock lock(mu_);
-  socket_ = socket;
+  conn_ = conn;
 }
 
-void Session::ClearSocket() {
+void Session::ClearConnection() {
   MutexLock lock(mu_);
-  socket_ = nullptr;
+  conn_ = nullptr;
 }
 
 void Session::ForceClose() {
   connection_token_.Cancel();
   MutexLock lock(mu_);
-  if (socket_ != nullptr) socket_->ShutdownBoth();
+  if (conn_ != nullptr) conn_->ShutdownBoth();
 }
 
 SessionStats Session::Stats() const {
@@ -134,7 +159,61 @@ SessionStats Session::Stats() const {
   stats.bytes_streamed = bytes_streamed_;
   stats.prepared_statements = prepared_.size();
   stats.open_unix_millis = open_unix_millis_;
+  stats.last_activity_unix_millis = last_activity_millis_;
+  stats.client_id = client_id_;
   return stats;
+}
+
+SessionRegistry::SessionRegistry() : clock_(&obs::UnixMillisNow) {}
+
+void SessionRegistry::SetClockForTest(Clock clock) {
+  MutexLock lock(mu_);
+  clock_ = clock != nullptr ? std::move(clock) : &obs::UnixMillisNow;
+}
+
+int64_t SessionRegistry::NowMillis() const {
+  Clock clock;
+  {
+    MutexLock lock(mu_);
+    clock = clock_;
+  }
+  return clock();
+}
+
+size_t SessionRegistry::ReapExpired(int64_t lease_millis) {
+  if (lease_millis <= 0) return 0;
+  const int64_t now = NowMillis();
+  std::vector<std::shared_ptr<Session>> expired;
+  {
+    MutexLock lock(mu_);
+    for (const auto& [id, session] : sessions_) {
+      std::string state = session->state();
+      // Only sessions sitting between statements (or never past the
+      // handshake) hold a lease; a statement mid-execution or
+      // mid-stream is making progress and is covered by the per-write
+      // timeout instead.
+      if (state != "idle" && state != "handshake") continue;
+      if (now - session->last_activity_millis() > lease_millis) {
+        expired.push_back(session);
+      }
+    }
+  }
+  for (const auto& session : expired) {
+    SessionStats stats = session->Stats();
+    obs::Count("teleios_server_lease_expired_total");
+    obs::PostEvent(
+        "server.lease_expired",
+        {{"session", std::to_string(stats.id)},
+         {"peer", stats.peer},
+         {"idle_millis",
+          std::to_string(now - stats.last_activity_unix_millis)}});
+    session->set_state("expired");
+    // Half-closing wakes the handler out of its read poll; it unwinds
+    // and Close()es the session, releasing budget and registry entry
+    // through the one normal teardown path.
+    session->ForceClose();
+  }
+  return expired.size();
 }
 
 std::shared_ptr<Session> SessionRegistry::Open(const std::string& peer,
@@ -142,6 +221,7 @@ std::shared_ptr<Session> SessionRegistry::Open(const std::string& peer,
                                                size_t budget_bytes) {
   std::shared_ptr<Session> session;
   size_t live_now = 0;
+  int64_t now = NowMillis();
   {
     MutexLock lock(mu_);
     uint64_t id = next_id_++;
@@ -152,6 +232,7 @@ std::shared_ptr<Session> SessionRegistry::Open(const std::string& peer,
                                .count())));
     session =
         std::make_shared<Session>(id, key, peer, protocol, budget_bytes);
+    session->Touch(now);
     sessions_.emplace(id, session);
     live_now = sessions_.size();
   }
@@ -260,7 +341,9 @@ Result<TablePtr> SessionRegistry::Materialize(const std::string& name) {
               {"queries_run", ColumnType::kInt64},
               {"bytes_streamed", ColumnType::kInt64},
               {"prepared_statements", ColumnType::kInt64},
-              {"open_unix_millis", ColumnType::kInt64}}));
+              {"open_unix_millis", ColumnType::kInt64},
+              {"last_activity_unix_millis", ColumnType::kInt64},
+              {"client_id", ColumnType::kInt64}}));
   for (const SessionStats& s : Snapshot()) {
     table->column(0).AppendInt64(static_cast<int64_t>(s.id));
     table->column(1).AppendString(s.peer);
@@ -270,6 +353,8 @@ Result<TablePtr> SessionRegistry::Materialize(const std::string& name) {
     table->column(5).AppendInt64(static_cast<int64_t>(s.bytes_streamed));
     table->column(6).AppendInt64(static_cast<int64_t>(s.prepared_statements));
     table->column(7).AppendInt64(s.open_unix_millis);
+    table->column(8).AppendInt64(s.last_activity_unix_millis);
+    table->column(9).AppendInt64(static_cast<int64_t>(s.client_id));
   }
   return table;
 }

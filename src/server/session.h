@@ -2,6 +2,7 @@
 #define TELEIOS_SERVER_SESSION_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,7 +14,7 @@
 #include "governor/memory_budget.h"
 #include "relational/virtual_tables.h"
 #include "server/protocol.h"
-#include "server/socket.h"
+#include "server/transport.h"
 #include "storage/table.h"
 
 namespace teleios::server {
@@ -35,6 +36,10 @@ struct SessionStats {
   uint64_t bytes_streamed = 0;
   uint64_t prepared_statements = 0;
   int64_t open_unix_millis = 0;
+  /// Lease bookkeeping: last frame/request seen (registry clock).
+  int64_t last_activity_unix_millis = 0;
+  /// Stable client identity from HELLO (0 for v1 / HTTP clients).
+  uint64_t client_id = 0;
 };
 
 /// Per-connection server state: identity (id + cancel key), the
@@ -85,15 +90,26 @@ class Session {
 
   /// Lifecycle / accounting, all thread-safe.
   void set_state(const std::string& state);
+  std::string state() const;
   void AddQuery() { ++queries_run_; }
   void AddBytesStreamed(uint64_t n);
   uint64_t bytes_streamed() const;
 
-  /// Lets the drain path half-close this connection's socket from
-  /// another thread. The handler must ClearSocket() before the Socket
-  /// dies.
-  void RegisterSocket(Socket* socket);
-  void ClearSocket();
+  /// Lease bookkeeping: the handler touches the session on every frame
+  /// read, HTTP request, and heartbeat; the reaper compares against the
+  /// registry clock.
+  void Touch(int64_t now_millis);
+  int64_t last_activity_millis() const;
+
+  /// Stable client identity from HELLO (idempotent-retry dedup key).
+  void set_client_id(uint64_t id);
+  uint64_t client_id() const;
+
+  /// Lets the drain path and the lease reaper half-close this
+  /// connection from another thread. The handler must ClearConnection()
+  /// before the Connection dies.
+  void RegisterConnection(Connection* conn);
+  void ClearConnection();
   void ForceClose();
 
   SessionStats Stats() const;
@@ -113,9 +129,11 @@ class Session {
       TELEIOS_GUARDED_BY(mu_);
   std::map<uint32_t, PreparedStatement> prepared_ TELEIOS_GUARDED_BY(mu_);
   uint32_t next_stmt_id_ TELEIOS_GUARDED_BY(mu_) = 1;
-  Socket* socket_ TELEIOS_GUARDED_BY(mu_) = nullptr;
+  Connection* conn_ TELEIOS_GUARDED_BY(mu_) = nullptr;
   uint64_t queries_run_ TELEIOS_GUARDED_BY(mu_) = 0;
   uint64_t bytes_streamed_ TELEIOS_GUARDED_BY(mu_) = 0;
+  int64_t last_activity_millis_ TELEIOS_GUARDED_BY(mu_) = 0;
+  uint64_t client_id_ TELEIOS_GUARDED_BY(mu_) = 0;
 };
 
 /// The server's live-session ledger, doubling as the `sys.sessions`
@@ -129,7 +147,11 @@ class Session {
 /// against live() == 0 and the process budget returning to zero.
 class SessionRegistry : public relational::VirtualTableProvider {
  public:
-  SessionRegistry() = default;
+  /// Injectable wall clock (unix millis) so lease-expiry tests advance
+  /// time instead of sleeping — the CircuitBreaker clock idiom.
+  using Clock = std::function<int64_t()>;
+
+  SessionRegistry();
 
   SessionRegistry(const SessionRegistry&) = delete;
   SessionRegistry& operator=(const SessionRegistry&) = delete;
@@ -138,6 +160,19 @@ class SessionRegistry : public relational::VirtualTableProvider {
                                 const std::string& protocol,
                                 size_t budget_bytes);
   void Close(const std::shared_ptr<Session>& session);
+
+  void SetClockForTest(Clock clock);
+  /// Now, per the (possibly test-injected) registry clock.
+  int64_t NowMillis() const;
+
+  /// Lease enforcement: force-closes every session idle (or stuck in
+  /// handshake) longer than `lease_millis`, posting a
+  /// server.lease_expired event and counting
+  /// teleios_server_lease_expired_total per reaped session. Sessions
+  /// executing or streaming are spared — a slow statement is the
+  /// write-timeout's problem, not the lease's. Returns the number
+  /// reaped (their handlers unwind and Close() as usual).
+  size_t ReapExpired(int64_t lease_millis);
 
   /// CANCEL frame entry point: cancels `session_id`'s active statement
   /// when `cancel_key` matches. NotFound for a dead session,
@@ -164,6 +199,7 @@ class SessionRegistry : public relational::VirtualTableProvider {
   uint64_t opened_ TELEIOS_GUARDED_BY(mu_) = 0;
   std::map<uint64_t, std::shared_ptr<Session>> sessions_
       TELEIOS_GUARDED_BY(mu_);
+  Clock clock_ TELEIOS_GUARDED_BY(mu_);
 };
 
 }  // namespace teleios::server

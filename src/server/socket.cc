@@ -73,6 +73,13 @@ Result<Socket> Socket::Connect(const std::string& host, int port) {
     return Status::InvalidArgument("not a numeric IPv4 address: " + host);
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    // Nobody listening is "server unavailable", not a broken stream —
+    // the same code a shed connection or an armed fault refusal gets.
+    if (errno == ECONNREFUSED) {
+      return Status::Unavailable("connect to " + host + ":" +
+                                 std::to_string(port) +
+                                 ": connection refused");
+    }
     return Errno("connect to " + host + ":" + std::to_string(port));
   }
   sock.peer_ = host + ":" + std::to_string(port);
@@ -153,13 +160,29 @@ Result<size_t> Socket::ReadSome(void* dst, size_t n, int timeout_millis) {
   }
 }
 
-Status Socket::WriteAll(std::string_view data) {
+Status Socket::WriteAll(std::string_view data, int timeout_millis) {
   size_t sent = 0;
   while (sent < data.size()) {
-    ssize_t r =
-        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (timeout_millis > 0) {
+      // Bound how long a full send buffer may park us: poll for POLLOUT
+      // and give up when the peer's window stays closed.
+      pollfd pfd = {fd_, POLLOUT, 0};
+      int ready = ::poll(&pfd, 1, timeout_millis);
+      if (ready == 0) {
+        return Status::DeadlineExceeded(
+            "write stalled for " + std::to_string(timeout_millis) +
+            "ms (" + std::to_string(sent) + "/" +
+            std::to_string(data.size()) + " bytes sent)");
+      }
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Errno("poll for write");
+      }
+    }
+    ssize_t r = ::send(fd_, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL | (timeout_millis > 0 ? MSG_DONTWAIT : 0));
     if (r < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN) continue;
       if (errno == EPIPE || errno == ECONNRESET) {
         return Status::IoError("peer closed the connection mid-write");
       }

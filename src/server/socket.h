@@ -63,8 +63,12 @@ class Socket {
 
   /// Writes all of `data`; kIoError when the peer is gone (EPIPE /
   /// ECONNRESET) — the server treats that as the client abandoning the
-  /// stream.
-  Status WriteAll(std::string_view data);
+  /// stream. With `timeout_millis` > 0 a peer whose receive window stays
+  /// full that long (a reader that stopped reading) fails the write with
+  /// kDeadlineExceeded instead of parking this thread forever — the
+  /// server's per-write timeout that frees a pool worker from a stalled
+  /// client.
+  Status WriteAll(std::string_view data, int timeout_millis = 0);
 
   /// Half-closes both directions; blocked peers see EOF. Idempotent.
   void ShutdownBoth();

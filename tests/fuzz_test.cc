@@ -476,7 +476,7 @@ TEST_F(WireProtocolFuzz, MidFrameDisconnectLeaksNothing) {
   auto client = server::Client::Connect("127.0.0.1", server_->port());
   ASSERT_TRUE(client.ok());
   ASSERT_TRUE(client->SendRaw(torn.substr(0, 8 + 10)).ok());
-  client->socket().Close();
+  client->connection().Close();
   EXPECT_TRUE(NoLiveSessions());
 }
 

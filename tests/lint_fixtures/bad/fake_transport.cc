@@ -1,0 +1,15 @@
+// TL006 fixture: a hand-rolled "transport" outside src/server/. The
+// swappable seam (server::Transport / SetTransport) exists precisely so
+// nobody re-implements connection plumbing elsewhere — a private
+// transport bypasses fault injection, peer accounting, and shed policy.
+#include <netinet/in.h>
+
+class FakeTransport {
+ public:
+  int Connect(int port) {
+    int fd = socket(2, 1, 0);
+    unsigned short net_port = htons(static_cast<unsigned short>(port));
+    return fd + net_port;
+  }
+  int Accept(int fd) { return accept(fd, nullptr, nullptr); }
+};

@@ -1,0 +1,15 @@
+// TL006 fixture: transport implementations live in src/server/, where
+// the raw socket API is the point (this mirrors src/server/transport.cc
+// and fault_transport.cc sitting directly on the syscall layer).
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+class TcpLikeTransport {
+ public:
+  int Connect(int port) {
+    int fd = ::socket(2, 1, 0);
+    unsigned short net_port = htons(static_cast<unsigned short>(port));
+    return fd + net_port;
+  }
+  int Accept(int fd) { return ::accept(fd, nullptr, nullptr); }
+};

@@ -103,6 +103,23 @@ TEST(LintRuleTest, ServerDirectoryIsExemptFromTl006) {
   EXPECT_TRUE(LintFixture("good/server/socket_use.cc").empty());
 }
 
+TEST(LintRuleTest, HandRolledTransportOutsideServerFiresTl006) {
+  // A private "transport" class re-implementing connection plumbing
+  // outside src/server/ bypasses the swappable Transport seam (and with
+  // it fault injection and shed policy): every raw call fires.
+  auto findings = LintFixture("bad/fake_transport.cc");
+  ASSERT_EQ(findings.size(), 4u);
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "TL006");
+  EXPECT_NE(findings[0].message.find("<netinet/in.h>"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("socket()"), std::string::npos);
+  EXPECT_NE(findings[2].message.find("htons()"), std::string::npos);
+  EXPECT_NE(findings[3].message.find("accept()"), std::string::npos);
+}
+
+TEST(LintRuleTest, TransportImplementationsInServerAreExemptFromTl006) {
+  EXPECT_TRUE(LintFixture("good/server/transport_use.cc").empty());
+}
+
 TEST(LintScannerTest, SocketLookalikesDoNotFireTl006) {
   // Member calls, namespace-qualified names from elsewhere, and plain
   // identifiers that only share a name with the C API are all fine.

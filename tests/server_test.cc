@@ -388,7 +388,7 @@ TEST_F(ServerTest, KilledSocketMidStreamLeaksNothing) {
     auto schema = client.ReadFrame();
     ASSERT_TRUE(schema.ok());
     ASSERT_EQ(schema->opcode, Opcode::kSchema);
-    client.socket().Close();
+    client.connection().Close();
   }
   // The handler notices the dead socket (EPIPE on a ROWS write), the
   // session closes, its budget unregisters, and sys.queries drains.

@@ -1,21 +1,51 @@
 // teleios_cli — interactive client for a running teleios_server.
 //
 //   teleios_cli --port N [--host H] [--lang sql|sciql|stsparql]
-//               [--token T] [statement]
+//               [--token T] [--retry [attempts]] [statement]
 //
 // With a statement argument: runs it and prints the result as TSV.
 // Without: a line-per-statement REPL on stdin. `\lang sciql` switches
 // language mid-session; `\quit` exits.
+//
+// Network failures exit nonzero with a one-line diagnosis on stderr.
+// --retry rides a ResilientClient instead: it reconnects with jittered
+// backoff and tags mutations with request ids, so a flaky wire (or a
+// server restart mid-session) is survived instead of reported.
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "common/strings.h"
 #include "server/client.h"
+#include "server/resilient_client.h"
 
 namespace {
+
+using teleios::Status;
+using teleios::StatusCode;
+
+/// One line, no stack of context: what went wrong and what to check.
+std::string Diagnose(const Status& status, const std::string& host,
+                     int port) {
+  const std::string target = host + ":" + std::to_string(port);
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+      return "cannot reach " + target +
+             " — connection refused or shed (is teleios_server running?)";
+    case StatusCode::kIoError:
+      return "lost connection to " + target + " (" + status.message() + ")";
+    case StatusCode::kDataLoss:
+      return "connection to " + target + " died mid-reply (" +
+             status.message() + ")";
+    case StatusCode::kDeadlineExceeded:
+      return "timed out talking to " + target;
+    default:
+      return status.ToString();
+  }
+}
 
 void PrintTable(const teleios::storage::Table& table) {
   for (size_t c = 0; c < table.schema().num_fields(); ++c) {
@@ -32,17 +62,48 @@ void PrintTable(const teleios::storage::Table& table) {
   }
 }
 
-bool RunOne(teleios::server::Client& client, teleios::server::Lang lang,
-            const std::string& statement) {
-  auto result = client.Query(lang, statement);
+/// The one seam the REPL needs over both client flavors.
+struct Session {
+  virtual ~Session() = default;
+  virtual teleios::Result<teleios::storage::Table> Query(
+      teleios::server::Lang lang, const std::string& statement) = 0;
+  virtual void Goodbye() = 0;
+};
+
+struct PlainSession : Session {
+  explicit PlainSession(teleios::server::Client client)
+      : client(std::move(client)) {}
+  teleios::Result<teleios::storage::Table> Query(
+      teleios::server::Lang lang, const std::string& statement) override {
+    return client.Query(lang, statement);
+  }
+  void Goodbye() override { (void)client.Goodbye(); }
+  teleios::server::Client client;
+};
+
+struct RetrySession : Session {
+  explicit RetrySession(teleios::server::ResilientClient client)
+      : client(std::move(client)) {}
+  teleios::Result<teleios::storage::Table> Query(
+      teleios::server::Lang lang, const std::string& statement) override {
+    return client.Query(lang, statement);
+  }
+  void Goodbye() override { (void)client.Goodbye(); }
+  teleios::server::ResilientClient client;
+};
+
+bool RunOne(Session& session, teleios::server::Lang lang,
+            const std::string& statement, const std::string& host,
+            int port) {
+  auto result = session.Query(lang, statement);
   if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    std::fprintf(stderr, "teleios_cli: %s\n",
+                 Diagnose(result.status(), host, port).c_str());
     return false;
   }
   PrintTable(result.value());
-  std::fprintf(stderr, "(%llu row(s), %llu chunk(s))\n",
-               static_cast<unsigned long long>(client.last_total_rows()),
-               static_cast<unsigned long long>(client.last_chunks()));
+  std::fprintf(stderr, "(%llu row(s))\n",
+               static_cast<unsigned long long>(result->num_rows()));
   return true;
 }
 
@@ -53,11 +114,15 @@ int main(int argc, char** argv) {
   using teleios::server::ClientOptions;
   using teleios::server::Lang;
   using teleios::server::ParseLang;
+  using teleios::server::ResilientClient;
+  using teleios::server::ResilientClientOptions;
 
   std::string host = "127.0.0.1";
   int port = 0;
   Lang lang = Lang::kSql;
   ClientOptions options;
+  bool retry = false;
+  int retry_attempts = 5;
   std::string statement;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -73,12 +138,19 @@ int main(int argc, char** argv) {
       lang = parsed.value();
     } else if (std::strcmp(argv[i], "--token") == 0 && i + 1 < argc) {
       options.auth_token = argv[++i];
+    } else if (std::strcmp(argv[i], "--retry") == 0) {
+      retry = true;
+      // Optional attempt count: `--retry 8`.
+      if (i + 1 < argc && argv[i + 1][0] != '-' &&
+          std::atoi(argv[i + 1]) > 0) {
+        retry_attempts = std::atoi(argv[++i]);
+      }
     } else if (argv[i][0] != '-') {
       statement = argv[i];
     } else {
       std::fprintf(stderr,
                    "usage: teleios_cli --port N [--host H] [--lang L] "
-                   "[--token T] [statement]\n");
+                   "[--token T] [--retry [attempts]] [statement]\n");
       return 2;
     }
   }
@@ -87,22 +159,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto connected = Client::Connect(host, port, options);
-  if (!connected.ok()) {
-    std::fprintf(stderr, "connect: %s\n",
-                 connected.status().ToString().c_str());
-    return 1;
+  std::unique_ptr<Session> session;
+  if (retry) {
+    ResilientClientOptions ropts;
+    ropts.client = options;
+    ropts.retry.max_attempts = retry_attempts;
+    ResilientClient client(host, port, ropts);
+    // Surface an unreachable server now, not at the first statement.
+    Status up = client.Ping();
+    if (!up.ok()) {
+      std::fprintf(stderr, "teleios_cli: %s\n",
+                   Diagnose(up, host, port).c_str());
+      return 1;
+    }
+    session = std::make_unique<RetrySession>(std::move(client));
+  } else {
+    auto connected = Client::Connect(host, port, options);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "teleios_cli: %s\n",
+                   Diagnose(connected.status(), host, port).c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "connected; session %llu\n",
+                 static_cast<unsigned long long>(
+                     connected.value().session_id()));
+    session = std::make_unique<PlainSession>(std::move(connected).value());
   }
-  Client client = std::move(connected).value();
-  std::fprintf(stderr, "connected; session %llu\n",
-               static_cast<unsigned long long>(client.session_id()));
 
   if (!statement.empty()) {
-    bool ok = RunOne(client, lang, statement);
-    (void)client.Goodbye();
+    bool ok = RunOne(*session, lang, statement, host, port);
+    session->Goodbye();
     return ok ? 0 : 1;
   }
 
+  bool all_ok = true;
   std::string line;
   while (std::getline(std::cin, line)) {
     std::string_view trimmed = teleios::StrTrim(line);
@@ -118,8 +208,9 @@ int main(int argc, char** argv) {
       }
       continue;
     }
-    RunOne(client, lang, std::string(trimmed));
+    all_ok = RunOne(*session, lang, std::string(trimmed), host, port) &&
+             all_ok;
   }
-  (void)client.Goodbye();
-  return 0;
+  session->Goodbye();
+  return all_ok ? 0 : 1;
 }
